@@ -1,0 +1,129 @@
+// Figure 6: authorization control-operation overhead.
+//
+// Left panel (linear scale in the paper): authority registration, goal
+// clear/set, proof clear/set, credential insertion — all system-backed.
+// Right panel (log scale): system-backed credential insertion (cred pid)
+// vs cryptographically signed credential verification+insertion (cred key).
+// The paper's claim: avoiding cryptography buys three orders of magnitude.
+#include <benchmark/benchmark.h>
+
+#include "core/nexus.h"
+#include "nal/parser.h"
+#include "tpm/tpm.h"
+
+namespace {
+
+using nexus::ToBytes;
+
+nexus::nal::Formula F(const std::string& text) { return *nexus::nal::ParseFormula(text); }
+
+struct Harness {
+  Harness() : tpm_rng(42), tpm(tpm_rng), nexus(&tpm) {
+    owner = *nexus.CreateProcess("owner", ToBytes("o"));
+    subject = *nexus.CreateProcess("subject", ToBytes("s"));
+    nexus.engine().RegisterObject("fig6:obj", owner, nexus::kernel::kKernelProcessId);
+    // Pre-issue a label and externalize it once: cred-key benchmarks verify
+    // the certificate chain on every insertion.
+    auto handle = *nexus.engine().Say(subject, "isTypeSafe(PGM)");
+    certificate = *nexus.ExternalizeLabel(subject, handle);
+  }
+  nexus::Rng tpm_rng;
+  nexus::tpm::Tpm tpm;
+  nexus::core::Nexus nexus;
+  nexus::kernel::ProcessId owner = 0, subject = 0;
+  nexus::core::Certificate certificate;
+};
+
+Harness& H() {
+  static Harness h;
+  return h;
+}
+
+void BM_auth_add(benchmark::State& state) {
+  Harness& h = H();
+  for (auto _ : state) {
+    h.nexus.guard().AddAuthorityPort(999);  // Registration cost only.
+  }
+}
+
+void BM_goal_set(benchmark::State& state) {
+  Harness& h = H();
+  nexus::nal::Formula goal = F("Certifier says ok(subject)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.nexus.engine().SetGoal(h.owner, "use", "fig6:obj", goal));
+  }
+}
+
+void BM_goal_clr(benchmark::State& state) {
+  Harness& h = H();
+  nexus::nal::Formula goal = F("Certifier says ok(subject)");
+  for (auto _ : state) {
+    state.PauseTiming();
+    h.nexus.engine().SetGoal(h.owner, "use", "fig6:obj", goal);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(h.nexus.engine().ClearGoal(h.owner, "use", "fig6:obj"));
+  }
+}
+
+void BM_proof_set(benchmark::State& state) {
+  Harness& h = H();
+  nexus::nal::Proof proof = nexus::nal::proof::Premise(F("Certifier says ok(subject)"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.nexus.engine().SetProof(h.subject, "use", "fig6:obj", proof));
+  }
+}
+
+void BM_proof_clr(benchmark::State& state) {
+  Harness& h = H();
+  nexus::nal::Proof proof = nexus::nal::proof::Premise(F("Certifier says ok(subject)"));
+  for (auto _ : state) {
+    state.PauseTiming();
+    h.nexus.engine().SetProof(h.subject, "use", "fig6:obj", proof);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(h.nexus.engine().ClearProof(h.subject, "use", "fig6:obj"));
+  }
+}
+
+// cred add / cred pid: system-backed label insertion via the say syscall —
+// parse, attribute over the secure channel, store. No cryptography.
+void BM_cred_add_pid(benchmark::State& state) {
+  Harness& h = H();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.nexus.engine().Say(h.subject, "isTypeSafe(PGM)"));
+  }
+}
+
+// cred key: verify an RSA-signed certificate chain (EK -> NK -> statement)
+// and import the statement. Three orders of magnitude above cred pid.
+void BM_cred_add_key(benchmark::State& state) {
+  Harness& h = H();
+  const auto& ek = h.tpm.endorsement_public_key();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.nexus.ImportCertificate(h.subject, h.certificate, ek));
+  }
+}
+
+// For context: the signing side (externalization), also cryptographic.
+void BM_cred_externalize_key(benchmark::State& state) {
+  Harness& h = H();
+  auto handle = *h.nexus.engine().Say(h.subject, "isTypeSafe(PGM)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.nexus.ExternalizeLabel(h.subject, handle));
+  }
+}
+
+BENCHMARK(BM_auth_add);
+BENCHMARK(BM_goal_set);
+BENCHMARK(BM_goal_clr);
+BENCHMARK(BM_proof_set);
+BENCHMARK(BM_proof_clr);
+// Fixed iteration counts keep the labelstore growth bounded and identical
+// across runs (adaptive counts would let the pid case insert millions of
+// labels and distort the comparison).
+BENCHMARK(BM_cred_add_pid)->Iterations(50000);
+BENCHMARK(BM_cred_add_key)->Iterations(2000);
+BENCHMARK(BM_cred_externalize_key)->Iterations(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

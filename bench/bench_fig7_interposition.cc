@@ -1,0 +1,190 @@
+// Figure 7: interpositioning overhead on a packet echo server, in packets
+// per second, for 100-byte and 1500-byte packets.
+//
+//   kern-int : echo answered by a direct function call (the paper's
+//              "respond from the kernel interrupt handler")
+//   user-int : echo via port dispatch, interposition machinery bypassed
+//   kern-drv : realistic path — packet crosses driver and server over IPC
+//   user-drv : same with the user-level driver process in the path
+//   kref min/max : kernel-level reference monitor on the path, with the
+//              monitor's decision cache on (min overhead) / off (max)
+//   uref min/max : user-level reference monitor (extra marshal hop), cache
+//              on / off
+#include <benchmark/benchmark.h>
+
+#include "core/nexus.h"
+#include "services/ddrm.h"
+#include "tpm/tpm.h"
+
+namespace {
+
+using nexus::Bytes;
+using nexus::ToBytes;
+using nexus::kernel::IpcContext;
+using nexus::kernel::IpcMessage;
+using nexus::kernel::IpcReply;
+
+// The echo server: reverses no bytes, just bounces the payload.
+class EchoServer : public nexus::kernel::PortHandler {
+ public:
+  IpcReply Handle(const IpcContext&, const IpcMessage& message) override {
+    return IpcReply{nexus::OkStatus(), {}, message.data, 0};
+  }
+};
+
+// The user-level driver: receives a "packet", forwards it to the server
+// port over IPC, relays the reply.
+class DriverProcess : public nexus::kernel::PortHandler {
+ public:
+  DriverProcess(nexus::kernel::Kernel* kernel, nexus::kernel::ProcessId self,
+                nexus::kernel::PortId server_port)
+      : kernel_(kernel), self_(self), server_port_(server_port) {}
+
+  IpcReply Handle(const IpcContext&, const IpcMessage& message) override {
+    IpcMessage forwarded;
+    forwarded.operation = "send";
+    forwarded.data = message.data;
+    return kernel_->Call(self_, server_port_, forwarded);
+  }
+
+ private:
+  nexus::kernel::Kernel* kernel_;
+  nexus::kernel::ProcessId self_;
+  nexus::kernel::PortId server_port_;
+};
+
+// A user-space reference monitor: pays an extra marshal/unmarshal round
+// (the IPC hop into the monitor process) before delegating to the policy.
+class UserSpaceMonitor : public nexus::kernel::Interceptor {
+ public:
+  explicit UserSpaceMonitor(nexus::services::DeviceDriverMonitor* inner) : inner_(inner) {}
+
+  nexus::kernel::InterposeVerdict OnCall(const IpcContext& context,
+                                         IpcMessage& message) override {
+    Bytes wire = MarshalMessage(message);
+    auto unmarshaled = nexus::kernel::UnmarshalMessage(wire);
+    if (!unmarshaled.ok()) {
+      return nexus::kernel::InterposeVerdict::kDeny;
+    }
+    IpcMessage copy = std::move(*unmarshaled);
+    auto verdict = inner_->OnCall(context, copy);
+    return verdict;
+  }
+
+ private:
+  nexus::services::DeviceDriverMonitor* inner_;
+};
+
+struct Harness {
+  Harness() : tpm_rng(42), tpm(tpm_rng), nexus(&tpm) {
+    auto& k = nexus.kernel();
+    client = *nexus.CreateProcess("udp-client", ToBytes("client"));
+    server_pid = *nexus.CreateProcess("echo-server", ToBytes("echo"));
+    driver_pid = *nexus.CreateProcess("netdriver", ToBytes("e1000"));
+    server_port = *nexus.CreatePort(server_pid);
+    driver_port = *nexus.CreatePort(driver_pid);
+    k.BindHandler(server_port, &server);
+    driver = std::make_unique<DriverProcess>(&k, driver_pid, server_port);
+    k.BindHandler(driver_port, driver.get());
+
+    nexus::services::DdrmPolicy policy;
+    policy.allowed_operations = {"send", "recv"};
+    monitor_cached = std::make_unique<nexus::services::DeviceDriverMonitor>(policy, true);
+    monitor_uncached = std::make_unique<nexus::services::DeviceDriverMonitor>(policy, false);
+    user_monitor_cached = std::make_unique<UserSpaceMonitor>(monitor_cached.get());
+    user_monitor_uncached = std::make_unique<UserSpaceMonitor>(monitor_uncached.get());
+  }
+
+  nexus::Rng tpm_rng;
+  nexus::tpm::Tpm tpm;
+  nexus::core::Nexus nexus;
+  EchoServer server;
+  std::unique_ptr<DriverProcess> driver;
+  nexus::kernel::ProcessId client = 0, server_pid = 0, driver_pid = 0;
+  nexus::kernel::PortId server_port = 0, driver_port = 0;
+  std::unique_ptr<nexus::services::DeviceDriverMonitor> monitor_cached;
+  std::unique_ptr<nexus::services::DeviceDriverMonitor> monitor_uncached;
+  std::unique_ptr<UserSpaceMonitor> user_monitor_cached;
+  std::unique_ptr<UserSpaceMonitor> user_monitor_uncached;
+};
+
+Harness& H() {
+  static Harness h;
+  return h;
+}
+
+void ReportPps(benchmark::State& state) {
+  state.counters["pps"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+IpcMessage Packet(int64_t size) { return IpcMessage{"recv", {}, Bytes(static_cast<size_t>(size), 0xab)}; }
+
+void BM_kern_int(benchmark::State& state) {
+  Harness& h = H();
+  IpcMessage packet = Packet(state.range(0));
+  IpcContext context{h.client, h.server_port};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.server.Handle(context, packet));
+  }
+  ReportPps(state);
+}
+
+void BM_user_int(benchmark::State& state) {
+  Harness& h = H();
+  h.nexus.kernel().set_interposition_enabled(false);
+  IpcMessage packet = Packet(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.nexus.kernel().Call(h.client, h.server_port, packet));
+  }
+  h.nexus.kernel().set_interposition_enabled(true);
+  ReportPps(state);
+}
+
+void RunThroughDriver(benchmark::State& state, bool interposition) {
+  Harness& h = H();
+  h.nexus.kernel().set_interposition_enabled(interposition);
+  IpcMessage packet = Packet(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.nexus.kernel().Call(h.client, h.driver_port, packet));
+  }
+  h.nexus.kernel().set_interposition_enabled(true);
+  ReportPps(state);
+}
+
+void BM_kern_drv(benchmark::State& state) { RunThroughDriver(state, false); }
+void BM_user_drv(benchmark::State& state) { RunThroughDriver(state, true); }
+
+void RunWithMonitor(benchmark::State& state, nexus::kernel::Interceptor* interceptor) {
+  Harness& h = H();
+  h.nexus.kernel().set_interposition_enabled(true);
+  uint64_t token = *h.nexus.kernel().Interpose(h.driver_pid, h.driver_port, interceptor);
+  IpcMessage packet = Packet(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.nexus.kernel().Call(h.client, h.driver_port, packet));
+  }
+  h.nexus.kernel().RemoveInterposition(token);
+  ReportPps(state);
+}
+
+void BM_kref_min(benchmark::State& state) { RunWithMonitor(state, H().monitor_cached.get()); }
+void BM_kref_max(benchmark::State& state) { RunWithMonitor(state, H().monitor_uncached.get()); }
+void BM_uref_min(benchmark::State& state) {
+  RunWithMonitor(state, H().user_monitor_cached.get());
+}
+void BM_uref_max(benchmark::State& state) {
+  RunWithMonitor(state, H().user_monitor_uncached.get());
+}
+
+BENCHMARK(BM_kern_int)->Arg(100)->Arg(1500);
+BENCHMARK(BM_user_int)->Arg(100)->Arg(1500);
+BENCHMARK(BM_kern_drv)->Arg(100)->Arg(1500);
+BENCHMARK(BM_user_drv)->Arg(100)->Arg(1500);
+BENCHMARK(BM_kref_min)->Arg(100)->Arg(1500);
+BENCHMARK(BM_kref_max)->Arg(100)->Arg(1500);
+BENCHMARK(BM_uref_min)->Arg(100)->Arg(1500);
+BENCHMARK(BM_uref_max)->Arg(100)->Arg(1500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,186 @@
+// Table 1: system call overhead in cycles.
+//
+// Columns reproduced: "Nexus Bare" (interposition disabled), "Nexus"
+// (standard: marshaling + syscall-channel interposition), and "Linux"
+// (monolithic baseline: the same operation as a direct function call with
+// no IPC hop). A blocked interposed null call is also measured (it returns
+// earlier than a completed call).
+#include <benchmark/benchmark.h>
+
+#include "core/nexus.h"
+#include "kernel/kernel.h"
+#include "tpm/tpm.h"
+#include "util/cycles.h"
+
+namespace {
+
+using nexus::Bytes;
+using nexus::ToBytes;
+using nexus::kernel::IpcMessage;
+using nexus::kernel::Syscall;
+
+struct Harness {
+  Harness() : tpm_rng(42), tpm(tpm_rng), nexus(&tpm) {
+    client = *nexus.CreateProcess("bench-client", ToBytes("bench-client"));
+    nexus.fs().CreateFile("/bench/file", Bytes(4096, 'x'));
+    open_fd = nexus.kernel()
+                  .Invoke(client, Syscall::kOpen, IpcMessage{"", {"/bench/file"}, {}})
+                  .value;
+    nexus.kernel().scheduler().AddClient(client, 1);
+  }
+
+  nexus::Rng tpm_rng;
+  nexus::tpm::Tpm tpm;
+  nexus::core::Nexus nexus;
+  nexus::kernel::ProcessId client = 0;
+  int64_t open_fd = 0;
+};
+
+Harness& H() {
+  static Harness harness;
+  return harness;
+}
+
+// Blocks every syscall: measures the early-return path ("null (block)").
+class BlockAll : public nexus::kernel::Interceptor {
+ public:
+  nexus::kernel::InterposeVerdict OnCall(const nexus::kernel::IpcContext&,
+                                         IpcMessage&) override {
+    return nexus::kernel::InterposeVerdict::kDeny;
+  }
+};
+
+void RunSyscall(benchmark::State& state, Syscall call, bool interposition,
+                std::vector<std::string> args = {}) {
+  Harness& h = H();
+  h.nexus.kernel().set_interposition_enabled(interposition);
+  IpcMessage msg{"", std::move(args), {}};
+  uint64_t cycles = 0;
+  uint64_t calls = 0;
+  for (auto _ : state) {
+    uint64_t start = nexus::ReadCycleCounter();
+    benchmark::DoNotOptimize(h.nexus.kernel().Invoke(h.client, call, msg));
+    cycles += nexus::ReadCycleCounter() - start;
+    ++calls;
+  }
+  h.nexus.kernel().set_interposition_enabled(true);
+  state.counters["cycles/call"] =
+      benchmark::Counter(static_cast<double>(cycles) / static_cast<double>(calls));
+}
+
+// "Linux": monolithic path — the equivalent operation as one direct call.
+void RunDirect(benchmark::State& state, const std::function<void()>& op) {
+  uint64_t cycles = 0;
+  uint64_t calls = 0;
+  for (auto _ : state) {
+    uint64_t start = nexus::ReadCycleCounter();
+    op();
+    cycles += nexus::ReadCycleCounter() - start;
+    ++calls;
+  }
+  state.counters["cycles/call"] =
+      benchmark::Counter(static_cast<double>(cycles) / static_cast<double>(calls));
+}
+
+void BM_null_bare(benchmark::State& s) { RunSyscall(s, Syscall::kNull, false); }
+void BM_null_nexus(benchmark::State& s) { RunSyscall(s, Syscall::kNull, true); }
+void BM_null_blocked(benchmark::State& s) {
+  Harness& h = H();
+  BlockAll blocker;
+  auto port = *h.nexus.kernel().SyscallPort(h.client);
+  uint64_t token = *h.nexus.kernel().Interpose(nexus::kernel::kKernelProcessId, port, &blocker);
+  RunSyscall(s, Syscall::kNull, true);
+  h.nexus.kernel().RemoveInterposition(token);
+}
+void BM_getppid_bare(benchmark::State& s) { RunSyscall(s, Syscall::kGetPpid, false); }
+void BM_getppid_nexus(benchmark::State& s) { RunSyscall(s, Syscall::kGetPpid, true); }
+void BM_getppid_linux(benchmark::State& s) {
+  Harness& h = H();
+  RunDirect(s, [&h] {
+    benchmark::DoNotOptimize(h.nexus.kernel().GetParent(h.client));
+  });
+}
+void BM_gettimeofday_bare(benchmark::State& s) { RunSyscall(s, Syscall::kGetTimeOfDay, false); }
+void BM_gettimeofday_nexus(benchmark::State& s) { RunSyscall(s, Syscall::kGetTimeOfDay, true); }
+void BM_gettimeofday_linux(benchmark::State& s) {
+  Harness& h = H();
+  RunDirect(s, [&h] { benchmark::DoNotOptimize(h.nexus.kernel().NowMicros()); });
+}
+void BM_yield_bare(benchmark::State& s) { RunSyscall(s, Syscall::kYield, false); }
+void BM_yield_nexus(benchmark::State& s) { RunSyscall(s, Syscall::kYield, true); }
+void BM_yield_linux(benchmark::State& s) {
+  Harness& h = H();
+  RunDirect(s, [&h] { benchmark::DoNotOptimize(h.nexus.kernel().scheduler().Tick()); });
+}
+void BM_open_nexus(benchmark::State& s) {
+  // open+close so fd tables do not grow unboundedly; reported as one op.
+  Harness& h = H();
+  h.nexus.kernel().set_interposition_enabled(true);
+  uint64_t cycles = 0;
+  uint64_t calls = 0;
+  for (auto _ : s) {
+    uint64_t start = nexus::ReadCycleCounter();
+    auto reply =
+        h.nexus.kernel().Invoke(h.client, Syscall::kOpen, IpcMessage{"", {"/bench/file"}, {}});
+    cycles += nexus::ReadCycleCounter() - start;
+    ++calls;
+    h.nexus.kernel().Invoke(h.client, Syscall::kClose,
+                            IpcMessage{"", {std::to_string(reply.value)}, {}});
+  }
+  s.counters["cycles/call"] =
+      benchmark::Counter(static_cast<double>(cycles) / static_cast<double>(calls));
+}
+void BM_close_nexus(benchmark::State& s) {
+  Harness& h = H();
+  uint64_t cycles = 0;
+  uint64_t calls = 0;
+  for (auto _ : s) {
+    auto reply =
+        h.nexus.kernel().Invoke(h.client, Syscall::kOpen, IpcMessage{"", {"/bench/file"}, {}});
+    uint64_t start = nexus::ReadCycleCounter();
+    h.nexus.kernel().Invoke(h.client, Syscall::kClose,
+                            IpcMessage{"", {std::to_string(reply.value)}, {}});
+    cycles += nexus::ReadCycleCounter() - start;
+    ++calls;
+  }
+  s.counters["cycles/call"] =
+      benchmark::Counter(static_cast<double>(cycles) / static_cast<double>(calls));
+}
+void BM_read_nexus(benchmark::State& s) {
+  RunSyscall(s, Syscall::kRead, true, {std::to_string(H().open_fd), "0", "1024"});
+}
+void BM_write_nexus(benchmark::State& s) {
+  Harness& h = H();
+  IpcMessage msg{"", {std::to_string(h.open_fd), "0"}, Bytes(1024, 'y')};
+  uint64_t cycles = 0;
+  uint64_t calls = 0;
+  for (auto _ : s) {
+    uint64_t start = nexus::ReadCycleCounter();
+    benchmark::DoNotOptimize(h.nexus.kernel().Invoke(h.client, Syscall::kWrite, msg));
+    cycles += nexus::ReadCycleCounter() - start;
+    ++calls;
+  }
+  s.counters["cycles/call"] =
+      benchmark::Counter(static_cast<double>(cycles) / static_cast<double>(calls));
+}
+
+BENCHMARK(BM_null_bare);
+BENCHMARK(BM_null_nexus);
+BENCHMARK(BM_null_blocked);
+BENCHMARK(BM_getppid_bare);
+BENCHMARK(BM_getppid_nexus);
+BENCHMARK(BM_getppid_linux);
+BENCHMARK(BM_gettimeofday_bare);
+BENCHMARK(BM_gettimeofday_nexus);
+BENCHMARK(BM_gettimeofday_linux);
+BENCHMARK(BM_yield_bare);
+BENCHMARK(BM_yield_nexus);
+BENCHMARK(BM_yield_linux);
+BENCHMARK(BM_open_nexus);
+BENCHMARK(BM_close_nexus);
+BENCHMARK(BM_read_nexus);
+BENCHMARK(BM_write_nexus);
+
+}  // namespace
+
+BENCHMARK_MAIN();

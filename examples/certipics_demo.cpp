@@ -1,0 +1,68 @@
+// CertiPics + TruDocs (§4): certified document handling.
+#include <cstdio>
+
+#include "apps/certipics.h"
+#include "apps/trudocs.h"
+#include "tpm/tpm.h"
+
+using namespace nexus;
+
+int main() {
+  Rng tpm_rng(13);
+  tpm::Tpm hardware_tpm(tpm_rng);
+  core::Nexus nexus(&hardware_tpm);
+
+  // --- CertiPics: a news photo is edited; the log certifies what was done.
+  auto editor = *nexus.CreateProcess("certipics", ToBytes("certipics"));
+  apps::Image photo = apps::MakeImage(64, 64, 0);
+  for (size_t i = 0; i < photo.pixels.size(); ++i) {
+    photo.pixels[i] = static_cast<uint8_t>(i % 251);
+  }
+
+  apps::CertiPics session(&nexus, editor, photo);
+  session.Crop(8, 8, 48, 48);
+  session.Resize(32, 32);
+  session.ColorTransform(+15);
+  std::printf("legitimate edit log (%zu entries): %s\n", session.log().size(),
+              apps::CertiPics::VerifyLog(photo, session.current(), session.log(), {"clone"})
+                  .ToString()
+                  .c_str());
+
+  apps::CertiPics doctored(&nexus, editor, photo);
+  doctored.ColorTransform(+5);
+  doctored.Clone(0, 0, 32, 32, 16, 16);  // Duplicating image content.
+  std::printf("log containing a clone, news policy: %s\n",
+              apps::CertiPics::VerifyLog(photo, doctored.current(), doctored.log(), {"clone"})
+                  .ToString()
+                  .c_str());
+  auto truncated = doctored.log();
+  truncated.pop_back();  // Hide the clone.
+  std::printf("log with the clone entry removed:    %s\n",
+              apps::CertiPics::VerifyLog(photo, doctored.current(), truncated, {"clone"})
+                  .ToString()
+                  .c_str());
+
+  // --- TruDocs: excerpts must not distort the source.
+  std::string report = "The committee found no evidence of wrongdoing by the agency.";
+  apps::ExcerptPolicy policy;
+  auto td = *nexus.CreateProcess("trudocs", ToBytes("trudocs"));
+  apps::TruDocs trudocs(&nexus, td);
+
+  struct TestCase {
+    const char* excerpt;
+  } cases[] = {
+      {"The committee found no evidence of wrongdoing"},
+      {"The committee ... wrongdoing by the agency."},
+      {"found evidence of wrongdoing"},  // "no" elided: distortion.
+      {"committee found [in 2011] no evidence"},
+  };
+  for (const TestCase& test_case : cases) {
+    Status verdict = apps::TruDocs::CheckExcerpt(report, test_case.excerpt, policy);
+    std::printf("excerpt \"%s\": %s\n", test_case.excerpt, verdict.ToString().c_str());
+  }
+  auto certified =
+      trudocs.CertifyExcerpt(report, "The committee ... wrongdoing by the agency.", policy);
+  std::printf("certificate label issued: %s\n",
+              certified.ok() ? "yes (excerptSpeaksFor)" : certified.status().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fauxbook (§4.1): the privacy-preserving social network, with the three
+// guarantee classes and the attacks that must fail.
+#include <cstdio>
+
+#include "apps/fauxbook.h"
+#include "tpm/tpm.h"
+
+using namespace nexus;
+
+int main() {
+  Rng tpm_rng(7);
+  tpm::Tpm hardware_tpm(tpm_rng);
+  core::Nexus nexus(&hardware_tpm);
+  apps::Fauxbook fauxbook(&nexus);
+
+  // --- Users and the social graph (edges are user-initiated, §4.1).
+  for (const char* user : {"alice", "bob", "eve"}) {
+    fauxbook.AddUser(user);
+  }
+  fauxbook.AddFriend("alice", "bob");  // Alice lets Bob read her posts.
+  fauxbook.PostStatus("alice", "hiking this weekend!");
+  fauxbook.PostStatus("bob", "new coffee place downtown");
+  fauxbook.PostStatus("eve", "anyone want to be my friend?");
+
+  auto print_feed = [&](const char* viewer) {
+    auto feed = fauxbook.ReadFeed(viewer);
+    std::printf("%s's feed:\n", viewer);
+    for (const std::string& item : *feed) {
+      std::printf("  - %s\n", item.c_str());
+    }
+  };
+  print_feed("bob");   // Sees his own + Alice's.
+  print_feed("alice"); // Sees only her own (Bob never authorized her).
+  print_feed("eve");   // Sees only her own.
+
+  // --- Guarantee to users: even developers cannot inspect the data.
+  auto peeked = fauxbook.DeveloperPeek("alice");
+  std::printf("developer peeks at alice's post: %s\n", peeked.status().ToString().c_str());
+  auto forged = fauxbook.DeveloperForgeFriend("alice", "eve");
+  std::printf("developer forges friend edge:    %s\n", forged.ToString().c_str());
+  auto exfil = fauxbook.TenantExfiltrate("alice", "eve");
+  std::printf("tenant exfiltrates to eve:       %s\n", exfil.ToString().c_str());
+
+  // --- Guarantee to the provider: tenant code is sandboxed.
+  apps::TenantModule good{"feedgen", {"fauxbook_api"}, {"render()", "getattr(post)"}};
+  apps::TenantModule evil{"backdoor", {"os"}, {"__import__(socket)"}};
+  std::printf("load whitelisted tenant module:  %s\n",
+              fauxbook.LoadTenantCode(good).ToString().c_str());
+  std::printf("load module importing 'os':      %s\n",
+              fauxbook.LoadTenantCode(evil).ToString().c_str());
+
+  // --- Guarantee to developers: attested CPU shares from live scheduler
+  //     state exported via introspection.
+  fauxbook.SetTenantWeight("fauxbook", 30);
+  auto attested = fauxbook.AttestCpuShare("fauxbook", 50);
+  std::printf("attest 50%% CPU share (alone):    %s\n",
+              attested.ok() ? "OK (label issued)" : attested.status().ToString().c_str());
+  auto other = *nexus.CreateProcess("other-tenant", ToBytes("other"));
+  nexus.kernel().scheduler().AddClient(other, 90);
+  auto crowded = fauxbook.AttestCpuShare("fauxbook", 50);
+  std::printf("attest 50%% after competitor:     %s\n", crowded.status().ToString().c_str());
+
+  // --- The DDRM-constrained NIC driver cannot read packet contents.
+  kernel::IpcContext context;
+  kernel::IpcMessage read_page{"read_page", {"0x4000"}, {}};
+  std::printf("driver reads page contents:      %s\n",
+              fauxbook.driver_monitor().OnCall(context, read_page) ==
+                      kernel::InterposeVerdict::kDeny
+                  ? "DENIED by reference monitor"
+                  : "allowed (!)");
+  return 0;
+}

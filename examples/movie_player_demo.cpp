@@ -1,0 +1,42 @@
+// The movie player (§4): platform lock-down vs logical attestation.
+#include <cstdio>
+
+#include "apps/movie_player.h"
+#include "tpm/tpm.h"
+
+using namespace nexus;
+
+int main() {
+  Rng tpm_rng(11);
+  tpm::Tpm hardware_tpm(tpm_rng);
+  core::Nexus nexus(&hardware_tpm);
+  Bytes movie = ToBytes("4K-MOVIE-STREAM");
+
+  // --- Axiomatic world: a binary whitelist.
+  apps::ContentServer locked(&nexus, apps::ContentServer::Mode::kHashWhitelist, movie);
+  Bytes blessed = ToBytes("vendor-player-v1.0");
+  locked.WhitelistPlayer(blessed);
+
+  auto vendor_player = *nexus.CreateProcess("player", blessed);
+  auto my_player = *nexus.CreateProcess("myplayer", ToBytes("my-gpl-player"));
+
+  std::printf("== hash-whitelist mode ==\n");
+  std::printf("vendor player: %s\n", locked.RequestStream(vendor_player).status().ToString().c_str());
+  std::printf("user's player: %s   <- lock-down: safe but unlisted\n",
+              locked.RequestStream(my_player).status().ToString().c_str());
+
+  // --- Logical attestation: any player that provably cannot leak.
+  apps::ContentServer open_mode(&nexus, apps::ContentServer::Mode::kLogicalAttestation, movie);
+  std::printf("== logical attestation mode ==\n");
+  auto granted = open_mode.RequestStream(my_player);
+  std::printf("user's player: %s   <- hash never divulged\n",
+              granted.status().ToString().c_str());
+
+  // A player holding a channel to the network is refused, whatever its hash.
+  auto leaky = *nexus.CreateProcess("leaky-player", blessed);  // Even the blessed binary!
+  auto netdrv = *nexus.CreateProcess("netdriver", ToBytes("nic"));
+  auto port = *nexus.CreatePort(netdrv);
+  nexus.kernel().ConnectPort(leaky, port);
+  std::printf("leaky player : %s\n", open_mode.RequestStream(leaky).status().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Not-A-Bot (§4): TPM-backed human-presence attestation against spam.
+#include <cstdio>
+
+#include "apps/notabot.h"
+#include "tpm/tpm.h"
+
+using namespace nexus;
+
+int main() {
+  Rng tpm_rng(17);
+  tpm::Tpm hardware_tpm(tpm_rng);
+  core::Nexus nexus(&hardware_tpm);
+
+  auto kbd = *nexus.CreateProcess("keyboard", ToBytes("kbd-driver"));
+  apps::KeyboardDriver driver(&nexus, kbd);
+
+  // A human types a mail (the driver counts physical keypresses).
+  for (int i = 0; i < 240; ++i) {
+    driver.OnKeypress("alice-session");
+  }
+  // A bot sends mail without touching the keyboard.
+  driver.OnKeypress("bot-session");
+
+  auto human_cert = *driver.AttestSession("alice-session");
+  auto bot_cert = *driver.AttestSession("bot-session");
+  std::printf("human cert statement: %s\n", human_cert.statement->ToString().c_str());
+
+  apps::SpamClassifier classifier(hardware_tpm.endorsement_public_key(),
+                                  /*min_keypresses=*/50);
+  apps::Email human_mail{"alice@example.com", "lunch tomorrow? FREE table at noon",
+                         human_cert.Serialize()};
+  apps::Email bot_mail{"bot@botnet.example", "click here for FREE stuff",
+                       bot_cert.Serialize()};
+  apps::Email forged_mail{"bot@botnet.example", "hello friend", ToBytes("garbage-cert")};
+  apps::Email plain_mail{"bob@example.com", "see you at the meeting", {}};
+
+  std::printf("human mail (spammy words, valid cert): %s\n",
+              classifier.IsSpam(human_mail) ? "SPAM" : "ham");
+  std::printf("bot mail (1 keypress):                 %s\n",
+              classifier.IsSpam(bot_mail) ? "SPAM" : "ham");
+  std::printf("forged certificate:                    %s\n",
+              classifier.IsSpam(forged_mail) ? "SPAM" : "ham");
+  std::printf("plain mail, content heuristic only:    %s\n",
+              classifier.IsSpam(plain_mail) ? "SPAM" : "ham");
+  return 0;
+}

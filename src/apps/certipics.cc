@@ -1,0 +1,161 @@
+#include "apps/certipics.h"
+
+#include <algorithm>
+
+namespace nexus::apps {
+
+namespace {
+
+Bytes ChainHash(const Bytes& prev, const TransformEntry& entry) {
+  Bytes material = prev;
+  Append(material, ToBytes(entry.operation));
+  for (int64_t p : entry.parameters) {
+    AppendU64(material, static_cast<uint64_t>(p));
+  }
+  Append(material, entry.before_digest);
+  Append(material, entry.after_digest);
+  return crypto::Sha256Bytes(material);
+}
+
+}  // namespace
+
+Bytes Image::Digest() const {
+  Bytes material;
+  AppendU64(material, width);
+  AppendU64(material, height);
+  Append(material, pixels);
+  return crypto::Sha256Bytes(material);
+}
+
+Image MakeImage(size_t width, size_t height, uint8_t fill) {
+  Image img;
+  img.width = width;
+  img.height = height;
+  img.pixels.assign(width * height, fill);
+  return img;
+}
+
+CertiPics::CertiPics(core::Nexus* nexus, kernel::ProcessId self, Image source)
+    : nexus_(nexus), self_(self), source_(source), current_(std::move(source)) {}
+
+void CertiPics::Record(const std::string& operation, std::vector<int64_t> parameters,
+                       const Bytes& before, const Bytes& after) {
+  TransformEntry entry;
+  entry.operation = operation;
+  entry.parameters = std::move(parameters);
+  entry.before_digest = before;
+  entry.after_digest = after;
+  Bytes prev = log_.empty() ? source_.Digest() : log_.back().chain;
+  entry.chain = ChainHash(prev, entry);
+  log_.push_back(std::move(entry));
+}
+
+Status CertiPics::Crop(size_t x, size_t y, size_t w, size_t h) {
+  if (x + w > current_.width || y + h > current_.height) {
+    return OutOfRange("crop rectangle outside image");
+  }
+  Bytes before = current_.Digest();
+  Image out = MakeImage(w, h, 0);
+  for (size_t row = 0; row < h; ++row) {
+    std::copy_n(current_.pixels.begin() +
+                    static_cast<ptrdiff_t>((y + row) * current_.width + x),
+                w, out.pixels.begin() + static_cast<ptrdiff_t>(row * w));
+  }
+  current_ = std::move(out);
+  Record("crop",
+         {static_cast<int64_t>(x), static_cast<int64_t>(y), static_cast<int64_t>(w),
+          static_cast<int64_t>(h)},
+         before, current_.Digest());
+  return OkStatus();
+}
+
+Status CertiPics::Resize(size_t w, size_t h) {
+  if (w == 0 || h == 0) {
+    return InvalidArgument("degenerate size");
+  }
+  Bytes before = current_.Digest();
+  Image out = MakeImage(w, h, 0);
+  for (size_t row = 0; row < h; ++row) {
+    for (size_t col = 0; col < w; ++col) {
+      size_t src_row = row * current_.height / h;
+      size_t src_col = col * current_.width / w;
+      out.pixels[row * w + col] = current_.pixels[src_row * current_.width + src_col];
+    }
+  }
+  current_ = std::move(out);
+  Record("resize", {static_cast<int64_t>(w), static_cast<int64_t>(h)}, before,
+         current_.Digest());
+  return OkStatus();
+}
+
+Status CertiPics::ColorTransform(int delta) {
+  Bytes before = current_.Digest();
+  for (uint8_t& p : current_.pixels) {
+    int v = static_cast<int>(p) + delta;
+    p = static_cast<uint8_t>(std::clamp(v, 0, 255));
+  }
+  Record("color", {delta}, before, current_.Digest());
+  return OkStatus();
+}
+
+Status CertiPics::Clone(size_t src_x, size_t src_y, size_t dst_x, size_t dst_y, size_t w,
+                        size_t h) {
+  if (src_x + w > current_.width || src_y + h > current_.height ||
+      dst_x + w > current_.width || dst_y + h > current_.height) {
+    return OutOfRange("clone region outside image");
+  }
+  Bytes before = current_.Digest();
+  Bytes region(w * h);
+  for (size_t row = 0; row < h; ++row) {
+    std::copy_n(current_.pixels.begin() +
+                    static_cast<ptrdiff_t>((src_y + row) * current_.width + src_x),
+                w, region.begin() + static_cast<ptrdiff_t>(row * w));
+  }
+  for (size_t row = 0; row < h; ++row) {
+    std::copy_n(region.begin() + static_cast<ptrdiff_t>(row * w), w,
+                current_.pixels.begin() +
+                    static_cast<ptrdiff_t>((dst_y + row) * current_.width + dst_x));
+  }
+  Record("clone",
+         {static_cast<int64_t>(src_x), static_cast<int64_t>(src_y),
+          static_cast<int64_t>(dst_x), static_cast<int64_t>(dst_y), static_cast<int64_t>(w),
+          static_cast<int64_t>(h)},
+         before, current_.Digest());
+  return OkStatus();
+}
+
+Result<core::LabelHandle> CertiPics::AttestLog() {
+  Bytes head = log_.empty() ? source_.Digest() : log_.back().chain;
+  return nexus_->engine().SayFormula(
+      self_, nal::FormulaNode::Pred("editLog", {nal::Term::String(HexEncode(current_.Digest())),
+                                                nal::Term::String(HexEncode(head))}));
+}
+
+Status CertiPics::VerifyLog(const Image& source, const Image& final_image,
+                            const std::vector<TransformEntry>& log,
+                            const std::set<std::string>& disallowed_operations) {
+  Bytes prev_chain = source.Digest();
+  Bytes prev_digest = source.Digest();
+  for (size_t i = 0; i < log.size(); ++i) {
+    const TransformEntry& entry = log[i];
+    if (entry.before_digest != prev_digest) {
+      return Corruption("log entry " + std::to_string(i) +
+                        " does not chain from the previous image state");
+    }
+    if (entry.chain != ChainHash(prev_chain, entry)) {
+      return Corruption("log entry " + std::to_string(i) + " has a forged chain hash");
+    }
+    if (disallowed_operations.contains(entry.operation)) {
+      return PermissionDenied("disallowed transformation '" + entry.operation +
+                              "' at log entry " + std::to_string(i));
+    }
+    prev_chain = entry.chain;
+    prev_digest = entry.after_digest;
+  }
+  if (prev_digest != final_image.Digest()) {
+    return Corruption("final image does not match the log's last state");
+  }
+  return OkStatus();
+}
+
+}  // namespace nexus::apps

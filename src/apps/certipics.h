@@ -1,0 +1,75 @@
+// CertiPics (§4): certified image editing.
+//
+// Every transformation applied to an image is appended to a hash-chained,
+// unforgeable log. Given source image, final image, and log, an analyzer
+// can (a) verify the chain (each entry commits to the image state before
+// and after), (b) re-execute the pipeline to confirm the final image, and
+// (c) check the applied operations against a publication policy (e.g.
+// cloning is disallowed for news photos).
+#ifndef NEXUS_APPS_CERTIPICS_H_
+#define NEXUS_APPS_CERTIPICS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/nexus.h"
+#include "crypto/sha256.h"
+
+namespace nexus::apps {
+
+struct Image {
+  size_t width = 0;
+  size_t height = 0;
+  Bytes pixels;  // Grayscale, width*height bytes.
+
+  Bytes Digest() const;
+};
+
+Image MakeImage(size_t width, size_t height, uint8_t fill);
+
+struct TransformEntry {
+  std::string operation;            // "crop", "resize", "color", "clone"
+  std::vector<int64_t> parameters;
+  Bytes before_digest;
+  Bytes after_digest;
+  Bytes chain;  // SHA-256(prev_chain || op || params || before || after).
+};
+
+class CertiPics {
+ public:
+  CertiPics(core::Nexus* nexus, kernel::ProcessId self, Image source);
+
+  // Transformations (each appends a log entry).
+  Status Crop(size_t x, size_t y, size_t w, size_t h);
+  Status Resize(size_t w, size_t h);          // Nearest-neighbour.
+  Status ColorTransform(int delta);           // Brightness shift, clamped.
+  Status Clone(size_t src_x, size_t src_y, size_t dst_x, size_t dst_y, size_t w, size_t h);
+
+  const Image& current() const { return current_; }
+  const Image& source() const { return source_; }
+  const std::vector<TransformEntry>& log() const { return log_; }
+
+  // Issues <self> says editLog(<final digest hex>, <chain head hex>).
+  Result<core::LabelHandle> AttestLog();
+
+  // Analyzer side: verifies chain integrity and linkage from source digest
+  // to final digest, then checks no disallowed operation appears.
+  static Status VerifyLog(const Image& source, const Image& final_image,
+                          const std::vector<TransformEntry>& log,
+                          const std::set<std::string>& disallowed_operations);
+
+ private:
+  void Record(const std::string& operation, std::vector<int64_t> parameters,
+              const Bytes& before, const Bytes& after);
+
+  core::Nexus* nexus_;
+  kernel::ProcessId self_;
+  Image source_;
+  Image current_;
+  std::vector<TransformEntry> log_;
+};
+
+}  // namespace nexus::apps
+
+#endif  // NEXUS_APPS_CERTIPICS_H_

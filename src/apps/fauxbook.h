@@ -1,0 +1,178 @@
+// Fauxbook (§4.1): the privacy-preserving social network.
+//
+// A three-tier pipeline — user-level NIC driver under a DDRM, a web server
+// that relinquishes all but IPC-related system calls after initialization,
+// and a web framework hosting untrusted tenant (developer) code — built so
+// that three guarantee classes hold simultaneously:
+//   to the cloud provider: tenant code stays inside a Python-subset sandbox
+//     (analysis + reflection rewriting: analytic + synthetic trust);
+//   to developers: contracted CPU shares are attested from live scheduler
+//     state via introspection;
+//   to users: posts flow only along authorized friend edges, and even the
+//     developers' own application code manipulates user data exclusively
+//     through content-oblivious cobufs.
+#ifndef NEXUS_APPS_FAUXBOOK_H_
+#define NEXUS_APPS_FAUXBOOK_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/nexus.h"
+#include "services/cobuf.h"
+#include "services/ddrm.h"
+
+namespace nexus::apps {
+
+// ---------------------------------------------------------------- Sandbox
+
+// A model of the tenant-code sandbox: "source" is a list of import
+// directives and call sites. The loader's labeling functions (1) verify
+// only whitelisted imports are used (analysis) and (2) rewrite
+// reflection-related calls so they cannot reach the import machinery
+// (synthesis).
+struct TenantModule {
+  std::string name;
+  std::vector<std::string> imports;
+  std::vector<std::string> calls;
+};
+
+class PythonSandbox {
+ public:
+  explicit PythonSandbox(std::set<std::string> import_whitelist)
+      : import_whitelist_(std::move(import_whitelist)) {}
+
+  // Analysis pass: rejects non-whitelisted imports.
+  Status CheckImports(const TenantModule& module) const;
+  // Synthesis pass: rewrites reflection calls (getattr/eval/__import__)
+  // into their constrained "safe_" forms; returns the transformed module.
+  TenantModule RewriteReflection(const TenantModule& module) const;
+  // Full load: analyze, rewrite, and (on success) deposit the labels
+  //   <loader> says isLegalPython(<module>)
+  //   <loader> says importsConstrained(<module>)
+  //   <loader> says reflectionRewritten(<module>)
+  Result<TenantModule> Load(const TenantModule& module, core::Engine* engine,
+                            kernel::ProcessId loader) const;
+
+  static bool IsReflectionCall(const std::string& call);
+
+ private:
+  std::set<std::string> import_whitelist_;
+};
+
+// ----------------------------------------------------------------- Users
+
+// Users hold no cryptographic keys (§4.1); their principals are
+// subprincipals of the authenticating web server: name.webserver.user.alice.
+nal::Principal UserPrincipal(const nal::Principal& webserver, const std::string& user);
+
+// ------------------------------------------------------- Tenant data API
+
+// The only interface Fauxbook application (developer) code gets to user
+// data. Note what is absent: any way to read bytes.
+class TenantDataApi {
+ public:
+  explicit TenantDataApi(services::CobufManager* cobufs) : cobufs_(cobufs) {}
+
+  Result<services::CobufId> Slice(services::CobufId id, size_t from, size_t len) {
+    return cobufs_->Slice(id, from, len);
+  }
+  Status Append(services::CobufId dst, services::CobufId src) {
+    return cobufs_->Append(dst, src);
+  }
+  Result<services::CobufId> CreateLike(services::CobufId like) {
+    return cobufs_->CreateLike(like);
+  }
+  Result<size_t> Length(services::CobufId id) { return cobufs_->Length(id); }
+
+ private:
+  services::CobufManager* cobufs_;
+};
+
+// -------------------------------------------------------------- Fauxbook
+
+class Fauxbook {
+ public:
+  struct Config {
+    std::set<std::string> import_whitelist = {"fauxbook_api", "string_utils"};
+    std::vector<std::string> forbidden_driver_targets = {"filesystem"};
+  };
+
+  explicit Fauxbook(core::Nexus* nexus);
+  Fauxbook(core::Nexus* nexus, const Config& config);
+
+  // ------------------------------------------------------------- Users
+  Status AddUser(const std::string& name);
+  // `user` authorizes `friend_name` to see `user`'s posts (directed edge,
+  // user-initiated through the authentication library — tenant code cannot
+  // call this).
+  Status AddFriend(const std::string& user, const std::string& friend_name);
+  bool AreFriends(const std::string& owner, const std::string& reader) const;
+
+  // ------------------------------------------------------------- Posts
+  // A post enters through the web tier with an authenticated session: the
+  // web server tags the data with the session owner before tenant code
+  // ever sees it.
+  Status PostStatus(const std::string& user, const std::string& text);
+  // Feed assembly runs *tenant* code over cobufs; extraction back to bytes
+  // happens in the web server under the viewer's session principal.
+  Result<std::vector<std::string>> ReadFeed(const std::string& viewer);
+
+  // ------------------------------------- The attacks that must not work
+  // Developer tries to read a user's post contents directly.
+  Result<Bytes> DeveloperPeek(const std::string& user);
+  // Developer tries to forge a friend edge to exfiltrate data.
+  Status DeveloperForgeFriend(const std::string& user, const std::string& impostor);
+  // Tenant code tries to collate a non-friend's post into its own buffer.
+  Status TenantExfiltrate(const std::string& victim, const std::string& attacker);
+
+  // -------------------------------------------------- Resource attestation
+  Status SetTenantWeight(const std::string& tenant, uint32_t weight);
+  // Label: scheduler state shows `tenant` holds >= `min_percent`% of total
+  // weight. Fails (refuses to attest) otherwise.
+  Result<core::LabelHandle> AttestCpuShare(const std::string& tenant, int min_percent);
+
+  // ------------------------------------------------------------ Serving
+  // The benchmark pipelines (Fig. 8): static file service and dynamic
+  // (framework + cobuf) page generation.
+  Result<Bytes> ServeStatic(const std::string& path);
+  Result<Bytes> ServeDynamic(const std::string& viewer);
+
+  // Sandbox + attestation.
+  Status LoadTenantCode(const TenantModule& module);
+  PythonSandbox& sandbox() { return sandbox_; }
+
+  kernel::ProcessId webserver_pid() const { return webserver_; }
+  kernel::ProcessId driver_pid() const { return driver_; }
+  kernel::ProcessId framework_pid() const { return framework_; }
+  services::DeviceDriverMonitor& driver_monitor() { return *driver_monitor_; }
+  services::CobufManager& cobufs() { return *cobufs_; }
+
+ private:
+  struct User {
+    nal::Principal principal;
+    std::set<std::string> friends;  // Readers this user authorized.
+    std::vector<services::CobufId> posts;
+  };
+
+  core::Nexus* nexus_;
+  Config config_;
+  PythonSandbox sandbox_;
+
+  kernel::ProcessId driver_ = 0;
+  kernel::ProcessId webserver_ = 0;
+  kernel::ProcessId framework_ = 0;
+  kernel::ProcessId tenant_pid_ = 0;
+  kernel::PortId driver_port_ = 0;
+  kernel::PortId webserver_port_ = 0;
+  std::unique_ptr<services::DeviceDriverMonitor> driver_monitor_;
+  std::unique_ptr<services::CobufManager> cobufs_;
+  std::map<std::string, User> users_;
+  std::map<std::string, uint32_t> tenant_weights_;
+};
+
+}  // namespace nexus::apps
+
+#endif  // NEXUS_APPS_FAUXBOOK_H_

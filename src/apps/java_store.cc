@@ -1,0 +1,116 @@
+#include "apps/java_store.h"
+
+#include "crypto/sha256.h"
+
+namespace nexus::apps {
+
+Bytes ObjectStoreImage::Serialize() const {
+  Bytes out;
+  AppendU32(out, static_cast<uint32_t>(objects.size()));
+  for (const StoredObject& obj : objects) {
+    AppendU32(out, static_cast<uint32_t>(obj.fields.size()));
+    for (size_t i = 0; i < obj.fields.size(); ++i) {
+      out.push_back(obj.field_tags[i]);
+      AppendU64(out, static_cast<uint64_t>(obj.fields[i]));
+    }
+  }
+  return out;
+}
+
+Result<ObjectStoreImage> ObjectStoreImage::Deserialize(ByteView data,
+                                                       bool validate_invariants) {
+  ByteReader reader(data);
+  Result<uint32_t> count = reader.ReadU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  ObjectStoreImage image;
+  for (uint32_t i = 0; i < *count; ++i) {
+    Result<uint32_t> fields = reader.ReadU32();
+    if (!fields.ok()) {
+      return fields.status();
+    }
+    StoredObject obj;
+    for (uint32_t f = 0; f < *fields; ++f) {
+      Result<uint8_t> tag = reader.ReadU8();
+      if (!tag.ok()) {
+        return tag.status();
+      }
+      Result<uint64_t> value = reader.ReadU64();
+      if (!value.ok()) {
+        return value.status();
+      }
+      obj.field_tags.push_back(*tag);
+      obj.fields.push_back(static_cast<int64_t>(*value));
+    }
+    if (validate_invariants) {
+      // The slow path: per-field type invariants, the work a typesafe VM
+      // skips when the producer was itself typesafe.
+      for (size_t f = 0; f < obj.fields.size(); ++f) {
+        uint8_t tag = obj.field_tags[f];
+        int64_t v = obj.fields[f];
+        bool ok = false;
+        switch (tag) {
+          case 0:  // boolean
+            ok = v == 0 || v == 1;
+            break;
+          case 1:  // byte
+            ok = v >= -128 && v <= 127;
+            break;
+          case 2:  // short
+            ok = v >= -32768 && v <= 32767;
+            break;
+          case 3:  // int
+            ok = v >= INT32_MIN && v <= INT32_MAX;
+            break;
+          case 4:  // long
+            ok = true;
+            break;
+          default:
+            ok = false;
+        }
+        if (!ok) {
+          return InvalidArgument("type invariant violated at object " + std::to_string(i) +
+                                 " field " + std::to_string(f));
+        }
+      }
+    }
+    image.objects.push_back(std::move(obj));
+  }
+  return image;
+}
+
+Result<Bytes> JavaObjectStore::Export(const ObjectStoreImage& image) {
+  Bytes data = image.Serialize();
+  Result<core::LabelHandle> label = nexus_->engine().SayFormula(
+      self_, nal::FormulaNode::Pred("producedByTypesafeVM",
+                                    {nal::Term::String(crypto::Sha256Hex(data))}));
+  if (!label.ok()) {
+    return label.status();
+  }
+  return data;
+}
+
+Result<ObjectStoreImage> JavaObjectStore::Import(ByteView data,
+                                                 const std::vector<nal::Formula>& credentials,
+                                                 bool* used_fast_path) {
+  std::string hash = crypto::Sha256Hex(data);
+  bool attested = false;
+  for (const nal::Formula& cred : credentials) {
+    if (cred->kind() == nal::FormulaKind::kSays &&
+        cred->child1()->kind() == nal::FormulaKind::kPred &&
+        cred->child1()->pred_name() == "producedByTypesafeVM" &&
+        cred->child1()->args().size() == 1 &&
+        cred->child1()->args()[0].kind() == nal::TermKind::kString &&
+        cred->child1()->args()[0].text() == hash) {
+      attested = true;
+      break;
+    }
+  }
+  if (used_fast_path != nullptr) {
+    *used_fast_path = attested;
+  }
+  return ObjectStoreImage::Deserialize(data, /*validate_invariants=*/!attested);
+}
+
+}  // namespace nexus::apps

@@ -1,0 +1,51 @@
+// The Java object store (§4): transitive integrity verification.
+//
+// Deserializing untrusted bytes into a typed runtime requires checking
+// every type invariant. If the serialized store was *produced* by another
+// typesafe runtime — and a label proves it — the expensive per-field checks
+// can be skipped. This module models both paths so the benchmark can show
+// the gap, and refuses the fast path without the label.
+#ifndef NEXUS_APPS_JAVA_STORE_H_
+#define NEXUS_APPS_JAVA_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/nexus.h"
+
+namespace nexus::apps {
+
+// A "typed object": field tags must match the declared schema.
+struct StoredObject {
+  std::vector<uint8_t> field_tags;  // Declared types, 0-4.
+  std::vector<int64_t> fields;
+};
+
+struct ObjectStoreImage {
+  std::vector<StoredObject> objects;
+  Bytes Serialize() const;
+  static Result<ObjectStoreImage> Deserialize(ByteView data, bool validate_invariants);
+};
+
+class JavaObjectStore {
+ public:
+  JavaObjectStore(core::Nexus* nexus, kernel::ProcessId self) : nexus_(nexus), self_(self) {}
+
+  // Serializes and labels the image: <self> says producedByTypesafeVM(hash).
+  Result<Bytes> Export(const ObjectStoreImage& image);
+
+  // Imports: if a matching producedByTypesafeVM label exists among
+  // `credentials`, skips invariant validation; otherwise validates every
+  // field (slow path).
+  Result<ObjectStoreImage> Import(ByteView data,
+                                  const std::vector<nal::Formula>& credentials,
+                                  bool* used_fast_path = nullptr);
+
+ private:
+  core::Nexus* nexus_;
+  kernel::ProcessId self_;
+};
+
+}  // namespace nexus::apps
+
+#endif  // NEXUS_APPS_JAVA_STORE_H_

@@ -1,0 +1,46 @@
+#include "apps/notabot.h"
+
+namespace nexus::apps {
+
+void KeyboardDriver::OnKeypress(const std::string& session) { ++counts_[session]; }
+
+uint64_t KeyboardDriver::Count(const std::string& session) const {
+  auto it = counts_.find(session);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+Result<core::Certificate> KeyboardDriver::AttestSession(const std::string& session) {
+  uint64_t count = Count(session);
+  Result<core::LabelHandle> label = nexus_->engine().SayFormula(
+      self_, nal::FormulaNode::Pred(
+                 "keypresses",
+                 {nal::Term::Symbol(session), nal::Term::Int(static_cast<int64_t>(count))}));
+  if (!label.ok()) {
+    return label.status();
+  }
+  return nexus_->ExternalizeLabel(self_, *label);
+}
+
+bool SpamClassifier::IsSpam(const Email& email) const {
+  if (!email.presence_cert.empty()) {
+    Result<core::Certificate> cert = core::Certificate::Deserialize(email.presence_cert);
+    if (cert.ok()) {
+      Result<nal::Formula> statement = core::VerifyCertificate(*cert, trusted_ek_);
+      if (statement.ok() && (*statement)->child1()->kind() == nal::FormulaKind::kPred &&
+          (*statement)->child1()->pred_name() == "keypresses" &&
+          (*statement)->child1()->args().size() == 2) {
+        int64_t count = (*statement)->child1()->args()[1].int_value();
+        if (count >= 0 && static_cast<uint64_t>(count) >= min_keypresses_) {
+          return false;  // Attested human presence.
+        }
+      }
+    }
+    // An invalid certificate is worse than none.
+    return true;
+  }
+  // Crude content heuristic for unattested mail.
+  return email.body.find("FREE") != std::string::npos ||
+         email.body.find("click here") != std::string::npos || email.body.size() < 3;
+}
+
+}  // namespace nexus::apps

@@ -1,0 +1,63 @@
+// Not-A-Bot (§4): human-presence attestation against spam.
+//
+// The keyboard driver counts physical keypresses per session and issues a
+// TPM-backed label attesting the count; mail carries the externalized
+// certificate, and the receiving spam classifier treats human-typed mail
+// preferentially. A bot can send mail, but it cannot mint keypress labels:
+// only the (DDRM-constrained) keyboard driver process can.
+#ifndef NEXUS_APPS_NOTABOT_H_
+#define NEXUS_APPS_NOTABOT_H_
+
+#include <map>
+#include <string>
+
+#include "core/nexus.h"
+
+namespace nexus::apps {
+
+class KeyboardDriver {
+ public:
+  KeyboardDriver(core::Nexus* nexus, kernel::ProcessId self) : nexus_(nexus), self_(self) {}
+
+  // A hardware keypress interrupt for a session (only the driver sees
+  // these; applications cannot call this path).
+  void OnKeypress(const std::string& session);
+  uint64_t Count(const std::string& session) const;
+
+  // Issues <driver> says keypresses(<session>, <count>) and externalizes it
+  // into a TPM-rooted certificate the mail can carry.
+  Result<core::Certificate> AttestSession(const std::string& session);
+
+ private:
+  core::Nexus* nexus_;
+  kernel::ProcessId self_;
+  std::map<std::string, uint64_t> counts_;
+};
+
+struct Email {
+  std::string from;
+  std::string body;
+  // Optional human-presence certificate (serialized).
+  Bytes presence_cert;
+};
+
+class SpamClassifier {
+ public:
+  // `trusted_ek` roots certificate verification; `min_keypresses` is the
+  // human-presence threshold.
+  SpamClassifier(crypto::RsaPublicKey trusted_ek, uint64_t min_keypresses)
+      : trusted_ek_(std::move(trusted_ek)), min_keypresses_(min_keypresses) {}
+
+  // Returns true if the mail is classified as spam. Mails with a valid
+  // presence certificate above threshold are ham; everything else falls
+  // back to a crude content heuristic.
+  bool IsSpam(const Email& email) const;
+
+ private:
+  crypto::RsaPublicKey trusted_ek_;
+  uint64_t min_keypresses_;
+};
+
+}  // namespace nexus::apps
+
+#endif  // NEXUS_APPS_NOTABOT_H_

@@ -1,0 +1,119 @@
+#include "apps/trudocs.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "crypto/sha256.h"
+
+namespace nexus::apps {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+}  // namespace
+
+std::vector<Segment> ParseExcerpt(const std::string& excerpt) {
+  std::vector<Segment> out;
+  size_t i = 0;
+  std::string fragment;
+  auto flush_fragment = [&] {
+    // Trim surrounding whitespace; empty fragments are dropped.
+    size_t begin = fragment.find_first_not_of(' ');
+    size_t end = fragment.find_last_not_of(' ');
+    if (begin != std::string::npos) {
+      out.push_back(Segment{SegmentKind::kFragment, fragment.substr(begin, end - begin + 1)});
+    }
+    fragment.clear();
+  };
+  while (i < excerpt.size()) {
+    if (excerpt.compare(i, 3, "...") == 0) {
+      flush_fragment();
+      out.push_back(Segment{SegmentKind::kEllipsis, "..."});
+      i += 3;
+    } else if (excerpt[i] == '[') {
+      flush_fragment();
+      size_t close = excerpt.find(']', i);
+      if (close == std::string::npos) {
+        // Unterminated bracket: treat the rest as editorial.
+        out.push_back(Segment{SegmentKind::kEditorial, excerpt.substr(i + 1)});
+        break;
+      }
+      out.push_back(Segment{SegmentKind::kEditorial, excerpt.substr(i + 1, close - i - 1)});
+      i = close + 1;
+    } else {
+      fragment.push_back(excerpt[i]);
+      ++i;
+    }
+  }
+  flush_fragment();
+  return out;
+}
+
+Status TruDocs::CheckExcerpt(const std::string& document, const std::string& excerpt,
+                             const ExcerptPolicy& policy) {
+  std::vector<Segment> segments = ParseExcerpt(excerpt);
+  std::string haystack = policy.allow_case_changes ? ToLower(document) : document;
+
+  size_t cursor = 0;
+  size_t fragments = 0;
+  size_t total_length = 0;
+  for (const Segment& segment : segments) {
+    switch (segment.kind) {
+      case SegmentKind::kEllipsis:
+        break;  // An elision just permits skipping ahead.
+      case SegmentKind::kEditorial:
+        if (!policy.allow_editorial_comments) {
+          return PermissionDenied("policy forbids editorial insertions: [" + segment.text +
+                                  "]");
+        }
+        break;
+      case SegmentKind::kFragment: {
+        ++fragments;
+        total_length += segment.text.size();
+        std::string needle =
+            policy.allow_case_changes ? ToLower(segment.text) : segment.text;
+        size_t found = haystack.find(needle, cursor);
+        if (found == std::string::npos) {
+          // Distinguish out-of-order reuse from absence for a better error.
+          if (haystack.find(needle) != std::string::npos) {
+            return PermissionDenied("fragment appears out of order: \"" + segment.text +
+                                    "\"");
+          }
+          return PermissionDenied("fragment not present in the source document: \"" +
+                                  segment.text + "\"");
+        }
+        cursor = found + needle.size();
+        break;
+      }
+    }
+  }
+  if (fragments == 0) {
+    return InvalidArgument("excerpt quotes nothing from the document");
+  }
+  if (fragments > policy.max_fragments) {
+    return PermissionDenied("excerpt exceeds the fragment count limit");
+  }
+  if (total_length > policy.max_total_length) {
+    return PermissionDenied("excerpt exceeds the total length limit");
+  }
+  return OkStatus();
+}
+
+Result<core::LabelHandle> TruDocs::CertifyExcerpt(const std::string& document,
+                                                  const std::string& excerpt,
+                                                  const ExcerptPolicy& policy) {
+  NEXUS_RETURN_IF_ERROR(CheckExcerpt(document, excerpt, policy));
+  return nexus_->engine().SayFormula(
+      self_,
+      nal::FormulaNode::Pred("excerptSpeaksFor",
+                             {nal::Term::String(crypto::Sha256Hex(ToBytes(excerpt))),
+                              nal::Term::String(crypto::Sha256Hex(ToBytes(document)))}));
+}
+
+}  // namespace nexus::apps

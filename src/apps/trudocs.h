@@ -1,0 +1,60 @@
+// TruDocs (§4): certified document excerpting.
+//
+// A display system that certifies an excerpt "speaks for" its source
+// document when the excerpt satisfies a use policy: fragments must appear
+// in the original in order; elisions are marked "..."; editorial insertions
+// appear in [square brackets]; type-case changes are permitted when the
+// policy says so; and the policy bounds the number and total length of
+// excerpted fragments.
+#ifndef NEXUS_APPS_TRUDOCS_H_
+#define NEXUS_APPS_TRUDOCS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/nexus.h"
+
+namespace nexus::apps {
+
+struct ExcerptPolicy {
+  bool allow_case_changes = true;
+  bool allow_editorial_comments = true;
+  size_t max_fragments = 16;
+  size_t max_total_length = 4096;  // Sum of fragment lengths.
+};
+
+// Excerpt segment types produced by parsing the displayed text.
+enum class SegmentKind : uint8_t { kFragment, kEllipsis, kEditorial };
+
+struct Segment {
+  SegmentKind kind;
+  std::string text;  // Fragment text or editorial comment.
+};
+
+// Parses an excerpt: "..." marks elision, [text] marks editorial comments,
+// everything else is quoted fragments.
+std::vector<Segment> ParseExcerpt(const std::string& excerpt);
+
+class TruDocs {
+ public:
+  TruDocs(core::Nexus* nexus, kernel::ProcessId self) : nexus_(nexus), self_(self) {}
+
+  // Checks the excerpt against the document under the policy. OK means the
+  // excerpt conveys content present in the original, in order.
+  static Status CheckExcerpt(const std::string& document, const std::string& excerpt,
+                             const ExcerptPolicy& policy);
+
+  // On success issues the label
+  //   <self> says excerptSpeaksFor("<sha256(excerpt)>", "<sha256(doc)>").
+  Result<core::LabelHandle> CertifyExcerpt(const std::string& document,
+                                           const std::string& excerpt,
+                                           const ExcerptPolicy& policy);
+
+ private:
+  core::Nexus* nexus_;
+  kernel::ProcessId self_;
+};
+
+}  // namespace nexus::apps
+
+#endif  // NEXUS_APPS_TRUDOCS_H_

@@ -1,0 +1,24 @@
+#include "core/authority.h"
+
+#include "nal/parser.h"
+
+namespace nexus::core {
+
+kernel::IpcReply AuthorityPortHandler::Handle(const kernel::IpcContext& context,
+                                              const kernel::IpcMessage& message) {
+  (void)context;
+  if (message.operation != "check" || message.args.empty()) {
+    return kernel::IpcReply{InvalidArgument("authority protocol: check <formula>"), {}, {}, 0};
+  }
+  Result<nal::Formula> statement = nal::ParseFormula(message.args[0]);
+  if (!statement.ok()) {
+    return kernel::IpcReply{statement.status(), {}, {}, 0};
+  }
+  if (!authority_->Handles(*statement)) {
+    return kernel::IpcReply{NotFound("authority does not evaluate this statement"), {}, {}, 0};
+  }
+  bool vouches = authority_->Vouches(*statement);
+  return kernel::IpcReply{OkStatus(), {}, {}, vouches ? 1 : 0};
+}
+
+}  // namespace nexus::core

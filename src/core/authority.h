@@ -1,0 +1,60 @@
+// Authorities (§2.7).
+//
+// An authority attests to the veracity of a statement only when asked and
+// never in transferable form: the yes/no answer travels back over the
+// querying IPC channel and may not be stored, cached, or forwarded. This
+// split — indefinitely-cacheable labels vs untransferable authority
+// answers — is what lets Nexus avoid a revocation infrastructure.
+#ifndef NEXUS_CORE_AUTHORITY_H_
+#define NEXUS_CORE_AUTHORITY_H_
+
+#include <functional>
+#include <string>
+
+#include "kernel/ipc.h"
+#include "nal/formula.h"
+
+namespace nexus::core {
+
+class Authority {
+ public:
+  virtual ~Authority() = default;
+  // Does this authority currently believe `statement` holds? The statement
+  // is typically of the form `Self says <condition over dynamic state>`.
+  virtual bool Vouches(const nal::Formula& statement) = 0;
+  // Which statements this authority is willing to evaluate at all (used by
+  // the guard to route queries).
+  virtual bool Handles(const nal::Formula& statement) const = 0;
+};
+
+// Adapts an Authority to an IPC port: operation "check" with the formula
+// text in args[0]; the reply's value is 1 (vouches) or 0. The kernel's
+// port-to-process binding is what makes the answer attributable.
+class AuthorityPortHandler : public kernel::PortHandler {
+ public:
+  explicit AuthorityPortHandler(Authority* authority) : authority_(authority) {}
+  kernel::IpcReply Handle(const kernel::IpcContext& context,
+                          const kernel::IpcMessage& message) override;
+
+ private:
+  Authority* authority_;
+};
+
+// A function-backed authority for simple dynamic predicates.
+class LambdaAuthority : public Authority {
+ public:
+  using Predicate = std::function<bool(const nal::Formula&)>;
+  LambdaAuthority(Predicate handles, Predicate vouches)
+      : handles_(std::move(handles)), vouches_(std::move(vouches)) {}
+
+  bool Vouches(const nal::Formula& statement) override { return vouches_(statement); }
+  bool Handles(const nal::Formula& statement) const override { return handles_(statement); }
+
+ private:
+  Predicate handles_;
+  Predicate vouches_;
+};
+
+}  // namespace nexus::core
+
+#endif  // NEXUS_CORE_AUTHORITY_H_

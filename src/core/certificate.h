@@ -1,0 +1,54 @@
+// Label externalization (§2.4).
+//
+// A label leaving its Nexus instance becomes an X.509-style certificate:
+// the statement is re-attributed to the fully-qualified principal
+//   TPM.<ek> . nexus.<nk> . boot.<nbk-hash> . ipd.<pid>
+// and signed with the Nexus kernel key NK; a companion attestation (the
+// TPM's EK signature over NK and the boot-time PCR composite) lets a remote
+// verifier walk the chain "TPM says kernel says labelstore says process
+// says S". Verification needs no connection to the issuing machine.
+#ifndef NEXUS_CORE_CERTIFICATE_H_
+#define NEXUS_CORE_CERTIFICATE_H_
+
+#include <string>
+
+#include "crypto/rsa.h"
+#include "nal/formula.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace nexus::core {
+
+struct Certificate {
+  // The externalized statement with fully-qualified speaker.
+  nal::Formula statement;
+  // Kernel-key signature over the serialized statement.
+  Bytes nk_signature;
+  crypto::RsaPublicKey nk_public;
+  // TPM endorsement: EK signature binding (NK public key, PCR composite).
+  Bytes ek_attestation;
+  Bytes pcr_composite;
+  crypto::RsaPublicKey ek_public;
+
+  Bytes Serialize() const;
+  static Result<Certificate> Deserialize(ByteView data);
+};
+
+// Builds the EK attestation message for (nk, composite); used by issuing
+// and verifying sides.
+Bytes NkBindingMessage(const crypto::RsaPublicKey& nk, ByteView pcr_composite);
+
+// The byte string the NK signs for a given statement.
+Bytes CertificateStatementMessage(const nal::Formula& statement);
+
+// Verifies both signatures in the chain. On success returns the statement,
+// which the caller may import into a labelstore. `expected_composite`, if
+// non-empty, additionally pins the software configuration (hash-based trust
+// in the kernel); leave empty to accept any Nexus the EK vouches for.
+Result<nal::Formula> VerifyCertificate(const Certificate& cert,
+                                       const crypto::RsaPublicKey& trusted_ek,
+                                       ByteView expected_composite = {});
+
+}  // namespace nexus::core
+
+#endif  // NEXUS_CORE_CERTIFICATE_H_

@@ -1,0 +1,209 @@
+#include "core/engine.h"
+
+#include "nal/parser.h"
+
+namespace nexus::core {
+
+Engine::Engine(kernel::Kernel* kernel, Guard* default_guard)
+    : kernel_(kernel), default_guard_(default_guard) {}
+
+Engine::Verdict Engine::DefaultPolicy(kernel::ProcessId subject, const std::string& operation,
+                                      const std::string& object) {
+  (void)operation;
+  // Unregistered objects (ambient resources like the bare syscall object)
+  // are unguarded until someone registers or sets a goal on them.
+  if (!objects_.Known(object)) {
+    return {OkStatus(), true};
+  }
+  // A nascent object with no goal is satisfiable only by the object's owner
+  // or the resource manager that created it (its superprincipal).
+  std::optional<kernel::ProcessId> owner = objects_.Owner(object);
+  std::optional<kernel::ProcessId> manager = objects_.Manager(object);
+  if (subject == kernel::kKernelProcessId ||
+      (owner.has_value() && subject == *owner) ||
+      (manager.has_value() && subject == *manager)) {
+    return {OkStatus(), true};
+  }
+  return {PermissionDenied("bootstrap policy: only the owner or resource manager may access " +
+                           object),
+          true};
+}
+
+Engine::Verdict Engine::Authorize(kernel::ProcessId subject, const std::string& operation,
+                                  const std::string& object) {
+  std::optional<GoalEntry> goal = goals_.Get(operation, object);
+  if (!goal.has_value()) {
+    return DefaultPolicy(subject, operation, object);
+  }
+
+  auto proof_it = proofs_.find(ProofKey(subject, operation, object));
+  nal::Proof proof = proof_it == proofs_.end() ? nullptr : proof_it->second;
+  std::vector<nal::Formula> credentials = CollectCredentials(subject, object);
+
+  if (goal->guard_port != 0) {
+    // Designated guard: serialize the request and upcall over IPC.
+    kernel::IpcMessage request;
+    request.operation = "check";
+    request.args = {std::to_string(subject), operation, object,
+                    proof == nullptr ? "(premise \"false\")" : nal::SerializeProof(proof)};
+    std::string blob;
+    for (const nal::Formula& cred : credentials) {
+      blob += cred->ToString();
+      blob += '\n';
+    }
+    request.data = ToBytes(blob);
+    kernel::IpcReply reply = kernel_->Call(subject, goal->guard_port, request);
+    return {reply.status, reply.value == 1};
+  }
+
+  std::string proof_key = ProofKey(subject, operation, object);
+  return default_guard_->Check(subject, operation, object, goal->goal, proof, credentials,
+                               StateVersion(subject, object, proof_key));
+}
+
+uint64_t Engine::StateVersion(kernel::ProcessId subject, const std::string& object,
+                              const std::string& proof_key) const {
+  uint64_t version = 1 + system_store_.version();
+  auto store = stores_.find(subject);
+  if (store != stores_.end()) {
+    version += store->second.version();
+  }
+  auto extras = object_labels_.find(object);
+  if (extras != object_labels_.end()) {
+    version += extras->second.size();
+  }
+  auto proof_version = proof_versions_.find(proof_key);
+  if (proof_version != proof_versions_.end()) {
+    version += proof_version->second;
+  }
+  return version;
+}
+
+Result<LabelHandle> Engine::Say(kernel::ProcessId speaker, const std::string& statement_text) {
+  Result<nal::Formula> statement = nal::ParseFormula(statement_text);
+  if (!statement.ok()) {
+    return statement.status();
+  }
+  return SayFormula(speaker, *statement);
+}
+
+Result<LabelHandle> Engine::SayFormula(kernel::ProcessId speaker,
+                                       const nal::Formula& statement) {
+  if (!kernel_->IsAlive(speaker)) {
+    return NotFound("speaker process not alive");
+  }
+  if (!nal::IsGround(statement)) {
+    return InvalidArgument("labels must be ground formulas");
+  }
+  // The speaker is, by construction, the calling process's principal: the
+  // secure syscall channel substitutes for a signature (§2.3).
+  return stores_[speaker].Insert(kernel_->ProcessPrincipal(speaker), statement);
+}
+
+LabelHandle Engine::SayAs(const nal::Principal& speaker, const nal::Formula& statement) {
+  return system_store_.Insert(speaker, statement);
+}
+
+void Engine::AddObjectLabel(const std::string& object, const nal::Formula& label) {
+  object_labels_[object].push_back(label);
+}
+
+Status Engine::SetGoal(kernel::ProcessId caller, const std::string& operation,
+                       const std::string& object, nal::Formula goal,
+                       kernel::PortId guard_port) {
+  // setgoal is itself an authorized operation on the object (§2.5). It is
+  // governed by the goal for ("setgoal", object) if present, else the
+  // bootstrap policy.
+  Status authorized = kernel_->Authorize(caller, "setgoal", object);
+  if (!authorized.ok()) {
+    return authorized;
+  }
+  NEXUS_RETURN_IF_ERROR(goals_.SetGoal(operation, object, std::move(goal), guard_port));
+  // A goal update may invalidate many cached decisions: clear the (op,
+  // object) subregion (§2.8).
+  kernel_->OnGoalUpdate(operation, object);
+  return OkStatus();
+}
+
+Status Engine::ClearGoal(kernel::ProcessId caller, const std::string& operation,
+                         const std::string& object) {
+  Status authorized = kernel_->Authorize(caller, "setgoal", object);
+  if (!authorized.ok()) {
+    return authorized;
+  }
+  NEXUS_RETURN_IF_ERROR(goals_.ClearGoal(operation, object));
+  kernel_->OnGoalUpdate(operation, object);
+  return OkStatus();
+}
+
+Status Engine::SetProof(kernel::ProcessId subject, const std::string& operation,
+                        const std::string& object, nal::Proof proof) {
+  if (proof == nullptr) {
+    return InvalidArgument("null proof");
+  }
+  std::string key = ProofKey(subject, operation, object);
+  proofs_[key] = std::move(proof);
+  ++proof_versions_[key];
+  // A proof update invalidates the single affected cache entry (§2.8).
+  kernel_->OnProofUpdate(subject, operation, object);
+  return OkStatus();
+}
+
+Status Engine::ClearProof(kernel::ProcessId subject, const std::string& operation,
+                          const std::string& object) {
+  std::string key = ProofKey(subject, operation, object);
+  if (proofs_.erase(key) == 0) {
+    return NotFound("no proof for this tuple");
+  }
+  ++proof_versions_[key];
+  kernel_->OnProofUpdate(subject, operation, object);
+  return OkStatus();
+}
+
+void Engine::RegisterObject(const std::string& object, kernel::ProcessId owner,
+                            kernel::ProcessId manager) {
+  objects_.Register(object, owner, manager);
+}
+
+Status Engine::TransferOwnership(kernel::ProcessId caller, const std::string& object,
+                                 kernel::ProcessId new_owner) {
+  std::optional<kernel::ProcessId> owner = objects_.Owner(object);
+  std::optional<kernel::ProcessId> manager = objects_.Manager(object);
+  bool caller_may = caller == kernel::kKernelProcessId ||
+                    (owner.has_value() && caller == *owner) ||
+                    (manager.has_value() && caller == *manager);
+  if (!caller_may) {
+    return PermissionDenied("only the owner or resource manager may transfer ownership");
+  }
+  NEXUS_RETURN_IF_ERROR(objects_.TransferOwnership(object, new_owner));
+  // The manager documents the transfer with a label:
+  //   manager says new-owner speaksfor object (§2.6).
+  nal::Principal object_principal =
+      kernel_->ProcessPrincipal(manager.value_or(kernel::kKernelProcessId)).Sub(object);
+  SayAs(kernel_->ProcessPrincipal(manager.value_or(kernel::kKernelProcessId)),
+        nal::FormulaNode::SpeaksFor(kernel_->ProcessPrincipal(new_owner), object_principal));
+  return OkStatus();
+}
+
+std::vector<nal::Formula> Engine::CollectCredentials(kernel::ProcessId subject,
+                                                     const std::string& object) const {
+  std::vector<nal::Formula> credentials;
+  auto subject_store = stores_.find(subject);
+  if (subject_store != stores_.end()) {
+    for (const nal::Formula& f : subject_store->second.All()) {
+      credentials.push_back(f);
+    }
+  }
+  for (const nal::Formula& f : system_store_.All()) {
+    credentials.push_back(f);
+  }
+  auto object_extras = object_labels_.find(object);
+  if (object_extras != object_labels_.end()) {
+    for (const nal::Formula& f : object_extras->second) {
+      credentials.push_back(f);
+    }
+  }
+  return credentials;
+}
+
+}  // namespace nexus::core

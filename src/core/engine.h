@@ -1,0 +1,107 @@
+// The authorization engine: the core-layer half of Figure 1.
+//
+// Implements the kernel's AuthorizationEngine upcall interface. On a
+// decision-cache miss the kernel lands here; the engine locates the goal
+// formula, assembles the subject's credentials (its labelstore, the system
+// labelstore, and object-scoped auxiliary labels), retrieves the proof the
+// subject pre-submitted for this access-control tuple, and dispatches to
+// the designated guard — the kernel-designated default guard for kernel
+// resources, or any guard process the goal names (§2.5, §2.6).
+#ifndef NEXUS_CORE_ENGINE_H_
+#define NEXUS_CORE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/goalstore.h"
+#include "core/guard.h"
+#include "core/labelstore.h"
+#include "kernel/kernel.h"
+#include "nal/proof.h"
+
+namespace nexus::core {
+
+class Engine : public kernel::AuthorizationEngine {
+ public:
+  Engine(kernel::Kernel* kernel, Guard* default_guard);
+
+  // ---------------------------------------------- kernel upcall interface
+  Verdict Authorize(kernel::ProcessId subject, const std::string& operation,
+                    const std::string& object) override;
+
+  // ------------------------------------------------------------- Labels
+  // The `say` system call: records `<subject's principal> says <statement>`
+  // in the subject's labelstore. The statement text is parsed as NAL.
+  Result<LabelHandle> Say(kernel::ProcessId speaker, const std::string& statement_text);
+  Result<LabelHandle> SayFormula(kernel::ProcessId speaker, const nal::Formula& statement);
+  // System-issued labels (kernel bindings, service attestations). These
+  // live in the system labelstore visible to every guard evaluation.
+  LabelHandle SayAs(const nal::Principal& speaker, const nal::Formula& statement);
+  LabelStore& StoreFor(kernel::ProcessId pid) { return stores_[pid]; }
+  LabelStore& SystemStore() { return system_store_; }
+  // Auxiliary labels the resource owner attaches to one object (§2.5).
+  void AddObjectLabel(const std::string& object, const nal::Formula& label);
+
+  // -------------------------------------------------------------- Goals
+  // The `setgoal` system call; itself a guarded operation on the object.
+  Status SetGoal(kernel::ProcessId caller, const std::string& operation,
+                 const std::string& object, nal::Formula goal, kernel::PortId guard_port = 0);
+  Status ClearGoal(kernel::ProcessId caller, const std::string& operation,
+                   const std::string& object);
+  const GoalStore& goals() const { return goals_; }
+
+  // -------------------------------------------------------------- Proofs
+  // Pre-submits the proof to use for an access-control tuple (the paper's
+  // call(sbj, op, obj, proof, labels) carries the proof; pre-submission
+  // plus the decision cache is how repeated calls stay cheap).
+  Status SetProof(kernel::ProcessId subject, const std::string& operation,
+                  const std::string& object, nal::Proof proof);
+  Status ClearProof(kernel::ProcessId subject, const std::string& operation,
+                    const std::string& object);
+
+  // ------------------------------------------------------------- Objects
+  void RegisterObject(const std::string& object, kernel::ProcessId owner,
+                      kernel::ProcessId manager);
+  Status TransferOwnership(kernel::ProcessId caller, const std::string& object,
+                           kernel::ProcessId new_owner);
+  const ObjectRegistry& objects() const { return objects_; }
+
+  Guard& default_guard() { return *default_guard_; }
+
+  // Collects the credentials visible to a guard evaluation for `subject`
+  // on `object`.
+  std::vector<nal::Formula> CollectCredentials(kernel::ProcessId subject,
+                                               const std::string& object) const;
+
+ private:
+  static std::string ProofKey(kernel::ProcessId subject, const std::string& operation,
+                              const std::string& object) {
+    return std::to_string(subject) + "\x1f" + operation + "\x1f" + object;
+  }
+
+  // The bootstrap policy when no goal formula exists (§2.6).
+  Verdict DefaultPolicy(kernel::ProcessId subject, const std::string& operation,
+                        const std::string& object);
+
+  // Monotonic stamp covering every input a cached guard verdict depends on
+  // for (subject, object): label stores, object labels, and the proof
+  // registration itself. Strictly increases on any relevant mutation.
+  uint64_t StateVersion(kernel::ProcessId subject, const std::string& object,
+                        const std::string& proof_key) const;
+
+  kernel::Kernel* kernel_;
+  Guard* default_guard_;
+  GoalStore goals_;
+  ObjectRegistry objects_;
+  std::map<kernel::ProcessId, LabelStore> stores_;
+  LabelStore system_store_;
+  std::map<std::string, std::vector<nal::Formula>> object_labels_;
+  std::map<std::string, nal::Proof> proofs_;
+  std::map<std::string, uint64_t> proof_versions_;
+};
+
+}  // namespace nexus::core
+
+#endif  // NEXUS_CORE_ENGINE_H_

@@ -1,0 +1,61 @@
+#include "core/goalstore.h"
+
+namespace nexus::core {
+
+Status GoalStore::SetGoal(const std::string& operation, const std::string& object,
+                          nal::Formula goal, kernel::PortId guard_port) {
+  if (goal == nullptr) {
+    return InvalidArgument("null goal formula");
+  }
+  goals_[Key(operation, object)] = GoalEntry{std::move(goal), guard_port};
+  return OkStatus();
+}
+
+Status GoalStore::ClearGoal(const std::string& operation, const std::string& object) {
+  if (goals_.erase(Key(operation, object)) == 0) {
+    return NotFound("no goal for " + operation + " on " + object);
+  }
+  return OkStatus();
+}
+
+std::optional<GoalEntry> GoalStore::Get(const std::string& operation,
+                                        const std::string& object) const {
+  auto it = goals_.find(Key(operation, object));
+  if (it == goals_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void ObjectRegistry::Register(const std::string& object, kernel::ProcessId owner,
+                              kernel::ProcessId manager) {
+  entries_[object] = Entry{owner, manager};
+}
+
+Status ObjectRegistry::TransferOwnership(const std::string& object,
+                                         kernel::ProcessId new_owner) {
+  auto it = entries_.find(object);
+  if (it == entries_.end()) {
+    return NotFound("unknown object: " + object);
+  }
+  it->second.owner = new_owner;
+  return OkStatus();
+}
+
+std::optional<kernel::ProcessId> ObjectRegistry::Owner(const std::string& object) const {
+  auto it = entries_.find(object);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return it->second.owner;
+}
+
+std::optional<kernel::ProcessId> ObjectRegistry::Manager(const std::string& object) const {
+  auto it = entries_.find(object);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return it->second.manager;
+}
+
+}  // namespace nexus::core

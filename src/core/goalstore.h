@@ -1,0 +1,64 @@
+// The goalstore (§2.5).
+//
+// Associates a NAL goal formula (and optionally a designated guard port)
+// with each (operation, resource) pair. Absence of a goal means the
+// kernel-designated guard's bootstrap policy applies: only the object's
+// owner or its resource manager may operate on it.
+#ifndef NEXUS_CORE_GOALSTORE_H_
+#define NEXUS_CORE_GOALSTORE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "kernel/types.h"
+#include "nal/formula.h"
+#include "util/status.h"
+
+namespace nexus::core {
+
+struct GoalEntry {
+  nal::Formula goal;
+  // 0 = kernel-designated default guard.
+  kernel::PortId guard_port = 0;
+};
+
+class GoalStore {
+ public:
+  Status SetGoal(const std::string& operation, const std::string& object, nal::Formula goal,
+                 kernel::PortId guard_port = 0);
+  Status ClearGoal(const std::string& operation, const std::string& object);
+  std::optional<GoalEntry> Get(const std::string& operation, const std::string& object) const;
+  size_t size() const { return goals_.size(); }
+
+ private:
+  static std::string Key(const std::string& operation, const std::string& object) {
+    return operation + "\x1f" + object;
+  }
+
+  std::map<std::string, GoalEntry> goals_;
+};
+
+// Object ownership registry backing the bootstrap policy: a nascent object
+// with no goal formula may be touched only by its owner or the resource
+// manager that created it (§2.6).
+class ObjectRegistry {
+ public:
+  void Register(const std::string& object, kernel::ProcessId owner,
+                kernel::ProcessId manager);
+  Status TransferOwnership(const std::string& object, kernel::ProcessId new_owner);
+  std::optional<kernel::ProcessId> Owner(const std::string& object) const;
+  std::optional<kernel::ProcessId> Manager(const std::string& object) const;
+  bool Known(const std::string& object) const { return entries_.contains(object); }
+
+ private:
+  struct Entry {
+    kernel::ProcessId owner;
+    kernel::ProcessId manager;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace nexus::core
+
+#endif  // NEXUS_CORE_GOALSTORE_H_

@@ -1,0 +1,201 @@
+#include "core/guard.h"
+
+#include "crypto/sha256.h"
+#include "nal/parser.h"
+#include "nal/proof.h"
+
+namespace nexus::core {
+
+Guard::Guard(kernel::Kernel* kernel) : Guard(kernel, Config{}) {}
+
+Guard::Guard(kernel::Kernel* kernel, const Config& config) : kernel_(kernel), config_(config) {}
+
+void Guard::AddEmbeddedAuthority(Authority* authority) {
+  embedded_authorities_.push_back(authority);
+}
+
+void Guard::AddAuthorityPort(kernel::PortId port) { authority_ports_.push_back(port); }
+
+bool Guard::QueryAuthorities(const nal::Formula& statement) {
+  ++stats_.authority_queries;
+  for (Authority* authority : embedded_authorities_) {
+    if (authority->Handles(statement)) {
+      return authority->Vouches(statement);
+    }
+  }
+  // External authorities: one IPC round trip each. The answer is consumed
+  // immediately and never stored (§2.7).
+  for (kernel::PortId port : authority_ports_) {
+    kernel::IpcMessage query;
+    query.operation = "check";
+    query.args.push_back(statement->ToString());
+    kernel::IpcReply reply = kernel_->Call(kernel::kKernelProcessId, port, query);
+    if (reply.status.ok()) {
+      return reply.value == 1;
+    }
+    if (reply.status.code() != ErrorCode::kNotFound) {
+      return false;  // Authority reachable but erroring: fail closed.
+    }
+  }
+  return false;  // No authority evaluates this statement.
+}
+
+void Guard::InsertCacheEntry(kernel::ProcessId quota_root, const std::string& key,
+                             bool verdict) {
+  auto evict = [this](std::list<CacheEntry>::iterator it) {
+    root_usage_[it->quota_root] -= 1;
+    cache_index_.erase(it->key);
+    lru_.erase(it);
+    ++stats_.evictions;
+  };
+
+  // Quota enforcement: evict this root's own oldest entries first (§2.9).
+  while (root_usage_[quota_root] >= config_.per_root_quota) {
+    for (auto it = std::prev(lru_.end());; --it) {
+      if (it->quota_root == quota_root) {
+        evict(it);
+        break;
+      }
+      if (it == lru_.begin()) {
+        break;
+      }
+    }
+  }
+  // Capacity: preferentially evict entries charged to the same principal,
+  // falling back to global LRU.
+  if (lru_.size() >= config_.proof_cache_capacity) {
+    bool evicted = false;
+    for (auto it = std::prev(lru_.end());; --it) {
+      if (it->quota_root == quota_root) {
+        evict(it);
+        evicted = true;
+        break;
+      }
+      if (it == lru_.begin()) {
+        break;
+      }
+    }
+    if (!evicted) {
+      evict(std::prev(lru_.end()));
+    }
+  }
+
+  lru_.push_front(CacheEntry{key, verdict, quota_root});
+  cache_index_[key] = lru_.begin();
+  root_usage_[quota_root] += 1;
+}
+
+kernel::AuthorizationEngine::Verdict Guard::Check(
+    kernel::ProcessId subject, const std::string& operation, const std::string& object,
+    const nal::Formula& goal, const nal::Proof& proof,
+    const std::vector<nal::Formula>& credentials, uint64_t state_version) {
+  ++stats_.checks;
+  (void)operation;
+  (void)object;
+
+  if (goal == nullptr) {
+    return {Internal("guard invoked without a goal"), false};
+  }
+  if (goal->kind() == nal::FormulaKind::kTrue) {
+    return {OkStatus(), true};
+  }
+  if (proof == nullptr) {
+    return {PermissionDenied("no proof supplied for goal " + goal->ToString()), true};
+  }
+
+  kernel::ProcessId quota_root = subject;
+  if (Result<const kernel::Process*> p = kernel_->GetProcess(subject); p.ok()) {
+    quota_root = (*p)->quota_root;
+  }
+
+  // Proof-cache lookup is sound only for proofs without authority leaves,
+  // and only when the caller supplied a state version (the version stamp is
+  // what ties a cached verdict to the credential set it was checked under).
+  bool static_proof = nal::IsStaticallyCacheable(proof);
+  bool may_cache = static_proof && state_version != 0;
+  std::string cache_key;
+  if (may_cache) {
+    cache_key = goal->ToString();
+    cache_key.push_back('\x1f');
+    cache_key += std::to_string(reinterpret_cast<uintptr_t>(proof.get()));
+    cache_key.push_back('\x1f');
+    cache_key += std::to_string(state_version);
+    auto it = cache_index_.find(cache_key);
+    if (it != cache_index_.end()) {
+      ++stats_.cache_hits;
+      lru_.splice(lru_.begin(), lru_, it->second);  // LRU refresh.
+      bool allowed = it->second->verdict;
+      return {allowed ? OkStatus() : PermissionDenied("denied (cached proof verdict)"), true};
+    }
+  }
+
+  nal::AuthorityCallback authority = [this](const nal::Formula& f) {
+    return QueryAuthorities(f);
+  };
+  nal::CheckResult result = nal::CheckProof(proof, goal, credentials, authority);
+
+  // A denial caused by a missing credential must not be cached anywhere:
+  // the subject may acquire the label later without touching its proof.
+  bool verdict_cacheable = result.cacheable && !result.missing_credential;
+  if (may_cache && !result.missing_credential) {
+    InsertCacheEntry(quota_root, cache_key, result.status.ok());
+  }
+  return {result.status, verdict_cacheable};
+}
+
+void Guard::FlushCache() {
+  lru_.clear();
+  cache_index_.clear();
+  root_usage_.clear();
+}
+
+GuardPortHandler::GuardPortHandler(Guard* guard, const GoalStore* goals)
+    : guard_(guard), goals_(goals) {}
+
+kernel::IpcReply GuardPortHandler::Handle(const kernel::IpcContext& context,
+                                          const kernel::IpcMessage& message) {
+  // Protocol: check <subject> <operation> <object> <proof-text>, with
+  // newline-separated credential formulas in `data`.
+  if (message.operation != "check" || message.args.size() < 4) {
+    return kernel::IpcReply{
+        InvalidArgument("guard protocol: check <subject> <op> <object> <proof>"), {}, {}, 0};
+  }
+  (void)context;
+  kernel::ProcessId subject = std::stoull(message.args[0]);
+  const std::string& operation = message.args[1];
+  const std::string& object = message.args[2];
+
+  std::optional<GoalEntry> goal = goals_->Get(operation, object);
+  if (!goal.has_value()) {
+    return kernel::IpcReply{NotFound("no goal for this operation/object"), {}, {}, 0};
+  }
+
+  Result<nal::Proof> proof = nal::DeserializeProof(message.args[3]);
+  if (!proof.ok()) {
+    return kernel::IpcReply{proof.status(), {}, {}, 0};
+  }
+
+  std::vector<nal::Formula> credentials;
+  std::string blob = ToString(message.data);
+  size_t start = 0;
+  while (start < blob.size()) {
+    size_t end = blob.find('\n', start);
+    if (end == std::string::npos) {
+      end = blob.size();
+    }
+    if (end > start) {
+      Result<nal::Formula> cred = nal::ParseFormula(blob.substr(start, end - start));
+      if (!cred.ok()) {
+        return kernel::IpcReply{cred.status(), {}, {}, 0};
+      }
+      credentials.push_back(*cred);
+    }
+    start = end + 1;
+  }
+
+  kernel::AuthorizationEngine::Verdict verdict =
+      guard_->Check(subject, operation, object, goal->goal, *proof, credentials);
+  return kernel::IpcReply{verdict.status, {}, {}, verdict.cacheable ? 1 : 0};
+}
+
+}  // namespace nexus::core

@@ -1,0 +1,104 @@
+// Guards (§2.6, §2.9).
+//
+// A guard receives (subject, operation, object, proof, labels), checks the
+// proof against the goal formula, authenticates the credentials, consults
+// authorities for dynamic-state leaves, and answers allow/deny plus a
+// cacheability bit. Proof checking is amortized by an internal cache keyed
+// on (goal, proof, credential set): entries are sound to reuse because
+// labels are valid indefinitely; only authority consultations are repeated.
+// Eviction preferentially removes the requesting principal's own entries
+// and per-process-tree quotas bound the damage of principal-spawning
+// exhaustion attacks.
+#ifndef NEXUS_CORE_GUARD_H_
+#define NEXUS_CORE_GUARD_H_
+
+#include <list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/authority.h"
+#include "core/goalstore.h"
+#include "kernel/kernel.h"
+#include "nal/checker.h"
+
+namespace nexus::core {
+
+class Guard {
+ public:
+  struct Config {
+    size_t proof_cache_capacity = 1024;
+    // Maximum cache entries chargeable to one process tree (§2.9 quotas).
+    size_t per_root_quota = 256;
+  };
+
+  struct Stats {
+    uint64_t checks = 0;
+    uint64_t cache_hits = 0;
+    uint64_t authority_queries = 0;
+    uint64_t evictions = 0;
+  };
+
+  explicit Guard(kernel::Kernel* kernel);
+  Guard(kernel::Kernel* kernel, const Config& config);
+
+  // Registers an embedded authority (runs in the guard's address space; no
+  // IPC round trip).
+  void AddEmbeddedAuthority(Authority* authority);
+  // Registers an external authority living behind an IPC port.
+  void AddAuthorityPort(kernel::PortId port);
+
+  // Full guard evaluation. `proof` may be null (denied unless the goal is
+  // `true`). `state_version` is a monotonic stamp covering everything a
+  // cached verdict depends on besides the proof object itself (label stores,
+  // proof registrations); the proof-check cache is keyed on (goal, proof
+  // identity, state_version), so any credential or proof change invalidates
+  // dependent entries without hashing the credential set per call. Pass 0
+  // to disable verdict caching for this check.
+  kernel::AuthorizationEngine::Verdict Check(kernel::ProcessId subject,
+                                             const std::string& operation,
+                                             const std::string& object,
+                                             const nal::Formula& goal, const nal::Proof& proof,
+                                             const std::vector<nal::Formula>& credentials,
+                                             uint64_t state_version = 0);
+
+  const Stats& stats() const { return stats_; }
+  void FlushCache();
+
+ private:
+  bool QueryAuthorities(const nal::Formula& statement);
+  void InsertCacheEntry(kernel::ProcessId quota_root, const std::string& key, bool verdict);
+
+  kernel::Kernel* kernel_;
+  Config config_;
+  std::vector<Authority*> embedded_authorities_;
+  std::vector<kernel::PortId> authority_ports_;
+
+  struct CacheEntry {
+    std::string key;
+    bool verdict;
+    kernel::ProcessId quota_root;
+  };
+  // LRU list + index. Sized in entries; all state is soft (§2.9).
+  std::list<CacheEntry> lru_;
+  std::map<std::string, std::list<CacheEntry>::iterator> cache_index_;
+  std::map<kernel::ProcessId, size_t> root_usage_;
+  Stats stats_;
+};
+
+// A guard exposed as an IPC service (designated guards, Figure 1: the
+// kernel upcalls `check(sbj, op, obj, proof, labels)` over IPC).
+class GuardPortHandler : public kernel::PortHandler {
+ public:
+  GuardPortHandler(Guard* guard, const GoalStore* goals);
+  kernel::IpcReply Handle(const kernel::IpcContext& context,
+                          const kernel::IpcMessage& message) override;
+
+ private:
+  Guard* guard_;
+  const GoalStore* goals_;
+};
+
+}  // namespace nexus::core
+
+#endif  // NEXUS_CORE_GUARD_H_

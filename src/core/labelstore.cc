@@ -1,0 +1,61 @@
+#include "core/labelstore.h"
+
+namespace nexus::core {
+
+LabelHandle LabelStore::Insert(const nal::Principal& speaker, const nal::Formula& statement) {
+  LabelHandle handle = next_handle_++;
+  labels_[handle] = nal::FormulaNode::Says(speaker, statement);
+  ++version_;
+  return handle;
+}
+
+Result<LabelHandle> LabelStore::InsertLabel(const nal::Formula& says_formula) {
+  if (says_formula == nullptr || says_formula->kind() != nal::FormulaKind::kSays) {
+    return InvalidArgument("labels must have the form 'P says S'");
+  }
+  if (!nal::IsGround(says_formula)) {
+    return InvalidArgument("labels must be ground formulas");
+  }
+  LabelHandle handle = next_handle_++;
+  labels_[handle] = says_formula;
+  ++version_;
+  return handle;
+}
+
+Result<nal::Formula> LabelStore::Get(LabelHandle handle) const {
+  auto it = labels_.find(handle);
+  if (it == labels_.end()) {
+    return NotFound("no such label");
+  }
+  return it->second;
+}
+
+Status LabelStore::Delete(LabelHandle handle) {
+  if (labels_.erase(handle) == 0) {
+    return NotFound("no such label");
+  }
+  ++version_;
+  return OkStatus();
+}
+
+Status LabelStore::Transfer(LabelHandle handle, LabelStore& destination) {
+  auto it = labels_.find(handle);
+  if (it == labels_.end()) {
+    return NotFound("no such label");
+  }
+  destination.InsertLabel(it->second).status();  // Ground says-formula: cannot fail.
+  labels_.erase(it);
+  ++version_;
+  return OkStatus();
+}
+
+std::vector<nal::Formula> LabelStore::All() const {
+  std::vector<nal::Formula> out;
+  out.reserve(labels_.size());
+  for (const auto& [handle, f] : labels_) {
+    out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace nexus::core

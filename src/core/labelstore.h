@@ -1,0 +1,57 @@
+// Labelstores (§2.3).
+//
+// A label is an unforgeable statement `P says S` created by the `say`
+// system call. Because the syscall channel is itself a secure channel from
+// the process to the kernel, labels inside one Nexus instance carry no
+// signatures — they are stored as attributed formulas, and attribution is
+// enforced by construction (the store refuses to record a statement under a
+// speaker other than the calling process unless the caller is the kernel).
+// Labels become cryptographic objects only when externalized (certificate.h).
+#ifndef NEXUS_CORE_LABELSTORE_H_
+#define NEXUS_CORE_LABELSTORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nal/formula.h"
+#include "util/status.h"
+
+namespace nexus::core {
+
+using LabelHandle = uint64_t;
+
+class LabelStore {
+ public:
+  // Records `speaker says statement`. The caller (engine) has already
+  // authenticated the speaker.
+  LabelHandle Insert(const nal::Principal& speaker, const nal::Formula& statement);
+
+  // Inserts an already-formed says-formula (certificate import, transfers).
+  Result<LabelHandle> InsertLabel(const nal::Formula& says_formula);
+
+  Result<nal::Formula> Get(LabelHandle handle) const;
+  Status Delete(LabelHandle handle);
+
+  // Moves one label into another store (the paper's labelstore-to-
+  // labelstore transfer).
+  Status Transfer(LabelHandle handle, LabelStore& destination);
+
+  // All labels, usable directly as checker credentials.
+  std::vector<nal::Formula> All() const;
+  size_t size() const { return labels_.size(); }
+
+  // Monotonic mutation counter; guards use it to version their proof-check
+  // caches (any label change invalidates dependent cached verdicts).
+  uint64_t version() const { return version_; }
+
+ private:
+  std::map<LabelHandle, nal::Formula> labels_;
+  LabelHandle next_handle_ = 1;
+  uint64_t version_ = 0;
+};
+
+}  // namespace nexus::core
+
+#endif  // NEXUS_CORE_LABELSTORE_H_

@@ -1,0 +1,162 @@
+#include "core/nexus.h"
+
+#include "crypto/sha256.h"
+
+namespace nexus::core {
+
+namespace {
+
+constexpr std::string_view kFirmwareImage = "nexus-sim-firmware-v1";
+constexpr std::string_view kBootLoaderImage = "nexus-sim-bootloader-v1";
+constexpr std::string_view kKernelImage = "nexus-sim-kernel-v1";
+
+std::string ShortId(ByteView data) { return crypto::Sha256Hex(data).substr(0, 8); }
+
+}  // namespace
+
+Nexus::Nexus(tpm::Tpm* tpm, const NexusOptions& options)
+    : tpm_(tpm), rng_(options.seed), default_guard_(&kernel_), engine_(&kernel_, &default_guard_) {
+  // --- Boot sequence (§3.4): measure the static root of trust.
+  tpm_->PowerCycle();
+  if (options.measure_boot) {
+    tpm_->MeasureAndExtend(kPcrFirmware, ToBytes(kFirmwareImage));
+    tpm_->MeasureAndExtend(kPcrBootLoader, ToBytes(kBootLoaderImage));
+    tpm_->MeasureAndExtend(kPcrKernel, ToBytes(kKernelImage));
+  }
+  const std::vector<int> policy_pcrs = {kPcrFirmware, kPcrBootLoader, kPcrKernel};
+  boot_composite_ = tpm_->ReadComposite(policy_pcrs).value();
+
+  if (!tpm_->IsOwned()) {
+    // First boot: take ownership and mint the Nexus key bound to this PCR
+    // state. A modified kernel produces different PCRs and cannot reach it.
+    tpm_->TakeOwnership(rng_, policy_pcrs);
+    nk_ = crypto::GenerateRsaKeyPair(rng_, options.nk_bits);
+    Bytes nk_material;
+    AppendLengthPrefixed(nk_material, nk_.private_key.n.ToBytes());
+    AppendLengthPrefixed(nk_material, nk_.private_key.e.ToBytes());
+    AppendLengthPrefixed(nk_material, nk_.private_key.d.ToBytes());
+    Result<Bytes> sealed = tpm_->Seal(nk_material, policy_pcrs);
+    nk_seal_blob_ = sealed.ok() ? *sealed : Bytes{};
+    tpm_->NvDefine(/*index=*/1, nk_seal_blob_.size(), /*pcr_bound=*/true);
+    tpm_->NvWrite(1, nk_seal_blob_);
+  } else {
+    // Later boot: recover NK by unsealing — only possible with matching
+    // PCRs.
+    Result<Bytes> blob = tpm_->NvRead(1);
+    if (blob.ok()) {
+      Result<Bytes> material = tpm_->Unseal(*blob);
+      if (material.ok()) {
+        ByteReader reader(*material);
+        Bytes n = reader.ReadLengthPrefixed().value();
+        Bytes e = reader.ReadLengthPrefixed().value();
+        Bytes d = reader.ReadLengthPrefixed().value();
+        nk_.private_key.n = crypto::BigNum::FromBytes(n);
+        nk_.private_key.e = crypto::BigNum::FromBytes(e);
+        nk_.private_key.d = crypto::BigNum::FromBytes(d);
+        nk_.public_key = nk_.private_key.PublicKey();
+      }
+    }
+    if (nk_.public_key.n.IsZero()) {
+      // Unreachable in a healthy boot; mint a fresh NK so the instance is
+      // at least self-consistent (certificates will not chain to old ones).
+      nk_ = crypto::GenerateRsaKeyPair(rng_, options.nk_bits);
+    }
+  }
+
+  // The boot key identifier names this unique boot instantiation.
+  Bytes nbk_material = nk_.public_key.Serialize();
+  AppendU64(nbk_material, tpm_->boot_counter());
+  nbk_id_ = ShortId(nbk_material);
+
+  // TPM-side endorsement of NK: "TPM says kernel ...".
+  Result<Bytes> attestation = tpm_->SignWithEk(NkBindingMessage(nk_.public_key, boot_composite_));
+  nk_ek_attestation_ = attestation.ok() ? *attestation : Bytes{};
+
+  // --- Construct the system processes.
+  kernel_.set_engine(&engine_);
+  fs_ = std::make_unique<kernel::FileServer>(&kernel_);
+  Result<kernel::ProcessId> fs_pid = CreateProcess("filesystem", ToBytes("nexus-fs-v1"));
+  Result<kernel::PortId> fs_port = CreatePort(*fs_pid);
+  fs_port_ = *fs_port;
+  kernel_.BindHandler(fs_port_, fs_.get());
+  kernel_.set_fs_port(fs_port_);
+}
+
+Result<kernel::ProcessId> Nexus::CreateProcess(const std::string& name, ByteView binary,
+                                               kernel::ProcessId parent) {
+  Result<kernel::ProcessId> pid = kernel_.CreateProcess(name, binary, parent);
+  if (!pid.ok()) {
+    return pid;
+  }
+  Result<kernel::PortId> sys_port = kernel_.SyscallPort(*pid);
+  if (!sys_port.ok()) {
+    return sys_port.status();
+  }
+  nal::Principal nexus = kernel_.KernelPrincipal();
+  nal::Principal process = kernel_.ProcessPrincipal(*pid);
+  nal::Principal port_principal = nal::Principal("IPC").Sub(std::to_string(*sys_port));
+  // Nexus says IPC.x speaksfor Nexus.ipd.<pid>.
+  engine_.SayAs(nexus, nal::FormulaNode::SpeaksFor(port_principal, process));
+  // Nexus says launchHash(/proc/ipd/<pid>, "<hex>").
+  const crypto::Sha256Digest hash = crypto::Sha256::Hash(binary);
+  engine_.SayAs(nexus,
+                nal::FormulaNode::Pred(
+                    "launchHash", {nal::Term::Symbol(kernel::Kernel::ProcPath(*pid)),
+                                   nal::Term::String(HexEncode(ByteView(hash.data(), hash.size())))}));
+  return pid;
+}
+
+Result<kernel::PortId> Nexus::CreatePort(kernel::ProcessId owner) {
+  Result<kernel::PortId> port = kernel_.CreatePort(owner);
+  if (!port.ok()) {
+    return port;
+  }
+  nal::Principal port_principal = nal::Principal("IPC").Sub(std::to_string(*port));
+  engine_.SayAs(kernel_.KernelPrincipal(),
+                nal::FormulaNode::SpeaksFor(port_principal, kernel_.ProcessPrincipal(owner)));
+  return port;
+}
+
+nal::Principal Nexus::ExternalKernelPrincipal() const {
+  return nal::Principal("tpm." + ShortId(tpm_->endorsement_public_key().Serialize()))
+      .Sub("nexus." + ShortId(nk_.public_key.Serialize()))
+      .Sub("boot." + nbk_id_);
+}
+
+Result<Certificate> Nexus::ExternalizeLabel(kernel::ProcessId pid, LabelHandle handle) {
+  Result<nal::Formula> label = engine_.StoreFor(pid).Get(handle);
+  if (!label.ok()) {
+    return label.status();
+  }
+  // Requalify the speaker: the local prefix "Nexus" becomes the TPM-rooted
+  // external chain, so remote verifiers see
+  //   tpm.<ek>.nexus.<nk>.boot.<nbk>.ipd.<pid> says S.
+  const nal::Principal& local = (*label)->speaker();
+  nal::Principal external = ExternalKernelPrincipal();
+  if (local.base() != kernel_.KernelPrincipal().base()) {
+    return FailedPrecondition("only locally attributed labels can be externalized");
+  }
+  for (const std::string& tag : local.path()) {
+    external = external.Sub(tag);
+  }
+  Certificate cert;
+  cert.statement = nal::FormulaNode::Says(external, (*label)->child1());
+  cert.nk_public = nk_.public_key;
+  cert.nk_signature =
+      crypto::RsaSign(nk_.private_key, CertificateStatementMessage(cert.statement));
+  cert.ek_attestation = nk_ek_attestation_;
+  cert.pcr_composite = boot_composite_;
+  cert.ek_public = tpm_->endorsement_public_key();
+  return cert;
+}
+
+Result<LabelHandle> Nexus::ImportCertificate(kernel::ProcessId pid, const Certificate& cert,
+                                             const crypto::RsaPublicKey& trusted_ek) {
+  Result<nal::Formula> statement = VerifyCertificate(cert, trusted_ek);
+  if (!statement.ok()) {
+    return statement.status();
+  }
+  return engine_.StoreFor(pid).InsertLabel(*statement);
+}
+
+}  // namespace nexus::core

@@ -1,0 +1,52 @@
+// AES-128 block cipher and CTR mode.
+//
+// SSRs (§3.3 of the paper) use counter-mode AES so that file regions can be
+// encrypted independently: a ciphertext block does not depend on its
+// predecessor, enabling partial reads/writes and demand paging.
+#ifndef NEXUS_CRYPTO_AES_H_
+#define NEXUS_CRYPTO_AES_H_
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace nexus::crypto {
+
+inline constexpr size_t kAesBlockSize = 16;
+inline constexpr size_t kAesKeySize = 16;
+
+using AesKey = std::array<uint8_t, kAesKeySize>;
+using AesBlock = std::array<uint8_t, kAesBlockSize>;
+
+// AES-128 with a precomputed key schedule.
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey& key);
+
+  // Encrypts one 16-byte block in place.
+  void EncryptBlock(uint8_t block[kAesBlockSize]) const;
+
+ private:
+  uint8_t round_keys_[176];
+};
+
+// CTR-mode keystream cipher. Encryption and decryption are the same
+// operation. `nonce` selects the stream; `offset` is the byte offset within
+// the stream, so callers can en/decrypt any region independently.
+class AesCtr {
+ public:
+  AesCtr(const AesKey& key, uint64_t nonce);
+
+  // XORs `data` with the keystream starting at byte `offset`, in place.
+  void CryptInPlace(uint64_t offset, Bytes& data) const;
+  Bytes Crypt(uint64_t offset, ByteView data) const;
+
+ private:
+  Aes128 cipher_;
+  uint64_t nonce_;
+};
+
+}  // namespace nexus::crypto
+
+#endif  // NEXUS_CRYPTO_AES_H_

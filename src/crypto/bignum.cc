@@ -1,0 +1,490 @@
+#include "crypto/bignum.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nexus::crypto {
+
+namespace {
+
+// Small primes for trial division before Miller-Rabin.
+constexpr uint32_t kSmallPrimes[] = {
+    3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,  47,  53,  59,  61,
+    67,  71,  73,  79,  83,  89,  97,  101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229, 233, 239,
+    241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307, 311, 313, 317, 331, 337, 347};
+
+}  // namespace
+
+BigNum::BigNum(uint64_t value) {
+  if (value != 0) {
+    limbs_.push_back(static_cast<uint32_t>(value));
+    uint32_t hi = static_cast<uint32_t>(value >> 32);
+    if (hi != 0) {
+      limbs_.push_back(hi);
+    }
+  }
+}
+
+void BigNum::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) {
+    limbs_.pop_back();
+  }
+}
+
+BigNum BigNum::FromBytes(ByteView bytes) {
+  BigNum out;
+  for (uint8_t b : bytes) {
+    out = out.ShiftLeft(8);
+    if (b != 0 || !out.limbs_.empty()) {
+      if (out.limbs_.empty()) {
+        out.limbs_.push_back(b);
+      } else {
+        out.limbs_[0] |= b;
+      }
+    }
+  }
+  out.Trim();
+  return out;
+}
+
+Bytes BigNum::ToBytes() const {
+  if (IsZero()) {
+    return Bytes{0};
+  }
+  Bytes out;
+  int bytes = (BitLength() + 7) / 8;
+  out.resize(static_cast<size_t>(bytes));
+  for (int i = 0; i < bytes; ++i) {
+    size_t limb = static_cast<size_t>(i) / 4;
+    int shift = (i % 4) * 8;
+    out[static_cast<size_t>(bytes - 1 - i)] =
+        static_cast<uint8_t>((limbs_[limb] >> shift) & 0xff);
+  }
+  return out;
+}
+
+BigNum BigNum::RandomWithBits(Rng& rng, int bits) {
+  assert(bits > 0);
+  BigNum out;
+  int limbs = (bits + 31) / 32;
+  out.limbs_.resize(static_cast<size_t>(limbs));
+  for (auto& limb : out.limbs_) {
+    limb = static_cast<uint32_t>(rng.NextU64());
+  }
+  int top_bits = bits - (limbs - 1) * 32;  // 1..32
+  uint32_t mask = (top_bits == 32) ? 0xffffffffu : ((1u << top_bits) - 1);
+  out.limbs_.back() &= mask;
+  out.limbs_.back() |= 1u << (top_bits - 1);  // Force exact bit length.
+  return out;
+}
+
+BigNum BigNum::RandomBelow(Rng& rng, const BigNum& bound) {
+  // Uniform in [2, bound-2]; callers guarantee bound > 4.
+  BigNum range = Sub(bound, BigNum(4));  // [0, bound-5] + 2 => [2, bound-3]
+  int bits = range.BitLength();
+  for (;;) {
+    BigNum candidate;
+    int limbs = (bits + 31) / 32;
+    candidate.limbs_.resize(static_cast<size_t>(limbs));
+    for (auto& limb : candidate.limbs_) {
+      limb = static_cast<uint32_t>(rng.NextU64());
+    }
+    int top_bits = bits - (limbs - 1) * 32;
+    uint32_t mask = (top_bits == 32) ? 0xffffffffu : ((1u << top_bits) - 1);
+    candidate.limbs_.back() &= mask;
+    candidate.Trim();
+    if (candidate <= range) {
+      return Add(candidate, BigNum(2));
+    }
+  }
+}
+
+int BigNum::BitLength() const {
+  if (limbs_.empty()) {
+    return 0;
+  }
+  uint32_t top = limbs_.back();
+  int bits = static_cast<int>(limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigNum::Bit(int index) const {
+  size_t limb = static_cast<size_t>(index) / 32;
+  if (limb >= limbs_.size()) {
+    return false;
+  }
+  return (limbs_[limb] >> (index % 32)) & 1;
+}
+
+int BigNum::Compare(const BigNum& a, const BigNum& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) {
+      return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigNum BigNum::Add(const BigNum& a, const BigNum& b) {
+  BigNum out;
+  size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry;
+    if (i < a.limbs_.size()) {
+      sum += a.limbs_[i];
+    }
+    if (i < b.limbs_.size()) {
+      sum += b.limbs_[i];
+    }
+    out.limbs_[i] = static_cast<uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<uint32_t>(carry);
+  out.Trim();
+  return out;
+}
+
+BigNum BigNum::Sub(const BigNum& a, const BigNum& b) {
+  assert(Compare(a, b) >= 0);
+  BigNum out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) {
+      diff -= b.limbs_[i];
+    }
+    if (diff < 0) {
+      diff += (1LL << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<uint32_t>(diff);
+  }
+  out.Trim();
+  return out;
+}
+
+BigNum BigNum::Mul(const BigNum& a, const BigNum& b) {
+  if (a.IsZero() || b.IsZero()) {
+    return BigNum();
+  }
+  BigNum out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < b.limbs_.size(); ++j) {
+      uint64_t cur = static_cast<uint64_t>(a.limbs_[i]) * b.limbs_[j] + out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    out.limbs_[i + b.limbs_.size()] += static_cast<uint32_t>(carry);
+  }
+  out.Trim();
+  return out;
+}
+
+BigNum BigNum::ShiftLeft(int bits) const {
+  if (IsZero() || bits == 0) {
+    BigNum copy = *this;
+    return copy;
+  }
+  int limb_shift = bits / 32;
+  int bit_shift = bits % 32;
+  BigNum out;
+  out.limbs_.assign(limbs_.size() + static_cast<size_t>(limb_shift) + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t v = static_cast<uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + static_cast<size_t>(limb_shift)] |= static_cast<uint32_t>(v);
+    out.limbs_[i + static_cast<size_t>(limb_shift) + 1] |= static_cast<uint32_t>(v >> 32);
+  }
+  out.Trim();
+  return out;
+}
+
+BigNum BigNum::ShiftRight(int bits) const {
+  if (IsZero() || bits == 0) {
+    BigNum copy = *this;
+    return copy;
+  }
+  size_t limb_shift = static_cast<size_t>(bits) / 32;
+  int bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) {
+    return BigNum();
+  }
+  BigNum out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<uint64_t>(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<uint32_t>(v);
+  }
+  out.Trim();
+  return out;
+}
+
+void BigNum::DivMod(const BigNum& dividend, const BigNum& divisor, BigNum& quotient,
+                    BigNum& remainder) {
+  assert(!divisor.IsZero());
+  if (Compare(dividend, divisor) < 0) {
+    quotient = BigNum();
+    remainder = dividend;
+    return;
+  }
+  if (divisor.limbs_.size() == 1) {
+    // Single-limb fast path.
+    uint64_t d = divisor.limbs_[0];
+    BigNum q;
+    q.limbs_.assign(dividend.limbs_.size(), 0);
+    uint64_t rem = 0;
+    for (size_t i = dividend.limbs_.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | dividend.limbs_[i];
+      q.limbs_[i] = static_cast<uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.Trim();
+    quotient = std::move(q);
+    remainder = BigNum(rem);
+    return;
+  }
+
+  // Knuth Algorithm D. Normalize so the divisor's top limb has its high bit
+  // set.
+  int shift = 32 - (divisor.BitLength() % 32);
+  if (shift == 32) {
+    shift = 0;
+  }
+  BigNum u = dividend.ShiftLeft(shift);
+  BigNum v = divisor.ShiftLeft(shift);
+  size_t n = v.limbs_.size();
+  size_t m = u.limbs_.size() - n;
+  u.limbs_.push_back(0);  // u has m+n+1 limbs.
+
+  BigNum q;
+  q.limbs_.assign(m + 1, 0);
+
+  uint64_t v_top = v.limbs_[n - 1];
+  uint64_t v_next = v.limbs_[n - 2];
+
+  for (size_t j = m + 1; j-- > 0;) {
+    uint64_t numerator = (static_cast<uint64_t>(u.limbs_[j + n]) << 32) | u.limbs_[j + n - 1];
+    uint64_t qhat = numerator / v_top;
+    uint64_t rhat = numerator % v_top;
+    while (qhat >= (1ULL << 32) ||
+           qhat * v_next > ((rhat << 32) | u.limbs_[j + n - 2])) {
+      --qhat;
+      rhat += v_top;
+      if (rhat >= (1ULL << 32)) {
+        break;
+      }
+    }
+
+    // Multiply-and-subtract: u[j..j+n] -= qhat * v.
+    int64_t borrow = 0;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t product = qhat * v.limbs_[i] + carry;
+      carry = product >> 32;
+      int64_t diff = static_cast<int64_t>(u.limbs_[i + j]) -
+                     static_cast<int64_t>(product & 0xffffffffu) - borrow;
+      if (diff < 0) {
+        diff += (1LL << 32);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u.limbs_[i + j] = static_cast<uint32_t>(diff);
+    }
+    int64_t diff = static_cast<int64_t>(u.limbs_[j + n]) - static_cast<int64_t>(carry) - borrow;
+    bool negative = diff < 0;
+    u.limbs_[j + n] = static_cast<uint32_t>(diff);
+
+    if (negative) {
+      // qhat was one too large; add back.
+      --qhat;
+      uint64_t add_carry = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t sum = static_cast<uint64_t>(u.limbs_[i + j]) + v.limbs_[i] + add_carry;
+        u.limbs_[i + j] = static_cast<uint32_t>(sum);
+        add_carry = sum >> 32;
+      }
+      u.limbs_[j + n] = static_cast<uint32_t>(u.limbs_[j + n] + add_carry);
+    }
+    q.limbs_[j] = static_cast<uint32_t>(qhat);
+  }
+
+  q.Trim();
+  quotient = std::move(q);
+  u.limbs_.resize(n);
+  u.Trim();
+  remainder = u.ShiftRight(shift);
+}
+
+BigNum BigNum::Mod(const BigNum& a, const BigNum& modulus) {
+  BigNum q, r;
+  DivMod(a, modulus, q, r);
+  return r;
+}
+
+BigNum BigNum::ModMul(const BigNum& a, const BigNum& b, const BigNum& modulus) {
+  return Mod(Mul(a, b), modulus);
+}
+
+BigNum BigNum::ModExp(const BigNum& base, const BigNum& exponent, const BigNum& modulus) {
+  BigNum result(1);
+  BigNum acc = Mod(base, modulus);
+  int bits = exponent.BitLength();
+  for (int i = 0; i < bits; ++i) {
+    if (exponent.Bit(i)) {
+      result = ModMul(result, acc, modulus);
+    }
+    acc = ModMul(acc, acc, modulus);
+  }
+  return result;
+}
+
+BigNum BigNum::Gcd(const BigNum& a, const BigNum& b) {
+  BigNum x = a;
+  BigNum y = b;
+  while (!y.IsZero()) {
+    BigNum r = Mod(x, y);
+    x = y;
+    y = r;
+  }
+  return x;
+}
+
+BigNum BigNum::ModInverse(const BigNum& a, const BigNum& modulus) {
+  // Extended Euclid tracking coefficients as (sign, magnitude) pairs.
+  BigNum old_r = Mod(a, modulus);
+  BigNum r = modulus;
+  BigNum old_s(1);
+  BigNum s;
+  bool old_s_neg = false;
+  bool s_neg = false;
+
+  // Invariant: old_s * a ≡ old_r (mod modulus).
+  while (!r.IsZero()) {
+    BigNum q, rem;
+    DivMod(old_r, r, q, rem);
+
+    // new_s = old_s - q * s, with signs.
+    BigNum qs = Mul(q, s);
+    BigNum new_s;
+    bool new_s_neg;
+    if (old_s_neg == s_neg) {
+      if (Compare(old_s, qs) >= 0) {
+        new_s = Sub(old_s, qs);
+        new_s_neg = old_s_neg;
+      } else {
+        new_s = Sub(qs, old_s);
+        new_s_neg = !old_s_neg;
+      }
+    } else {
+      new_s = Add(old_s, qs);
+      new_s_neg = old_s_neg;
+    }
+
+    old_r = r;
+    r = rem;
+    old_s = s;
+    old_s_neg = s_neg;
+    s = new_s;
+    s_neg = new_s_neg;
+  }
+
+  if (Compare(old_r, BigNum(1)) != 0) {
+    return BigNum();  // Not invertible.
+  }
+  BigNum inv = Mod(old_s, modulus);
+  if (old_s_neg && !inv.IsZero()) {
+    inv = Sub(modulus, inv);
+  }
+  return inv;
+}
+
+uint32_t BigNum::ModU32(uint32_t divisor) const {
+  uint64_t rem = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    rem = ((rem << 32) | limbs_[i]) % divisor;
+  }
+  return static_cast<uint32_t>(rem);
+}
+
+std::string BigNum::ToHex() const {
+  if (IsZero()) {
+    return "0";
+  }
+  return HexEncode(ToBytes());
+}
+
+bool IsProbablePrime(const BigNum& candidate, Rng& rng, int rounds) {
+  if (BigNum::Compare(candidate, BigNum(4)) < 0) {
+    return BigNum::Compare(candidate, BigNum(2)) == 0 ||
+           BigNum::Compare(candidate, BigNum(3)) == 0;
+  }
+  if (!candidate.IsOdd()) {
+    return false;
+  }
+  for (uint32_t p : kSmallPrimes) {
+    if (candidate.ModU32(p) == 0) {
+      return BigNum::Compare(candidate, BigNum(p)) == 0;
+    }
+  }
+
+  // Write candidate-1 = d * 2^r with d odd.
+  BigNum minus_one = BigNum::Sub(candidate, BigNum(1));
+  BigNum d = minus_one;
+  int r = 0;
+  while (!d.IsOdd()) {
+    d = d.ShiftRight(1);
+    ++r;
+  }
+
+  for (int round = 0; round < rounds; ++round) {
+    BigNum witness = BigNum::RandomBelow(rng, candidate);
+    BigNum x = BigNum::ModExp(witness, d, candidate);
+    if (BigNum::Compare(x, BigNum(1)) == 0 || BigNum::Compare(x, minus_one) == 0) {
+      continue;
+    }
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = BigNum::ModMul(x, x, candidate);
+      if (BigNum::Compare(x, minus_one) == 0) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) {
+      return false;
+    }
+  }
+  return true;
+}
+
+BigNum GeneratePrime(Rng& rng, int bits) {
+  for (;;) {
+    BigNum candidate = BigNum::RandomWithBits(rng, bits);
+    if (!candidate.IsOdd()) {
+      candidate = BigNum::Add(candidate, BigNum(1));
+    }
+    if (IsProbablePrime(candidate, rng)) {
+      return candidate;
+    }
+  }
+}
+
+}  // namespace nexus::crypto

@@ -1,0 +1,81 @@
+// Arbitrary-precision unsigned integers for the RSA implementation.
+//
+// Little-endian 32-bit limbs with 64-bit intermediates. Division is Knuth's
+// Algorithm D. Performance is adequate for simulation-grade RSA (the point
+// of Fig. 6 is that signatures are orders of magnitude slower than
+// system-backed credentials; a fast bignum would only shrink the gap).
+#ifndef NEXUS_CRYPTO_BIGNUM_H_
+#define NEXUS_CRYPTO_BIGNUM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace nexus::crypto {
+
+class BigNum {
+ public:
+  BigNum() = default;
+  explicit BigNum(uint64_t value);
+
+  // Big-endian byte import/export.
+  static BigNum FromBytes(ByteView bytes);
+  Bytes ToBytes() const;
+
+  // Random value with exactly `bits` bits (msb set), for prime candidates.
+  static BigNum RandomWithBits(Rng& rng, int bits);
+  // Random value uniform in [2, bound-2], for Miller-Rabin witnesses.
+  static BigNum RandomBelow(Rng& rng, const BigNum& bound);
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1) != 0; }
+  int BitLength() const;
+  bool Bit(int index) const;
+
+  // Three-way comparison: -1, 0, or 1.
+  static int Compare(const BigNum& a, const BigNum& b);
+  bool operator==(const BigNum& other) const { return Compare(*this, other) == 0; }
+  bool operator<(const BigNum& other) const { return Compare(*this, other) < 0; }
+  bool operator<=(const BigNum& other) const { return Compare(*this, other) <= 0; }
+
+  static BigNum Add(const BigNum& a, const BigNum& b);
+  // Requires a >= b.
+  static BigNum Sub(const BigNum& a, const BigNum& b);
+  static BigNum Mul(const BigNum& a, const BigNum& b);
+  // Quotient and remainder; divisor must be nonzero.
+  static void DivMod(const BigNum& dividend, const BigNum& divisor, BigNum& quotient,
+                     BigNum& remainder);
+  static BigNum Mod(const BigNum& a, const BigNum& modulus);
+
+  static BigNum ModMul(const BigNum& a, const BigNum& b, const BigNum& modulus);
+  static BigNum ModExp(const BigNum& base, const BigNum& exponent, const BigNum& modulus);
+  // Modular inverse via extended Euclid; returns zero if gcd != 1.
+  static BigNum ModInverse(const BigNum& a, const BigNum& modulus);
+  static BigNum Gcd(const BigNum& a, const BigNum& b);
+
+  BigNum ShiftLeft(int bits) const;
+  BigNum ShiftRight(int bits) const;
+
+  // Remainder modulo a small divisor (for trial division).
+  uint32_t ModU32(uint32_t divisor) const;
+
+  std::string ToHex() const;
+
+ private:
+  void Trim();
+
+  std::vector<uint32_t> limbs_;  // Little-endian; no trailing zero limbs.
+};
+
+// Miller-Rabin probabilistic primality test.
+bool IsProbablePrime(const BigNum& candidate, Rng& rng, int rounds = 16);
+
+// Generates a random prime with exactly `bits` bits.
+BigNum GeneratePrime(Rng& rng, int bits);
+
+}  // namespace nexus::crypto
+
+#endif  // NEXUS_CRYPTO_BIGNUM_H_

@@ -1,0 +1,38 @@
+#include "crypto/hmac.h"
+
+namespace nexus::crypto {
+
+Sha256Digest HmacSha256(ByteView key, ByteView message) {
+  constexpr size_t kBlockSize = 64;
+  Bytes key_block(kBlockSize, 0);
+  if (key.size() > kBlockSize) {
+    Sha256Digest key_digest = Sha256::Hash(key);
+    std::copy(key_digest.begin(), key_digest.end(), key_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), key_block.begin());
+  }
+
+  Bytes inner_pad(kBlockSize);
+  Bytes outer_pad(kBlockSize);
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    inner_pad[i] = key_block[i] ^ 0x36;
+    outer_pad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(inner_pad);
+  inner.Update(message);
+  Sha256Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(outer_pad);
+  outer.Update(ByteView(inner_digest.data(), inner_digest.size()));
+  return outer.Finish();
+}
+
+Bytes HmacSha256Bytes(ByteView key, ByteView message) {
+  Sha256Digest d = HmacSha256(key, message);
+  return Bytes(d.begin(), d.end());
+}
+
+}  // namespace nexus::crypto

@@ -1,0 +1,17 @@
+// HMAC-SHA256 (RFC 2104). Used for keyed integrity tags on storage metadata.
+#ifndef NEXUS_CRYPTO_HMAC_H_
+#define NEXUS_CRYPTO_HMAC_H_
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace nexus::crypto {
+
+Sha256Digest HmacSha256(ByteView key, ByteView message);
+
+// Convenience wrapper returning Bytes.
+Bytes HmacSha256Bytes(ByteView key, ByteView message);
+
+}  // namespace nexus::crypto
+
+#endif  // NEXUS_CRYPTO_HMAC_H_

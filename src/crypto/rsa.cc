@@ -1,0 +1,120 @@
+#include "crypto/rsa.h"
+
+#include "crypto/sha256.h"
+
+namespace nexus::crypto {
+
+namespace {
+
+constexpr uint8_t kDigestPrefix[] = {'N', 'X', 'S', '2', '5', '6'};
+
+// EMSA-PKCS1-v1_5-shaped encoding: 0x00 0x01 FF..FF 0x00 prefix digest.
+Bytes EncodeDigest(ByteView message, size_t em_len) {
+  Sha256Digest digest = Sha256::Hash(message);
+  size_t t_len = sizeof(kDigestPrefix) + digest.size();
+  Bytes em;
+  em.reserve(em_len);
+  em.push_back(0x00);
+  em.push_back(0x01);
+  size_t pad = em_len - t_len - 3;
+  em.insert(em.end(), pad, 0xff);
+  em.push_back(0x00);
+  em.insert(em.end(), kDigestPrefix, kDigestPrefix + sizeof(kDigestPrefix));
+  em.insert(em.end(), digest.begin(), digest.end());
+  return em;
+}
+
+}  // namespace
+
+Bytes RsaPublicKey::Serialize() const {
+  Bytes out;
+  AppendLengthPrefixed(out, n.ToBytes());
+  AppendLengthPrefixed(out, e.ToBytes());
+  return out;
+}
+
+Result<RsaPublicKey> RsaPublicKey::Deserialize(ByteView data) {
+  ByteReader reader(data);
+  Result<Bytes> n_bytes = reader.ReadLengthPrefixed();
+  if (!n_bytes.ok()) {
+    return n_bytes.status();
+  }
+  Result<Bytes> e_bytes = reader.ReadLengthPrefixed();
+  if (!e_bytes.ok()) {
+    return e_bytes.status();
+  }
+  RsaPublicKey key;
+  key.n = BigNum::FromBytes(*n_bytes);
+  key.e = BigNum::FromBytes(*e_bytes);
+  if (key.n.IsZero() || key.e.IsZero()) {
+    return InvalidArgument("degenerate RSA public key");
+  }
+  return key;
+}
+
+std::string RsaPublicKey::Fingerprint() const {
+  return Sha256Hex(Serialize());
+}
+
+RsaKeyPair GenerateRsaKeyPair(Rng& rng, int modulus_bits) {
+  int prime_bits = modulus_bits / 2;
+  BigNum e(65537);
+  for (;;) {
+    BigNum p = GeneratePrime(rng, prime_bits);
+    BigNum q = GeneratePrime(rng, prime_bits);
+    if (p == q) {
+      continue;
+    }
+    BigNum n = BigNum::Mul(p, q);
+    BigNum phi = BigNum::Mul(BigNum::Sub(p, BigNum(1)), BigNum::Sub(q, BigNum(1)));
+    if (BigNum::Compare(BigNum::Gcd(e, phi), BigNum(1)) != 0) {
+      continue;
+    }
+    BigNum d = BigNum::ModInverse(e, phi);
+    if (d.IsZero()) {
+      continue;
+    }
+    RsaKeyPair pair;
+    pair.public_key = RsaPublicKey{n, e};
+    pair.private_key = RsaPrivateKey{n, e, d};
+    return pair;
+  }
+}
+
+Bytes RsaSign(const RsaPrivateKey& key, ByteView message) {
+  size_t em_len = static_cast<size_t>((key.n.BitLength() + 7) / 8);
+  Bytes em = EncodeDigest(message, em_len);
+  BigNum m = BigNum::FromBytes(em);
+  BigNum s = BigNum::ModExp(m, key.d, key.n);
+  Bytes sig = s.ToBytes();
+  // Left-pad to the modulus length for a fixed-width signature.
+  if (sig.size() < em_len) {
+    Bytes padded(em_len - sig.size(), 0);
+    Append(padded, sig);
+    return padded;
+  }
+  return sig;
+}
+
+bool RsaVerify(const RsaPublicKey& key, ByteView message, ByteView signature) {
+  size_t em_len = static_cast<size_t>((key.n.BitLength() + 7) / 8);
+  if (signature.size() != em_len) {
+    return false;
+  }
+  BigNum s = BigNum::FromBytes(signature);
+  if (BigNum::Compare(s, key.n) >= 0) {
+    return false;
+  }
+  BigNum m = BigNum::ModExp(s, key.e, key.n);
+  Bytes recovered = m.ToBytes();
+  // Restore stripped leading zeros.
+  Bytes em(em_len, 0);
+  if (recovered.size() > em_len) {
+    return false;
+  }
+  std::copy(recovered.begin(), recovered.end(), em.end() - static_cast<ptrdiff_t>(recovered.size()));
+  Bytes expected = EncodeDigest(message, em_len);
+  return ConstantTimeEquals(em, expected);
+}
+
+}  // namespace nexus::crypto

@@ -1,0 +1,60 @@
+// RSA signatures for externalized credentials and TPM quotes.
+//
+// Labels inside one Nexus instance are system-backed (attributed over the
+// syscall channel, §2.3); RSA is used only when a label is externalized to
+// an X.509-style certificate or when the TPM signs a quote. Fig. 6 measures
+// the resulting three-orders-of-magnitude cost gap.
+//
+// Padding is PKCS#1 v1.5-shaped over SHA-256 with a fixed simulation prefix
+// rather than a real DigestInfo DER encoding.
+#ifndef NEXUS_CRYPTO_RSA_H_
+#define NEXUS_CRYPTO_RSA_H_
+
+#include <string>
+
+#include "crypto/bignum.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace nexus::crypto {
+
+struct RsaPublicKey {
+  BigNum n;
+  BigNum e;
+
+  Bytes Serialize() const;
+  static Result<RsaPublicKey> Deserialize(ByteView data);
+
+  // Stable identity for a key: SHA-256 of the serialized public key (hex).
+  std::string Fingerprint() const;
+
+  bool operator==(const RsaPublicKey& other) const { return n == other.n && e == other.e; }
+};
+
+struct RsaPrivateKey {
+  BigNum n;
+  BigNum e;
+  BigNum d;
+
+  RsaPublicKey PublicKey() const { return RsaPublicKey{n, e}; }
+};
+
+struct RsaKeyPair {
+  RsaPublicKey public_key;
+  RsaPrivateKey private_key;
+};
+
+// Generates an RSA key pair with the given modulus size. 512-bit keys are the
+// simulation default (fast tests); benchmarks use 1024-bit.
+RsaKeyPair GenerateRsaKeyPair(Rng& rng, int modulus_bits = 512);
+
+// Signs SHA-256(message) under the private key.
+Bytes RsaSign(const RsaPrivateKey& key, ByteView message);
+
+// Verifies a signature produced by RsaSign.
+bool RsaVerify(const RsaPublicKey& key, ByteView message, ByteView signature);
+
+}  // namespace nexus::crypto
+
+#endif  // NEXUS_CRYPTO_RSA_H_

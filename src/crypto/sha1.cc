@@ -1,0 +1,116 @@
+#include "crypto/sha1.h"
+
+#include <cstring>
+
+namespace nexus::crypto {
+
+namespace {
+
+uint32_t Rotl(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+}  // namespace
+
+Sha1::Sha1() {
+  h_[0] = 0x67452301;
+  h_[1] = 0xefcdab89;
+  h_[2] = 0x98badcfe;
+  h_[3] = 0x10325476;
+  h_[4] = 0xc3d2e1f0;
+}
+
+void Sha1::ProcessBlock(const uint8_t* block) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
+           (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = Rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f;
+    uint32_t k;
+    if (i < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5a827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdc;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6;
+    }
+    uint32_t temp = Rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = Rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::Update(ByteView data) {
+  total_bits_ += static_cast<uint64_t>(data.size()) * 8;
+  size_t offset = 0;
+  if (buffer_len_ > 0) {
+    size_t take = std::min(data.size(), sizeof(buffer_) - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset = take;
+    if (buffer_len_ == sizeof(buffer_)) {
+      ProcessBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    ProcessBlock(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_, data.data() + offset, data.size() - offset);
+    buffer_len_ = data.size() - offset;
+  }
+}
+
+Sha1Digest Sha1::Finish() {
+  uint8_t pad[72] = {0x80};
+  size_t pad_len = (buffer_len_ < 56) ? (56 - buffer_len_) : (120 - buffer_len_);
+  uint64_t bits = total_bits_;
+  Update(ByteView(pad, pad_len));
+  uint8_t len_bytes[8];
+  for (int i = 7; i >= 0; --i) {
+    len_bytes[i] = static_cast<uint8_t>(bits & 0xff);
+    bits >>= 8;
+  }
+  Update(ByteView(len_bytes, 8));
+
+  Sha1Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest[4 * i] = static_cast<uint8_t>(h_[i] >> 24);
+    digest[4 * i + 1] = static_cast<uint8_t>(h_[i] >> 16);
+    digest[4 * i + 2] = static_cast<uint8_t>(h_[i] >> 8);
+    digest[4 * i + 3] = static_cast<uint8_t>(h_[i]);
+  }
+  return digest;
+}
+
+Sha1Digest Sha1::Hash(ByteView data) {
+  Sha1 hasher;
+  hasher.Update(data);
+  return hasher.Finish();
+}
+
+}  // namespace nexus::crypto

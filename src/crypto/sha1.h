@@ -1,0 +1,37 @@
+// SHA-1 (FIPS 180-4). The TPM v1.1 interface is SHA-1 based: PCR extends and
+// DIR registers are 160-bit values. Used only where the TPM model requires
+// it; everything else uses SHA-256.
+#ifndef NEXUS_CRYPTO_SHA1_H_
+#define NEXUS_CRYPTO_SHA1_H_
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace nexus::crypto {
+
+inline constexpr size_t kSha1DigestSize = 20;
+using Sha1Digest = std::array<uint8_t, kSha1DigestSize>;
+
+class Sha1 {
+ public:
+  Sha1();
+
+  void Update(ByteView data);
+  Sha1Digest Finish();
+
+  static Sha1Digest Hash(ByteView data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t h_[5];
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+  uint64_t total_bits_ = 0;
+};
+
+}  // namespace nexus::crypto
+
+#endif  // NEXUS_CRYPTO_SHA1_H_

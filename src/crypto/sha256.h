@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-4). The default hash for labels, certificates, Merkle
+// trees, and SSR integrity in the simulation.
+#ifndef NEXUS_CRYPTO_SHA256_H_
+#define NEXUS_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace nexus::crypto {
+
+inline constexpr size_t kSha256DigestSize = 32;
+using Sha256Digest = std::array<uint8_t, kSha256DigestSize>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(ByteView data);
+  Sha256Digest Finish();
+
+  static Sha256Digest Hash(ByteView data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t h_[8];
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+  uint64_t total_bits_ = 0;
+};
+
+// Convenience: digest as a Bytes value / hex string.
+Bytes Sha256Bytes(ByteView data);
+std::string Sha256Hex(ByteView data);
+
+}  // namespace nexus::crypto
+
+#endif  // NEXUS_CRYPTO_SHA256_H_

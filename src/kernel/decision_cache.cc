@@ -1,0 +1,140 @@
+#include "kernel/decision_cache.h"
+
+namespace nexus::kernel {
+
+namespace {
+
+// FNV-1a over a string, folded with a seed.
+uint64_t HashString(std::string_view s, uint64_t seed) {
+  uint64_t h = seed ^ 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t HashTuple(ProcessId subject, std::string_view operation, std::string_view object) {
+  uint64_t h = HashString(operation, 0x9e3779b97f4a7c15ULL);
+  h = HashString(object, h);
+  h ^= subject + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+DecisionCache::DecisionCache() : DecisionCache(Config{}) {}
+
+DecisionCache::DecisionCache(const Config& config) { Resize(config); }
+
+void DecisionCache::Resize(const Config& config) {
+  config_ = config;
+  entries_.assign(config.num_subregions * config.entries_per_subregion, Entry{});
+}
+
+void DecisionCache::Clear() {
+  for (Entry& e : entries_) {
+    e.valid = false;
+  }
+}
+
+size_t DecisionCache::SubregionIndex(std::string_view operation, std::string_view object) const {
+  // Subject deliberately excluded: all entries for one (operation, object)
+  // land in the same subregion so setgoal invalidation is one memset.
+  uint64_t h = HashString(operation, 0x51ed270b0a1ce16dULL);
+  h = HashString(object, h);
+  return static_cast<size_t>(h % config_.num_subregions);
+}
+
+DecisionCache::Entry* DecisionCache::Find(ProcessId subject, std::string_view operation,
+                                          std::string_view object) {
+  size_t sub = SubregionIndex(operation, object);
+  uint64_t key = HashTuple(subject, operation, object);
+  size_t base = sub * config_.entries_per_subregion;
+  size_t start = static_cast<size_t>(key % config_.entries_per_subregion);
+  // Linear probe within the subregion.
+  for (size_t i = 0; i < config_.entries_per_subregion; ++i) {
+    Entry& e = entries_[base + (start + i) % config_.entries_per_subregion];
+    if (e.valid && e.key_hash == key && e.subject == subject && e.operation == operation &&
+        e.object == object) {
+      return &e;
+    }
+    if (!e.valid) {
+      return nullptr;  // Probe chain ends at the first empty slot.
+    }
+  }
+  return nullptr;
+}
+
+std::optional<bool> DecisionCache::Lookup(ProcessId subject, std::string_view operation,
+                                          std::string_view object) {
+  Entry* e = Find(subject, operation, object);
+  if (e == nullptr) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return e->allow;
+}
+
+void DecisionCache::Insert(ProcessId subject, std::string_view operation,
+                           std::string_view object, bool allow) {
+  size_t sub = SubregionIndex(operation, object);
+  uint64_t key = HashTuple(subject, operation, object);
+  size_t base = sub * config_.entries_per_subregion;
+  size_t start = static_cast<size_t>(key % config_.entries_per_subregion);
+  Entry* victim = nullptr;
+  for (size_t i = 0; i < config_.entries_per_subregion; ++i) {
+    Entry& e = entries_[base + (start + i) % config_.entries_per_subregion];
+    if (e.valid && e.key_hash == key && e.subject == subject && e.operation == operation &&
+        e.object == object) {
+      victim = &e;  // Update in place.
+      break;
+    }
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    // Subregion full: evict the natural slot (cache is soft state).
+    victim = &entries_[base + start];
+  }
+  victim->valid = true;
+  victim->allow = allow;
+  victim->key_hash = key;
+  victim->subject = subject;
+  victim->operation = std::string(operation);
+  victim->object = std::string(object);
+  ++stats_.insertions;
+}
+
+void DecisionCache::InvalidateEntry(ProcessId subject, std::string_view operation,
+                                    std::string_view object) {
+  // A tombstone-free open-addressed table cannot simply clear one slot
+  // without breaking probe chains, so invalidate by rewriting the chain:
+  // cheapest correct option at this scale is clearing the subregion slice
+  // holding the key's probe chain up to the entry.
+  Entry* e = Find(subject, operation, object);
+  if (e != nullptr) {
+    // Clearing the entry may orphan later probes; clear the whole subregion
+    // chain conservatively (bounded by entries_per_subregion).
+    size_t sub = SubregionIndex(operation, object);
+    size_t base = sub * config_.entries_per_subregion;
+    for (size_t i = 0; i < config_.entries_per_subregion; ++i) {
+      entries_[base + i].valid = false;
+    }
+    ++stats_.invalidated_entries;
+  }
+}
+
+void DecisionCache::InvalidateSubregion(std::string_view operation, std::string_view object) {
+  size_t sub = SubregionIndex(operation, object);
+  size_t base = sub * config_.entries_per_subregion;
+  for (size_t i = 0; i < config_.entries_per_subregion; ++i) {
+    entries_[base + i].valid = false;
+  }
+  ++stats_.subregion_invalidations;
+}
+
+}  // namespace nexus::kernel

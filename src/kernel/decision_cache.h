@@ -1,0 +1,85 @@
+// The kernel decision cache (§2.8).
+//
+// Caches guard verdicts keyed by the access-control tuple (subject,
+// operation, object). Two invalidation granularities exist:
+//   - a proof update clears the single affected entry;
+//   - a setgoal may affect many entries, so the hash function places all
+//     entries with the same (operation, object) into the same *subregion*
+//     and setgoal clears just that subregion.
+// Subregion size is configurable and trades invalidation cost against
+// collision rate (an ablation benchmark sweeps it).
+#ifndef NEXUS_KERNEL_DECISION_CACHE_H_
+#define NEXUS_KERNEL_DECISION_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernel/types.h"
+
+namespace nexus::kernel {
+
+class DecisionCache {
+ public:
+  struct Config {
+    size_t num_subregions = 64;
+    size_t entries_per_subregion = 64;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t invalidated_entries = 0;
+    uint64_t subregion_invalidations = 0;
+  };
+
+  DecisionCache();
+  explicit DecisionCache(const Config& config);
+
+  // Returns the cached verdict, if any.
+  std::optional<bool> Lookup(ProcessId subject, std::string_view operation,
+                             std::string_view object);
+
+  // Records a verdict (only cacheable decisions should be inserted).
+  void Insert(ProcessId subject, std::string_view operation, std::string_view object,
+              bool allow);
+
+  // Proof update: clears the single matching entry.
+  void InvalidateEntry(ProcessId subject, std::string_view operation, std::string_view object);
+
+  // setgoal: clears the subregion holding all entries for (operation,
+  // object).
+  void InvalidateSubregion(std::string_view operation, std::string_view object);
+
+  // Drops everything (the cache is soft state; this is always safe).
+  void Clear();
+
+  // Runtime resize; drops contents.
+  void Resize(const Config& config);
+
+  const Stats& stats() const { return stats_; }
+  const Config& config() const { return config_; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    bool allow = false;
+    uint64_t key_hash = 0;
+    ProcessId subject = 0;
+    std::string operation;
+    std::string object;
+  };
+
+  size_t SubregionIndex(std::string_view operation, std::string_view object) const;
+  Entry* Find(ProcessId subject, std::string_view operation, std::string_view object);
+
+  Config config_;
+  std::vector<Entry> entries_;  // num_subregions * entries_per_subregion.
+  Stats stats_;
+};
+
+}  // namespace nexus::kernel
+
+#endif  // NEXUS_KERNEL_DECISION_CACHE_H_

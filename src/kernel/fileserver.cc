@@ -1,0 +1,136 @@
+#include "kernel/fileserver.h"
+
+namespace nexus::kernel {
+
+Status FileServer::CreateFile(const std::string& path, ByteView content) {
+  if (files_.contains(path)) {
+    return AlreadyExists("file exists: " + path);
+  }
+  files_[path] = Bytes(content.begin(), content.end());
+  return OkStatus();
+}
+
+Result<Bytes> FileServer::ReadFile(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return NotFound("no such file: " + path);
+  }
+  return it->second;
+}
+
+IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message) {
+  const std::string& op = message.operation;
+
+  if (op == "create") {
+    if (message.args.empty()) {
+      return Error(InvalidArgument("create needs a path"));
+    }
+    const std::string& path = message.args[0];
+    Status authorized = kernel_->Authorize(context.caller, "create", "file:" + path);
+    if (!authorized.ok()) {
+      return Error(authorized);
+    }
+    Status created = CreateFile(path, message.data);
+    return IpcReply{created, {}, {}, 0};
+  }
+
+  if (op == "open") {
+    if (message.args.empty()) {
+      return Error(InvalidArgument("open needs a path"));
+    }
+    const std::string& path = message.args[0];
+    Status authorized = kernel_->Authorize(context.caller, "open", "file:" + path);
+    if (!authorized.ok()) {
+      return Error(authorized);
+    }
+    if (!files_.contains(path)) {
+      return Error(NotFound("no such file: " + path));
+    }
+    int64_t fd = next_fd_++;
+    open_files_[fd] = OpenFile{path, context.caller};
+    return IpcReply{OkStatus(), path, {}, fd};
+  }
+
+  if (op == "close") {
+    if (message.args.empty()) {
+      return Error(InvalidArgument("close needs an fd"));
+    }
+    int64_t fd = std::stoll(message.args[0]);
+    auto it = open_files_.find(fd);
+    if (it == open_files_.end() || it->second.owner != context.caller) {
+      return Error(NotFound("bad file descriptor"));
+    }
+    open_files_.erase(it);
+    return IpcReply{OkStatus(), {}, {}, 0};
+  }
+
+  if (op == "read" || op == "write") {
+    if (message.args.empty()) {
+      return Error(InvalidArgument(op + " needs an fd"));
+    }
+    int64_t fd = std::stoll(message.args[0]);
+    auto it = open_files_.find(fd);
+    if (it == open_files_.end() || it->second.owner != context.caller) {
+      return Error(NotFound("bad file descriptor"));
+    }
+    const std::string& path = it->second.path;
+    Status authorized = kernel_->Authorize(context.caller, op, "file:" + path);
+    if (!authorized.ok()) {
+      return Error(authorized);
+    }
+    Bytes& content = files_[path];
+    if (op == "read") {
+      size_t offset = message.args.size() > 1 ? std::stoull(message.args[1]) : 0;
+      size_t length =
+          message.args.size() > 2 ? std::stoull(message.args[2]) : content.size();
+      if (offset > content.size()) {
+        return Error(OutOfRange("read past end of file"));
+      }
+      length = std::min(length, content.size() - offset);
+      Bytes out(content.begin() + static_cast<ptrdiff_t>(offset),
+                content.begin() + static_cast<ptrdiff_t>(offset + length));
+      return IpcReply{OkStatus(), {}, std::move(out), static_cast<int64_t>(length)};
+    }
+    // write
+    size_t offset = message.args.size() > 1 ? std::stoull(message.args[1]) : content.size();
+    if (offset > content.size()) {
+      return Error(OutOfRange("write past end of file"));
+    }
+    if (offset + message.data.size() > content.size()) {
+      content.resize(offset + message.data.size());
+    }
+    std::copy(message.data.begin(), message.data.end(),
+              content.begin() + static_cast<ptrdiff_t>(offset));
+    return IpcReply{OkStatus(), {}, {}, static_cast<int64_t>(message.data.size())};
+  }
+
+  if (op == "unlink") {
+    if (message.args.empty()) {
+      return Error(InvalidArgument("unlink needs a path"));
+    }
+    const std::string& path = message.args[0];
+    Status authorized = kernel_->Authorize(context.caller, "unlink", "file:" + path);
+    if (!authorized.ok()) {
+      return Error(authorized);
+    }
+    if (files_.erase(path) == 0) {
+      return Error(NotFound("no such file: " + path));
+    }
+    return IpcReply{OkStatus(), {}, {}, 0};
+  }
+
+  if (op == "stat") {
+    if (message.args.empty()) {
+      return Error(InvalidArgument("stat needs a path"));
+    }
+    auto it = files_.find(message.args[0]);
+    if (it == files_.end()) {
+      return Error(NotFound("no such file: " + message.args[0]));
+    }
+    return IpcReply{OkStatus(), {}, {}, static_cast<int64_t>(it->second.size())};
+  }
+
+  return Error(InvalidArgument("unknown filesystem operation: " + op));
+}
+
+}  // namespace nexus::kernel

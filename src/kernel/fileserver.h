@@ -1,0 +1,49 @@
+// The user-level RAM filesystem server.
+//
+// Nexus implements filesystem functionality outside the kernel; file
+// syscalls are forwarded over IPC to this server (which is why Table 1's
+// open/close/read/write are 2-3x a monolithic kernel's). Per-file, per-
+// operation goal formulas are enforced by routing each access through the
+// kernel's Authorize path with object "file:<path>".
+#ifndef NEXUS_KERNEL_FILESERVER_H_
+#define NEXUS_KERNEL_FILESERVER_H_
+
+#include <map>
+#include <string>
+
+#include "kernel/ipc.h"
+#include "kernel/kernel.h"
+
+namespace nexus::kernel {
+
+class FileServer : public PortHandler {
+ public:
+  explicit FileServer(Kernel* kernel) : kernel_(kernel) {}
+
+  // Operations: create(path), open(path)->fd, close(fd), read(fd, off, len)
+  // -> data, write(fd, off)+data, unlink(path), stat(path)->size.
+  IpcReply Handle(const IpcContext& context, const IpcMessage& message) override;
+
+  // Direct (non-IPC) access for tests and setup code.
+  Status CreateFile(const std::string& path, ByteView content = {});
+  Result<Bytes> ReadFile(const std::string& path) const;
+  bool Exists(const std::string& path) const { return files_.contains(path); }
+  size_t FileCount() const { return files_.size(); }
+
+ private:
+  struct OpenFile {
+    std::string path;
+    ProcessId owner;
+  };
+
+  IpcReply Error(Status status) { return IpcReply{std::move(status), {}, {}, 0}; }
+
+  Kernel* kernel_;
+  std::map<std::string, Bytes> files_;
+  std::map<int64_t, OpenFile> open_files_;
+  int64_t next_fd_ = 3;
+};
+
+}  // namespace nexus::kernel
+
+#endif  // NEXUS_KERNEL_FILESERVER_H_

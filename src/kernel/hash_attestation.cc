@@ -1,0 +1,20 @@
+#include "kernel/hash_attestation.h"
+
+#include "crypto/sha256.h"
+
+namespace nexus::kernel {
+
+void HashWhitelist::AllowBinary(ByteView binary) {
+  allowed_.insert(crypto::Sha256Hex(binary));
+}
+
+Result<bool> HashWhitelist::Check(const Kernel& kernel, ProcessId pid) const {
+  Result<const Process*> process = kernel.GetProcess(pid);
+  if (!process.ok()) {
+    return process.status();
+  }
+  const crypto::Sha256Digest& hash = (*process)->binary_hash;
+  return IsAllowed(HexEncode(ByteView(hash.data(), hash.size())));
+}
+
+}  // namespace nexus::kernel

@@ -1,0 +1,36 @@
+// Hash-based attestation: the axiomatic baseline (§1).
+//
+// The conventional TPM attestation model the paper argues against: identify
+// trustworthy software by its launch-time binary hash against a whitelist.
+// Kept as the comparison baseline for the movie-player application (platform
+// lock-down: any player not on the list is rejected, regardless of its
+// actual properties).
+#ifndef NEXUS_KERNEL_HASH_ATTESTATION_H_
+#define NEXUS_KERNEL_HASH_ATTESTATION_H_
+
+#include <set>
+#include <string>
+
+#include "kernel/kernel.h"
+#include "util/status.h"
+
+namespace nexus::kernel {
+
+class HashWhitelist {
+ public:
+  // Adds the SHA-256 (hex) of an approved binary.
+  void Allow(const std::string& hash_hex) { allowed_.insert(hash_hex); }
+  void AllowBinary(ByteView binary);
+  bool IsAllowed(const std::string& hash_hex) const { return allowed_.contains(hash_hex); }
+  size_t size() const { return allowed_.size(); }
+
+  // Axiomatic check: is this process's launch-time hash whitelisted?
+  Result<bool> Check(const Kernel& kernel, ProcessId pid) const;
+
+ private:
+  std::set<std::string> allowed_;
+};
+
+}  // namespace nexus::kernel
+
+#endif  // NEXUS_KERNEL_HASH_ATTESTATION_H_

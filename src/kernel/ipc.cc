@@ -1,0 +1,77 @@
+#include "kernel/ipc.h"
+
+namespace nexus::kernel {
+
+std::string_view SyscallName(Syscall call) {
+  switch (call) {
+    case Syscall::kNull:
+      return "null";
+    case Syscall::kGetPpid:
+      return "getppid";
+    case Syscall::kGetTimeOfDay:
+      return "gettimeofday";
+    case Syscall::kYield:
+      return "yield";
+    case Syscall::kOpen:
+      return "open";
+    case Syscall::kClose:
+      return "close";
+    case Syscall::kRead:
+      return "read";
+    case Syscall::kWrite:
+      return "write";
+    case Syscall::kSay:
+      return "say";
+    case Syscall::kSetGoal:
+      return "setgoal";
+    case Syscall::kSetProof:
+      return "setproof";
+    case Syscall::kInterpose:
+      return "interpose";
+    case Syscall::kIpcCall:
+      return "ipc_call";
+    case Syscall::kProcRead:
+      return "proc_read";
+  }
+  return "?";
+}
+
+Bytes MarshalMessage(const IpcMessage& message) {
+  Bytes out;
+  AppendLengthPrefixed(out, ToBytes(message.operation));
+  AppendU32(out, static_cast<uint32_t>(message.args.size()));
+  for (const std::string& arg : message.args) {
+    AppendLengthPrefixed(out, ToBytes(arg));
+  }
+  AppendLengthPrefixed(out, message.data);
+  return out;
+}
+
+Result<IpcMessage> UnmarshalMessage(ByteView buffer) {
+  ByteReader reader(buffer);
+  IpcMessage message;
+  Result<Bytes> op = reader.ReadLengthPrefixed();
+  if (!op.ok()) {
+    return op.status();
+  }
+  message.operation = ToString(*op);
+  Result<uint32_t> argc = reader.ReadU32();
+  if (!argc.ok()) {
+    return argc.status();
+  }
+  for (uint32_t i = 0; i < *argc; ++i) {
+    Result<Bytes> arg = reader.ReadLengthPrefixed();
+    if (!arg.ok()) {
+      return arg.status();
+    }
+    message.args.push_back(ToString(*arg));
+  }
+  Result<Bytes> data = reader.ReadLengthPrefixed();
+  if (!data.ok()) {
+    return data.status();
+  }
+  message.data = std::move(*data);
+  return message;
+}
+
+}  // namespace nexus::kernel

@@ -1,0 +1,56 @@
+// IPC messages, ports, and handler interfaces.
+//
+// All interaction between Nexus processes flows through synchronous IPC
+// calls on kernel-managed ports (§2.4). The kernel authoritatively binds a
+// port to its owning process, which lets the authorization layer attribute
+// statements arriving on a port to that process without cryptography.
+#ifndef NEXUS_KERNEL_IPC_H_
+#define NEXUS_KERNEL_IPC_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernel/types.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace nexus::kernel {
+
+struct IpcMessage {
+  std::string operation;
+  std::vector<std::string> args;
+  Bytes data;
+};
+
+struct IpcReply {
+  Status status;
+  std::string text;
+  Bytes data;
+  int64_t value = 0;
+};
+
+// Context passed to port handlers and interceptors.
+struct IpcContext {
+  ProcessId caller = kKernelProcessId;
+  PortId port = 0;
+};
+
+// A service listening on a port. Handlers run synchronously in the
+// simulation (the paper's user-level servers: drivers, filesystem, guards,
+// authorities).
+class PortHandler {
+ public:
+  virtual ~PortHandler() = default;
+  virtual IpcReply Handle(const IpcContext& context, const IpcMessage& message) = 0;
+};
+
+// Marshals a message into a flat buffer. The kernel performs this for every
+// interposed call (parameter marshaling is the dominant fixed cost of
+// interpositioning, §5.1).
+Bytes MarshalMessage(const IpcMessage& message);
+Result<IpcMessage> UnmarshalMessage(ByteView buffer);
+
+}  // namespace nexus::kernel
+
+#endif  // NEXUS_KERNEL_IPC_H_

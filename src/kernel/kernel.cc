@@ -1,0 +1,442 @@
+#include "kernel/kernel.h"
+
+#include <chrono>
+
+namespace nexus::kernel {
+
+Kernel::Kernel() : scheduler_(std::make_unique<StrideScheduler>()) {
+  procfs_.PublishValue(kKernelProcessId, "/proc/kernel/name", "nexus");
+}
+
+uint64_t Kernel::NowMicros() const {
+  if (time_source_) {
+    return time_source_();
+  }
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+}
+
+// ------------------------------------------------------------- Processes
+
+Result<ProcessId> Kernel::CreateProcess(const std::string& name, ByteView binary,
+                                        ProcessId parent) {
+  if (parent != kKernelProcessId && !IsAlive(parent)) {
+    return NotFound("parent process not alive");
+  }
+  Process p;
+  p.pid = next_pid_++;
+  p.parent = parent;
+  p.name = name;
+  p.binary_hash = crypto::Sha256::Hash(binary);
+  // The quota root is the topmost non-kernel ancestor: incessantly spawned
+  // children are all charged to the tree's root (§2.9).
+  if (parent == kKernelProcessId) {
+    p.quota_root = p.pid;
+  } else {
+    p.quota_root = processes_.at(parent).quota_root;
+  }
+  ProcessId pid = p.pid;
+  PublishProcessNodes(p);
+  processes_.emplace(pid, std::move(p));
+  return pid;
+}
+
+void Kernel::PublishProcessNodes(const Process& process) {
+  const std::string base = ProcPath(process.pid);
+  procfs_.PublishValue(process.pid, base + "/name", process.name);
+  procfs_.PublishValue(process.pid, base + "/parent", std::to_string(process.parent));
+  procfs_.PublishValue(
+      process.pid, base + "/hash",
+      HexEncode(ByteView(process.binary_hash.data(), process.binary_hash.size())));
+}
+
+Status Kernel::KillProcess(ProcessId pid) {
+  auto it = processes_.find(pid);
+  if (it == processes_.end() || !it->second.alive) {
+    return NotFound("no such process");
+  }
+  it->second.alive = false;
+  procfs_.RemoveOwned(pid);
+  channels_.erase(pid);
+  for (auto port_it = ports_.begin(); port_it != ports_.end();) {
+    if (port_it->second.owner == pid) {
+      PortId dead = port_it->first;
+      port_it = ports_.erase(port_it);
+      for (auto& [owner, connected] : channels_) {
+        connected.erase(dead);
+      }
+    } else {
+      ++port_it;
+    }
+  }
+  scheduler_->RemoveClient(pid);  // Best effort; may not be scheduled.
+  return OkStatus();
+}
+
+Result<const Process*> Kernel::GetProcess(ProcessId pid) const {
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) {
+    return NotFound("no such process");
+  }
+  return &it->second;
+}
+
+bool Kernel::IsAlive(ProcessId pid) const {
+  auto it = processes_.find(pid);
+  return it != processes_.end() && it->second.alive;
+}
+
+Result<ProcessId> Kernel::GetParent(ProcessId pid) const {
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) {
+    return NotFound("no such process");
+  }
+  return it->second.parent;
+}
+
+std::vector<ProcessId> Kernel::Processes() const {
+  std::vector<ProcessId> out;
+  for (const auto& [pid, p] : processes_) {
+    if (p.alive) {
+      out.push_back(pid);
+    }
+  }
+  return out;
+}
+
+Status Kernel::RestrictSyscalls(ProcessId pid, std::set<Syscall> allowed) {
+  auto it = processes_.find(pid);
+  if (it == processes_.end() || !it->second.alive) {
+    return NotFound("no such process");
+  }
+  // Restriction is monotone: a process can only narrow its own surface.
+  if (it->second.allowed_syscalls.has_value()) {
+    for (Syscall sc : allowed) {
+      if (!it->second.allowed_syscalls->contains(sc)) {
+        return PermissionDenied("cannot re-acquire relinquished system calls");
+      }
+    }
+  }
+  it->second.allowed_syscalls = std::move(allowed);
+  return OkStatus();
+}
+
+nal::Principal Kernel::ProcessPrincipal(ProcessId pid) const {
+  return KernelPrincipal().Sub("ipd").Sub(std::to_string(pid));
+}
+
+std::string Kernel::ProcPath(ProcessId pid) { return "/proc/ipd/" + std::to_string(pid); }
+
+// ----------------------------------------------------------------- Ports
+
+Result<PortId> Kernel::CreatePort(ProcessId owner) {
+  if (owner != kKernelProcessId && !IsAlive(owner)) {
+    return NotFound("no such process");
+  }
+  PortId id = next_port_++;
+  ports_[id] = Port{id, owner, nullptr};
+  procfs_.PublishValue(owner, "/proc/port/" + std::to_string(id) + "/owner",
+                       std::to_string(owner));
+  return id;
+}
+
+Status Kernel::DestroyPort(PortId port) {
+  if (ports_.erase(port) == 0) {
+    return NotFound("no such port");
+  }
+  for (auto& [owner, connected] : channels_) {
+    connected.erase(port);
+  }
+  procfs_.Remove("/proc/port/" + std::to_string(port) + "/owner");
+  return OkStatus();
+}
+
+Status Kernel::BindHandler(PortId port, PortHandler* handler) {
+  auto it = ports_.find(port);
+  if (it == ports_.end()) {
+    return NotFound("no such port");
+  }
+  it->second.handler = handler;
+  return OkStatus();
+}
+
+Result<ProcessId> Kernel::PortOwner(PortId port) const {
+  auto it = ports_.find(port);
+  if (it == ports_.end()) {
+    return NotFound("no such port");
+  }
+  return it->second.owner;
+}
+
+Status Kernel::ConnectPort(ProcessId pid, PortId port) {
+  if (!IsAlive(pid) && pid != kKernelProcessId) {
+    return NotFound("no such process");
+  }
+  if (!ports_.contains(port)) {
+    return NotFound("no such port");
+  }
+  channels_[pid].insert(port);
+  return OkStatus();
+}
+
+Status Kernel::DisconnectPort(ProcessId pid, PortId port) {
+  auto it = channels_.find(pid);
+  if (it == channels_.end() || it->second.erase(port) == 0) {
+    return NotFound("no such channel");
+  }
+  return OkStatus();
+}
+
+bool Kernel::HasChannel(ProcessId pid, PortId port) const {
+  auto it = channels_.find(pid);
+  return it != channels_.end() && it->second.contains(port);
+}
+
+std::vector<PortId> Kernel::Ports() const {
+  std::vector<PortId> out;
+  out.reserve(ports_.size());
+  for (const auto& [id, p] : ports_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------- IPC
+
+IpcReply Kernel::Call(ProcessId caller, PortId port, const IpcMessage& message) {
+  auto port_it = ports_.find(port);
+  if (port_it == ports_.end()) {
+    return IpcReply{NotFound("no such port"), {}, {}, 0};
+  }
+
+  if (!interposition_enabled_) {
+    return Dispatch(caller, port, message);
+  }
+
+  // Marshal/unmarshal: every interposable call crosses a defined message
+  // boundary so monitors see (and can rewrite) a flat buffer.
+  Bytes wire = MarshalMessage(message);
+  Result<IpcMessage> unmarshaled = UnmarshalMessage(wire);
+  if (!unmarshaled.ok()) {
+    return IpcReply{unmarshaled.status(), {}, {}, 0};
+  }
+  IpcMessage working = std::move(*unmarshaled);
+
+  IpcContext context{caller, port};
+  // Newest interceptor first; composition is simply nesting (§3.2).
+  std::vector<Interceptor*> active;
+  for (auto it = interpositions_.rbegin(); it != interpositions_.rend(); ++it) {
+    if (it->port == port) {
+      active.push_back(it->interceptor);
+    }
+  }
+  for (Interceptor* interceptor : active) {
+    if (interceptor->OnCall(context, working) == InterposeVerdict::kDeny) {
+      // A blocked call returns earlier than a completed call (Table 1).
+      return IpcReply{PermissionDenied("blocked by reference monitor"), {}, {}, 0};
+    }
+  }
+
+  IpcReply reply = Dispatch(caller, port, working);
+
+  for (auto it = active.rbegin(); it != active.rend(); ++it) {
+    (*it)->OnReturn(context, reply);
+  }
+  return reply;
+}
+
+IpcReply Kernel::Dispatch(ProcessId caller, PortId port, const IpcMessage& message) {
+  auto it = ports_.find(port);
+  if (it == ports_.end()) {
+    return IpcReply{NotFound("no such port"), {}, {}, 0};
+  }
+  if (it->second.handler == nullptr) {
+    return IpcReply{Unavailable("no handler bound to port"), {}, {}, 0};
+  }
+  IpcContext context{caller, port};
+  return it->second.handler->Handle(context, message);
+}
+
+// ---------------------------------------------------------- Interposition
+
+Result<uint64_t> Kernel::Interpose(ProcessId monitor, PortId port, Interceptor* interceptor) {
+  if (!ports_.contains(port)) {
+    return NotFound("no such port");
+  }
+  if (interceptor == nullptr) {
+    return InvalidArgument("null interceptor");
+  }
+  // Interposition is itself a guarded operation: consent is expressed by a
+  // goal formula on the port (§3.2).
+  Status authorized = Authorize(monitor, "interpose", "port:" + std::to_string(port));
+  if (!authorized.ok()) {
+    return authorized;
+  }
+  uint64_t token = next_interpose_token_++;
+  interpositions_.push_back(Interposition{token, port, monitor, interceptor});
+  return token;
+}
+
+Status Kernel::RemoveInterposition(uint64_t token) {
+  for (auto it = interpositions_.begin(); it != interpositions_.end(); ++it) {
+    if (it->token == token) {
+      interpositions_.erase(it);
+      return OkStatus();
+    }
+  }
+  return NotFound("no such interposition");
+}
+
+Result<PortId> Kernel::SyscallPort(ProcessId pid) {
+  auto it = syscall_ports_.find(pid);
+  if (it != syscall_ports_.end()) {
+    return it->second;
+  }
+  if (!IsAlive(pid)) {
+    return NotFound("no such process");
+  }
+  Result<PortId> port = CreatePort(kKernelProcessId);
+  if (!port.ok()) {
+    return port;
+  }
+  syscall_ports_[pid] = *port;
+  return *port;
+}
+
+// -------------------------------------------------------------- Syscalls
+
+IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& message) {
+  auto proc_it = processes_.find(caller);
+  if (proc_it == processes_.end() || !proc_it->second.alive) {
+    return IpcReply{NotFound("no such process"), {}, {}, 0};
+  }
+  const Process& proc = proc_it->second;
+  if (proc.allowed_syscalls.has_value() && !proc.allowed_syscalls->contains(call)) {
+    return IpcReply{PermissionDenied("system call relinquished"), {}, {}, 0};
+  }
+
+  IpcMessage working = message;
+  if (interposition_enabled_) {
+    // Per-syscall parameter marshaling plus the process's syscall-channel
+    // interceptor chain.
+    Bytes wire = MarshalMessage(message);
+    Result<IpcMessage> unmarshaled = UnmarshalMessage(wire);
+    if (!unmarshaled.ok()) {
+      return IpcReply{unmarshaled.status(), {}, {}, 0};
+    }
+    working = std::move(*unmarshaled);
+    auto sys_port = syscall_ports_.find(caller);
+    if (sys_port != syscall_ports_.end()) {
+      IpcContext context{caller, sys_port->second};
+      working.operation = std::string(SyscallName(call));
+      for (auto it = interpositions_.rbegin(); it != interpositions_.rend(); ++it) {
+        if (it->port == sys_port->second &&
+            it->interceptor->OnCall(context, working) == InterposeVerdict::kDeny) {
+          return IpcReply{PermissionDenied("blocked by reference monitor"), {}, {}, 0};
+        }
+      }
+    }
+  }
+
+  switch (call) {
+    case Syscall::kNull:
+      return IpcReply{OkStatus(), {}, {}, 0};
+    case Syscall::kGetPpid:
+      return IpcReply{OkStatus(), {}, {}, static_cast<int64_t>(proc.parent)};
+    case Syscall::kGetTimeOfDay:
+      return IpcReply{OkStatus(), {}, {}, static_cast<int64_t>(NowMicros())};
+    case Syscall::kYield: {
+      Result<ProcessId> next = scheduler_->Tick();
+      return IpcReply{OkStatus(), {}, {},
+                      next.ok() ? static_cast<int64_t>(*next) : static_cast<int64_t>(caller)};
+    }
+    case Syscall::kOpen:
+    case Syscall::kClose:
+    case Syscall::kRead:
+    case Syscall::kWrite: {
+      if (fs_port_ == 0) {
+        return IpcReply{Unavailable("no filesystem server"), {}, {}, 0};
+      }
+      IpcMessage forwarded = working;
+      forwarded.operation = std::string(SyscallName(call));
+      // Client-server microkernel architecture: the file operation is one
+      // more IPC hop to the user-level server (Table 1's 2-3x).
+      return Call(caller, fs_port_, forwarded);
+    }
+    case Syscall::kProcRead: {
+      if (working.args.empty()) {
+        return IpcReply{InvalidArgument("proc_read needs a path"), {}, {}, 0};
+      }
+      Status authorized = Authorize(caller, "read", "proc:" + working.args[0]);
+      if (!authorized.ok()) {
+        return IpcReply{authorized, {}, {}, 0};
+      }
+      Result<std::string> value = procfs_.Read(working.args[0]);
+      if (!value.ok()) {
+        return IpcReply{value.status(), {}, {}, 0};
+      }
+      return IpcReply{OkStatus(), *value, {}, 0};
+    }
+    case Syscall::kIpcCall: {
+      if (working.args.empty()) {
+        return IpcReply{InvalidArgument("ipc_call needs a port"), {}, {}, 0};
+      }
+      PortId port = static_cast<PortId>(std::stoull(working.args[0]));
+      IpcMessage inner = working;
+      inner.args.erase(inner.args.begin());
+      if (!inner.args.empty()) {
+        inner.operation = inner.args.front();
+        inner.args.erase(inner.args.begin());
+      }
+      return Call(caller, port, inner);
+    }
+    case Syscall::kSay:
+    case Syscall::kSetGoal:
+    case Syscall::kSetProof:
+    case Syscall::kInterpose:
+      // Control operations are handled by the core layer (which owns label
+      // and goal stores); reaching the raw kernel is a wiring error.
+      return IpcReply{Unavailable("control syscall not wired to an authorization engine"),
+                      {},
+                      {},
+                      0};
+  }
+  return IpcReply{Internal("unhandled syscall"), {}, {}, 0};
+}
+
+// ---------------------------------------------------------- Authorization
+
+Status Kernel::Authorize(ProcessId subject, const std::string& operation,
+                         const std::string& object) {
+  if (engine_ == nullptr) {
+    return OkStatus();  // Authorization disabled (Fig. 4 case "system call").
+  }
+  if (decision_cache_enabled_) {
+    std::optional<bool> cached = decision_cache_.Lookup(subject, operation, object);
+    if (cached.has_value()) {
+      return *cached ? OkStatus()
+                     : PermissionDenied("denied (cached guard decision)");
+    }
+  }
+  AuthorizationEngine::Verdict verdict = engine_->Authorize(subject, operation, object);
+  if (decision_cache_enabled_ && verdict.cacheable) {
+    decision_cache_.Insert(subject, operation, object, verdict.status.ok());
+  }
+  return verdict.status;
+}
+
+void Kernel::OnProofUpdate(ProcessId subject, const std::string& operation,
+                           const std::string& object) {
+  decision_cache_.InvalidateEntry(subject, operation, object);
+}
+
+void Kernel::OnGoalUpdate(const std::string& operation, const std::string& object) {
+  decision_cache_.InvalidateSubregion(operation, object);
+}
+
+void Kernel::ReplaceScheduler(std::unique_ptr<Scheduler> scheduler) {
+  scheduler_ = std::move(scheduler);
+}
+
+}  // namespace nexus::kernel

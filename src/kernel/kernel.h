@@ -1,0 +1,201 @@
+// The Nexus kernel simulator.
+//
+// A single-address-space model of the Nexus microkernel: isolated protection
+// domains (IPDs) with subprincipal names, kernel-bound IPC ports,
+// interposition on every system call (§3.2), an authorization hook with the
+// in-kernel decision cache (§2.8), the introspection namespace (§3.1), and
+// a pluggable CPU scheduler. The authorization engine itself (labelstores,
+// goalstores, guards) lives one layer up in src/core and plugs in through
+// the AuthorizationEngine interface, mirroring the kernel/guard split in
+// the paper's Figure 1.
+#ifndef NEXUS_KERNEL_KERNEL_H_
+#define NEXUS_KERNEL_KERNEL_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "kernel/decision_cache.h"
+#include "kernel/ipc.h"
+#include "kernel/procfs.h"
+#include "kernel/sched.h"
+#include "kernel/types.h"
+#include "nal/term.h"
+#include "util/status.h"
+
+namespace nexus::kernel {
+
+// Verdict from an IPC interceptor (§3.2): the reference monitor may inspect
+// and modify the message, then allow or block the call.
+enum class InterposeVerdict : uint8_t { kAllow, kDeny };
+
+class Interceptor {
+ public:
+  virtual ~Interceptor() = default;
+  // Called before the target handler. May modify `message`.
+  virtual InterposeVerdict OnCall(const IpcContext& context, IpcMessage& message) = 0;
+  // Called after the handler returns (only if the call was allowed). May
+  // modify the reply.
+  virtual void OnReturn(const IpcContext& context, IpcReply& reply) {
+    (void)context;
+    (void)reply;
+  }
+};
+
+// The upcall interface to the guard layer (implemented in src/core). The
+// kernel consults it only on decision-cache misses.
+class AuthorizationEngine {
+ public:
+  struct Verdict {
+    Status status;          // OK = allow
+    bool cacheable = true;  // guard's cacheability bit (§2.8)
+  };
+
+  virtual ~AuthorizationEngine() = default;
+  virtual Verdict Authorize(ProcessId subject, const std::string& operation,
+                            const std::string& object) = 0;
+};
+
+struct Process {
+  ProcessId pid = 0;
+  ProcessId parent = kKernelProcessId;
+  std::string name;
+  crypto::Sha256Digest binary_hash{};
+  bool alive = true;
+  // If set, only these system calls may be invoked (a process can
+  // relinquish syscalls, as Fauxbook's web server does after init, §4.1).
+  std::optional<std::set<Syscall>> allowed_syscalls;
+  // Quota root: the ancestor charged for guard-cache quotas (§2.9).
+  ProcessId quota_root = kKernelProcessId;
+};
+
+class Kernel {
+ public:
+  Kernel();
+
+  // ----------------------------------------------------------- Processes
+  // Creates an IPD. `binary` is measured (SHA-256 launch-time hash).
+  Result<ProcessId> CreateProcess(const std::string& name, ByteView binary,
+                                  ProcessId parent = kKernelProcessId);
+  Status KillProcess(ProcessId pid);
+  Result<const Process*> GetProcess(ProcessId pid) const;
+  bool IsAlive(ProcessId pid) const;
+  Result<ProcessId> GetParent(ProcessId pid) const;
+  std::vector<ProcessId> Processes() const;
+  Status RestrictSyscalls(ProcessId pid, std::set<Syscall> allowed);
+
+  // The NAL principal for a process: Nexus.ipd.<pid> (the paper writes
+  // /proc/ipd/<pid>; both name the same subprincipal of the kernel).
+  nal::Principal KernelPrincipal() const { return nal::Principal(kernel_principal_name_); }
+  nal::Principal ProcessPrincipal(ProcessId pid) const;
+  // The /proc path alias for a process principal ("/proc/ipd/12").
+  static std::string ProcPath(ProcessId pid);
+
+  // --------------------------------------------------------------- Ports
+  Result<PortId> CreatePort(ProcessId owner);
+  Status DestroyPort(PortId port);
+  Status BindHandler(PortId port, PortHandler* handler);
+  Result<ProcessId> PortOwner(PortId port) const;
+  // Connecting establishes an IPC channel (an edge in the connectivity
+  // graph the IPCAnalyzer inspects, §2.2).
+  Status ConnectPort(ProcessId pid, PortId port);
+  Status DisconnectPort(ProcessId pid, PortId port);
+  bool HasChannel(ProcessId pid, PortId port) const;
+  const std::map<ProcessId, std::set<PortId>>& Channels() const { return channels_; }
+  std::vector<PortId> Ports() const;
+
+  // Synchronous IPC call: marshaling, interposition, authorization, handler
+  // dispatch, reply interposition.
+  IpcReply Call(ProcessId caller, PortId port, const IpcMessage& message);
+
+  // -------------------------------------------------------- Interposition
+  // Installs an interceptor on a port. Subject to authorization (operation
+  // "interpose" on object "port:<id>"). Interceptors compose: the newest
+  // runs first. Returns a token for removal.
+  Result<uint64_t> Interpose(ProcessId monitor, PortId port, Interceptor* interceptor);
+  Status RemoveInterposition(uint64_t token);
+  // Global switch: when disabled, Call() skips marshaling and interceptors
+  // entirely ("Nexus bare" in Table 1).
+  void set_interposition_enabled(bool enabled) { interposition_enabled_ = enabled; }
+  bool interposition_enabled() const { return interposition_enabled_; }
+
+  // ------------------------------------------------------------- Syscalls
+  // The Table-1 system call surface. File operations forward over IPC to
+  // the handler bound on `fs_port` (a user-level server).
+  IpcReply Invoke(ProcessId caller, Syscall call, const IpcMessage& message);
+  void set_fs_port(PortId port) { fs_port_ = port; }
+  PortId fs_port() const { return fs_port_; }
+  // The per-process pseudo-port carrying syscall interposition for a
+  // process (every syscall of `pid` flows through it, §3.2).
+  Result<PortId> SyscallPort(ProcessId pid);
+
+  // --------------------------------------------------------- Authorization
+  void set_engine(AuthorizationEngine* engine) { engine_ = engine; }
+  AuthorizationEngine* engine() const { return engine_; }
+  void set_decision_cache_enabled(bool enabled) { decision_cache_enabled_ = enabled; }
+  bool decision_cache_enabled() const { return decision_cache_enabled_; }
+  DecisionCache& decision_cache() { return decision_cache_; }
+
+  // The guarded-operation fast path: decision cache, then guard upcall.
+  Status Authorize(ProcessId subject, const std::string& operation, const std::string& object);
+
+  // Invalidation entry points, called by the core layer when proofs or
+  // goals change (§2.8).
+  void OnProofUpdate(ProcessId subject, const std::string& operation, const std::string& object);
+  void OnGoalUpdate(const std::string& operation, const std::string& object);
+
+  // ----------------------------------------------------------- Services
+  IntrospectionFs& procfs() { return procfs_; }
+  const IntrospectionFs& procfs() const { return procfs_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  void ReplaceScheduler(std::unique_ptr<Scheduler> scheduler);
+
+  // Microsecond clock; overridable for deterministic tests.
+  uint64_t NowMicros() const;
+  void set_time_source(std::function<uint64_t()> source) { time_source_ = std::move(source); }
+
+ private:
+  struct Port {
+    PortId id = 0;
+    ProcessId owner = kKernelProcessId;
+    PortHandler* handler = nullptr;
+  };
+  struct Interposition {
+    uint64_t token = 0;
+    PortId port = 0;
+    ProcessId monitor = kKernelProcessId;
+    Interceptor* interceptor = nullptr;
+  };
+
+  IpcReply Dispatch(ProcessId caller, PortId port, const IpcMessage& message);
+  void PublishProcessNodes(const Process& process);
+
+  std::string kernel_principal_name_ = "Nexus";
+  std::map<ProcessId, Process> processes_;
+  std::map<PortId, Port> ports_;
+  std::map<ProcessId, std::set<PortId>> channels_;
+  std::vector<Interposition> interpositions_;
+  std::map<ProcessId, PortId> syscall_ports_;
+  ProcessId next_pid_ = 1;
+  PortId next_port_ = 1;
+  uint64_t next_interpose_token_ = 1;
+  bool interposition_enabled_ = true;
+
+  AuthorizationEngine* engine_ = nullptr;
+  bool decision_cache_enabled_ = true;
+  DecisionCache decision_cache_;
+
+  IntrospectionFs procfs_;
+  std::unique_ptr<Scheduler> scheduler_;
+  PortId fs_port_ = 0;
+  std::function<uint64_t()> time_source_;
+};
+
+}  // namespace nexus::kernel
+
+#endif  // NEXUS_KERNEL_KERNEL_H_

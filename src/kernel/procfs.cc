@@ -1,0 +1,87 @@
+#include "kernel/procfs.h"
+
+#include <algorithm>
+#include <set>
+
+namespace nexus::kernel {
+
+void IntrospectionFs::Publish(ProcessId owner, const std::string& path, Provider provider) {
+  nodes_[path] = Node{owner, std::move(provider)};
+  Notify(path);
+}
+
+void IntrospectionFs::PublishValue(ProcessId owner, const std::string& path, std::string value) {
+  Publish(owner, path, [value = std::move(value)] { return value; });
+}
+
+Status IntrospectionFs::Remove(const std::string& path) {
+  if (nodes_.erase(path) == 0) {
+    return NotFound("no introspection node at " + path);
+  }
+  return OkStatus();
+}
+
+void IntrospectionFs::RemoveOwned(ProcessId owner) {
+  for (auto it = nodes_.begin(); it != nodes_.end();) {
+    if (it->second.owner == owner) {
+      it = nodes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<std::string> IntrospectionFs::Read(const std::string& path) const {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) {
+    return NotFound("no introspection node at " + path);
+  }
+  return it->second.provider();
+}
+
+Result<ProcessId> IntrospectionFs::Owner(const std::string& path) const {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) {
+    return NotFound("no introspection node at " + path);
+  }
+  return it->second.owner;
+}
+
+std::vector<std::string> IntrospectionFs::List(const std::string& directory) const {
+  std::string prefix = directory;
+  if (!prefix.empty() && prefix.back() != '/') {
+    prefix += '/';
+  }
+  std::set<std::string> children;
+  for (const auto& [path, node] : nodes_) {
+    if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    std::string rest = path.substr(prefix.size());
+    size_t slash = rest.find('/');
+    children.insert(slash == std::string::npos ? rest : rest.substr(0, slash));
+  }
+  return std::vector<std::string>(children.begin(), children.end());
+}
+
+uint64_t IntrospectionFs::Watch(const std::string& prefix, Watcher watcher) {
+  uint64_t token = next_watch_token_++;
+  watchers_[token] = WatchEntry{prefix, std::move(watcher)};
+  return token;
+}
+
+void IntrospectionFs::Unwatch(uint64_t token) { watchers_.erase(token); }
+
+void IntrospectionFs::Notify(const std::string& path) {
+  auto node = nodes_.find(path);
+  if (node == nodes_.end()) {
+    return;
+  }
+  for (const auto& [token, entry] : watchers_) {
+    if (path.compare(0, entry.prefix.size(), entry.prefix) == 0) {
+      entry.watcher(path, node->second.provider());
+    }
+  }
+}
+
+}  // namespace nexus::kernel

@@ -1,0 +1,77 @@
+// The introspection namespace (§3.1).
+//
+// A Plan 9-style grey-box information service: processes and the kernel
+// publish key=value bindings under a hierarchical namespace, and labeling
+// functions read them to analyze live system state. Each node is logically
+// the label `owner says key = value`. Values are live: a node is backed by
+// a provider callback so reads always observe current state. Watchers
+// provide the change-notification mechanism the paper's term language
+// relies on.
+#ifndef NEXUS_KERNEL_PROCFS_H_
+#define NEXUS_KERNEL_PROCFS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kernel/types.h"
+#include "util/status.h"
+
+namespace nexus::kernel {
+
+class IntrospectionFs {
+ public:
+  using Provider = std::function<std::string()>;
+  using Watcher = std::function<void(const std::string& path, const std::string& value)>;
+
+  // Publishes a live node. The owner is recorded so the value can be
+  // attributed (`owner says path = value`). Re-publishing replaces.
+  void Publish(ProcessId owner, const std::string& path, Provider provider);
+
+  // Publishes a constant value.
+  void PublishValue(ProcessId owner, const std::string& path, std::string value);
+
+  // Removes a node (and nothing else).
+  Status Remove(const std::string& path);
+
+  // Removes every node owned by a process (process exit).
+  void RemoveOwned(ProcessId owner);
+
+  // Reads a node's current value.
+  Result<std::string> Read(const std::string& path) const;
+
+  // Returns the owner of a node (for attribution).
+  Result<ProcessId> Owner(const std::string& path) const;
+
+  // Lists direct children of a directory path ("/proc/ipd" lists process
+  // nodes). A node x/y/z makes x and x/y directories.
+  std::vector<std::string> List(const std::string& directory) const;
+
+  // Registers a watcher invoked on every Publish/PublishValue under
+  // `prefix`. Returns a token usable with Unwatch.
+  uint64_t Watch(const std::string& prefix, Watcher watcher);
+  void Unwatch(uint64_t token);
+
+  size_t NodeCount() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    ProcessId owner;
+    Provider provider;
+  };
+  struct WatchEntry {
+    std::string prefix;
+    Watcher watcher;
+  };
+
+  void Notify(const std::string& path);
+
+  std::map<std::string, Node> nodes_;
+  std::map<uint64_t, WatchEntry> watchers_;
+  uint64_t next_watch_token_ = 1;
+};
+
+}  // namespace nexus::kernel
+
+#endif  // NEXUS_KERNEL_PROCFS_H_

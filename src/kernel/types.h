@@ -1,0 +1,38 @@
+// Shared identifier types for the Nexus kernel simulation.
+#ifndef NEXUS_KERNEL_TYPES_H_
+#define NEXUS_KERNEL_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace nexus::kernel {
+
+using ProcessId = uint64_t;
+using PortId = uint64_t;
+
+inline constexpr ProcessId kKernelProcessId = 0;
+
+// The system calls measured in Table 1 plus the logical-attestation control
+// calls (§2.2–§2.5, §3.2).
+enum class Syscall : uint8_t {
+  kNull = 0,
+  kGetPpid,
+  kGetTimeOfDay,
+  kYield,
+  kOpen,
+  kClose,
+  kRead,
+  kWrite,
+  kSay,
+  kSetGoal,
+  kSetProof,
+  kInterpose,
+  kIpcCall,
+  kProcRead,
+};
+
+std::string_view SyscallName(Syscall call);
+
+}  // namespace nexus::kernel
+
+#endif  // NEXUS_KERNEL_TYPES_H_

@@ -1,0 +1,388 @@
+#include "nal/formula.h"
+
+namespace nexus::nal {
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+namespace {
+
+std::shared_ptr<FormulaNode> NewNode() { return std::make_shared<FormulaNode>(); }
+
+}  // namespace
+
+Formula FormulaNode::True() {
+  auto n = NewNode();
+  n->kind_ = FormulaKind::kTrue;
+  return n;
+}
+
+Formula FormulaNode::False() {
+  auto n = NewNode();
+  n->kind_ = FormulaKind::kFalse;
+  return n;
+}
+
+Formula FormulaNode::Pred(std::string name, std::vector<Term> args) {
+  auto n = NewNode();
+  n->kind_ = FormulaKind::kPred;
+  n->pred_name_ = std::move(name);
+  n->args_ = std::move(args);
+  return n;
+}
+
+Formula FormulaNode::Compare(CompareOp op, Term lhs, Term rhs) {
+  auto n = NewNode();
+  n->kind_ = FormulaKind::kCompare;
+  n->compare_op_ = op;
+  n->lhs_ = std::move(lhs);
+  n->rhs_ = std::move(rhs);
+  return n;
+}
+
+Formula FormulaNode::Says(Principal speaker, Formula body) {
+  auto n = NewNode();
+  n->kind_ = FormulaKind::kSays;
+  n->p1_ = std::move(speaker);
+  n->child1_ = std::move(body);
+  return n;
+}
+
+Formula FormulaNode::SpeaksFor(Principal a, Principal b, std::optional<std::string> scope) {
+  auto n = NewNode();
+  n->kind_ = FormulaKind::kSpeaksFor;
+  n->p1_ = std::move(a);
+  n->p2_ = std::move(b);
+  n->on_scope_ = std::move(scope);
+  return n;
+}
+
+Formula FormulaNode::And(Formula l, Formula r) {
+  auto n = NewNode();
+  n->kind_ = FormulaKind::kAnd;
+  n->child1_ = std::move(l);
+  n->child2_ = std::move(r);
+  return n;
+}
+
+Formula FormulaNode::Or(Formula l, Formula r) {
+  auto n = NewNode();
+  n->kind_ = FormulaKind::kOr;
+  n->child1_ = std::move(l);
+  n->child2_ = std::move(r);
+  return n;
+}
+
+Formula FormulaNode::Not(Formula f) {
+  auto n = NewNode();
+  n->kind_ = FormulaKind::kNot;
+  n->child1_ = std::move(f);
+  return n;
+}
+
+Formula FormulaNode::Implies(Formula l, Formula r) {
+  auto n = NewNode();
+  n->kind_ = FormulaKind::kImplies;
+  n->child1_ = std::move(l);
+  n->child2_ = std::move(r);
+  return n;
+}
+
+std::string FormulaNode::ToString() const {
+  switch (kind_) {
+    case FormulaKind::kTrue:
+      return "true";
+    case FormulaKind::kFalse:
+      return "false";
+    case FormulaKind::kPred: {
+      std::string out = pred_name_ + "(";
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        out += args_[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case FormulaKind::kCompare:
+      return lhs_.ToString() + " " + std::string(CompareOpName(compare_op_)) + " " +
+             rhs_.ToString();
+    case FormulaKind::kSays:
+      return p1_.ToString() + " says (" + child1_->ToString() + ")";
+    case FormulaKind::kSpeaksFor: {
+      std::string out = p1_.ToString() + " speaksfor " + p2_.ToString();
+      if (on_scope_.has_value()) {
+        out += " on " + *on_scope_;
+      }
+      return out;
+    }
+    case FormulaKind::kAnd:
+      return "(" + child1_->ToString() + " and " + child2_->ToString() + ")";
+    case FormulaKind::kOr:
+      return "(" + child1_->ToString() + " or " + child2_->ToString() + ")";
+    case FormulaKind::kNot:
+      return "not (" + child1_->ToString() + ")";
+    case FormulaKind::kImplies:
+      return "(" + child1_->ToString() + " => " + child2_->ToString() + ")";
+  }
+  return "?";
+}
+
+bool Equals(const Formula& a, const Formula& b) {
+  if (a == b) {
+    return true;
+  }
+  if (a == nullptr || b == nullptr || a->kind() != b->kind()) {
+    return false;
+  }
+  switch (a->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return true;
+    case FormulaKind::kPred:
+      return a->pred_name() == b->pred_name() && a->args() == b->args();
+    case FormulaKind::kCompare:
+      return a->compare_op() == b->compare_op() && a->lhs() == b->lhs() && a->rhs() == b->rhs();
+    case FormulaKind::kSays:
+      return a->speaker() == b->speaker() && Equals(a->child1(), b->child1());
+    case FormulaKind::kSpeaksFor:
+      return a->delegator() == b->delegator() && a->delegatee() == b->delegatee() &&
+             a->on_scope() == b->on_scope();
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+      return Equals(a->child1(), b->child1()) && Equals(a->child2(), b->child2());
+    case FormulaKind::kNot:
+      return Equals(a->child1(), b->child1());
+  }
+  return false;
+}
+
+bool IsGround(const Formula& f) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return true;
+    case FormulaKind::kPred:
+      for (const Term& t : f->args()) {
+        if (!t.IsGround()) {
+          return false;
+        }
+      }
+      return true;
+    case FormulaKind::kCompare:
+      return f->lhs().IsGround() && f->rhs().IsGround();
+    case FormulaKind::kSays:
+      return !f->speaker().IsVariable() && IsGround(f->child1());
+    case FormulaKind::kSpeaksFor:
+      return !f->delegator().IsVariable() && !f->delegatee().IsVariable();
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+      return IsGround(f->child1()) && IsGround(f->child2());
+    case FormulaKind::kNot:
+      return IsGround(f->child1());
+  }
+  return true;
+}
+
+namespace {
+
+bool BindVariable(const std::string& name, const Term& value, Bindings& bindings) {
+  auto [it, inserted] = bindings.emplace(name, value);
+  if (inserted) {
+    return true;
+  }
+  return it->second == value;
+}
+
+bool MatchTerm(const Term& pattern, const Term& concrete, Bindings& bindings) {
+  if (pattern.kind() == TermKind::kVariable) {
+    return BindVariable(pattern.text(), concrete, bindings);
+  }
+  return pattern == concrete;
+}
+
+bool MatchPrincipal(const Principal& pattern, const Principal& concrete, Bindings& bindings) {
+  if (pattern.IsVariable()) {
+    return BindVariable(pattern.base().substr(1), Term::Prin(concrete), bindings);
+  }
+  return pattern == concrete;
+}
+
+}  // namespace
+
+bool Match(const Formula& pattern, const Formula& concrete, Bindings& bindings) {
+  if (pattern->kind() != concrete->kind()) {
+    return false;
+  }
+  switch (pattern->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return true;
+    case FormulaKind::kPred: {
+      if (pattern->pred_name() != concrete->pred_name() ||
+          pattern->args().size() != concrete->args().size()) {
+        return false;
+      }
+      for (size_t i = 0; i < pattern->args().size(); ++i) {
+        if (!MatchTerm(pattern->args()[i], concrete->args()[i], bindings)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case FormulaKind::kCompare:
+      return pattern->compare_op() == concrete->compare_op() &&
+             MatchTerm(pattern->lhs(), concrete->lhs(), bindings) &&
+             MatchTerm(pattern->rhs(), concrete->rhs(), bindings);
+    case FormulaKind::kSays:
+      return MatchPrincipal(pattern->speaker(), concrete->speaker(), bindings) &&
+             Match(pattern->child1(), concrete->child1(), bindings);
+    case FormulaKind::kSpeaksFor:
+      return pattern->on_scope() == concrete->on_scope() &&
+             MatchPrincipal(pattern->delegator(), concrete->delegator(), bindings) &&
+             MatchPrincipal(pattern->delegatee(), concrete->delegatee(), bindings);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+      return Match(pattern->child1(), concrete->child1(), bindings) &&
+             Match(pattern->child2(), concrete->child2(), bindings);
+    case FormulaKind::kNot:
+      return Match(pattern->child1(), concrete->child1(), bindings);
+  }
+  return false;
+}
+
+namespace {
+
+Term SubstituteTerm(const Term& t, const Bindings& bindings) {
+  if (t.kind() != TermKind::kVariable) {
+    return t;
+  }
+  auto it = bindings.find(t.text());
+  if (it == bindings.end()) {
+    return t;
+  }
+  return it->second;
+}
+
+Principal SubstitutePrincipal(const Principal& p, const Bindings& bindings) {
+  if (!p.IsVariable()) {
+    return p;
+  }
+  auto it = bindings.find(p.base().substr(1));
+  if (it == bindings.end()) {
+    return p;
+  }
+  const Term& value = it->second;
+  if (value.kind() == TermKind::kPrincipal) {
+    return value.principal();
+  }
+  if (value.kind() == TermKind::kSymbol) {
+    return Principal(value.text());
+  }
+  return p;
+}
+
+}  // namespace
+
+Formula Substitute(const Formula& f, const Bindings& bindings) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return f;
+    case FormulaKind::kPred: {
+      std::vector<Term> args;
+      args.reserve(f->args().size());
+      for (const Term& t : f->args()) {
+        args.push_back(SubstituteTerm(t, bindings));
+      }
+      return FormulaNode::Pred(f->pred_name(), std::move(args));
+    }
+    case FormulaKind::kCompare:
+      return FormulaNode::Compare(f->compare_op(), SubstituteTerm(f->lhs(), bindings),
+                                  SubstituteTerm(f->rhs(), bindings));
+    case FormulaKind::kSays:
+      return FormulaNode::Says(SubstitutePrincipal(f->speaker(), bindings),
+                               Substitute(f->child1(), bindings));
+    case FormulaKind::kSpeaksFor:
+      return FormulaNode::SpeaksFor(SubstitutePrincipal(f->delegator(), bindings),
+                                    SubstitutePrincipal(f->delegatee(), bindings), f->on_scope());
+    case FormulaKind::kAnd:
+      return FormulaNode::And(Substitute(f->child1(), bindings),
+                              Substitute(f->child2(), bindings));
+    case FormulaKind::kOr:
+      return FormulaNode::Or(Substitute(f->child1(), bindings),
+                             Substitute(f->child2(), bindings));
+    case FormulaKind::kImplies:
+      return FormulaNode::Implies(Substitute(f->child1(), bindings),
+                                  Substitute(f->child2(), bindings));
+    case FormulaKind::kNot:
+      return FormulaNode::Not(Substitute(f->child1(), bindings));
+  }
+  return f;
+}
+
+bool ScopeMatches(const Formula& f, const std::string& scope) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return true;
+    case FormulaKind::kPred:
+      return f->pred_name() == scope;
+    case FormulaKind::kCompare: {
+      auto mentions = [&scope](const Term& t) {
+        return t.kind() == TermKind::kSymbol && t.text() == scope;
+      };
+      return mentions(f->lhs()) || mentions(f->rhs());
+    }
+    case FormulaKind::kSays:
+      return ScopeMatches(f->child1(), scope);
+    case FormulaKind::kSpeaksFor:
+      return f->on_scope().has_value() && *f->on_scope() == scope;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+      return ScopeMatches(f->child1(), scope) && ScopeMatches(f->child2(), scope);
+    case FormulaKind::kNot:
+      return ScopeMatches(f->child1(), scope);
+  }
+  return false;
+}
+
+std::vector<Formula> Conjuncts(const Formula& f) {
+  std::vector<Formula> out;
+  std::vector<Formula> stack = {f};
+  while (!stack.empty()) {
+    Formula cur = stack.back();
+    stack.pop_back();
+    if (cur->kind() == FormulaKind::kAnd) {
+      stack.push_back(cur->child2());
+      stack.push_back(cur->child1());
+    } else {
+      out.push_back(cur);
+    }
+  }
+  // Preserve left-to-right order: the stack discipline above pushes child2
+  // first, so conjuncts come out left-to-right already.
+  return out;
+}
+
+}  // namespace nexus::nal

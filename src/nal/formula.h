@@ -1,0 +1,119 @@
+// NAL formula AST.
+//
+// Formulas are immutable trees shared by std::shared_ptr. A label is a
+// formula of the form `P says S`; a goal formula may additionally contain
+// $-variables that the guard instantiates during evaluation (§2.5).
+#ifndef NEXUS_NAL_FORMULA_H_
+#define NEXUS_NAL_FORMULA_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nal/term.h"
+
+namespace nexus::nal {
+
+enum class FormulaKind : uint8_t {
+  kTrue,
+  kFalse,
+  kPred,       // isTypeSafe(PGM), hasPath(A, B), ...
+  kCompare,    // TimeNow < 20260319
+  kSays,       // P says F
+  kSpeaksFor,  // A speaksfor B [on scope]
+  kAnd,
+  kOr,
+  kNot,
+  kImplies,
+};
+
+enum class CompareOp : uint8_t { kLt, kLe, kEq, kGe, kGt, kNe };
+
+std::string_view CompareOpName(CompareOp op);
+
+class FormulaNode;
+using Formula = std::shared_ptr<const FormulaNode>;
+
+class FormulaNode {
+ public:
+  FormulaKind kind() const { return kind_; }
+
+  // kPred accessors.
+  const std::string& pred_name() const { return pred_name_; }
+  const std::vector<Term>& args() const { return args_; }
+
+  // kCompare accessors.
+  CompareOp compare_op() const { return compare_op_; }
+  const Term& lhs() const { return lhs_; }
+  const Term& rhs() const { return rhs_; }
+
+  // kSays / kSpeaksFor accessors.
+  const Principal& speaker() const { return p1_; }     // says
+  const Principal& delegator() const { return p1_; }   // speaksfor: A
+  const Principal& delegatee() const { return p2_; }   // speaksfor: B
+  const std::optional<std::string>& on_scope() const { return on_scope_; }
+
+  // Children: says body / unary child in child1; binary connectives use
+  // child1 and child2.
+  const Formula& child1() const { return child1_; }
+  const Formula& child2() const { return child2_; }
+
+  std::string ToString() const;
+
+  // Factories.
+  static Formula True();
+  static Formula False();
+  static Formula Pred(std::string name, std::vector<Term> args);
+  static Formula Compare(CompareOp op, Term lhs, Term rhs);
+  static Formula Says(Principal speaker, Formula body);
+  static Formula SpeaksFor(Principal a, Principal b, std::optional<std::string> scope = {});
+  static Formula And(Formula l, Formula r);
+  static Formula Or(Formula l, Formula r);
+  static Formula Not(Formula f);
+  static Formula Implies(Formula l, Formula r);
+
+  // Use the static factories; direct construction yields `true`.
+  FormulaNode() = default;
+
+ private:
+  FormulaKind kind_ = FormulaKind::kTrue;
+  std::string pred_name_;
+  std::vector<Term> args_;
+  CompareOp compare_op_ = CompareOp::kEq;
+  Term lhs_, rhs_;
+  Principal p1_, p2_;
+  std::optional<std::string> on_scope_;
+  Formula child1_, child2_;
+};
+
+// Structural equality (symbol/principal name puns included, see Term).
+bool Equals(const Formula& a, const Formula& b);
+
+// True if the formula contains no $-variables.
+bool IsGround(const Formula& f);
+
+// Variable bindings produced by matching a goal pattern against a ground
+// formula. Keys are variable names without the '$'.
+using Bindings = std::map<std::string, Term>;
+
+// One-way matching: does ground formula `concrete` instantiate `pattern`?
+// Extends `bindings` (consistently) on success.
+bool Match(const Formula& pattern, const Formula& concrete, Bindings& bindings);
+
+// Applies bindings to a formula; unbound variables remain.
+Formula Substitute(const Formula& f, const Bindings& bindings);
+
+// True if every atom of `f` is "about" the given scope: a predicate named
+// `scope`, or a comparison mentioning the symbol `scope`. Used to check
+// restricted delegation (A speaksfor B on scope, §2.1).
+bool ScopeMatches(const Formula& f, const std::string& scope);
+
+// Collects the conjuncts of a right-nested conjunction (a single non-AND
+// formula yields itself).
+std::vector<Formula> Conjuncts(const Formula& f);
+
+}  // namespace nexus::nal
+
+#endif  // NEXUS_NAL_FORMULA_H_

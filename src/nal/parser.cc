@@ -1,0 +1,473 @@
+#include "nal/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace nexus::nal {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,    // bare identifier, may contain '/', ':', '-'
+  kInt,
+  kString,   // double-quoted
+  kVariable, // $X
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kRelOp,    // < <= = >= > !=
+  kImplies,  // =>
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int64_t int_value = 0;
+  size_t position = 0;
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '/' || c == ':' ||
+         c == '-';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      size_t start = pos_;
+      if (c == '(') {
+        tokens.push_back({TokenKind::kLParen, "(", 0, start});
+        ++pos_;
+      } else if (c == ')') {
+        tokens.push_back({TokenKind::kRParen, ")", 0, start});
+        ++pos_;
+      } else if (c == ',') {
+        tokens.push_back({TokenKind::kComma, ",", 0, start});
+        ++pos_;
+      } else if (c == '.') {
+        tokens.push_back({TokenKind::kDot, ".", 0, start});
+        ++pos_;
+      } else if (c == '$') {
+        ++pos_;
+        std::string name = ReadIdent();
+        if (name.empty()) {
+          return InvalidArgument("expected variable name after '$' at position " +
+                                 std::to_string(start));
+        }
+        tokens.push_back({TokenKind::kVariable, name, 0, start});
+      } else if (c == '"') {
+        ++pos_;
+        std::string value;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+          value.push_back(text_[pos_]);
+          ++pos_;
+        }
+        if (pos_ == text_.size()) {
+          return InvalidArgument("unterminated string literal at position " +
+                                 std::to_string(start));
+        }
+        ++pos_;  // Closing quote.
+        tokens.push_back({TokenKind::kString, value, 0, start});
+      } else if (c == '=' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+        tokens.push_back({TokenKind::kImplies, "=>", 0, start});
+        pos_ += 2;
+      } else if (c == '<' || c == '>' || c == '=' || c == '!') {
+        std::string op(1, c);
+        ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '=') {
+          op.push_back('=');
+          ++pos_;
+        }
+        if (op == "!") {
+          return InvalidArgument("unexpected '!' at position " + std::to_string(start));
+        }
+        tokens.push_back({TokenKind::kRelOp, op, 0, start});
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && pos_ + 1 < text_.size() &&
+                  std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        bool negative = c == '-';
+        if (negative) {
+          ++pos_;
+        }
+        int64_t value = 0;
+        size_t digits_start = pos_;
+        while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          value = value * 10 + (text_[pos_] - '0');
+          ++pos_;
+        }
+        // An identifier like "2fast/path" starting with a digit: backtrack
+        // and lex as an identifier when identifier characters follow.
+        if (pos_ < text_.size() && IsIdentChar(text_[pos_]) && !negative) {
+          pos_ = digits_start;
+          std::string ident = ReadIdent();
+          tokens.push_back({TokenKind::kIdent, ident, 0, start});
+        } else {
+          tokens.push_back({TokenKind::kInt, "", negative ? -value : value, start});
+        }
+      } else if (IsIdentChar(c)) {
+        std::string ident = ReadIdent();
+        tokens.push_back({TokenKind::kIdent, ident, 0, start});
+      } else {
+        return InvalidArgument("unexpected character '" + std::string(1, c) + "' at position " +
+                               std::to_string(start));
+      }
+    }
+    tokens.push_back({TokenKind::kEnd, "", 0, text_.size()});
+    return tokens;
+  }
+
+ private:
+  std::string ReadIdent() {
+    std::string out;
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) {
+      out.push_back(text_[pos_]);
+      ++pos_;
+    }
+    return out;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Formula> Parse() {
+    Result<Formula> f = ParseImplies();
+    if (!f.ok()) {
+      return f;
+    }
+    if (Current().kind != TokenKind::kEnd) {
+      return Error("trailing input");
+    }
+    return f;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[index_]; }
+  const Token& Peek(size_t ahead = 1) const {
+    size_t i = index_ + ahead;
+    return tokens_[std::min(i, tokens_.size() - 1)];
+  }
+  void Advance() {
+    if (index_ + 1 < tokens_.size()) {
+      ++index_;
+    }
+  }
+  bool ConsumeKeyword(std::string_view kw) {
+    if (Current().kind == TokenKind::kIdent && Current().text == kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& what) const {
+    return InvalidArgument(what + " at position " + std::to_string(Current().position));
+  }
+
+  Result<Formula> ParseImplies() {
+    Result<Formula> lhs = ParseOr();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    if (Current().kind == TokenKind::kImplies) {
+      Advance();
+      Result<Formula> rhs = ParseImplies();  // Right associative.
+      if (!rhs.ok()) {
+        return rhs;
+      }
+      return FormulaNode::Implies(*lhs, *rhs);
+    }
+    return lhs;
+  }
+
+  Result<Formula> ParseOr() {
+    Result<Formula> lhs = ParseAnd();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    Formula acc = *lhs;
+    while (ConsumeKeyword("or")) {
+      Result<Formula> rhs = ParseAnd();
+      if (!rhs.ok()) {
+        return rhs;
+      }
+      acc = FormulaNode::Or(acc, *rhs);
+    }
+    return acc;
+  }
+
+  Result<Formula> ParseAnd() {
+    Result<Formula> lhs = ParseUnary();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    Formula acc = *lhs;
+    while (ConsumeKeyword("and")) {
+      Result<Formula> rhs = ParseUnary();
+      if (!rhs.ok()) {
+        return rhs;
+      }
+      acc = FormulaNode::And(acc, *rhs);
+    }
+    return acc;
+  }
+
+  Result<Formula> ParseUnary() {
+    if (ConsumeKeyword("not")) {
+      Result<Formula> f = ParseUnary();
+      if (!f.ok()) {
+        return f;
+      }
+      return FormulaNode::Not(*f);
+    }
+    return ParseStatement();
+  }
+
+  // A statement begins with a principal (says/speaksfor), a term (compare),
+  // a predicate, or a parenthesized formula.
+  Result<Formula> ParseStatement() {
+    if (Current().kind == TokenKind::kLParen) {
+      Advance();
+      Result<Formula> inner = ParseImplies();
+      if (!inner.ok()) {
+        return inner;
+      }
+      if (Current().kind != TokenKind::kRParen) {
+        return Error("expected ')'");
+      }
+      Advance();
+      return MaybeSaysSuffix(*inner);
+    }
+    if (Current().kind == TokenKind::kIdent && Current().text == "true" &&
+        Peek().kind != TokenKind::kLParen) {
+      Advance();
+      return FormulaNode::True();
+    }
+    if (Current().kind == TokenKind::kIdent && Current().text == "false" &&
+        Peek().kind != TokenKind::kLParen) {
+      Advance();
+      return FormulaNode::False();
+    }
+
+    // Predicate application: IDENT '(' ...
+    if (Current().kind == TokenKind::kIdent && Peek().kind == TokenKind::kLParen) {
+      return ParsePredicate();
+    }
+
+    // Otherwise parse a term and dispatch on what follows.
+    Result<Term> first = ParseTerm();
+    if (!first.ok()) {
+      return first.status();
+    }
+
+    if (Current().kind == TokenKind::kIdent && Current().text == "says") {
+      Advance();
+      Result<Principal> speaker = TermAsPrincipal(*first);
+      if (!speaker.ok()) {
+        return speaker.status();
+      }
+      Result<Formula> body = ParseUnary();
+      if (!body.ok()) {
+        return body;
+      }
+      return FormulaNode::Says(*speaker, *body);
+    }
+
+    if (Current().kind == TokenKind::kIdent && Current().text == "speaksfor") {
+      Advance();
+      Result<Principal> a = TermAsPrincipal(*first);
+      if (!a.ok()) {
+        return a.status();
+      }
+      Result<Term> b_term = ParseTerm();
+      if (!b_term.ok()) {
+        return b_term.status();
+      }
+      Result<Principal> b = TermAsPrincipal(*b_term);
+      if (!b.ok()) {
+        return b.status();
+      }
+      std::optional<std::string> scope;
+      if (ConsumeKeyword("on")) {
+        if (Current().kind != TokenKind::kIdent) {
+          return Error("expected scope identifier after 'on'");
+        }
+        scope = Current().text;
+        Advance();
+      }
+      return FormulaNode::SpeaksFor(*a, *b, scope);
+    }
+
+    if (Current().kind == TokenKind::kRelOp) {
+      CompareOp op;
+      const std::string& sym = Current().text;
+      if (sym == "<") {
+        op = CompareOp::kLt;
+      } else if (sym == "<=") {
+        op = CompareOp::kLe;
+      } else if (sym == "=") {
+        op = CompareOp::kEq;
+      } else if (sym == ">=") {
+        op = CompareOp::kGe;
+      } else if (sym == ">") {
+        op = CompareOp::kGt;
+      } else if (sym == "!=") {
+        op = CompareOp::kNe;
+      } else {
+        return Error("unknown comparison operator '" + sym + "'");
+      }
+      Advance();
+      Result<Term> rhs = ParseTerm();
+      if (!rhs.ok()) {
+        return rhs.status();
+      }
+      return FormulaNode::Compare(op, *first, *rhs);
+    }
+
+    return Error("expected 'says', 'speaksfor', or a comparison");
+  }
+
+  // Allows "(F) ..." — no suffix operators exist after a parenthesized
+  // formula, so this is the identity today; kept as a seam for group
+  // principal syntax extensions.
+  Result<Formula> MaybeSaysSuffix(Formula f) { return f; }
+
+  Result<Formula> ParsePredicate() {
+    std::string name = Current().text;
+    Advance();  // IDENT
+    Advance();  // '('
+    std::vector<Term> args;
+    if (Current().kind != TokenKind::kRParen) {
+      for (;;) {
+        Result<Term> t = ParseTerm();
+        if (!t.ok()) {
+          return t.status();
+        }
+        args.push_back(*t);
+        if (Current().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Current().kind != TokenKind::kRParen) {
+      return Error("expected ')' after predicate arguments");
+    }
+    Advance();
+    return FormulaNode::Pred(std::move(name), std::move(args));
+  }
+
+  Result<Term> ParseTerm() {
+    const Token& tok = Current();
+    switch (tok.kind) {
+      case TokenKind::kInt: {
+        int64_t v = tok.int_value;
+        Advance();
+        return Term::Int(v);
+      }
+      case TokenKind::kString: {
+        std::string s = tok.text;
+        Advance();
+        return Term::String(s);
+      }
+      case TokenKind::kVariable: {
+        std::string name = tok.text;
+        Advance();
+        return Term::Var(name);
+      }
+      case TokenKind::kIdent: {
+        // A dotted chain is a principal; a single identifier doubles as a
+        // symbol (Term equality treats the two as equivalent).
+        std::string base = tok.text;
+        Advance();
+        std::vector<std::string> path;
+        // Numeric path components ("IPC.5") lex as integer tokens.
+        while (Current().kind == TokenKind::kDot &&
+               (Peek().kind == TokenKind::kIdent || Peek().kind == TokenKind::kInt)) {
+          Advance();  // '.'
+          path.push_back(Current().kind == TokenKind::kInt
+                             ? std::to_string(Current().int_value)
+                             : Current().text);
+          Advance();
+        }
+        if (path.empty()) {
+          return Term::Symbol(base);
+        }
+        return Term::Prin(Principal(std::move(base), std::move(path)));
+      }
+      default:
+        return Error("expected a term");
+    }
+  }
+
+  Result<Principal> TermAsPrincipal(const Term& t) {
+    switch (t.kind()) {
+      case TermKind::kSymbol:
+        return Principal(t.text());
+      case TermKind::kPrincipal:
+        return t.principal();
+      case TermKind::kVariable:
+        return Principal("$" + t.text());
+      default:
+        return InvalidArgument("term '" + t.ToString() + "' cannot be used as a principal");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<Formula> ParseFormula(std::string_view text) {
+  Lexer lexer(text);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok()) {
+    return tokens.status();
+  }
+  Parser parser(std::move(*tokens));
+  return parser.Parse();
+}
+
+Result<Principal> ParsePrincipal(std::string_view text) {
+  Lexer lexer(text);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok()) {
+    return tokens.status();
+  }
+  const std::vector<Token>& toks = *tokens;
+  if (toks.empty() || toks[0].kind != TokenKind::kIdent) {
+    return InvalidArgument("expected principal name");
+  }
+  std::string base = toks[0].text;
+  std::vector<std::string> path;
+  size_t i = 1;
+  while (i + 1 < toks.size() && toks[i].kind == TokenKind::kDot &&
+         (toks[i + 1].kind == TokenKind::kIdent || toks[i + 1].kind == TokenKind::kInt)) {
+    path.push_back(toks[i + 1].kind == TokenKind::kInt ? std::to_string(toks[i + 1].int_value)
+                                                       : toks[i + 1].text);
+    i += 2;
+  }
+  if (toks[i].kind != TokenKind::kEnd) {
+    return InvalidArgument("trailing input after principal name");
+  }
+  return Principal(std::move(base), std::move(path));
+}
+
+}  // namespace nexus::nal

@@ -1,0 +1,42 @@
+// Parser for the textual NAL syntax used by the `say` and `setgoal` system
+// calls. Grammar (lowest to highest precedence):
+//
+//   formula  := or_f ("=>" or_f)*                        (right associative)
+//   or_f     := and_f ("or" and_f)*
+//   and_f    := unary ("and" unary)*
+//   unary    := "not" unary | statement
+//   statement:= principal "says" unary
+//             | principal "speaksfor" principal ["on" IDENT]
+//             | atom
+//   atom     := "(" formula ")" | "true" | "false"
+//             | term relop term | IDENT "(" term ("," term)* ")"
+//   term     := INT | STRING | principal-or-symbol | "$" IDENT
+//   principal:= IDENT ("." IDENT)*      (IDENTs may contain '/' and ':')
+//
+// Examples from the paper, accepted verbatim up to ASCII connectives:
+//   "TypeChecker says isTypeSafe(PGM)"
+//   "Nexus says /proc/ipd/30 speaksfor IPCAnalyzer"
+//   "/proc/ipd/30 says not hasPath(/proc/ipd/12, Filesystem)"
+//   "Filesystem says NTP speaksfor Filesystem on TimeNow"
+//   "NTP says TimeNow < 20260319"
+//   "$X says openFile(report) and SafetyCertifier says safe($X)"
+#ifndef NEXUS_NAL_PARSER_H_
+#define NEXUS_NAL_PARSER_H_
+
+#include <string_view>
+
+#include "nal/formula.h"
+#include "util/status.h"
+
+namespace nexus::nal {
+
+// Parses a NAL formula. Returns INVALID_ARGUMENT with a position-annotated
+// message on syntax errors.
+Result<Formula> ParseFormula(std::string_view text);
+
+// Parses a dotted principal name ("HW.kernel.process23", "/proc/ipd/12").
+Result<Principal> ParsePrincipal(std::string_view text);
+
+}  // namespace nexus::nal
+
+#endif  // NEXUS_NAL_PARSER_H_

@@ -1,0 +1,306 @@
+#include "nal/prover.h"
+
+#include <set>
+#include <string>
+
+namespace nexus::nal {
+
+namespace {
+
+class Prover {
+ public:
+  Prover(const std::vector<Formula>& credentials, const ProverOptions& options)
+      : credentials_(credentials), options_(options) {}
+
+  // Proves `goal` after substituting bindings accumulated so far; on success
+  // may extend `bindings` (for $-variables matched against credentials).
+  Result<Proof> Prove(const Formula& goal, Bindings& bindings, int depth) {
+    Formula g = Substitute(goal, bindings);
+    if (depth > options_.max_depth) {
+      return NotFound("depth limit while proving " + g->ToString());
+    }
+    std::string key = g->ToString();
+    if (!in_progress_.insert(key).second) {
+      return NotFound("cyclic subgoal " + key);
+    }
+    Result<Proof> out = ProveInner(g, bindings, depth);
+    in_progress_.erase(key);
+    return out;
+  }
+
+ private:
+  Result<Proof> ProveInner(const Formula& g, Bindings& bindings, int depth) {
+    // True is free.
+    if (g->kind() == FormulaKind::kTrue) {
+      return proof::Premise(g);
+    }
+
+    // 1. Direct premise lookup (with matching for goal variables).
+    for (const Formula& cred : credentials_) {
+      Bindings trial = bindings;
+      if (Match(g, cred, trial)) {
+        bindings = std::move(trial);
+        return proof::Premise(cred);
+      }
+    }
+
+    // 2. Conjunction: prove both halves.
+    if (g->kind() == FormulaKind::kAnd) {
+      Bindings trial = bindings;
+      Result<Proof> l = Prove(g->child1(), trial, depth + 1);
+      if (l.ok()) {
+        Result<Proof> r = Prove(g->child2(), trial, depth + 1);
+        if (r.ok()) {
+          bindings = std::move(trial);
+          return proof::AndIntro(*l, *r);
+        }
+      }
+      return NotFound("cannot prove both conjuncts of " + g->ToString());
+    }
+
+    // 3. Disjunction: prove either side.
+    if (g->kind() == FormulaKind::kOr) {
+      Bindings trial = bindings;
+      if (Result<Proof> l = Prove(g->child1(), trial, depth + 1); l.ok()) {
+        bindings = std::move(trial);
+        return proof::OrIntroL(*l, Substitute(g->child2(), bindings));
+      }
+      trial = bindings;
+      if (Result<Proof> r = Prove(g->child2(), trial, depth + 1); r.ok()) {
+        bindings = std::move(trial);
+        return proof::OrIntroR(Substitute(g->child1(), bindings), *r);
+      }
+      return NotFound("cannot prove either disjunct of " + g->ToString());
+    }
+
+    // 4. Says-goals: delegation and distribution routes.
+    if (g->kind() == FormulaKind::kSays) {
+      if (Result<Proof> p = ProveSays(g, bindings, depth); p.ok()) {
+        return p;
+      }
+    }
+
+    // 5. SpeaksFor goals: axiom, handoff, transitivity.
+    if (g->kind() == FormulaKind::kSpeaksFor) {
+      if (Result<Proof> p = ProveSpeaksFor(g, bindings, depth); p.ok()) {
+        return p;
+      }
+    }
+
+    // 6. Authority discharge for dynamic-state formulas.
+    if (options_.may_query_authority && IsGround(g) && options_.may_query_authority(g)) {
+      return proof::Authority(g);
+    }
+
+    return NotFound("no rule applies to " + g->ToString());
+  }
+
+  // Goal: B says F.
+  Result<Proof> ProveSays(const Formula& g, Bindings& bindings, int depth) {
+    const Principal& b = g->speaker();
+    const Formula& f = g->child1();
+
+    // (a) Delegation: find A speaksfor B [on s] (derivable), then prove
+    //     A says F. Candidate A's come from delegation credentials.
+    for (const Formula& cred : credentials_) {
+      Formula sf;
+      if (cred->kind() == FormulaKind::kSpeaksFor) {
+        sf = cred;
+      } else if (cred->kind() == FormulaKind::kSays &&
+                 cred->child1()->kind() == FormulaKind::kSpeaksFor) {
+        sf = cred->child1();
+      } else {
+        continue;
+      }
+      if (b.IsVariable() || !(sf->delegatee() == b)) {
+        continue;
+      }
+      if (sf->on_scope().has_value() && !ScopeMatches(f, *sf->on_scope())) {
+        continue;
+      }
+      Bindings trial = bindings;
+      Result<Proof> sf_proof = ProveSpeaksForFormula(sf, trial, depth + 1);
+      if (!sf_proof.ok()) {
+        continue;
+      }
+      Result<Proof> said =
+          Prove(FormulaNode::Says(sf->delegator(), f), trial, depth + 1);
+      if (said.ok()) {
+        bindings = std::move(trial);
+        return proof::SpeaksForElim(*sf_proof, *said);
+      }
+    }
+
+    // (b) Superprincipal attribution: a statement by a proper name-prefix P
+    //     of B speaks for B via the subprincipal axiom.
+    if (!b.IsVariable()) {
+      for (const Formula& cred : credentials_) {
+        if (cred->kind() != FormulaKind::kSays) {
+          continue;
+        }
+        const Principal& speaker = cred->speaker();
+        if (!(speaker == b) && speaker.IsPrefixOf(b)) {
+          Bindings trial = bindings;
+          if (Match(FormulaNode::Says(speaker, f), cred, trial)) {
+            bindings = std::move(trial);
+            return proof::SpeaksForElim(proof::Subprincipal(speaker, b), proof::Premise(cred));
+          }
+        }
+      }
+    }
+
+    // (c) Says-distribution: B says (X => F) together with B says X.
+    for (const Formula& cred : credentials_) {
+      if (cred->kind() != FormulaKind::kSays || !(cred->speaker() == b) ||
+          cred->child1()->kind() != FormulaKind::kImplies) {
+        continue;
+      }
+      Bindings trial = bindings;
+      if (!Match(f, cred->child1()->child2(), trial)) {
+        continue;
+      }
+      Result<Proof> ant =
+          Prove(FormulaNode::Says(b, cred->child1()->child1()), trial, depth + 1);
+      if (ant.ok()) {
+        bindings = std::move(trial);
+        return proof::SaysImpliesElim(proof::Premise(cred), *ant);
+      }
+    }
+
+    // (d) Conjunction inside says: prove each half separately.
+    if (f->kind() == FormulaKind::kAnd) {
+      Bindings trial = bindings;
+      Result<Proof> l = Prove(FormulaNode::Says(b, f->child1()), trial, depth + 1);
+      if (l.ok()) {
+        Result<Proof> r = Prove(FormulaNode::Says(b, f->child2()), trial, depth + 1);
+        if (r.ok()) {
+          bindings = std::move(trial);
+          return proof::SaysAndIntro(*l, *r);
+        }
+      }
+    }
+
+    // (e) Authority discharge of the whole says-formula.
+    if (options_.may_query_authority && IsGround(g) && options_.may_query_authority(g)) {
+      return proof::Authority(g);
+    }
+
+    return NotFound("cannot prove " + g->ToString());
+  }
+
+  // Proves a concrete speaksfor formula (not a goal pattern).
+  Result<Proof> ProveSpeaksForFormula(const Formula& sf, Bindings& bindings, int depth) {
+    // Direct premise.
+    for (const Formula& cred : credentials_) {
+      if (Equals(cred, sf)) {
+        return proof::Premise(cred);
+      }
+    }
+    // Subprincipal axiom.
+    if (!sf->on_scope().has_value() && sf->delegator().IsPrefixOf(sf->delegatee()) &&
+        !(sf->delegator() == sf->delegatee())) {
+      return proof::Subprincipal(sf->delegator(), sf->delegatee());
+    }
+    // Handoff: some credential P says (A speaksfor B) with P a prefix of B.
+    for (const Formula& cred : credentials_) {
+      if (cred->kind() != FormulaKind::kSays ||
+          cred->child1()->kind() != FormulaKind::kSpeaksFor) {
+        continue;
+      }
+      if (!Equals(cred->child1(), sf)) {
+        continue;
+      }
+      if (cred->speaker().IsPrefixOf(sf->delegatee())) {
+        return proof::Handoff(proof::Premise(cred));
+      }
+      // Speaker is a superprincipal by delegation? Re-attribute via a
+      // recursively proven "B says (A speaksfor B)".
+      Bindings trial = bindings;
+      Result<Proof> reattributed =
+          Prove(FormulaNode::Says(sf->delegatee(), cred->child1()), trial, depth + 1);
+      if (reattributed.ok()) {
+        bindings = std::move(trial);
+        return proof::Handoff(*reattributed);
+      }
+    }
+    return NotFound("cannot derive " + sf->ToString());
+  }
+
+  // Goal: A speaksfor B pattern (may contain variables; only ground
+  // handling is supported).
+  Result<Proof> ProveSpeaksFor(const Formula& g, Bindings& bindings, int depth) {
+    if (!IsGround(g)) {
+      return NotFound("speaksfor goals with variables are not supported");
+    }
+    Result<Proof> direct = ProveSpeaksForFormula(g, bindings, depth);
+    if (direct.ok()) {
+      return direct;
+    }
+    // Bounded transitivity: A speaksfor M (premise-level), M speaksfor B.
+    for (const Formula& cred : credentials_) {
+      Formula sf;
+      if (cred->kind() == FormulaKind::kSpeaksFor) {
+        sf = cred;
+      } else if (cred->kind() == FormulaKind::kSays &&
+                 cred->child1()->kind() == FormulaKind::kSpeaksFor) {
+        sf = cred->child1();
+      } else {
+        continue;
+      }
+      if (!(sf->delegator() == g->delegator())) {
+        continue;
+      }
+      if (sf->delegatee() == g->delegatee()) {
+        continue;  // Would be the direct case.
+      }
+      // Compose scopes conservatively: the transitivity rule propagates the
+      // first hop's restriction into the conclusion, so a scoped first hop
+      // can only serve an identically-scoped goal.
+      if (sf->on_scope().has_value() &&
+          (!g->on_scope().has_value() || *sf->on_scope() != *g->on_scope())) {
+        continue;
+      }
+      Bindings trial = bindings;
+      Result<Proof> first = ProveSpeaksForFormula(sf, trial, depth + 1);
+      if (!first.ok()) {
+        continue;
+      }
+      std::optional<std::string> rest_scope = g->on_scope();
+      if (sf->on_scope().has_value()) {
+        rest_scope = std::nullopt;  // Restriction already applied.
+      }
+      Formula rest = FormulaNode::SpeaksFor(sf->delegatee(), g->delegatee(), rest_scope);
+      Result<Proof> second = Prove(rest, trial, depth + 1);
+      if (second.ok()) {
+        bindings = std::move(trial);
+        return proof::SpeaksForTrans(*first, *second);
+      }
+    }
+    return NotFound("cannot derive " + g->ToString());
+  }
+
+  const std::vector<Formula>& credentials_;
+  const ProverOptions& options_;
+  std::set<std::string> in_progress_;
+};
+
+}  // namespace
+
+Result<Proof> AutoProve(const Formula& goal, const std::vector<Formula>& credentials,
+                        const ProverOptions& options) {
+  Prover prover(credentials, options);
+  Bindings bindings;
+  Result<Proof> p = prover.Prove(goal, bindings, 0);
+  if (!p.ok()) {
+    return p;
+  }
+  // Sanity: validate against the checker (authorities assumed to say yes
+  // during construction; the guard re-checks against live authorities).
+  CheckResult check = CheckProof(*p, goal, credentials, [](const Formula&) { return true; });
+  if (!check.status.ok()) {
+    return Internal("prover produced an invalid proof: " + check.status.message());
+  }
+  return p;
+}
+
+}  // namespace nexus::nal

@@ -1,0 +1,39 @@
+// Bounded, goal-directed proof construction.
+//
+// NAL proof derivation is undecidable in general, so the *guard* never
+// searches (§2.6). Clients, however, need to assemble proofs from the
+// credentials they hold; this helper performs depth-bounded backward
+// chaining over the common rule shapes (premise lookup, conjunction
+// splitting, delegation chains via handoff/subprincipal/transitivity,
+// says-distribution, and authority queries). Every proof it returns is
+// validated by the checker before use, so the prover needs to be sound in
+// practice but is deliberately incomplete.
+#ifndef NEXUS_NAL_PROVER_H_
+#define NEXUS_NAL_PROVER_H_
+
+#include <functional>
+#include <vector>
+
+#include "nal/checker.h"
+#include "nal/formula.h"
+#include "nal/proof.h"
+#include "util/status.h"
+
+namespace nexus::nal {
+
+struct ProverOptions {
+  // Maximum backward-chaining depth.
+  int max_depth = 8;
+  // If set, formulas this predicate accepts may be discharged by authority
+  // leaves instead of premises (the caller knows which authorities exist).
+  std::function<bool(const Formula&)> may_query_authority;
+};
+
+// Attempts to construct a proof of `goal` (which may contain $-variables)
+// from `credentials`. Returns NOT_FOUND if the bounded search fails.
+Result<Proof> AutoProve(const Formula& goal, const std::vector<Formula>& credentials,
+                        const ProverOptions& options = {});
+
+}  // namespace nexus::nal
+
+#endif  // NEXUS_NAL_PROVER_H_

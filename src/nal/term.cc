@@ -1,0 +1,116 @@
+#include "nal/term.h"
+
+namespace nexus::nal {
+
+Principal Principal::Sub(const std::string& tag) const {
+  Principal out = *this;
+  out.path_.push_back(tag);
+  return out;
+}
+
+bool Principal::IsPrefixOf(const Principal& other) const {
+  if (base_ != other.base_) {
+    return false;
+  }
+  if (path_.size() > other.path_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < path_.size(); ++i) {
+    if (path_[i] != other.path_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Principal::ToString() const {
+  std::string out = base_;
+  for (const std::string& tag : path_) {
+    out += '.';
+    out += tag;
+  }
+  return out;
+}
+
+Term Term::Int(int64_t value) {
+  Term t;
+  t.kind_ = TermKind::kInt;
+  t.int_value_ = value;
+  return t;
+}
+
+Term Term::String(std::string value) {
+  Term t;
+  t.kind_ = TermKind::kString;
+  t.text_ = std::move(value);
+  return t;
+}
+
+Term Term::Symbol(std::string name) {
+  Term t;
+  t.kind_ = TermKind::kSymbol;
+  t.text_ = std::move(name);
+  return t;
+}
+
+Term Term::Var(std::string name) {
+  Term t;
+  t.kind_ = TermKind::kVariable;
+  t.text_ = std::move(name);
+  return t;
+}
+
+Term Term::Prin(Principal principal) {
+  Term t;
+  t.kind_ = TermKind::kPrincipal;
+  t.principal_ = std::move(principal);
+  return t;
+}
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case TermKind::kInt:
+      return std::to_string(int_value_);
+    case TermKind::kString:
+      return "\"" + text_ + "\"";
+    case TermKind::kSymbol:
+      return text_;
+    case TermKind::kPrincipal:
+      return principal_.ToString();
+    case TermKind::kVariable:
+      return "$" + text_;
+  }
+  return "?";
+}
+
+bool Term::operator==(const Term& other) const {
+  if (kind_ != other.kind_) {
+    // A symbol and a principal with the same single-component name denote
+    // the same entity; the parser cannot always distinguish them.
+    auto as_name = [](const Term& t) -> const std::string* {
+      if (t.kind() == TermKind::kSymbol) {
+        return &t.text();
+      }
+      if (t.kind() == TermKind::kPrincipal && t.principal().path().empty()) {
+        return &t.principal().base();
+      }
+      return nullptr;
+    };
+    const std::string* a = as_name(*this);
+    const std::string* b = as_name(other);
+    return a != nullptr && b != nullptr && *a == *b;
+  }
+  switch (kind_) {
+    case TermKind::kInt:
+      return int_value_ == other.int_value_;
+    case TermKind::kString:
+    case TermKind::kSymbol:
+    case TermKind::kVariable:
+      return text_ == other.text_;
+    case TermKind::kPrincipal:
+      return principal_ == other.principal_;
+  }
+  return false;
+}
+
+}  // namespace nexus::nal

@@ -1,0 +1,95 @@
+// Principals and terms of the Nexus Authorization Logic (NAL).
+//
+// A principal is a base identity plus a chain of subprincipal tags: the
+// paper's HW.kernel.process23 is base "HW" with path {"kernel",
+// "process23"}. By definition a principal speaks for each of its
+// subprincipals (A speaksfor A.tau), which the proof checker admits as an
+// axiom whenever one principal's name is a strict prefix of another's.
+//
+// Goal formulas may contain variables (the paper's calligraphic
+// identifiers); we spell them "$X". Labels are always ground.
+#ifndef NEXUS_NAL_TERM_H_
+#define NEXUS_NAL_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nexus::nal {
+
+class Principal {
+ public:
+  Principal() = default;
+  explicit Principal(std::string base) : base_(std::move(base)) {}
+  Principal(std::string base, std::vector<std::string> path)
+      : base_(std::move(base)), path_(std::move(path)) {}
+
+  const std::string& base() const { return base_; }
+  const std::vector<std::string>& path() const { return path_; }
+
+  // Derives the subprincipal this.tag.
+  Principal Sub(const std::string& tag) const;
+
+  // True if this principal's name is a (possibly equal) prefix of `other`,
+  // i.e. `other` is this principal or one of its subprincipals.
+  bool IsPrefixOf(const Principal& other) const;
+
+  // A "$X"-style metavariable usable in goal formulas.
+  bool IsVariable() const { return !base_.empty() && base_[0] == '$' && path_.empty(); }
+
+  // Dotted name: "HW.kernel.process23".
+  std::string ToString() const;
+
+  bool operator==(const Principal& other) const {
+    return base_ == other.base_ && path_ == other.path_;
+  }
+  bool operator<(const Principal& other) const {
+    return ToString() < other.ToString();
+  }
+
+ private:
+  std::string base_;
+  std::vector<std::string> path_;
+};
+
+enum class TermKind : uint8_t {
+  kInt,        // 64-bit signed integer constant
+  kString,     // quoted string constant
+  kSymbol,     // bare identifier: TimeNow, Mar19, a filename
+  kPrincipal,  // a principal used as a term
+  kVariable,   // "$X" metavariable (goal formulas only)
+};
+
+class Term {
+ public:
+  Term() : kind_(TermKind::kInt), int_value_(0) {}
+
+  static Term Int(int64_t value);
+  static Term String(std::string value);
+  static Term Symbol(std::string name);
+  static Term Var(std::string name);  // Name without the '$'.
+  static Term Prin(Principal principal);
+
+  TermKind kind() const { return kind_; }
+  int64_t int_value() const { return int_value_; }
+  const std::string& text() const { return text_; }
+  const Principal& principal() const { return principal_; }
+
+  bool IsGround() const { return kind_ != TermKind::kVariable; }
+
+  // Canonical printed form; integers print bare, strings quoted, variables
+  // with a leading '$'.
+  std::string ToString() const;
+
+  bool operator==(const Term& other) const;
+
+ private:
+  TermKind kind_;
+  int64_t int_value_ = 0;
+  std::string text_;
+  Principal principal_;
+};
+
+}  // namespace nexus::nal
+
+#endif  // NEXUS_NAL_TERM_H_

@@ -1,0 +1,93 @@
+#include "services/cobuf.h"
+
+namespace nexus::services {
+
+CobufId CobufManager::CreateOwned(const nal::Principal& owner, Bytes data) {
+  CobufId id = next_id_++;
+  buffers_[id] = Cobuf{owner, std::move(data)};
+  return id;
+}
+
+bool CobufManager::MayFlow(const nal::Principal& recipient,
+                           const nal::Principal& source) const {
+  if (recipient == source) {
+    return true;
+  }
+  return oracle_ && oracle_(recipient, source);
+}
+
+Result<Bytes> CobufManager::Extract(CobufId id, const nal::Principal& requester) const {
+  auto it = buffers_.find(id);
+  if (it == buffers_.end()) {
+    return NotFound("no such cobuf");
+  }
+  if (!MayFlow(requester, it->second.owner)) {
+    return PermissionDenied("requester does not speak for the cobuf owner");
+  }
+  return it->second.data;
+}
+
+Result<size_t> CobufManager::Length(CobufId id) const {
+  auto it = buffers_.find(id);
+  if (it == buffers_.end()) {
+    return NotFound("no such cobuf");
+  }
+  return it->second.data.size();
+}
+
+Result<nal::Principal> CobufManager::Owner(CobufId id) const {
+  auto it = buffers_.find(id);
+  if (it == buffers_.end()) {
+    return NotFound("no such cobuf");
+  }
+  return it->second.owner;
+}
+
+Result<CobufId> CobufManager::Slice(CobufId id, size_t from, size_t len) {
+  auto it = buffers_.find(id);
+  if (it == buffers_.end()) {
+    return NotFound("no such cobuf");
+  }
+  if (from + len > it->second.data.size()) {
+    return OutOfRange("slice out of bounds");
+  }
+  CobufId out = next_id_++;
+  buffers_[out] = Cobuf{it->second.owner,
+                        Bytes(it->second.data.begin() + static_cast<ptrdiff_t>(from),
+                              it->second.data.begin() + static_cast<ptrdiff_t>(from + len))};
+  return out;
+}
+
+Status CobufManager::Append(CobufId dst, CobufId src) {
+  auto dst_it = buffers_.find(dst);
+  auto src_it = buffers_.find(src);
+  if (dst_it == buffers_.end() || src_it == buffers_.end()) {
+    return NotFound("no such cobuf");
+  }
+  if (!MayFlow(dst_it->second.owner, src_it->second.owner)) {
+    return PermissionDenied("data flow from " + src_it->second.owner.ToString() + " to " +
+                            dst_it->second.owner.ToString() +
+                            " is not authorized by the social graph");
+  }
+  nexus::Append(dst_it->second.data, src_it->second.data);
+  return OkStatus();
+}
+
+Result<CobufId> CobufManager::CreateLike(CobufId like) {
+  auto it = buffers_.find(like);
+  if (it == buffers_.end()) {
+    return NotFound("no such cobuf");
+  }
+  CobufId id = next_id_++;
+  buffers_[id] = Cobuf{it->second.owner, {}};
+  return id;
+}
+
+Status CobufManager::Destroy(CobufId id) {
+  if (buffers_.erase(id) == 0) {
+    return NotFound("no such cobuf");
+  }
+  return OkStatus();
+}
+
+}  // namespace nexus::services

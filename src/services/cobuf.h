@@ -1,0 +1,70 @@
+// Constrained buffers — cobufs (§4.1).
+//
+// An owner-tagged opaque byte buffer. Untrusted application code (Fauxbook
+// tenant code) can store, retrieve-as-handle, concatenate, and slice cobufs
+// but can never observe their contents: there is no read API that does not
+// require speaking for the owner. Collation (copying data between cobufs)
+// is gated on a delegation oracle — data may flow from buffer S to buffer D
+// only if D's owner speaks for S's owner (the social-graph edge in
+// Fauxbook). The interface deliberately offers no data-dependent branching:
+// it is not Turing-complete, which is the point.
+#ifndef NEXUS_SERVICES_COBUF_H_
+#define NEXUS_SERVICES_COBUF_H_
+
+#include <functional>
+#include <map>
+
+#include "nal/term.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace nexus::services {
+
+using CobufId = uint64_t;
+
+// Answers "may data owned by `source` flow to a buffer owned by
+// `recipient`?" — i.e. does recipient speaksfor source hold.
+using DelegationOracle =
+    std::function<bool(const nal::Principal& recipient, const nal::Principal& source)>;
+
+class CobufManager {
+ public:
+  explicit CobufManager(DelegationOracle oracle) : oracle_(std::move(oracle)) {}
+
+  // --- Trusted-layer API (the web server / framework, not tenant code).
+  // Creates a cobuf holding `data` owned by `owner` (the authenticated
+  // session principal; tenant code cannot forge this).
+  CobufId CreateOwned(const nal::Principal& owner, Bytes data);
+  // Extraction requires the requester to speak for the owner.
+  Result<Bytes> Extract(CobufId id, const nal::Principal& requester) const;
+
+  // --- Tenant-visible API: content-oblivious manipulations only.
+  Result<size_t> Length(CobufId id) const;
+  Result<nal::Principal> Owner(CobufId id) const;
+  // New cobuf with the same owner holding bytes [from, from+len).
+  Result<CobufId> Slice(CobufId id, size_t from, size_t len);
+  // Appends src's contents to dst. Requires owner(dst) speaksfor owner(src)
+  // per the delegation oracle (or identical owners).
+  Status Append(CobufId dst, CobufId src);
+  // New empty cobuf owned like `like`.
+  Result<CobufId> CreateLike(CobufId like);
+  Status Destroy(CobufId id);
+
+  size_t count() const { return buffers_.size(); }
+
+ private:
+  struct Cobuf {
+    nal::Principal owner;
+    Bytes data;
+  };
+
+  bool MayFlow(const nal::Principal& recipient, const nal::Principal& source) const;
+
+  DelegationOracle oracle_;
+  std::map<CobufId, Cobuf> buffers_;
+  CobufId next_id_ = 1;
+};
+
+}  // namespace nexus::services
+
+#endif  // NEXUS_SERVICES_COBUF_H_

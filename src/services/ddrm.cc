@@ -1,0 +1,97 @@
+#include "services/ddrm.h"
+
+#include "nal/checker.h"
+#include "nal/proof.h"
+
+namespace nexus::services {
+
+namespace {
+
+nal::Formula AllowsFormula(const std::string& operation) {
+  return nal::FormulaNode::Says(
+      nal::Principal("Policy"),
+      nal::FormulaNode::Pred("allows", {nal::Term::Symbol(operation)}));
+}
+
+}  // namespace
+
+DeviceDriverMonitor::DeviceDriverMonitor(DdrmPolicy policy, bool cache_decisions)
+    : policy_(std::move(policy)), cache_decisions_(cache_decisions) {
+  for (const std::string& operation : policy_.allowed_operations) {
+    policy_credentials_.push_back(AllowsFormula(operation));
+  }
+}
+
+bool DeviceDriverMonitor::Evaluate(const kernel::IpcMessage& message) {
+  // The policy question "may this driver invoke <op>?" is discharged as a
+  // proof check against the policy labels — the guard machinery a Nexus
+  // reference monitor really runs. The memo above caches its outcome.
+  nal::Formula goal = AllowsFormula(message.operation);
+  nal::CheckResult checked =
+      nal::CheckProof(nal::proof::Premise(goal), goal, policy_credentials_);
+  if (!checked.status.ok()) {
+    return false;
+  }
+  if (!policy_.allow_page_content_access &&
+      (message.operation == "read_page" || message.operation == "write_page")) {
+    return false;
+  }
+  if (message.operation == "ipc_send" && !policy_.allowed_ipc_targets.empty()) {
+    if (message.args.empty()) {
+      return false;
+    }
+    kernel::PortId target = static_cast<kernel::PortId>(std::stoull(message.args[0]));
+    if (!policy_.allowed_ipc_targets.contains(target)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+kernel::InterposeVerdict DeviceDriverMonitor::OnCall(const kernel::IpcContext& context,
+                                                     kernel::IpcMessage& message) {
+  (void)context;
+  bool allowed;
+  if (cache_decisions_) {
+    std::string key = message.operation;
+    if (message.operation == "ipc_send" && !message.args.empty()) {
+      key += "\x1f" + message.args[0];
+    }
+    auto it = decision_memo_.find(key);
+    if (it != decision_memo_.end()) {
+      allowed = it->second;
+    } else {
+      allowed = Evaluate(message);
+      decision_memo_[key] = allowed;
+    }
+  } else {
+    allowed = Evaluate(message);
+  }
+  if (allowed) {
+    ++stats_.allowed;
+    return kernel::InterposeVerdict::kAllow;
+  }
+  ++stats_.denied;
+  return kernel::InterposeVerdict::kDeny;
+}
+
+Status DeviceDriverMonitor::AttestDriver(core::Engine* engine, kernel::ProcessId self,
+                                         kernel::ProcessId driver) const {
+  std::string driver_path = kernel::Kernel::ProcPath(driver);
+  Result<core::LabelHandle> mediated = engine->SayFormula(
+      self, nal::FormulaNode::Pred("mediated", {nal::Term::Symbol(driver_path)}));
+  if (!mediated.ok()) {
+    return mediated.status();
+  }
+  if (!policy_.allow_page_content_access) {
+    Result<core::LabelHandle> no_read = engine->SayFormula(
+        self, nal::FormulaNode::Not(
+                  nal::FormulaNode::Pred("canReadPages", {nal::Term::Symbol(driver_path)})));
+    if (!no_read.ok()) {
+      return no_read.status();
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace nexus::services

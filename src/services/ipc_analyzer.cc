@@ -1,0 +1,84 @@
+#include "services/ipc_analyzer.h"
+
+#include <vector>
+
+namespace nexus::services {
+
+IpcAnalyzer::IpcAnalyzer(kernel::Kernel* kernel, core::Engine* engine, kernel::ProcessId self)
+    : kernel_(kernel), engine_(engine), self_(self) {}
+
+std::set<kernel::ProcessId> IpcAnalyzer::ReachableFrom(kernel::ProcessId from) const {
+  std::set<kernel::ProcessId> visited;
+  std::vector<kernel::ProcessId> frontier = {from};
+  while (!frontier.empty()) {
+    kernel::ProcessId current = frontier.back();
+    frontier.pop_back();
+    auto channels = kernel_->Channels().find(current);
+    if (channels == kernel_->Channels().end()) {
+      continue;
+    }
+    for (kernel::PortId port : channels->second) {
+      Result<kernel::ProcessId> owner = kernel_->PortOwner(port);
+      if (!owner.ok()) {
+        continue;
+      }
+      if (visited.insert(*owner).second) {
+        frontier.push_back(*owner);
+      }
+    }
+  }
+  return visited;
+}
+
+bool IpcAnalyzer::HasPath(kernel::ProcessId from, kernel::ProcessId to) const {
+  return ReachableFrom(from).contains(to);
+}
+
+std::set<kernel::ProcessId> IpcAnalyzer::ProcessesNamed(const std::string& name) const {
+  std::set<kernel::ProcessId> out;
+  for (kernel::ProcessId pid : kernel_->Processes()) {
+    Result<const kernel::Process*> p = kernel_->GetProcess(pid);
+    if (p.ok() && (*p)->name == name) {
+      out.insert(pid);
+    }
+  }
+  return out;
+}
+
+Result<core::LabelHandle> IpcAnalyzer::AttestNoPath(kernel::ProcessId subject,
+                                                    const std::string& target_name) {
+  std::set<kernel::ProcessId> targets = ProcessesNamed(target_name);
+  std::set<kernel::ProcessId> reachable = ReachableFrom(subject);
+  for (kernel::ProcessId t : targets) {
+    if (reachable.contains(t)) {
+      return FailedPrecondition("subject has an IPC path to " + target_name + " (pid " +
+                                std::to_string(t) + "); refusing to attest otherwise");
+    }
+  }
+  nal::Formula statement = nal::FormulaNode::Not(nal::FormulaNode::Pred(
+      "hasPath", {nal::Term::Symbol(kernel::Kernel::ProcPath(subject)),
+                  nal::Term::Symbol(target_name)}));
+  return engine_->SayFormula(self_, statement);
+}
+
+Result<core::LabelHandle> IpcAnalyzer::AttestPath(kernel::ProcessId subject,
+                                                  const std::string& target_name) {
+  std::set<kernel::ProcessId> targets = ProcessesNamed(target_name);
+  std::set<kernel::ProcessId> reachable = ReachableFrom(subject);
+  bool found = false;
+  for (kernel::ProcessId t : targets) {
+    if (reachable.contains(t)) {
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    return FailedPrecondition("no IPC path from subject to " + target_name);
+  }
+  nal::Formula statement = nal::FormulaNode::Pred(
+      "hasPath", {nal::Term::Symbol(kernel::Kernel::ProcPath(subject)),
+                  nal::Term::Symbol(target_name)});
+  return engine_->SayFormula(self_, statement);
+}
+
+}  // namespace nexus::services

@@ -1,0 +1,41 @@
+#include "services/safety_certifier.h"
+
+namespace nexus::services {
+
+SafetyCertifier::SafetyCertifier(kernel::Kernel* kernel, core::Engine* engine,
+                                 kernel::ProcessId self, kernel::ProcessId analyzer,
+                                 std::vector<std::string> forbidden_targets)
+    : kernel_(kernel),
+      engine_(engine),
+      self_(self),
+      analyzer_(analyzer),
+      forbidden_targets_(std::move(forbidden_targets)) {}
+
+bool SafetyCertifier::HasNoPathLabel(kernel::ProcessId subject,
+                                     const std::string& target) const {
+  nal::Formula wanted = nal::FormulaNode::Says(
+      kernel_->ProcessPrincipal(analyzer_),
+      nal::FormulaNode::Not(nal::FormulaNode::Pred(
+          "hasPath", {nal::Term::Symbol(kernel::Kernel::ProcPath(subject)),
+                      nal::Term::Symbol(target)})));
+  for (const nal::Formula& label : engine_->StoreFor(analyzer_).All()) {
+    if (nal::Equals(label, wanted)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<core::LabelHandle> SafetyCertifier::Certify(kernel::ProcessId subject) {
+  for (const std::string& target : forbidden_targets_) {
+    if (!HasNoPathLabel(subject, target)) {
+      return FailedPrecondition("missing analyzer attestation: not hasPath(" +
+                                kernel::Kernel::ProcPath(subject) + ", " + target + ")");
+    }
+  }
+  nal::Formula statement = nal::FormulaNode::Pred(
+      "safe", {nal::Term::Symbol(kernel::Kernel::ProcPath(subject))});
+  return engine_->SayFormula(self_, statement);
+}
+
+}  // namespace nexus::services

@@ -1,0 +1,45 @@
+// The safety certifier (§2.5).
+//
+// Derives `SafetyCertifier says safe(X)` from analyzer labels: X is safe
+// when, for every forbidden target T, the labelstore holds
+//   Z says not hasPath(X, T)
+// for some Z the kernel binds to the IPC analyzer, i.e.
+//   safe(X)  ≙  ∧_T  not hasPath(X, T).
+#ifndef NEXUS_SERVICES_SAFETY_CERTIFIER_H_
+#define NEXUS_SERVICES_SAFETY_CERTIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "kernel/kernel.h"
+
+namespace nexus::services {
+
+class SafetyCertifier {
+ public:
+  // `analyzer` names the process whose hasPath attestations are trusted;
+  // `forbidden_targets` is the deny-list (e.g. {"filesystem", "netdriver"}).
+  SafetyCertifier(kernel::Kernel* kernel, core::Engine* engine, kernel::ProcessId self,
+                  kernel::ProcessId analyzer, std::vector<std::string> forbidden_targets);
+
+  // Scans the analyzer's labelstore; if every forbidden target is covered
+  // by a no-path attestation for `subject`, issues
+  //   <certifier> says safe(/proc/ipd/<subject>).
+  Result<core::LabelHandle> Certify(kernel::ProcessId subject);
+
+  const std::vector<std::string>& forbidden_targets() const { return forbidden_targets_; }
+
+ private:
+  bool HasNoPathLabel(kernel::ProcessId subject, const std::string& target) const;
+
+  kernel::Kernel* kernel_;
+  core::Engine* engine_;
+  kernel::ProcessId self_;
+  kernel::ProcessId analyzer_;
+  std::vector<std::string> forbidden_targets_;
+};
+
+}  // namespace nexus::services
+
+#endif  // NEXUS_SERVICES_SAFETY_CERTIFIER_H_

@@ -1,0 +1,148 @@
+#include "storage/merkle.h"
+
+namespace nexus::storage {
+
+namespace {
+
+constexpr uint8_t kLeafPrefix = 0x00;
+constexpr uint8_t kInnerPrefix = 0x01;
+
+}  // namespace
+
+MerkleHash MerkleTree::HashLeaf(ByteView block) {
+  crypto::Sha256 hasher;
+  hasher.Update(ByteView(&kLeafPrefix, 1));
+  hasher.Update(block);
+  return hasher.Finish();
+}
+
+MerkleHash MerkleTree::HashPair(const MerkleHash& l, const MerkleHash& r) {
+  crypto::Sha256 hasher;
+  hasher.Update(ByteView(&kInnerPrefix, 1));
+  hasher.Update(ByteView(l.data(), l.size()));
+  hasher.Update(ByteView(r.data(), r.size()));
+  return hasher.Finish();
+}
+
+size_t MerkleTree::Pow2AtLeast(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+MerkleTree::MerkleTree() : leaf_count_(0), capacity_(1), nodes_(2, MerkleHash{}) {
+  Rebuild();
+}
+
+MerkleTree::MerkleTree(const std::vector<MerkleHash>& leaf_hashes) {
+  leaf_count_ = leaf_hashes.size();
+  capacity_ = Pow2AtLeast(std::max<size_t>(1, leaf_count_));
+  nodes_.assign(2 * capacity_, MerkleHash{});
+  for (size_t i = 0; i < leaf_count_; ++i) {
+    nodes_[capacity_ + i] = leaf_hashes[i];
+  }
+  // Unused leaves hold the hash of an empty block, distinguishing "absent"
+  // from "all-zero digest".
+  for (size_t i = leaf_count_; i < capacity_; ++i) {
+    nodes_[capacity_ + i] = HashLeaf({});
+  }
+  Rebuild();
+}
+
+void MerkleTree::Rebuild() {
+  for (size_t i = capacity_ - 1; i >= 1; --i) {
+    nodes_[i] = HashPair(nodes_[2 * i], nodes_[2 * i + 1]);
+    if (i == 1) {
+      break;
+    }
+  }
+}
+
+MerkleHash MerkleTree::root() const { return nodes_[1]; }
+
+Status MerkleTree::ResizeLeaves(size_t count) {
+  if (count < leaf_count_) {
+    return InvalidArgument("Merkle tree shrinking not supported");
+  }
+  if (count <= capacity_) {
+    for (size_t i = leaf_count_; i < count; ++i) {
+      nodes_[capacity_ + i] = HashLeaf({});
+    }
+    leaf_count_ = count;
+    Rebuild();
+    return OkStatus();
+  }
+  std::vector<MerkleHash> leaves = LeafHashes();
+  leaves.resize(count, HashLeaf({}));
+  *this = MerkleTree(leaves);
+  return OkStatus();
+}
+
+Status MerkleTree::UpdateLeaf(size_t index, const MerkleHash& leaf_hash) {
+  if (index >= leaf_count_) {
+    return OutOfRange("leaf index out of range");
+  }
+  size_t node = capacity_ + index;
+  nodes_[node] = leaf_hash;
+  node /= 2;
+  while (node >= 1) {
+    nodes_[node] = HashPair(nodes_[2 * node], nodes_[2 * node + 1]);
+    if (node == 1) {
+      break;
+    }
+    node /= 2;
+  }
+  return OkStatus();
+}
+
+Result<MerkleHash> MerkleTree::LeafHash(size_t index) const {
+  if (index >= leaf_count_) {
+    return OutOfRange("leaf index out of range");
+  }
+  return nodes_[capacity_ + index];
+}
+
+Result<std::vector<MerkleHash>> MerkleTree::AuthPath(size_t index) const {
+  if (index >= leaf_count_) {
+    return OutOfRange("leaf index out of range");
+  }
+  std::vector<MerkleHash> path;
+  size_t node = capacity_ + index;
+  while (node > 1) {
+    path.push_back(nodes_[node ^ 1]);  // Sibling.
+    node /= 2;
+  }
+  return path;
+}
+
+bool MerkleTree::VerifyPath(const MerkleHash& root, size_t index, const MerkleHash& leaf_hash,
+                            const std::vector<MerkleHash>& path, size_t leaf_count) {
+  size_t capacity = Pow2AtLeast(std::max<size_t>(1, leaf_count));
+  size_t depth = 0;
+  for (size_t c = capacity; c > 1; c /= 2) {
+    ++depth;
+  }
+  if (path.size() != depth || index >= leaf_count) {
+    return false;
+  }
+  MerkleHash acc = leaf_hash;
+  size_t node = capacity + index;
+  for (const MerkleHash& sibling : path) {
+    acc = (node % 2 == 0) ? HashPair(acc, sibling) : HashPair(sibling, acc);
+    node /= 2;
+  }
+  return acc == root;
+}
+
+std::vector<MerkleHash> MerkleTree::LeafHashes() const {
+  std::vector<MerkleHash> out;
+  out.reserve(leaf_count_);
+  for (size_t i = 0; i < leaf_count_; ++i) {
+    out.push_back(nodes_[capacity_ + i]);
+  }
+  return out;
+}
+
+}  // namespace nexus::storage

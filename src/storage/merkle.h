@@ -1,0 +1,65 @@
+// Merkle hash tree (§3.3).
+//
+// Divides a region into fixed-size blocks whose hashes form the leaves of a
+// binary tree; inner nodes hash the concatenation of their children. The
+// single root hash protects the whole region while decoupling update and
+// verification cost from region size: updating one block rehashes one
+// root-to-leaf path, and a block can be verified against the root with a
+// logarithmic sibling path (enabling demand paging of SSR contents).
+#ifndef NEXUS_STORAGE_MERKLE_H_
+#define NEXUS_STORAGE_MERKLE_H_
+
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace nexus::storage {
+
+using MerkleHash = crypto::Sha256Digest;
+
+class MerkleTree {
+ public:
+  // An empty tree over zero leaves.
+  MerkleTree();
+  // Builds from per-leaf hashes.
+  explicit MerkleTree(const std::vector<MerkleHash>& leaf_hashes);
+
+  static MerkleHash HashLeaf(ByteView block);
+
+  size_t leaf_count() const { return leaf_count_; }
+  MerkleHash root() const;
+
+  // Grows the tree to `count` leaves (new leaves take the empty-block
+  // hash). Shrinking is not supported.
+  Status ResizeLeaves(size_t count);
+
+  // Replaces one leaf hash and rehashes its path to the root: O(log n).
+  Status UpdateLeaf(size_t index, const MerkleHash& leaf_hash);
+  Result<MerkleHash> LeafHash(size_t index) const;
+
+  // Sibling path from leaf `index` to the root (for remote verification).
+  Result<std::vector<MerkleHash>> AuthPath(size_t index) const;
+
+  // Verifies that `leaf_hash` at `index` is consistent with `root` given a
+  // sibling path for a tree of `leaf_count` leaves.
+  static bool VerifyPath(const MerkleHash& root, size_t index, const MerkleHash& leaf_hash,
+                         const std::vector<MerkleHash>& path, size_t leaf_count);
+
+  // All leaf hashes (persisted as SSR metadata and rebuilt at boot).
+  std::vector<MerkleHash> LeafHashes() const;
+
+ private:
+  static MerkleHash HashPair(const MerkleHash& l, const MerkleHash& r);
+  static size_t Pow2AtLeast(size_t n);
+  void Rebuild();
+
+  size_t leaf_count_ = 0;
+  size_t capacity_ = 0;            // Power of two >= leaf_count_.
+  std::vector<MerkleHash> nodes_;  // Heap layout: nodes_[1] is the root.
+};
+
+}  // namespace nexus::storage
+
+#endif  // NEXUS_STORAGE_MERKLE_H_

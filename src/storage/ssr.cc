@@ -1,0 +1,287 @@
+#include "storage/ssr.h"
+
+#include <algorithm>
+
+namespace nexus::storage {
+
+SsrManager::SsrManager(BlockDevice* disk, VdirTable* vdirs, VkeyTable* vkeys)
+    : SsrManager(disk, vdirs, vkeys, Config{}) {}
+
+SsrManager::SsrManager(BlockDevice* disk, VdirTable* vdirs, VkeyTable* vkeys,
+                       const Config& config)
+    : disk_(disk), vdirs_(vdirs), vkeys_(vkeys), config_(config) {}
+
+VdirValue SsrManager::RootBinding(const Region& region) {
+  MerkleHash root = region.tree.root();
+  Bytes material(root.begin(), root.end());
+  AppendU64(material, region.size);
+  return crypto::Sha1::Hash(material);
+}
+
+Status SsrManager::PersistMeta(const Region& region) {
+  Bytes meta;
+  AppendU32(meta, region.vdir);
+  meta.push_back(region.encrypted ? 1 : 0);
+  AppendU32(meta, region.vkey);
+  AppendU64(meta, region.nonce);
+  AppendU64(meta, region.size);
+  std::vector<MerkleHash> leaves = region.tree.LeafHashes();
+  AppendU32(meta, static_cast<uint32_t>(leaves.size()));
+  for (const MerkleHash& leaf : leaves) {
+    Append(meta, ByteView(leaf.data(), leaf.size()));
+  }
+  return disk_->Write(MetaPath(region.id), meta);
+}
+
+Status SsrManager::PersistDirectory() {
+  Bytes dir;
+  AppendU32(dir, next_id_);
+  AppendU32(dir, static_cast<uint32_t>(regions_.size()));
+  for (const auto& [id, region] : regions_) {
+    AppendU32(dir, id);
+  }
+  return disk_->Write(DirectoryPath(), dir);
+}
+
+Result<SsrId> SsrManager::Create(bool encrypted, VkeyId vkey, uint64_t nonce) {
+  if (encrypted && vkey != 0 && !vkeys_->Exists(vkey)) {
+    return NotFound("no such VKEY");
+  }
+  Result<VdirId> vdir = vdirs_->Allocate();
+  if (!vdir.ok()) {
+    return vdir.status();
+  }
+  Region region;
+  region.id = next_id_++;
+  region.vdir = *vdir;
+  region.encrypted = encrypted;
+  region.vkey = vkey;
+  region.nonce = nonce;
+  NEXUS_RETURN_IF_ERROR(vdirs_->Write(region.vdir, RootBinding(region)));
+  NEXUS_RETURN_IF_ERROR(PersistMeta(region));
+  SsrId id = region.id;
+  regions_[id] = std::move(region);
+  NEXUS_RETURN_IF_ERROR(PersistDirectory());
+  return id;
+}
+
+Status SsrManager::Destroy(SsrId id) {
+  auto it = regions_.find(id);
+  if (it == regions_.end()) {
+    return NotFound("no such SSR");
+  }
+  size_t blocks = it->second.tree.leaf_count();
+  for (size_t i = 0; i < blocks; ++i) {
+    disk_->Delete(BlockPath(id, i));
+  }
+  disk_->Delete(MetaPath(id));
+  vdirs_->Free(it->second.vdir);
+  regions_.erase(it);
+  return PersistDirectory();
+}
+
+Result<Bytes> SsrManager::ReadBlockVerified(const Region& region, size_t index) const {
+  Result<Bytes> raw = disk_->Read(BlockPath(region.id, index));
+  if (!raw.ok()) {
+    return raw.status();
+  }
+  Result<MerkleHash> expected = region.tree.LeafHash(index);
+  if (!expected.ok()) {
+    return expected.status();
+  }
+  if (MerkleTree::HashLeaf(*raw) != *expected) {
+    return Corruption("SSR block " + std::to_string(index) +
+                      " failed integrity verification");
+  }
+  if (!region.encrypted) {
+    return raw;
+  }
+  return vkeys_->Decrypt(region.vkey, region.nonce,
+                         static_cast<uint64_t>(index) * config_.block_size, *raw);
+}
+
+Status SsrManager::WriteBlock(Region& region, size_t index, ByteView block) {
+  Bytes stored(block.begin(), block.end());
+  if (region.encrypted) {
+    Result<Bytes> encrypted =
+        vkeys_->Encrypt(region.vkey, region.nonce,
+                        static_cast<uint64_t>(index) * config_.block_size, block);
+    if (!encrypted.ok()) {
+      return encrypted.status();
+    }
+    stored = std::move(*encrypted);
+  }
+  NEXUS_RETURN_IF_ERROR(disk_->Write(BlockPath(region.id, index), stored));
+  if (index >= region.tree.leaf_count()) {
+    NEXUS_RETURN_IF_ERROR(region.tree.ResizeLeaves(index + 1));
+  }
+  return region.tree.UpdateLeaf(index, MerkleTree::HashLeaf(stored));
+}
+
+Status SsrManager::Write(SsrId id, uint64_t offset, ByteView data) {
+  auto it = regions_.find(id);
+  if (it == regions_.end()) {
+    return NotFound("no such SSR");
+  }
+  Region& region = it->second;
+  const size_t bs = config_.block_size;
+
+  uint64_t end = offset + data.size();
+  size_t first_block = static_cast<size_t>(offset / bs);
+  size_t last_block = data.empty() ? first_block : static_cast<size_t>((end - 1) / bs);
+
+  // A write past the current end leaves a hole; materialize intervening
+  // blocks as zeros so later reads verify cleanly.
+  for (size_t b = region.tree.leaf_count(); b < first_block; ++b) {
+    NEXUS_RETURN_IF_ERROR(WriteBlock(region, b, Bytes(bs, 0)));
+  }
+
+  for (size_t b = first_block; b <= last_block && !data.empty(); ++b) {
+    uint64_t block_start = static_cast<uint64_t>(b) * bs;
+    // Read-modify-write for partial blocks that already exist.
+    Bytes plain(bs, 0);
+    if (b < region.tree.leaf_count()) {
+      Result<Bytes> existing = ReadBlockVerified(region, b);
+      if (existing.ok()) {
+        std::copy(existing->begin(), existing->end(), plain.begin());
+      } else if (existing.status().code() == ErrorCode::kCorruption) {
+        return existing.status();
+      }
+    }
+    uint64_t copy_from = std::max(offset, block_start);
+    uint64_t copy_to = std::min(end, block_start + bs);
+    std::copy(data.begin() + static_cast<ptrdiff_t>(copy_from - offset),
+              data.begin() + static_cast<ptrdiff_t>(copy_to - offset),
+              plain.begin() + static_cast<ptrdiff_t>(copy_from - block_start));
+    // Blocks are stored zero-padded at full block size; the region's
+    // logical size bounds reads (§5.4 notes the padding cost for small
+    // files).
+    NEXUS_RETURN_IF_ERROR(WriteBlock(region, b, plain));
+  }
+
+  region.size = std::max(region.size, end);
+  NEXUS_RETURN_IF_ERROR(vdirs_->Write(region.vdir, RootBinding(region)));
+  return PersistMeta(region);
+}
+
+Result<Bytes> SsrManager::Read(SsrId id, uint64_t offset, size_t length) const {
+  auto it = regions_.find(id);
+  if (it == regions_.end()) {
+    return NotFound("no such SSR");
+  }
+  const Region& region = it->second;
+  if (offset + length > region.size) {
+    return OutOfRange("read past end of SSR");
+  }
+  // Verify the anchored root before trusting any block (replay detection).
+  Result<VdirValue> anchored = vdirs_->Read(region.vdir);
+  if (!anchored.ok()) {
+    return anchored.status();
+  }
+  if (*anchored != RootBinding(region)) {
+    return Corruption("SSR root does not match its VDIR: replay or tampering detected");
+  }
+
+  const size_t bs = config_.block_size;
+  Bytes out;
+  out.reserve(length);
+  uint64_t end = offset + length;
+  size_t first_block = static_cast<size_t>(offset / bs);
+  size_t last_block = length == 0 ? first_block : static_cast<size_t>((end - 1) / bs);
+  for (size_t b = first_block; b <= last_block && length > 0; ++b) {
+    Result<Bytes> block = ReadBlockVerified(region, b);
+    if (!block.ok()) {
+      return block.status();
+    }
+    uint64_t block_start = static_cast<uint64_t>(b) * bs;
+    uint64_t from = std::max(offset, block_start);
+    uint64_t to = std::min<uint64_t>(end, block_start + block->size());
+    if (from < to) {
+      out.insert(out.end(), block->begin() + static_cast<ptrdiff_t>(from - block_start),
+                 block->begin() + static_cast<ptrdiff_t>(to - block_start));
+    }
+  }
+  return out;
+}
+
+Result<uint64_t> SsrManager::Size(SsrId id) const {
+  auto it = regions_.find(id);
+  if (it == regions_.end()) {
+    return NotFound("no such SSR");
+  }
+  return it->second.size;
+}
+
+Status SsrManager::Recover() {
+  regions_.clear();
+  Result<Bytes> dir = disk_->Read(DirectoryPath());
+  if (!dir.ok()) {
+    return OkStatus();  // Nothing persisted yet.
+  }
+  ByteReader reader(*dir);
+  Result<uint32_t> next_id = reader.ReadU32();
+  if (!next_id.ok()) {
+    return Corruption("SSR directory truncated");
+  }
+  next_id_ = *next_id;
+  Result<uint32_t> count = reader.ReadU32();
+  if (!count.ok()) {
+    return Corruption("SSR directory truncated");
+  }
+  for (uint32_t i = 0; i < *count; ++i) {
+    Result<uint32_t> id = reader.ReadU32();
+    if (!id.ok()) {
+      return Corruption("SSR directory truncated");
+    }
+    Result<Bytes> meta = disk_->Read(MetaPath(*id));
+    if (!meta.ok()) {
+      continue;  // Region vanished: treated as destroyed.
+    }
+    const Bytes& raw = *meta;
+    if (raw.size() < 4 + 1 + 4 + 8 + 8 + 4) {
+      return Corruption("SSR metadata truncated");
+    }
+    size_t off = 0;
+    auto read_u32 = [&raw, &off] {
+      uint32_t v = (static_cast<uint32_t>(raw[off]) << 24) |
+                   (static_cast<uint32_t>(raw[off + 1]) << 16) |
+                   (static_cast<uint32_t>(raw[off + 2]) << 8) | static_cast<uint32_t>(raw[off + 3]);
+      off += 4;
+      return v;
+    };
+    auto read_u64 = [&read_u32] {
+      uint64_t hi = read_u32();
+      return (hi << 32) | read_u32();
+    };
+    Region region;
+    region.id = *id;
+    region.vdir = read_u32();
+    region.encrypted = raw[off++] != 0;
+    region.vkey = read_u32();
+    region.nonce = read_u64();
+    region.size = read_u64();
+    uint32_t leaves = read_u32();
+    if (raw.size() < off + static_cast<size_t>(leaves) * crypto::kSha256DigestSize) {
+      return Corruption("SSR metadata truncated");
+    }
+    std::vector<MerkleHash> leaf_hashes(leaves);
+    for (uint32_t l = 0; l < leaves; ++l) {
+      std::copy_n(raw.begin() + static_cast<ptrdiff_t>(off), crypto::kSha256DigestSize,
+                  leaf_hashes[l].begin());
+      off += crypto::kSha256DigestSize;
+    }
+    region.tree = MerkleTree(leaf_hashes);
+
+    // The recovered tree must match the anchored root, or the metadata was
+    // tampered with / replayed while dormant.
+    Result<VdirValue> anchored = vdirs_->Read(region.vdir);
+    if (!anchored.ok() || *anchored != RootBinding(region)) {
+      return Corruption("SSR " + std::to_string(region.id) +
+                        " metadata does not match its VDIR anchor");
+    }
+    regions_[region.id] = std::move(region);
+  }
+  return OkStatus();
+}
+
+}  // namespace nexus::storage

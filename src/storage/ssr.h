@@ -1,0 +1,85 @@
+// Secure Storage Regions (§3.3).
+//
+// An SSR is an integrity-protected, optionally encrypted persistent region
+// on untrusted secondary storage. Contents are divided into fixed-size
+// blocks; block hashes form a Merkle tree whose root is anchored in a VDIR
+// (and hence, transitively, in the TPM's hardware DIRs). Counter-mode
+// encryption keeps blocks independently decryptable, so reads verify and
+// decrypt only the relevant blocks (demand paging). Replaying stale disk
+// images fails: the replayed tree's root no longer matches the VDIR.
+#ifndef NEXUS_STORAGE_SSR_H_
+#define NEXUS_STORAGE_SSR_H_
+
+#include <map>
+#include <string>
+
+#include "storage/blockdev.h"
+#include "storage/merkle.h"
+#include "storage/vdir.h"
+#include "storage/vkey.h"
+
+namespace nexus::storage {
+
+using SsrId = uint32_t;
+
+class SsrManager {
+ public:
+  struct Config {
+    size_t block_size = 1024;  // §5.4 notes the 1 kB default block size.
+  };
+
+  SsrManager(BlockDevice* disk, VdirTable* vdirs, VkeyTable* vkeys);
+  SsrManager(BlockDevice* disk, VdirTable* vdirs, VkeyTable* vkeys, const Config& config);
+
+  // Creates an SSR. `vkey` 0 with encrypt=false gives integrity-only.
+  Result<SsrId> Create(bool encrypted, VkeyId vkey = 0, uint64_t nonce = 0);
+  Status Destroy(SsrId id);
+
+  // Writes [offset, offset+data.size()) — extends the region as needed.
+  Status Write(SsrId id, uint64_t offset, ByteView data);
+  // Reads and verifies exactly the covered blocks.
+  Result<Bytes> Read(SsrId id, uint64_t offset, size_t length) const;
+  Result<uint64_t> Size(SsrId id) const;
+
+  // Re-opens all SSR metadata from disk after a reboot, verifying each
+  // region's tree root against its VDIR. Regions that fail verification
+  // are reported and dropped.
+  Status Recover();
+
+  size_t block_size() const { return config_.block_size; }
+
+ private:
+  struct Region {
+    SsrId id = 0;
+    VdirId vdir = 0;
+    bool encrypted = false;
+    VkeyId vkey = 0;
+    uint64_t nonce = 0;
+    uint64_t size = 0;
+    MerkleTree tree;
+  };
+
+  std::string BlockPath(SsrId id, size_t index) const {
+    return "ssr/" + std::to_string(id) + "/block/" + std::to_string(index);
+  }
+  std::string MetaPath(SsrId id) const { return "ssr/" + std::to_string(id) + "/meta"; }
+  static std::string DirectoryPath() { return "ssr/directory"; }
+
+  // Root binding: SHA-1(merkle_root || size), stored in the VDIR.
+  static VdirValue RootBinding(const Region& region);
+  Status PersistMeta(const Region& region);
+  Status PersistDirectory();
+  Result<Bytes> ReadBlockVerified(const Region& region, size_t index) const;
+  Status WriteBlock(Region& region, size_t index, ByteView block);
+
+  BlockDevice* disk_;
+  VdirTable* vdirs_;
+  VkeyTable* vkeys_;
+  Config config_;
+  std::map<SsrId, Region> regions_;
+  SsrId next_id_ = 1;
+};
+
+}  // namespace nexus::storage
+
+#endif  // NEXUS_STORAGE_SSR_H_

@@ -1,0 +1,158 @@
+#include "storage/vdir.h"
+
+#include <algorithm>
+
+namespace nexus::storage {
+
+namespace {
+
+constexpr int kDirCur = 0;
+constexpr int kDirNew = 1;
+
+}  // namespace
+
+crypto::Sha1Digest VdirTable::DigestOf(ByteView data) { return crypto::Sha1::Hash(data); }
+
+Bytes VdirTable::Serialize() const {
+  Bytes out;
+  AppendU32(out, next_id_);
+  AppendU32(out, static_cast<uint32_t>(values_.size()));
+  for (const auto& [id, value] : values_) {
+    AppendU32(out, id);
+    Append(out, ByteView(value.data(), value.size()));
+  }
+  return out;
+}
+
+Result<VdirTable> VdirTable::Boot(tpm::Tpm* tpm, BlockDevice* disk) {
+  VdirTable table(tpm, disk);
+
+  bool have_current = disk->Exists(kStateCurrentPath);
+  bool have_new = disk->Exists(kStateNewPath);
+
+  Result<crypto::Sha1Digest> dir_cur = tpm->ReadDir(kDirCur);
+  Result<crypto::Sha1Digest> dir_new = tpm->ReadDir(kDirNew);
+  if (!dir_cur.ok() || !dir_new.ok()) {
+    return PermissionDenied("TPM DIRs inaccessible: wrong kernel measured?");
+  }
+
+  if (!have_current && !have_new) {
+    // First boot: anchor an empty table.
+    if (*dir_cur != crypto::Sha1Digest{} || *dir_new != crypto::Sha1Digest{}) {
+      return Corruption("state files missing but DIRs non-zero: disk wiped while dormant");
+    }
+    NEXUS_RETURN_IF_ERROR(table.Flush());
+    return table;
+  }
+
+  auto matches = [disk](const char* path, const crypto::Sha1Digest& dir) {
+    Result<Bytes> data = disk->Read(path);
+    return data.ok() && DigestOf(*data) == dir;
+  };
+  bool cur_ok = matches(kStateCurrentPath, *dir_cur);
+  bool new_ok = matches(kStateNewPath, *dir_new);
+
+  const char* chosen = nullptr;
+  if (cur_ok && new_ok) {
+    chosen = kStateNewPath;  // Both match: new is the latest state.
+  } else if (new_ok) {
+    chosen = kStateNewPath;
+  } else if (cur_ok) {
+    chosen = kStateCurrentPath;
+  } else {
+    return Corruption("neither state file matches its DIR: on-disk state was modified while "
+                      "the kernel was dormant; aborting boot");
+  }
+
+  Result<Bytes> data = disk->Read(chosen);
+  if (!data.ok()) {
+    return data.status();
+  }
+  // Inline parse (kept here so Parse/Serialize stay symmetric).
+  ByteReader reader(*data);
+  Result<uint32_t> next_id = reader.ReadU32();
+  if (!next_id.ok()) {
+    return Corruption("VDIR table truncated");
+  }
+  Result<uint32_t> count = reader.ReadU32();
+  if (!count.ok()) {
+    return Corruption("VDIR table truncated");
+  }
+  std::map<VdirId, VdirValue> values;
+  const Bytes& raw = *data;
+  size_t offset = 8;
+  for (uint32_t i = 0; i < *count; ++i) {
+    if (offset + 4 + crypto::kSha1DigestSize > raw.size()) {
+      return Corruption("VDIR table truncated");
+    }
+    VdirId id = (static_cast<uint32_t>(raw[offset]) << 24) |
+                (static_cast<uint32_t>(raw[offset + 1]) << 16) |
+                (static_cast<uint32_t>(raw[offset + 2]) << 8) |
+                static_cast<uint32_t>(raw[offset + 3]);
+    offset += 4;
+    VdirValue value;
+    std::copy_n(raw.begin() + static_cast<ptrdiff_t>(offset), value.size(), value.begin());
+    offset += value.size();
+    values[id] = value;
+  }
+  table.next_id_ = *next_id;
+  table.values_ = std::move(values);
+
+  // Re-anchor so both DIRs and both files agree going forward.
+  NEXUS_RETURN_IF_ERROR(table.Flush());
+  return table;
+}
+
+Status VdirTable::Flush() {
+  Bytes serialized = Serialize();
+  crypto::Sha1Digest digest = DigestOf(serialized);
+  // Step 1: new state file.
+  NEXUS_RETURN_IF_ERROR(disk_->Write(kStateNewPath, serialized));
+  // Step 2: DIRnew.
+  NEXUS_RETURN_IF_ERROR(tpm_->WriteDir(kDirNew, digest));
+  // Step 3: DIRcur.
+  NEXUS_RETURN_IF_ERROR(tpm_->WriteDir(kDirCur, digest));
+  // Step 4: current state file.
+  NEXUS_RETURN_IF_ERROR(disk_->Write(kStateCurrentPath, serialized));
+  return OkStatus();
+}
+
+Result<VdirId> VdirTable::Allocate() {
+  VdirId id = next_id_++;
+  values_[id] = VdirValue{};
+  NEXUS_RETURN_IF_ERROR(Flush());
+  return id;
+}
+
+Status VdirTable::Free(VdirId id) {
+  if (values_.erase(id) == 0) {
+    return NotFound("no such VDIR");
+  }
+  return Flush();
+}
+
+Status VdirTable::Write(VdirId id, const VdirValue& value) {
+  auto it = values_.find(id);
+  if (it == values_.end()) {
+    return NotFound("no such VDIR");
+  }
+  VdirValue previous = it->second;
+  it->second = value;
+  Status flushed = Flush();
+  if (!flushed.ok()) {
+    // The in-memory view must not claim success the disk cannot back.
+    it->second = previous;
+    return flushed;
+  }
+  return OkStatus();
+}
+
+Result<VdirValue> VdirTable::Read(VdirId id) const {
+  auto it = values_.find(id);
+  if (it == values_.end()) {
+    return NotFound("no such VDIR");
+  }
+  return it->second;
+}
+
+}  // namespace nexus::storage

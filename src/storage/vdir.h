@@ -1,0 +1,63 @@
+// Virtual Data Integrity Registers (§3.3).
+//
+// The TPM provides only two 160-bit DIRs; Nexus multiplexes them into an
+// arbitrary number of VDIRs by keeping a kernel hash table of VDIR values
+// whose digest is anchored in the hardware DIRs. Updates follow a four-step
+// protocol that tolerates power failure at any point:
+//   (1) write the new table to /proc/state/new,
+//   (2) write the new digest into DIRnew,
+//   (3) write the new digest into DIRcur,
+//   (4) write the new table to /proc/state/current.
+// Boot compares both state files against both DIRs: one match selects that
+// file; two matches select /proc/state/new (the latest); zero matches means
+// the disk was modified while the kernel was dormant, and boot aborts.
+#ifndef NEXUS_STORAGE_VDIR_H_
+#define NEXUS_STORAGE_VDIR_H_
+
+#include <map>
+#include <string>
+
+#include "storage/blockdev.h"
+#include "tpm/tpm.h"
+#include "util/status.h"
+
+namespace nexus::storage {
+
+inline constexpr char kStateCurrentPath[] = "/proc/state/current";
+inline constexpr char kStateNewPath[] = "/proc/state/new";
+
+using VdirId = uint32_t;
+using VdirValue = crypto::Sha1Digest;
+
+class VdirTable {
+ public:
+  // Boots the VDIR subsystem: first boot initializes an empty table and
+  // anchors it; later boots run the recovery protocol. Returns CORRUPTION
+  // if neither state file matches a DIR (offline tampering/replay).
+  static Result<VdirTable> Boot(tpm::Tpm* tpm, BlockDevice* disk);
+
+  Result<VdirId> Allocate();
+  Status Free(VdirId id);
+  // Writes a VDIR value and flushes via the four-step protocol. Returns an
+  // error if the flush could not complete (power failure); the on-disk
+  // state remains recoverable either way.
+  Status Write(VdirId id, const VdirValue& value);
+  Result<VdirValue> Read(VdirId id) const;
+  size_t size() const { return values_.size(); }
+
+ private:
+  VdirTable(tpm::Tpm* tpm, BlockDevice* disk) : tpm_(tpm), disk_(disk) {}
+
+  Bytes Serialize() const;
+  static crypto::Sha1Digest DigestOf(ByteView data);
+  Status Flush();
+
+  tpm::Tpm* tpm_;
+  BlockDevice* disk_;
+  std::map<VdirId, VdirValue> values_;
+  VdirId next_id_ = 1;
+};
+
+}  // namespace nexus::storage
+
+#endif  // NEXUS_STORAGE_VDIR_H_

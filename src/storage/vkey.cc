@@ -1,0 +1,119 @@
+#include "storage/vkey.h"
+
+#include <algorithm>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace nexus::storage {
+
+namespace {
+
+constexpr uint64_t kWrapNonce = 0x77ab;
+
+crypto::AesKey KeyFromBytes(ByteView material) {
+  crypto::Sha256Digest digest = crypto::Sha256::Hash(material);
+  crypto::AesKey key;
+  std::copy_n(digest.begin(), key.size(), key.begin());
+  return key;
+}
+
+}  // namespace
+
+VkeyTable::VkeyTable(tpm::Tpm* tpm, Rng* rng) : tpm_(tpm), rng_(rng) {
+  // The default Nexus wrapping key is random at first construction and kept
+  // sealed to the current PCR state; a modified kernel cannot unseal it.
+  Bytes material = rng_->RandomBytes(32);
+  default_key_ = KeyFromBytes(material);
+  Result<Bytes> sealed = tpm_->Seal(material, {0, 1, 2});
+  default_key_sealed_ = sealed.ok() ? *sealed : Bytes{};
+}
+
+Result<VkeyId> VkeyTable::Create() {
+  VkeyId id = next_id_++;
+  Bytes material = rng_->RandomBytes(32);
+  keys_[id] = KeyFromBytes(material);
+  return id;
+}
+
+Status VkeyTable::Destroy(VkeyId id) {
+  if (keys_.erase(id) == 0) {
+    return NotFound("no such VKEY");
+  }
+  return OkStatus();
+}
+
+Result<crypto::AesKey> VkeyTable::KeyFor(VkeyId id) const {
+  if (id == 0) {
+    return default_key_;
+  }
+  auto it = keys_.find(id);
+  if (it == keys_.end()) {
+    return NotFound("no such VKEY");
+  }
+  return it->second;
+}
+
+Result<Bytes> VkeyTable::Encrypt(VkeyId id, uint64_t nonce, uint64_t offset,
+                                 ByteView plaintext) const {
+  Result<crypto::AesKey> key = KeyFor(id);
+  if (!key.ok()) {
+    return key.status();
+  }
+  return crypto::AesCtr(*key, nonce).Crypt(offset, plaintext);
+}
+
+Result<Bytes> VkeyTable::Decrypt(VkeyId id, uint64_t nonce, uint64_t offset,
+                                 ByteView ciphertext) const {
+  return Encrypt(id, nonce, offset, ciphertext);  // CTR is symmetric.
+}
+
+Result<Bytes> VkeyTable::Externalize(VkeyId id, VkeyId wrapping) const {
+  auto it = keys_.find(id);
+  if (it == keys_.end()) {
+    return NotFound("no such VKEY");
+  }
+  Result<crypto::AesKey> wrap_key = KeyFor(wrapping);
+  if (!wrap_key.ok()) {
+    return wrap_key.status();
+  }
+  Bytes key_bytes(it->second.begin(), it->second.end());
+  Bytes wrapped = crypto::AesCtr(*wrap_key, kWrapNonce).Crypt(0, key_bytes);
+  Bytes mac_key(wrap_key->begin(), wrap_key->end());
+  Bytes mac = crypto::HmacSha256Bytes(mac_key, wrapped);
+  Bytes blob;
+  AppendLengthPrefixed(blob, mac);
+  AppendLengthPrefixed(blob, wrapped);
+  return blob;
+}
+
+Result<VkeyId> VkeyTable::Internalize(ByteView blob, VkeyId wrapping) {
+  Result<crypto::AesKey> wrap_key = KeyFor(wrapping);
+  if (!wrap_key.ok()) {
+    return wrap_key.status();
+  }
+  ByteReader reader(blob);
+  Result<Bytes> mac = reader.ReadLengthPrefixed();
+  if (!mac.ok()) {
+    return mac.status();
+  }
+  Result<Bytes> wrapped = reader.ReadLengthPrefixed();
+  if (!wrapped.ok()) {
+    return wrapped.status();
+  }
+  Bytes mac_key(wrap_key->begin(), wrap_key->end());
+  if (!ConstantTimeEquals(*mac, crypto::HmacSha256Bytes(mac_key, *wrapped))) {
+    return Corruption("wrapped key integrity check failed");
+  }
+  Bytes key_bytes = crypto::AesCtr(*wrap_key, kWrapNonce).Crypt(0, *wrapped);
+  if (key_bytes.size() != crypto::kAesKeySize) {
+    return InvalidArgument("wrapped blob has wrong key size");
+  }
+  VkeyId id = next_id_++;
+  crypto::AesKey key;
+  std::copy_n(key_bytes.begin(), key.size(), key.begin());
+  keys_[id] = key;
+  return id;
+}
+
+}  // namespace nexus::storage

@@ -1,0 +1,55 @@
+// Virtual Keys (§3.3).
+//
+// VKEYs virtualize the TPM's limited key storage the way VDIRs virtualize
+// its integrity registers. Key material lives in protected kernel memory;
+// externalization wraps a key either under another VKEY or under the
+// TPM-sealed default Nexus key, so keys at rest are recoverable only by the
+// kernel whose PCRs match.
+#ifndef NEXUS_STORAGE_VKEY_H_
+#define NEXUS_STORAGE_VKEY_H_
+
+#include <map>
+
+#include "crypto/aes.h"
+#include "tpm/tpm.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace nexus::storage {
+
+using VkeyId = uint32_t;
+
+class VkeyTable {
+ public:
+  // `tpm` provides the sealed default wrapping key; it must be owned.
+  VkeyTable(tpm::Tpm* tpm, Rng* rng);
+
+  Result<VkeyId> Create();
+  Status Destroy(VkeyId id);
+  bool Exists(VkeyId id) const { return keys_.contains(id); }
+
+  // Counter-mode encryption under key `id`. Offset-addressable so regions
+  // can be processed independently.
+  Result<Bytes> Encrypt(VkeyId id, uint64_t nonce, uint64_t offset, ByteView plaintext) const;
+  Result<Bytes> Decrypt(VkeyId id, uint64_t nonce, uint64_t offset, ByteView ciphertext) const;
+
+  // Externalizes key `id` wrapped under `wrapping` (0 = the TPM-sealed
+  // Nexus default key). The blob is integrity protected.
+  Result<Bytes> Externalize(VkeyId id, VkeyId wrapping = 0) const;
+  // Imports a previously externalized blob; returns the new key id.
+  Result<VkeyId> Internalize(ByteView blob, VkeyId wrapping = 0);
+
+ private:
+  Result<crypto::AesKey> KeyFor(VkeyId id) const;
+
+  tpm::Tpm* tpm_;
+  Rng* rng_;
+  crypto::AesKey default_key_{};
+  Bytes default_key_sealed_;
+  std::map<VkeyId, crypto::AesKey> keys_;
+  VkeyId next_id_ = 1;
+};
+
+}  // namespace nexus::storage
+
+#endif  // NEXUS_STORAGE_VKEY_H_

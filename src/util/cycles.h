@@ -1,0 +1,43 @@
+// Cycle counting for the microbenchmarks. The paper reports system-call and
+// authorization costs in CPU cycles (Table 1, Fig. 4); we use rdtsc where
+// available and fall back to a steady_clock-derived estimate elsewhere.
+#ifndef NEXUS_UTIL_CYCLES_H_
+#define NEXUS_UTIL_CYCLES_H_
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace nexus {
+
+// Reads the CPU timestamp counter. Monotonic on modern x86 (invariant TSC).
+inline uint64_t ReadCycleCounter() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+#endif
+}
+
+// Scoped cycle measurement: accumulates elapsed cycles into a sink.
+class ScopedCycleTimer {
+ public:
+  explicit ScopedCycleTimer(uint64_t& sink) : sink_(sink), start_(ReadCycleCounter()) {}
+  ~ScopedCycleTimer() { sink_ += ReadCycleCounter() - start_; }
+
+  ScopedCycleTimer(const ScopedCycleTimer&) = delete;
+  ScopedCycleTimer& operator=(const ScopedCycleTimer&) = delete;
+
+ private:
+  uint64_t& sink_;
+  uint64_t start_;
+};
+
+}  // namespace nexus
+
+#endif  // NEXUS_UTIL_CYCLES_H_

@@ -1,0 +1,42 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the simulation (RSA key generation, workload generators,
+// failure injection) flows through this generator so that tests and
+// benchmarks are reproducible from a seed.
+#ifndef NEXUS_UTIL_RNG_H_
+#define NEXUS_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace nexus {
+
+// xoshiro256** seeded via splitmix64. Not cryptographically secure; the
+// simulation documents this substitution in DESIGN.md.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Fills a buffer with random bytes.
+  void Fill(Bytes& out, size_t n);
+  Bytes RandomBytes(size_t n);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace nexus
+
+#endif  // NEXUS_UTIL_RNG_H_

@@ -1,0 +1,114 @@
+// Lightweight status and result types used across the Nexus simulation.
+//
+// Kernel-style code paths (syscalls, guards, storage) report recoverable
+// failures through Status / Result<T> rather than exceptions, so that error
+// propagation stays visible at call sites and benchmark paths stay
+// allocation-predictable.
+#ifndef NEXUS_UTIL_STATUS_H_
+#define NEXUS_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace nexus {
+
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,   // An authorization decision denied the operation.
+  kFailedPrecondition, // System state does not admit the operation.
+  kOutOfRange,
+  kUnauthenticated,    // A credential or signature failed to verify.
+  kResourceExhausted,  // Quota or capacity exceeded.
+  kCorruption,         // Integrity check (hash/Merkle/DIR) mismatch.
+  kUnavailable,        // Authority or service did not answer.
+  kInternal,
+};
+
+// Human-readable name for an error code ("PERMISSION_DENIED" etc.).
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A Status is either OK or an error code with a context message.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "PERMISSION_DENIED: proof does not discharge goal".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+Status OkStatus();
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status PermissionDenied(std::string message);
+Status FailedPrecondition(std::string message);
+Status OutOfRange(std::string message);
+Status Unauthenticated(std::string message);
+Status ResourceExhausted(std::string message);
+Status Corruption(std::string message);
+Status Unavailable(std::string message);
+Status Internal(std::string message);
+
+// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // OK if a value is present, the stored error otherwise.
+  Status status() const {
+    if (ok()) {
+      return OkStatus();
+    }
+    return std::get<Status>(rep_);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace nexus
+
+// Propagates an error Status from an expression that yields Status.
+#define NEXUS_RETURN_IF_ERROR(expr)       \
+  do {                                    \
+    ::nexus::Status _status = (expr);     \
+    if (!_status.ok()) {                  \
+      return _status;                     \
+    }                                     \
+  } while (false)
+
+#endif  // NEXUS_UTIL_STATUS_H_

@@ -1,0 +1,408 @@
+#include <gtest/gtest.h>
+
+#include "core/nexus.h"
+#include "nal/parser.h"
+#include "nal/prover.h"
+
+namespace nexus::core {
+namespace {
+
+nal::Formula F(std::string_view text) {
+  Result<nal::Formula> f = nal::ParseFormula(text);
+  EXPECT_TRUE(f.ok()) << text << " -> " << f.status().ToString();
+  return f.ok() ? *f : nullptr;
+}
+
+// ------------------------------------------------------------ LabelStore
+
+TEST(LabelStoreTest, SayAndGet) {
+  LabelStore store;
+  LabelHandle h = store.Insert(nal::Principal("A"), F("ok()"));
+  Result<nal::Formula> label = store.Get(h);
+  ASSERT_TRUE(label.ok());
+  EXPECT_TRUE(nal::Equals(*label, F("A says ok()")));
+}
+
+TEST(LabelStoreTest, InsertLabelValidatesShape) {
+  LabelStore store;
+  EXPECT_TRUE(store.InsertLabel(F("A says ok()")).ok());
+  EXPECT_FALSE(store.InsertLabel(F("ok()")).ok());
+  EXPECT_FALSE(store.InsertLabel(F("$X says ok()")).ok());
+  EXPECT_FALSE(store.InsertLabel(nullptr).ok());
+}
+
+TEST(LabelStoreTest, DeleteAndTransfer) {
+  LabelStore a;
+  LabelStore b;
+  LabelHandle h = a.Insert(nal::Principal("P"), F("fact()"));
+  ASSERT_TRUE(a.Transfer(h, b).ok());
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_FALSE(a.Delete(h).ok());
+  EXPECT_FALSE(a.Transfer(h, b).ok());
+}
+
+TEST(LabelStoreTest, AllReturnsCredentials) {
+  LabelStore store;
+  store.Insert(nal::Principal("A"), F("p()"));
+  store.Insert(nal::Principal("B"), F("q()"));
+  EXPECT_EQ(store.All().size(), 2u);
+}
+
+// ------------------------------------------------------- Boot + identity
+
+class NexusTest : public ::testing::Test {
+ protected:
+  NexusTest() : tpm_rng_(7), tpm_(tpm_rng_), nexus_(&tpm_) {}
+
+  Rng tpm_rng_;
+  tpm::Tpm tpm_;
+  Nexus nexus_;
+};
+
+TEST_F(NexusTest, BootTakesOwnershipAndMintsNk) {
+  EXPECT_TRUE(tpm_.IsOwned());
+  EXPECT_FALSE(nexus_.nexus_public_key().n.IsZero());
+  EXPECT_FALSE(nexus_.boot_composite().empty());
+}
+
+TEST_F(NexusTest, RebootRecoversSameNk) {
+  crypto::RsaPublicKey first_nk = nexus_.nexus_public_key();
+  Nexus second(&tpm_);  // Same TPM, same measured kernel.
+  EXPECT_TRUE(second.nexus_public_key() == first_nk);
+}
+
+TEST_F(NexusTest, ExternalPrincipalNamesBootInstance) {
+  nal::Principal p = nexus_.ExternalKernelPrincipal();
+  EXPECT_EQ(p.path().size(), 2u);
+  EXPECT_EQ(p.base().substr(0, 4), "tpm.");
+  // A reboot produces a different boot identifier (NBK changes).
+  Nexus second(&tpm_);
+  EXPECT_FALSE(p == second.ExternalKernelPrincipal());
+}
+
+TEST_F(NexusTest, ProcessCreationDepositsKernelLabels) {
+  kernel::ProcessId pid = *nexus_.CreateProcess("app", ToBytes("app-binary"));
+  bool found_speaksfor = false;
+  bool found_hash = false;
+  for (const nal::Formula& label : nexus_.engine().SystemStore().All()) {
+    std::string text = label->ToString();
+    if (text.find("speaksfor Nexus.ipd." + std::to_string(pid)) != std::string::npos) {
+      found_speaksfor = true;
+    }
+    if (text.find("launchHash(/proc/ipd/" + std::to_string(pid)) != std::string::npos) {
+      found_hash = true;
+    }
+  }
+  EXPECT_TRUE(found_speaksfor);
+  EXPECT_TRUE(found_hash);
+}
+
+// ---------------------------------------------------------- say syscall
+
+TEST_F(NexusTest, SayAttributesToCaller) {
+  kernel::ProcessId pid = *nexus_.CreateProcess("analyzer", ToBytes("a"));
+  Result<LabelHandle> h = nexus_.engine().Say(pid, "isTypeSafe(PGM)");
+  ASSERT_TRUE(h.ok());
+  nal::Formula label = *nexus_.engine().StoreFor(pid).Get(*h);
+  EXPECT_EQ(label->speaker().ToString(), "Nexus.ipd." + std::to_string(pid));
+  EXPECT_TRUE(nal::Equals(label->child1(), F("isTypeSafe(PGM)")));
+}
+
+TEST_F(NexusTest, SayRejectsBadInput) {
+  kernel::ProcessId pid = *nexus_.CreateProcess("p", ToBytes("p"));
+  EXPECT_FALSE(nexus_.engine().Say(pid, "not valid NAL ((").ok());
+  EXPECT_FALSE(nexus_.engine().Say(pid, "safe($X)").ok());  // Not ground.
+  EXPECT_FALSE(nexus_.engine().Say(9999, "ok()").ok());     // No such process.
+}
+
+// ----------------------------------------------- Authorization end-to-end
+
+class AuthorizationFlowTest : public NexusTest {
+ protected:
+  AuthorizationFlowTest() {
+    owner_ = *nexus_.CreateProcess("owner", ToBytes("owner-bin"));
+    client_ = *nexus_.CreateProcess("client", ToBytes("client-bin"));
+    nexus_.engine().RegisterObject("file:/secret", owner_, kernel::kKernelProcessId);
+  }
+
+  kernel::ProcessId owner_ = 0;
+  kernel::ProcessId client_ = 0;
+};
+
+TEST_F(AuthorizationFlowTest, BootstrapPolicyOwnerOnly) {
+  EXPECT_TRUE(nexus_.kernel().Authorize(owner_, "read", "file:/secret").ok());
+  EXPECT_FALSE(nexus_.kernel().Authorize(client_, "read", "file:/secret").ok());
+  // Unregistered objects are unguarded.
+  EXPECT_TRUE(nexus_.kernel().Authorize(client_, "read", "file:/public").ok());
+}
+
+TEST_F(AuthorizationFlowTest, GoalWithProofGrantsAccess) {
+  // Owner requires a certifier attestation about the client.
+  std::string client_name = nexus_.kernel().ProcessPrincipal(client_).ToString();
+  nal::Formula goal = F("Certifier says safe(" + client_name + ")");
+  ASSERT_TRUE(nexus_.engine().SetGoal(owner_, "read", "file:/secret", goal).ok());
+
+  // Without a proof: denied.
+  EXPECT_FALSE(nexus_.kernel().Authorize(client_, "read", "file:/secret").ok());
+
+  // The certifier (a distinguished principal) issues the label system-side.
+  nexus_.engine().SayAs(nal::Principal("Certifier"), F("safe(" + client_name + ")"));
+  auto creds = nexus_.engine().CollectCredentials(client_, "file:/secret");
+  Result<nal::Proof> proof = nal::AutoProve(goal, creds);
+  ASSERT_TRUE(proof.ok()) << proof.status().ToString();
+  ASSERT_TRUE(nexus_.engine().SetProof(client_, "read", "file:/secret", *proof).ok());
+
+  EXPECT_TRUE(nexus_.kernel().Authorize(client_, "read", "file:/secret").ok());
+}
+
+TEST_F(AuthorizationFlowTest, DecisionCacheMakesRepeatsCheap) {
+  std::string client_name = nexus_.kernel().ProcessPrincipal(client_).ToString();
+  nal::Formula goal = F("Certifier says safe(" + client_name + ")");
+  nexus_.engine().SetGoal(owner_, "read", "file:/secret", goal);
+  nexus_.engine().SayAs(nal::Principal("Certifier"), F("safe(" + client_name + ")"));
+  auto creds = nexus_.engine().CollectCredentials(client_, "file:/secret");
+  nexus_.engine().SetProof(client_, "read", "file:/secret",
+                           *nal::AutoProve(goal, creds));
+
+  uint64_t checks_before = nexus_.guard().stats().checks;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(nexus_.kernel().Authorize(client_, "read", "file:/secret").ok());
+  }
+  // Only the first call reaches the guard; the rest hit the kernel cache.
+  EXPECT_EQ(nexus_.guard().stats().checks, checks_before + 1);
+}
+
+TEST_F(AuthorizationFlowTest, SetGoalIsItselfGuarded) {
+  nal::Formula goal = F("true");
+  // A non-owner cannot set goals on the object.
+  EXPECT_FALSE(nexus_.engine().SetGoal(client_, "read", "file:/secret", goal).ok());
+  EXPECT_TRUE(nexus_.engine().SetGoal(owner_, "read", "file:/secret", goal).ok());
+}
+
+TEST_F(AuthorizationFlowTest, GoalUpdateInvalidatesDecisions) {
+  nexus_.engine().SetGoal(owner_, "read", "file:/secret", F("true"));
+  EXPECT_TRUE(nexus_.kernel().Authorize(client_, "read", "file:/secret").ok());
+  // Owner tightens the policy; the cached ALLOW must not survive.
+  std::string client_name = nexus_.kernel().ProcessPrincipal(client_).ToString();
+  nexus_.engine().SetGoal(owner_, "read", "file:/secret",
+                          F("Certifier says safe(" + client_name + ")"));
+  EXPECT_FALSE(nexus_.kernel().Authorize(client_, "read", "file:/secret").ok());
+}
+
+TEST_F(AuthorizationFlowTest, AuthorityBackedGoalReflectsDynamicState) {
+  // Goal: the time authority must vouch that the deadline has not passed.
+  nal::Formula statement = F("Clock says TimeNow < 1000");
+  nexus_.engine().SetGoal(owner_, "read", "file:/secret", statement);
+
+  uint64_t now = 500;
+  LambdaAuthority clock(
+      [](const nal::Formula& f) { return nal::ScopeMatches(f, "TimeNow"); },
+      [&now](const nal::Formula& f) {
+        // Evaluate `Clock says TimeNow < c` against the live clock.
+        const nal::FormulaNode* body = f->child1().get();
+        return body->kind() == nal::FormulaKind::kCompare &&
+               body->compare_op() == nal::CompareOp::kLt &&
+               now < static_cast<uint64_t>(body->rhs().int_value());
+      });
+  nexus_.guard().AddEmbeddedAuthority(&clock);
+  nexus_.engine().SetProof(client_, "read", "file:/secret", nal::proof::Authority(statement));
+
+  EXPECT_TRUE(nexus_.kernel().Authorize(client_, "read", "file:/secret").ok());
+  now = 2000;  // Deadline passes; no revocation machinery needed.
+  EXPECT_FALSE(nexus_.kernel().Authorize(client_, "read", "file:/secret").ok());
+}
+
+TEST_F(AuthorizationFlowTest, AuthorityDecisionsNeverCached) {
+  nal::Formula statement = F("Clock says TimeNow < 1000");
+  nexus_.engine().SetGoal(owner_, "read", "file:/secret", statement);
+  int queries = 0;
+  LambdaAuthority clock([](const nal::Formula&) { return true; },
+                        [&queries](const nal::Formula&) {
+                          ++queries;
+                          return true;
+                        });
+  nexus_.guard().AddEmbeddedAuthority(&clock);
+  nexus_.engine().SetProof(client_, "read", "file:/secret", nal::proof::Authority(statement));
+  nexus_.kernel().Authorize(client_, "read", "file:/secret");
+  nexus_.kernel().Authorize(client_, "read", "file:/secret");
+  EXPECT_EQ(queries, 2);  // Fresh consult per decision.
+}
+
+TEST_F(AuthorizationFlowTest, ExternalAuthorityOverIpc) {
+  nal::Formula statement = F("Quota says usage < 80");
+  nexus_.engine().SetGoal(owner_, "write", "file:/secret", statement);
+
+  LambdaAuthority quota([](const nal::Formula& f) { return nal::ScopeMatches(f, "usage"); },
+                        [](const nal::Formula&) { return true; });
+  AuthorityPortHandler handler(&quota);
+  kernel::ProcessId authority_pid = *nexus_.CreateProcess("quota-authority", ToBytes("qa"));
+  kernel::PortId port = *nexus_.CreatePort(authority_pid);
+  nexus_.kernel().BindHandler(port, &handler);
+  nexus_.guard().AddAuthorityPort(port);
+
+  nexus_.engine().SetProof(client_, "write", "file:/secret",
+                           nal::proof::Authority(statement));
+  EXPECT_TRUE(nexus_.kernel().Authorize(client_, "write", "file:/secret").ok());
+}
+
+TEST_F(AuthorizationFlowTest, DesignatedGuardOverIpc) {
+  // Route this object's checks to a guard process behind a port.
+  Guard designated(&nexus_.kernel());
+  GuardPortHandler handler(&designated, &nexus_.engine().goals());
+  kernel::ProcessId guard_pid = *nexus_.CreateProcess("app-guard", ToBytes("g"));
+  kernel::PortId guard_port = *nexus_.CreatePort(guard_pid);
+  nexus_.kernel().BindHandler(guard_port, &handler);
+
+  std::string client_name = nexus_.kernel().ProcessPrincipal(client_).ToString();
+  nal::Formula goal = F("Certifier says safe(" + client_name + ")");
+  ASSERT_TRUE(nexus_.engine().SetGoal(owner_, "read", "file:/secret", goal, guard_port).ok());
+
+  nexus_.engine().SayAs(nal::Principal("Certifier"), F("safe(" + client_name + ")"));
+  auto creds = nexus_.engine().CollectCredentials(client_, "file:/secret");
+  nexus_.engine().SetProof(client_, "read", "file:/secret", *nal::AutoProve(goal, creds));
+
+  EXPECT_TRUE(nexus_.kernel().Authorize(client_, "read", "file:/secret").ok());
+  EXPECT_EQ(designated.stats().checks, 1u);
+  // A wrong proof is rejected by the designated guard too.
+  nexus_.engine().SetProof(client_, "read", "file:/secret",
+                           nal::proof::Premise(F("Nobody says nothing()")));
+  EXPECT_FALSE(nexus_.kernel().Authorize(client_, "read", "file:/secret").ok());
+}
+
+TEST_F(AuthorizationFlowTest, OwnershipTransferIssuesLabel) {
+  ASSERT_TRUE(nexus_.engine().TransferOwnership(owner_, "file:/secret", client_).ok());
+  EXPECT_TRUE(nexus_.kernel().Authorize(client_, "read", "file:/secret").ok());
+  EXPECT_FALSE(nexus_.engine().TransferOwnership(owner_, "file:/secret", owner_).ok());
+}
+
+// -------------------------------------------------------- Guard caching
+
+TEST_F(AuthorizationFlowTest, GuardProofCacheHitsOnRepeatedChecks) {
+  std::string client_name = nexus_.kernel().ProcessPrincipal(client_).ToString();
+  nal::Formula goal = F("Certifier says safe(" + client_name + ")");
+  nexus_.engine().SetGoal(owner_, "read", "file:/secret", goal);
+  nexus_.engine().SayAs(nal::Principal("Certifier"), F("safe(" + client_name + ")"));
+  auto creds = nexus_.engine().CollectCredentials(client_, "file:/secret");
+  nexus_.engine().SetProof(client_, "read", "file:/secret", *nal::AutoProve(goal, creds));
+
+  // Disable the kernel cache to reach the guard every time.
+  nexus_.kernel().set_decision_cache_enabled(false);
+  nexus_.kernel().Authorize(client_, "read", "file:/secret");
+  uint64_t hits_before = nexus_.guard().stats().cache_hits;
+  nexus_.kernel().Authorize(client_, "read", "file:/secret");
+  EXPECT_GT(nexus_.guard().stats().cache_hits, hits_before);
+}
+
+TEST(GuardQuotaTest, PerRootQuotaEvictsOwnEntriesFirst) {
+  kernel::Kernel k;
+  Guard::Config config;
+  config.proof_cache_capacity = 64;
+  config.per_root_quota = 4;
+  Guard guard(&k, config);
+
+  kernel::ProcessId spammer = *k.CreateProcess("spammer", ToBytes("s"));
+  nal::Formula goal_base = nal::ParseFormula("A says ok()").value();
+  // The spammer pushes many distinct proofs; its cache usage must stay
+  // bounded by the quota rather than evicting others.
+  for (int i = 0; i < 32; ++i) {
+    nal::Formula goal =
+        nal::ParseFormula("A says ok" + std::to_string(i) + "()").value();
+    std::vector<nal::Formula> creds = {goal};
+    guard.Check(spammer, "op", "obj" + std::to_string(i), goal, nal::proof::Premise(goal),
+                creds, /*state_version=*/1);
+  }
+  EXPECT_GE(guard.stats().evictions, 32u - config.per_root_quota);
+  (void)goal_base;
+}
+
+// -------------------------------------------------------- Certificates
+
+TEST_F(NexusTest, ExternalizeAndImportCertificate) {
+  kernel::ProcessId pid = *nexus_.CreateProcess("prover", ToBytes("p"));
+  LabelHandle h = *nexus_.engine().Say(pid, "isTypeSafe(PGM)");
+  Result<Certificate> cert = nexus_.ExternalizeLabel(pid, h);
+  ASSERT_TRUE(cert.ok()) << cert.status().ToString();
+
+  // A remote Nexus instance imports the certificate after verifying the
+  // chain against the issuing TPM's EK.
+  Rng remote_rng(11);
+  tpm::Tpm remote_tpm(remote_rng);
+  Nexus remote(&remote_tpm, NexusOptions{.seed = 99});
+  kernel::ProcessId remote_pid = *remote.CreateProcess("verifier", ToBytes("v"));
+  Result<LabelHandle> imported =
+      remote.ImportCertificate(remote_pid, *cert, tpm_.endorsement_public_key());
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+
+  nal::Formula label = *remote.engine().StoreFor(remote_pid).Get(*imported);
+  // Speaker is the fully-qualified TPM-rooted chain.
+  EXPECT_EQ(label->speaker().base().substr(0, 4), "tpm.");
+  EXPECT_TRUE(nal::Equals(label->child1(), F("isTypeSafe(PGM)")));
+}
+
+TEST_F(NexusTest, CertificateSerializationRoundTrip) {
+  kernel::ProcessId pid = *nexus_.CreateProcess("p", ToBytes("p"));
+  LabelHandle h = *nexus_.engine().Say(pid, "ok()");
+  Certificate cert = *nexus_.ExternalizeLabel(pid, h);
+  Result<Certificate> restored = Certificate::Deserialize(cert.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(
+      VerifyCertificate(*restored, tpm_.endorsement_public_key()).ok());
+}
+
+TEST_F(NexusTest, CertificateRejectsWrongEk) {
+  kernel::ProcessId pid = *nexus_.CreateProcess("p", ToBytes("p"));
+  Certificate cert = *nexus_.ExternalizeLabel(pid, *nexus_.engine().Say(pid, "ok()"));
+  Rng other_rng(13);
+  crypto::RsaKeyPair other = crypto::GenerateRsaKeyPair(other_rng, 512);
+  EXPECT_FALSE(VerifyCertificate(cert, other.public_key).ok());
+}
+
+TEST_F(NexusTest, CertificateRejectsTampering) {
+  kernel::ProcessId pid = *nexus_.CreateProcess("p", ToBytes("p"));
+  Certificate cert = *nexus_.ExternalizeLabel(pid, *nexus_.engine().Say(pid, "ok()"));
+  cert.statement = F(cert.statement->speaker().ToString() + " says evil()");
+  EXPECT_FALSE(VerifyCertificate(cert, tpm_.endorsement_public_key()).ok());
+}
+
+TEST_F(NexusTest, CertificatePinsSoftwareConfiguration) {
+  kernel::ProcessId pid = *nexus_.CreateProcess("p", ToBytes("p"));
+  Certificate cert = *nexus_.ExternalizeLabel(pid, *nexus_.engine().Say(pid, "ok()"));
+  // Accepts the right composite, rejects a wrong pin.
+  EXPECT_TRUE(
+      VerifyCertificate(cert, tpm_.endorsement_public_key(), nexus_.boot_composite()).ok());
+  Bytes wrong = nexus_.boot_composite();
+  wrong[0] ^= 1;
+  EXPECT_FALSE(VerifyCertificate(cert, tpm_.endorsement_public_key(), wrong).ok());
+}
+
+// The revocation idiom from §2.7: A says Valid(S) => S, with Valid(S)
+// discharged by an authority.
+TEST_F(AuthorizationFlowTest, RevocationViaValidityAuthority) {
+  std::string s = "licensed(client)";
+  nal::Formula goal = F("Vendor says " + s);
+  nexus_.engine().SetGoal(owner_, "read", "file:/secret", goal);
+  nexus_.engine().SayAs(nal::Principal("Vendor"), F("Valid(lic1) => " + s));
+
+  bool revoked = false;
+  LambdaAuthority validity(
+      [](const nal::Formula& f) {
+        return f->kind() == nal::FormulaKind::kSays &&
+               f->child1()->kind() == nal::FormulaKind::kPred &&
+               f->child1()->pred_name() == "Valid";
+      },
+      [&revoked](const nal::Formula&) { return !revoked; });
+  nexus_.guard().AddEmbeddedAuthority(&validity);
+
+  nal::Proof proof = nal::proof::SaysImpliesElim(
+      nal::proof::Premise(F("Vendor says (Valid(lic1) => " + s + ")")),
+      nal::proof::Authority(F("Vendor says Valid(lic1)")));
+  nexus_.engine().SetProof(client_, "read", "file:/secret", proof);
+
+  EXPECT_TRUE(nexus_.kernel().Authorize(client_, "read", "file:/secret").ok());
+  revoked = true;  // Third-party revocation, no system infrastructure.
+  EXPECT_FALSE(nexus_.kernel().Authorize(client_, "read", "file:/secret").ok());
+}
+
+}  // namespace
+}  // namespace nexus::core

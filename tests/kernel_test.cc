@@ -1,0 +1,722 @@
+#include <gtest/gtest.h>
+
+#include "kernel/decision_cache.h"
+#include "kernel/fileserver.h"
+#include "kernel/hash_attestation.h"
+#include "kernel/kernel.h"
+#include "kernel/sched.h"
+
+namespace nexus::kernel {
+namespace {
+
+// Records calls; used as both a port handler and an interceptor target.
+class EchoHandler : public PortHandler {
+ public:
+  IpcReply Handle(const IpcContext& context, const IpcMessage& message) override {
+    ++calls;
+    last_caller = context.caller;
+    last_operation = message.operation;
+    return IpcReply{OkStatus(), message.operation, message.data,
+                    static_cast<int64_t>(message.args.size())};
+  }
+  int calls = 0;
+  ProcessId last_caller = 0;
+  std::string last_operation;
+};
+
+class DenyAllEngine : public AuthorizationEngine {
+ public:
+  Verdict Authorize(ProcessId, const std::string&, const std::string&) override {
+    ++upcalls;
+    return {PermissionDenied("deny-all"), cacheable};
+  }
+  int upcalls = 0;
+  bool cacheable = true;
+};
+
+class AllowAllEngine : public AuthorizationEngine {
+ public:
+  Verdict Authorize(ProcessId, const std::string&, const std::string&) override {
+    ++upcalls;
+    return {OkStatus(), cacheable};
+  }
+  int upcalls = 0;
+  bool cacheable = true;
+};
+
+// ---------------------------------------------------------------- Process
+
+TEST(KernelProcessTest, CreateAndQuery) {
+  Kernel k;
+  Result<ProcessId> pid = k.CreateProcess("webserver", ToBytes("lighttpd-binary"));
+  ASSERT_TRUE(pid.ok());
+  EXPECT_TRUE(k.IsAlive(*pid));
+  EXPECT_EQ(*k.GetParent(*pid), kKernelProcessId);
+  EXPECT_EQ((*k.GetProcess(*pid))->name, "webserver");
+}
+
+TEST(KernelProcessTest, PrincipalNaming) {
+  Kernel k;
+  ProcessId pid = *k.CreateProcess("p", ToBytes("b"));
+  EXPECT_EQ(k.ProcessPrincipal(pid).ToString(), "Nexus.ipd." + std::to_string(pid));
+  EXPECT_TRUE(k.KernelPrincipal().IsPrefixOf(k.ProcessPrincipal(pid)));
+  EXPECT_EQ(Kernel::ProcPath(pid), "/proc/ipd/" + std::to_string(pid));
+}
+
+TEST(KernelProcessTest, ChildInheritsQuotaRoot) {
+  Kernel k;
+  ProcessId root = *k.CreateProcess("root", ToBytes("r"));
+  ProcessId child = *k.CreateProcess("child", ToBytes("c"), root);
+  ProcessId grandchild = *k.CreateProcess("gc", ToBytes("g"), child);
+  EXPECT_EQ((*k.GetProcess(child))->quota_root, root);
+  EXPECT_EQ((*k.GetProcess(grandchild))->quota_root, root);
+}
+
+TEST(KernelProcessTest, CreateUnderDeadParentFails) {
+  Kernel k;
+  ProcessId p = *k.CreateProcess("p", ToBytes("b"));
+  k.KillProcess(p);
+  EXPECT_FALSE(k.CreateProcess("c", ToBytes("c"), p).ok());
+}
+
+TEST(KernelProcessTest, KillRemovesProcfsNodesAndPorts) {
+  Kernel k;
+  ProcessId pid = *k.CreateProcess("p", ToBytes("b"));
+  PortId port = *k.CreatePort(pid);
+  EXPECT_TRUE(k.procfs().Read(Kernel::ProcPath(pid) + "/name").ok());
+  ASSERT_TRUE(k.KillProcess(pid).ok());
+  EXPECT_FALSE(k.IsAlive(pid));
+  EXPECT_FALSE(k.procfs().Read(Kernel::ProcPath(pid) + "/name").ok());
+  EXPECT_FALSE(k.PortOwner(port).ok());
+}
+
+TEST(KernelProcessTest, LaunchHashPublished) {
+  Kernel k;
+  ProcessId pid = *k.CreateProcess("p", ToBytes("binary-image"));
+  Result<std::string> hash = k.procfs().Read(Kernel::ProcPath(pid) + "/hash");
+  ASSERT_TRUE(hash.ok());
+  EXPECT_EQ(hash->size(), 64u);  // SHA-256 hex.
+}
+
+TEST(KernelProcessTest, SyscallRestrictionIsMonotone) {
+  Kernel k;
+  ProcessId pid = *k.CreateProcess("p", ToBytes("b"));
+  ASSERT_TRUE(k.RestrictSyscalls(pid, {Syscall::kNull, Syscall::kGetPpid}).ok());
+  // Narrowing further is fine.
+  ASSERT_TRUE(k.RestrictSyscalls(pid, {Syscall::kNull}).ok());
+  // Re-acquiring a relinquished call is not.
+  EXPECT_FALSE(k.RestrictSyscalls(pid, {Syscall::kNull, Syscall::kYield}).ok());
+}
+
+TEST(KernelProcessTest, RelinquishedSyscallDenied) {
+  Kernel k;
+  ProcessId pid = *k.CreateProcess("p", ToBytes("b"));
+  k.RestrictSyscalls(pid, {Syscall::kNull});
+  EXPECT_TRUE(k.Invoke(pid, Syscall::kNull, {}).status.ok());
+  EXPECT_EQ(k.Invoke(pid, Syscall::kGetPpid, {}).status.code(), ErrorCode::kPermissionDenied);
+}
+
+// ------------------------------------------------------------------- IPC
+
+TEST(KernelIpcTest, CallDispatchesToHandler) {
+  Kernel k;
+  ProcessId server = *k.CreateProcess("server", ToBytes("s"));
+  ProcessId client = *k.CreateProcess("client", ToBytes("c"));
+  PortId port = *k.CreatePort(server);
+  EchoHandler handler;
+  k.BindHandler(port, &handler);
+
+  IpcMessage msg;
+  msg.operation = "ping";
+  msg.args = {"a", "b"};
+  IpcReply reply = k.Call(client, port, msg);
+  EXPECT_TRUE(reply.status.ok());
+  EXPECT_EQ(reply.text, "ping");
+  EXPECT_EQ(reply.value, 2);
+  EXPECT_EQ(handler.last_caller, client);
+}
+
+TEST(KernelIpcTest, CallOnUnboundPortFails) {
+  Kernel k;
+  ProcessId server = *k.CreateProcess("server", ToBytes("s"));
+  PortId port = *k.CreatePort(server);
+  EXPECT_EQ(k.Call(server, port, {}).status.code(), ErrorCode::kUnavailable);
+}
+
+TEST(KernelIpcTest, CallOnMissingPortFails) {
+  Kernel k;
+  EXPECT_EQ(k.Call(kKernelProcessId, 999, {}).status.code(), ErrorCode::kNotFound);
+}
+
+TEST(KernelIpcTest, ChannelsTrackConnectivity) {
+  Kernel k;
+  ProcessId a = *k.CreateProcess("a", ToBytes("a"));
+  ProcessId b = *k.CreateProcess("b", ToBytes("b"));
+  PortId port = *k.CreatePort(b);
+  EXPECT_FALSE(k.HasChannel(a, port));
+  ASSERT_TRUE(k.ConnectPort(a, port).ok());
+  EXPECT_TRUE(k.HasChannel(a, port));
+  ASSERT_TRUE(k.DisconnectPort(a, port).ok());
+  EXPECT_FALSE(k.HasChannel(a, port));
+}
+
+TEST(KernelIpcTest, MarshalingRoundTrip) {
+  IpcMessage msg;
+  msg.operation = "write";
+  msg.args = {"fd:4", "", "arg with spaces"};
+  msg.data = {0x00, 0xff, 0x10};
+  Result<IpcMessage> round = UnmarshalMessage(MarshalMessage(msg));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->operation, msg.operation);
+  EXPECT_EQ(round->args, msg.args);
+  EXPECT_EQ(round->data, msg.data);
+}
+
+TEST(KernelIpcTest, UnmarshalRejectsTruncation) {
+  IpcMessage msg;
+  msg.operation = "op";
+  Bytes wire = MarshalMessage(msg);
+  wire.pop_back();
+  EXPECT_FALSE(UnmarshalMessage(wire).ok());
+}
+
+// --------------------------------------------------------- Interposition
+
+class CountingInterceptor : public Interceptor {
+ public:
+  InterposeVerdict OnCall(const IpcContext&, IpcMessage& message) override {
+    ++calls;
+    if (!rewrite_to.empty()) {
+      message.operation = rewrite_to;
+    }
+    return deny ? InterposeVerdict::kDeny : InterposeVerdict::kAllow;
+  }
+  void OnReturn(const IpcContext&, IpcReply& reply) override {
+    ++returns;
+    if (!annotate.empty()) {
+      reply.text += annotate;
+    }
+  }
+  int calls = 0;
+  int returns = 0;
+  bool deny = false;
+  std::string rewrite_to;
+  std::string annotate;
+};
+
+TEST(InterposeTest, InterceptorSeesAndModifiesCall) {
+  Kernel k;
+  ProcessId server = *k.CreateProcess("s", ToBytes("s"));
+  ProcessId monitor = *k.CreateProcess("m", ToBytes("m"));
+  PortId port = *k.CreatePort(server);
+  EchoHandler handler;
+  k.BindHandler(port, &handler);
+
+  CountingInterceptor interceptor;
+  interceptor.rewrite_to = "rewritten";
+  interceptor.annotate = "+seen";
+  ASSERT_TRUE(k.Interpose(monitor, port, &interceptor).ok());
+
+  IpcReply reply = k.Call(server, port, IpcMessage{"original", {}, {}});
+  EXPECT_EQ(interceptor.calls, 1);
+  EXPECT_EQ(interceptor.returns, 1);
+  EXPECT_EQ(handler.last_operation, "rewritten");
+  EXPECT_EQ(reply.text, "rewritten+seen");
+}
+
+TEST(InterposeTest, DenyBlocksCall) {
+  Kernel k;
+  ProcessId server = *k.CreateProcess("s", ToBytes("s"));
+  PortId port = *k.CreatePort(server);
+  EchoHandler handler;
+  k.BindHandler(port, &handler);
+  CountingInterceptor interceptor;
+  interceptor.deny = true;
+  k.Interpose(server, port, &interceptor);
+
+  IpcReply reply = k.Call(server, port, IpcMessage{"x", {}, {}});
+  EXPECT_EQ(reply.status.code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(handler.calls, 0);
+  EXPECT_EQ(interceptor.returns, 0);  // Blocked calls skip OnReturn.
+}
+
+TEST(InterposeTest, InterpositionComposes) {
+  Kernel k;
+  ProcessId server = *k.CreateProcess("s", ToBytes("s"));
+  PortId port = *k.CreatePort(server);
+  EchoHandler handler;
+  k.BindHandler(port, &handler);
+  CountingInterceptor first;
+  CountingInterceptor second;
+  k.Interpose(server, port, &first);
+  k.Interpose(server, port, &second);
+  k.Call(server, port, IpcMessage{"x", {}, {}});
+  EXPECT_EQ(first.calls, 1);
+  EXPECT_EQ(second.calls, 1);
+}
+
+TEST(InterposeTest, RemoveInterposition) {
+  Kernel k;
+  ProcessId server = *k.CreateProcess("s", ToBytes("s"));
+  PortId port = *k.CreatePort(server);
+  EchoHandler handler;
+  k.BindHandler(port, &handler);
+  CountingInterceptor interceptor;
+  uint64_t token = *k.Interpose(server, port, &interceptor);
+  ASSERT_TRUE(k.RemoveInterposition(token).ok());
+  EXPECT_FALSE(k.RemoveInterposition(token).ok());
+  k.Call(server, port, IpcMessage{"x", {}, {}});
+  EXPECT_EQ(interceptor.calls, 0);
+}
+
+TEST(InterposeTest, DisabledInterpositionSkipsInterceptors) {
+  Kernel k;
+  ProcessId server = *k.CreateProcess("s", ToBytes("s"));
+  PortId port = *k.CreatePort(server);
+  EchoHandler handler;
+  k.BindHandler(port, &handler);
+  CountingInterceptor interceptor;
+  k.Interpose(server, port, &interceptor);
+  k.set_interposition_enabled(false);
+  k.Call(server, port, IpcMessage{"x", {}, {}});
+  EXPECT_EQ(interceptor.calls, 0);
+  EXPECT_EQ(handler.calls, 1);
+}
+
+TEST(InterposeTest, InterposeSubjectToAuthorization) {
+  Kernel k;
+  DenyAllEngine engine;
+  k.set_engine(&engine);
+  ProcessId server = *k.CreateProcess("s", ToBytes("s"));
+  PortId port = *k.CreatePort(server);
+  CountingInterceptor interceptor;
+  EXPECT_FALSE(k.Interpose(server, port, &interceptor).ok());
+}
+
+TEST(InterposeTest, SyscallInterpositionObservesAllSyscalls) {
+  Kernel k;
+  ProcessId pid = *k.CreateProcess("p", ToBytes("b"));
+  PortId sys_port = *k.SyscallPort(pid);
+  CountingInterceptor interceptor;
+  k.Interpose(kKernelProcessId, sys_port, &interceptor);
+  k.Invoke(pid, Syscall::kNull, {});
+  k.Invoke(pid, Syscall::kGetPpid, {});
+  EXPECT_EQ(interceptor.calls, 2);
+}
+
+// -------------------------------------------------------------- Syscalls
+
+TEST(SyscallTest, BasicCalls) {
+  Kernel k;
+  ProcessId parent = *k.CreateProcess("parent", ToBytes("p"));
+  ProcessId child = *k.CreateProcess("child", ToBytes("c"), parent);
+  EXPECT_TRUE(k.Invoke(child, Syscall::kNull, {}).status.ok());
+  EXPECT_EQ(k.Invoke(child, Syscall::kGetPpid, {}).value, static_cast<int64_t>(parent));
+  IpcReply time1 = k.Invoke(child, Syscall::kGetTimeOfDay, {});
+  EXPECT_TRUE(time1.status.ok());
+  EXPECT_GT(time1.value, 0);
+}
+
+TEST(SyscallTest, YieldDrivesScheduler) {
+  Kernel k;
+  ProcessId a = *k.CreateProcess("a", ToBytes("a"));
+  k.scheduler().AddClient(a, 1);
+  IpcReply reply = k.Invoke(a, Syscall::kYield, {});
+  EXPECT_TRUE(reply.status.ok());
+  EXPECT_EQ(k.scheduler().TotalQuanta(), 1u);
+}
+
+TEST(SyscallTest, FileOpsWithoutFsServerFail) {
+  Kernel k;
+  ProcessId pid = *k.CreateProcess("p", ToBytes("b"));
+  EXPECT_EQ(k.Invoke(pid, Syscall::kOpen, IpcMessage{"", {"/x"}, {}}).status.code(),
+            ErrorCode::kUnavailable);
+}
+
+TEST(SyscallTest, DeadProcessCannotInvoke) {
+  Kernel k;
+  ProcessId pid = *k.CreateProcess("p", ToBytes("b"));
+  k.KillProcess(pid);
+  EXPECT_FALSE(k.Invoke(pid, Syscall::kNull, {}).status.ok());
+}
+
+TEST(SyscallTest, ProcReadGoesThroughAuthorization) {
+  Kernel k;
+  ProcessId pid = *k.CreateProcess("p", ToBytes("b"));
+  k.procfs().PublishValue(kKernelProcessId, "/proc/secret", "42");
+  DenyAllEngine engine;
+  k.set_engine(&engine);
+  IpcReply denied = k.Invoke(pid, Syscall::kProcRead, IpcMessage{"", {"/proc/secret"}, {}});
+  EXPECT_EQ(denied.status.code(), ErrorCode::kPermissionDenied);
+  k.set_engine(nullptr);
+  IpcReply allowed = k.Invoke(pid, Syscall::kProcRead, IpcMessage{"", {"/proc/secret"}, {}});
+  EXPECT_EQ(allowed.text, "42");
+}
+
+// ------------------------------------------------------------ FileServer
+
+class FileServerTest : public ::testing::Test {
+ protected:
+  FileServerTest() : fs_(&kernel_) {
+    client_ = *kernel_.CreateProcess("client", ToBytes("c"));
+    server_pid_ = *kernel_.CreateProcess("fs", ToBytes("fs"));
+    port_ = *kernel_.CreatePort(server_pid_);
+    kernel_.BindHandler(port_, &fs_);
+    kernel_.set_fs_port(port_);
+  }
+
+  IpcReply Syscall4(Syscall sc, std::vector<std::string> args, Bytes data = {}) {
+    return kernel_.Invoke(client_, sc, IpcMessage{"", std::move(args), std::move(data)});
+  }
+
+  Kernel kernel_;
+  FileServer fs_;
+  ProcessId client_ = 0;
+  ProcessId server_pid_ = 0;
+  PortId port_ = 0;
+};
+
+TEST_F(FileServerTest, OpenReadWriteClose) {
+  fs_.CreateFile("/etc/motd", ToBytes("hello nexus"));
+  IpcReply open = Syscall4(Syscall::kOpen, {"/etc/motd"});
+  ASSERT_TRUE(open.status.ok());
+  int64_t fd = open.value;
+
+  IpcReply read = Syscall4(Syscall::kRead, {std::to_string(fd)});
+  EXPECT_EQ(ToString(read.data), "hello nexus");
+
+  IpcReply write =
+      Syscall4(Syscall::kWrite, {std::to_string(fd), "0"}, ToBytes("HELLO"));
+  EXPECT_TRUE(write.status.ok());
+  EXPECT_EQ(ToString(*fs_.ReadFile("/etc/motd")), "HELLO nexus");
+
+  EXPECT_TRUE(Syscall4(Syscall::kClose, {std::to_string(fd)}).status.ok());
+  EXPECT_FALSE(Syscall4(Syscall::kRead, {std::to_string(fd)}).status.ok());
+}
+
+TEST_F(FileServerTest, PartialReads) {
+  fs_.CreateFile("/data", ToBytes("0123456789"));
+  int64_t fd = Syscall4(Syscall::kOpen, {"/data"}).value;
+  IpcReply read = Syscall4(Syscall::kRead, {std::to_string(fd), "3", "4"});
+  EXPECT_EQ(ToString(read.data), "3456");
+  EXPECT_FALSE(Syscall4(Syscall::kRead, {std::to_string(fd), "11"}).status.ok());
+}
+
+TEST_F(FileServerTest, WriteExtendsFile) {
+  fs_.CreateFile("/log", ToBytes("ab"));
+  int64_t fd = Syscall4(Syscall::kOpen, {"/log"}).value;
+  Syscall4(Syscall::kWrite, {std::to_string(fd), "2"}, ToBytes("cdef"));
+  EXPECT_EQ(ToString(*fs_.ReadFile("/log")), "abcdef");
+}
+
+TEST_F(FileServerTest, OpenMissingFileFails) {
+  EXPECT_EQ(Syscall4(Syscall::kOpen, {"/nope"}).status.code(), ErrorCode::kNotFound);
+}
+
+TEST_F(FileServerTest, ForeignFdRejected) {
+  fs_.CreateFile("/private", ToBytes("secret"));
+  int64_t fd = Syscall4(Syscall::kOpen, {"/private"}).value;
+  ProcessId intruder = *kernel_.CreateProcess("intruder", ToBytes("i"));
+  IpcReply read = kernel_.Invoke(intruder, Syscall::kRead,
+                                 IpcMessage{"", {std::to_string(fd)}, {}});
+  EXPECT_FALSE(read.status.ok());
+}
+
+TEST_F(FileServerTest, AccessControlEnforcedPerFile) {
+  fs_.CreateFile("/guarded", ToBytes("x"));
+  DenyAllEngine engine;
+  kernel_.set_engine(&engine);
+  EXPECT_EQ(Syscall4(Syscall::kOpen, {"/guarded"}).status.code(),
+            ErrorCode::kPermissionDenied);
+}
+
+// --------------------------------------------------------- DecisionCache
+
+TEST(DecisionCacheTest, MissThenHit) {
+  DecisionCache cache;
+  EXPECT_FALSE(cache.Lookup(1, "read", "file:/x").has_value());
+  cache.Insert(1, "read", "file:/x", true);
+  auto hit = cache.Lookup(1, "read", "file:/x");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(*hit);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(DecisionCacheTest, StoresDenials) {
+  DecisionCache cache;
+  cache.Insert(1, "write", "file:/x", false);
+  auto hit = cache.Lookup(1, "write", "file:/x");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(*hit);
+}
+
+TEST(DecisionCacheTest, DistinguishesTuples) {
+  DecisionCache cache;
+  cache.Insert(1, "read", "file:/x", true);
+  EXPECT_FALSE(cache.Lookup(2, "read", "file:/x").has_value());
+  EXPECT_FALSE(cache.Lookup(1, "write", "file:/x").has_value());
+  EXPECT_FALSE(cache.Lookup(1, "read", "file:/y").has_value());
+}
+
+TEST(DecisionCacheTest, SubregionInvalidationClearsOpObject) {
+  DecisionCache cache;
+  for (ProcessId pid = 1; pid <= 10; ++pid) {
+    cache.Insert(pid, "read", "file:/x", true);
+  }
+  cache.InvalidateSubregion("read", "file:/x");
+  for (ProcessId pid = 1; pid <= 10; ++pid) {
+    EXPECT_FALSE(cache.Lookup(pid, "read", "file:/x").has_value());
+  }
+}
+
+TEST(DecisionCacheTest, SubregionInvalidationSparesOtherSubregions) {
+  DecisionCache::Config config;
+  config.num_subregions = 64;
+  DecisionCache cache(config);
+  // Insert entries for many objects; invalidating one object's subregion
+  // must leave most other objects cached.
+  for (int i = 0; i < 100; ++i) {
+    cache.Insert(1, "read", "file:/f" + std::to_string(i), true);
+  }
+  cache.InvalidateSubregion("read", "file:/f0");
+  int surviving = 0;
+  for (int i = 1; i < 100; ++i) {
+    if (cache.Lookup(1, "read", "file:/f" + std::to_string(i)).has_value()) {
+      ++surviving;
+    }
+  }
+  EXPECT_GT(surviving, 80);
+}
+
+TEST(DecisionCacheTest, EntryInvalidation) {
+  DecisionCache cache;
+  cache.Insert(1, "read", "file:/x", true);
+  cache.InvalidateEntry(1, "read", "file:/x");
+  EXPECT_FALSE(cache.Lookup(1, "read", "file:/x").has_value());
+}
+
+TEST(DecisionCacheTest, ClearAndResize) {
+  DecisionCache cache;
+  cache.Insert(1, "read", "o", true);
+  cache.Clear();
+  EXPECT_FALSE(cache.Lookup(1, "read", "o").has_value());
+  cache.Insert(1, "read", "o", true);
+  cache.Resize(DecisionCache::Config{8, 8});
+  EXPECT_FALSE(cache.Lookup(1, "read", "o").has_value());
+}
+
+TEST(DecisionCacheTest, EvictionUnderPressureStaysCorrect) {
+  DecisionCache::Config config;
+  config.num_subregions = 2;
+  config.entries_per_subregion = 4;
+  DecisionCache cache(config);
+  for (int i = 0; i < 100; ++i) {
+    cache.Insert(static_cast<ProcessId>(i), "op", "obj", i % 2 == 0);
+  }
+  // Whatever remains cached must agree with what was inserted.
+  for (int i = 0; i < 100; ++i) {
+    auto hit = cache.Lookup(static_cast<ProcessId>(i), "op", "obj");
+    if (hit.has_value()) {
+      EXPECT_EQ(*hit, i % 2 == 0) << i;
+    }
+  }
+}
+
+// ------------------------------------------------- Kernel + cache wiring
+
+TEST(KernelAuthorizeTest, NoEngineAllowsEverything) {
+  Kernel k;
+  EXPECT_TRUE(k.Authorize(1, "read", "anything").ok());
+}
+
+TEST(KernelAuthorizeTest, CacheShortCircuitsEngine) {
+  Kernel k;
+  AllowAllEngine engine;
+  k.set_engine(&engine);
+  EXPECT_TRUE(k.Authorize(1, "read", "o").ok());
+  EXPECT_TRUE(k.Authorize(1, "read", "o").ok());
+  EXPECT_TRUE(k.Authorize(1, "read", "o").ok());
+  EXPECT_EQ(engine.upcalls, 1);
+}
+
+TEST(KernelAuthorizeTest, NonCacheableDecisionsAlwaysUpcall) {
+  Kernel k;
+  AllowAllEngine engine;
+  engine.cacheable = false;
+  k.set_engine(&engine);
+  k.Authorize(1, "read", "o");
+  k.Authorize(1, "read", "o");
+  EXPECT_EQ(engine.upcalls, 2);
+}
+
+TEST(KernelAuthorizeTest, DisabledCacheAlwaysUpcalls) {
+  Kernel k;
+  AllowAllEngine engine;
+  k.set_engine(&engine);
+  k.set_decision_cache_enabled(false);
+  k.Authorize(1, "read", "o");
+  k.Authorize(1, "read", "o");
+  EXPECT_EQ(engine.upcalls, 2);
+}
+
+TEST(KernelAuthorizeTest, GoalUpdateInvalidatesCachedDecisions) {
+  Kernel k;
+  AllowAllEngine engine;
+  k.set_engine(&engine);
+  k.Authorize(1, "read", "o");
+  k.OnGoalUpdate("read", "o");
+  k.Authorize(1, "read", "o");
+  EXPECT_EQ(engine.upcalls, 2);
+}
+
+TEST(KernelAuthorizeTest, ProofUpdateInvalidatesCachedDecision) {
+  Kernel k;
+  AllowAllEngine engine;
+  k.set_engine(&engine);
+  k.Authorize(1, "read", "o");
+  k.OnProofUpdate(1, "read", "o");
+  k.Authorize(1, "read", "o");
+  EXPECT_EQ(engine.upcalls, 2);
+}
+
+// -------------------------------------------------------------- ProcFs
+
+TEST(ProcFsTest, PublishReadRemove) {
+  IntrospectionFs fs;
+  fs.PublishValue(1, "/proc/app/key", "value");
+  EXPECT_EQ(*fs.Read("/proc/app/key"), "value");
+  EXPECT_EQ(*fs.Owner("/proc/app/key"), 1u);
+  ASSERT_TRUE(fs.Remove("/proc/app/key").ok());
+  EXPECT_FALSE(fs.Read("/proc/app/key").ok());
+}
+
+TEST(ProcFsTest, LiveProviders) {
+  IntrospectionFs fs;
+  int counter = 0;
+  fs.Publish(1, "/proc/app/counter", [&counter] { return std::to_string(counter); });
+  EXPECT_EQ(*fs.Read("/proc/app/counter"), "0");
+  counter = 42;
+  EXPECT_EQ(*fs.Read("/proc/app/counter"), "42");
+}
+
+TEST(ProcFsTest, ListDirectories) {
+  IntrospectionFs fs;
+  fs.PublishValue(1, "/proc/ipd/1/name", "a");
+  fs.PublishValue(1, "/proc/ipd/2/name", "b");
+  fs.PublishValue(1, "/proc/port/9/owner", "1");
+  std::vector<std::string> ipds = fs.List("/proc/ipd");
+  EXPECT_EQ(ipds, (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(fs.List("/proc").size(), 2u);  // ipd and port.
+}
+
+TEST(ProcFsTest, WatchersFireOnPrefix) {
+  IntrospectionFs fs;
+  std::vector<std::string> seen;
+  uint64_t token = fs.Watch("/proc/ipd", [&seen](const std::string& path, const std::string&) {
+    seen.push_back(path);
+  });
+  fs.PublishValue(1, "/proc/ipd/3/name", "x");
+  fs.PublishValue(1, "/proc/other", "y");
+  EXPECT_EQ(seen, (std::vector<std::string>{"/proc/ipd/3/name"}));
+  fs.Unwatch(token);
+  fs.PublishValue(1, "/proc/ipd/4/name", "z");
+  EXPECT_EQ(seen.size(), 1u);
+}
+
+TEST(ProcFsTest, RemoveOwnedRemovesAll) {
+  IntrospectionFs fs;
+  fs.PublishValue(7, "/a", "1");
+  fs.PublishValue(7, "/b", "2");
+  fs.PublishValue(8, "/c", "3");
+  fs.RemoveOwned(7);
+  EXPECT_FALSE(fs.Read("/a").ok());
+  EXPECT_FALSE(fs.Read("/b").ok());
+  EXPECT_TRUE(fs.Read("/c").ok());
+}
+
+// ------------------------------------------------------------ Scheduler
+
+TEST(SchedulerTest, StrideRespectsWeights) {
+  StrideScheduler sched;
+  sched.AddClient(1, 30);
+  sched.AddClient(2, 10);
+  for (int i = 0; i < 4000; ++i) {
+    sched.Tick();
+  }
+  double share1 = static_cast<double>(sched.QuantaReceived(1)) / 4000.0;
+  EXPECT_NEAR(share1, 0.75, 0.02);
+}
+
+TEST(SchedulerTest, StrideWeightChangeTakesEffect) {
+  StrideScheduler sched;
+  sched.AddClient(1, 1);
+  sched.AddClient(2, 1);
+  for (int i = 0; i < 100; ++i) {
+    sched.Tick();
+  }
+  sched.SetWeight(1, 9);
+  uint64_t before1 = sched.QuantaReceived(1);
+  for (int i = 0; i < 1000; ++i) {
+    sched.Tick();
+  }
+  double share_after = static_cast<double>(sched.QuantaReceived(1) - before1) / 1000.0;
+  EXPECT_NEAR(share_after, 0.9, 0.05);
+}
+
+TEST(SchedulerTest, NewClientNotStarved) {
+  StrideScheduler sched;
+  sched.AddClient(1, 1);
+  for (int i = 0; i < 1000; ++i) {
+    sched.Tick();
+  }
+  sched.AddClient(2, 1);
+  uint64_t before = sched.QuantaReceived(2);
+  for (int i = 0; i < 100; ++i) {
+    sched.Tick();
+  }
+  EXPECT_GE(sched.QuantaReceived(2) - before, 45u);
+}
+
+TEST(SchedulerTest, StrideRejectsBadInput) {
+  StrideScheduler sched;
+  EXPECT_FALSE(sched.AddClient(1, 0).ok());
+  sched.AddClient(1, 1);
+  EXPECT_FALSE(sched.AddClient(1, 2).ok());
+  EXPECT_FALSE(sched.SetWeight(2, 1).ok());
+  EXPECT_FALSE(sched.RemoveClient(2).ok());
+}
+
+TEST(SchedulerTest, RoundRobinIgnoresWeights) {
+  RoundRobinScheduler sched;
+  sched.AddClient(1, 100);
+  sched.AddClient(2, 1);
+  for (int i = 0; i < 1000; ++i) {
+    sched.Tick();
+  }
+  EXPECT_EQ(sched.QuantaReceived(1), 500u);
+  EXPECT_EQ(sched.QuantaReceived(2), 500u);
+}
+
+TEST(SchedulerTest, EmptySchedulerFails) {
+  StrideScheduler sched;
+  EXPECT_FALSE(sched.Tick().ok());
+}
+
+// --------------------------------------------------------- HashWhitelist
+
+TEST(HashWhitelistTest, AxiomaticBaseline) {
+  Kernel k;
+  HashWhitelist whitelist;
+  Bytes trusted_player = ToBytes("certified-player-v1");
+  whitelist.AllowBinary(trusted_player);
+
+  ProcessId good = *k.CreateProcess("player", trusted_player);
+  ProcessId bad = *k.CreateProcess("other-player", ToBytes("home-built-player"));
+  EXPECT_TRUE(*whitelist.Check(k, good));
+  EXPECT_FALSE(*whitelist.Check(k, bad));
+  EXPECT_FALSE(whitelist.Check(k, 999).ok());
+}
+
+}  // namespace
+}  // namespace nexus::kernel

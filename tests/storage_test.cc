@@ -1,0 +1,438 @@
+#include <gtest/gtest.h>
+
+#include "storage/blockdev.h"
+#include "storage/merkle.h"
+#include "storage/ssr.h"
+#include "storage/vdir.h"
+#include "storage/vkey.h"
+#include "tpm/tpm.h"
+#include "util/rng.h"
+
+namespace nexus::storage {
+namespace {
+
+// ------------------------------------------------------------ BlockDevice
+
+TEST(BlockDeviceTest, WriteReadDelete) {
+  BlockDevice disk;
+  ASSERT_TRUE(disk.Write("/a", ToBytes("hello")).ok());
+  EXPECT_EQ(ToString(*disk.Read("/a")), "hello");
+  ASSERT_TRUE(disk.Delete("/a").ok());
+  EXPECT_FALSE(disk.Read("/a").ok());
+  EXPECT_FALSE(disk.Delete("/a").ok());
+}
+
+TEST(BlockDeviceTest, PowerFailureDropsWrites) {
+  BlockDevice disk;
+  disk.FailAfterWrites(2);
+  EXPECT_TRUE(disk.Write("/1", ToBytes("a")).ok());
+  EXPECT_TRUE(disk.Write("/2", ToBytes("b")).ok());
+  EXPECT_FALSE(disk.Write("/3", ToBytes("c")).ok());
+  EXPECT_FALSE(disk.Exists("/3"));
+  disk.ClearFailure();
+  EXPECT_TRUE(disk.Write("/3", ToBytes("c")).ok());
+}
+
+TEST(BlockDeviceTest, TornWritePersistsHalf) {
+  BlockDevice disk;
+  disk.FailAfterWrites(1, /*tear_last=*/true);
+  EXPECT_FALSE(disk.Write("/t", ToBytes("0123456789")).ok());
+  EXPECT_EQ(ToString(*disk.Read("/t")), "01234");
+}
+
+// ------------------------------------------------------------ MerkleTree
+
+TEST(MerkleTest, EmptyTreeHasStableRoot) {
+  MerkleTree a;
+  MerkleTree b;
+  EXPECT_EQ(a.root(), b.root());
+  EXPECT_EQ(a.leaf_count(), 0u);
+}
+
+TEST(MerkleTest, RootChangesWithAnyLeaf) {
+  std::vector<MerkleHash> leaves;
+  for (int i = 0; i < 5; ++i) {
+    leaves.push_back(MerkleTree::HashLeaf(ToBytes("block" + std::to_string(i))));
+  }
+  MerkleTree tree(leaves);
+  MerkleHash original = tree.root();
+  tree.UpdateLeaf(3, MerkleTree::HashLeaf(ToBytes("tampered")));
+  EXPECT_NE(tree.root(), original);
+  tree.UpdateLeaf(3, leaves[3]);
+  EXPECT_EQ(tree.root(), original);
+}
+
+TEST(MerkleTest, IncrementalUpdateMatchesRebuild) {
+  Rng rng(77);
+  std::vector<MerkleHash> leaves;
+  for (int i = 0; i < 9; ++i) {  // Non-power-of-two.
+    leaves.push_back(MerkleTree::HashLeaf(rng.RandomBytes(100)));
+  }
+  MerkleTree incremental(leaves);
+  leaves[4] = MerkleTree::HashLeaf(ToBytes("new"));
+  incremental.UpdateLeaf(4, leaves[4]);
+  MerkleTree rebuilt(leaves);
+  EXPECT_EQ(incremental.root(), rebuilt.root());
+}
+
+TEST(MerkleTest, ResizeGrowsAndPreservesLeaves) {
+  std::vector<MerkleHash> leaves = {MerkleTree::HashLeaf(ToBytes("a")),
+                                    MerkleTree::HashLeaf(ToBytes("b"))};
+  MerkleTree tree(leaves);
+  ASSERT_TRUE(tree.ResizeLeaves(10).ok());
+  EXPECT_EQ(tree.leaf_count(), 10u);
+  EXPECT_EQ(*tree.LeafHash(0), leaves[0]);
+  EXPECT_EQ(*tree.LeafHash(1), leaves[1]);
+  EXPECT_FALSE(tree.ResizeLeaves(5).ok());  // No shrinking.
+}
+
+TEST(MerkleTest, AuthPathVerifies) {
+  Rng rng(78);
+  std::vector<MerkleHash> leaves;
+  for (int i = 0; i < 13; ++i) {
+    leaves.push_back(MerkleTree::HashLeaf(rng.RandomBytes(64)));
+  }
+  MerkleTree tree(leaves);
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    std::vector<MerkleHash> path = *tree.AuthPath(i);
+    EXPECT_TRUE(MerkleTree::VerifyPath(tree.root(), i, leaves[i], path, leaves.size())) << i;
+    // A wrong leaf must not verify.
+    EXPECT_FALSE(MerkleTree::VerifyPath(tree.root(), i, MerkleTree::HashLeaf(ToBytes("x")),
+                                        path, leaves.size()))
+        << i;
+  }
+}
+
+TEST(MerkleTest, PathForWrongIndexFails) {
+  std::vector<MerkleHash> leaves = {MerkleTree::HashLeaf(ToBytes("a")),
+                                    MerkleTree::HashLeaf(ToBytes("b"))};
+  MerkleTree tree(leaves);
+  std::vector<MerkleHash> path = *tree.AuthPath(0);
+  EXPECT_FALSE(MerkleTree::VerifyPath(tree.root(), 1, leaves[0], path, 2));
+  EXPECT_FALSE(tree.AuthPath(5).ok());
+}
+
+// ----------------------------------------------------------------- VDIR
+
+class VdirTest : public ::testing::Test {
+ protected:
+  VdirTest() : rng_(201), tpm_(rng_) {
+    MeasuredBoot();
+    tpm_.TakeOwnership(rng_, {0, 1, 2});
+  }
+
+  void MeasuredBoot() {
+    tpm_.PowerCycle();
+    tpm_.MeasureAndExtend(0, ToBytes("fw"));
+    tpm_.MeasureAndExtend(1, ToBytes("ldr"));
+    tpm_.MeasureAndExtend(2, ToBytes("krn"));
+  }
+
+  VdirValue ValueOf(const std::string& s) { return crypto::Sha1::Hash(ToBytes(s)); }
+
+  Rng rng_;
+  tpm::Tpm tpm_;
+  BlockDevice disk_;
+};
+
+TEST_F(VdirTest, FirstBootInitializes) {
+  Result<VdirTable> table = VdirTable::Boot(&tpm_, &disk_);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->size(), 0u);
+  EXPECT_TRUE(disk_.Exists(kStateCurrentPath));
+  EXPECT_TRUE(disk_.Exists(kStateNewPath));
+}
+
+TEST_F(VdirTest, WriteAndRebootRecovers) {
+  VdirTable table = *VdirTable::Boot(&tpm_, &disk_);
+  VdirId id = *table.Allocate();
+  ASSERT_TRUE(table.Write(id, ValueOf("root-hash-1")).ok());
+
+  MeasuredBoot();
+  VdirTable recovered = *VdirTable::Boot(&tpm_, &disk_);
+  EXPECT_EQ(*recovered.Read(id), ValueOf("root-hash-1"));
+}
+
+TEST_F(VdirTest, ReplayedDiskAborted) {
+  VdirTable table = *VdirTable::Boot(&tpm_, &disk_);
+  VdirId id = *table.Allocate();
+  table.Write(id, ValueOf("v1"));
+  // An attacker snapshots the disk...
+  Bytes old_current = *disk_.Read(kStateCurrentPath);
+  Bytes old_new = *disk_.Read(kStateNewPath);
+  // ...the system moves on...
+  table.Write(id, ValueOf("v2"));
+  // ...and the attacker re-images the disk while the machine is off.
+  disk_.Write(kStateCurrentPath, old_current);
+  disk_.Write(kStateNewPath, old_new);
+
+  MeasuredBoot();
+  Result<VdirTable> replayed = VdirTable::Boot(&tpm_, &disk_);
+  EXPECT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.status().code(), ErrorCode::kCorruption);
+}
+
+TEST_F(VdirTest, TamperedStateFileAborted) {
+  VdirTable table = *VdirTable::Boot(&tpm_, &disk_);
+  VdirId id = *table.Allocate();
+  table.Write(id, ValueOf("v1"));
+  (*disk_.MutableRaw(kStateCurrentPath))[9] ^= 1;
+  (*disk_.MutableRaw(kStateNewPath))[9] ^= 1;
+  MeasuredBoot();
+  EXPECT_FALSE(VdirTable::Boot(&tpm_, &disk_).ok());
+}
+
+TEST_F(VdirTest, WrongKernelCannotBootVdirs) {
+  { VdirTable table = *VdirTable::Boot(&tpm_, &disk_); }
+  tpm_.PowerCycle();
+  tpm_.MeasureAndExtend(0, ToBytes("fw"));
+  tpm_.MeasureAndExtend(1, ToBytes("ldr"));
+  tpm_.MeasureAndExtend(2, ToBytes("evil"));
+  Result<VdirTable> booted = VdirTable::Boot(&tpm_, &disk_);
+  EXPECT_FALSE(booted.ok());
+  EXPECT_EQ(booted.status().code(), ErrorCode::kPermissionDenied);
+}
+
+// Power failure at each step of the 4-step flush: after "power returns",
+// boot must recover a consistent table (either the old or the new value —
+// never garbage, never an abort).
+class VdirCrashTest : public VdirTest, public ::testing::WithParamInterface<int> {};
+
+TEST_P(VdirCrashTest, CrashDuringFlushRecovers) {
+  VdirTable table = *VdirTable::Boot(&tpm_, &disk_);
+  VdirId id = *table.Allocate();
+  ASSERT_TRUE(table.Write(id, ValueOf("committed")).ok());
+
+  // The flush performs 2 disk writes (steps 1 and 4); DIR writes go to the
+  // TPM and are not interrupted by this disk-failure model. Parameter = how
+  // many disk writes survive before power dies (0: nothing persisted, 1:
+  // only /proc/state/new, 2: everything — plus a torn variant).
+  int surviving_writes = GetParam() / 2;
+  bool tear = GetParam() % 2 == 1;
+  disk_.FailAfterWrites(surviving_writes, tear);
+  Status write = table.Write(id, ValueOf("in-flight"));
+  if (surviving_writes < 2) {
+    EXPECT_FALSE(write.ok());
+  }
+
+  // Power returns.
+  disk_.ClearFailure();
+  MeasuredBoot();
+  Result<VdirTable> recovered = VdirTable::Boot(&tpm_, &disk_);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  Result<VdirValue> value = recovered->Read(id);
+  ASSERT_TRUE(value.ok());
+  EXPECT_TRUE(*value == ValueOf("committed") || *value == ValueOf("in-flight"));
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashPoints, VdirCrashTest, ::testing::Values(0, 1, 2, 3, 4));
+
+// ----------------------------------------------------------------- VKEY
+
+class VkeyTest : public VdirTest {
+ protected:
+  VkeyTest() : vkeys_(&tpm_, &rng_) {}
+  VkeyTable vkeys_;
+};
+
+TEST_F(VkeyTest, CreateEncryptDecrypt) {
+  VkeyId id = *vkeys_.Create();
+  Bytes plain = ToBytes("sensitive");
+  Bytes cipher = *vkeys_.Encrypt(id, 5, 0, plain);
+  EXPECT_NE(cipher, plain);
+  EXPECT_EQ(*vkeys_.Decrypt(id, 5, 0, cipher), plain);
+}
+
+TEST_F(VkeyTest, DistinctKeysDistinctStreams) {
+  VkeyId a = *vkeys_.Create();
+  VkeyId b = *vkeys_.Create();
+  Bytes plain(64, 0);
+  EXPECT_NE(*vkeys_.Encrypt(a, 1, 0, plain), *vkeys_.Encrypt(b, 1, 0, plain));
+}
+
+TEST_F(VkeyTest, DestroyedKeyUnusable) {
+  VkeyId id = *vkeys_.Create();
+  ASSERT_TRUE(vkeys_.Destroy(id).ok());
+  EXPECT_FALSE(vkeys_.Encrypt(id, 1, 0, ToBytes("x")).ok());
+  EXPECT_FALSE(vkeys_.Destroy(id).ok());
+}
+
+TEST_F(VkeyTest, ExternalizeInternalizeRoundTrip) {
+  VkeyId id = *vkeys_.Create();
+  Bytes cipher = *vkeys_.Encrypt(id, 9, 0, ToBytes("data"));
+  Bytes blob = *vkeys_.Externalize(id);
+  VkeyId restored = *vkeys_.Internalize(blob);
+  EXPECT_EQ(*vkeys_.Decrypt(restored, 9, 0, cipher), ToBytes("data"));
+}
+
+TEST_F(VkeyTest, WrappingUnderAnotherVkey) {
+  VkeyId wrapping = *vkeys_.Create();
+  VkeyId id = *vkeys_.Create();
+  Bytes blob = *vkeys_.Externalize(id, wrapping);
+  // Unwrapping with the wrong key fails the integrity check.
+  EXPECT_FALSE(vkeys_.Internalize(blob, 0).ok());
+  EXPECT_TRUE(vkeys_.Internalize(blob, wrapping).ok());
+}
+
+TEST_F(VkeyTest, TamperedBlobRejected) {
+  VkeyId id = *vkeys_.Create();
+  Bytes blob = *vkeys_.Externalize(id);
+  blob[blob.size() - 1] ^= 1;
+  Result<VkeyId> restored = vkeys_.Internalize(blob);
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), ErrorCode::kCorruption);
+}
+
+// ------------------------------------------------------------------ SSR
+
+class SsrTest : public VdirTest {
+ protected:
+  SsrTest()
+      : vdirs_(*VdirTable::Boot(&tpm_, &disk_)),
+        vkeys_(&tpm_, &rng_),
+        ssrs_(&disk_, &vdirs_, &vkeys_) {}
+
+  VdirTable vdirs_;
+  VkeyTable vkeys_;
+  SsrManager ssrs_;
+};
+
+TEST_F(SsrTest, WriteReadRoundTrip) {
+  SsrId id = *ssrs_.Create(/*encrypted=*/false);
+  Bytes data = ToBytes("attested storage region contents");
+  ASSERT_TRUE(ssrs_.Write(id, 0, data).ok());
+  EXPECT_EQ(*ssrs_.Read(id, 0, data.size()), data);
+  EXPECT_EQ(*ssrs_.Size(id), data.size());
+}
+
+TEST_F(SsrTest, MultiBlockAndPartialReads) {
+  SsrId id = *ssrs_.Create(false);
+  Rng rng(303);
+  Bytes data = rng.RandomBytes(3000);  // Spans 3 blocks at 1 kB.
+  ASSERT_TRUE(ssrs_.Write(id, 0, data).ok());
+  // Partial read crossing a block boundary verifies only relevant blocks.
+  Bytes middle = *ssrs_.Read(id, 900, 300);
+  EXPECT_EQ(middle, Bytes(data.begin() + 900, data.begin() + 1200));
+}
+
+TEST_F(SsrTest, OverwriteInMiddle) {
+  SsrId id = *ssrs_.Create(false);
+  ssrs_.Write(id, 0, Bytes(2500, 'a'));
+  ssrs_.Write(id, 1000, ToBytes("XYZ"));
+  Bytes out = *ssrs_.Read(id, 998, 7);
+  EXPECT_EQ(ToString(out), "aaXYZaa");
+}
+
+TEST_F(SsrTest, ReadPastEndFails) {
+  SsrId id = *ssrs_.Create(false);
+  ssrs_.Write(id, 0, ToBytes("abc"));
+  EXPECT_FALSE(ssrs_.Read(id, 0, 4).ok());
+}
+
+TEST_F(SsrTest, EncryptedRegionIsOpaqueOnDisk) {
+  VkeyId key = *vkeys_.Create();
+  SsrId id = *ssrs_.Create(/*encrypted=*/true, key, /*nonce=*/1234);
+  Bytes secret = ToBytes("this plaintext must not appear on disk");
+  ssrs_.Write(id, 0, secret);
+
+  Result<Bytes> on_disk = disk_.Read("ssr/" + std::to_string(id) + "/block/0");
+  ASSERT_TRUE(on_disk.ok());
+  std::string raw = ToString(*on_disk);
+  EXPECT_EQ(raw.find("plaintext"), std::string::npos);
+  EXPECT_EQ(*ssrs_.Read(id, 0, secret.size()), secret);
+}
+
+TEST_F(SsrTest, TamperedBlockDetected) {
+  SsrId id = *ssrs_.Create(false);
+  ssrs_.Write(id, 0, Bytes(2048, 'x'));
+  (*disk_.MutableRaw("ssr/" + std::to_string(id) + "/block/1"))[5] ^= 1;
+  Result<Bytes> read = ssrs_.Read(id, 0, 2048);
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), ErrorCode::kCorruption);
+  // Untouched block still readable (demand verification).
+  EXPECT_TRUE(ssrs_.Read(id, 0, 1024).ok());
+}
+
+TEST_F(SsrTest, RecoverAfterRebootPreservesData) {
+  SsrId id = *ssrs_.Create(false);
+  Bytes data = ToBytes("survives reboot");
+  ssrs_.Write(id, 0, data);
+
+  MeasuredBoot();
+  VdirTable vdirs2 = *VdirTable::Boot(&tpm_, &disk_);
+  SsrManager ssrs2(&disk_, &vdirs2, &vkeys_);
+  ASSERT_TRUE(ssrs2.Recover().ok());
+  EXPECT_EQ(*ssrs2.Read(id, 0, data.size()), data);
+}
+
+TEST_F(SsrTest, ReplayedSsrImageDetectedAtRecovery) {
+  SsrId id = *ssrs_.Create(false);
+  ssrs_.Write(id, 0, ToBytes("version-1"));
+  Bytes old_block = *disk_.Read("ssr/" + std::to_string(id) + "/block/0");
+  Bytes old_meta = *disk_.Read("ssr/" + std::to_string(id) + "/meta");
+  ssrs_.Write(id, 0, ToBytes("version-2"));
+
+  // Attacker restores the old SSR image while the machine is off.
+  disk_.Write("ssr/" + std::to_string(id) + "/block/0", old_block);
+  disk_.Write("ssr/" + std::to_string(id) + "/meta", old_meta);
+
+  MeasuredBoot();
+  VdirTable vdirs2 = *VdirTable::Boot(&tpm_, &disk_);
+  SsrManager ssrs2(&disk_, &vdirs2, &vkeys_);
+  Status recovered = ssrs2.Recover();
+  EXPECT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.code(), ErrorCode::kCorruption);
+}
+
+TEST_F(SsrTest, DestroyRemovesRegion) {
+  SsrId id = *ssrs_.Create(false);
+  ssrs_.Write(id, 0, ToBytes("bye"));
+  ASSERT_TRUE(ssrs_.Destroy(id).ok());
+  EXPECT_FALSE(ssrs_.Read(id, 0, 1).ok());
+  EXPECT_FALSE(disk_.Exists("ssr/" + std::to_string(id) + "/block/0"));
+}
+
+TEST_F(SsrTest, ManyRegionsIndependent) {
+  SsrId a = *ssrs_.Create(false);
+  SsrId b = *ssrs_.Create(false);
+  ssrs_.Write(a, 0, ToBytes("AAAA"));
+  ssrs_.Write(b, 0, ToBytes("BBBB"));
+  EXPECT_EQ(ToString(*ssrs_.Read(a, 0, 4)), "AAAA");
+  EXPECT_EQ(ToString(*ssrs_.Read(b, 0, 4)), "BBBB");
+}
+
+// Property sweep: random write/read sequences against a reference model.
+class SsrPropertyTest : public SsrTest, public ::testing::WithParamInterface<uint64_t> {};
+
+TEST_P(SsrPropertyTest, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  bool encrypted = rng.NextBool(0.5);
+  VkeyId key = encrypted ? *vkeys_.Create() : 0;
+  SsrId id = *ssrs_.Create(encrypted, key, rng.NextU64());
+
+  Bytes model;
+  for (int step = 0; step < 30; ++step) {
+    uint64_t offset = rng.NextBelow(4000);
+    size_t length = 1 + rng.NextBelow(1500);
+    Bytes data = rng.RandomBytes(length);
+    ASSERT_TRUE(ssrs_.Write(id, offset, data).ok());
+    if (model.size() < offset + length) {
+      model.resize(offset + length, 0);
+    }
+    std::copy(data.begin(), data.end(), model.begin() + static_cast<ptrdiff_t>(offset));
+
+    // Random verification read.
+    uint64_t roff = rng.NextBelow(model.size());
+    size_t rlen = 1 + rng.NextBelow(model.size() - roff);
+    Result<Bytes> got = ssrs_.Read(id, roff, rlen);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, Bytes(model.begin() + static_cast<ptrdiff_t>(roff),
+                          model.begin() + static_cast<ptrdiff_t>(roff + rlen)));
+  }
+  EXPECT_EQ(*ssrs_.Size(id), model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SsrPropertyTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace nexus::storage

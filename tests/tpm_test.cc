@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "tpm/tpm.h"
+#include "util/rng.h"
+
+namespace nexus::tpm {
+namespace {
+
+class TpmTest : public ::testing::Test {
+ protected:
+  TpmTest() : rng_(101), tpm_(rng_) {}
+
+  // Simulates a measured boot into the canonical PCR state.
+  void MeasuredBoot() {
+    tpm_.PowerCycle();
+    tpm_.MeasureAndExtend(0, ToBytes("firmware"));
+    tpm_.MeasureAndExtend(1, ToBytes("loader"));
+    tpm_.MeasureAndExtend(2, ToBytes("kernel"));
+  }
+
+  Rng rng_;
+  Tpm tpm_;
+};
+
+TEST_F(TpmTest, PcrsStartAtZero) {
+  Result<PcrValue> pcr = tpm_.ReadPcr(0);
+  ASSERT_TRUE(pcr.ok());
+  EXPECT_EQ(*pcr, PcrValue{});
+}
+
+TEST_F(TpmTest, ExtendChangesValueDeterministically) {
+  crypto::Sha1Digest m = crypto::Sha1::Hash(ToBytes("kernel-image"));
+  tpm_.ExtendPcr(2, m);
+  Result<PcrValue> first = tpm_.ReadPcr(2);
+
+  Rng rng2(999);
+  Tpm other(rng2);
+  other.ExtendPcr(2, m);
+  EXPECT_EQ(*first, *other.ReadPcr(2));
+}
+
+TEST_F(TpmTest, ExtendOrderMatters) {
+  Rng rng2(5);
+  Tpm other(rng2);
+  tpm_.MeasureAndExtend(0, ToBytes("a"));
+  tpm_.MeasureAndExtend(0, ToBytes("b"));
+  other.MeasureAndExtend(0, ToBytes("b"));
+  other.MeasureAndExtend(0, ToBytes("a"));
+  EXPECT_NE(*tpm_.ReadPcr(0), *other.ReadPcr(0));
+}
+
+TEST_F(TpmTest, PcrIndexBounds) {
+  EXPECT_FALSE(tpm_.ExtendPcr(-1, {}).ok());
+  EXPECT_FALSE(tpm_.ExtendPcr(kNumPcrs, {}).ok());
+  EXPECT_FALSE(tpm_.ReadPcr(kNumPcrs).ok());
+}
+
+TEST_F(TpmTest, PowerCycleResetsPcrsAndBumpsBootCounter) {
+  tpm_.MeasureAndExtend(0, ToBytes("x"));
+  uint64_t boots = tpm_.boot_counter();
+  tpm_.PowerCycle();
+  EXPECT_EQ(*tpm_.ReadPcr(0), PcrValue{});
+  EXPECT_EQ(tpm_.boot_counter(), boots + 1);
+}
+
+TEST_F(TpmTest, CompositeDeduplicatesAndSorts) {
+  MeasuredBoot();
+  Result<Bytes> a = tpm_.ReadComposite({0, 1, 2});
+  Result<Bytes> b = tpm_.ReadComposite({2, 0, 1, 0});
+  EXPECT_EQ(*a, *b);
+}
+
+TEST_F(TpmTest, TakeOwnershipOnce) {
+  MeasuredBoot();
+  EXPECT_TRUE(tpm_.TakeOwnership(rng_, {0, 1, 2}).ok());
+  EXPECT_TRUE(tpm_.IsOwned());
+  EXPECT_FALSE(tpm_.TakeOwnership(rng_, {0, 1, 2}).ok());
+}
+
+TEST_F(TpmTest, DirAccessRequiresMatchingPcrs) {
+  MeasuredBoot();
+  tpm_.TakeOwnership(rng_, {0, 1, 2});
+  crypto::Sha1Digest value = crypto::Sha1::Hash(ToBytes("root-hash"));
+  EXPECT_TRUE(tpm_.WriteDir(0, value).ok());
+  EXPECT_EQ(*tpm_.ReadDir(0), value);
+
+  // A different boot (different kernel measured) cannot touch the DIRs.
+  tpm_.PowerCycle();
+  tpm_.MeasureAndExtend(0, ToBytes("firmware"));
+  tpm_.MeasureAndExtend(1, ToBytes("loader"));
+  tpm_.MeasureAndExtend(2, ToBytes("EVIL-kernel"));
+  EXPECT_FALSE(tpm_.ReadDir(0).ok());
+  EXPECT_FALSE(tpm_.WriteDir(0, value).ok());
+
+  // Booting the legitimate kernel again restores access and the value.
+  MeasuredBoot();
+  EXPECT_EQ(*tpm_.ReadDir(0), value);
+}
+
+TEST_F(TpmTest, DirIndexBounds) {
+  MeasuredBoot();
+  tpm_.TakeOwnership(rng_, {0, 1, 2});
+  EXPECT_FALSE(tpm_.WriteDir(kNumDirs, {}).ok());
+  EXPECT_FALSE(tpm_.ReadDir(-1).ok());
+}
+
+TEST_F(TpmTest, SealUnsealRoundTrip) {
+  MeasuredBoot();
+  tpm_.TakeOwnership(rng_, {0, 1, 2});
+  Bytes secret = ToBytes("nexus kernel key material");
+  Result<Bytes> blob = tpm_.Seal(secret, {0, 1, 2});
+  ASSERT_TRUE(blob.ok());
+  Result<Bytes> unsealed = tpm_.Unseal(*blob);
+  ASSERT_TRUE(unsealed.ok());
+  EXPECT_EQ(*unsealed, secret);
+}
+
+TEST_F(TpmTest, UnsealFailsUnderDifferentPcrState) {
+  MeasuredBoot();
+  tpm_.TakeOwnership(rng_, {0, 1, 2});
+  Result<Bytes> blob = tpm_.Seal(ToBytes("secret"), {0, 1, 2});
+  ASSERT_TRUE(blob.ok());
+
+  tpm_.PowerCycle();
+  tpm_.MeasureAndExtend(0, ToBytes("firmware"));
+  tpm_.MeasureAndExtend(1, ToBytes("loader"));
+  tpm_.MeasureAndExtend(2, ToBytes("modified-kernel"));
+  EXPECT_FALSE(tpm_.Unseal(*blob).ok());
+}
+
+TEST_F(TpmTest, UnsealDetectsTampering) {
+  MeasuredBoot();
+  tpm_.TakeOwnership(rng_, {0, 1, 2});
+  Result<Bytes> blob = tpm_.Seal(ToBytes("secret"), {0, 1, 2});
+  ASSERT_TRUE(blob.ok());
+  Bytes tampered = *blob;
+  tampered[tampered.size() - 1] ^= 0x80;
+  Result<Bytes> unsealed = tpm_.Unseal(tampered);
+  EXPECT_FALSE(unsealed.ok());
+  EXPECT_EQ(unsealed.status().code(), ErrorCode::kCorruption);
+}
+
+TEST_F(TpmTest, SealRequiresOwnership) {
+  MeasuredBoot();
+  EXPECT_FALSE(tpm_.Seal(ToBytes("x"), {0}).ok());
+}
+
+TEST_F(TpmTest, QuoteVerifies) {
+  MeasuredBoot();
+  Bytes nonce = ToBytes("challenge-123");
+  Result<Bytes> sig = tpm_.Quote(nonce, {0, 1, 2});
+  ASSERT_TRUE(sig.ok());
+  Bytes composite = *tpm_.ReadComposite({0, 1, 2});
+  EXPECT_TRUE(Tpm::VerifyQuote(tpm_.endorsement_public_key(), nonce, composite, *sig));
+}
+
+TEST_F(TpmTest, QuoteRejectsWrongNonceOrComposite) {
+  MeasuredBoot();
+  Bytes nonce = ToBytes("challenge-123");
+  Result<Bytes> sig = tpm_.Quote(nonce, {0, 1, 2});
+  Bytes composite = *tpm_.ReadComposite({0, 1, 2});
+  EXPECT_FALSE(
+      Tpm::VerifyQuote(tpm_.endorsement_public_key(), ToBytes("other"), composite, *sig));
+  Bytes wrong = composite;
+  wrong[0] ^= 1;
+  EXPECT_FALSE(Tpm::VerifyQuote(tpm_.endorsement_public_key(), nonce, wrong, *sig));
+}
+
+TEST_F(TpmTest, QuoteBindsToPcrState) {
+  MeasuredBoot();
+  Bytes nonce = ToBytes("n");
+  Bytes old_composite = *tpm_.ReadComposite({0, 1, 2});
+  tpm_.MeasureAndExtend(2, ToBytes("late-loaded-module"));
+  Result<Bytes> sig = tpm_.Quote(nonce, {0, 1, 2});
+  // The new quote does not verify against the pre-extension composite.
+  EXPECT_FALSE(Tpm::VerifyQuote(tpm_.endorsement_public_key(), nonce, old_composite, *sig));
+}
+
+TEST_F(TpmTest, NvramDefineWriteRead) {
+  MeasuredBoot();
+  tpm_.TakeOwnership(rng_, {0, 1, 2});
+  ASSERT_TRUE(tpm_.NvDefine(7, 64, /*pcr_bound=*/false).ok());
+  EXPECT_FALSE(tpm_.NvDefine(7, 64, false).ok());  // Redefinition.
+  EXPECT_TRUE(tpm_.NvWrite(7, ToBytes("hello")).ok());
+  Result<Bytes> data = tpm_.NvRead(7);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 64u);
+  EXPECT_EQ(ToString(ByteView(data->data(), 5)), "hello");
+}
+
+TEST_F(TpmTest, NvramRespectsSizeAndDefinition) {
+  EXPECT_FALSE(tpm_.NvWrite(9, ToBytes("x")).ok());  // Undefined.
+  tpm_.NvDefine(9, 4, false);
+  EXPECT_FALSE(tpm_.NvWrite(9, ToBytes("too long")).ok());
+}
+
+TEST_F(TpmTest, PcrBoundNvramGatedOnPolicy) {
+  MeasuredBoot();
+  tpm_.TakeOwnership(rng_, {0, 1, 2});
+  tpm_.NvDefine(3, 16, /*pcr_bound=*/true);
+  EXPECT_TRUE(tpm_.NvWrite(3, ToBytes("guarded")).ok());
+  tpm_.PowerCycle();  // PCRs now zero: policy unsatisfied.
+  EXPECT_FALSE(tpm_.NvRead(3).ok());
+  MeasuredBoot();
+  EXPECT_TRUE(tpm_.NvRead(3).ok());
+}
+
+}  // namespace
+}  // namespace nexus::tpm

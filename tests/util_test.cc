@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace nexus {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = PermissionDenied("proof does not discharge goal");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(s.ToString(), "PERMISSION_DENIED: proof does not discharge goal");
+}
+
+TEST(StatusTest, AllErrorCodesHaveNames) {
+  for (int i = 0; i <= static_cast<int>(ErrorCode::kInternal); ++i) {
+    EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(i)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFound("no such label");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(BytesTest, RoundTripStringConversion) {
+  Bytes b = ToBytes("nexus");
+  EXPECT_EQ(ToString(b), "nexus");
+}
+
+TEST(BytesTest, HexEncode) {
+  Bytes b = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(HexEncode(b), "0001abff");
+}
+
+TEST(BytesTest, HexDecodeRoundTrip) {
+  Result<Bytes> decoded = HexDecode("0001abff");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, (Bytes{0x00, 0x01, 0xab, 0xff}));
+}
+
+TEST(BytesTest, HexDecodeRejectsOddLength) {
+  EXPECT_FALSE(HexDecode("abc").ok());
+}
+
+TEST(BytesTest, HexDecodeRejectsNonHex) {
+  EXPECT_FALSE(HexDecode("zz").ok());
+}
+
+TEST(BytesTest, HexDecodeAcceptsUpperCase) {
+  Result<Bytes> decoded = HexDecode("ABFF");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, (Bytes{0xab, 0xff}));
+}
+
+TEST(BytesTest, ConstantTimeEquals) {
+  Bytes a = ToBytes("secret");
+  Bytes b = ToBytes("secret");
+  Bytes c = ToBytes("secreT");
+  Bytes d = ToBytes("secre");
+  EXPECT_TRUE(ConstantTimeEquals(a, b));
+  EXPECT_FALSE(ConstantTimeEquals(a, c));
+  EXPECT_FALSE(ConstantTimeEquals(a, d));
+}
+
+TEST(BytesTest, U32RoundTrip) {
+  Bytes buf;
+  AppendU32(buf, 0xdeadbeef);
+  ByteReader reader(buf);
+  Result<uint32_t> v = reader.ReadU32();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 0xdeadbeefu);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BytesTest, U64RoundTrip) {
+  Bytes buf;
+  AppendU64(buf, 0x0123456789abcdefULL);
+  ByteReader reader(buf);
+  Result<uint64_t> v = reader.ReadU64();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 0x0123456789abcdefULL);
+}
+
+TEST(BytesTest, LengthPrefixedRoundTrip) {
+  Bytes buf;
+  AppendLengthPrefixed(buf, ToBytes("alpha"));
+  AppendLengthPrefixed(buf, ToBytes(""));
+  AppendLengthPrefixed(buf, ToBytes("beta"));
+  ByteReader reader(buf);
+  EXPECT_EQ(ToString(*reader.ReadLengthPrefixed()), "alpha");
+  EXPECT_EQ(ToString(*reader.ReadLengthPrefixed()), "");
+  EXPECT_EQ(ToString(*reader.ReadLengthPrefixed()), "beta");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BytesTest, ReaderRejectsTruncatedInput) {
+  Bytes buf = {0x00, 0x00, 0x00, 0x08, 0x01};  // Claims 8 bytes, has 1.
+  ByteReader reader(buf);
+  EXPECT_FALSE(reader.ReadLengthPrefixed().ok());
+}
+
+TEST(BytesTest, ReaderRejectsShortU32) {
+  Bytes buf = {0x01, 0x02};
+  ByteReader reader(buf);
+  EXPECT_FALSE(reader.ReadU32().ok());
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng rng(7);
+  bool seen[5] = {false};
+  for (int i = 0; i < 200; ++i) {
+    seen[rng.NextBelow(5)] = true;
+  }
+  for (bool s : seen) {
+    EXPECT_TRUE(s);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoolProbabilityExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, RandomBytesLength) {
+  Rng rng(11);
+  EXPECT_EQ(rng.RandomBytes(0).size(), 0u);
+  EXPECT_EQ(rng.RandomBytes(1).size(), 1u);
+  EXPECT_EQ(rng.RandomBytes(33).size(), 33u);
+}
+
+}  // namespace
+}  // namespace nexus
