@@ -1,0 +1,127 @@
+// Distributed attestation costs: the cross-instance analogue of Fig. 6's
+// three-orders-of-magnitude gap between system-backed and cryptographic
+// credentials.
+//
+//   handshake    : full attested channel establishment (2 NK signatures,
+//                  4 RSA verifications, key derivation)
+//   cert trip    : externalize a label, ship it, verify + import remotely
+//   remote query : one authority consultation crossing the channel
+//                  (HMAC + AES framing both ways, no RSA)
+//
+// Expected shape: handshake and certificate shipping are RSA-dominated;
+// established-channel queries are symmetric-crypto cheap, which is why
+// untransferable authority answers stay practical over the network.
+#include <benchmark/benchmark.h>
+
+#include "nal/parser.h"
+#include "net/cert_exchange.h"
+#include "net/node.h"
+#include "net/remote_authority.h"
+#include "net/transport.h"
+#include "tpm/tpm.h"
+
+namespace {
+
+using nexus::Rng;
+using nexus::ToBytes;
+
+struct NetHarness {
+  NetHarness()
+      : rng_a(101),
+        rng_b(202),
+        tpm_a(rng_a),
+        tpm_b(rng_b),
+        nexus_a(&tpm_a, nexus::core::NexusOptions{.seed = 1}),
+        nexus_b(&tpm_b, nexus::core::NexusOptions{.seed = 2}) {
+    nexus_a.RegisterPeer("b", tpm_b.endorsement_public_key());
+    nexus_b.RegisterPeer("a", tpm_a.endorsement_public_key());
+  }
+
+  Rng rng_a, rng_b;
+  nexus::tpm::Tpm tpm_a, tpm_b;
+  nexus::core::Nexus nexus_a, nexus_b;
+};
+
+NetHarness& H() {
+  static NetHarness harness;
+  return harness;
+}
+
+void BM_AttestedHandshake(benchmark::State& state) {
+  NetHarness& h = H();
+  for (auto _ : state) {
+    nexus::net::Transport transport(7);
+    nexus::net::NetNode node_a(&h.nexus_a, &transport, "a");
+    nexus::net::NetNode node_b(&h.nexus_b, &transport, "b");
+    auto channel = node_a.Connect("b");
+    benchmark::DoNotOptimize(channel);
+    if (!channel.ok() || !(*channel)->established()) {
+      state.SkipWithError("handshake failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_AttestedHandshake)->Unit(benchmark::kMicrosecond);
+
+struct EstablishedPair {
+  EstablishedPair()
+      : transport(7),
+        node_a(&H().nexus_a, &transport, "a"),
+        node_b(&H().nexus_b, &transport, "b"),
+        importer(&node_a, *H().nexus_a.CreateProcess("gateway", ToBytes("g"))),
+        pusher(&node_b, 0),
+        prover(*H().nexus_b.CreateProcess("bench-prover", ToBytes("p"))),
+        authority_service(&node_b),
+        always_yes(
+            [](const nexus::nal::Formula&) { return true; },
+            [](const nexus::nal::Formula&) { return true; }),
+        remote(&node_a, "b", nullptr, /*default_timeout_us=*/1000000) {
+    authority_service.AddAuthority(&always_yes);
+    node_a.Connect("b");
+  }
+
+  nexus::net::Transport transport;
+  nexus::net::NetNode node_a, node_b;
+  nexus::net::CertificateExchange importer, pusher;
+  nexus::kernel::ProcessId prover;
+  nexus::net::AuthorityService authority_service;
+  nexus::core::LambdaAuthority always_yes;
+  nexus::net::RemoteAuthority remote;
+};
+
+EstablishedPair& P() {
+  static EstablishedPair pair;
+  return pair;
+}
+
+void BM_CertificateRoundTrip(benchmark::State& state) {
+  EstablishedPair& p = P();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    // A fresh statement each time so import is never the idempotent no-op.
+    auto label = H().nexus_b.engine().Say(p.prover, "bench" + std::to_string(i++) + "()");
+    auto shipped = p.pusher.PushLabel("a", p.prover, *label);
+    benchmark::DoNotOptimize(shipped);
+    if (!shipped.ok()) {
+      state.SkipWithError("certificate push failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_CertificateRoundTrip)->Unit(benchmark::kMicrosecond);
+
+void BM_RemoteAuthorityQuery(benchmark::State& state) {
+  EstablishedPair& p = P();
+  nexus::nal::Formula statement = *nexus::nal::ParseFormula("Session says sessionActive(u)");
+  for (auto _ : state) {
+    bool vouched = p.remote.Vouches(statement);
+    benchmark::DoNotOptimize(vouched);
+    if (!vouched) {
+      state.SkipWithError("remote authority denied");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_RemoteAuthorityQuery)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

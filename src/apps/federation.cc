@@ -1,0 +1,172 @@
+#include "apps/federation.h"
+
+#include "nal/proof.h"
+
+namespace nexus::apps {
+
+PresenceFederation::PresenceFederation(core::Nexus* provider, core::Nexus* home,
+                                       net::Transport* transport)
+    : PresenceFederation(provider, home, transport, Config{}) {}
+
+PresenceFederation::PresenceFederation(core::Nexus* provider, core::Nexus* home,
+                                       net::Transport* transport, const Config& config)
+    : provider_(provider), home_(home), config_(config) {
+  // Out-of-band EK distribution: each instance pins the other's TPM. A
+  // rejected registration (e.g. a conflicting prior anchor) must surface
+  // here, not as mysterious handshake failures later.
+  Status pin_home =
+      provider_->RegisterPeer(config_.home_node, home_->tpm().endorsement_public_key());
+  Status pin_provider =
+      home_->RegisterPeer(config_.provider_node, provider_->tpm().endorsement_public_key());
+  if (!pin_home.ok()) {
+    init_status_ = pin_home;
+  } else if (!pin_provider.ok()) {
+    init_status_ = pin_provider;
+  }
+
+  provider_net_ = std::make_unique<net::NetNode>(provider_, transport, config_.provider_node);
+  home_net_ = std::make_unique<net::NetNode>(home_, transport, config_.home_node);
+
+  // Provider: the social network plus the certificate-import gateway.
+  // Credentials land in the web server's labelstore, where the signup
+  // guard's credential collection finds them.
+  fauxbook_ = std::make_unique<Fauxbook>(provider_);
+  exchange_ =
+      std::make_unique<net::CertificateExchange>(provider_net_.get(), fauxbook_->webserver_pid());
+
+  // Home: the keyboard driver (the only process that can mint keypress
+  // labels) and the session-liveness authority.
+  Result<kernel::ProcessId> driver =
+      home_->CreateProcess("keyboard_driver", ToBytes("nexus-kbd-v1"));
+  if (!driver.ok() && init_status_.ok()) {
+    // Never fall back to the kernel pid: presence labels must only ever be
+    // attributable to the real driver process.
+    init_status_ = driver.status();
+  }
+  driver_pid_ = driver.ok() ? *driver : 0;
+  driver_ = std::make_unique<KeyboardDriver>(home_, driver_pid_);
+  home_exchange_ = std::make_unique<net::CertificateExchange>(home_net_.get(), driver_pid_);
+
+  session_liveness_ = std::make_unique<core::LambdaAuthority>(
+      [](const nal::Formula& f) {
+        return f->kind() == nal::FormulaKind::kSays && f->speaker().base() == "Session" &&
+               f->child1()->kind() == nal::FormulaKind::kPred &&
+               f->child1()->pred_name() == "sessionActive";
+      },
+      [this](const nal::Formula& f) {
+        const auto& args = f->child1()->args();
+        return args.size() == 1 && live_sessions_.count(args[0].text()) > 0;
+      });
+  home_authority_service_ = std::make_unique<net::AuthorityService>(home_net_.get());
+  home_authority_service_->AddAuthority(session_liveness_.get());
+
+  // Provider guard: session-liveness leaves route to the home instance,
+  // budgeted by the configured deadline.
+  remote_sessions_ = std::make_unique<net::RemoteAuthority>(
+      provider_net_.get(), config_.home_node,
+      [](const nal::Formula& f) {
+        return f->kind() == nal::FormulaKind::kSays && f->speaker().base() == "Session";
+      },
+      config_.remote_timeout_us);
+  provider_->guard().AddRemoteAuthority(remote_sessions_.get());
+  // The guard owns the per-query deadline on its consultation path; keep
+  // the two knobs agreeing so the configured value actually applies.
+  provider_->guard().set_remote_query_timeout_us(config_.remote_timeout_us);
+
+  provider_->engine().RegisterObject(kSignupObject, fauxbook_->webserver_pid(),
+                                     kernel::kKernelProcessId);
+}
+
+Status PresenceFederation::Connect() {
+  if (!init_status_.ok()) {
+    return init_status_;
+  }
+  Result<net::AttestedChannel*> channel = provider_net_->Connect(config_.home_node);
+  return channel.status();
+}
+
+void PresenceFederation::Type(const std::string& session, int presses) {
+  live_sessions_.insert(session);
+  for (int i = 0; i < presses; ++i) {
+    driver_->OnKeypress(session);
+  }
+}
+
+Status PresenceFederation::ShipPresence(const std::string& session) {
+  if (!init_status_.ok()) {
+    return init_status_;
+  }
+  Result<core::Certificate> cert = driver_->AttestSession(session);
+  if (!cert.ok()) {
+    return cert.status();
+  }
+  // Ship from the home side: either side may push once the channel exists.
+  Result<core::LabelHandle> pushed =
+      home_exchange_->PushCertificate(config_.provider_node, *cert);
+  return pushed.status();
+}
+
+void PresenceFederation::EndSession(const std::string& session) {
+  live_sessions_.erase(session);
+}
+
+Status PresenceFederation::SignUp(const std::string& session) {
+  // Locate the imported presence credential for this session and apply the
+  // threshold (the SpamClassifier logic, but feeding a guard goal).
+  core::LabelStore& store = provider_->engine().StoreFor(fauxbook_->webserver_pid());
+  nal::Formula credential;
+  int64_t best_count = -1;
+  for (const nal::Formula& label : store.All()) {
+    // Only TPM-rooted (imported) credentials count. Wire-imported labels
+    // reparse the dotted chain as base "tpm" + path; in-memory ones keep
+    // "tpm.<ek8>" as the base.
+    if (label->kind() != nal::FormulaKind::kSays ||
+        label->speaker().ToString().rfind("tpm.", 0) != 0) {
+      continue;
+    }
+    const nal::Formula& body = label->child1();
+    if (body->kind() != nal::FormulaKind::kPred || body->pred_name() != "keypresses" ||
+        body->args().size() != 2 || body->args()[0].text() != session) {
+      continue;
+    }
+    if (body->args()[1].int_value() > best_count) {
+      best_count = body->args()[1].int_value();
+      credential = label;
+    }
+  }
+  if (credential == nullptr) {
+    return PermissionDenied("no imported presence credential for session " + session);
+  }
+  if (best_count < static_cast<int64_t>(config_.min_keypresses)) {
+    return PermissionDenied("presence credential shows too few keypresses");
+  }
+
+  // Goal: that exact credential AND a live session vouched for — right now,
+  // by the authority on the home instance.
+  nal::Formula liveness = nal::FormulaNode::Says(
+      nal::Principal("Session"),
+      nal::FormulaNode::Pred("sessionActive", {nal::Term::Symbol(session)}));
+  nal::Formula goal = nal::FormulaNode::And(credential, liveness);
+  nal::Proof proof = nal::proof::AndIntro(nal::proof::Premise(credential),
+                                          nal::proof::Authority(liveness));
+
+  kernel::ProcessId subject = fauxbook_->webserver_pid();
+  NEXUS_RETURN_IF_ERROR(
+      provider_->engine().SetGoal(subject, "signup", kSignupObject, goal));
+  NEXUS_RETURN_IF_ERROR(provider_->engine().SetProof(subject, "signup", kSignupObject, proof));
+  Status verdict = provider_->kernel().Authorize(subject, "signup", kSignupObject);
+  if (!verdict.ok()) {
+    return verdict;
+  }
+  signed_up_.insert(session);
+  return fauxbook_->AddUser(session);
+}
+
+Status PresenceFederation::Post(const std::string& session, const std::string& text) {
+  if (signed_up_.count(session) == 0) {
+    return PermissionDenied("session " + session + " has not completed federated signup");
+  }
+  return fauxbook_->PostStatus(session, text);
+}
+
+}  // namespace nexus::apps

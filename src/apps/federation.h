@@ -1,0 +1,101 @@
+// Federated human-presence (§4 Not-A-Bot, stretched across two machines).
+//
+// The scenario the net/ subsystem exists for: Fauxbook runs on a provider
+// instance, the user's keyboard lives on their home instance. The home
+// keyboard driver mints a TPM-rooted keypress certificate (NotABot), a
+// CertificateExchange ships it over an attested channel, and the provider's
+// guard admits the signup only if
+//   (a) the imported credential — speaker
+//       tpm.<ek>.nexus.<nk>.boot.<nbk>.ipd.<driver> — shows enough
+//       keypresses, and
+//   (b) a RemoteAuthority query crossing back to the home instance confirms
+//       the session is still live (fresh dynamic state, never cached).
+// Labels travel as indefinitely-valid certificates; liveness travels as
+// untransferable authority answers — the paper's split, now distributed.
+#ifndef NEXUS_APPS_FEDERATION_H_
+#define NEXUS_APPS_FEDERATION_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "apps/fauxbook.h"
+#include "apps/notabot.h"
+#include "core/nexus.h"
+#include "net/cert_exchange.h"
+#include "net/remote_authority.h"
+
+namespace nexus::apps {
+
+class PresenceFederation {
+ public:
+  struct Config {
+    net::NodeId provider_node = "provider";
+    net::NodeId home_node = "home";
+    uint64_t min_keypresses = 100;
+    uint64_t remote_timeout_us = 10000;
+  };
+
+  // Registers each instance's EK as a trust anchor of the other, attaches
+  // both to the transport, and stands up the exchange + authority services.
+  PresenceFederation(core::Nexus* provider, core::Nexus* home, net::Transport* transport);
+  PresenceFederation(core::Nexus* provider, core::Nexus* home, net::Transport* transport,
+                     const Config& config);
+
+  // Establishes the attested channel (either side may initiate; the
+  // provider does here).
+  Status Connect();
+
+  // ------------------------------------------------------------ home side
+  // Physical keypresses in a session (only the driver sees these).
+  void Type(const std::string& session, int presses);
+  // Mints <driver> says keypresses(session, n), externalizes it, and ships
+  // the certificate to the provider.
+  Status ShipPresence(const std::string& session);
+  // Ends the session: the remote authority stops vouching immediately.
+  void EndSession(const std::string& session);
+
+  // -------------------------------------------------------- provider side
+  // The guarded signup: finds the imported presence credential, checks the
+  // threshold, and runs the guard with a proof combining the credential
+  // premise and the cross-instance session-liveness authority leaf.
+  Status SignUp(const std::string& session);
+  // Posting requires a completed signup.
+  Status Post(const std::string& session, const std::string& text);
+
+  // OK iff construction wired everything (peer pinning, driver process).
+  Status init_status() const { return init_status_; }
+
+  Fauxbook& fauxbook() { return *fauxbook_; }
+  net::NetNode& provider_net() { return *provider_net_; }
+  net::NetNode& home_net() { return *home_net_; }
+  net::CertificateExchange& exchange() { return *exchange_; }
+  net::RemoteAuthority& session_authority() { return *remote_sessions_; }
+  kernel::ProcessId home_driver_pid() const { return driver_pid_; }
+
+ private:
+  static constexpr const char* kSignupObject = "fauxbook:federation";
+
+  core::Nexus* provider_;
+  core::Nexus* home_;
+  Config config_;
+  Status init_status_;
+
+  std::unique_ptr<net::NetNode> provider_net_;
+  std::unique_ptr<net::NetNode> home_net_;
+  std::unique_ptr<Fauxbook> fauxbook_;
+  std::unique_ptr<net::CertificateExchange> exchange_;
+  std::unique_ptr<net::CertificateExchange> home_exchange_;
+  std::unique_ptr<net::AuthorityService> home_authority_service_;
+  std::unique_ptr<core::LambdaAuthority> session_liveness_;
+  std::unique_ptr<net::RemoteAuthority> remote_sessions_;
+
+  kernel::ProcessId driver_pid_ = 0;
+  std::unique_ptr<KeyboardDriver> driver_;
+  std::set<std::string> live_sessions_;
+  std::set<std::string> signed_up_;
+};
+
+}  // namespace nexus::apps
+
+#endif  // NEXUS_APPS_FEDERATION_H_

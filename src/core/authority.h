@@ -25,6 +25,18 @@ class Authority {
   // Which statements this authority is willing to evaluate at all (used by
   // the guard to route queries).
   virtual bool Handles(const nal::Formula& statement) const = 0;
+
+  // True for authorities whose answer crosses an instance boundary (a
+  // RemoteAuthority in src/net). The guard budgets those queries: a remote
+  // authority that cannot answer within the deadline is treated as a DENY —
+  // fail closed, never block a guard evaluation on a dead peer.
+  virtual bool IsRemote() const { return false; }
+  // Deadline-bounded query. Local authorities answer instantly and ignore
+  // the budget; remote ones translate it into a wire-level timeout.
+  virtual bool VouchesWithin(const nal::Formula& statement, uint64_t timeout_us) {
+    (void)timeout_us;
+    return Vouches(statement);
+  }
 };
 
 // Adapts an Authority to an IPC port: operation "check" with the formula

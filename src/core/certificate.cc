@@ -1,5 +1,6 @@
 #include "core/certificate.h"
 
+#include "crypto/sha256.h"
 #include "nal/parser.h"
 
 namespace nexus::core {
@@ -16,6 +17,18 @@ Bytes StatementMessage(const nal::Formula& statement) {
 }
 
 }  // namespace
+
+std::string ShortKeyId(const crypto::RsaPublicKey& key) {
+  return crypto::Sha256Hex(key.Serialize()).substr(0, 8);
+}
+
+nal::Principal ExternalPrincipalFor(const crypto::RsaPublicKey& ek,
+                                    const crypto::RsaPublicKey& nk,
+                                    const std::string& nbk_id) {
+  return nal::Principal("tpm." + ShortKeyId(ek))
+      .Sub("nexus." + ShortKeyId(nk))
+      .Sub("boot." + nbk_id);
+}
 
 Bytes NkBindingMessage(const crypto::RsaPublicKey& nk, ByteView pcr_composite) {
   Bytes message = ToBytes(kNkBindingTag);

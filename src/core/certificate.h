@@ -38,6 +38,17 @@ struct Certificate {
 // and verifying sides.
 Bytes NkBindingMessage(const crypto::RsaPublicKey& nk, ByteView pcr_composite);
 
+// Short stable identity for a public key: the first 8 hex chars of
+// SHA-256(serialized key), as used in external principal names.
+std::string ShortKeyId(const crypto::RsaPublicKey& key);
+
+// The fully-qualified external kernel principal for a verified chain:
+// tpm.<ek8>.nexus.<nk8>.boot.<nbk>. Both the issuing side (naming itself)
+// and the verifying side (naming an attested peer) must build this chain
+// the same way.
+nal::Principal ExternalPrincipalFor(const crypto::RsaPublicKey& ek,
+                                    const crypto::RsaPublicKey& nk, const std::string& nbk_id);
+
 // The byte string the NK signs for a given statement.
 Bytes CertificateStatementMessage(const nal::Formula& statement);
 

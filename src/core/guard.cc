@@ -16,6 +16,10 @@ void Guard::AddEmbeddedAuthority(Authority* authority) {
 
 void Guard::AddAuthorityPort(kernel::PortId port) { authority_ports_.push_back(port); }
 
+void Guard::AddRemoteAuthority(Authority* authority) {
+  remote_authorities_.push_back(authority);
+}
+
 bool Guard::QueryAuthorities(const nal::Formula& statement) {
   ++stats_.authority_queries;
   for (Authority* authority : embedded_authorities_) {
@@ -35,6 +39,15 @@ bool Guard::QueryAuthorities(const nal::Formula& statement) {
     }
     if (reply.status.code() != ErrorCode::kNotFound) {
       return false;  // Authority reachable but erroring: fail closed.
+    }
+  }
+  // Remote authorities: a query crossing the instance boundary, budgeted by
+  // the configured deadline. No answer in time means DENY (§2.7 answers are
+  // fresh-or-nothing; a stale late answer is worthless).
+  for (Authority* authority : remote_authorities_) {
+    if (authority->Handles(statement)) {
+      ++stats_.remote_queries;
+      return authority->VouchesWithin(statement, config_.remote_query_timeout_us);
     }
   }
   return false;  // No authority evaluates this statement.

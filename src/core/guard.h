@@ -30,12 +30,15 @@ class Guard {
     size_t proof_cache_capacity = 1024;
     // Maximum cache entries chargeable to one process tree (§2.9 quotas).
     size_t per_root_quota = 256;
+    // Deadline for one remote-authority consultation; expiry is a DENY.
+    uint64_t remote_query_timeout_us = 10000;
   };
 
   struct Stats {
     uint64_t checks = 0;
     uint64_t cache_hits = 0;
     uint64_t authority_queries = 0;
+    uint64_t remote_queries = 0;
     uint64_t evictions = 0;
   };
 
@@ -47,6 +50,10 @@ class Guard {
   void AddEmbeddedAuthority(Authority* authority);
   // Registers an external authority living behind an IPC port.
   void AddAuthorityPort(kernel::PortId port);
+  // Registers an authority on a remote Nexus instance (reached over an
+  // attested channel, src/net). Consulted last; every query carries the
+  // configured deadline and an expired or unanswered query denies.
+  void AddRemoteAuthority(Authority* authority);
 
   // Full guard evaluation. `proof` may be null (denied unless the goal is
   // `true`). `state_version` is a monotonic stamp covering everything a
@@ -65,6 +72,13 @@ class Guard {
   const Stats& stats() const { return stats_; }
   void FlushCache();
 
+  // Deployments tune the remote-query deadline to their link (callers that
+  // registered a RemoteAuthority get this budget per consultation).
+  void set_remote_query_timeout_us(uint64_t timeout_us) {
+    config_.remote_query_timeout_us = timeout_us;
+  }
+  uint64_t remote_query_timeout_us() const { return config_.remote_query_timeout_us; }
+
  private:
   bool QueryAuthorities(const nal::Formula& statement);
   void InsertCacheEntry(kernel::ProcessId quota_root, const std::string& key, bool verdict);
@@ -73,6 +87,7 @@ class Guard {
   Config config_;
   std::vector<Authority*> embedded_authorities_;
   std::vector<kernel::PortId> authority_ports_;
+  std::vector<Authority*> remote_authorities_;
 
   struct CacheEntry {
     std::string key;

@@ -118,9 +118,7 @@ Result<kernel::PortId> Nexus::CreatePort(kernel::ProcessId owner) {
 }
 
 nal::Principal Nexus::ExternalKernelPrincipal() const {
-  return nal::Principal("tpm." + ShortId(tpm_->endorsement_public_key().Serialize()))
-      .Sub("nexus." + ShortId(nk_.public_key.Serialize()))
-      .Sub("boot." + nbk_id_);
+  return ExternalPrincipalFor(tpm_->endorsement_public_key(), nk_.public_key, nbk_id_);
 }
 
 Result<Certificate> Nexus::ExternalizeLabel(kernel::ProcessId pid, LabelHandle handle) {
@@ -157,6 +155,72 @@ Result<LabelHandle> Nexus::ImportCertificate(kernel::ProcessId pid, const Certif
     return statement.status();
   }
   return engine_.StoreFor(pid).InsertLabel(*statement);
+}
+
+Status Nexus::RegisterPeer(const std::string& name, const crypto::RsaPublicKey& ek) {
+  if (name.empty() || ek.n.IsZero()) {
+    return InvalidArgument("peer registration needs a name and a non-trivial EK");
+  }
+  auto it = peers_.find(name);
+  if (it != peers_.end() && !(it->second == ek)) {
+    return AlreadyExists("peer " + name + " already registered with a different EK");
+  }
+  peers_[name] = ek;
+  return OkStatus();
+}
+
+Result<crypto::RsaPublicKey> Nexus::PeerEk(const std::string& name) const {
+  auto it = peers_.find(name);
+  if (it == peers_.end()) {
+    return NotFound("no registered peer named " + name);
+  }
+  return it->second;
+}
+
+bool Nexus::IsTrustedPeerEk(const crypto::RsaPublicKey& ek) const {
+  for (const auto& [name, peer_ek] : peers_) {
+    if (peer_ek == ek) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<std::string> Nexus::PeerNameForEk(const crypto::RsaPublicKey& ek) const {
+  for (const auto& [name, peer_ek] : peers_) {
+    if (peer_ek == ek) {
+      return name;
+    }
+  }
+  return NotFound("EK does not belong to any registered peer");
+}
+
+Result<LabelHandle> Nexus::ImportPeerCertificate(kernel::ProcessId pid,
+                                                 const Certificate& cert) {
+  if (!IsTrustedPeerEk(cert.ek_public)) {
+    return Unauthenticated("certificate EK is not a registered peer trust anchor");
+  }
+  const std::string digest = crypto::Sha256Hex(cert.Serialize());
+  auto seen = imported_certs_.find({pid, digest});
+  if (seen != imported_certs_.end()) {
+    return seen->second;  // Replayed/duplicate delivery: idempotent.
+  }
+  Result<LabelHandle> handle = ImportCertificate(pid, cert, cert.ek_public);
+  if (handle.ok()) {
+    imported_certs_[{pid, digest}] = *handle;
+    imported_order_.push_back({pid, digest});
+    while (imported_order_.size() > kImportedCertCap) {
+      imported_certs_.erase(imported_order_.front());
+      imported_order_.pop_front();
+    }
+  }
+  return handle;
+}
+
+Bytes Nexus::NkSign(ByteView message) const { return crypto::RsaSign(nk_.private_key, message); }
+
+Result<Bytes> Nexus::NkDecrypt(ByteView ciphertext) const {
+  return crypto::RsaDecrypt(nk_.private_key, ciphertext);
 }
 
 }  // namespace nexus::core

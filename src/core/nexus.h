@@ -11,8 +11,11 @@
 #ifndef NEXUS_CORE_NEXUS_H_
 #define NEXUS_CORE_NEXUS_H_
 
+#include <deque>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "core/certificate.h"
 #include "core/engine.h"
@@ -68,6 +71,30 @@ class Nexus {
   Result<LabelHandle> ImportCertificate(kernel::ProcessId pid, const Certificate& cert,
                                         const crypto::RsaPublicKey& trusted_ek);
 
+  // ------------------------------------------------------ Peer instances
+  // The trust anchors for distributed attestation: a peer is a named remote
+  // Nexus instance whose TPM endorsement key this instance accepts as a
+  // certificate root (the paper's out-of-band EK distribution).
+  Status RegisterPeer(const std::string& name, const crypto::RsaPublicKey& ek);
+  Result<crypto::RsaPublicKey> PeerEk(const std::string& name) const;
+  bool IsTrustedPeerEk(const crypto::RsaPublicKey& ek) const;
+  Result<std::string> PeerNameForEk(const crypto::RsaPublicKey& ek) const;
+
+  // Imports a certificate rooted in any registered peer EK. Idempotent per
+  // (pid, certificate): re-importing a replayed or re-ordered duplicate
+  // returns the original handle instead of minting a second label, which is
+  // what makes certificate exchange order-insensitive and replay-safe.
+  Result<LabelHandle> ImportPeerCertificate(kernel::ProcessId pid, const Certificate& cert);
+
+  // Signs `message` with the Nexus kernel key NK (used by the attested
+  // channel handshake to prove live possession of NK).
+  Bytes NkSign(ByteView message) const;
+  // Decrypts a ciphertext addressed to this instance's NK (session key
+  // shares in the channel handshake).
+  Result<Bytes> NkDecrypt(ByteView ciphertext) const;
+  // The TPM's EK endorsement of NK, minted at first boot.
+  const Bytes& nk_ek_attestation() const { return nk_ek_attestation_; }
+
   // The fully-qualified external name of this instance's kernel:
   // tpm.<ek8>.nexus.<nk8>.boot.<nbk8>.
   nal::Principal ExternalKernelPrincipal() const;
@@ -88,6 +115,15 @@ class Nexus {
   Engine engine_;
   std::unique_ptr<kernel::FileServer> fs_;
   kernel::PortId fs_port_ = 0;
+
+  std::map<std::string, crypto::RsaPublicKey> peers_;
+  // (pid, certificate digest) -> handle of the already-imported label.
+  // Bounded FIFO: past the cap the oldest dedupe records are dropped, so a
+  // very old replay re-imports (harmlessly — the label content is
+  // identical) instead of the map growing forever.
+  static constexpr size_t kImportedCertCap = 65536;
+  std::map<std::pair<kernel::ProcessId, std::string>, LabelHandle> imported_certs_;
+  std::deque<std::pair<kernel::ProcessId, std::string>> imported_order_;
 };
 
 }  // namespace nexus::core

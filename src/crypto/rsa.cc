@@ -117,4 +117,63 @@ bool RsaVerify(const RsaPublicKey& key, ByteView message, ByteView signature) {
   return ConstantTimeEquals(em, expected);
 }
 
+Result<Bytes> RsaEncrypt(const RsaPublicKey& key, ByteView message, Rng& rng) {
+  size_t em_len = static_cast<size_t>((key.n.BitLength() + 7) / 8);
+  if (message.size() + 11 > em_len) {
+    return InvalidArgument("RSA plaintext too long for the modulus");
+  }
+  // 0x00 0x02 <nonzero random padding> 0x00 <message>.
+  Bytes em;
+  em.reserve(em_len);
+  em.push_back(0x00);
+  em.push_back(0x02);
+  for (size_t i = 0; i < em_len - message.size() - 3; ++i) {
+    uint8_t pad = 0;
+    while (pad == 0) {
+      pad = static_cast<uint8_t>(rng.NextBelow(256));
+    }
+    em.push_back(pad);
+  }
+  em.push_back(0x00);
+  Append(em, message);
+  BigNum m = BigNum::FromBytes(em);
+  BigNum c = BigNum::ModExp(m, key.e, key.n);
+  Bytes out = c.ToBytes();
+  if (out.size() < em_len) {
+    Bytes padded(em_len - out.size(), 0);
+    Append(padded, out);
+    return padded;
+  }
+  return out;
+}
+
+Result<Bytes> RsaDecrypt(const RsaPrivateKey& key, ByteView ciphertext) {
+  size_t em_len = static_cast<size_t>((key.n.BitLength() + 7) / 8);
+  if (ciphertext.size() != em_len) {
+    return InvalidArgument("RSA ciphertext has the wrong length");
+  }
+  BigNum c = BigNum::FromBytes(ciphertext);
+  if (BigNum::Compare(c, key.n) >= 0) {
+    return InvalidArgument("RSA ciphertext out of range");
+  }
+  BigNum m = BigNum::ModExp(c, key.d, key.n);
+  Bytes stripped = m.ToBytes();  // Leading 0x00 of the padding is stripped.
+  if (stripped.size() + 1 > em_len) {
+    return InvalidArgument("malformed RSA plaintext");
+  }
+  Bytes em(em_len - stripped.size(), 0);
+  Append(em, stripped);
+  if (em.size() < 11 || em[0] != 0x00 || em[1] != 0x02) {
+    return InvalidArgument("bad RSA encryption padding");
+  }
+  size_t separator = 2;
+  while (separator < em.size() && em[separator] != 0x00) {
+    ++separator;
+  }
+  if (separator < 10 || separator == em.size()) {
+    return InvalidArgument("bad RSA encryption padding");
+  }
+  return Bytes(em.begin() + static_cast<ptrdiff_t>(separator) + 1, em.end());
+}
+
 }  // namespace nexus::crypto

@@ -55,6 +55,15 @@ Bytes RsaSign(const RsaPrivateKey& key, ByteView message);
 // Verifies a signature produced by RsaSign.
 bool RsaVerify(const RsaPublicKey& key, ByteView message, ByteView signature);
 
+// PKCS#1 v1.5-shaped (type 2) encryption of a short message under the
+// public key; used by the attested-channel handshake to transport session
+// key shares so the derived keys stay secret from the untrusted fabric.
+// `message` must fit in the modulus minus 11 bytes of padding.
+Result<Bytes> RsaEncrypt(const RsaPublicKey& key, ByteView message, Rng& rng);
+
+// Inverts RsaEncrypt.
+Result<Bytes> RsaDecrypt(const RsaPrivateKey& key, ByteView ciphertext);
+
 }  // namespace nexus::crypto
 
 #endif  // NEXUS_CRYPTO_RSA_H_

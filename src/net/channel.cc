@@ -1,0 +1,510 @@
+#include "net/channel.h"
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace nexus::net {
+
+namespace {
+
+constexpr std::string_view kAuthTag = "NEXUS_CHANNEL_AUTH";
+constexpr std::string_view kKeyTag = "NEXUS_CHANNEL_KEY";
+constexpr std::string_view kMsgTag = "NEXUS_CHANNEL_MSG";
+constexpr uint8_t kRoleInitiator = 0;
+constexpr uint8_t kRoleResponder = 1;
+
+}  // namespace
+
+AttestedChannel::AttestedChannel(core::Nexus* local, Transport* transport,
+                                 ChannelServices* services, NodeId self, NodeId peer,
+                                 uint64_t channel_id, bool initiator)
+    : local_(local),
+      transport_(transport),
+      services_(services),
+      self_(std::move(self)),
+      peer_(std::move(peer)),
+      channel_id_(channel_id),
+      initiator_(initiator) {}
+
+// ------------------------------------------------------------- handshake
+
+Bytes AttestedChannel::Hello::Serialize() const {
+  Bytes out;
+  AppendLengthPrefixed(out, nonce);
+  AppendLengthPrefixed(out, nk.Serialize());
+  AppendLengthPrefixed(out, ek.Serialize());
+  AppendLengthPrefixed(out, ek_attestation);
+  AppendLengthPrefixed(out, pcr_composite);
+  AppendLengthPrefixed(out, ToBytes(nbk_id));
+  return out;
+}
+
+Result<AttestedChannel::Hello> AttestedChannel::Hello::Deserialize(ByteView data) {
+  ByteReader reader(data);
+  Hello hello;
+  Result<Bytes> nonce = reader.ReadLengthPrefixed();
+  if (!nonce.ok()) {
+    return nonce.status();
+  }
+  hello.nonce = std::move(*nonce);
+  Result<Bytes> nk = reader.ReadLengthPrefixed();
+  if (!nk.ok()) {
+    return nk.status();
+  }
+  Result<crypto::RsaPublicKey> nk_key = crypto::RsaPublicKey::Deserialize(*nk);
+  if (!nk_key.ok()) {
+    return nk_key.status();
+  }
+  hello.nk = *nk_key;
+  Result<Bytes> ek = reader.ReadLengthPrefixed();
+  if (!ek.ok()) {
+    return ek.status();
+  }
+  Result<crypto::RsaPublicKey> ek_key = crypto::RsaPublicKey::Deserialize(*ek);
+  if (!ek_key.ok()) {
+    return ek_key.status();
+  }
+  hello.ek = *ek_key;
+  Result<Bytes> att = reader.ReadLengthPrefixed();
+  if (!att.ok()) {
+    return att.status();
+  }
+  hello.ek_attestation = std::move(*att);
+  Result<Bytes> composite = reader.ReadLengthPrefixed();
+  if (!composite.ok()) {
+    return composite.status();
+  }
+  hello.pcr_composite = std::move(*composite);
+  Result<Bytes> nbk = reader.ReadLengthPrefixed();
+  if (!nbk.ok()) {
+    return nbk.status();
+  }
+  hello.nbk_id = ToString(*nbk);
+  return hello;
+}
+
+AttestedChannel::Hello AttestedChannel::MakeLocalHello() {
+  Hello hello;
+  if (local_nonce_.empty()) {
+    local_nonce_ = local_->rng().RandomBytes(32);
+  }
+  hello.nonce = local_nonce_;
+  hello.nk = local_->nexus_public_key();
+  hello.ek = local_->tpm().endorsement_public_key();
+  hello.ek_attestation = local_->nk_ek_attestation();
+  hello.pcr_composite = local_->boot_composite();
+  // The boot tag of our external principal chain (last path element of
+  // tpm.<ek8>.nexus.<nk8>.boot.<nbk8>).
+  nal::Principal external = local_->ExternalKernelPrincipal();
+  std::string boot_tag = external.path().empty() ? "" : external.path().back();
+  hello.nbk_id = boot_tag.size() > 5 ? boot_tag.substr(5) : boot_tag;  // strip "boot."
+  return hello;
+}
+
+Status AttestedChannel::VerifyPeerHello(const Hello& hello) {
+  // (1) The peer's TPM must be a registered trust anchor: this is where a
+  // wrong-EK peer (unknown TPM, or an impostor presenting a self-made EK)
+  // is rejected.
+  if (!local_->IsTrustedPeerEk(hello.ek)) {
+    return Unauthenticated("peer EK is not a registered trust anchor");
+  }
+  // (2) The EK must endorse the presented NK for the presented boot-time
+  // PCR composite — the TPM-rooted step of the principal chain
+  // tpm.<ek8> says nexus.<nk8> speaksfor it.
+  Bytes binding = core::NkBindingMessage(hello.nk, hello.pcr_composite);
+  if (!crypto::RsaVerify(hello.ek, binding, hello.ek_attestation)) {
+    return Unauthenticated("EK endorsement of the peer kernel key failed to verify");
+  }
+  return OkStatus();
+}
+
+Bytes AttestedChannel::AuthTranscript(uint8_t role) const {
+  // Signed by the NK named inside the hellos; covers both nonces (fresh per
+  // channel, so a recorded handshake cannot be replayed), both key chains,
+  // the channel id, the encrypted key shares seen so far, and the signer's
+  // role (so a reflected signature cannot stand in for the other side).
+  const Bytes& initiator_hello = initiator_ ? local_hello_bytes_ : peer_hello_bytes_;
+  const Bytes& responder_hello = initiator_ ? peer_hello_bytes_ : local_hello_bytes_;
+  Bytes transcript = ToBytes(kAuthTag);
+  AppendU64(transcript, channel_id_);
+  transcript.push_back(role);
+  AppendLengthPrefixed(transcript, initiator_hello);
+  AppendLengthPrefixed(transcript, responder_hello);
+  AppendLengthPrefixed(transcript, enc_share_responder_);
+  if (role == kRoleInitiator) {
+    // The responder signs before the initiator's share exists.
+    AppendLengthPrefixed(transcript, enc_share_initiator_);
+  }
+  return transcript;
+}
+
+void AttestedChannel::DeriveSessionKeys() {
+  Bytes base = ToBytes(kKeyTag);
+  AppendU64(base, channel_id_);
+  const Bytes& initiator_hello = initiator_ ? local_hello_bytes_ : peer_hello_bytes_;
+  const Bytes& responder_hello = initiator_ ? peer_hello_bytes_ : local_hello_bytes_;
+  AppendLengthPrefixed(base, initiator_hello);
+  AppendLengthPrefixed(base, responder_hello);
+  // The secret inputs: both RSA-transported shares, in role order. Without
+  // these, everything above is public and the keys would be computable by
+  // any fabric observer.
+  const Bytes& initiator_share = initiator_ ? local_share_ : peer_share_;
+  const Bytes& responder_share = initiator_ ? peer_share_ : local_share_;
+  AppendLengthPrefixed(base, initiator_share);
+  AppendLengthPrefixed(base, responder_share);
+
+  Bytes enc_material = base;
+  enc_material.push_back(0x01);
+  crypto::Sha256Digest enc = crypto::Sha256::Hash(enc_material);
+  std::copy(enc.begin(), enc.begin() + crypto::kAesKeySize, enc_key_.begin());
+
+  Bytes mac_material = base;
+  mac_material.push_back(0x02);
+  crypto::Sha256Digest mac = crypto::Sha256::Hash(mac_material);
+  mac_key_.assign(mac.begin(), mac.end());
+}
+
+void AttestedChannel::Fail(const std::string& reason) {
+  state_ = ChannelState::kFailed;
+  failure_ = reason;
+}
+
+Status AttestedChannel::Connect() {
+  if (!initiator_) {
+    return FailedPrecondition("only the initiating side calls Connect");
+  }
+  if (established()) {
+    return OkStatus();
+  }
+  state_ = ChannelState::kConnecting;
+  local_hello_bytes_ = MakeLocalHello().Serialize();
+  Status sent = transport_->Send(
+      Message{self_, peer_, channel_id_, "hello", local_hello_bytes_});
+  if (!sent.ok()) {
+    return sent;
+  }
+  transport_->DeliverAll();
+  if (state_ == ChannelState::kFailed) {
+    return Unauthenticated("handshake rejected: " + failure_);
+  }
+  if (!established()) {
+    return Unavailable("handshake did not complete (message loss?); retry Connect");
+  }
+  return OkStatus();
+}
+
+void AttestedChannel::OnTransportMessage(const Message& message) {
+  if (message.kind == "hello") {
+    HandleHello(message);
+  } else if (message.kind == "hello_ack") {
+    HandleHelloAck(message);
+  } else if (message.kind == "auth") {
+    HandleAuth(message);
+  } else if (message.kind == "data") {
+    HandleData(message);
+  }
+}
+
+void AttestedChannel::HandleHello(const Message& message) {
+  if (initiator_) {
+    return;  // Role confusion; ignore.
+  }
+  if (!peer_hello_bytes_.empty() && !(peer_hello_bytes_ == message.payload)) {
+    return;  // A different hello on an in-use channel id: ignore.
+  }
+  bool duplicate = !peer_hello_bytes_.empty();
+  if (!duplicate) {
+    Result<Hello> hello = Hello::Deserialize(message.payload);
+    if (!hello.ok()) {
+      Fail("malformed hello: " + hello.status().ToString());
+      return;
+    }
+    Status verified = VerifyPeerHello(*hello);
+    if (!verified.ok()) {
+      Fail(verified.ToString());
+      return;
+    }
+    state_ = ChannelState::kConnecting;
+    peer_hello_bytes_ = message.payload;
+    peer_ek_ = hello->ek;
+    peer_nk_ = hello->nk;
+    peer_nbk_id_ = hello->nbk_id;
+    local_hello_bytes_ = MakeLocalHello().Serialize();
+  }
+  // hello_ack = our hello, our key share encrypted to the initiator's NK,
+  // and our transcript signature. The encrypted share is generated once and
+  // resent verbatim on duplicate hellos (RSA padding is randomized; the
+  // transcript signature pins the exact ciphertext).
+  if (local_share_.empty()) {
+    local_share_ = local_->rng().RandomBytes(32);
+    Result<Bytes> enc = crypto::RsaEncrypt(peer_nk_, local_share_, local_->rng());
+    if (!enc.ok()) {
+      Fail("failed to encrypt session key share: " + enc.status().ToString());
+      return;
+    }
+    enc_share_responder_ = *enc;
+  }
+  Bytes ack;
+  AppendLengthPrefixed(ack, local_hello_bytes_);
+  AppendLengthPrefixed(ack, enc_share_responder_);
+  AppendLengthPrefixed(ack, local_->NkSign(AuthTranscript(kRoleResponder)));
+  transport_->Send(Message{self_, peer_, channel_id_, "hello_ack", std::move(ack)});
+}
+
+void AttestedChannel::HandleHelloAck(const Message& message) {
+  if (!initiator_ || state_ == ChannelState::kFailed) {
+    return;
+  }
+  if (established()) {
+    // Duplicate ack after a lost auth: resend the cached auth verbatim.
+    transport_->Send(Message{self_, peer_, channel_id_, "auth", auth_payload_});
+    return;
+  }
+  ByteReader reader(message.payload);
+  Result<Bytes> hello_bytes = reader.ReadLengthPrefixed();
+  Result<Bytes> enc_share = hello_bytes.ok() ? reader.ReadLengthPrefixed() : hello_bytes;
+  Result<Bytes> signature = enc_share.ok() ? reader.ReadLengthPrefixed() : enc_share;
+  if (!signature.ok()) {
+    Fail("malformed hello_ack");
+    return;
+  }
+  if (peer_hello_bytes_.empty()) {
+    Result<Hello> hello = Hello::Deserialize(*hello_bytes);
+    if (!hello.ok()) {
+      Fail("malformed responder hello: " + hello.status().ToString());
+      return;
+    }
+    Status verified = VerifyPeerHello(*hello);
+    if (!verified.ok()) {
+      Fail(verified.ToString());
+      return;
+    }
+    peer_hello_bytes_ = *hello_bytes;
+    peer_ek_ = hello->ek;
+    peer_nk_ = hello->nk;
+    peer_nbk_id_ = hello->nbk_id;
+  } else if (!(peer_hello_bytes_ == *hello_bytes)) {
+    return;  // Conflicting ack: ignore.
+  }
+  enc_share_responder_ = *enc_share;
+  // (3) Proof of NK possession + freshness: the transcript includes our
+  // nonce and the responder's encrypted share, so this signature cannot
+  // come from a recorded session nor survive share substitution.
+  if (!crypto::RsaVerify(peer_nk_, AuthTranscript(kRoleResponder), *signature)) {
+    Fail("responder transcript signature failed to verify");
+    return;
+  }
+  Result<Bytes> responder_share = local_->NkDecrypt(enc_share_responder_);
+  if (!responder_share.ok()) {
+    Fail("could not decrypt responder key share");
+    return;
+  }
+  peer_share_ = *responder_share;
+  local_share_ = local_->rng().RandomBytes(32);
+  Result<Bytes> enc = crypto::RsaEncrypt(peer_nk_, local_share_, local_->rng());
+  if (!enc.ok()) {
+    Fail("failed to encrypt session key share: " + enc.status().ToString());
+    return;
+  }
+  enc_share_initiator_ = *enc;
+  DeriveSessionKeys();
+  state_ = ChannelState::kEstablished;
+
+  Bytes auth;
+  AppendLengthPrefixed(auth, enc_share_initiator_);
+  AppendLengthPrefixed(auth, local_->NkSign(AuthTranscript(kRoleInitiator)));
+  auth_payload_ = auth;
+  transport_->Send(Message{self_, peer_, channel_id_, "auth", std::move(auth)});
+}
+
+void AttestedChannel::HandleAuth(const Message& message) {
+  if (initiator_ || state_ == ChannelState::kFailed || peer_hello_bytes_.empty()) {
+    return;
+  }
+  if (established()) {
+    return;  // Duplicate auth after an initiator retry.
+  }
+  ByteReader reader(message.payload);
+  Result<Bytes> enc_share = reader.ReadLengthPrefixed();
+  Result<Bytes> signature = enc_share.ok() ? reader.ReadLengthPrefixed() : enc_share;
+  if (!signature.ok()) {
+    Fail("malformed auth");
+    return;
+  }
+  enc_share_initiator_ = *enc_share;
+  if (!crypto::RsaVerify(peer_nk_, AuthTranscript(kRoleInitiator), *signature)) {
+    Fail("initiator transcript signature failed to verify");
+    return;
+  }
+  Result<Bytes> initiator_share = local_->NkDecrypt(enc_share_initiator_);
+  if (!initiator_share.ok()) {
+    Fail("could not decrypt initiator key share");
+    return;
+  }
+  peer_share_ = *initiator_share;
+  DeriveSessionKeys();
+  state_ = ChannelState::kEstablished;
+}
+
+// ----------------------------------------------------------- secure data
+
+Status AttestedChannel::SendData(const std::string& service, uint64_t request_id,
+                                 bool is_response, ByteView payload) {
+  if (!established()) {
+    return FailedPrecondition("channel to " + peer_ + " is not established");
+  }
+  uint64_t seq = send_seq_++;
+  uint8_t direction = initiator_ ? kRoleInitiator : kRoleResponder;
+  // Per-message CTR stream: direction in the top bit keeps the two
+  // directions' keystreams disjoint under the shared key.
+  uint64_t nonce = (static_cast<uint64_t>(direction) << 63) | seq;
+  Bytes ciphertext = crypto::AesCtr(enc_key_, nonce).Crypt(0, payload);
+
+  Bytes mac_input = ToBytes(kMsgTag);
+  AppendU64(mac_input, channel_id_);
+  AppendU64(mac_input, seq);
+  mac_input.push_back(direction);
+  AppendLengthPrefixed(mac_input, ToBytes(service));
+  AppendU64(mac_input, request_id);
+  mac_input.push_back(is_response ? 1 : 0);
+  AppendLengthPrefixed(mac_input, ciphertext);
+  Bytes tag = crypto::HmacSha256Bytes(mac_key_, mac_input);
+
+  Bytes wire;
+  AppendU64(wire, seq);
+  wire.push_back(direction);
+  AppendLengthPrefixed(wire, ToBytes(service));
+  AppendU64(wire, request_id);
+  wire.push_back(is_response ? 1 : 0);
+  AppendLengthPrefixed(wire, ciphertext);
+  AppendLengthPrefixed(wire, tag);
+  ++stats_.data_sent;
+  return transport_->Send(Message{self_, peer_, channel_id_, "data", std::move(wire)});
+}
+
+void AttestedChannel::HandleData(const Message& message) {
+  if (!established()) {
+    return;
+  }
+  ByteReader reader(message.payload);
+  Result<uint64_t> seq = reader.ReadU64();
+  Result<uint8_t> direction = seq.ok() ? reader.ReadU8() : seq.status();
+  Result<Bytes> service = direction.ok() ? reader.ReadLengthPrefixed() : direction.status();
+  Result<uint64_t> request_id = service.ok() ? reader.ReadU64() : service.status();
+  Result<uint8_t> is_response = request_id.ok() ? reader.ReadU8() : request_id.status();
+  Result<Bytes> ciphertext = is_response.ok() ? reader.ReadLengthPrefixed() : is_response.status();
+  Result<Bytes> tag = ciphertext.ok() ? reader.ReadLengthPrefixed() : ciphertext.status();
+  if (!tag.ok()) {
+    return;  // Malformed frame: drop.
+  }
+  uint8_t own_direction = initiator_ ? kRoleInitiator : kRoleResponder;
+  if (*direction == own_direction) {
+    return;  // Reflected message: drop.
+  }
+
+  Bytes mac_input = ToBytes(kMsgTag);
+  AppendU64(mac_input, channel_id_);
+  AppendU64(mac_input, *seq);
+  mac_input.push_back(*direction);
+  AppendLengthPrefixed(mac_input, *service);
+  AppendU64(mac_input, *request_id);
+  mac_input.push_back(*is_response);
+  AppendLengthPrefixed(mac_input, *ciphertext);
+  Bytes expected = crypto::HmacSha256Bytes(mac_key_, mac_input);
+  if (!ConstantTimeEquals(expected, *tag)) {
+    ++stats_.bad_tags_rejected;
+    return;  // Tampered or corrupted frame: drop.
+  }
+  // Replay check AFTER authentication: any unseen sequence number inside
+  // the sliding window is accepted regardless of arrival order, but each is
+  // consumed exactly once. Anything below the window is rejected outright,
+  // which keeps the seen-set bounded on long-lived channels.
+  if (*seq + kReplayWindow <= max_seen_seq_) {
+    ++stats_.replays_rejected;
+    return;
+  }
+  if (!seen_seqs_.insert(*seq).second) {
+    ++stats_.replays_rejected;
+    return;
+  }
+  if (*seq > max_seen_seq_) {
+    max_seen_seq_ = *seq;
+    while (!seen_seqs_.empty() && *seen_seqs_.begin() + kReplayWindow <= max_seen_seq_) {
+      seen_seqs_.erase(seen_seqs_.begin());
+    }
+  }
+  ++stats_.data_received;
+
+  uint64_t nonce = (static_cast<uint64_t>(*direction) << 63) | *seq;
+  Bytes plaintext = crypto::AesCtr(enc_key_, nonce).Crypt(0, *ciphertext);
+  std::string service_name = ToString(*service);
+
+  if (*is_response != 0) {
+    // Bound unclaimed responses (a caller that timed out never collects
+    // its entry): drop the stalest once past a small cap.
+    if (responses_.size() >= 256) {
+      auto stalest = responses_.begin();
+      for (auto it = responses_.begin(); it != responses_.end(); ++it) {
+        if (it->second.received_at < stalest->second.received_at) {
+          stalest = it;
+        }
+      }
+      responses_.erase(stalest);
+    }
+    responses_[*request_id] = PendingResponse{std::move(plaintext), transport_->now_us()};
+    return;
+  }
+  if (services_ == nullptr) {
+    return;
+  }
+  Result<Bytes> reply = services_->HandleRequest(*this, service_name, plaintext);
+  if (*request_id != 0) {
+    // Errors travel back in-band as an empty-marker frame so the caller
+    // times out distinguishably less often; encode status in the payload.
+    Bytes response;
+    if (reply.ok()) {
+      response.push_back(1);
+      Append(response, *reply);
+    } else {
+      response.push_back(0);
+      Append(response, ToBytes(reply.status().ToString()));
+    }
+    SendData(service_name, *request_id, /*is_response=*/true, response);
+  }
+}
+
+Status AttestedChannel::SendSecure(const std::string& service, ByteView payload) {
+  return SendData(service, /*request_id=*/0, /*is_response=*/false, payload);
+}
+
+Result<Bytes> AttestedChannel::Call(const std::string& service, ByteView payload,
+                                    uint64_t timeout_us) {
+  uint64_t deadline = transport_->now_us() + timeout_us;
+  uint64_t request_id = next_request_id_++;
+  NEXUS_RETURN_IF_ERROR(SendData(service, request_id, /*is_response=*/false, payload));
+  transport_->DeliverAll();
+  auto it = responses_.find(request_id);
+  if (it == responses_.end()) {
+    return Unavailable("no response from " + peer_ + " (message loss)");
+  }
+  PendingResponse response = std::move(it->second);
+  responses_.erase(it);
+  if (response.received_at > deadline) {
+    return Unavailable("response from " + peer_ + " missed the deadline");
+  }
+  if (response.payload.empty()) {
+    return Internal("malformed response frame");
+  }
+  if (response.payload[0] == 0) {
+    return Unavailable("peer service error: " +
+                       ToString(ByteView(response.payload.data() + 1,
+                                         response.payload.size() - 1)));
+  }
+  return Bytes(response.payload.begin() + 1, response.payload.end());
+}
+
+nal::Principal AttestedChannel::peer_principal() const {
+  return core::ExternalPrincipalFor(peer_ek_, peer_nk_, peer_nbk_id_);
+}
+
+}  // namespace nexus::net

@@ -1,0 +1,176 @@
+// Attested channels between Nexus instances (§2.4 externalized).
+//
+// A channel is keyed by a three-message handshake in which each side
+// presents its TPM-rooted principal chain and proves live possession of its
+// Nexus kernel key NK:
+//
+//   hello      (initiator -> responder): nonce, NK, EK, the EK's
+//              endorsement of NK bound to the boot-time PCR composite, and
+//              the boot key id NBK.
+//   hello_ack  (responder -> initiator): the responder's hello fields, a
+//              session key share RSA-encrypted to the initiator's NK, and
+//              an NK signature over the transcript so far (freshness via
+//              both nonces).
+//   auth       (initiator -> responder): the initiator's key share
+//              encrypted to the responder's NK, plus its NK signature over
+//              the full transcript.
+//
+// Each side accepts the peer only if (1) the peer EK is a registered trust
+// anchor of the local Nexus instance, (2) the EK endorsement of NK
+// verifies, and (3) the transcript signature verifies under that NK — i.e.
+// the peer is exactly the principal tpm.<ek8>.nexus.<nk8>.boot.<nbk8>.
+// Session keys are derived from both key shares, which only the two NK
+// holders can decrypt — a fabric eavesdropper sees every handshake byte
+// and still cannot compute them. Data messages are AES-CTR encrypted and
+// HMAC-SHA256 authenticated, carry explicit sequence numbers, and are
+// accepted in any order but never twice within the replay window
+// (order-insensitive, replay-safe — the properties the related work on
+// network-system correctness demands of credential transfer).
+#ifndef NEXUS_NET_CHANNEL_H_
+#define NEXUS_NET_CHANNEL_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/nexus.h"
+#include "crypto/aes.h"
+#include "net/transport.h"
+
+namespace nexus::net {
+
+class AttestedChannel;
+
+// Dispatch interface for service requests arriving on a channel (implemented
+// by NetNode, which owns the service registry).
+class ChannelServices {
+ public:
+  virtual ~ChannelServices() = default;
+  virtual Result<Bytes> HandleRequest(AttestedChannel& channel, const std::string& service,
+                                      ByteView request) = 0;
+};
+
+enum class ChannelState : uint8_t { kIdle, kConnecting, kEstablished, kFailed };
+
+class AttestedChannel {
+ public:
+  struct Stats {
+    uint64_t data_sent = 0;
+    uint64_t data_received = 0;
+    uint64_t replays_rejected = 0;
+    uint64_t bad_tags_rejected = 0;
+  };
+
+  AttestedChannel(core::Nexus* local, Transport* transport, ChannelServices* services,
+                  NodeId self, NodeId peer, uint64_t channel_id, bool initiator);
+
+  // Initiator side: runs the handshake, pumping the transport until it
+  // settles. Safe to call again after a lossy attempt (handshake messages
+  // are resent idempotently).
+  Status Connect();
+
+  // Routed in by the owning NetNode for this channel id.
+  void OnTransportMessage(const Message& message);
+
+  ChannelState state() const { return state_; }
+  bool established() const { return state_ == ChannelState::kEstablished; }
+  const std::string& failure() const { return failure_; }
+
+  // Attested peer identity; valid once established.
+  const crypto::RsaPublicKey& peer_ek() const { return peer_ek_; }
+  const crypto::RsaPublicKey& peer_nk() const { return peer_nk_; }
+  // The peer's fully-qualified kernel principal
+  // tpm.<ek8>.nexus.<nk8>.boot.<nbk8>, reconstructed from verified keys.
+  nal::Principal peer_principal() const;
+
+  // One-way authenticated+encrypted message to a named peer service.
+  Status SendSecure(const std::string& service, ByteView payload);
+  // Request/response with a simulated-clock deadline. A dropped message or
+  // an answer arriving after the deadline is Unavailable — the caller (e.g.
+  // a guard consulting a remote authority) treats that as a denial.
+  Result<Bytes> Call(const std::string& service, ByteView payload, uint64_t timeout_us);
+
+  uint64_t channel_id() const { return channel_id_; }
+  bool is_initiator() const { return initiator_; }
+  const NodeId& self_node() const { return self_; }
+  const NodeId& peer_node() const { return peer_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Hello {
+    Bytes nonce;
+    crypto::RsaPublicKey nk;
+    crypto::RsaPublicKey ek;
+    Bytes ek_attestation;
+    Bytes pcr_composite;
+    std::string nbk_id;
+
+    Bytes Serialize() const;
+    static Result<Hello> Deserialize(ByteView data);
+  };
+
+  Hello MakeLocalHello();
+  // Chain verification steps (1) and (2) above.
+  Status VerifyPeerHello(const Hello& hello);
+  // The transcript both NK signatures cover.
+  Bytes AuthTranscript(uint8_t role) const;
+  void DeriveSessionKeys();
+  void Fail(const std::string& reason);
+
+  void HandleHello(const Message& message);
+  void HandleHelloAck(const Message& message);
+  void HandleAuth(const Message& message);
+  void HandleData(const Message& message);
+
+  Status SendData(const std::string& service, uint64_t request_id, bool is_response,
+                  ByteView payload);
+
+  core::Nexus* local_;
+  Transport* transport_;
+  ChannelServices* services_;
+  NodeId self_;
+  NodeId peer_;
+  uint64_t channel_id_;
+  bool initiator_;
+
+  ChannelState state_ = ChannelState::kIdle;
+  std::string failure_;
+
+  Bytes local_hello_bytes_;
+  Bytes peer_hello_bytes_;
+  Bytes local_nonce_;
+  crypto::RsaPublicKey peer_ek_;
+  crypto::RsaPublicKey peer_nk_;
+  std::string peer_nbk_id_;
+
+  // Session key shares: ours in the clear, both ciphertexts as they went
+  // over the wire (the transcript signatures cover the ciphertexts, and
+  // RSA padding is randomized, so resends must reuse the exact bytes).
+  Bytes local_share_;
+  Bytes peer_share_;
+  Bytes enc_share_initiator_;
+  Bytes enc_share_responder_;
+  Bytes auth_payload_;  // Cached for idempotent resends after retries.
+
+  crypto::AesKey enc_key_{};
+  Bytes mac_key_;
+
+  // Replay filter: exact-once within a sliding window. Anything older than
+  // the window is rejected outright, which bounds memory on long-lived
+  // channels without readmitting duplicates.
+  static constexpr uint64_t kReplayWindow = 4096;
+  uint64_t send_seq_ = 1;
+  uint64_t max_seen_seq_ = 0;
+  std::set<uint64_t> seen_seqs_;
+  uint64_t next_request_id_ = 1;
+  struct PendingResponse {
+    Bytes payload;
+    uint64_t received_at = 0;
+  };
+  std::map<uint64_t, PendingResponse> responses_;
+  Stats stats_;
+};
+
+}  // namespace nexus::net
+
+#endif  // NEXUS_NET_CHANNEL_H_

@@ -1,0 +1,84 @@
+#include "net/node.h"
+
+namespace nexus::net {
+
+NetNode::NetNode(core::Nexus* nexus, Transport* transport, NodeId id)
+    : nexus_(nexus), transport_(transport), id_(std::move(id)) {
+  transport_->Attach(id_, this);
+}
+
+NetNode::~NetNode() { transport_->Detach(id_); }
+
+void NetNode::RegisterService(const std::string& name, Service* service) {
+  services_[name] = service;
+}
+
+Result<AttestedChannel*> NetNode::Connect(const NodeId& peer) {
+  AttestedChannel* channel = ChannelTo(peer);
+  // A failed channel, or an unestablished responder channel (e.g. spawned
+  // by a junk hello from an impostor claiming this peer's node id), must
+  // not block us from initiating a fresh handshake of our own.
+  if (channel != nullptr && !channel->established() &&
+      (channel->state() == ChannelState::kFailed || !channel->is_initiator())) {
+    channel = nullptr;
+  }
+  if (channel == nullptr) {
+    uint64_t id = transport_->AllocateChannelId();
+    auto created = std::make_unique<AttestedChannel>(nexus_, transport_, this, id_, peer, id,
+                                                     /*initiator=*/true);
+    channel = created.get();
+    channels_[id] = std::move(created);
+    channel_by_peer_[peer] = id;
+  }
+  if (channel->established()) {
+    return channel;
+  }
+  Status connected = channel->Connect();
+  if (!connected.ok()) {
+    return connected;
+  }
+  channel_by_peer_[peer] = channel->channel_id();
+  return channel;
+}
+
+AttestedChannel* NetNode::ChannelTo(const NodeId& peer) {
+  auto it = channel_by_peer_.find(peer);
+  if (it == channel_by_peer_.end()) {
+    return nullptr;
+  }
+  return channels_[it->second].get();
+}
+
+void NetNode::OnMessage(const Message& message) {
+  auto it = channels_.find(message.channel);
+  if (it == channels_.end()) {
+    if (message.kind != "hello") {
+      return;  // Data or handshake tail for a channel we never opened.
+    }
+    auto created = std::make_unique<AttestedChannel>(nexus_, transport_, this, id_,
+                                                     message.from, message.channel,
+                                                     /*initiator=*/false);
+    it = channels_.emplace(message.channel, std::move(created)).first;
+  }
+  AttestedChannel* channel = it->second.get();
+  channel->OnTransportMessage(message);
+  // The peer routing entry is only (re)bound to channels that earned it:
+  // an unauthenticated hello from an impostor must not shadow a live (or
+  // in-progress) channel to the real peer. Unverified responder channels
+  // claim the slot only if the peer had none at all.
+  if (channel->established() ||
+      channel_by_peer_.find(channel->peer_node()) == channel_by_peer_.end()) {
+    channel_by_peer_[channel->peer_node()] = channel->channel_id();
+  }
+}
+
+Result<Bytes> NetNode::HandleRequest(AttestedChannel& channel, const std::string& service,
+                                     ByteView request) {
+  auto it = services_.find(service);
+  if (it == services_.end()) {
+    return NotFound("node " + id_ + " exposes no service named " + service);
+  }
+  return it->second->Handle(channel, request);
+}
+
+}  // namespace nexus::net

@@ -1,0 +1,69 @@
+// A Nexus instance's presence on the network fabric.
+//
+// A NetNode binds one core::Nexus to one Transport endpoint: it owns the
+// attested channels to peer instances (creating responder channels on
+// inbound handshakes), and routes authenticated service requests arriving
+// over established channels to registered services (certificate exchange,
+// remote authorities, ...). The node is deliberately thin — all trust
+// decisions live in AttestedChannel and in the Nexus peer registry.
+#ifndef NEXUS_NET_NODE_H_
+#define NEXUS_NET_NODE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/nexus.h"
+#include "net/channel.h"
+#include "net/transport.h"
+
+namespace nexus::net {
+
+// A named request handler reachable over any established channel of a node.
+class Service {
+ public:
+  virtual ~Service() = default;
+  virtual Result<Bytes> Handle(AttestedChannel& channel, ByteView request) = 0;
+};
+
+class NetNode : public Endpoint, public ChannelServices {
+ public:
+  NetNode(core::Nexus* nexus, Transport* transport, NodeId id);
+  ~NetNode() override;
+
+  NetNode(const NetNode&) = delete;
+  NetNode& operator=(const NetNode&) = delete;
+
+  core::Nexus& nexus() { return *nexus_; }
+  Transport& transport() { return *transport_; }
+  const NodeId& id() const { return id_; }
+
+  void RegisterService(const std::string& name, Service* service);
+
+  // Returns the established channel to `peer`, running the attested
+  // handshake if none exists yet. Fails if the peer rejects us or we reject
+  // the peer (untrusted EK, bad attestation).
+  Result<AttestedChannel*> Connect(const NodeId& peer);
+  // The channel to `peer` if one exists (established or not).
+  AttestedChannel* ChannelTo(const NodeId& peer);
+
+  // Endpoint: route by channel id; unknown ids starting with "hello" spawn
+  // responder channels.
+  void OnMessage(const Message& message) override;
+
+  // ChannelServices: dispatch a decrypted, authenticated request.
+  Result<Bytes> HandleRequest(AttestedChannel& channel, const std::string& service,
+                              ByteView request) override;
+
+ private:
+  core::Nexus* nexus_;
+  Transport* transport_;
+  NodeId id_;
+  std::map<uint64_t, std::unique_ptr<AttestedChannel>> channels_;
+  std::map<NodeId, uint64_t> channel_by_peer_;
+  std::map<std::string, Service*> services_;
+};
+
+}  // namespace nexus::net
+
+#endif  // NEXUS_NET_NODE_H_

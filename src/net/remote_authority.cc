@@ -1,0 +1,61 @@
+#include "net/remote_authority.h"
+
+#include "nal/parser.h"
+
+namespace nexus::net {
+
+AuthorityService::AuthorityService(NetNode* node) : node_(node) {
+  node_->RegisterService(std::string(kServiceName), this);
+}
+
+Result<Bytes> AuthorityService::Handle(AttestedChannel& channel, ByteView request) {
+  (void)channel;
+  ++queries_served_;
+  Result<nal::Formula> statement = nal::ParseFormula(ToString(request));
+  Bytes reply(1, 0);  // Default: deny.
+  if (!statement.ok()) {
+    return reply;
+  }
+  for (core::Authority* authority : authorities_) {
+    if (authority->Handles(*statement)) {
+      reply[0] = authority->Vouches(*statement) ? 1 : 0;
+      break;
+    }
+  }
+  return reply;
+}
+
+RemoteAuthority::RemoteAuthority(NetNode* node, NodeId peer, HandlesPredicate handles,
+                                 uint64_t default_timeout_us)
+    : node_(node),
+      peer_(std::move(peer)),
+      handles_(std::move(handles)),
+      default_timeout_us_(default_timeout_us) {}
+
+bool RemoteAuthority::Handles(const nal::Formula& statement) const {
+  return handles_ == nullptr || handles_(statement);
+}
+
+bool RemoteAuthority::Vouches(const nal::Formula& statement) {
+  return VouchesWithin(statement, default_timeout_us_);
+}
+
+bool RemoteAuthority::VouchesWithin(const nal::Formula& statement, uint64_t timeout_us) {
+  ++stats_.queries;
+  Result<AttestedChannel*> channel = node_->Connect(peer_);
+  if (!channel.ok()) {
+    ++stats_.denied_unreachable;
+    return false;  // Unreachable or untrusted peer: fail closed.
+  }
+  Result<Bytes> answer = (*channel)->Call(std::string(AuthorityService::kServiceName),
+                                          ToBytes(statement->ToString()), timeout_us);
+  if (!answer.ok()) {
+    ++stats_.denied_unreachable;
+    return false;  // Lost or late: the deadline IS the answer (deny).
+  }
+  bool vouched = !answer->empty() && (*answer)[0] == 1;
+  ++(vouched ? stats_.vouched : stats_.denied);
+  return vouched;
+}
+
+}  // namespace nexus::net

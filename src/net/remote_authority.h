@@ -1,0 +1,78 @@
+// Remote authorities: dynamic-state queries across instances (§2.7).
+//
+// Authority answers are untransferable by design — they may not be cached,
+// stored, or forwarded. That property survives the network: a
+// RemoteAuthority forwards each query over an attested channel to an
+// AuthorityService on the instance where the dynamic state lives, consumes
+// the fresh yes/no, and DENIES whenever the answer is missing or late. The
+// proof checker already marks proofs with authority leaves uncacheable, so
+// every guard evaluation re-crosses the channel.
+#ifndef NEXUS_NET_REMOTE_AUTHORITY_H_
+#define NEXUS_NET_REMOTE_AUTHORITY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/authority.h"
+#include "net/node.h"
+
+namespace nexus::net {
+
+// Server side: exposes local authorities to peers as the "authority"
+// service. Unhandled or erroring queries answer deny — never "ask someone
+// else".
+class AuthorityService : public Service {
+ public:
+  static constexpr std::string_view kServiceName = "authority";
+
+  explicit AuthorityService(NetNode* node);
+
+  void AddAuthority(core::Authority* authority) { authorities_.push_back(authority); }
+
+  Result<Bytes> Handle(AttestedChannel& channel, ByteView request) override;
+
+  uint64_t queries_served() const { return queries_served_; }
+
+ private:
+  NetNode* node_;
+  std::vector<core::Authority*> authorities_;
+  uint64_t queries_served_ = 0;
+};
+
+// Client side: a core::Authority whose truth lives on a peer instance.
+// Register with Guard::AddRemoteAuthority so the guard's deadline applies.
+class RemoteAuthority : public core::Authority {
+ public:
+  using HandlesPredicate = std::function<bool(const nal::Formula&)>;
+
+  struct Stats {
+    uint64_t queries = 0;
+    uint64_t vouched = 0;
+    uint64_t denied = 0;
+    uint64_t denied_unreachable = 0;  // timeout / loss / channel failure
+  };
+
+  // `handles` scopes which statements this authority forwards (nullptr =
+  // all); `default_timeout_us` applies to plain Vouches() calls.
+  RemoteAuthority(NetNode* node, NodeId peer, HandlesPredicate handles = nullptr,
+                  uint64_t default_timeout_us = 10000);
+
+  bool Handles(const nal::Formula& statement) const override;
+  bool Vouches(const nal::Formula& statement) override;
+  bool VouchesWithin(const nal::Formula& statement, uint64_t timeout_us) override;
+  bool IsRemote() const override { return true; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  NetNode* node_;
+  NodeId peer_;
+  HandlesPredicate handles_;
+  uint64_t default_timeout_us_;
+  Stats stats_;
+};
+
+}  // namespace nexus::net
+
+#endif  // NEXUS_NET_REMOTE_AUTHORITY_H_

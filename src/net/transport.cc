@@ -1,0 +1,78 @@
+#include "net/transport.h"
+
+#include <utility>
+
+namespace nexus::net {
+
+namespace {
+
+std::pair<NodeId, NodeId> OrderedPair(const NodeId& a, const NodeId& b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace
+
+Transport::Transport(uint64_t seed) : rng_(seed) {}
+
+Status Transport::Attach(const NodeId& node, Endpoint* endpoint) {
+  if (endpoint == nullptr) {
+    return InvalidArgument("null endpoint");
+  }
+  auto [it, inserted] = endpoints_.emplace(node, endpoint);
+  if (!inserted) {
+    return AlreadyExists("node already attached: " + node);
+  }
+  (void)it;
+  return OkStatus();
+}
+
+void Transport::Detach(const NodeId& node) { endpoints_.erase(node); }
+
+void Transport::SetLink(const NodeId& a, const NodeId& b, const LinkConfig& config) {
+  links_[OrderedPair(a, b)] = config;
+}
+
+const LinkConfig& Transport::LinkFor(const NodeId& a, const NodeId& b) const {
+  auto it = links_.find(OrderedPair(a, b));
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+Status Transport::Send(Message message) {
+  if (endpoints_.find(message.to) == endpoints_.end()) {
+    return NotFound("no endpoint attached at " + message.to);
+  }
+  const LinkConfig& link = LinkFor(message.from, message.to);
+  ++stats_.sent;
+  stats_.bytes_carried += message.payload.size();
+  if (rng_.NextBool(link.drop_rate)) {
+    ++stats_.dropped;
+    return OkStatus();  // Loss is invisible to the sender.
+  }
+  Pending pending;
+  pending.deliver_at = now_us_ + link.latency_us;
+  pending.seq = send_seq_++;
+  pending.message = std::move(message);
+  queue_.push(std::move(pending));
+  return OkStatus();
+}
+
+size_t Transport::DeliverAll(size_t max_steps) {
+  size_t delivered = 0;
+  while (!queue_.empty() && delivered < max_steps) {
+    Pending next = queue_.top();
+    queue_.pop();
+    if (next.deliver_at > now_us_) {
+      now_us_ = next.deliver_at;
+    }
+    auto it = endpoints_.find(next.message.to);
+    if (it == endpoints_.end()) {
+      continue;  // Endpoint detached while the message was in flight.
+    }
+    ++stats_.delivered;
+    ++delivered;
+    it->second->OnMessage(next.message);
+  }
+  return delivered;
+}
+
+}  // namespace nexus::net

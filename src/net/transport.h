@@ -1,0 +1,109 @@
+// The simulated inter-instance message fabric.
+//
+// Distributed attestation (§2.4) needs credentials and authority queries to
+// travel between Nexus instances. The transport models that fabric
+// in-process: named nodes attach endpoints, links carry per-direction
+// latency and a drop probability, and delivery runs on a simulated
+// microsecond clock so tests exercise reordering, loss, and timeout paths
+// deterministically (the Rng is seeded). Nothing here is trusted — every
+// security property of a channel comes from the attestation handshake one
+// layer up (channel.h), never from the fabric.
+#ifndef NEXUS_NET_TRANSPORT_H_
+#define NEXUS_NET_TRANSPORT_H_
+
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace nexus::net {
+
+using NodeId = std::string;
+
+struct LinkConfig {
+  uint64_t latency_us = 50;  // One-way delivery delay on the simulated clock.
+  double drop_rate = 0.0;    // Probability a message silently vanishes.
+};
+
+struct Message {
+  NodeId from;
+  NodeId to;
+  uint64_t channel = 0;  // Conversation id allocated by AllocateChannelId().
+  std::string kind;      // "hello", "hello_ack", "auth", "data", ...
+  Bytes payload;
+};
+
+// A node's receive hook. Handlers may send further messages from inside
+// OnMessage; those are queued and delivered in the same pump.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void OnMessage(const Message& message) = 0;
+};
+
+class Transport {
+ public:
+  struct Stats {
+    uint64_t sent = 0;
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+    uint64_t bytes_carried = 0;
+  };
+
+  explicit Transport(uint64_t seed = 7);
+
+  Status Attach(const NodeId& node, Endpoint* endpoint);
+  void Detach(const NodeId& node);
+
+  // Configures both directions of the (a, b) link. Unconfigured links use
+  // LinkConfig{}.
+  void SetLink(const NodeId& a, const NodeId& b, const LinkConfig& config);
+
+  // Queues a message for delivery at now + link latency (or drops it). An
+  // unknown destination is an error; a drop is not — the sender cannot
+  // observe loss except through missing replies.
+  Status Send(Message message);
+
+  // Delivers queued messages in timestamp order, advancing the simulated
+  // clock to each delivery time, until the fabric is quiet (or `max_steps`
+  // deliveries, a runaway guard). Returns the number delivered.
+  size_t DeliverAll(size_t max_steps = 100000);
+
+  // Globally unique conversation ids for channels.
+  uint64_t AllocateChannelId() { return next_channel_id_++; }
+
+  uint64_t now_us() const { return now_us_; }
+  void AdvanceTime(uint64_t us) { now_us_ += us; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    uint64_t deliver_at = 0;
+    uint64_t seq = 0;  // FIFO tie-break for equal timestamps.
+    Message message;
+    bool operator>(const Pending& other) const {
+      return deliver_at != other.deliver_at ? deliver_at > other.deliver_at
+                                            : seq > other.seq;
+    }
+  };
+
+  const LinkConfig& LinkFor(const NodeId& a, const NodeId& b) const;
+
+  std::map<NodeId, Endpoint*> endpoints_;
+  std::map<std::pair<NodeId, NodeId>, LinkConfig> links_;
+  LinkConfig default_link_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>> queue_;
+  uint64_t send_seq_ = 0;
+  uint64_t next_channel_id_ = 1;
+  uint64_t now_us_ = 0;
+  Rng rng_;
+  Stats stats_;
+};
+
+}  // namespace nexus::net
+
+#endif  // NEXUS_NET_TRANSPORT_H_

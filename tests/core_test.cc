@@ -316,6 +316,73 @@ TEST(GuardQuotaTest, PerRootQuotaEvictsOwnEntriesFirst) {
   (void)goal_base;
 }
 
+TEST(GuardQuotaTest, SpammerCannotEvictVictimEntries) {
+  kernel::Kernel k;
+  Guard::Config config;
+  config.proof_cache_capacity = 64;
+  config.per_root_quota = 8;
+  Guard guard(&k, config);
+
+  kernel::ProcessId victim = *k.CreateProcess("victim", ToBytes("v"));
+  kernel::ProcessId spammer = *k.CreateProcess("spammer", ToBytes("s"));
+
+  // The victim caches a handful of verdicts. Proof identity is part of the
+  // cache key, so the proofs must stay alive across the re-check.
+  std::vector<nal::Formula> victim_goals;
+  std::vector<nal::Proof> victim_proofs;
+  for (int i = 0; i < 4; ++i) {
+    nal::Formula goal = nal::ParseFormula("V says ok" + std::to_string(i) + "()").value();
+    victim_goals.push_back(goal);
+    victim_proofs.push_back(nal::proof::Premise(goal));
+    std::vector<nal::Formula> creds = {goal};
+    guard.Check(victim, "op", "obj", goal, victim_proofs.back(), creds, /*state_version=*/1);
+  }
+
+  // The spawning-principal exhaustion attack (§2.9): way more insertions
+  // than the victim's footprint, all charged to the spammer's root.
+  for (int i = 0; i < 48; ++i) {
+    nal::Formula goal = nal::ParseFormula("S says ok" + std::to_string(i) + "()").value();
+    std::vector<nal::Formula> creds = {goal};
+    guard.Check(spammer, "op", "obj", goal, nal::proof::Premise(goal), creds,
+                /*state_version=*/1);
+  }
+
+  // Every victim verdict is still cached: eviction charged the spammer's
+  // own quota, not the victim's entries.
+  uint64_t hits_before = guard.stats().cache_hits;
+  for (int i = 0; i < 4; ++i) {
+    std::vector<nal::Formula> creds = {victim_goals[i]};
+    guard.Check(victim, "op", "obj", victim_goals[i], victim_proofs[i], creds,
+                /*state_version=*/1);
+  }
+  EXPECT_EQ(guard.stats().cache_hits, hits_before + 4);
+}
+
+TEST(GuardCacheTest, StateVersionZeroBypassesVerdictCache) {
+  kernel::Kernel k;
+  Guard guard(&k);
+  kernel::ProcessId subject = *k.CreateProcess("subject", ToBytes("x"));
+  nal::Formula goal = nal::ParseFormula("A says ok()").value();
+  nal::Proof proof = nal::proof::Premise(goal);
+  std::vector<nal::Formula> creds = {goal};
+
+  // state_version = 0 disables caching entirely: no hits on repeats, and
+  // nothing is inserted for later calls to hit.
+  guard.Check(subject, "op", "obj", goal, proof, creds, /*state_version=*/0);
+  guard.Check(subject, "op", "obj", goal, proof, creds, /*state_version=*/0);
+  EXPECT_EQ(guard.stats().cache_hits, 0u);
+
+  // A versioned check after the bypassed ones must MISS (nothing was
+  // cached), then hit on its own repeat.
+  guard.Check(subject, "op", "obj", goal, proof, creds, /*state_version=*/5);
+  EXPECT_EQ(guard.stats().cache_hits, 0u);
+  guard.Check(subject, "op", "obj", goal, proof, creds, /*state_version=*/5);
+  EXPECT_EQ(guard.stats().cache_hits, 1u);
+  // And a bypassed check between versioned ones still refuses the cache.
+  guard.Check(subject, "op", "obj", goal, proof, creds, /*state_version=*/0);
+  EXPECT_EQ(guard.stats().cache_hits, 1u);
+}
+
 // -------------------------------------------------------- Certificates
 
 TEST_F(NexusTest, ExternalizeAndImportCertificate) {
@@ -363,6 +430,104 @@ TEST_F(NexusTest, CertificateRejectsTampering) {
   Certificate cert = *nexus_.ExternalizeLabel(pid, *nexus_.engine().Say(pid, "ok()"));
   cert.statement = F(cert.statement->speaker().ToString() + " says evil()");
   EXPECT_FALSE(VerifyCertificate(cert, tpm_.endorsement_public_key()).ok());
+}
+
+// Two independently booted instances exchanging serialized certificates
+// through the peer-registry import path (the entry point src/net uses).
+
+TEST_F(NexusTest, PeerImportRoundTripsOverSerialization) {
+  Rng remote_rng(21);
+  tpm::Tpm remote_tpm(remote_rng);
+  Nexus remote(&remote_tpm, NexusOptions{.seed = 77});
+  ASSERT_TRUE(remote.RegisterPeer("issuer", tpm_.endorsement_public_key()).ok());
+
+  kernel::ProcessId pid = *nexus_.CreateProcess("prover", ToBytes("p"));
+  Certificate cert = *nexus_.ExternalizeLabel(pid, *nexus_.engine().Say(pid, "isTypeSafe(PGM)"));
+  // The certificate crosses the wire as bytes.
+  Result<Certificate> received = Certificate::Deserialize(cert.Serialize());
+  ASSERT_TRUE(received.ok());
+
+  kernel::ProcessId importer = *remote.CreateProcess("importer", ToBytes("i"));
+  Result<LabelHandle> handle = remote.ImportPeerCertificate(importer, *received);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  nal::Formula label = *remote.engine().StoreFor(importer).Get(*handle);
+  EXPECT_EQ(label->speaker().ToString().substr(0, 4), "tpm.");
+  EXPECT_TRUE(nal::Equals(label->child1(), F("isTypeSafe(PGM)")));
+
+  // Replayed delivery converges to the same handle and a single label.
+  Result<LabelHandle> again = remote.ImportPeerCertificate(importer, *received);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*handle, *again);
+  EXPECT_EQ(remote.engine().StoreFor(importer).size(), 1u);
+}
+
+TEST_F(NexusTest, PeerImportRejectsUnregisteredEk) {
+  Rng remote_rng(22);
+  tpm::Tpm remote_tpm(remote_rng);
+  Nexus remote(&remote_tpm, NexusOptions{.seed = 78});  // No peers registered.
+
+  kernel::ProcessId pid = *nexus_.CreateProcess("prover", ToBytes("p"));
+  Certificate cert = *nexus_.ExternalizeLabel(pid, *nexus_.engine().Say(pid, "ok()"));
+  kernel::ProcessId importer = *remote.CreateProcess("importer", ToBytes("i"));
+  Result<LabelHandle> handle = remote.ImportPeerCertificate(importer, cert);
+  EXPECT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), ErrorCode::kUnauthenticated);
+}
+
+TEST_F(NexusTest, PeerImportRejectsTamperedWireBytes) {
+  Rng remote_rng(23);
+  tpm::Tpm remote_tpm(remote_rng);
+  Nexus remote(&remote_tpm, NexusOptions{.seed = 79});
+  ASSERT_TRUE(remote.RegisterPeer("issuer", tpm_.endorsement_public_key()).ok());
+  kernel::ProcessId importer = *remote.CreateProcess("importer", ToBytes("i"));
+
+  kernel::ProcessId pid = *nexus_.CreateProcess("prover", ToBytes("p"));
+  Certificate cert = *nexus_.ExternalizeLabel(pid, *nexus_.engine().Say(pid, "harmless()"));
+  Bytes wire = cert.Serialize();
+  // Flip one bit in every region of the wire image; no variant may import.
+  for (size_t offset : {size_t{4}, wire.size() / 2, wire.size() - 3}) {
+    Bytes corrupted = wire;
+    corrupted[offset] ^= 0x01;
+    Result<Certificate> parsed = Certificate::Deserialize(corrupted);
+    if (!parsed.ok()) {
+      continue;  // Rejected at parse time: fine.
+    }
+    EXPECT_FALSE(remote.ImportPeerCertificate(importer, *parsed).ok());
+  }
+  EXPECT_EQ(remote.engine().StoreFor(importer).size(), 0u);
+}
+
+TEST_F(NexusTest, PeerImportRejectsSubstitutedEndorsement) {
+  // The wrong-EK attack: an attacker with a registered TPM of their own
+  // re-roots someone else's certificate onto their EK. The NK binding
+  // signature cannot transfer.
+  Rng remote_rng(24), attacker_rng(25);
+  tpm::Tpm remote_tpm(remote_rng), attacker_tpm(attacker_rng);
+  Nexus remote(&remote_tpm, NexusOptions{.seed = 80});
+  Nexus attacker(&attacker_tpm, NexusOptions{.seed = 81});
+  ASSERT_TRUE(remote.RegisterPeer("attacker", attacker_tpm.endorsement_public_key()).ok());
+  // Note: the victim (nexus_) is NOT registered; the attacker is.
+
+  kernel::ProcessId pid = *nexus_.CreateProcess("victim-prover", ToBytes("p"));
+  Certificate stolen = *nexus_.ExternalizeLabel(pid, *nexus_.engine().Say(pid, "ok()"));
+  stolen.ek_public = attacker_tpm.endorsement_public_key();  // Re-root.
+
+  kernel::ProcessId importer = *remote.CreateProcess("importer", ToBytes("i"));
+  Result<LabelHandle> handle = remote.ImportPeerCertificate(importer, stolen);
+  EXPECT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), ErrorCode::kUnauthenticated);
+}
+
+TEST_F(NexusTest, PeerRegistryRejectsConflictingReRegistration) {
+  ASSERT_TRUE(nexus_.RegisterPeer("b", tpm_.endorsement_public_key()).ok());
+  // Re-registering the same EK is idempotent.
+  EXPECT_TRUE(nexus_.RegisterPeer("b", tpm_.endorsement_public_key()).ok());
+  Rng rng(31);
+  crypto::RsaKeyPair other = crypto::GenerateRsaKeyPair(rng, 512);
+  // Silently swapping a peer's trust anchor is refused.
+  EXPECT_FALSE(nexus_.RegisterPeer("b", other.public_key).ok());
+  EXPECT_TRUE(nexus_.IsTrustedPeerEk(tpm_.endorsement_public_key()));
+  EXPECT_FALSE(nexus_.IsTrustedPeerEk(other.public_key));
 }
 
 TEST_F(NexusTest, CertificatePinsSoftwareConfiguration) {

@@ -380,6 +380,41 @@ TEST_F(RsaTest, WrongKeyFails) {
   EXPECT_FALSE(RsaVerify(other.public_key, message, sig));
 }
 
+TEST_F(RsaTest, EncryptDecryptRoundTrip) {
+  Rng rng(62);
+  Bytes share = rng.RandomBytes(32);
+  Result<Bytes> ciphertext = RsaEncrypt(key_pair_->public_key, share, rng);
+  ASSERT_TRUE(ciphertext.ok()) << ciphertext.status().ToString();
+  // Randomized padding: the ciphertext hides the plaintext even across
+  // identical messages.
+  Result<Bytes> again = RsaEncrypt(key_pair_->public_key, share, rng);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(*ciphertext == *again);
+  Result<Bytes> decrypted = RsaDecrypt(key_pair_->private_key, *ciphertext);
+  ASSERT_TRUE(decrypted.ok()) << decrypted.status().ToString();
+  EXPECT_EQ(*decrypted, share);
+}
+
+TEST_F(RsaTest, EncryptRejectsOversizedPlaintext) {
+  Rng rng(63);
+  Bytes too_long = rng.RandomBytes(64);  // 512-bit modulus: max is 64 - 11.
+  EXPECT_FALSE(RsaEncrypt(key_pair_->public_key, too_long, rng).ok());
+}
+
+TEST_F(RsaTest, DecryptRejectsTamperedCiphertext) {
+  Rng rng(64);
+  Bytes share = rng.RandomBytes(32);
+  Bytes ciphertext = *RsaEncrypt(key_pair_->public_key, share, rng);
+  ciphertext[0] ^= 1;
+  Result<Bytes> decrypted = RsaDecrypt(key_pair_->private_key, ciphertext);
+  // Either padding rejects it or the plaintext is garbage; it must never
+  // round-trip to the original share.
+  if (decrypted.ok()) {
+    EXPECT_FALSE(*decrypted == share);
+  }
+  EXPECT_FALSE(RsaDecrypt(key_pair_->private_key, ToBytes("short")).ok());
+}
+
 TEST_F(RsaTest, PublicKeySerializationRoundTrip) {
   Bytes serialized = key_pair_->public_key.Serialize();
   Result<RsaPublicKey> restored = RsaPublicKey::Deserialize(serialized);
