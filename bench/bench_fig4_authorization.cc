@@ -167,6 +167,77 @@ FIG4_CASE(f_no_cred, Case::kNoCred);
 FIG4_CASE(g_embed_auth, Case::kEmbedAuth);
 FIG4_CASE(h_auth, Case::kAuth);
 
+// Interned-vs-string API (§2.8 made concrete): the same cached "pass" case
+// through the legacy string surface (interns per call: two string-table
+// probes before the decision-cache lookup) and through a pre-interned
+// AuthzRequest (pure integer hashing end to end). The delta is the string
+// overhead the api redesign removes from every repeated authorization.
+void BM_e_pass_cached_string_keys(benchmark::State& state) {
+  Harness& h = H();
+  h.Reset(true);
+  Configure(h, Case::kPass);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.nexus.kernel().Authorize(h.subject, "use", "bench:object"));
+  }
+}
+BENCHMARK(BM_e_pass_cached_string_keys);
+
+void BM_e_pass_cached_interned_keys(benchmark::State& state) {
+  Harness& h = H();
+  h.Reset(true);
+  Configure(h, Case::kPass);
+  nexus::kernel::AuthzRequest request =
+      nexus::kernel::AuthzRequest::Of(h.subject, "use", "bench:object");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.nexus.kernel().Authorize(request));
+  }
+}
+BENCHMARK(BM_e_pass_cached_interned_keys);
+
+// Batched-vs-serial guard evaluation on decision-cache misses: N distinct
+// "pass"-style tuples authorized one by one vs in one AuthorizeBatch call
+// (credential collection amortized per subject). The decision cache is
+// cleared per iteration so every tuple reaches the guard.
+void SetupBatchTuples(Harness& h, size_t n, std::vector<nexus::kernel::AuthzRequest>* out) {
+  auto& engine = h.nexus.engine();
+  for (size_t i = 0; i < n; ++i) {
+    std::string object = "batch4:obj" + std::to_string(i);
+    engine.RegisterObject(object, h.owner, nexus::kernel::kKernelProcessId);
+    engine.SetGoal(h.owner, "use", object, F("Certifier says ok(subject)"));
+    engine.SetProof(h.subject, "use", object,
+                    nexus::nal::proof::Premise(F("Certifier says ok(subject)")));
+    out->push_back(nexus::kernel::AuthzRequest::Of(h.subject, "use", object));
+  }
+}
+
+void BM_pass_miss_serial(benchmark::State& state) {
+  Harness& h = H();
+  h.Reset(true);
+  std::vector<nexus::kernel::AuthzRequest> requests;
+  SetupBatchTuples(h, static_cast<size_t>(state.range(0)), &requests);
+  for (auto _ : state) {
+    h.nexus.kernel().decision_cache().Clear();
+    for (const auto& request : requests) {
+      benchmark::DoNotOptimize(h.nexus.kernel().Authorize(request));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * requests.size());
+}
+BENCHMARK(BM_pass_miss_serial)->Arg(16)->Arg(64);
+
+void BM_pass_miss_batched(benchmark::State& state) {
+  Harness& h = H();
+  h.Reset(true);
+  std::vector<nexus::kernel::AuthzRequest> requests;
+  SetupBatchTuples(h, static_cast<size_t>(state.range(0)), &requests);
+  for (auto _ : state) {
+    h.nexus.kernel().decision_cache().Clear();
+    benchmark::DoNotOptimize(h.nexus.kernel().AuthorizeBatch(requests));
+  }
+  state.SetItemsProcessed(state.iterations() * requests.size());
+}
+BENCHMARK(BM_pass_miss_batched)->Arg(16)->Arg(64);
+
 // Ablation (§2.8): decision-cache subregion size vs invalidation cost. A
 // workload alternating goal updates with authorization bursts across many
 // objects: large subregions amortize invalidation but collide more.

@@ -9,7 +9,9 @@
 #define NEXUS_CORE_AUTHORITY_H_
 
 #include <functional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "kernel/ipc.h"
 #include "nal/formula.h"
@@ -36,6 +38,21 @@ class Authority {
   virtual bool VouchesWithin(const nal::Formula& statement, uint64_t timeout_us) {
     (void)timeout_us;
     return Vouches(statement);
+  }
+
+  // Multi-statement query. Local authorities answer element-wise; a remote
+  // authority overrides this to ship all statements in ONE attested round
+  // trip (the batch-guard path's duplicate-query-collapsing depends on it).
+  // Answers align with `statements`; like single answers they are fresh,
+  // untransferable, and must not outlive the consuming decision batch.
+  virtual std::vector<bool> VouchBatch(std::span<const nal::Formula> statements,
+                                       uint64_t timeout_us) {
+    std::vector<bool> answers;
+    answers.reserve(statements.size());
+    for (const nal::Formula& statement : statements) {
+      answers.push_back(VouchesWithin(statement, timeout_us));
+    }
+    return answers;
   }
 };
 

@@ -4,65 +4,139 @@
 
 namespace nexus::core {
 
+using kernel::AuthzDecision;
+using kernel::AuthzRequest;
+
 Engine::Engine(kernel::Kernel* kernel, Guard* default_guard)
     : kernel_(kernel), default_guard_(default_guard) {}
 
-Engine::Verdict Engine::DefaultPolicy(kernel::ProcessId subject, const std::string& operation,
-                                      const std::string& object) {
-  (void)operation;
+AuthzDecision Engine::DefaultPolicy(const AuthzRequest& request) {
   // Unregistered objects (ambient resources like the bare syscall object)
   // are unguarded until someone registers or sets a goal on them.
-  if (!objects_.Known(object)) {
-    return {OkStatus(), true};
+  if (!objects_.Known(request.obj)) {
+    return AuthzDecision::Allow();
   }
   // A nascent object with no goal is satisfiable only by the object's owner
   // or the resource manager that created it (its superprincipal).
-  std::optional<kernel::ProcessId> owner = objects_.Owner(object);
-  std::optional<kernel::ProcessId> manager = objects_.Manager(object);
-  if (subject == kernel::kKernelProcessId ||
-      (owner.has_value() && subject == *owner) ||
-      (manager.has_value() && subject == *manager)) {
-    return {OkStatus(), true};
+  std::optional<kernel::ProcessId> owner = objects_.Owner(request.obj);
+  std::optional<kernel::ProcessId> manager = objects_.Manager(request.obj);
+  if (request.subject == kernel::kKernelProcessId ||
+      (owner.has_value() && request.subject == *owner) ||
+      (manager.has_value() && request.subject == *manager)) {
+    return AuthzDecision::Allow();
   }
-  return {PermissionDenied("bootstrap policy: only the owner or resource manager may access " +
-                           object),
-          true};
+  return AuthzDecision::Deny(
+      PermissionDenied("bootstrap policy: only the owner or resource manager may access " +
+                       std::string(request.object())),
+      true);
 }
 
-Engine::Verdict Engine::Authorize(kernel::ProcessId subject, const std::string& operation,
-                                  const std::string& object) {
-  std::optional<GoalEntry> goal = goals_.Get(operation, object);
+AuthzDecision Engine::UpcallDesignatedGuard(const AuthzRequest& request,
+                                            const GoalEntry& goal, const nal::Proof& proof,
+                                            const std::vector<nal::Formula>& credentials) {
+  kernel::IpcMessage ipc_request;
+  ipc_request.operation = "check";
+  ipc_request.args = {std::to_string(request.subject), std::string(request.operation()),
+                      std::string(request.object()),
+                      proof == nullptr ? "(premise \"false\")" : nal::SerializeProof(proof)};
+  std::string blob;
+  for (const nal::Formula& cred : credentials) {
+    blob += cred->ToString();
+    blob += '\n';
+  }
+  ipc_request.data = ToBytes(blob);
+  kernel::IpcReply reply = kernel_->Call(request.subject, goal.guard_port, ipc_request);
+  return AuthzDecision::FromStatus(reply.status, reply.value == 1);
+}
+
+AuthzDecision Engine::Authorize(const AuthzRequest& request) {
+  std::optional<GoalEntry> goal = goals_.Get(request.op, request.obj);
   if (!goal.has_value()) {
-    return DefaultPolicy(subject, operation, object);
+    return DefaultPolicy(request);
   }
 
-  auto proof_it = proofs_.find(ProofKey(subject, operation, object));
+  TupleKey key = KeyOf(request);
+  auto proof_it = proofs_.find(key);
   nal::Proof proof = proof_it == proofs_.end() ? nullptr : proof_it->second;
-  std::vector<nal::Formula> credentials = CollectCredentials(subject, object);
+  std::vector<nal::Formula> credentials = CollectCredentials(request.subject, request.obj);
 
   if (goal->guard_port != 0) {
-    // Designated guard: serialize the request and upcall over IPC.
-    kernel::IpcMessage request;
-    request.operation = "check";
-    request.args = {std::to_string(subject), operation, object,
-                    proof == nullptr ? "(premise \"false\")" : nal::SerializeProof(proof)};
-    std::string blob;
-    for (const nal::Formula& cred : credentials) {
-      blob += cred->ToString();
-      blob += '\n';
-    }
-    request.data = ToBytes(blob);
-    kernel::IpcReply reply = kernel_->Call(subject, goal->guard_port, request);
-    return {reply.status, reply.value == 1};
+    return UpcallDesignatedGuard(request, *goal, proof, credentials);
   }
 
-  std::string proof_key = ProofKey(subject, operation, object);
-  return default_guard_->Check(subject, operation, object, goal->goal, proof, credentials,
-                               StateVersion(subject, object, proof_key));
+  return default_guard_->Check(request, goal->goal, proof, credentials,
+                               StateVersion(request.subject, request.obj, key),
+                               goal->goal_id);
 }
 
-uint64_t Engine::StateVersion(kernel::ProcessId subject, const std::string& object,
-                              const std::string& proof_key) const {
+std::vector<AuthzDecision> Engine::AuthorizeBatch(std::span<const AuthzRequest> requests) {
+  std::vector<AuthzDecision> decisions(requests.size());
+
+  // Credential amortization: the subject-store + system-store prefix is
+  // identical for every request by one subject; collect it once and only
+  // append per-object auxiliary labels.
+  std::map<kernel::ProcessId, std::vector<nal::Formula>> base_credentials;
+
+  std::vector<Guard::BatchItem> guard_items;
+  std::vector<size_t> guard_slots;
+
+  auto flush = [&] {
+    if (guard_items.empty()) {
+      return;
+    }
+    std::vector<AuthzDecision> guard_decisions = default_guard_->CheckBatch(guard_items);
+    for (size_t j = 0; j < guard_slots.size(); ++j) {
+      decisions[guard_slots[j]] = std::move(guard_decisions[j]);
+    }
+    guard_items.clear();
+    guard_slots.clear();
+  };
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const AuthzRequest& request = requests[i];
+    std::optional<GoalEntry> goal = goals_.Get(request.op, request.obj);
+    if (!goal.has_value()) {
+      decisions[i] = DefaultPolicy(request);
+      continue;
+    }
+
+    TupleKey key = KeyOf(request);
+    auto proof_it = proofs_.find(key);
+    nal::Proof proof = proof_it == proofs_.end() ? nullptr : proof_it->second;
+
+    auto base = base_credentials.find(request.subject);
+    if (base == base_credentials.end()) {
+      std::vector<nal::Formula> creds;
+      AppendSubjectCredentials(request.subject, &creds);
+      base = base_credentials.emplace(request.subject, std::move(creds)).first;
+    }
+    std::vector<nal::Formula> credentials = base->second;
+    AppendObjectCredentials(request.obj, &credentials);
+
+    if (goal->guard_port != 0) {
+      // Designated guards live behind IPC ports of their own and are
+      // consulted serially. The upcall runs arbitrary guard-process code
+      // that may mutate label stores, so evaluate everything batched so
+      // far FIRST and drop the credential memo after — later requests
+      // must observe the mutation exactly as the serial path would.
+      flush();
+      decisions[i] = UpcallDesignatedGuard(request, *goal, proof, credentials);
+      base_credentials.clear();
+      continue;
+    }
+
+    guard_items.push_back(Guard::BatchItem{request, goal->goal, goal->goal_id, proof,
+                                           std::move(credentials),
+                                           StateVersion(request.subject, request.obj, key)});
+    guard_slots.push_back(i);
+  }
+
+  flush();
+  return decisions;
+}
+
+uint64_t Engine::StateVersion(kernel::ProcessId subject, kernel::ObjectId object,
+                              const TupleKey& proof_key) const {
   uint64_t version = 1 + system_store_.version();
   auto store = stores_.find(subject);
   if (store != stores_.end()) {
@@ -104,65 +178,106 @@ LabelHandle Engine::SayAs(const nal::Principal& speaker, const nal::Formula& sta
   return system_store_.Insert(speaker, statement);
 }
 
-void Engine::AddObjectLabel(const std::string& object, const nal::Formula& label) {
+void Engine::AddObjectLabel(kernel::ObjectId object, const nal::Formula& label) {
   object_labels_[object].push_back(label);
+}
+
+Status Engine::SetGoal(kernel::ProcessId caller, kernel::OpId op, kernel::ObjectId obj,
+                       nal::Formula goal, kernel::PortId guard_port) {
+  // setgoal is itself an authorized operation on the object (§2.5). It is
+  // governed by the goal for ("setgoal", object) if present, else the
+  // bootstrap policy.
+  static const kernel::OpId setgoal_op = kernel::InternOp("setgoal");
+  Status authorized = kernel_->Authorize(AuthzRequest{caller, setgoal_op, obj});
+  if (!authorized.ok()) {
+    return authorized;
+  }
+  NEXUS_RETURN_IF_ERROR(goals_.SetGoal(op, obj, std::move(goal), guard_port));
+  // A goal update may invalidate many cached decisions: clear the (op,
+  // object) subregion (§2.8).
+  kernel_->OnGoalUpdate(op, obj);
+  return OkStatus();
 }
 
 Status Engine::SetGoal(kernel::ProcessId caller, const std::string& operation,
                        const std::string& object, nal::Formula goal,
                        kernel::PortId guard_port) {
-  // setgoal is itself an authorized operation on the object (§2.5). It is
-  // governed by the goal for ("setgoal", object) if present, else the
-  // bootstrap policy.
-  Status authorized = kernel_->Authorize(caller, "setgoal", object);
+  NEXUS_RETURN_IF_ERROR(ValidateAuthzName(operation, "operation"));
+  NEXUS_RETURN_IF_ERROR(ValidateAuthzName(object, "object"));
+  return SetGoal(caller, kernel::InternOp(operation), kernel::InternObject(object),
+                 std::move(goal), guard_port);
+}
+
+Status Engine::ClearGoal(kernel::ProcessId caller, kernel::OpId op, kernel::ObjectId obj) {
+  static const kernel::OpId setgoal_op = kernel::InternOp("setgoal");
+  Status authorized = kernel_->Authorize(AuthzRequest{caller, setgoal_op, obj});
   if (!authorized.ok()) {
     return authorized;
   }
-  NEXUS_RETURN_IF_ERROR(goals_.SetGoal(operation, object, std::move(goal), guard_port));
-  // A goal update may invalidate many cached decisions: clear the (op,
-  // object) subregion (§2.8).
-  kernel_->OnGoalUpdate(operation, object);
+  NEXUS_RETURN_IF_ERROR(goals_.ClearGoal(op, obj));
+  kernel_->OnGoalUpdate(op, obj);
   return OkStatus();
 }
 
 Status Engine::ClearGoal(kernel::ProcessId caller, const std::string& operation,
                          const std::string& object) {
-  Status authorized = kernel_->Authorize(caller, "setgoal", object);
-  if (!authorized.ok()) {
-    return authorized;
+  // Never-interned names cannot name a goal; don't grow the tables just to
+  // return NotFound.
+  std::optional<kernel::OpId> op = kernel::FindOp(operation);
+  std::optional<kernel::ObjectId> obj = kernel::FindObject(object);
+  if (!op.has_value() || !obj.has_value()) {
+    return NotFound("no goal for " + operation + " on " + object);
   }
-  NEXUS_RETURN_IF_ERROR(goals_.ClearGoal(operation, object));
-  kernel_->OnGoalUpdate(operation, object);
+  return ClearGoal(caller, *op, *obj);
+}
+
+Status Engine::SetProof(const AuthzRequest& tuple, nal::Proof proof) {
+  if (proof == nullptr) {
+    return InvalidArgument("null proof");
+  }
+  TupleKey key = KeyOf(tuple);
+  proofs_[key] = std::move(proof);
+  ++proof_versions_[key];
+  // A proof update invalidates the single affected cache entry (§2.8).
+  kernel_->OnProofUpdate(tuple);
   return OkStatus();
 }
 
 Status Engine::SetProof(kernel::ProcessId subject, const std::string& operation,
                         const std::string& object, nal::Proof proof) {
-  if (proof == nullptr) {
-    return InvalidArgument("null proof");
+  NEXUS_RETURN_IF_ERROR(ValidateAuthzName(operation, "operation"));
+  NEXUS_RETURN_IF_ERROR(ValidateAuthzName(object, "object"));
+  return SetProof(AuthzRequest::Of(subject, operation, object), std::move(proof));
+}
+
+Status Engine::ClearProof(const AuthzRequest& tuple) {
+  TupleKey key = KeyOf(tuple);
+  if (proofs_.erase(key) == 0) {
+    return NotFound("no proof for this tuple");
   }
-  std::string key = ProofKey(subject, operation, object);
-  proofs_[key] = std::move(proof);
   ++proof_versions_[key];
-  // A proof update invalidates the single affected cache entry (§2.8).
-  kernel_->OnProofUpdate(subject, operation, object);
+  kernel_->OnProofUpdate(tuple);
   return OkStatus();
 }
 
 Status Engine::ClearProof(kernel::ProcessId subject, const std::string& operation,
                           const std::string& object) {
-  std::string key = ProofKey(subject, operation, object);
-  if (proofs_.erase(key) == 0) {
+  std::optional<kernel::OpId> op = kernel::FindOp(operation);
+  std::optional<kernel::ObjectId> obj = kernel::FindObject(object);
+  if (!op.has_value() || !obj.has_value()) {
     return NotFound("no proof for this tuple");
   }
-  ++proof_versions_[key];
-  kernel_->OnProofUpdate(subject, operation, object);
-  return OkStatus();
+  return ClearProof(AuthzRequest{subject, *op, *obj});
 }
 
-void Engine::RegisterObject(const std::string& object, kernel::ProcessId owner,
-                            kernel::ProcessId manager) {
-  objects_.Register(object, owner, manager);
+Status Engine::RegisterObject(kernel::ObjectId object, kernel::ProcessId owner,
+                              kernel::ProcessId manager) {
+  return objects_.Register(object, owner, manager);
+}
+
+Status Engine::RegisterObject(const std::string& object, kernel::ProcessId owner,
+                              kernel::ProcessId manager) {
+  return objects_.Register(object, owner, manager);
 }
 
 Status Engine::TransferOwnership(kernel::ProcessId caller, const std::string& object,
@@ -185,24 +300,34 @@ Status Engine::TransferOwnership(kernel::ProcessId caller, const std::string& ob
   return OkStatus();
 }
 
-std::vector<nal::Formula> Engine::CollectCredentials(kernel::ProcessId subject,
-                                                     const std::string& object) const {
-  std::vector<nal::Formula> credentials;
+void Engine::AppendSubjectCredentials(kernel::ProcessId subject,
+                                      std::vector<nal::Formula>* out) const {
   auto subject_store = stores_.find(subject);
   if (subject_store != stores_.end()) {
     for (const nal::Formula& f : subject_store->second.All()) {
-      credentials.push_back(f);
+      out->push_back(f);
     }
   }
   for (const nal::Formula& f : system_store_.All()) {
-    credentials.push_back(f);
+    out->push_back(f);
   }
+}
+
+void Engine::AppendObjectCredentials(kernel::ObjectId object,
+                                     std::vector<nal::Formula>* out) const {
   auto object_extras = object_labels_.find(object);
   if (object_extras != object_labels_.end()) {
     for (const nal::Formula& f : object_extras->second) {
-      credentials.push_back(f);
+      out->push_back(f);
     }
   }
+}
+
+std::vector<nal::Formula> Engine::CollectCredentials(kernel::ProcessId subject,
+                                                     kernel::ObjectId object) const {
+  std::vector<nal::Formula> credentials;
+  AppendSubjectCredentials(subject, &credentials);
+  AppendObjectCredentials(object, &credentials);
   return credentials;
 }
 

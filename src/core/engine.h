@@ -7,11 +7,20 @@
 // subject pre-submitted for this access-control tuple, and dispatches to
 // the designated guard — the kernel-designated default guard for kernel
 // resources, or any guard process the goal names (§2.5, §2.6).
+//
+// The engine is identity-based end to end: access-control tuples are
+// (ProcessId, OpId, ObjectId) — interned integers, no string keys — and the
+// batched entry point AuthorizeBatch amortizes credential collection per
+// subject and lets the guard collapse duplicate authority consultations
+// across the batch. The string-taking control-plane calls (setgoal,
+// setproof, object registration) intern-and-forward, rejecting names that
+// would have been ambiguous under the legacy "\x1f"-joined string keys.
 #ifndef NEXUS_CORE_ENGINE_H_
 #define NEXUS_CORE_ENGINE_H_
 
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -28,8 +37,13 @@ class Engine : public kernel::AuthorizationEngine {
   Engine(kernel::Kernel* kernel, Guard* default_guard);
 
   // ---------------------------------------------- kernel upcall interface
-  Verdict Authorize(kernel::ProcessId subject, const std::string& operation,
-                    const std::string& object) override;
+  kernel::AuthzDecision Authorize(const kernel::AuthzRequest& request) override;
+  // Batched authorization: credentials are collected once per distinct
+  // subject and duplicate authority queries are collapsed batch-wide (a
+  // remote authority consulted by K requests costs one VouchBatch round
+  // trip, not K).
+  std::vector<kernel::AuthzDecision> AuthorizeBatch(
+      std::span<const kernel::AuthzRequest> requests) override;
 
   // ------------------------------------------------------------- Labels
   // The `say` system call: records `<subject's principal> says <statement>`
@@ -42,12 +56,18 @@ class Engine : public kernel::AuthorizationEngine {
   LabelStore& StoreFor(kernel::ProcessId pid) { return stores_[pid]; }
   LabelStore& SystemStore() { return system_store_; }
   // Auxiliary labels the resource owner attaches to one object (§2.5).
-  void AddObjectLabel(const std::string& object, const nal::Formula& label);
+  void AddObjectLabel(kernel::ObjectId object, const nal::Formula& label);
+  void AddObjectLabel(const std::string& object, const nal::Formula& label) {
+    AddObjectLabel(kernel::InternObject(object), label);
+  }
 
   // -------------------------------------------------------------- Goals
   // The `setgoal` system call; itself a guarded operation on the object.
+  Status SetGoal(kernel::ProcessId caller, kernel::OpId op, kernel::ObjectId obj,
+                 nal::Formula goal, kernel::PortId guard_port = 0);
   Status SetGoal(kernel::ProcessId caller, const std::string& operation,
                  const std::string& object, nal::Formula goal, kernel::PortId guard_port = 0);
+  Status ClearGoal(kernel::ProcessId caller, kernel::OpId op, kernel::ObjectId obj);
   Status ClearGoal(kernel::ProcessId caller, const std::string& operation,
                    const std::string& object);
   const GoalStore& goals() const { return goals_; }
@@ -56,14 +76,18 @@ class Engine : public kernel::AuthorizationEngine {
   // Pre-submits the proof to use for an access-control tuple (the paper's
   // call(sbj, op, obj, proof, labels) carries the proof; pre-submission
   // plus the decision cache is how repeated calls stay cheap).
+  Status SetProof(const kernel::AuthzRequest& tuple, nal::Proof proof);
   Status SetProof(kernel::ProcessId subject, const std::string& operation,
                   const std::string& object, nal::Proof proof);
+  Status ClearProof(const kernel::AuthzRequest& tuple);
   Status ClearProof(kernel::ProcessId subject, const std::string& operation,
                     const std::string& object);
 
   // ------------------------------------------------------------- Objects
-  void RegisterObject(const std::string& object, kernel::ProcessId owner,
-                      kernel::ProcessId manager);
+  Status RegisterObject(kernel::ObjectId object, kernel::ProcessId owner,
+                        kernel::ProcessId manager);
+  Status RegisterObject(const std::string& object, kernel::ProcessId owner,
+                        kernel::ProcessId manager);
   Status TransferOwnership(kernel::ProcessId caller, const std::string& object,
                            kernel::ProcessId new_owner);
   const ObjectRegistry& objects() const { return objects_; }
@@ -73,23 +97,54 @@ class Engine : public kernel::AuthorizationEngine {
   // Collects the credentials visible to a guard evaluation for `subject`
   // on `object`.
   std::vector<nal::Formula> CollectCredentials(kernel::ProcessId subject,
-                                               const std::string& object) const;
+                                               kernel::ObjectId object) const;
+  std::vector<nal::Formula> CollectCredentials(kernel::ProcessId subject,
+                                               const std::string& object) const {
+    // Read path: a never-interned object cannot carry object labels, so
+    // only the subject-side credentials apply (and the table must not grow
+    // from lookups with novel names).
+    std::optional<kernel::ObjectId> id = kernel::FindObject(object);
+    if (!id.has_value()) {
+      std::vector<nal::Formula> credentials;
+      AppendSubjectCredentials(subject, &credentials);
+      return credentials;
+    }
+    return CollectCredentials(subject, *id);
+  }
 
  private:
-  static std::string ProofKey(kernel::ProcessId subject, const std::string& operation,
-                              const std::string& object) {
-    return std::to_string(subject) + "\x1f" + operation + "\x1f" + object;
+  // Interned access-control tuple as an ordered map key.
+  struct TupleKey {
+    kernel::ProcessId subject = 0;
+    kernel::OpId op = 0;
+    kernel::ObjectId obj = 0;
+    friend auto operator<=>(const TupleKey&, const TupleKey&) = default;
+  };
+  static TupleKey KeyOf(const kernel::AuthzRequest& r) {
+    return TupleKey{r.subject, r.op, r.obj};
   }
 
   // The bootstrap policy when no goal formula exists (§2.6).
-  Verdict DefaultPolicy(kernel::ProcessId subject, const std::string& operation,
-                        const std::string& object);
+  kernel::AuthzDecision DefaultPolicy(const kernel::AuthzRequest& request);
+
+  // The two halves of CollectCredentials, split so AuthorizeBatch can
+  // amortize the subject half across a batch while staying credential-
+  // for-credential identical to the serial path.
+  void AppendSubjectCredentials(kernel::ProcessId subject,
+                                std::vector<nal::Formula>* out) const;
+  void AppendObjectCredentials(kernel::ObjectId object,
+                               std::vector<nal::Formula>* out) const;
+
+  // Designated guard: serialize the request and upcall over IPC.
+  kernel::AuthzDecision UpcallDesignatedGuard(const kernel::AuthzRequest& request,
+                                              const GoalEntry& goal, const nal::Proof& proof,
+                                              const std::vector<nal::Formula>& credentials);
 
   // Monotonic stamp covering every input a cached guard verdict depends on
   // for (subject, object): label stores, object labels, and the proof
   // registration itself. Strictly increases on any relevant mutation.
-  uint64_t StateVersion(kernel::ProcessId subject, const std::string& object,
-                        const std::string& proof_key) const;
+  uint64_t StateVersion(kernel::ProcessId subject, kernel::ObjectId object,
+                        const TupleKey& proof_key) const;
 
   kernel::Kernel* kernel_;
   Guard* default_guard_;
@@ -97,9 +152,9 @@ class Engine : public kernel::AuthorizationEngine {
   ObjectRegistry objects_;
   std::map<kernel::ProcessId, LabelStore> stores_;
   LabelStore system_store_;
-  std::map<std::string, std::vector<nal::Formula>> object_labels_;
-  std::map<std::string, nal::Proof> proofs_;
-  std::map<std::string, uint64_t> proof_versions_;
+  std::map<kernel::ObjectId, std::vector<nal::Formula>> object_labels_;
+  std::map<TupleKey, nal::Proof> proofs_;
+  std::map<TupleKey, uint64_t> proof_versions_;
 };
 
 }  // namespace nexus::core

@@ -2,47 +2,76 @@
 
 namespace nexus::core {
 
-Status GoalStore::SetGoal(const std::string& operation, const std::string& object,
-                          nal::Formula goal, kernel::PortId guard_port) {
+Status ValidateAuthzName(std::string_view name, std::string_view what) {
+  if (name.find('\x1f') != std::string_view::npos) {
+    return InvalidArgument(std::string(what) +
+                           " names may not contain the reserved separator \\x1f");
+  }
+  return OkStatus();
+}
+
+Status GoalStore::SetGoal(kernel::OpId op, kernel::ObjectId obj, nal::Formula goal,
+                          kernel::PortId guard_port) {
   if (goal == nullptr) {
     return InvalidArgument("null goal formula");
   }
-  goals_[Key(operation, object)] = GoalEntry{std::move(goal), guard_port};
+  nal::Interner& interner = nal::Interner::Global();
+  nal::FormulaId goal_id = interner.Intern(goal);
+  goals_[Key(op, obj)] = GoalEntry{interner.Resolve(goal_id), goal_id, guard_port};
+  return OkStatus();
+}
+
+Status GoalStore::SetGoal(const std::string& operation, const std::string& object,
+                          nal::Formula goal, kernel::PortId guard_port) {
+  NEXUS_RETURN_IF_ERROR(ValidateAuthzName(operation, "operation"));
+  NEXUS_RETURN_IF_ERROR(ValidateAuthzName(object, "object"));
+  return SetGoal(kernel::InternOp(operation), kernel::InternObject(object), std::move(goal),
+                 guard_port);
+}
+
+Status GoalStore::ClearGoal(kernel::OpId op, kernel::ObjectId obj) {
+  if (goals_.erase(Key(op, obj)) == 0) {
+    return NotFound("no goal for " + std::string(kernel::OpName(op)) + " on " +
+                    std::string(kernel::ObjectName(obj)));
+  }
   return OkStatus();
 }
 
 Status GoalStore::ClearGoal(const std::string& operation, const std::string& object) {
-  if (goals_.erase(Key(operation, object)) == 0) {
-    return NotFound("no goal for " + operation + " on " + object);
-  }
-  return OkStatus();
+  return ClearGoal(kernel::InternOp(operation), kernel::InternObject(object));
 }
 
-std::optional<GoalEntry> GoalStore::Get(const std::string& operation,
-                                        const std::string& object) const {
-  auto it = goals_.find(Key(operation, object));
+std::optional<GoalEntry> GoalStore::Get(kernel::OpId op, kernel::ObjectId obj) const {
+  auto it = goals_.find(Key(op, obj));
   if (it == goals_.end()) {
     return std::nullopt;
   }
   return it->second;
 }
 
-void ObjectRegistry::Register(const std::string& object, kernel::ProcessId owner,
-                              kernel::ProcessId manager) {
+Status ObjectRegistry::Register(kernel::ObjectId object, kernel::ProcessId owner,
+                                kernel::ProcessId manager) {
   entries_[object] = Entry{owner, manager};
+  return OkStatus();
 }
 
-Status ObjectRegistry::TransferOwnership(const std::string& object,
+Status ObjectRegistry::Register(const std::string& object, kernel::ProcessId owner,
+                                kernel::ProcessId manager) {
+  NEXUS_RETURN_IF_ERROR(ValidateAuthzName(object, "object"));
+  return Register(kernel::InternObject(object), owner, manager);
+}
+
+Status ObjectRegistry::TransferOwnership(kernel::ObjectId object,
                                          kernel::ProcessId new_owner) {
   auto it = entries_.find(object);
   if (it == entries_.end()) {
-    return NotFound("unknown object: " + object);
+    return NotFound("unknown object: " + std::string(kernel::ObjectName(object)));
   }
   it->second.owner = new_owner;
   return OkStatus();
 }
 
-std::optional<kernel::ProcessId> ObjectRegistry::Owner(const std::string& object) const {
+std::optional<kernel::ProcessId> ObjectRegistry::Owner(kernel::ObjectId object) const {
   auto it = entries_.find(object);
   if (it == entries_.end()) {
     return std::nullopt;
@@ -50,7 +79,7 @@ std::optional<kernel::ProcessId> ObjectRegistry::Owner(const std::string& object
   return it->second.owner;
 }
 
-std::optional<kernel::ProcessId> ObjectRegistry::Manager(const std::string& object) const {
+std::optional<kernel::ProcessId> ObjectRegistry::Manager(kernel::ObjectId object) const {
   auto it = entries_.find(object);
   if (it == entries_.end()) {
     return std::nullopt;

@@ -1,10 +1,12 @@
 #include "core/guard.h"
 
-#include "crypto/sha256.h"
 #include "nal/parser.h"
 #include "nal/proof.h"
 
 namespace nexus::core {
+
+using kernel::AuthzDecision;
+using kernel::AuthzRequest;
 
 Guard::Guard(kernel::Kernel* kernel) : Guard(kernel, Config{}) {}
 
@@ -20,8 +22,8 @@ void Guard::AddRemoteAuthority(Authority* authority) {
   remote_authorities_.push_back(authority);
 }
 
-bool Guard::QueryAuthorities(const nal::Formula& statement) {
-  ++stats_.authority_queries;
+bool Guard::ResolveLocalAuthority(const nal::Formula& statement, bool* handled) {
+  *handled = true;
   for (Authority* authority : embedded_authorities_) {
     if (authority->Handles(statement)) {
       return authority->Vouches(statement);
@@ -41,19 +43,117 @@ bool Guard::QueryAuthorities(const nal::Formula& statement) {
       return false;  // Authority reachable but erroring: fail closed.
     }
   }
+  *handled = false;
+  return false;
+}
+
+Authority* Guard::RemoteAuthorityFor(const nal::Formula& statement) {
+  for (Authority* authority : remote_authorities_) {
+    if (authority->Handles(statement)) {
+      return authority;
+    }
+  }
+  return nullptr;
+}
+
+bool Guard::QueryAuthorities(const nal::Formula& statement) {
+  ++stats_.authority_queries;
+  bool handled = false;
+  bool answer = ResolveLocalAuthority(statement, &handled);
+  if (handled) {
+    return answer;
+  }
   // Remote authorities: a query crossing the instance boundary, budgeted by
   // the configured deadline. No answer in time means DENY (§2.7 answers are
   // fresh-or-nothing; a stale late answer is worthless).
-  for (Authority* authority : remote_authorities_) {
-    if (authority->Handles(statement)) {
-      ++stats_.remote_queries;
-      return authority->VouchesWithin(statement, config_.remote_query_timeout_us);
-    }
+  if (Authority* remote = RemoteAuthorityFor(statement)) {
+    ++stats_.remote_queries;
+    return remote->VouchesWithin(statement, config_.remote_query_timeout_us);
   }
   return false;  // No authority evaluates this statement.
 }
 
-void Guard::InsertCacheEntry(kernel::ProcessId quota_root, const std::string& key,
+const bool* Guard::AuthorityMemo::Find(const nal::Formula& statement) const {
+  auto bucket = buckets_.find(nal::StructuralHash(statement));
+  if (bucket == buckets_.end()) {
+    return nullptr;
+  }
+  for (const Entry& entry : bucket->second) {
+    if (nal::Equals(entry.statement, statement)) {
+      return &entry.answer;
+    }
+  }
+  return nullptr;
+}
+
+void Guard::AuthorityMemo::Insert(const nal::Formula& statement, bool answer) {
+  std::vector<Entry>& bucket = buckets_[nal::StructuralHash(statement)];
+  for (Entry& entry : bucket) {
+    if (nal::Equals(entry.statement, statement)) {
+      entry.answer = answer;
+      return;
+    }
+  }
+  bucket.push_back(Entry{statement, answer});
+}
+
+void Guard::PrefetchAuthorities(std::span<const BatchItem> items, AuthorityMemo* memo) {
+  // Serial checking stops at the first declined leaf, so a malicious proof
+  // stuffed with authority leaves must not amplify into unbounded eager
+  // consultations (or a giant VouchBatch payload). Leaves beyond the cap
+  // are simply not prefetched; the per-check callback falls back to the
+  // lazy serial path for them, preserving correctness.
+  constexpr size_t kMaxPrefetchLeavesPerProof = 64;
+  // Unique authority statements across the batch, in first-seen order.
+  std::vector<nal::Formula> unique;
+  for (const BatchItem& item : items) {
+    // Items CheckImpl short-circuits (no goal, trivially-true goal, no
+    // proof) never reach proof checking serially; consulting their leaves
+    // here would create consultations the serial path cannot produce.
+    if (item.goal == nullptr || item.goal->kind() == nal::FormulaKind::kTrue ||
+        item.proof == nullptr) {
+      continue;
+    }
+    std::vector<nal::Formula> leaves = nal::AuthorityLeaves(item.proof);
+    size_t considered = std::min(leaves.size(), kMaxPrefetchLeavesPerProof);
+    for (size_t i = 0; i < considered; ++i) {
+      const nal::Formula& leaf = leaves[i];
+      if (memo->Contains(leaf)) {
+        ++stats_.batch_collapsed_queries;
+        continue;
+      }
+      memo->Insert(leaf, false);  // Reserve; answered below.
+      unique.push_back(leaf);
+    }
+  }
+
+  // Per-remote-authority coalescing: every statement bound for one remote
+  // peer travels in a single VouchBatch round trip.
+  std::map<Authority*, std::vector<nal::Formula>> remote_groups;
+  for (const nal::Formula& statement : unique) {
+    ++stats_.authority_queries;
+    bool handled = false;
+    bool answer = ResolveLocalAuthority(statement, &handled);
+    if (handled) {
+      memo->Insert(statement, answer);
+      continue;
+    }
+    if (Authority* remote = RemoteAuthorityFor(statement)) {
+      remote_groups[remote].push_back(statement);
+    }
+    // else: no authority evaluates it; the reserved `false` stands.
+  }
+  for (auto& [remote, statements] : remote_groups) {
+    ++stats_.remote_queries;  // One attested round trip for the whole group.
+    std::vector<bool> answers =
+        remote->VouchBatch(statements, config_.remote_query_timeout_us);
+    for (size_t i = 0; i < statements.size(); ++i) {
+      memo->Insert(statements[i], i < answers.size() && answers[i]);
+    }
+  }
+}
+
+void Guard::InsertCacheEntry(kernel::ProcessId quota_root, const CacheKey& key,
                              bool verdict) {
   auto evict = [this](std::list<CacheEntry>::iterator it) {
     root_usage_[it->quota_root] -= 1;
@@ -98,26 +198,32 @@ void Guard::InsertCacheEntry(kernel::ProcessId quota_root, const std::string& ke
   root_usage_[quota_root] += 1;
 }
 
-kernel::AuthorizationEngine::Verdict Guard::Check(
-    kernel::ProcessId subject, const std::string& operation, const std::string& object,
-    const nal::Formula& goal, const nal::Proof& proof,
-    const std::vector<nal::Formula>& credentials, uint64_t state_version) {
+AuthzDecision Guard::Check(const AuthzRequest& request, const nal::Formula& goal,
+                           const nal::Proof& proof,
+                           const std::vector<nal::Formula>& credentials,
+                           uint64_t state_version, nal::FormulaId goal_id) {
+  return CheckImpl(request, goal, goal_id, proof, credentials, state_version, nullptr);
+}
+
+AuthzDecision Guard::CheckImpl(const AuthzRequest& request, const nal::Formula& goal,
+                               nal::FormulaId goal_id, const nal::Proof& proof,
+                               const std::vector<nal::Formula>& credentials,
+                               uint64_t state_version, const AuthorityMemo* memo) {
   ++stats_.checks;
-  (void)operation;
-  (void)object;
 
   if (goal == nullptr) {
-    return {Internal("guard invoked without a goal"), false};
+    return AuthzDecision::Deny(Internal("guard invoked without a goal"), false);
   }
   if (goal->kind() == nal::FormulaKind::kTrue) {
-    return {OkStatus(), true};
+    return AuthzDecision::Allow();
   }
   if (proof == nullptr) {
-    return {PermissionDenied("no proof supplied for goal " + goal->ToString()), true};
+    return AuthzDecision::Deny(
+        PermissionDenied("no proof supplied for goal " + goal->ToString()), true);
   }
 
-  kernel::ProcessId quota_root = subject;
-  if (Result<const kernel::Process*> p = kernel_->GetProcess(subject); p.ok()) {
+  kernel::ProcessId quota_root = request.subject;
+  if (Result<const kernel::Process*> p = kernel_->GetProcess(request.subject); p.ok()) {
     quota_root = (*p)->quota_root;
   }
 
@@ -126,23 +232,33 @@ kernel::AuthorizationEngine::Verdict Guard::Check(
   // what ties a cached verdict to the credential set it was checked under).
   bool static_proof = nal::IsStaticallyCacheable(proof);
   bool may_cache = static_proof && state_version != 0;
-  std::string cache_key;
+  CacheKey cache_key;
   if (may_cache) {
-    cache_key = goal->ToString();
-    cache_key.push_back('\x1f');
-    cache_key += std::to_string(reinterpret_cast<uintptr_t>(proof.get()));
-    cache_key.push_back('\x1f');
-    cache_key += std::to_string(state_version);
+    if (goal_id == nal::kInvalidFormulaId) {
+      // Pointer-memoized in the interner: goals stored canonically (the
+      // GoalStore interns on SetGoal) cost one hash-map probe here.
+      goal_id = nal::Interner::Global().Intern(goal);
+    }
+    cache_key = CacheKey{goal_id, reinterpret_cast<uintptr_t>(proof.get()), state_version};
     auto it = cache_index_.find(cache_key);
     if (it != cache_index_.end()) {
       ++stats_.cache_hits;
       lru_.splice(lru_.begin(), lru_, it->second);  // LRU refresh.
       bool allowed = it->second->verdict;
-      return {allowed ? OkStatus() : PermissionDenied("denied (cached proof verdict)"), true};
+      return allowed ? AuthzDecision::Allow()
+                     : AuthzDecision::Deny(PermissionDenied("denied (cached proof verdict)"),
+                                           true);
     }
   }
 
-  nal::AuthorityCallback authority = [this](const nal::Formula& f) {
+  uint32_t consulted = 0;
+  nal::AuthorityCallback authority = [this, memo, &consulted](const nal::Formula& f) {
+    ++consulted;
+    if (memo != nullptr) {
+      if (const bool* answer = memo->Find(f)) {
+        return *answer;  // Prefetched batch-wide; consumed, not stored.
+      }
+    }
     return QueryAuthorities(f);
   };
   nal::CheckResult result = nal::CheckProof(proof, goal, credentials, authority);
@@ -153,10 +269,27 @@ kernel::AuthorizationEngine::Verdict Guard::Check(
   if (may_cache && !result.missing_credential) {
     InsertCacheEntry(quota_root, cache_key, result.status.ok());
   }
-  return {result.status, verdict_cacheable};
+  AuthzDecision decision = AuthzDecision::FromStatus(result.status, verdict_cacheable);
+  decision.consulted_authorities = consulted;
+  return decision;
+}
+
+std::vector<AuthzDecision> Guard::CheckBatch(std::span<const BatchItem> items) {
+  AuthorityMemo memo;
+  PrefetchAuthorities(items, &memo);
+  std::vector<AuthzDecision> decisions;
+  decisions.reserve(items.size());
+  for (const BatchItem& item : items) {
+    decisions.push_back(CheckImpl(item.request, item.goal, item.goal_id, item.proof,
+                                  item.credentials, item.state_version, &memo));
+  }
+  return decisions;
 }
 
 void Guard::FlushCache() {
+  // All three structures drop together: a stale root_usage_ survivor would
+  // wrongly trigger quota eviction on the next fill (§2.9 quotas count live
+  // entries, not history).
   lru_.clear();
   cache_index_.clear();
   root_usage_.clear();
@@ -206,9 +339,9 @@ kernel::IpcReply GuardPortHandler::Handle(const kernel::IpcContext& context,
     start = end + 1;
   }
 
-  kernel::AuthorizationEngine::Verdict verdict =
-      guard_->Check(subject, operation, object, goal->goal, *proof, credentials);
-  return kernel::IpcReply{verdict.status, {}, {}, verdict.cacheable ? 1 : 0};
+  AuthzDecision decision = guard_->Check(AuthzRequest::Of(subject, operation, object),
+                                         goal->goal, *proof, credentials);
+  return kernel::IpcReply{decision.ToStatus(), {}, {}, decision.cacheable ? 1 : 0};
 }
 
 }  // namespace nexus::core

@@ -1,26 +1,36 @@
 // Guards (§2.6, §2.9).
 //
-// A guard receives (subject, operation, object, proof, labels), checks the
+// A guard receives an AuthzRequest plus (goal, proof, labels), checks the
 // proof against the goal formula, authenticates the credentials, consults
-// authorities for dynamic-state leaves, and answers allow/deny plus a
-// cacheability bit. Proof checking is amortized by an internal cache keyed
-// on (goal, proof, credential set): entries are sound to reuse because
+// authorities for dynamic-state leaves, and answers an AuthzDecision
+// (allow/deny, a cacheability bit, and accounting). Proof checking is
+// amortized by an internal cache keyed on the interned goal identity, the
+// proof object, and the caller's state-version stamp — integer tuples, no
+// ToString() anywhere on the hot path. Entries are sound to reuse because
 // labels are valid indefinitely; only authority consultations are repeated.
 // Eviction preferentially removes the requesting principal's own entries
 // and per-process-tree quotas bound the damage of principal-spawning
 // exhaustion attacks.
+//
+// CheckBatch evaluates many requests at once: authority leaves are
+// prefetched across the whole batch, identical queries are collapsed to
+// one consultation, and all statements bound for one remote authority
+// travel in a single VouchBatch round trip instead of N.
 #ifndef NEXUS_CORE_GUARD_H_
 #define NEXUS_CORE_GUARD_H_
 
 #include <list>
 #include <map>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/authority.h"
 #include "core/goalstore.h"
 #include "kernel/kernel.h"
 #include "nal/checker.h"
+#include "nal/interner.h"
 
 namespace nexus::core {
 
@@ -38,8 +48,24 @@ class Guard {
     uint64_t checks = 0;
     uint64_t cache_hits = 0;
     uint64_t authority_queries = 0;
+    // Remote round trips: one per serial consultation, one per VouchBatch
+    // (however many statements it carried).
     uint64_t remote_queries = 0;
     uint64_t evictions = 0;
+    // Batch accounting: consultations saved by collapsing duplicate
+    // authority queries within a batch.
+    uint64_t batch_collapsed_queries = 0;
+  };
+
+  // One unit of batched guard work: the request tuple plus everything the
+  // engine resolved for it.
+  struct BatchItem {
+    kernel::AuthzRequest request;
+    nal::Formula goal;
+    nal::FormulaId goal_id = nal::kInvalidFormulaId;  // Optional; interned if absent.
+    nal::Proof proof;
+    std::vector<nal::Formula> credentials;
+    uint64_t state_version = 0;
   };
 
   explicit Guard(kernel::Kernel* kernel);
@@ -58,16 +84,37 @@ class Guard {
   // Full guard evaluation. `proof` may be null (denied unless the goal is
   // `true`). `state_version` is a monotonic stamp covering everything a
   // cached verdict depends on besides the proof object itself (label stores,
-  // proof registrations); the proof-check cache is keyed on (goal, proof
-  // identity, state_version), so any credential or proof change invalidates
-  // dependent entries without hashing the credential set per call. Pass 0
-  // to disable verdict caching for this check.
-  kernel::AuthorizationEngine::Verdict Check(kernel::ProcessId subject,
-                                             const std::string& operation,
-                                             const std::string& object,
-                                             const nal::Formula& goal, const nal::Proof& proof,
-                                             const std::vector<nal::Formula>& credentials,
-                                             uint64_t state_version = 0);
+  // proof registrations); the proof-check cache is keyed on (goal identity,
+  // proof identity, state_version), so any credential or proof change
+  // invalidates dependent entries without hashing the credential set per
+  // call. Pass 0 to disable verdict caching for this check.
+  // `goal_id` is the goal's interned identity if the caller already has it
+  // (GoalEntry carries one); kInvalidFormulaId makes the guard intern.
+  kernel::AuthzDecision Check(const kernel::AuthzRequest& request, const nal::Formula& goal,
+                              const nal::Proof& proof,
+                              const std::vector<nal::Formula>& credentials,
+                              uint64_t state_version = 0,
+                              nal::FormulaId goal_id = nal::kInvalidFormulaId);
+  // Legacy string surface: interns and forwards.
+  kernel::AuthzDecision Check(kernel::ProcessId subject, const std::string& operation,
+                              const std::string& object, const nal::Formula& goal,
+                              const nal::Proof& proof,
+                              const std::vector<nal::Formula>& credentials,
+                              uint64_t state_version = 0) {
+    return Check(kernel::AuthzRequest::Of(subject, operation, object), goal, proof,
+                 credentials, state_version);
+  }
+
+  // Batched evaluation. Verdict-equivalent to calling Check per item;
+  // authority consultations are deduplicated batch-wide and remote
+  // consultations are coalesced into one VouchBatch round trip per remote
+  // authority. The consultation SET may exceed serial's: leaves are
+  // prefetched eagerly (bounded per proof), so a proof that serial
+  // checking would abandon early still has its first leaves consulted —
+  // answers affect nothing beyond what the per-check callback reads.
+  // Authority answers stay decision-scoped: the batch memo lives exactly
+  // as long as this call (§2.7 untransferability).
+  std::vector<kernel::AuthzDecision> CheckBatch(std::span<const BatchItem> items);
 
   const Stats& stats() const { return stats_; }
   void FlushCache();
@@ -80,8 +127,57 @@ class Guard {
   uint64_t remote_query_timeout_us() const { return config_.remote_query_timeout_us; }
 
  private:
+  // Proof-check cache key: three integers. FormulaId makes goal equality
+  // O(1); the proof participates by object identity (clients re-submit the
+  // same proof object, and SetProof bumps the state version otherwise).
+  struct CacheKey {
+    nal::FormulaId goal_id = nal::kInvalidFormulaId;
+    uintptr_t proof = 0;
+    uint64_t state_version = 0;
+    friend auto operator<=>(const CacheKey&, const CacheKey&) = default;
+  };
+
+  // Batch-scope memo of authority answers, keyed by structural hash with
+  // Equals() confirmation. Deliberately NOT the global interner: proof
+  // leaves are subject-supplied, and interning them would let SetProof
+  // spam grow the append-only interner without bound. The memo dies with
+  // the batch (§2.7 untransferability).
+  class AuthorityMemo {
+   public:
+    // The memoized answer, or nullptr if this statement was never seen.
+    // The pointer is invalidated by the next Insert; consume immediately.
+    const bool* Find(const nal::Formula& statement) const;
+    // Records the answer for `statement` (overwrites an existing slot).
+    void Insert(const nal::Formula& statement, bool answer);
+    bool Contains(const nal::Formula& statement) const {
+      return Find(statement) != nullptr;
+    }
+
+   private:
+    struct Entry {
+      nal::Formula statement;
+      bool answer;
+    };
+    std::unordered_map<uint64_t, std::vector<Entry>> buckets_;
+  };
+
   bool QueryAuthorities(const nal::Formula& statement);
-  void InsertCacheEntry(kernel::ProcessId quota_root, const std::string& key, bool verdict);
+  // Embedded + IPC-port authorities. Sets *handled; the answer is valid
+  // only when *handled is true.
+  bool ResolveLocalAuthority(const nal::Formula& statement, bool* handled);
+  // The remote authority that would evaluate `statement`, if any.
+  Authority* RemoteAuthorityFor(const nal::Formula& statement);
+  // Resolves every authority leaf in `items` into `memo`, collapsing
+  // duplicates and batching per-remote-authority round trips.
+  void PrefetchAuthorities(std::span<const BatchItem> items, AuthorityMemo* memo);
+
+  kernel::AuthzDecision CheckImpl(const kernel::AuthzRequest& request,
+                                  const nal::Formula& goal, nal::FormulaId goal_id,
+                                  const nal::Proof& proof,
+                                  const std::vector<nal::Formula>& credentials,
+                                  uint64_t state_version, const AuthorityMemo* memo);
+
+  void InsertCacheEntry(kernel::ProcessId quota_root, const CacheKey& key, bool verdict);
 
   kernel::Kernel* kernel_;
   Config config_;
@@ -90,13 +186,13 @@ class Guard {
   std::vector<Authority*> remote_authorities_;
 
   struct CacheEntry {
-    std::string key;
+    CacheKey key;
     bool verdict;
     kernel::ProcessId quota_root;
   };
   // LRU list + index. Sized in entries; all state is soft (§2.9).
   std::list<CacheEntry> lru_;
-  std::map<std::string, std::list<CacheEntry>::iterator> cache_index_;
+  std::map<CacheKey, std::list<CacheEntry>::iterator> cache_index_;
   std::map<kernel::ProcessId, size_t> root_usage_;
   Stats stats_;
 };

@@ -3,8 +3,10 @@
 namespace nexus::core {
 
 LabelHandle LabelStore::Insert(const nal::Principal& speaker, const nal::Formula& statement) {
+  nal::Interner& interner = nal::Interner::Global();
+  nal::FormulaId id = interner.Intern(nal::FormulaNode::Says(speaker, statement));
   LabelHandle handle = next_handle_++;
-  labels_[handle] = nal::FormulaNode::Says(speaker, statement);
+  labels_[handle] = Label{interner.Resolve(id), id};
   ++version_;
   return handle;
 }
@@ -16,8 +18,10 @@ Result<LabelHandle> LabelStore::InsertLabel(const nal::Formula& says_formula) {
   if (!nal::IsGround(says_formula)) {
     return InvalidArgument("labels must be ground formulas");
   }
+  nal::Interner& interner = nal::Interner::Global();
+  nal::FormulaId id = interner.Intern(says_formula);
   LabelHandle handle = next_handle_++;
-  labels_[handle] = says_formula;
+  labels_[handle] = Label{interner.Resolve(id), id};
   ++version_;
   return handle;
 }
@@ -27,7 +31,12 @@ Result<nal::Formula> LabelStore::Get(LabelHandle handle) const {
   if (it == labels_.end()) {
     return NotFound("no such label");
   }
-  return it->second;
+  return it->second.formula;
+}
+
+nal::FormulaId LabelStore::IdOf(LabelHandle handle) const {
+  auto it = labels_.find(handle);
+  return it == labels_.end() ? nal::kInvalidFormulaId : it->second.id;
 }
 
 Status LabelStore::Delete(LabelHandle handle) {
@@ -43,7 +52,10 @@ Status LabelStore::Transfer(LabelHandle handle, LabelStore& destination) {
   if (it == labels_.end()) {
     return NotFound("no such label");
   }
-  destination.InsertLabel(it->second).status();  // Ground says-formula: cannot fail.
+  // Both stores' version counters advance (destination via InsertLabel):
+  // cached guard verdicts that depended on either credential set are
+  // invalidated by their state-version stamps.
+  destination.InsertLabel(it->second.formula).status();  // Ground says-formula: cannot fail.
   labels_.erase(it);
   ++version_;
   return OkStatus();
@@ -52,8 +64,8 @@ Status LabelStore::Transfer(LabelHandle handle, LabelStore& destination) {
 std::vector<nal::Formula> LabelStore::All() const {
   std::vector<nal::Formula> out;
   out.reserve(labels_.size());
-  for (const auto& [handle, f] : labels_) {
-    out.push_back(f);
+  for (const auto& [handle, label] : labels_) {
+    out.push_back(label.formula);
   }
   return out;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "nal/formula.h"
+#include "nal/interner.h"
 #include "util/status.h"
 
 namespace nexus::core {
@@ -25,13 +26,17 @@ using LabelHandle = uint64_t;
 class LabelStore {
  public:
   // Records `speaker says statement`. The caller (engine) has already
-  // authenticated the speaker.
+  // authenticated the speaker. Labels are hash-consed: the stored formula
+  // is the canonical interned node, so identical statements inserted into
+  // any store share one tree and one FormulaId.
   LabelHandle Insert(const nal::Principal& speaker, const nal::Formula& statement);
 
   // Inserts an already-formed says-formula (certificate import, transfers).
   Result<LabelHandle> InsertLabel(const nal::Formula& says_formula);
 
   Result<nal::Formula> Get(LabelHandle handle) const;
+  // Interned identity of a stored label (kInvalidFormulaId if unknown).
+  nal::FormulaId IdOf(LabelHandle handle) const;
   Status Delete(LabelHandle handle);
 
   // Moves one label into another store (the paper's labelstore-to-
@@ -47,7 +52,11 @@ class LabelStore {
   uint64_t version() const { return version_; }
 
  private:
-  std::map<LabelHandle, nal::Formula> labels_;
+  struct Label {
+    nal::Formula formula;  // Canonical interned node.
+    nal::FormulaId id = nal::kInvalidFormulaId;
+  };
+  std::map<LabelHandle, Label> labels_;
   LabelHandle next_handle_ = 1;
   uint64_t version_ = 0;
 };

@@ -64,6 +64,9 @@ void Sha1::ProcessBlock(const uint8_t* block) {
 
 void Sha1::Update(ByteView data) {
   total_bits_ += static_cast<uint64_t>(data.size()) * 8;
+  if (data.empty()) {
+    return;  // An empty view may carry a null data(); memcpy forbids it.
+  }
   size_t offset = 0;
   if (buffer_len_ > 0) {
     size_t take = std::min(data.size(), sizeof(buffer_) - buffer_len_);

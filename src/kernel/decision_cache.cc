@@ -4,21 +4,20 @@ namespace nexus::kernel {
 
 namespace {
 
-// FNV-1a over a string, folded with a seed.
-uint64_t HashString(std::string_view s, uint64_t seed) {
-  uint64_t h = seed ^ 0xcbf29ce484222325ULL;
-  for (char c : s) {
-    h ^= static_cast<uint8_t>(c);
-    h *= 0x100000001b3ULL;
-  }
-  return h;
+// Integer mixing (splitmix64 finalizer): the whole point of interned keys
+// is that this replaces byte-wise string hashing on every syscall.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
 }
 
-uint64_t HashTuple(ProcessId subject, std::string_view operation, std::string_view object) {
-  uint64_t h = HashString(operation, 0x9e3779b97f4a7c15ULL);
-  h = HashString(object, h);
-  h ^= subject + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  return h;
+uint64_t HashTuple(const AuthzRequest& r) {
+  uint64_t packed = (static_cast<uint64_t>(r.op) << 32) | r.obj;
+  return Mix64(packed ^ Mix64(r.subject + 0x9e3779b97f4a7c15ULL));
 }
 
 }  // namespace
@@ -38,25 +37,23 @@ void DecisionCache::Clear() {
   }
 }
 
-size_t DecisionCache::SubregionIndex(std::string_view operation, std::string_view object) const {
+size_t DecisionCache::SubregionIndex(OpId op, ObjectId obj) const {
   // Subject deliberately excluded: all entries for one (operation, object)
   // land in the same subregion so setgoal invalidation is one memset.
-  uint64_t h = HashString(operation, 0x51ed270b0a1ce16dULL);
-  h = HashString(object, h);
-  return static_cast<size_t>(h % config_.num_subregions);
+  uint64_t packed = (static_cast<uint64_t>(op) << 32) | obj;
+  return static_cast<size_t>(Mix64(packed) % config_.num_subregions);
 }
 
-DecisionCache::Entry* DecisionCache::Find(ProcessId subject, std::string_view operation,
-                                          std::string_view object) {
-  size_t sub = SubregionIndex(operation, object);
-  uint64_t key = HashTuple(subject, operation, object);
+DecisionCache::Entry* DecisionCache::Find(const AuthzRequest& request) {
+  size_t sub = SubregionIndex(request.op, request.obj);
+  uint64_t key = HashTuple(request);
   size_t base = sub * config_.entries_per_subregion;
   size_t start = static_cast<size_t>(key % config_.entries_per_subregion);
   // Linear probe within the subregion.
   for (size_t i = 0; i < config_.entries_per_subregion; ++i) {
     Entry& e = entries_[base + (start + i) % config_.entries_per_subregion];
-    if (e.valid && e.key_hash == key && e.subject == subject && e.operation == operation &&
-        e.object == object) {
+    if (e.valid && e.subject == request.subject && e.op == request.op &&
+        e.obj == request.obj) {
       return &e;
     }
     if (!e.valid) {
@@ -66,9 +63,8 @@ DecisionCache::Entry* DecisionCache::Find(ProcessId subject, std::string_view op
   return nullptr;
 }
 
-std::optional<bool> DecisionCache::Lookup(ProcessId subject, std::string_view operation,
-                                          std::string_view object) {
-  Entry* e = Find(subject, operation, object);
+std::optional<bool> DecisionCache::Lookup(const AuthzRequest& request) {
+  Entry* e = Find(request);
   if (e == nullptr) {
     ++stats_.misses;
     return std::nullopt;
@@ -77,17 +73,16 @@ std::optional<bool> DecisionCache::Lookup(ProcessId subject, std::string_view op
   return e->allow;
 }
 
-void DecisionCache::Insert(ProcessId subject, std::string_view operation,
-                           std::string_view object, bool allow) {
-  size_t sub = SubregionIndex(operation, object);
-  uint64_t key = HashTuple(subject, operation, object);
+void DecisionCache::Insert(const AuthzRequest& request, bool allow) {
+  size_t sub = SubregionIndex(request.op, request.obj);
+  uint64_t key = HashTuple(request);
   size_t base = sub * config_.entries_per_subregion;
   size_t start = static_cast<size_t>(key % config_.entries_per_subregion);
   Entry* victim = nullptr;
   for (size_t i = 0; i < config_.entries_per_subregion; ++i) {
     Entry& e = entries_[base + (start + i) % config_.entries_per_subregion];
-    if (e.valid && e.key_hash == key && e.subject == subject && e.operation == operation &&
-        e.object == object) {
+    if (e.valid && e.subject == request.subject && e.op == request.op &&
+        e.obj == request.obj) {
       victim = &e;  // Update in place.
       break;
     }
@@ -102,24 +97,22 @@ void DecisionCache::Insert(ProcessId subject, std::string_view operation,
   }
   victim->valid = true;
   victim->allow = allow;
-  victim->key_hash = key;
-  victim->subject = subject;
-  victim->operation = std::string(operation);
-  victim->object = std::string(object);
+  victim->subject = request.subject;
+  victim->op = request.op;
+  victim->obj = request.obj;
   ++stats_.insertions;
 }
 
-void DecisionCache::InvalidateEntry(ProcessId subject, std::string_view operation,
-                                    std::string_view object) {
+void DecisionCache::InvalidateEntry(const AuthzRequest& request) {
   // A tombstone-free open-addressed table cannot simply clear one slot
   // without breaking probe chains, so invalidate by rewriting the chain:
   // cheapest correct option at this scale is clearing the subregion slice
   // holding the key's probe chain up to the entry.
-  Entry* e = Find(subject, operation, object);
+  Entry* e = Find(request);
   if (e != nullptr) {
     // Clearing the entry may orphan later probes; clear the whole subregion
     // chain conservatively (bounded by entries_per_subregion).
-    size_t sub = SubregionIndex(operation, object);
+    size_t sub = SubregionIndex(request.op, request.obj);
     size_t base = sub * config_.entries_per_subregion;
     for (size_t i = 0; i < config_.entries_per_subregion; ++i) {
       entries_[base + i].valid = false;
@@ -128,8 +121,8 @@ void DecisionCache::InvalidateEntry(ProcessId subject, std::string_view operatio
   }
 }
 
-void DecisionCache::InvalidateSubregion(std::string_view operation, std::string_view object) {
-  size_t sub = SubregionIndex(operation, object);
+void DecisionCache::InvalidateSubregion(OpId op, ObjectId obj) {
+  size_t sub = SubregionIndex(op, obj);
   size_t base = sub * config_.entries_per_subregion;
   for (size_t i = 0; i < config_.entries_per_subregion; ++i) {
     entries_[base + i].valid = false;

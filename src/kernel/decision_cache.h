@@ -1,7 +1,9 @@
 // The kernel decision cache (§2.8).
 //
 // Caches guard verdicts keyed by the access-control tuple (subject,
-// operation, object). Two invalidation granularities exist:
+// operation, object). The tuple is interned: lookups hash three integers,
+// never strings (string-taking overloads intern-and-forward). Two
+// invalidation granularities exist:
 //   - a proof update clears the single affected entry;
 //   - a setgoal may affect many entries, so the hash function places all
 //     entries with the same (operation, object) into the same *subregion*
@@ -39,19 +41,32 @@ class DecisionCache {
   explicit DecisionCache(const Config& config);
 
   // Returns the cached verdict, if any.
+  std::optional<bool> Lookup(const AuthzRequest& request);
   std::optional<bool> Lookup(ProcessId subject, std::string_view operation,
-                             std::string_view object);
+                             std::string_view object) {
+    return Lookup(AuthzRequest::Of(subject, operation, object));
+  }
 
   // Records a verdict (only cacheable decisions should be inserted).
+  void Insert(const AuthzRequest& request, bool allow);
   void Insert(ProcessId subject, std::string_view operation, std::string_view object,
-              bool allow);
+              bool allow) {
+    Insert(AuthzRequest::Of(subject, operation, object), allow);
+  }
 
   // Proof update: clears the single matching entry.
-  void InvalidateEntry(ProcessId subject, std::string_view operation, std::string_view object);
+  void InvalidateEntry(const AuthzRequest& request);
+  void InvalidateEntry(ProcessId subject, std::string_view operation,
+                       std::string_view object) {
+    InvalidateEntry(AuthzRequest::Of(subject, operation, object));
+  }
 
   // setgoal: clears the subregion holding all entries for (operation,
   // object).
-  void InvalidateSubregion(std::string_view operation, std::string_view object);
+  void InvalidateSubregion(OpId op, ObjectId obj);
+  void InvalidateSubregion(std::string_view operation, std::string_view object) {
+    InvalidateSubregion(InternOp(operation), InternObject(object));
+  }
 
   // Drops everything (the cache is soft state; this is always safe).
   void Clear();
@@ -66,14 +81,13 @@ class DecisionCache {
   struct Entry {
     bool valid = false;
     bool allow = false;
-    uint64_t key_hash = 0;
     ProcessId subject = 0;
-    std::string operation;
-    std::string object;
+    OpId op = 0;
+    ObjectId obj = 0;
   };
 
-  size_t SubregionIndex(std::string_view operation, std::string_view object) const;
-  Entry* Find(ProcessId subject, std::string_view operation, std::string_view object);
+  size_t SubregionIndex(OpId op, ObjectId obj) const;
+  Entry* Find(const AuthzRequest& request);
 
   Config config_;
   std::vector<Entry> entries_;  // num_subregions * entries_per_subregion.

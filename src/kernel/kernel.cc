@@ -407,32 +407,62 @@ IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& messag
 
 // ---------------------------------------------------------- Authorization
 
-Status Kernel::Authorize(ProcessId subject, const std::string& operation,
-                         const std::string& object) {
+Status Kernel::Authorize(const AuthzRequest& request) {
   if (engine_ == nullptr) {
     return OkStatus();  // Authorization disabled (Fig. 4 case "system call").
   }
   if (decision_cache_enabled_) {
-    std::optional<bool> cached = decision_cache_.Lookup(subject, operation, object);
+    std::optional<bool> cached = decision_cache_.Lookup(request);
     if (cached.has_value()) {
       return *cached ? OkStatus()
                      : PermissionDenied("denied (cached guard decision)");
     }
   }
-  AuthorizationEngine::Verdict verdict = engine_->Authorize(subject, operation, object);
-  if (decision_cache_enabled_ && verdict.cacheable) {
-    decision_cache_.Insert(subject, operation, object, verdict.status.ok());
+  AuthzDecision decision = engine_->Authorize(request);
+  if (decision_cache_enabled_ && decision.cacheable) {
+    decision_cache_.Insert(request, decision.allowed());
   }
-  return verdict.status;
+  return decision.ToStatus();
 }
 
-void Kernel::OnProofUpdate(ProcessId subject, const std::string& operation,
-                           const std::string& object) {
-  decision_cache_.InvalidateEntry(subject, operation, object);
+std::vector<Status> Kernel::AuthorizeBatch(std::span<const AuthzRequest> requests) {
+  std::vector<Status> results(requests.size());
+  if (engine_ == nullptr) {
+    return results;  // Value-initialized Status is OK.
+  }
+  std::vector<AuthzRequest> misses;
+  std::vector<size_t> miss_slots;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (decision_cache_enabled_) {
+      std::optional<bool> cached = decision_cache_.Lookup(requests[i]);
+      if (cached.has_value()) {
+        results[i] =
+            *cached ? OkStatus() : PermissionDenied("denied (cached guard decision)");
+        continue;
+      }
+    }
+    misses.push_back(requests[i]);
+    miss_slots.push_back(i);
+  }
+  if (misses.empty()) {
+    return results;
+  }
+  std::vector<AuthzDecision> decisions = engine_->AuthorizeBatch(misses);
+  for (size_t j = 0; j < misses.size(); ++j) {
+    if (decision_cache_enabled_ && decisions[j].cacheable) {
+      decision_cache_.Insert(misses[j], decisions[j].allowed());
+    }
+    results[miss_slots[j]] = decisions[j].ToStatus();
+  }
+  return results;
 }
 
-void Kernel::OnGoalUpdate(const std::string& operation, const std::string& object) {
-  decision_cache_.InvalidateSubregion(operation, object);
+void Kernel::OnProofUpdate(const AuthzRequest& request) {
+  decision_cache_.InvalidateEntry(request);
+}
+
+void Kernel::OnGoalUpdate(OpId op, ObjectId obj) {
+  decision_cache_.InvalidateSubregion(op, obj);
 }
 
 void Kernel::ReplaceScheduler(std::unique_ptr<Scheduler> scheduler) {

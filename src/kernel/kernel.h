@@ -16,6 +16,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -48,17 +49,23 @@ class Interceptor {
 };
 
 // The upcall interface to the guard layer (implemented in src/core). The
-// kernel consults it only on decision-cache misses.
+// kernel consults it only on decision-cache misses. Requests and decisions
+// are the interned AuthzRequest/AuthzDecision types from kernel/types.h.
 class AuthorizationEngine {
  public:
-  struct Verdict {
-    Status status;          // OK = allow
-    bool cacheable = true;  // guard's cacheability bit (§2.8)
-  };
-
   virtual ~AuthorizationEngine() = default;
-  virtual Verdict Authorize(ProcessId subject, const std::string& operation,
-                            const std::string& object) = 0;
+  virtual AuthzDecision Authorize(const AuthzRequest& request) = 0;
+  // Batched evaluation: implementations may amortize credential collection
+  // and deduplicate authority consultations across the batch. The default
+  // is the serial loop.
+  virtual std::vector<AuthzDecision> AuthorizeBatch(std::span<const AuthzRequest> requests) {
+    std::vector<AuthzDecision> decisions;
+    decisions.reserve(requests.size());
+    for (const AuthzRequest& request : requests) {
+      decisions.push_back(Authorize(request));
+    }
+    return decisions;
+  }
 };
 
 struct Process {
@@ -142,12 +149,30 @@ class Kernel {
   DecisionCache& decision_cache() { return decision_cache_; }
 
   // The guarded-operation fast path: decision cache, then guard upcall.
-  Status Authorize(ProcessId subject, const std::string& operation, const std::string& object);
+  // The interned form is the hot path; the string form interns and
+  // forwards. It MUST intern (not Find): unknown names still reach the
+  // pluggable engine, whose policy for them is its own (a deny-all engine
+  // denies names nobody ever registered). The cost — novel names grow the
+  // append-only tables — is recorded in ROADMAP "Name-table quotas".
+  Status Authorize(const AuthzRequest& request);
+  Status Authorize(ProcessId subject, std::string_view operation, std::string_view object) {
+    return Authorize(AuthzRequest::Of(subject, operation, object));
+  }
+  // Batched fast path: cache hits answered inline, misses forwarded to the
+  // engine's AuthorizeBatch in one upcall (which deduplicates authority
+  // consultations), cacheable verdicts inserted on the way out.
+  std::vector<Status> AuthorizeBatch(std::span<const AuthzRequest> requests);
 
   // Invalidation entry points, called by the core layer when proofs or
   // goals change (§2.8).
-  void OnProofUpdate(ProcessId subject, const std::string& operation, const std::string& object);
-  void OnGoalUpdate(const std::string& operation, const std::string& object);
+  void OnProofUpdate(const AuthzRequest& request);
+  void OnProofUpdate(ProcessId subject, std::string_view operation, std::string_view object) {
+    OnProofUpdate(AuthzRequest::Of(subject, operation, object));
+  }
+  void OnGoalUpdate(OpId op, ObjectId obj);
+  void OnGoalUpdate(std::string_view operation, std::string_view object) {
+    OnGoalUpdate(InternOp(operation), InternObject(object));
+  }
 
   // ----------------------------------------------------------- Services
   IntrospectionFs& procfs() { return procfs_; }

@@ -1,0 +1,15 @@
+#include "kernel/types.h"
+
+namespace nexus::kernel {
+
+NameTable& OpTable() {
+  static NameTable* table = new NameTable();
+  return *table;
+}
+
+NameTable& ObjectTable() {
+  static NameTable* table = new NameTable();
+  return *table;
+}
+
+}  // namespace nexus::kernel

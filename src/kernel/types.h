@@ -1,9 +1,22 @@
 // Shared identifier types for the Nexus kernel simulation.
+//
+// The authorization hot path is identity-based (§2.8): operations and
+// objects are interned once into dense 32-bit ids, and every cache —
+// the kernel decision cache, the goalstore, the engine's proof registry —
+// keys on integer tuples instead of re-hashing strings per syscall. The
+// string-taking entry points survive as thin shims that intern-and-forward.
 #ifndef NEXUS_KERNEL_TYPES_H_
 #define NEXUS_KERNEL_TYPES_H_
 
 #include <cstdint>
+#include <deque>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
 
 namespace nexus::kernel {
 
@@ -11,6 +24,131 @@ using ProcessId = uint64_t;
 using PortId = uint64_t;
 
 inline constexpr ProcessId kKernelProcessId = 0;
+
+// Interned identities for operation and object names. Id 0 is always the
+// empty string, so value-initialized requests are well-formed.
+using OpId = uint32_t;
+using ObjectId = uint32_t;
+
+// An append-only string intern table: name -> dense id, id -> name.
+// Single-threaded like the rest of the simulation.
+class NameTable {
+ public:
+  NameTable() { Intern(""); }  // Id 0 = "".
+
+  uint32_t Intern(std::string_view name) {
+    auto it = index_.find(name);
+    if (it != index_.end()) {
+      return it->second;
+    }
+    names_.emplace_back(name);
+    uint32_t id = static_cast<uint32_t>(names_.size() - 1);
+    index_.emplace(names_.back(), id);
+    return id;
+  }
+
+  // Lookup without insertion: the id if `name` was ever interned, nullopt
+  // otherwise. Pure read paths (goal/registry queries) use this so probing
+  // with endless novel names cannot grow the append-only table. Paths
+  // that must reach the pluggable engine regardless of the name (the
+  // Authorize string shim) still intern — see ROADMAP "Name-table
+  // quotas" for the planned bound.
+  std::optional<uint32_t> Find(std::string_view name) const {
+    auto it = index_.find(name);
+    if (it == index_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  std::string_view Name(uint32_t id) const {
+    return id < names_.size() ? std::string_view(names_[id]) : std::string_view();
+  }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const { return std::hash<std::string_view>{}(s); }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const { return a == b; }
+  };
+  // deque keeps the strings' addresses stable for the string_view keys.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, uint32_t, Hash, Eq> index_;
+};
+
+// Process-wide intern tables shared by the kernel, engine, and guards (ids
+// are comparable across all of them).
+NameTable& OpTable();
+NameTable& ObjectTable();
+
+inline OpId InternOp(std::string_view operation) { return OpTable().Intern(operation); }
+inline ObjectId InternObject(std::string_view object) { return ObjectTable().Intern(object); }
+inline std::optional<OpId> FindOp(std::string_view operation) {
+  return OpTable().Find(operation);
+}
+inline std::optional<ObjectId> FindObject(std::string_view object) {
+  return ObjectTable().Find(object);
+}
+inline std::string_view OpName(OpId id) { return OpTable().Name(id); }
+inline std::string_view ObjectName(ObjectId id) { return ObjectTable().Name(id); }
+
+// One authorization question: may `subject` perform `op` on `obj`? The
+// interned form is the canonical currency of the authorization stack; the
+// paper's call(sbj, op, obj, ...) tuple with identity semantics.
+struct AuthzRequest {
+  ProcessId subject = kKernelProcessId;
+  OpId op = 0;
+  ObjectId obj = 0;
+
+  static AuthzRequest Of(ProcessId subject, std::string_view operation,
+                         std::string_view object) {
+    return AuthzRequest{subject, InternOp(operation), InternObject(object)};
+  }
+
+  std::string_view operation() const { return OpName(op); }
+  std::string_view object() const { return ObjectName(obj); }
+
+  friend bool operator==(const AuthzRequest&, const AuthzRequest&) = default;
+};
+
+enum class AuthzVerdict : uint8_t { kAllow, kDeny };
+
+// The unified answer type of the authorization stack: engine, guard, and
+// designated-guard port handlers all speak AuthzDecision (it replaces the
+// old bare {Status, cacheable} Verdict pair).
+struct AuthzDecision {
+  AuthzVerdict verdict = AuthzVerdict::kDeny;
+  // The guard's cacheability bit (§2.8): false whenever the decision
+  // depended on dynamic state (authority answers, missing credentials).
+  bool cacheable = true;
+  // Why, when verdict == kDeny; OkStatus() otherwise.
+  Status deny_reason;
+  // How many authority consultations this decision required (embedded,
+  // IPC, and remote all count; a batched remote round trip counts each
+  // statement it answered).
+  uint32_t consulted_authorities = 0;
+
+  bool allowed() const { return verdict == AuthzVerdict::kAllow; }
+
+  // The syscall-surface projection: OK iff allowed.
+  Status ToStatus() const { return allowed() ? OkStatus() : deny_reason; }
+
+  static AuthzDecision Allow(bool cacheable = true) {
+    return AuthzDecision{AuthzVerdict::kAllow, cacheable, OkStatus(), 0};
+  }
+  static AuthzDecision Deny(Status reason, bool cacheable = true) {
+    return AuthzDecision{AuthzVerdict::kDeny, cacheable, std::move(reason), 0};
+  }
+  // Adapts Status-producing code paths: OK = allow.
+  static AuthzDecision FromStatus(Status status, bool cacheable = true) {
+    return status.ok() ? Allow(cacheable) : Deny(std::move(status), cacheable);
+  }
+};
 
 // The system calls measured in Table 1 plus the logical-attestation control
 // calls (§2.2–§2.5, §3.2).

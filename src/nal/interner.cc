@@ -1,0 +1,137 @@
+#include "nal/interner.h"
+
+namespace nexus::nal {
+
+namespace {
+
+inline uint64_t Mix(uint64_t h, uint64_t v) {
+  // splitmix64-style combiner: cheap, and good enough that the interner's
+  // Equals() fallback is exercised only by genuine collisions.
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+uint64_t HashBytes(std::string_view s, uint64_t seed) {
+  uint64_t h = seed ^ 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t HashPrincipal(const Principal& p) {
+  uint64_t h = HashBytes(p.base(), 0x5bd1e995);
+  for (const std::string& tag : p.path()) {
+    h = Mix(h, HashBytes(tag, 0x2545f491));
+  }
+  return h;
+}
+
+uint64_t HashTerm(const Term& t) {
+  // Term equality puns a symbol with a single-component principal of the
+  // same name (see Term::operator==); both must land on the symbol hash.
+  constexpr uint64_t kSymbolSeed = 0x104;
+  uint64_t h = static_cast<uint64_t>(t.kind()) + 0x100;
+  switch (t.kind()) {
+    case TermKind::kInt:
+      return Mix(h, static_cast<uint64_t>(t.int_value()));
+    case TermKind::kString:
+    case TermKind::kVariable:
+      return Mix(h, HashBytes(t.text(), h));
+    case TermKind::kSymbol:
+      return Mix(kSymbolSeed, HashBytes(t.text(), kSymbolSeed));
+    case TermKind::kPrincipal:
+      if (t.principal().path().empty()) {
+        return Mix(kSymbolSeed, HashBytes(t.principal().base(), kSymbolSeed));
+      }
+      return Mix(h, HashPrincipal(t.principal()));
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t StructuralHash(const Formula& f) {
+  if (f == nullptr) {
+    return 0;
+  }
+  uint64_t h = static_cast<uint64_t>(f->kind()) + 0x9000;
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return Mix(h, 1);
+    case FormulaKind::kPred:
+      h = Mix(h, HashBytes(f->pred_name(), h));
+      for (const Term& t : f->args()) {
+        h = Mix(h, HashTerm(t));
+      }
+      return h;
+    case FormulaKind::kCompare:
+      h = Mix(h, static_cast<uint64_t>(f->compare_op()));
+      h = Mix(h, HashTerm(f->lhs()));
+      return Mix(h, HashTerm(f->rhs()));
+    case FormulaKind::kSays:
+      h = Mix(h, HashPrincipal(f->speaker()));
+      return Mix(h, StructuralHash(f->child1()));
+    case FormulaKind::kSpeaksFor:
+      h = Mix(h, HashPrincipal(f->delegator()));
+      h = Mix(h, HashPrincipal(f->delegatee()));
+      if (f->on_scope().has_value()) {
+        h = Mix(h, HashBytes(*f->on_scope(), h));
+      }
+      return h;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+    case FormulaKind::kImplies:
+      h = Mix(h, StructuralHash(f->child1()));
+      return Mix(h, StructuralHash(f->child2()));
+    case FormulaKind::kNot:
+      return Mix(h, StructuralHash(f->child1()));
+  }
+  return h;
+}
+
+FormulaId Interner::Intern(const Formula& f) {
+  if (f == nullptr) {
+    return kInvalidFormulaId;
+  }
+  auto by_ptr = by_pointer_.find(f.get());
+  if (by_ptr != by_pointer_.end()) {
+    return by_ptr->second;
+  }
+  uint64_t hash = StructuralHash(f);
+  std::vector<FormulaId>& bucket = by_hash_[hash];
+  for (FormulaId id : bucket) {
+    if (Equals(formulas_[id - 1], f)) {
+      // Deliberately NOT memoized by pointer: `f` is an alias the interner
+      // does not keep alive, and a freed node's address can be reused by a
+      // different formula later. Only canonical nodes (owned by formulas_,
+      // immortal) are safe pointer-map keys.
+      return id;
+    }
+  }
+  formulas_.push_back(f);
+  FormulaId id = static_cast<FormulaId>(formulas_.size());
+  bucket.push_back(id);
+  by_pointer_[f.get()] = id;  // f is now canonical and owned forever.
+  return id;
+}
+
+Formula Interner::Canonical(const Formula& f) { return Resolve(Intern(f)); }
+
+Formula Interner::Resolve(FormulaId id) const {
+  if (id == kInvalidFormulaId || id > formulas_.size()) {
+    return nullptr;
+  }
+  return formulas_[id - 1];
+}
+
+Interner& Interner::Global() {
+  static Interner* interner = new Interner();
+  return *interner;
+}
+
+}  // namespace nexus::nal

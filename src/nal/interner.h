@@ -1,0 +1,72 @@
+// Hash-consing for NAL formulas (§2.8 made concrete).
+//
+// Repeated authorizations must cost a cache lookup, which means formula
+// identity must cost an integer compare — not a ToString() or a recursive
+// structural walk. The interner assigns every distinct formula a stable
+// FormulaId: structurally equal formulas (built independently, parsed from
+// different strings, arriving over the wire) intern to the same id, so
+// equality is `a == b` on a 64-bit value and cache keys are integer tuples.
+//
+// Interning is memoized two ways:
+//   - by pointer identity for canonical nodes (which the interner owns
+//     forever, so the address is a stable key): re-interning one is a
+//     single hash probe — the common case, since label stores and goal
+//     stores hold canonical nodes;
+//   - by precomputed 64-bit structural hash for everything else: a
+//     structurally-equal stranger lands in the same bucket and is unified
+//     with the canonical node after one Equals() confirmation.
+//
+// The interner is append-only soft state shared by label stores, goal
+// stores, and guard proof-check caches; like the rest of the kernel
+// simulation it is single-threaded by design.
+#ifndef NEXUS_NAL_INTERNER_H_
+#define NEXUS_NAL_INTERNER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "nal/formula.h"
+
+namespace nexus::nal {
+
+// 1-based; 0 never names a formula.
+using FormulaId = uint64_t;
+inline constexpr FormulaId kInvalidFormulaId = 0;
+
+// 64-bit structural hash of a formula (kind, predicate names, terms,
+// principals, children). Equal formulas hash equal; collisions are resolved
+// by Equals() inside the interner.
+uint64_t StructuralHash(const Formula& f);
+
+class Interner {
+ public:
+  // Assigns (or retrieves) the id of the interning class containing `f`.
+  // Null formulas intern to kInvalidFormulaId.
+  FormulaId Intern(const Formula& f);
+
+  // The canonical node for `f`'s interning class. Holding canonical nodes
+  // (instead of whatever copy arrived) makes later interning a pointer
+  // lookup and lets structurally-equal formulas share one tree.
+  Formula Canonical(const Formula& f);
+
+  // The canonical formula for an id; nullptr for unknown/invalid ids.
+  Formula Resolve(FormulaId id) const;
+
+  // Number of distinct interned formulas.
+  size_t size() const { return formulas_.size(); }
+
+  // The process-wide interner used by label stores, goal stores, and
+  // guards. Ids from it are comparable across all of them.
+  static Interner& Global();
+
+ private:
+  std::unordered_map<const FormulaNode*, FormulaId> by_pointer_;
+  // hash -> ids of interned formulas with that structural hash.
+  std::unordered_map<uint64_t, std::vector<FormulaId>> by_hash_;
+  std::vector<Formula> formulas_;  // id - 1 -> canonical node.
+};
+
+}  // namespace nexus::nal
+
+#endif  // NEXUS_NAL_INTERNER_H_

@@ -62,6 +62,28 @@ int ProofNode::Size() const {
   return total;
 }
 
+namespace {
+
+void CollectAuthorityLeaves(const Proof& p, std::vector<Formula>* out) {
+  if (p == nullptr) {
+    return;
+  }
+  if (p->rule() == ProofRule::kAuthority && p->aux() != nullptr) {
+    out->push_back(p->aux());
+  }
+  for (const Proof& child : p->children()) {
+    CollectAuthorityLeaves(child, out);
+  }
+}
+
+}  // namespace
+
+std::vector<Formula> AuthorityLeaves(const Proof& p) {
+  std::vector<Formula> leaves;
+  CollectAuthorityLeaves(p, &leaves);
+  return leaves;
+}
+
 Proof ProofNode::Make(ProofRule rule, std::vector<Proof> children, Formula aux,
                       Principal principal) {
   struct Access : ProofNode {};

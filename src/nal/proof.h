@@ -107,6 +107,11 @@ Proof Handoff(Proof says_speaksfor);
 
 }  // namespace proof
 
+// Collects the statements of every kAuthority leaf in `p` (depth-first,
+// duplicates preserved). Authority leaves are syntactic, so a batch caller
+// can prefetch every consultation a proof will make before checking it.
+std::vector<Formula> AuthorityLeaves(const Proof& p);
+
 // Serializes a proof to a stable s-expression text form, e.g.
 //   (speaksfor-elim (handoff (premise "B says (A speaksfor B)"))
 //                   (premise "A says (ok())"))

@@ -1,26 +1,71 @@
 #include "net/remote_authority.h"
 
 #include "nal/parser.h"
+#include "util/bytes.h"
 
 namespace nexus::net {
 
-AuthorityService::AuthorityService(NetNode* node) : node_(node) {
+Result<Bytes> AuthorityBatchEndpoint::Handle(AttestedChannel& channel, ByteView request) {
+  (void)channel;
+  return parent_->HandleBatch(request);
+}
+
+AuthorityService::AuthorityService(NetNode* node)
+    : node_(node), batch_endpoint_(std::make_unique<AuthorityBatchEndpoint>(this)) {
   node_->RegisterService(std::string(kServiceName), this);
+  node_->RegisterService(std::string(kBatchServiceName), batch_endpoint_.get());
+}
+
+bool AuthorityService::Evaluate(const nal::Formula& statement) {
+  ++queries_served_;
+  for (core::Authority* authority : authorities_) {
+    if (authority->Handles(statement)) {
+      return authority->Vouches(statement);
+    }
+  }
+  return false;  // No local authority evaluates it: deny.
 }
 
 Result<Bytes> AuthorityService::Handle(AttestedChannel& channel, ByteView request) {
   (void)channel;
-  ++queries_served_;
   Result<nal::Formula> statement = nal::ParseFormula(ToString(request));
   Bytes reply(1, 0);  // Default: deny.
   if (!statement.ok()) {
+    ++queries_served_;
     return reply;
   }
-  for (core::Authority* authority : authorities_) {
-    if (authority->Handles(*statement)) {
-      reply[0] = authority->Vouches(*statement) ? 1 : 0;
-      break;
+  reply[0] = Evaluate(*statement) ? 1 : 0;
+  return reply;
+}
+
+Result<Bytes> AuthorityService::HandleBatch(ByteView request) {
+  // Wire format: u32 count, then `count` length-prefixed statement texts.
+  // Reply: `count` verdict bytes. A malformed request denies everything it
+  // claimed to carry (bounded by the declared count).
+  ++batches_served_;
+  ByteReader reader(request);
+  Result<uint32_t> count = reader.ReadU32();
+  if (!count.ok()) {
+    return Bytes{};
+  }
+  // Every statement costs at least its 4-byte length prefix, so a count
+  // the payload cannot possibly carry is malformed — reject before sizing
+  // the reply from an attacker-declared number.
+  if (*count > reader.remaining() / sizeof(uint32_t)) {
+    return Bytes{};
+  }
+  Bytes reply(*count, 0);
+  for (uint32_t i = 0; i < *count; ++i) {
+    Result<Bytes> text = reader.ReadLengthPrefixed();
+    if (!text.ok()) {
+      break;  // Remaining statements stay denied.
     }
+    Result<nal::Formula> statement = nal::ParseFormula(ToString(*text));
+    if (!statement.ok()) {
+      ++queries_served_;
+      continue;
+    }
+    reply[i] = Evaluate(*statement) ? 1 : 0;
   }
   return reply;
 }
@@ -56,6 +101,37 @@ bool RemoteAuthority::VouchesWithin(const nal::Formula& statement, uint64_t time
   bool vouched = !answer->empty() && (*answer)[0] == 1;
   ++(vouched ? stats_.vouched : stats_.denied);
   return vouched;
+}
+
+std::vector<bool> RemoteAuthority::VouchBatch(std::span<const nal::Formula> statements,
+                                              uint64_t timeout_us) {
+  std::vector<bool> answers(statements.size(), false);
+  if (statements.empty()) {
+    return answers;
+  }
+  stats_.queries += statements.size();
+  ++stats_.batch_round_trips;
+  Result<AttestedChannel*> channel = node_->Connect(peer_);
+  if (!channel.ok()) {
+    stats_.denied_unreachable += statements.size();
+    return answers;  // Fail closed for the whole batch.
+  }
+  Bytes payload;
+  AppendU32(payload, static_cast<uint32_t>(statements.size()));
+  for (const nal::Formula& statement : statements) {
+    AppendLengthPrefixed(payload, ToBytes(statement->ToString()));
+  }
+  Result<Bytes> reply = (*channel)->Call(std::string(AuthorityService::kBatchServiceName),
+                                         payload, timeout_us);
+  if (!reply.ok()) {
+    stats_.denied_unreachable += statements.size();
+    return answers;  // One deadline governs the whole round trip.
+  }
+  for (size_t i = 0; i < statements.size(); ++i) {
+    answers[i] = i < reply->size() && (*reply)[i] == 1;
+    ++(answers[i] ? stats_.vouched : stats_.denied);
+  }
+  return answers;
 }
 
 }  // namespace nexus::net

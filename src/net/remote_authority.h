@@ -7,10 +7,17 @@
 // the fresh yes/no, and DENIES whenever the answer is missing or late. The
 // proof checker already marks proofs with authority leaves uncacheable, so
 // every guard evaluation re-crosses the channel.
+//
+// Batched guard evaluation uses the multi-statement VouchBatch wire
+// message: N statements travel in one attested round trip and come back as
+// N independent fresh answers. Batching changes the transport economics,
+// not the trust model — each answer is still consumed exactly once, by the
+// decision batch that asked.
 #ifndef NEXUS_NET_REMOTE_AUTHORITY_H_
 #define NEXUS_NET_REMOTE_AUTHORITY_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,12 +26,27 @@
 
 namespace nexus::net {
 
+class AuthorityService;
+
+// Adapter binding the "authority_batch" service name to the owning
+// AuthorityService (the node's service registry dispatches by name only).
+class AuthorityBatchEndpoint : public Service {
+ public:
+  explicit AuthorityBatchEndpoint(AuthorityService* parent) : parent_(parent) {}
+  Result<Bytes> Handle(AttestedChannel& channel, ByteView request) override;
+
+ private:
+  AuthorityService* parent_;
+};
+
 // Server side: exposes local authorities to peers as the "authority"
-// service. Unhandled or erroring queries answer deny — never "ask someone
-// else".
+// service (single statement) and the "authority_batch" service
+// (length-prefixed statement list -> one verdict byte per statement).
+// Unhandled or erroring queries answer deny — never "ask someone else".
 class AuthorityService : public Service {
  public:
   static constexpr std::string_view kServiceName = "authority";
+  static constexpr std::string_view kBatchServiceName = "authority_batch";
 
   explicit AuthorityService(NetNode* node);
 
@@ -32,12 +54,22 @@ class AuthorityService : public Service {
 
   Result<Bytes> Handle(AttestedChannel& channel, ByteView request) override;
 
+  // Individual statements evaluated (batch requests count each statement).
   uint64_t queries_served() const { return queries_served_; }
+  // Wire-level batch requests handled.
+  uint64_t batches_served() const { return batches_served_; }
 
  private:
+  friend class AuthorityBatchEndpoint;
+
+  bool Evaluate(const nal::Formula& statement);
+  Result<Bytes> HandleBatch(ByteView request);
+
   NetNode* node_;
   std::vector<core::Authority*> authorities_;
+  std::unique_ptr<AuthorityBatchEndpoint> batch_endpoint_;
   uint64_t queries_served_ = 0;
+  uint64_t batches_served_ = 0;
 };
 
 // Client side: a core::Authority whose truth lives on a peer instance.
@@ -47,10 +79,11 @@ class RemoteAuthority : public core::Authority {
   using HandlesPredicate = std::function<bool(const nal::Formula&)>;
 
   struct Stats {
-    uint64_t queries = 0;
+    uint64_t queries = 0;  // Statements asked (batched or not).
     uint64_t vouched = 0;
     uint64_t denied = 0;
     uint64_t denied_unreachable = 0;  // timeout / loss / channel failure
+    uint64_t batch_round_trips = 0;   // VouchBatch wire calls issued
   };
 
   // `handles` scopes which statements this authority forwards (nullptr =
@@ -61,6 +94,10 @@ class RemoteAuthority : public core::Authority {
   bool Handles(const nal::Formula& statement) const override;
   bool Vouches(const nal::Formula& statement) override;
   bool VouchesWithin(const nal::Formula& statement, uint64_t timeout_us) override;
+  // N statements, ONE attested round trip. A lost or late reply denies all
+  // of them (fail closed, same as the single-statement path).
+  std::vector<bool> VouchBatch(std::span<const nal::Formula> statements,
+                               uint64_t timeout_us) override;
   bool IsRemote() const override { return true; }
 
   const Stats& stats() const { return stats_; }

@@ -569,5 +569,198 @@ TEST_F(AuthorizationFlowTest, RevocationViaValidityAuthority) {
   EXPECT_FALSE(nexus_.kernel().Authorize(client_, "read", "file:/secret").ok());
 }
 
+// ----------------------------------------- Interned authorization API
+
+TEST(LabelStoreTest, TransferAdvancesBothVersionCounters) {
+  // Cached guard verdicts are keyed on state-version stamps derived from
+  // store versions: BOTH sides of a transfer must advance, or a stale
+  // verdict could survive on whichever side kept its old version.
+  LabelStore a;
+  LabelStore b;
+  LabelHandle h = a.Insert(nal::Principal("P"), F("fact()"));
+  uint64_t a_before = a.version();
+  uint64_t b_before = b.version();
+  ASSERT_TRUE(a.Transfer(h, b).ok());
+  EXPECT_GT(a.version(), a_before);
+  EXPECT_GT(b.version(), b_before);
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(LabelStoreTest, InternsToCanonicalNodes) {
+  LabelStore a;
+  LabelStore b;
+  LabelHandle ha = a.Insert(nal::Principal("P"), F("fact()"));
+  LabelHandle hb = b.Insert(nal::Principal("P"), F("fact()"));
+  // Same statement in two stores: one canonical tree, one FormulaId.
+  EXPECT_EQ((*a.Get(ha)).get(), (*b.Get(hb)).get());
+  EXPECT_NE(a.IdOf(ha), nal::kInvalidFormulaId);
+  EXPECT_EQ(a.IdOf(ha), b.IdOf(hb));
+  EXPECT_EQ(a.IdOf(999), nal::kInvalidFormulaId);
+}
+
+TEST_F(AuthorizationFlowTest, ReservedSeparatorNamesAreRejected) {
+  // The legacy string keys joined tuple components with \x1f, so a name
+  // containing it could alias another tuple. The shim surface refuses such
+  // names outright (interned keys cannot collide, but serialized forms
+  // must stay unambiguous).
+  std::string evil_op = std::string("use\x1f") + "x";
+  std::string evil_obj = std::string("obj\x1f") + "use";
+  EXPECT_EQ(nexus_.engine().RegisterObject(evil_obj, owner_, kernel::kKernelProcessId).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(nexus_.engine().SetGoal(owner_, evil_op, "file:/secret", F("true")).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(nexus_.engine().SetGoal(owner_, "use", evil_obj, F("true")).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(nexus_.engine()
+                .SetProof(client_, evil_op, "file:/secret", nal::proof::Premise(F("true")))
+                .code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(nexus_.engine()
+                .SetProof(client_, "use", evil_obj, nal::proof::Premise(F("true")))
+                .code(),
+            ErrorCode::kInvalidArgument);
+  // Sane names still work.
+  EXPECT_TRUE(nexus_.engine().SetGoal(owner_, "use", "file:/secret", F("true")).ok());
+}
+
+TEST(GuardQuotaTest, FlushCacheResetsQuotaAccounting) {
+  kernel::Kernel k;
+  Guard::Config config;
+  config.proof_cache_capacity = 64;
+  config.per_root_quota = 4;
+  Guard guard(&k, config);
+  kernel::ProcessId subject = *k.CreateProcess("s", ToBytes("s"));
+
+  auto fill = [&](int generation) {
+    for (int i = 0; i < 4; ++i) {
+      nal::Formula goal = nal::ParseFormula("A says ok" + std::to_string(generation) + "_" +
+                                            std::to_string(i) + "()")
+                              .value();
+      std::vector<nal::Formula> creds = {goal};
+      guard.Check(subject, "op", "obj", goal, nal::proof::Premise(goal), creds,
+                  /*state_version=*/1);
+    }
+  };
+
+  fill(0);  // Exactly at quota; no eviction yet.
+  EXPECT_EQ(guard.stats().evictions, 0u);
+  guard.FlushCache();
+  // The flush dropped the entries AND the per-root usage counters. A stale
+  // counter would make this refill evict spuriously at quota.
+  uint64_t evictions_before = guard.stats().evictions;
+  fill(1);
+  EXPECT_EQ(guard.stats().evictions, evictions_before);
+  // Quota still enforced after the flush: one more distinct entry evicts.
+  nal::Formula extra = nal::ParseFormula("A says okExtra()").value();
+  std::vector<nal::Formula> creds = {extra};
+  guard.Check(subject, "op", "obj", extra, nal::proof::Premise(extra), creds,
+              /*state_version=*/1);
+  EXPECT_EQ(guard.stats().evictions, evictions_before + 1);
+}
+
+class BatchAuthorizationTest : public NexusTest {
+ protected:
+  BatchAuthorizationTest() {
+    owner_ = *nexus_.CreateProcess("owner", ToBytes("o"));
+    for (int i = 0; i < 4; ++i) {
+      subjects_.push_back(*nexus_.CreateProcess("s" + std::to_string(i), ToBytes("s")));
+    }
+    for (int i = 0; i < 3; ++i) {
+      std::string object = "batch:obj" + std::to_string(i);
+      objects_.push_back(object);
+      nexus_.engine().RegisterObject(object, owner_, kernel::kKernelProcessId);
+    }
+  }
+
+  // Goal + credential + proof so that `subject` passes on `object`.
+  void GrantAccess(kernel::ProcessId subject, const std::string& object) {
+    std::string name = nexus_.kernel().ProcessPrincipal(subject).ToString();
+    nal::Formula goal = F("Certifier says safe(" + name + ")");
+    ASSERT_TRUE(nexus_.engine().SetGoal(owner_, "use", object, goal).ok());
+    nexus_.engine().SayAs(nal::Principal("Certifier"), F("safe(" + name + ")"));
+    ASSERT_TRUE(
+        nexus_.engine().SetProof(subject, "use", object, nal::proof::Premise(goal)).ok());
+  }
+
+  kernel::ProcessId owner_ = 0;
+  std::vector<kernel::ProcessId> subjects_;
+  std::vector<std::string> objects_;
+};
+
+TEST_F(BatchAuthorizationTest, BatchAgreesWithSerialDecisions) {
+  GrantAccess(subjects_[0], objects_[0]);
+  GrantAccess(subjects_[1], objects_[1]);
+  // subjects_[2] gets no proof -> denied on guarded objects; objects_[2]
+  // has no goal -> bootstrap policy.
+  ASSERT_TRUE(nexus_.engine().SetGoal(owner_, "use", objects_[2], F("true")).ok());
+
+  std::vector<kernel::AuthzRequest> requests;
+  for (kernel::ProcessId subject : subjects_) {
+    for (const std::string& object : objects_) {
+      requests.push_back(kernel::AuthzRequest::Of(subject, "use", object));
+    }
+  }
+
+  std::vector<Status> serial;
+  serial.reserve(requests.size());
+  nexus_.kernel().set_decision_cache_enabled(false);
+  for (const kernel::AuthzRequest& request : requests) {
+    serial.push_back(nexus_.kernel().Authorize(request));
+  }
+  std::vector<Status> batched = nexus_.kernel().AuthorizeBatch(requests);
+  ASSERT_EQ(batched.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(batched[i].ok(), serial[i].ok()) << "request " << i;
+  }
+  // At least the two granted tuples allowed, and a denial exists.
+  EXPECT_TRUE(batched[0].ok());
+  EXPECT_FALSE(batched[1].ok());
+}
+
+TEST_F(BatchAuthorizationTest, BatchPopulatesDecisionCache) {
+  GrantAccess(subjects_[0], objects_[0]);
+  std::vector<kernel::AuthzRequest> requests = {
+      kernel::AuthzRequest::Of(subjects_[0], "use", objects_[0])};
+  uint64_t checks_before = nexus_.guard().stats().checks;
+  EXPECT_TRUE(nexus_.kernel().AuthorizeBatch(requests)[0].ok());
+  EXPECT_EQ(nexus_.guard().stats().checks, checks_before + 1);
+  // The follow-up serial call is answered by the kernel decision cache.
+  EXPECT_TRUE(nexus_.kernel().Authorize(requests[0]).ok());
+  EXPECT_EQ(nexus_.guard().stats().checks, checks_before + 1);
+}
+
+TEST_F(BatchAuthorizationTest, BatchCollapsesDuplicateAuthorityQueries) {
+  // All subjects' proofs lean on the SAME authority statement; the batch
+  // consults the authority once, not once per request.
+  nal::Formula statement = F("Clock says TimeNow < 1000");
+  int consultations = 0;
+  LambdaAuthority clock([](const nal::Formula&) { return true; },
+                        [&consultations](const nal::Formula&) {
+                          ++consultations;
+                          return true;
+                        });
+  nexus_.guard().AddEmbeddedAuthority(&clock);
+
+  std::vector<kernel::AuthzRequest> requests;
+  for (const std::string& object : objects_) {
+    ASSERT_TRUE(nexus_.engine().SetGoal(owner_, "use", object, statement).ok());
+    for (kernel::ProcessId subject : subjects_) {
+      ASSERT_TRUE(nexus_.engine()
+                      .SetProof(subject, "use", object, nal::proof::Authority(statement))
+                      .ok());
+      requests.push_back(kernel::AuthzRequest::Of(subject, "use", object));
+    }
+  }
+
+  std::vector<Status> decisions = nexus_.kernel().AuthorizeBatch(requests);
+  for (const Status& status : decisions) {
+    EXPECT_TRUE(status.ok());
+  }
+  EXPECT_EQ(consultations, 1);
+  EXPECT_GE(nexus_.guard().stats().batch_collapsed_queries,
+            requests.size() - 1);
+}
+
 }  // namespace
 }  // namespace nexus::core

@@ -26,9 +26,9 @@ class EchoHandler : public PortHandler {
 
 class DenyAllEngine : public AuthorizationEngine {
  public:
-  Verdict Authorize(ProcessId, const std::string&, const std::string&) override {
+  AuthzDecision Authorize(const AuthzRequest&) override {
     ++upcalls;
-    return {PermissionDenied("deny-all"), cacheable};
+    return AuthzDecision::Deny(PermissionDenied("deny-all"), cacheable);
   }
   int upcalls = 0;
   bool cacheable = true;
@@ -36,9 +36,9 @@ class DenyAllEngine : public AuthorizationEngine {
 
 class AllowAllEngine : public AuthorizationEngine {
  public:
-  Verdict Authorize(ProcessId, const std::string&, const std::string&) override {
+  AuthzDecision Authorize(const AuthzRequest&) override {
     ++upcalls;
-    return {OkStatus(), cacheable};
+    return AuthzDecision::Allow(cacheable);
   }
   int upcalls = 0;
   bool cacheable = true;

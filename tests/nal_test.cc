@@ -2,6 +2,7 @@
 
 #include "nal/checker.h"
 #include "nal/formula.h"
+#include "nal/interner.h"
 #include "nal/parser.h"
 #include "nal/proof.h"
 #include "nal/prover.h"
@@ -745,6 +746,78 @@ TEST_P(ProofChainTest, DelegationChainProves) {
 }
 
 INSTANTIATE_TEST_SUITE_P(ChainLengths, ProofChainTest, ::testing::Values(0, 1, 2, 4, 8, 16));
+
+// --------------------------------------------------------------- Interner
+
+TEST(InternerTest, StructurallyEqualFormulasShareOneId) {
+  Interner interner;
+  // Two independent parses: distinct nodes, equal structure.
+  Formula a = F("Alice says (ok(x) and TimeNow < 20)");
+  Formula b = F("Alice says (ok(x) and TimeNow < 20)");
+  ASSERT_NE(a.get(), b.get());
+  FormulaId ida = interner.Intern(a);
+  FormulaId idb = interner.Intern(b);
+  EXPECT_NE(ida, kInvalidFormulaId);
+  EXPECT_EQ(ida, idb);
+  EXPECT_EQ(interner.size(), 1u);
+  // The canonical node is shared: Canonical() of either alias is `a`.
+  EXPECT_EQ(interner.Canonical(b).get(), a.get());
+  EXPECT_TRUE(Equals(interner.Resolve(ida), a));
+}
+
+TEST(InternerTest, DistinctFormulasGetDistinctIds) {
+  Interner interner;
+  FormulaId says = interner.Intern(F("A says p()"));
+  FormulaId other_speaker = interner.Intern(F("B says p()"));
+  FormulaId other_body = interner.Intern(F("A says q()"));
+  EXPECT_NE(says, other_speaker);
+  EXPECT_NE(says, other_body);
+  EXPECT_NE(other_speaker, other_body);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(InternerTest, ReinterningCanonicalNodeIsStable) {
+  Interner interner;
+  Formula canonical = interner.Canonical(F("A speaksfor B on mail"));
+  FormulaId id = interner.Intern(canonical);
+  EXPECT_EQ(interner.Intern(canonical), id);
+  EXPECT_EQ(interner.Resolve(id).get(), canonical.get());
+}
+
+TEST(InternerTest, HashRespectsSymbolPrincipalPun) {
+  // Term equality puns Symbol("x") with the single-component Principal
+  // "x"; the structural hash must agree or equal formulas would intern to
+  // different ids.
+  Formula sym = FormulaNode::Pred("p", {Term::Symbol("x")});
+  Formula prin = FormulaNode::Pred("p", {Term::Prin(Principal("x"))});
+  ASSERT_TRUE(Equals(sym, prin));
+  EXPECT_EQ(StructuralHash(sym), StructuralHash(prin));
+  Interner interner;
+  EXPECT_EQ(interner.Intern(sym), interner.Intern(prin));
+}
+
+TEST(InternerTest, NullAndUnknownIdsAreInvalid) {
+  Interner interner;
+  EXPECT_EQ(interner.Intern(nullptr), kInvalidFormulaId);
+  EXPECT_EQ(interner.Resolve(kInvalidFormulaId), nullptr);
+  EXPECT_EQ(interner.Resolve(999), nullptr);
+}
+
+// --------------------------------------------------------- AuthorityLeaves
+
+TEST(ProofTest, AuthorityLeavesCollectsEveryLeaf) {
+  Formula s1 = F("Clock says TimeNow < 10");
+  Formula s2 = F("Quota says usage < 80");
+  Proof p = proof::AndIntro(proof::Authority(s1),
+                            proof::AndIntro(proof::Premise(F("A says ok()")),
+                                            proof::Authority(s2)));
+  std::vector<Formula> leaves = AuthorityLeaves(p);
+  ASSERT_EQ(leaves.size(), 2u);
+  EXPECT_TRUE(Equals(leaves[0], s1));
+  EXPECT_TRUE(Equals(leaves[1], s2));
+  EXPECT_TRUE(AuthorityLeaves(proof::Premise(F("A says ok()"))).empty());
+  EXPECT_TRUE(AuthorityLeaves(nullptr).empty());
+}
 
 }  // namespace
 }  // namespace nexus::nal

@@ -382,6 +382,87 @@ TEST(RemoteAuthorityTest, LostAnswerIsADenial) {
   EXPECT_EQ(remote.stats().denied_unreachable, 1u);
 }
 
+TEST(RemoteAuthorityTest, VouchBatchAnswersAllStatementsInOneRoundTrip) {
+  RemoteAuthorityWorld w;
+  RemoteAuthority remote(w.node_a.get(), "b", nullptr, /*default_timeout_us=*/100000);
+  std::vector<nal::Formula> statements = {
+      F("Session says sessionActive(alice)"),
+      F("Session says sessionActive(bob)"),
+      F("Session says sessionActive(carol)"),
+  };
+  std::vector<bool> answers = remote.VouchBatch(statements, 100000);
+  ASSERT_EQ(answers.size(), 3u);
+  EXPECT_TRUE(answers[0] && answers[1] && answers[2]);
+  EXPECT_EQ(remote.stats().batch_round_trips, 1u);
+  EXPECT_EQ(w.service.batches_served(), 1u);
+  EXPECT_EQ(w.service.queries_served(), 3u);  // Statements, not round trips.
+
+  // Lost replies deny the whole batch (fail closed).
+  w.transport.SetLink("a", "b", LinkConfig{.latency_us = 10, .drop_rate = 1.0});
+  answers = remote.VouchBatch(statements, 10000);
+  EXPECT_FALSE(answers[0] || answers[1] || answers[2]);
+  EXPECT_EQ(remote.stats().denied_unreachable, 3u);
+}
+
+TEST(RemoteAuthorityTest, MalformedBatchCountIsRejectedWithoutAllocation) {
+  // A batch request declaring 2^32-1 statements with no payload must not
+  // size the reply from the attacker-declared count (OOM) — it answers
+  // empty, which the client reads as deny-all.
+  RemoteAuthorityWorld w;
+  Result<AttestedChannel*> channel = w.node_a->Connect("b");
+  ASSERT_TRUE(channel.ok());
+  Bytes malformed;
+  AppendU32(malformed, 0xFFFFFFFFu);
+  Result<Bytes> reply = (*channel)->Call(
+      std::string(AuthorityService::kBatchServiceName), malformed, /*timeout_us=*/100000);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->empty());
+  EXPECT_EQ(w.service.queries_served(), 0u);
+}
+
+TEST(RemoteAuthorityTest, BatchedGuardIssuesOneRoundTripForIdenticalLeaves) {
+  // The acceptance bar for the batched API: K requests whose proofs all
+  // lean on the SAME remote-authority statement cost ONE attested round
+  // trip, observable as exactly one remote query in the guard's stats.
+  RemoteAuthorityWorld w;
+  RemoteAuthority remote(w.node_a.get(), "b", nullptr, /*default_timeout_us=*/100000);
+  w.nexus_a.guard().AddRemoteAuthority(&remote);
+
+  kernel::ProcessId owner = *w.nexus_a.CreateProcess("owner", ToBytes("o"));
+  nal::Formula statement = F("Session says sessionActive(alice)");
+  constexpr int kRequests = 5;
+  std::vector<kernel::AuthzRequest> requests;
+  for (int i = 0; i < kRequests; ++i) {
+    kernel::ProcessId subject =
+        *w.nexus_a.CreateProcess("s" + std::to_string(i), ToBytes("s"));
+    std::string object = "door" + std::to_string(i);
+    w.nexus_a.engine().RegisterObject(object, owner, kernel::kKernelProcessId);
+    ASSERT_TRUE(w.nexus_a.engine().SetGoal(owner, "open", object, statement).ok());
+    ASSERT_TRUE(w.nexus_a.engine()
+                    .SetProof(subject, "open", object, nal::proof::Authority(statement))
+                    .ok());
+    requests.push_back(kernel::AuthzRequest::Of(subject, "open", object));
+  }
+
+  uint64_t remote_before = w.nexus_a.guard().stats().remote_queries;
+  std::vector<Status> decisions = w.nexus_a.kernel().AuthorizeBatch(requests);
+  for (const Status& status : decisions) {
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  EXPECT_EQ(w.nexus_a.guard().stats().remote_queries, remote_before + 1);
+  EXPECT_EQ(remote.stats().batch_round_trips, 1u);
+  EXPECT_EQ(w.service.batches_served(), 1u);
+
+  // The answers were batch-scoped, not stored: re-running after the remote
+  // state flips is freshly denied.
+  w.vouch = false;
+  decisions = w.nexus_a.kernel().AuthorizeBatch(requests);
+  for (const Status& status : decisions) {
+    EXPECT_FALSE(status.ok());
+  }
+  EXPECT_EQ(w.nexus_a.guard().stats().remote_queries, remote_before + 2);
+}
+
 TEST(RemoteAuthorityTest, GuardConsultsRemoteAuthorityThroughProofLeaf) {
   RemoteAuthorityWorld w;
   RemoteAuthority remote(w.node_a.get(), "b", nullptr, /*default_timeout_us=*/100000);
