@@ -4,6 +4,25 @@
 
 namespace nexus::core {
 
+namespace {
+
+// The trivial future: answers computed synchronously at issue time.
+class ReadyVouchFuture : public VouchFuture {
+ public:
+  explicit ReadyVouchFuture(std::vector<bool> answers) : answers_(std::move(answers)) {}
+  std::vector<bool> Wait() override { return std::move(answers_); }
+
+ private:
+  std::vector<bool> answers_;
+};
+
+}  // namespace
+
+std::unique_ptr<VouchFuture> Authority::VouchBatchAsync(
+    std::span<const nal::Formula> statements, uint64_t timeout_us) {
+  return std::make_unique<ReadyVouchFuture>(VouchBatch(statements, timeout_us));
+}
+
 kernel::IpcReply AuthorityPortHandler::Handle(const kernel::IpcContext& context,
                                               const kernel::IpcMessage& message) {
   (void)context;

@@ -9,6 +9,7 @@
 #define NEXUS_CORE_AUTHORITY_H_
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -17,6 +18,18 @@
 #include "nal/formula.h"
 
 namespace nexus::core {
+
+// A handle to an in-flight multi-statement authority consultation. Wait()
+// completes the round trip (for remote authorities it pumps the simulated
+// fabric until the reply lands or the deadline passes) and returns one
+// answer per issued statement, aligned with the issuing order. Call Wait()
+// exactly once; answers follow the §2.7 rules — fresh, untransferable,
+// consumed by the decision batch that asked and nothing else.
+class VouchFuture {
+ public:
+  virtual ~VouchFuture() = default;
+  virtual std::vector<bool> Wait() = 0;
+};
 
 class Authority {
  public:
@@ -54,6 +67,15 @@ class Authority {
     }
     return answers;
   }
+
+  // Starts a VouchBatch without blocking on the answers, so a guard can
+  // overlap remote round trips with local proof checking (the async batch
+  // pipeline). Local authorities answer immediately and return a ready
+  // future; a RemoteAuthority overrides this to put the wire message in
+  // flight NOW and collect it at Wait(). The deadline clock starts at
+  // issue time, exactly as the blocking path's does.
+  virtual std::unique_ptr<VouchFuture> VouchBatchAsync(
+      std::span<const nal::Formula> statements, uint64_t timeout_us);
 };
 
 // Adapts an Authority to an IPC port: operation "check" with the formula

@@ -50,6 +50,7 @@ AuthzDecision Engine::UpcallDesignatedGuard(const AuthzRequest& request,
 }
 
 AuthzDecision Engine::Authorize(const AuthzRequest& request) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::optional<GoalEntry> goal = goals_.Get(request.op, request.obj);
   if (!goal.has_value()) {
     return DefaultPolicy(request);
@@ -70,6 +71,7 @@ AuthzDecision Engine::Authorize(const AuthzRequest& request) {
 }
 
 std::vector<AuthzDecision> Engine::AuthorizeBatch(std::span<const AuthzRequest> requests) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::vector<AuthzDecision> decisions(requests.size());
 
   // Credential amortization: the subject-store + system-store prefix is
@@ -163,6 +165,7 @@ Result<LabelHandle> Engine::Say(kernel::ProcessId speaker, const std::string& st
 
 Result<LabelHandle> Engine::SayFormula(kernel::ProcessId speaker,
                                        const nal::Formula& statement) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!kernel_->IsAlive(speaker)) {
     return NotFound("speaker process not alive");
   }
@@ -175,15 +178,18 @@ Result<LabelHandle> Engine::SayFormula(kernel::ProcessId speaker,
 }
 
 LabelHandle Engine::SayAs(const nal::Principal& speaker, const nal::Formula& statement) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   return system_store_.Insert(speaker, statement);
 }
 
 void Engine::AddObjectLabel(kernel::ObjectId object, const nal::Formula& label) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   object_labels_[object].push_back(label);
 }
 
 Status Engine::SetGoal(kernel::ProcessId caller, kernel::OpId op, kernel::ObjectId obj,
                        nal::Formula goal, kernel::PortId guard_port) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   // setgoal is itself an authorized operation on the object (§2.5). It is
   // governed by the goal for ("setgoal", object) if present, else the
   // bootstrap policy.
@@ -209,6 +215,7 @@ Status Engine::SetGoal(kernel::ProcessId caller, const std::string& operation,
 }
 
 Status Engine::ClearGoal(kernel::ProcessId caller, kernel::OpId op, kernel::ObjectId obj) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   static const kernel::OpId setgoal_op = kernel::InternOp("setgoal");
   Status authorized = kernel_->Authorize(AuthzRequest{caller, setgoal_op, obj});
   if (!authorized.ok()) {
@@ -232,6 +239,7 @@ Status Engine::ClearGoal(kernel::ProcessId caller, const std::string& operation,
 }
 
 Status Engine::SetProof(const AuthzRequest& tuple, nal::Proof proof) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (proof == nullptr) {
     return InvalidArgument("null proof");
   }
@@ -251,6 +259,7 @@ Status Engine::SetProof(kernel::ProcessId subject, const std::string& operation,
 }
 
 Status Engine::ClearProof(const AuthzRequest& tuple) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   TupleKey key = KeyOf(tuple);
   if (proofs_.erase(key) == 0) {
     return NotFound("no proof for this tuple");
@@ -272,16 +281,19 @@ Status Engine::ClearProof(kernel::ProcessId subject, const std::string& operatio
 
 Status Engine::RegisterObject(kernel::ObjectId object, kernel::ProcessId owner,
                               kernel::ProcessId manager) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   return objects_.Register(object, owner, manager);
 }
 
 Status Engine::RegisterObject(const std::string& object, kernel::ProcessId owner,
                               kernel::ProcessId manager) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   return objects_.Register(object, owner, manager);
 }
 
 Status Engine::TransferOwnership(kernel::ProcessId caller, const std::string& object,
                                  kernel::ProcessId new_owner) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::optional<kernel::ProcessId> owner = objects_.Owner(object);
   std::optional<kernel::ProcessId> manager = objects_.Manager(object);
   bool caller_may = caller == kernel::kKernelProcessId ||
@@ -325,6 +337,7 @@ void Engine::AppendObjectCredentials(kernel::ObjectId object,
 
 std::vector<nal::Formula> Engine::CollectCredentials(kernel::ProcessId subject,
                                                      kernel::ObjectId object) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::vector<nal::Formula> credentials;
   AppendSubjectCredentials(subject, &credentials);
   AppendObjectCredentials(object, &credentials);

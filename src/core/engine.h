@@ -20,6 +20,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -32,6 +33,15 @@
 
 namespace nexus::core {
 
+// Threading: the engine is a MONITOR — every public entry point serializes
+// on one internal (recursive) mutex, so the kernel's concurrent
+// authorization frontend may upcall Authorize/AuthorizeBatch from worker
+// threads while other threads mutate goals/proofs/labels. The mutex is
+// recursive because control-plane calls re-enter authorization on the same
+// thread (SetGoal authorizes "setgoal" through the kernel, which upcalls
+// Authorize). Reference-returning accessors (StoreFor, SystemStore,
+// goals, objects, default_guard) hand out state that is only safe to use
+// single-threaded; confine them to the kernel thread.
 class Engine : public kernel::AuthorizationEngine {
  public:
   Engine(kernel::Kernel* kernel, Guard* default_guard);
@@ -105,6 +115,7 @@ class Engine : public kernel::AuthorizationEngine {
     // from lookups with novel names).
     std::optional<kernel::ObjectId> id = kernel::FindObject(object);
     if (!id.has_value()) {
+      std::lock_guard<std::recursive_mutex> lock(mu_);
       std::vector<nal::Formula> credentials;
       AppendSubjectCredentials(subject, &credentials);
       return credentials;
@@ -145,6 +156,10 @@ class Engine : public kernel::AuthorizationEngine {
   // registration itself. Strictly increases on any relevant mutation.
   uint64_t StateVersion(kernel::ProcessId subject, kernel::ObjectId object,
                         const TupleKey& proof_key) const;
+
+  // The monitor lock (see class comment). Guards every member below plus
+  // the default guard's internal caches.
+  mutable std::recursive_mutex mu_;
 
   kernel::Kernel* kernel_;
   Guard* default_guard_;

@@ -97,16 +97,21 @@ void Guard::AuthorityMemo::Insert(const nal::Formula& statement, bool answer) {
   bucket.push_back(Entry{statement, answer});
 }
 
-void Guard::PrefetchAuthorities(std::span<const BatchItem> items, AuthorityMemo* memo) {
+std::vector<Guard::InFlightBatch> Guard::IssuePrefetches(std::span<const BatchItem> items,
+                                                         AuthorityMemo* memo,
+                                                         AuthorityMemo* pending,
+                                                         std::vector<bool>* blocked) {
   // Serial checking stops at the first declined leaf, so a malicious proof
   // stuffed with authority leaves must not amplify into unbounded eager
   // consultations (or a giant VouchBatch payload). Leaves beyond the cap
   // are simply not prefetched; the per-check callback falls back to the
   // lazy serial path for them, preserving correctness.
   constexpr size_t kMaxPrefetchLeavesPerProof = 64;
-  // Unique authority statements across the batch, in first-seen order.
-  std::vector<nal::Formula> unique;
-  for (const BatchItem& item : items) {
+  // Statements bound for one remote peer travel in a single VouchBatch
+  // round trip; groups accumulate in first-seen order within each peer.
+  std::map<Authority*, std::vector<nal::Formula>> remote_groups;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const BatchItem& item = items[i];
     // Items CheckImpl short-circuits (no goal, trivially-true goal, no
     // proof) never reach proof checking serially; consulting their leaves
     // here would create consultations the serial path cannot produce.
@@ -116,84 +121,99 @@ void Guard::PrefetchAuthorities(std::span<const BatchItem> items, AuthorityMemo*
     }
     std::vector<nal::Formula> leaves = nal::AuthorityLeaves(item.proof);
     size_t considered = std::min(leaves.size(), kMaxPrefetchLeavesPerProof);
-    for (size_t i = 0; i < considered; ++i) {
-      const nal::Formula& leaf = leaves[i];
-      if (memo->Contains(leaf)) {
+    for (size_t j = 0; j < considered; ++j) {
+      const nal::Formula& leaf = leaves[j];
+      if (pending->Contains(leaf)) {
+        // Already riding an issued (or soon-issued) round trip.
         ++stats_.batch_collapsed_queries;
+        (*blocked)[i] = true;
         continue;
       }
-      memo->Insert(leaf, false);  // Reserve; answered below.
-      unique.push_back(leaf);
+      if (memo->Contains(leaf)) {
+        ++stats_.batch_collapsed_queries;  // Answered locally already.
+        continue;
+      }
+      ++stats_.authority_queries;
+      bool handled = false;
+      bool answer = ResolveLocalAuthority(leaf, &handled);
+      if (handled) {
+        memo->Insert(leaf, answer);
+        continue;
+      }
+      if (Authority* remote = RemoteAuthorityFor(leaf)) {
+        pending->Insert(leaf, false);
+        remote_groups[remote].push_back(leaf);
+        (*blocked)[i] = true;
+        continue;
+      }
+      memo->Insert(leaf, false);  // No authority evaluates it: deny.
     }
   }
-
-  // Per-remote-authority coalescing: every statement bound for one remote
-  // peer travels in a single VouchBatch round trip.
-  std::map<Authority*, std::vector<nal::Formula>> remote_groups;
-  for (const nal::Formula& statement : unique) {
-    ++stats_.authority_queries;
-    bool handled = false;
-    bool answer = ResolveLocalAuthority(statement, &handled);
-    if (handled) {
-      memo->Insert(statement, answer);
-      continue;
-    }
-    if (Authority* remote = RemoteAuthorityFor(statement)) {
-      remote_groups[remote].push_back(statement);
-    }
-    // else: no authority evaluates it; the reserved `false` stands.
-  }
+  // Issue every round trip BEFORE waiting on any: all wire messages are in
+  // flight together on the simulated clock, so K peers cost max(latency),
+  // not sum(latency) — and local checking proceeds in the meantime.
+  std::vector<InFlightBatch> inflight;
+  inflight.reserve(remote_groups.size());
   for (auto& [remote, statements] : remote_groups) {
     ++stats_.remote_queries;  // One attested round trip for the whole group.
-    std::vector<bool> answers =
-        remote->VouchBatch(statements, config_.remote_query_timeout_us);
-    for (size_t i = 0; i < statements.size(); ++i) {
-      memo->Insert(statements[i], i < answers.size() && answers[i]);
-    }
+    InFlightBatch batch;
+    batch.future = remote->VouchBatchAsync(statements, config_.remote_query_timeout_us);
+    batch.statements = std::move(statements);
+    inflight.push_back(std::move(batch));
   }
+  return inflight;
 }
 
 void Guard::InsertCacheEntry(kernel::ProcessId quota_root, const CacheKey& key,
-                             bool verdict) {
+                             const nal::Proof& proof, bool verdict) {
+  // A zero quota or zero capacity disables caching outright. This must be
+  // checked FIRST: with per_root_quota == 0 the quota condition below is
+  // vacuously true forever and the old code dereferenced
+  // std::prev(lru_.end()) on an empty list — UB — or spun without
+  // progress.
+  if (config_.per_root_quota == 0 || config_.proof_cache_capacity == 0) {
+    return;
+  }
+
   auto evict = [this](std::list<CacheEntry>::iterator it) {
-    root_usage_[it->quota_root] -= 1;
+    if (--root_usage_[it->quota_root] == 0) {
+      root_usage_.erase(it->quota_root);  // Don't accrete dead roots.
+    }
     cache_index_.erase(it->key);
     lru_.erase(it);
     ++stats_.evictions;
   };
-
-  // Quota enforcement: evict this root's own oldest entries first (§2.9).
-  while (root_usage_[quota_root] >= config_.per_root_quota) {
-    for (auto it = std::prev(lru_.end());; --it) {
-      if (it->quota_root == quota_root) {
-        evict(it);
-        break;
-      }
-      if (it == lru_.begin()) {
-        break;
+  // The oldest entry charged to `root`, or lru_.end(). (Never called on an
+  // empty list, but stays correct if it is.)
+  auto oldest_of_root = [this](kernel::ProcessId root) {
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      if (it->quota_root == root) {
+        return std::prev(it.base());
       }
     }
+    return lru_.end();
+  };
+
+  // Quota enforcement: evict this root's own oldest entries first (§2.9).
+  // Each pass either evicts one of the root's entries or proves none
+  // exists and stops — accounting drift (root_usage_ positive with no
+  // matching LRU entry) must degrade to an over-admission, never hang the
+  // guard.
+  while (!lru_.empty() && root_usage_[quota_root] >= config_.per_root_quota) {
+    auto it = oldest_of_root(quota_root);
+    if (it == lru_.end()) {
+      break;  // No entry carries this root: bounded exit, not a spin.
+    }
+    evict(it);
   }
   // Capacity: preferentially evict entries charged to the same principal,
   // falling back to global LRU.
-  if (lru_.size() >= config_.proof_cache_capacity) {
-    bool evicted = false;
-    for (auto it = std::prev(lru_.end());; --it) {
-      if (it->quota_root == quota_root) {
-        evict(it);
-        evicted = true;
-        break;
-      }
-      if (it == lru_.begin()) {
-        break;
-      }
-    }
-    if (!evicted) {
-      evict(std::prev(lru_.end()));
-    }
+  if (!lru_.empty() && lru_.size() >= config_.proof_cache_capacity) {
+    auto it = oldest_of_root(quota_root);
+    evict(it != lru_.end() ? it : std::prev(lru_.end()));
   }
 
-  lru_.push_front(CacheEntry{key, verdict, quota_root});
+  lru_.push_front(CacheEntry{key, proof, verdict, quota_root});
   cache_index_[key] = lru_.begin();
   root_usage_[quota_root] += 1;
 }
@@ -239,9 +259,16 @@ AuthzDecision Guard::CheckImpl(const AuthzRequest& request, const nal::Formula& 
       // GoalStore interns on SetGoal) cost one hash-map probe here.
       goal_id = nal::Interner::Global().Intern(goal);
     }
-    cache_key = CacheKey{goal_id, reinterpret_cast<uintptr_t>(proof.get()), state_version};
+    // ProofHash, not the proof's address: address reuse after free must
+    // not replay a dead proof's verdict for a different proof (ABA).
+    cache_key = CacheKey{goal_id, nal::ProofHash(proof), state_version};
     auto it = cache_index_.find(cache_key);
-    if (it != cache_index_.end()) {
+    // ProofHash is not cryptographic: confirm the hit actually carries a
+    // structurally equal proof before replaying its verdict. The pointer
+    // fast path covers re-submitted proof objects; an engineered
+    // collision fails ProofEquals and pays a full check instead.
+    if (it != cache_index_.end() &&
+        (it->second->proof == proof || nal::ProofEquals(it->second->proof, proof))) {
       ++stats_.cache_hits;
       lru_.splice(lru_.begin(), lru_, it->second);  // LRU refresh.
       bool allowed = it->second->verdict;
@@ -267,7 +294,7 @@ AuthzDecision Guard::CheckImpl(const AuthzRequest& request, const nal::Formula& 
   // the subject may acquire the label later without touching its proof.
   bool verdict_cacheable = result.cacheable && !result.missing_credential;
   if (may_cache && !result.missing_credential) {
-    InsertCacheEntry(quota_root, cache_key, result.status.ok());
+    InsertCacheEntry(quota_root, cache_key, proof, result.status.ok());
   }
   AuthzDecision decision = AuthzDecision::FromStatus(result.status, verdict_cacheable);
   decision.consulted_authorities = consulted;
@@ -275,13 +302,37 @@ AuthzDecision Guard::CheckImpl(const AuthzRequest& request, const nal::Formula& 
 }
 
 std::vector<AuthzDecision> Guard::CheckBatch(std::span<const BatchItem> items) {
-  AuthorityMemo memo;
-  PrefetchAuthorities(items, &memo);
-  std::vector<AuthzDecision> decisions;
-  decisions.reserve(items.size());
-  for (const BatchItem& item : items) {
-    decisions.push_back(CheckImpl(item.request, item.goal, item.goal_id, item.proof,
-                                  item.credentials, item.state_version, &memo));
+  AuthorityMemo memo;     // Resolved answers (local, no-authority denies).
+  AuthorityMemo pending;  // Statements riding an in-flight remote future.
+  std::vector<bool> blocked(items.size(), false);
+  std::vector<InFlightBatch> inflight = IssuePrefetches(items, &memo, &pending, &blocked);
+
+  std::vector<AuthzDecision> decisions(items.size());
+  // Overlap phase: while the remote round trips are on the wire, check
+  // every item whose leaves are already resolved (or that short-circuits
+  // before proof checking). Their verdicts cannot depend on the fabric.
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (!blocked[i]) {
+      const BatchItem& item = items[i];
+      decisions[i] = CheckImpl(item.request, item.goal, item.goal_id, item.proof,
+                               item.credentials, item.state_version, &memo);
+    }
+  }
+  // Harvest: fold every future's answers into the memo. A lost or late
+  // reply yields fail-closed denies, exactly as the blocking path.
+  for (InFlightBatch& batch : inflight) {
+    std::vector<bool> answers = batch.future->Wait();
+    for (size_t k = 0; k < batch.statements.size(); ++k) {
+      memo.Insert(batch.statements[k], k < answers.size() && answers[k]);
+    }
+  }
+  // Remaining items: every leaf now has its answer in the memo.
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (blocked[i]) {
+      const BatchItem& item = items[i];
+      decisions[i] = CheckImpl(item.request, item.goal, item.goal_id, item.proof,
+                               item.credentials, item.state_version, &memo);
+    }
   }
   return decisions;
 }
@@ -307,7 +358,16 @@ kernel::IpcReply GuardPortHandler::Handle(const kernel::IpcContext& context,
         InvalidArgument("guard protocol: check <subject> <op> <object> <proof>"), {}, {}, 0};
   }
   (void)context;
-  kernel::ProcessId subject = std::stoull(message.args[0]);
+  // args[0] arrives over the untrusted guard IPC port: parse defensively.
+  // std::stoull would throw std::invalid_argument on "garbage" (or
+  // std::out_of_range on a 21-digit subject) and take down the whole
+  // simulation from a hostile message.
+  std::optional<uint64_t> subject_id = ParseDecimalU64(message.args[0]);
+  if (!subject_id.has_value()) {
+    return kernel::IpcReply{
+        InvalidArgument("guard protocol: subject must be a decimal process id"), {}, {}, 0};
+  }
+  kernel::ProcessId subject = *subject_id;
   const std::string& operation = message.args[1];
   const std::string& object = message.args[2];
 

@@ -12,10 +12,16 @@
 // and per-process-tree quotas bound the damage of principal-spawning
 // exhaustion attacks.
 //
-// CheckBatch evaluates many requests at once: authority leaves are
-// prefetched across the whole batch, identical queries are collapsed to
-// one consultation, and all statements bound for one remote authority
-// travel in a single VouchBatch round trip instead of N.
+// CheckBatch evaluates many requests at once as an ASYNC PIPELINE:
+// authority leaves are classified across the whole batch, identical
+// queries are collapsed to one consultation, and all statements bound for
+// one remote authority travel in a single VouchBatch round trip instead
+// of N. Remote round trips are issued as futures on the simulated clock,
+// and local proof checking for items whose leaves are already resolved
+// proceeds while those round trips are on the wire — remote latency
+// overlaps local work instead of serializing ahead of it. Items that
+// depend on an in-flight answer are checked after the futures are
+// harvested, so every verdict equals the serial path's.
 #ifndef NEXUS_CORE_GUARD_H_
 #define NEXUS_CORE_GUARD_H_
 
@@ -37,8 +43,10 @@ namespace nexus::core {
 class Guard {
  public:
   struct Config {
+    // 0 disables the proof-check cache entirely (every check re-verifies).
     size_t proof_cache_capacity = 1024;
     // Maximum cache entries chargeable to one process tree (§2.9 quotas).
+    // 0 means no process tree may cache anything — also a full disable.
     size_t per_root_quota = 256;
     // Deadline for one remote-authority consultation; expiry is a DENY.
     uint64_t remote_query_timeout_us = 10000;
@@ -106,14 +114,18 @@ class Guard {
   }
 
   // Batched evaluation. Verdict-equivalent to calling Check per item;
-  // authority consultations are deduplicated batch-wide and remote
+  // authority consultations are deduplicated batch-wide, remote
   // consultations are coalesced into one VouchBatch round trip per remote
-  // authority. The consultation SET may exceed serial's: leaves are
-  // prefetched eagerly (bounded per proof), so a proof that serial
+  // authority, and those round trips overlap local proof checking (see
+  // the class comment). The consultation SET may exceed serial's: leaves
+  // are prefetched eagerly (bounded per proof), so a proof that serial
   // checking would abandon early still has its first leaves consulted —
   // answers affect nothing beyond what the per-check callback reads.
-  // Authority answers stay decision-scoped: the batch memo lives exactly
-  // as long as this call (§2.7 untransferability).
+  // Authority answers stay decision-scoped: the batch memo and every
+  // future are drained before this call returns (§2.7 untransferability).
+  // The caller (Engine::AuthorizeBatch) flushes at designated-guard items,
+  // so in-batch label mutations stay serially observable; within one
+  // CheckBatch no item mutates label state.
   std::vector<kernel::AuthzDecision> CheckBatch(std::span<const BatchItem> items);
 
   const Stats& stats() const { return stats_; }
@@ -128,11 +140,14 @@ class Guard {
 
  private:
   // Proof-check cache key: three integers. FormulaId makes goal equality
-  // O(1); the proof participates by object identity (clients re-submit the
-  // same proof object, and SetProof bumps the state version otherwise).
+  // O(1); the proof participates by its memoized STRUCTURAL hash, never by
+  // address — an address key is an ABA hazard (a freed proof's storage
+  // reused by a different proof would replay the old verdict; see the
+  // ProofHash contract in nal/proof.h). The hash is precomputed per node,
+  // so a re-submitted proof still costs O(1) here.
   struct CacheKey {
     nal::FormulaId goal_id = nal::kInvalidFormulaId;
-    uintptr_t proof = 0;
+    uint64_t proof_hash = 0;
     uint64_t state_version = 0;
     friend auto operator<=>(const CacheKey&, const CacheKey&) = default;
   };
@@ -167,9 +182,22 @@ class Guard {
   bool ResolveLocalAuthority(const nal::Formula& statement, bool* handled);
   // The remote authority that would evaluate `statement`, if any.
   Authority* RemoteAuthorityFor(const nal::Formula& statement);
-  // Resolves every authority leaf in `items` into `memo`, collapsing
-  // duplicates and batching per-remote-authority round trips.
-  void PrefetchAuthorities(std::span<const BatchItem> items, AuthorityMemo* memo);
+
+  // One coalesced remote round trip in flight: the future plus the
+  // statements it will answer (in issue order), to be folded into the memo
+  // at harvest time.
+  struct InFlightBatch {
+    std::unique_ptr<VouchFuture> future;
+    std::vector<nal::Formula> statements;
+  };
+  // Phase 1 of the async pipeline: walks every item's authority leaves,
+  // resolves local authorities into `memo`, collapses duplicates, and
+  // issues one VouchBatchAsync per remote authority. Statements awaiting a
+  // future are recorded in `pending`; blocked[i] is set for items that
+  // depend on one (they must be checked after the harvest).
+  std::vector<InFlightBatch> IssuePrefetches(std::span<const BatchItem> items,
+                                             AuthorityMemo* memo, AuthorityMemo* pending,
+                                             std::vector<bool>* blocked);
 
   kernel::AuthzDecision CheckImpl(const kernel::AuthzRequest& request,
                                   const nal::Formula& goal, nal::FormulaId goal_id,
@@ -177,7 +205,8 @@ class Guard {
                                   const std::vector<nal::Formula>& credentials,
                                   uint64_t state_version, const AuthorityMemo* memo);
 
-  void InsertCacheEntry(kernel::ProcessId quota_root, const CacheKey& key, bool verdict);
+  void InsertCacheEntry(kernel::ProcessId quota_root, const CacheKey& key,
+                        const nal::Proof& proof, bool verdict);
 
   kernel::Kernel* kernel_;
   Config config_;
@@ -187,6 +216,12 @@ class Guard {
 
   struct CacheEntry {
     CacheKey key;
+    // The proof the verdict was checked under. ProofHash is not
+    // cryptographic, so a hit must confirm ProofEquals before replaying
+    // the verdict — an engineered 64-bit collision must cost a full
+    // re-check, never an authorization. (Holding the proof also pins its
+    // nodes, so a cached key can never refer to freed storage.)
+    nal::Proof proof;
     bool verdict;
     kernel::ProcessId quota_root;
   };

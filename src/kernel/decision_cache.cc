@@ -4,17 +4,9 @@ namespace nexus::kernel {
 
 namespace {
 
-// Integer mixing (splitmix64 finalizer): the whole point of interned keys
-// is that this replaces byte-wise string hashing on every syscall.
-uint64_t Mix64(uint64_t x) {
-  x ^= x >> 30;
-  x *= 0xbf58476d1ce4e5b9ULL;
-  x ^= x >> 27;
-  x *= 0x94d049bb133111ebULL;
-  x ^= x >> 31;
-  return x;
-}
-
+// Tuple hash over interned keys (the whole point of interning is that this
+// replaces byte-wise string hashing on every syscall). Mix64 lives in
+// kernel/types.h so sharding and hashing agree on the mixer.
 uint64_t HashTuple(const AuthzRequest& r) {
   uint64_t packed = (static_cast<uint64_t>(r.op) << 32) | r.obj;
   return Mix64(packed ^ Mix64(r.subject + 0x9e3779b97f4a7c15ULL));
@@ -28,106 +20,177 @@ DecisionCache::DecisionCache(const Config& config) { Resize(config); }
 
 void DecisionCache::Resize(const Config& config) {
   config_ = config;
-  entries_.assign(config.num_subregions * config.entries_per_subregion, Entry{});
+  if (config_.num_shards == 0) {
+    config_.num_shards = 1;
+  }
+  shards_.clear();
+  shards_.reserve(config_.num_shards);
+  for (size_t i = 0; i < config_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->entries.assign(config_.num_subregions * config_.entries_per_subregion, Entry{});
+    shard->generations.assign(config_.num_subregions, 1);
+    shards_.push_back(std::move(shard));
+  }
 }
 
 void DecisionCache::Clear() {
-  for (Entry& e : entries_) {
-    e.valid = false;
+  // Epoch invalidation: entries stamp the subregion generation they were
+  // inserted under, so bumping every generation retires all of them in
+  // O(subregions) — no entry walk. (In-flight verdicts snapshotted before
+  // the clear drop for the same reason.)
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (uint64_t& gen : shard->generations) {
+      ++gen;
+    }
   }
+}
+
+size_t DecisionCache::ShardOf(ProcessId subject) const {
+  return static_cast<size_t>(Mix64(subject) % config_.num_shards);
 }
 
 size_t DecisionCache::SubregionIndex(OpId op, ObjectId obj) const {
   // Subject deliberately excluded: all entries for one (operation, object)
-  // land in the same subregion so setgoal invalidation is one memset.
+  // land in the same subregion index of every shard, so setgoal
+  // invalidation is one generation bump per shard.
   uint64_t packed = (static_cast<uint64_t>(op) << 32) | obj;
   return static_cast<size_t>(Mix64(packed) % config_.num_subregions);
 }
 
-DecisionCache::Entry* DecisionCache::Find(const AuthzRequest& request) {
+DecisionCache::Entry* DecisionCache::FindLocked(Shard& shard, const AuthzRequest& request) {
   size_t sub = SubregionIndex(request.op, request.obj);
+  uint64_t generation = shard.generations[sub];
   uint64_t key = HashTuple(request);
   size_t base = sub * config_.entries_per_subregion;
   size_t start = static_cast<size_t>(key % config_.entries_per_subregion);
-  // Linear probe within the subregion.
+  // Linear probe within the subregion. An entry stamped with an older
+  // generation was invalidated (or the slot was never filled: stamp 0);
+  // either way it terminates the probe chain exactly as an empty slot did.
   for (size_t i = 0; i < config_.entries_per_subregion; ++i) {
-    Entry& e = entries_[base + (start + i) % config_.entries_per_subregion];
-    if (e.valid && e.subject == request.subject && e.op == request.op &&
-        e.obj == request.obj) {
-      return &e;
+    Entry& e = shard.entries[base + (start + i) % config_.entries_per_subregion];
+    if (e.generation != generation) {
+      return nullptr;
     }
-    if (!e.valid) {
-      return nullptr;  // Probe chain ends at the first empty slot.
+    if (e.subject == request.subject && e.op == request.op && e.obj == request.obj) {
+      return &e;
     }
   }
   return nullptr;
 }
 
 std::optional<bool> DecisionCache::Lookup(const AuthzRequest& request) {
-  Entry* e = Find(request);
+  Shard& shard = *shards_[ShardOf(request.subject)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry* e = FindLocked(shard, request);
   if (e == nullptr) {
-    ++stats_.misses;
+    ++shard.stats.misses;
     return std::nullopt;
   }
-  ++stats_.hits;
+  ++shard.stats.hits;
   return e->allow;
 }
 
-void DecisionCache::Insert(const AuthzRequest& request, bool allow) {
+void DecisionCache::InsertLocked(Shard& shard, const AuthzRequest& request, bool allow) {
   size_t sub = SubregionIndex(request.op, request.obj);
+  uint64_t generation = shard.generations[sub];
   uint64_t key = HashTuple(request);
   size_t base = sub * config_.entries_per_subregion;
   size_t start = static_cast<size_t>(key % config_.entries_per_subregion);
   Entry* victim = nullptr;
   for (size_t i = 0; i < config_.entries_per_subregion; ++i) {
-    Entry& e = entries_[base + (start + i) % config_.entries_per_subregion];
-    if (e.valid && e.subject == request.subject && e.op == request.op &&
-        e.obj == request.obj) {
-      victim = &e;  // Update in place.
+    Entry& e = shard.entries[base + (start + i) % config_.entries_per_subregion];
+    if (e.generation != generation) {
+      victim = &e;  // Empty or invalidated slot.
       break;
     }
-    if (!e.valid) {
-      victim = &e;
+    if (e.subject == request.subject && e.op == request.op && e.obj == request.obj) {
+      victim = &e;  // Update in place.
       break;
     }
   }
   if (victim == nullptr) {
     // Subregion full: evict the natural slot (cache is soft state).
-    victim = &entries_[base + start];
+    victim = &shard.entries[base + start];
   }
-  victim->valid = true;
+  victim->generation = generation;
   victim->allow = allow;
   victim->subject = request.subject;
   victim->op = request.op;
   victim->obj = request.obj;
-  ++stats_.insertions;
+  ++shard.stats.insertions;
+}
+
+void DecisionCache::Insert(const AuthzRequest& request, bool allow) {
+  Shard& shard = *shards_[ShardOf(request.subject)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  InsertLocked(shard, request, allow);
+}
+
+uint64_t DecisionCache::Generation(const AuthzRequest& request) const {
+  const Shard& shard = *shards_[ShardOf(request.subject)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.generations[SubregionIndex(request.op, request.obj)];
+}
+
+bool DecisionCache::InsertIfUnchanged(const AuthzRequest& request, bool allow,
+                                      uint64_t generation) {
+  Shard& shard = *shards_[ShardOf(request.subject)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.generations[SubregionIndex(request.op, request.obj)] != generation) {
+    return false;  // An invalidation raced the verdict: drop, don't cache.
+  }
+  InsertLocked(shard, request, allow);
+  return true;
 }
 
 void DecisionCache::InvalidateEntry(const AuthzRequest& request) {
-  // A tombstone-free open-addressed table cannot simply clear one slot
-  // without breaking probe chains, so invalidate by rewriting the chain:
-  // cheapest correct option at this scale is clearing the subregion slice
-  // holding the key's probe chain up to the entry.
-  Entry* e = Find(request);
-  if (e != nullptr) {
-    // Clearing the entry may orphan later probes; clear the whole subregion
-    // chain conservatively (bounded by entries_per_subregion).
-    size_t sub = SubregionIndex(request.op, request.obj);
-    size_t base = sub * config_.entries_per_subregion;
-    for (size_t i = 0; i < config_.entries_per_subregion; ++i) {
-      entries_[base + i].valid = false;
-    }
-    ++stats_.invalidated_entries;
+  // A tombstone-free open-addressed table cannot clear one slot without
+  // breaking probe chains, so invalidate the whole subregion holding the
+  // key's probe chain. Only the subject's shard can hold the entry.
+  Shard& shard = *shards_[ShardOf(request.subject)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (FindLocked(shard, request) != nullptr) {
+    ++shard.stats.invalidated_entries;
   }
+  // The generation bump retires the subregion's entries wholesale, and it
+  // bumps whether or not an entry existed: an in-flight verdict for this
+  // tuple predates the proof update and must not be cached.
+  ++shard.generations[SubregionIndex(request.op, request.obj)];
 }
 
 void DecisionCache::InvalidateSubregion(OpId op, ObjectId obj) {
+  // Broadcast: entries for one (operation, object) are spread across shards
+  // by subject, but land in the same subregion index everywhere. One
+  // generation bump per shard retires the whole subregion — cheaper than
+  // the memset it replaces.
   size_t sub = SubregionIndex(op, obj);
-  size_t base = sub * config_.entries_per_subregion;
-  for (size_t i = 0; i < config_.entries_per_subregion; ++i) {
-    entries_[base + i].valid = false;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    ++shard->generations[sub];
+    ++shard->stats.subregion_invalidations;
   }
-  ++stats_.subregion_invalidations;
+}
+
+DecisionCache::Stats DecisionCache::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.insertions += shard->stats.insertions;
+    total.invalidated_entries += shard->stats.invalidated_entries;
+    total.subregion_invalidations += shard->stats.subregion_invalidations;
+  }
+  return total;
+}
+
+DecisionCache::Stats DecisionCache::shard_stats(size_t shard) const {
+  if (shard >= shards_.size()) {
+    return Stats{};
+  }
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->stats;
 }
 
 }  // namespace nexus::kernel

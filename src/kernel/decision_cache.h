@@ -7,13 +7,30 @@
 //   - a proof update clears the single affected entry;
 //   - a setgoal may affect many entries, so the hash function places all
 //     entries with the same (operation, object) into the same *subregion*
-//     and setgoal clears just that subregion.
+//     and setgoal clears that subregion.
 // Subregion size is configurable and trades invalidation cost against
 // collision rate (an ablation benchmark sweeps it).
+//
+// The cache is SHARDED by Mix64(subject) so a multi-worker authorization
+// frontend scales: each shard holds its own subregion array, statistics,
+// and lock, and a lookup or insert takes exactly one shard mutex. Because
+// the shard function ignores (operation, object), a setgoal invalidation
+// broadcasts the subregion clear to every shard; per-shard stats aggregate
+// on read.
+//
+// Every (shard, subregion) carries a GENERATION, bumped on invalidation,
+// Clear, and Resize. A caller computing a verdict outside the cache lock
+// (the kernel's engine upcall) snapshots the generation before the upcall
+// and inserts with InsertIfUnchanged: a concurrent setgoal/setproof that
+// invalidated the subregion in between bumps the generation and the stale
+// verdict is dropped instead of cached — preserving the serial decision
+// order the flush-boundary discipline defines.
 #ifndef NEXUS_KERNEL_DECISION_CACHE_H_
 #define NEXUS_KERNEL_DECISION_CACHE_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,8 +42,12 @@ namespace nexus::kernel {
 class DecisionCache {
  public:
   struct Config {
+    // Per shard; total capacity is num_shards * num_subregions *
+    // entries_per_subregion. (num_shards is last so legacy positional
+    // initializers keep their meaning.)
     size_t num_subregions = 64;
     size_t entries_per_subregion = 64;
+    size_t num_shards = 8;
   };
 
   struct Stats {
@@ -40,7 +61,7 @@ class DecisionCache {
   DecisionCache();
   explicit DecisionCache(const Config& config);
 
-  // Returns the cached verdict, if any.
+  // Returns the cached verdict, if any. Thread-safe.
   std::optional<bool> Lookup(const AuthzRequest& request);
   std::optional<bool> Lookup(ProcessId subject, std::string_view operation,
                              std::string_view object) {
@@ -48,13 +69,25 @@ class DecisionCache {
   }
 
   // Records a verdict (only cacheable decisions should be inserted).
+  // Thread-safe.
   void Insert(const AuthzRequest& request, bool allow);
   void Insert(ProcessId subject, std::string_view operation, std::string_view object,
               bool allow) {
     Insert(AuthzRequest::Of(subject, operation, object), allow);
   }
 
-  // Proof update: clears the single matching entry.
+  // The current generation of the subregion holding `request`. Snapshot it
+  // before computing a verdict outside the cache lock; pass it to
+  // InsertIfUnchanged to drop the verdict if an invalidation raced it.
+  uint64_t Generation(const AuthzRequest& request) const;
+
+  // Inserts `allow` only if the subregion generation still equals
+  // `generation` (no invalidation landed since the snapshot). Returns
+  // whether the insert happened. Thread-safe.
+  bool InsertIfUnchanged(const AuthzRequest& request, bool allow, uint64_t generation);
+
+  // Proof update: clears the single matching entry (it lives only in the
+  // subject's shard) and bumps that subregion's generation. Thread-safe.
   void InvalidateEntry(const AuthzRequest& request);
   void InvalidateEntry(ProcessId subject, std::string_view operation,
                        std::string_view object) {
@@ -62,7 +95,7 @@ class DecisionCache {
   }
 
   // setgoal: clears the subregion holding all entries for (operation,
-  // object).
+  // object) in EVERY shard (subjects hash across shards). Thread-safe.
   void InvalidateSubregion(OpId op, ObjectId obj);
   void InvalidateSubregion(std::string_view operation, std::string_view object) {
     InvalidateSubregion(InternOp(operation), InternObject(object));
@@ -71,27 +104,48 @@ class DecisionCache {
   // Drops everything (the cache is soft state; this is always safe).
   void Clear();
 
-  // Runtime resize; drops contents.
+  // Runtime resize (any field, including the shard count); drops contents.
+  // Not safe concurrently with other operations — quiesce the frontend
+  // first (the cache is reconfigured, not just mutated).
   void Resize(const Config& config);
 
-  const Stats& stats() const { return stats_; }
+  // Aggregated over all shards (by value: shards tally independently).
+  Stats stats() const;
+  // One shard's tally, for tests and ablation benchmarks.
+  Stats shard_stats(size_t shard) const;
+  // Which shard `subject`'s entries live in.
+  size_t ShardOf(ProcessId subject) const;
+
   const Config& config() const { return config_; }
 
  private:
   struct Entry {
-    bool valid = false;
+    // The subregion generation this entry was inserted under; the entry is
+    // live iff it equals the current generation (epoch invalidation:
+    // clearing a subregion is one counter bump, not an entry walk).
+    // Generations start at 1, so a zero-initialized entry is never live.
+    uint64_t generation = 0;
     bool allow = false;
     ProcessId subject = 0;
     OpId op = 0;
     ObjectId obj = 0;
   };
 
+  // A shard owns its mutex; unique_ptr keeps the vector reconfigurable.
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Entry> entries;       // num_subregions * entries_per_subregion
+    std::vector<uint64_t> generations;  // per subregion
+    Stats stats;
+  };
+
   size_t SubregionIndex(OpId op, ObjectId obj) const;
-  Entry* Find(const AuthzRequest& request);
+  // The matching entry in `shard`, or nullptr. Caller holds shard.mu.
+  Entry* FindLocked(Shard& shard, const AuthzRequest& request);
+  void InsertLocked(Shard& shard, const AuthzRequest& request, bool allow);
 
   Config config_;
-  std::vector<Entry> entries_;  // num_subregions * entries_per_subregion.
-  Stats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace nexus::kernel

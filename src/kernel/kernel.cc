@@ -382,7 +382,13 @@ IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& messag
       if (working.args.empty()) {
         return IpcReply{InvalidArgument("ipc_call needs a port"), {}, {}, 0};
       }
-      PortId port = static_cast<PortId>(std::stoull(working.args[0]));
+      // args[0] is caller-controlled: parse defensively (stoull would throw
+      // out of the kernel on "garbage" or a 100-digit number).
+      std::optional<uint64_t> parsed_port = ParseDecimalU64(working.args[0]);
+      if (!parsed_port.has_value()) {
+        return IpcReply{InvalidArgument("ipc_call: port must be a decimal id"), {}, {}, 0};
+      }
+      PortId port = static_cast<PortId>(*parsed_port);
       IpcMessage inner = working;
       inner.args.erase(inner.args.begin());
       if (!inner.args.empty()) {
@@ -418,9 +424,16 @@ Status Kernel::Authorize(const AuthzRequest& request) {
                      : PermissionDenied("denied (cached guard decision)");
     }
   }
+  // The engine upcall runs outside the cache locks, so a concurrent
+  // setgoal/setproof can invalidate this tuple's subregion mid-evaluation.
+  // Snapshot the subregion generation first; InsertIfUnchanged drops the
+  // verdict if an invalidation raced it, so a stale decision is recomputed
+  // on the next miss instead of cached past its goal change.
+  uint64_t generation =
+      decision_cache_enabled_ ? decision_cache_.Generation(request) : 0;
   AuthzDecision decision = engine_->Authorize(request);
   if (decision_cache_enabled_ && decision.cacheable) {
-    decision_cache_.Insert(request, decision.allowed());
+    decision_cache_.InsertIfUnchanged(request, decision.allowed(), generation);
   }
   return decision.ToStatus();
 }
@@ -432,6 +445,7 @@ std::vector<Status> Kernel::AuthorizeBatch(std::span<const AuthzRequest> request
   }
   std::vector<AuthzRequest> misses;
   std::vector<size_t> miss_slots;
+  std::vector<uint64_t> miss_generations;
   for (size_t i = 0; i < requests.size(); ++i) {
     if (decision_cache_enabled_) {
       std::optional<bool> cached = decision_cache_.Lookup(requests[i]);
@@ -443,6 +457,10 @@ std::vector<Status> Kernel::AuthorizeBatch(std::span<const AuthzRequest> request
     }
     misses.push_back(requests[i]);
     miss_slots.push_back(i);
+    // Snapshot before the engine upcall: see Authorize for the stale-insert
+    // race this closes.
+    miss_generations.push_back(
+        decision_cache_enabled_ ? decision_cache_.Generation(requests[i]) : 0);
   }
   if (misses.empty()) {
     return results;
@@ -450,7 +468,8 @@ std::vector<Status> Kernel::AuthorizeBatch(std::span<const AuthzRequest> request
   std::vector<AuthzDecision> decisions = engine_->AuthorizeBatch(misses);
   for (size_t j = 0; j < misses.size(); ++j) {
     if (decision_cache_enabled_ && decisions[j].cacheable) {
-      decision_cache_.Insert(misses[j], decisions[j].allowed());
+      decision_cache_.InsertIfUnchanged(misses[j], decisions[j].allowed(),
+                                        miss_generations[j]);
     }
     results[miss_slots[j]] = decisions[j].ToStatus();
   }

@@ -154,6 +154,16 @@ class Kernel {
   // pluggable engine, whose policy for them is its own (a deny-all engine
   // denies names nobody ever registered). The cost — novel names grow the
   // append-only tables — is recorded in ROADMAP "Name-table quotas".
+  //
+  // Authorize and AuthorizeBatch are the kernel's CONCURRENT frontend:
+  // safe to call from worker threads. Cache hits contend only on the
+  // subject's shard; misses upcall the engine (which serializes itself)
+  // and insert with a generation check so a verdict that raced a
+  // setgoal/setproof invalidation is dropped, not cached stale. Everything
+  // else on Kernel (process/port lifecycle, Call, Invoke, Interpose,
+  // procfs) must stay on the kernel thread AND be quiescent while workers
+  // can miss — a miss reads the process table and may upcall through
+  // Call/the net fabric. See README "Threading model".
   Status Authorize(const AuthzRequest& request);
   Status Authorize(ProcessId subject, std::string_view operation, std::string_view object) {
     return Authorize(AuthzRequest::Of(subject, operation, object));

@@ -10,7 +10,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -30,20 +32,52 @@ inline constexpr ProcessId kKernelProcessId = 0;
 using OpId = uint32_t;
 using ObjectId = uint32_t;
 
-// An append-only string intern table: name -> dense id, id -> name.
-// Single-threaded like the rest of the simulation.
+// Integer mixing (splitmix64 finalizer): the shared hash for interned-key
+// structures — the decision cache's tuple hash, its subject-sharding, and
+// name-table striping all use it so one id never hashes two ways.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// An append-only string intern table: name -> id, id -> name.
+//
+// Safe for concurrent use: the table is split into stripes selected by the
+// name's hash, each guarded by its own reader-writer lock, so worker
+// threads interning or resolving distinct names proceed without a global
+// bottleneck. Ids encode (stripe, per-stripe index) — they are stable,
+// unique, and fit the 32-bit OpId/ObjectId packing, but are NOT dense.
+// Returned string_views stay valid forever: stripes only append, and the
+// backing deque never moves a stored string.
 class NameTable {
  public:
-  NameTable() { Intern(""); }  // Id 0 = "".
+  NameTable() = default;
 
+  // Id 0 = "" always; non-empty names intern into their hash stripe.
   uint32_t Intern(std::string_view name) {
-    auto it = index_.find(name);
-    if (it != index_.end()) {
-      return it->second;
+    if (name.empty()) {
+      return 0;
     }
-    names_.emplace_back(name);
-    uint32_t id = static_cast<uint32_t>(names_.size() - 1);
-    index_.emplace(names_.back(), id);
+    Stripe& stripe = stripes_[StripeOf(name)];
+    {
+      std::shared_lock<std::shared_mutex> lock(stripe.mu);
+      auto it = stripe.index.find(name);
+      if (it != stripe.index.end()) {
+        return it->second;
+      }
+    }
+    std::unique_lock<std::shared_mutex> lock(stripe.mu);
+    auto it = stripe.index.find(name);
+    if (it != stripe.index.end()) {
+      return it->second;  // Raced with another interner; theirs wins.
+    }
+    stripe.names.emplace_back(name);
+    uint32_t id = EncodeId(StripeOf(name), static_cast<uint32_t>(stripe.names.size() - 1));
+    stripe.index.emplace(stripe.names.back(), id);
     return id;
   }
 
@@ -54,18 +88,38 @@ class NameTable {
   // Authorize string shim) still intern — see ROADMAP "Name-table
   // quotas" for the planned bound.
   std::optional<uint32_t> Find(std::string_view name) const {
-    auto it = index_.find(name);
-    if (it == index_.end()) {
+    if (name.empty()) {
+      return 0;
+    }
+    const Stripe& stripe = stripes_[StripeOf(name)];
+    std::shared_lock<std::shared_mutex> lock(stripe.mu);
+    auto it = stripe.index.find(name);
+    if (it == stripe.index.end()) {
       return std::nullopt;
     }
     return it->second;
   }
 
   std::string_view Name(uint32_t id) const {
-    return id < names_.size() ? std::string_view(names_[id]) : std::string_view();
+    if (id == 0) {
+      return std::string_view();
+    }
+    const Stripe& stripe = stripes_[id & kStripeMask];
+    uint32_t local = (id >> kStripeBits) - 1;
+    std::shared_lock<std::shared_mutex> lock(stripe.mu);
+    return local < stripe.names.size() ? std::string_view(stripe.names[local])
+                                       : std::string_view();
   }
 
-  size_t size() const { return names_.size(); }
+  // Number of interned names, counting the reserved empty name (id 0).
+  size_t size() const {
+    size_t total = 1;
+    for (const Stripe& stripe : stripes_) {
+      std::shared_lock<std::shared_mutex> lock(stripe.mu);
+      total += stripe.names.size();
+    }
+    return total;
+  }
 
  private:
   struct Hash {
@@ -76,9 +130,25 @@ class NameTable {
     using is_transparent = void;
     bool operator()(std::string_view a, std::string_view b) const { return a == b; }
   };
-  // deque keeps the strings' addresses stable for the string_view keys.
-  std::deque<std::string> names_;
-  std::unordered_map<std::string_view, uint32_t, Hash, Eq> index_;
+  struct Stripe {
+    mutable std::shared_mutex mu;
+    // deque keeps the strings' addresses stable for the string_view keys.
+    std::deque<std::string> names;
+    std::unordered_map<std::string_view, uint32_t, Hash, Eq> index;
+  };
+
+  static constexpr uint32_t kStripeBits = 3;
+  static constexpr uint32_t kNumStripes = 1u << kStripeBits;
+  static constexpr uint32_t kStripeMask = kNumStripes - 1;
+
+  static uint32_t StripeOf(std::string_view name) {
+    return static_cast<uint32_t>(Mix64(std::hash<std::string_view>{}(name)) & kStripeMask);
+  }
+  static uint32_t EncodeId(uint32_t stripe, uint32_t local) {
+    return ((local + 1) << kStripeBits) | stripe;
+  }
+
+  Stripe stripes_[kNumStripes];
 };
 
 // Process-wide intern tables shared by the kernel, engine, and guards (ids

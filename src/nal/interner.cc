@@ -2,9 +2,7 @@
 
 namespace nexus::nal {
 
-namespace {
-
-inline uint64_t Mix(uint64_t h, uint64_t v) {
+uint64_t HashMix(uint64_t h, uint64_t v) {
   // splitmix64-style combiner: cheap, and good enough that the interner's
   // Equals() fallback is exercised only by genuine collisions.
   h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
@@ -22,12 +20,25 @@ uint64_t HashBytes(std::string_view s, uint64_t seed) {
   return h;
 }
 
+namespace {
+
 uint64_t HashPrincipal(const Principal& p) {
   uint64_t h = HashBytes(p.base(), 0x5bd1e995);
   for (const std::string& tag : p.path()) {
-    h = Mix(h, HashBytes(tag, 0x2545f491));
+    h = HashMix(h, HashBytes(tag, 0x2545f491));
   }
   return h;
+}
+
+// splitmix64 finalizer over an address (pointer-stripe selection).
+inline uint64_t Mix64Pointer(uintptr_t p) {
+  uint64_t x = static_cast<uint64_t>(p) >> 4;  // Drop allocation alignment.
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
 }
 
 uint64_t HashTerm(const Term& t) {
@@ -37,17 +48,17 @@ uint64_t HashTerm(const Term& t) {
   uint64_t h = static_cast<uint64_t>(t.kind()) + 0x100;
   switch (t.kind()) {
     case TermKind::kInt:
-      return Mix(h, static_cast<uint64_t>(t.int_value()));
+      return HashMix(h, static_cast<uint64_t>(t.int_value()));
     case TermKind::kString:
     case TermKind::kVariable:
-      return Mix(h, HashBytes(t.text(), h));
+      return HashMix(h, HashBytes(t.text(), h));
     case TermKind::kSymbol:
-      return Mix(kSymbolSeed, HashBytes(t.text(), kSymbolSeed));
+      return HashMix(kSymbolSeed, HashBytes(t.text(), kSymbolSeed));
     case TermKind::kPrincipal:
       if (t.principal().path().empty()) {
-        return Mix(kSymbolSeed, HashBytes(t.principal().base(), kSymbolSeed));
+        return HashMix(kSymbolSeed, HashBytes(t.principal().base(), kSymbolSeed));
       }
-      return Mix(h, HashPrincipal(t.principal()));
+      return HashMix(h, HashPrincipal(t.principal()));
   }
   return h;
 }
@@ -62,34 +73,34 @@ uint64_t StructuralHash(const Formula& f) {
   switch (f->kind()) {
     case FormulaKind::kTrue:
     case FormulaKind::kFalse:
-      return Mix(h, 1);
+      return HashMix(h, 1);
     case FormulaKind::kPred:
-      h = Mix(h, HashBytes(f->pred_name(), h));
+      h = HashMix(h, HashBytes(f->pred_name(), h));
       for (const Term& t : f->args()) {
-        h = Mix(h, HashTerm(t));
+        h = HashMix(h, HashTerm(t));
       }
       return h;
     case FormulaKind::kCompare:
-      h = Mix(h, static_cast<uint64_t>(f->compare_op()));
-      h = Mix(h, HashTerm(f->lhs()));
-      return Mix(h, HashTerm(f->rhs()));
+      h = HashMix(h, static_cast<uint64_t>(f->compare_op()));
+      h = HashMix(h, HashTerm(f->lhs()));
+      return HashMix(h, HashTerm(f->rhs()));
     case FormulaKind::kSays:
-      h = Mix(h, HashPrincipal(f->speaker()));
-      return Mix(h, StructuralHash(f->child1()));
+      h = HashMix(h, HashPrincipal(f->speaker()));
+      return HashMix(h, StructuralHash(f->child1()));
     case FormulaKind::kSpeaksFor:
-      h = Mix(h, HashPrincipal(f->delegator()));
-      h = Mix(h, HashPrincipal(f->delegatee()));
+      h = HashMix(h, HashPrincipal(f->delegator()));
+      h = HashMix(h, HashPrincipal(f->delegatee()));
       if (f->on_scope().has_value()) {
-        h = Mix(h, HashBytes(*f->on_scope(), h));
+        h = HashMix(h, HashBytes(*f->on_scope(), h));
       }
       return h;
     case FormulaKind::kAnd:
     case FormulaKind::kOr:
     case FormulaKind::kImplies:
-      h = Mix(h, StructuralHash(f->child1()));
-      return Mix(h, StructuralHash(f->child2()));
+      h = HashMix(h, StructuralHash(f->child1()));
+      return HashMix(h, StructuralHash(f->child2()));
     case FormulaKind::kNot:
-      return Mix(h, StructuralHash(f->child1()));
+      return HashMix(h, StructuralHash(f->child1()));
   }
   return h;
 }
@@ -98,35 +109,79 @@ FormulaId Interner::Intern(const Formula& f) {
   if (f == nullptr) {
     return kInvalidFormulaId;
   }
-  auto by_ptr = by_pointer_.find(f.get());
-  if (by_ptr != by_pointer_.end()) {
-    return by_ptr->second;
-  }
-  uint64_t hash = StructuralHash(f);
-  std::vector<FormulaId>& bucket = by_hash_[hash];
-  for (FormulaId id : bucket) {
-    if (Equals(formulas_[id - 1], f)) {
-      // Deliberately NOT memoized by pointer: `f` is an alias the interner
-      // does not keep alive, and a freed node's address can be reused by a
-      // different formula later. Only canonical nodes (owned by formulas_,
-      // immortal) are safe pointer-map keys.
-      return id;
+  // Pointer fast path: canonical nodes (label/goal stores hold them) cost
+  // one shared-locked probe, no structural hash.
+  PointerStripe& pstripe =
+      pointer_stripes_[Mix64Pointer(reinterpret_cast<uintptr_t>(f.get())) & kStripeMask];
+  {
+    std::shared_lock<std::shared_mutex> lock(pstripe.mu);
+    auto by_ptr = pstripe.by_pointer.find(f.get());
+    if (by_ptr != pstripe.by_pointer.end()) {
+      return by_ptr->second;
     }
   }
-  formulas_.push_back(f);
-  FormulaId id = static_cast<FormulaId>(formulas_.size());
-  bucket.push_back(id);
-  by_pointer_[f.get()] = id;  // f is now canonical and owned forever.
+  uint64_t hash = StructuralHash(f);
+  uint64_t stripe_index = hash & kStripeMask;
+  HashStripe& stripe = hash_stripes_[stripe_index];
+  // An alias of an already-interned formula (freshly parsed per request,
+  // say) is the common case: probe under the reader lock first so
+  // concurrent lookups in one stripe never serialize.
+  {
+    std::shared_lock<std::shared_mutex> lock(stripe.mu);
+    auto bucket_it = stripe.by_hash.find(hash);
+    if (bucket_it != stripe.by_hash.end()) {
+      for (FormulaId existing : bucket_it->second) {
+        if (Equals(stripe.formulas[(existing >> kStripeBits) - 1], f)) {
+          // Deliberately NOT memoized by pointer: `f` is an alias the
+          // interner does not keep alive, and a freed node's address can
+          // be reused by a different formula later. Only canonical nodes
+          // (owned by the stripe, immortal) are safe pointer-map keys.
+          return existing;
+        }
+      }
+    }
+  }
+  FormulaId id = kInvalidFormulaId;
+  {
+    std::unique_lock<std::shared_mutex> lock(stripe.mu);
+    std::vector<FormulaId>& bucket = stripe.by_hash[hash];
+    for (FormulaId existing : bucket) {
+      if (Equals(stripe.formulas[(existing >> kStripeBits) - 1], f)) {
+        return existing;  // Raced with another interner; theirs wins.
+      }
+    }
+    stripe.formulas.push_back(f);
+    id = EncodeId(stripe_index, stripe.formulas.size() - 1);
+    bucket.push_back(id);
+  }
+  // f is now canonical and owned forever; memoize its address.
+  std::unique_lock<std::shared_mutex> lock(pstripe.mu);
+  pstripe.by_pointer[f.get()] = id;
   return id;
 }
 
 Formula Interner::Canonical(const Formula& f) { return Resolve(Intern(f)); }
 
 Formula Interner::Resolve(FormulaId id) const {
-  if (id == kInvalidFormulaId || id > formulas_.size()) {
+  if (id == kInvalidFormulaId) {
     return nullptr;
   }
-  return formulas_[id - 1];
+  const HashStripe& stripe = hash_stripes_[id & kStripeMask];
+  uint64_t local = (id >> kStripeBits) - 1;
+  std::shared_lock<std::shared_mutex> lock(stripe.mu);
+  if (local >= stripe.formulas.size()) {
+    return nullptr;
+  }
+  return stripe.formulas[local];
+}
+
+size_t Interner::size() const {
+  size_t total = 0;
+  for (const HashStripe& stripe : hash_stripes_) {
+    std::shared_lock<std::shared_mutex> lock(stripe.mu);
+    total += stripe.formulas.size();
+  }
+  return total;
 }
 
 Interner& Interner::Global() {

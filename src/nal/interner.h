@@ -17,12 +17,21 @@
 //     with the canonical node after one Equals() confirmation.
 //
 // The interner is append-only soft state shared by label stores, goal
-// stores, and guard proof-check caches; like the rest of the kernel
-// simulation it is single-threaded by design.
+// stores, and guard proof-check caches. It is safe for concurrent use:
+// both memo maps are striped (the pointer memo by address, the structural
+// memo by hash), each stripe behind its own reader-writer lock, so worker
+// threads interning or resolving distinct formulas never contend on a
+// global lock. Ids encode (stripe, per-stripe index); they are stable and
+// unique but NOT dense. Canonical nodes are immortal, so a Formula
+// returned by Canonical/Resolve is valid without holding any lock.
 #ifndef NEXUS_NAL_INTERNER_H_
 #define NEXUS_NAL_INTERNER_H_
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -30,7 +39,7 @@
 
 namespace nexus::nal {
 
-// 1-based; 0 never names a formula.
+// Nonzero; 0 never names a formula.
 using FormulaId = uint64_t;
 inline constexpr FormulaId kInvalidFormulaId = 0;
 
@@ -38,6 +47,13 @@ inline constexpr FormulaId kInvalidFormulaId = 0;
 // principals, children). Equal formulas hash equal; collisions are resolved
 // by Equals() inside the interner.
 uint64_t StructuralHash(const Formula& f);
+
+// The hash primitives behind StructuralHash and nal::ProofHash — shared so
+// the two never drift (equal structures must hash equal across modules).
+// splitmix64-style combiner:
+uint64_t HashMix(uint64_t h, uint64_t v);
+// FNV-1a over bytes, seeded:
+uint64_t HashBytes(std::string_view s, uint64_t seed);
 
 class Interner {
  public:
@@ -54,17 +70,39 @@ class Interner {
   Formula Resolve(FormulaId id) const;
 
   // Number of distinct interned formulas.
-  size_t size() const { return formulas_.size(); }
+  size_t size() const;
 
   // The process-wide interner used by label stores, goal stores, and
   // guards. Ids from it are comparable across all of them.
   static Interner& Global();
 
  private:
-  std::unordered_map<const FormulaNode*, FormulaId> by_pointer_;
-  // hash -> ids of interned formulas with that structural hash.
-  std::unordered_map<uint64_t, std::vector<FormulaId>> by_hash_;
-  std::vector<Formula> formulas_;  // id - 1 -> canonical node.
+  static constexpr uint64_t kStripeBits = 4;
+  static constexpr uint64_t kNumStripes = 1ULL << kStripeBits;
+  static constexpr uint64_t kStripeMask = kNumStripes - 1;
+
+  // Canonical storage, striped by structural hash. An id decodes as
+  // (stripe = id & mask, local = (id >> bits) - 1) into that stripe's
+  // formula deque (deque: stable addresses under append).
+  struct HashStripe {
+    mutable std::shared_mutex mu;
+    // hash -> ids of interned formulas with that structural hash.
+    std::unordered_map<uint64_t, std::vector<FormulaId>> by_hash;
+    std::deque<Formula> formulas;
+  };
+  // The pointer fast path, striped by address. Only canonical nodes (owned
+  // forever by a HashStripe) are keys, so a hit needs no hash computation.
+  struct PointerStripe {
+    mutable std::shared_mutex mu;
+    std::unordered_map<const FormulaNode*, FormulaId> by_pointer;
+  };
+
+  static FormulaId EncodeId(uint64_t stripe, uint64_t local) {
+    return ((local + 1) << kStripeBits) | stripe;
+  }
+
+  HashStripe hash_stripes_[kNumStripes];
+  PointerStripe pointer_stripes_[kNumStripes];
 };
 
 }  // namespace nexus::nal

@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "nal/interner.h"
 #include "nal/parser.h"
 
 namespace nexus::nal {
@@ -77,6 +78,52 @@ void CollectAuthorityLeaves(const Proof& p, std::vector<Formula>* out) {
 }
 
 }  // namespace
+
+uint64_t ProofHash(const Proof& p) {
+  if (p == nullptr) {
+    return 0;
+  }
+  uint64_t memo = p->hash_memo_.load(std::memory_order_relaxed);
+  if (memo != 0) {
+    return memo;
+  }
+  // HashMix/HashBytes are the interner's combiners (nal/interner.h) —
+  // shared so formula and proof hashing can never drift apart.
+  uint64_t h = static_cast<uint64_t>(p->rule()) + 0xA000;
+  h = HashMix(h, StructuralHash(p->aux()));
+  h = HashMix(h, HashBytes(p->principal().base(), 0x70726f6f));
+  for (const std::string& tag : p->principal().path()) {
+    h = HashMix(h, HashBytes(tag, 0x70617468));
+  }
+  for (const Proof& child : p->children()) {
+    h = HashMix(h, ProofHash(child));
+  }
+  if (h == 0) {
+    h = 1;  // Keep 0 as the "uncomputed" sentinel.
+  }
+  p->hash_memo_.store(h, std::memory_order_relaxed);
+  return h;
+}
+
+bool ProofEquals(const Proof& a, const Proof& b) {
+  if (a == b) {
+    return true;  // Pointer identity (covers both-null).
+  }
+  if (a == nullptr || b == nullptr) {
+    return false;
+  }
+  if (a->rule() != b->rule() || !Equals(a->aux(), b->aux()) ||
+      !(a->principal() == b->principal()) ||
+      a->children().size() != b->children().size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a->children().size(); ++i) {
+    if (!ProofEquals(a->children()[i], b->children()[i])) {
+      return false;
+    }
+  }
+  return true;
+}
 
 std::vector<Formula> AuthorityLeaves(const Proof& p) {
   std::vector<Formula> leaves;

@@ -16,6 +16,8 @@
 #ifndef NEXUS_NAL_PROOF_H_
 #define NEXUS_NAL_PROOF_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -72,12 +74,19 @@ class ProofNode {
                     Principal principal = Principal());
 
  private:
+  friend uint64_t ProofHash(const Proof& p);
+
   ProofNode() = default;
 
   ProofRule rule_ = ProofRule::kPremise;
   std::vector<Proof> children_;
   Formula aux_;
   Principal principal_;
+  // Lazily computed ProofHash. 0 = not yet computed (a real hash of 0 is
+  // remapped); atomic so concurrent readers may race benignly — the hash
+  // is a pure function of the immutable node, every writer stores the same
+  // value.
+  mutable std::atomic<uint64_t> hash_memo_{0};
 };
 
 // Convenience constructors mirroring the rules.
@@ -111,6 +120,24 @@ Proof Handoff(Proof says_speaksfor);
 // duplicates preserved). Authority leaves are syntactic, so a batch caller
 // can prefetch every consultation a proof will make before checking it.
 std::vector<Formula> AuthorityLeaves(const Proof& p);
+
+// 64-bit structural hash of a proof (rule, children, aux formulas,
+// says-intro speakers). Structurally equal proofs hash equal; a cache
+// keying on this hash — unlike one keying on the proof's ADDRESS — cannot
+// replay a freed proof's verdict for a different proof that happens to be
+// allocated at the same address (the ABA hazard). Memoized per node, so
+// repeated calls on a pre-submitted proof are O(1). Null hashes to 0;
+// every real proof hashes nonzero.
+//
+// The hash is NOT cryptographic: a determined adversary can construct
+// colliding proofs offline, so any security-sensitive consumer must
+// confirm a hash match with ProofEquals before trusting it (the guard's
+// proof-check cache does).
+uint64_t ProofHash(const Proof& p);
+
+// Structural equality: same rules, same aux formulas (nal::Equals), same
+// says-intro speakers, same children. Two nulls are equal.
+bool ProofEquals(const Proof& a, const Proof& b);
 
 // Serializes a proof to a stable s-expression text form, e.g.
 //   (speaksfor-elim (handoff (premise "B says (A speaksfor B)"))

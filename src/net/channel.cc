@@ -477,11 +477,21 @@ Status AttestedChannel::SendSecure(const std::string& service, ByteView payload)
   return SendData(service, /*request_id=*/0, /*is_response=*/false, payload);
 }
 
-Result<Bytes> AttestedChannel::Call(const std::string& service, ByteView payload,
-                                    uint64_t timeout_us) {
-  uint64_t deadline = transport_->now_us() + timeout_us;
+Result<uint64_t> AttestedChannel::CallStart(const std::string& service, ByteView payload,
+                                            uint64_t timeout_us) {
   uint64_t request_id = next_request_id_++;
   NEXUS_RETURN_IF_ERROR(SendData(service, request_id, /*is_response=*/false, payload));
+  call_deadlines_[request_id] = transport_->now_us() + timeout_us;
+  return request_id;
+}
+
+Result<Bytes> AttestedChannel::CallFinish(uint64_t request_id) {
+  auto deadline_it = call_deadlines_.find(request_id);
+  if (deadline_it == call_deadlines_.end()) {
+    return InvalidArgument("no outstanding call with this request id");
+  }
+  uint64_t deadline = deadline_it->second;
+  call_deadlines_.erase(deadline_it);
   transport_->DeliverAll();
   auto it = responses_.find(request_id);
   if (it == responses_.end()) {
@@ -501,6 +511,15 @@ Result<Bytes> AttestedChannel::Call(const std::string& service, ByteView payload
                                          response.payload.size() - 1)));
   }
   return Bytes(response.payload.begin() + 1, response.payload.end());
+}
+
+Result<Bytes> AttestedChannel::Call(const std::string& service, ByteView payload,
+                                    uint64_t timeout_us) {
+  Result<uint64_t> request_id = CallStart(service, payload, timeout_us);
+  if (!request_id.ok()) {
+    return request_id.status();
+  }
+  return CallFinish(*request_id);
 }
 
 nal::Principal AttestedChannel::peer_principal() const {

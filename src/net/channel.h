@@ -88,7 +88,18 @@ class AttestedChannel {
   // Request/response with a simulated-clock deadline. A dropped message or
   // an answer arriving after the deadline is Unavailable — the caller (e.g.
   // a guard consulting a remote authority) treats that as a denial.
+  // Equivalent to CallStart + CallFinish back to back.
   Result<Bytes> Call(const std::string& service, ByteView payload, uint64_t timeout_us);
+
+  // The async halves of Call, for overlapping round trips with local work
+  // (futures on the simulated clock). CallStart puts the request in flight
+  // and returns its id WITHOUT pumping the fabric; the deadline clock
+  // starts now. CallFinish pumps the fabric to quiescence and returns the
+  // response — Unavailable on loss or a reply past the deadline. Multiple
+  // CallStarts may be outstanding; finish each exactly once, in any order.
+  Result<uint64_t> CallStart(const std::string& service, ByteView payload,
+                             uint64_t timeout_us);
+  Result<Bytes> CallFinish(uint64_t request_id);
 
   uint64_t channel_id() const { return channel_id_; }
   bool is_initiator() const { return initiator_; }
@@ -168,6 +179,9 @@ class AttestedChannel {
     uint64_t received_at = 0;
   };
   std::map<uint64_t, PendingResponse> responses_;
+  // Deadlines of CallStart requests not yet finished (request id -> the
+  // simulated-clock instant after which the reply no longer counts).
+  std::map<uint64_t, uint64_t> call_deadlines_;
   Stats stats_;
 };
 

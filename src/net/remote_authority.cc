@@ -103,35 +103,75 @@ bool RemoteAuthority::VouchesWithin(const nal::Formula& statement, uint64_t time
   return vouched;
 }
 
-std::vector<bool> RemoteAuthority::VouchBatch(std::span<const nal::Formula> statements,
-                                              uint64_t timeout_us) {
-  std::vector<bool> answers(statements.size(), false);
-  if (statements.empty()) {
-    return answers;
+namespace {
+
+// A future whose Wait() runs a deferred collection step (or, for failures
+// detected at issue time, just returns the fail-closed answers).
+class FunctionVouchFuture : public core::VouchFuture {
+ public:
+  explicit FunctionVouchFuture(std::function<std::vector<bool>()> collect)
+      : collect_(std::move(collect)) {}
+  std::vector<bool> Wait() override { return collect_(); }
+
+ private:
+  std::function<std::vector<bool>()> collect_;
+};
+
+}  // namespace
+
+std::unique_ptr<core::VouchFuture> RemoteAuthority::VouchBatchAsync(
+    std::span<const nal::Formula> statements, uint64_t timeout_us) {
+  size_t count = statements.size();
+  auto fail_closed = [count] {
+    return std::make_unique<FunctionVouchFuture>(
+        [count] { return std::vector<bool>(count, false); });
+  };
+  if (count == 0) {
+    return fail_closed();
   }
-  stats_.queries += statements.size();
+  stats_.queries += count;
   ++stats_.batch_round_trips;
+  // Connect() may pump the fabric for the handshake (once per peer); the
+  // request itself goes out below WITHOUT pumping, so round trips to
+  // several peers can be in flight simultaneously.
   Result<AttestedChannel*> channel = node_->Connect(peer_);
   if (!channel.ok()) {
-    stats_.denied_unreachable += statements.size();
-    return answers;  // Fail closed for the whole batch.
+    stats_.denied_unreachable += count;
+    return fail_closed();  // Unreachable or untrusted peer: fail closed.
   }
   Bytes payload;
-  AppendU32(payload, static_cast<uint32_t>(statements.size()));
+  AppendU32(payload, static_cast<uint32_t>(count));
   for (const nal::Formula& statement : statements) {
     AppendLengthPrefixed(payload, ToBytes(statement->ToString()));
   }
-  Result<Bytes> reply = (*channel)->Call(std::string(AuthorityService::kBatchServiceName),
-                                         payload, timeout_us);
-  if (!reply.ok()) {
-    stats_.denied_unreachable += statements.size();
-    return answers;  // One deadline governs the whole round trip.
+  Result<uint64_t> request = (*channel)->CallStart(
+      std::string(AuthorityService::kBatchServiceName), payload, timeout_us);
+  if (!request.ok()) {
+    stats_.denied_unreachable += count;
+    return fail_closed();
   }
-  for (size_t i = 0; i < statements.size(); ++i) {
-    answers[i] = i < reply->size() && (*reply)[i] == 1;
-    ++(answers[i] ? stats_.vouched : stats_.denied);
-  }
-  return answers;
+  AttestedChannel* ch = *channel;
+  uint64_t request_id = *request;
+  return std::make_unique<FunctionVouchFuture>([this, ch, request_id, count] {
+    std::vector<bool> answers(count, false);
+    Result<Bytes> reply = ch->CallFinish(request_id);
+    if (!reply.ok()) {
+      stats_.denied_unreachable += count;
+      return answers;  // One deadline governs the whole round trip.
+    }
+    for (size_t i = 0; i < count; ++i) {
+      answers[i] = i < reply->size() && (*reply)[i] == 1;
+      ++(answers[i] ? stats_.vouched : stats_.denied);
+    }
+    return answers;
+  });
+}
+
+std::vector<bool> RemoteAuthority::VouchBatch(std::span<const nal::Formula> statements,
+                                              uint64_t timeout_us) {
+  // The blocking path is just issue-then-wait; stats and deadline behavior
+  // are shared with the pipelined path by construction.
+  return VouchBatchAsync(statements, timeout_us)->Wait();
 }
 
 }  // namespace nexus::net

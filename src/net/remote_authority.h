@@ -98,6 +98,12 @@ class RemoteAuthority : public core::Authority {
   // of them (fail closed, same as the single-statement path).
   std::vector<bool> VouchBatch(std::span<const nal::Formula> statements,
                                uint64_t timeout_us) override;
+  // The pipelined variant: the VouchBatch wire message goes out NOW and the
+  // reply is collected at Wait(), so the caller overlaps this round trip
+  // with other round trips and with local proof checking. Deadline
+  // semantics are identical to VouchBatch (the clock starts at issue).
+  std::unique_ptr<core::VouchFuture> VouchBatchAsync(
+      std::span<const nal::Formula> statements, uint64_t timeout_us) override;
   bool IsRemote() const override { return true; }
 
   const Stats& stats() const { return stats_; }

@@ -383,6 +383,111 @@ TEST(GuardCacheTest, StateVersionZeroBypassesVerdictCache) {
   EXPECT_EQ(guard.stats().cache_hits, 1u);
 }
 
+TEST(GuardQuotaTest, ZeroPerRootQuotaDisablesCachingWithoutHanging) {
+  // per_root_quota = 0 used to make the quota loop condition vacuously
+  // true: with an empty LRU it dereferenced std::prev(lru_.end()) — UB —
+  // and with a non-empty one it spun forever. It must mean "nobody may
+  // cache" and return promptly.
+  kernel::Kernel k;
+  Guard::Config config;
+  config.per_root_quota = 0;
+  Guard guard(&k, config);
+  kernel::ProcessId subject = *k.CreateProcess("subject", ToBytes("x"));
+  nal::Formula goal = F("A says ok()");
+  nal::Proof proof = nal::proof::Premise(goal);
+  std::vector<nal::Formula> creds = {goal};
+
+  for (int i = 0; i < 4; ++i) {
+    kernel::AuthzDecision d =
+        guard.Check(subject, "op", "obj", goal, proof, creds, /*state_version=*/1);
+    EXPECT_TRUE(d.allowed());
+  }
+  EXPECT_EQ(guard.stats().cache_hits, 0u);  // Nothing was ever inserted.
+
+  // Zero capacity is the same full-disable, via the other field.
+  Guard::Config no_capacity;
+  no_capacity.proof_cache_capacity = 0;
+  Guard uncached(&k, no_capacity);
+  uncached.Check(subject, "op", "obj", goal, proof, creds, /*state_version=*/1);
+  uncached.Check(subject, "op", "obj", goal, proof, creds, /*state_version=*/1);
+  EXPECT_EQ(uncached.stats().cache_hits, 0u);
+}
+
+TEST(GuardCacheTest, FreedProofAddressReuseDoesNotReplayVerdict) {
+  // ABA regression: the proof-check cache used to key on the proof's
+  // ADDRESS. Free a cached proof, allocate a different proof (the
+  // allocator happily hands back the same storage), and the old verdict
+  // replayed for the new proof. The key is now the proof's structural
+  // hash, so the second proof must be judged on its own (lack of) merits.
+  kernel::Kernel k;
+  Guard guard(&k);
+  kernel::ProcessId subject = *k.CreateProcess("subject", ToBytes("x"));
+  nal::Formula goal = F("A says ok()");
+  nal::Formula bogus = F("B says bogus()");
+  std::vector<nal::Formula> creds = {goal};
+
+  // Loop to make same-size allocator reuse overwhelmingly likely.
+  for (int i = 0; i < 16; ++i) {
+    nal::Proof valid = nal::proof::Premise(goal);
+    kernel::AuthzDecision allowed =
+        guard.Check(subject, "op", "obj", goal, valid, creds, /*state_version=*/7);
+    ASSERT_TRUE(allowed.allowed());
+    valid.reset();  // Free the node; its storage may be reused...
+    nal::Proof imposter = nal::proof::Premise(bogus);  // ...by this proof.
+    kernel::AuthzDecision denied =
+        guard.Check(subject, "op", "obj", goal, imposter, creds, /*state_version=*/7);
+    EXPECT_FALSE(denied.allowed()) << "stale cached verdict replayed, iteration " << i;
+  }
+}
+
+TEST(GuardCacheTest, StructurallyEqualResubmittedProofStillHits) {
+  // The flip side of hash keying: a client that rebuilds the same proof
+  // object (new address, same structure) now HITS where the address key
+  // missed — structural identity is the sound notion, address never was.
+  kernel::Kernel k;
+  Guard guard(&k);
+  kernel::ProcessId subject = *k.CreateProcess("subject", ToBytes("x"));
+  nal::Formula goal = F("A says ok()");
+  std::vector<nal::Formula> creds = {goal};
+
+  guard.Check(subject, "op", "obj", goal, nal::proof::Premise(goal), creds,
+              /*state_version=*/3);
+  EXPECT_EQ(guard.stats().cache_hits, 0u);
+  guard.Check(subject, "op", "obj", goal, nal::proof::Premise(F("A says ok()")), creds,
+              /*state_version=*/3);
+  EXPECT_EQ(guard.stats().cache_hits, 1u);
+}
+
+TEST(GuardPortHandlerTest, GarbageSubjectReturnsInvalidArgument) {
+  // Regression: `check garbage op obj proof` over the guard IPC port used
+  // to std::stoull("garbage") and throw std::invalid_argument out of the
+  // simulation. The designated-guard surface is untrusted input.
+  kernel::Kernel k;
+  Guard guard(&k);
+  GoalStore goals;
+  ASSERT_TRUE(goals.SetGoal("op", "obj", F("A says ok()")).ok());
+  GuardPortHandler handler(&guard, &goals);
+
+  kernel::IpcContext context{1, 1};
+  kernel::IpcMessage garbage;
+  garbage.operation = "check";
+  garbage.args = {"garbage", "op", "obj", "(premise \"A says ok()\")"};
+  kernel::IpcReply reply = handler.Handle(context, garbage);
+  EXPECT_EQ(reply.status.code(), ErrorCode::kInvalidArgument);
+
+  // std::out_of_range surface: a subject bigger than uint64.
+  kernel::IpcMessage huge = garbage;
+  huge.args[0] = "123456789012345678901234567890";
+  reply = handler.Handle(context, huge);
+  EXPECT_EQ(reply.status.code(), ErrorCode::kInvalidArgument);
+
+  // A well-formed subject still goes through the full guard path.
+  kernel::IpcMessage valid = garbage;
+  valid.args[0] = "7";
+  reply = handler.Handle(context, valid);
+  EXPECT_NE(reply.status.code(), ErrorCode::kInvalidArgument);
+}
+
 // -------------------------------------------------------- Certificates
 
 TEST_F(NexusTest, ExternalizeAndImportCertificate) {

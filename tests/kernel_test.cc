@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "kernel/decision_cache.h"
 #include "kernel/fileserver.h"
 #include "kernel/hash_attestation.h"
@@ -340,6 +342,19 @@ TEST(SyscallTest, DeadProcessCannotInvoke) {
   EXPECT_FALSE(k.Invoke(pid, Syscall::kNull, {}).status.ok());
 }
 
+TEST(SyscallTest, IpcCallRejectsNonNumericPortWithoutThrowing) {
+  // The port argument is caller-controlled; a non-numeric or overlong
+  // string must come back InvalidArgument, not escape as a std::stoull
+  // exception that kills the simulation.
+  Kernel k;
+  ProcessId pid = *k.CreateProcess("p", ToBytes("b"));
+  IpcReply garbage = k.Invoke(pid, Syscall::kIpcCall, IpcMessage{"", {"garbage"}, {}});
+  EXPECT_EQ(garbage.status.code(), ErrorCode::kInvalidArgument);
+  IpcReply huge = k.Invoke(pid, Syscall::kIpcCall,
+                           IpcMessage{"", {"99999999999999999999999999"}, {}});
+  EXPECT_EQ(huge.status.code(), ErrorCode::kInvalidArgument);
+}
+
 TEST(SyscallTest, ProcReadGoesThroughAuthorization) {
   Kernel k;
   ProcessId pid = *k.CreateProcess("p", ToBytes("b"));
@@ -521,6 +536,94 @@ TEST(DecisionCacheTest, EvictionUnderPressureStaysCorrect) {
       EXPECT_EQ(*hit, i % 2 == 0) << i;
     }
   }
+}
+
+TEST(DecisionCacheTest, CrossShardSubregionInvalidationReachesEveryShard) {
+  DecisionCache::Config config;
+  config.num_shards = 8;
+  DecisionCache cache(config);
+  // Subjects spread across shards; every entry shares one (op, object).
+  std::set<size_t> shards_used;
+  for (ProcessId pid = 1; pid <= 64; ++pid) {
+    cache.Insert(pid, "read", "file:/x", true);
+    shards_used.insert(cache.ShardOf(pid));
+  }
+  ASSERT_GT(shards_used.size(), 1u) << "subjects must actually span shards";
+  // One setgoal-style invalidation must reach all of them.
+  cache.InvalidateSubregion("read", "file:/x");
+  for (ProcessId pid = 1; pid <= 64; ++pid) {
+    EXPECT_FALSE(cache.Lookup(pid, "read", "file:/x").has_value()) << pid;
+  }
+}
+
+TEST(DecisionCacheTest, PerShardStatsSumToAggregate) {
+  DecisionCache::Config config;
+  config.num_shards = 4;
+  DecisionCache cache(config);
+  for (ProcessId pid = 1; pid <= 40; ++pid) {
+    cache.Lookup(pid, "op", "obj");      // Miss.
+    cache.Insert(pid, "op", "obj", true);
+    cache.Lookup(pid, "op", "obj");      // Hit.
+  }
+  cache.InvalidateSubregion("op", "obj");
+  DecisionCache::Stats aggregate = cache.stats();
+  DecisionCache::Stats summed;
+  for (size_t s = 0; s < config.num_shards; ++s) {
+    DecisionCache::Stats shard = cache.shard_stats(s);
+    summed.hits += shard.hits;
+    summed.misses += shard.misses;
+    summed.insertions += shard.insertions;
+    summed.invalidated_entries += shard.invalidated_entries;
+    summed.subregion_invalidations += shard.subregion_invalidations;
+  }
+  EXPECT_EQ(aggregate.hits, summed.hits);
+  EXPECT_EQ(aggregate.misses, summed.misses);
+  EXPECT_EQ(aggregate.insertions, summed.insertions);
+  EXPECT_EQ(aggregate.invalidated_entries, summed.invalidated_entries);
+  EXPECT_EQ(aggregate.subregion_invalidations, summed.subregion_invalidations);
+  EXPECT_EQ(aggregate.hits, 40u);
+  EXPECT_EQ(aggregate.misses, 40u);
+  // The broadcast touched every shard's subregion.
+  EXPECT_EQ(aggregate.subregion_invalidations, config.num_shards);
+}
+
+TEST(DecisionCacheTest, ResizeUnderDifferentShardCountPreservesClearSemantics) {
+  DecisionCache::Config config;
+  config.num_shards = 2;
+  DecisionCache cache(config);
+  for (ProcessId pid = 1; pid <= 16; ++pid) {
+    cache.Insert(pid, "read", "o", true);
+  }
+  config.num_shards = 8;
+  cache.Resize(config);
+  EXPECT_EQ(cache.config().num_shards, 8u);
+  for (ProcessId pid = 1; pid <= 16; ++pid) {
+    EXPECT_FALSE(cache.Lookup(pid, "read", "o").has_value()) << pid;
+  }
+  // The resized cache is fully functional.
+  cache.Insert(1, "read", "o", false);
+  auto hit = cache.Lookup(1, "read", "o");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(*hit);
+}
+
+TEST(DecisionCacheTest, GenerationGuardedInsertDropsStaleVerdict) {
+  DecisionCache cache;
+  AuthzRequest request = AuthzRequest::Of(1, "read", "file:/x");
+  // A verdict computed before an invalidation must not be cached after it
+  // (the stale-insert race of a concurrent frontend, compressed serially).
+  uint64_t generation = cache.Generation(request);
+  cache.InvalidateSubregion(request.op, request.obj);  // Concurrent setgoal.
+  EXPECT_FALSE(cache.InsertIfUnchanged(request, true, generation));
+  EXPECT_FALSE(cache.Lookup(request).has_value());
+  // With a fresh snapshot the insert lands.
+  generation = cache.Generation(request);
+  EXPECT_TRUE(cache.InsertIfUnchanged(request, true, generation));
+  EXPECT_TRUE(cache.Lookup(request).has_value());
+  // InvalidateEntry (setproof) bumps the generation too.
+  generation = cache.Generation(request);
+  cache.InvalidateEntry(request);
+  EXPECT_FALSE(cache.InsertIfUnchanged(request, false, generation));
 }
 
 // ------------------------------------------------- Kernel + cache wiring

@@ -1,0 +1,238 @@
+// Multi-threaded authorization frontend stress tests.
+//
+// The contract under test (README "Threading model"): worker threads may
+// call Kernel::Authorize / AuthorizeBatch concurrently with each other AND
+// with control-plane mutations (SetGoal / SetProof, which invalidate the
+// sharded decision cache), while the intern tables take concurrent
+// interning from every side. These tests are the ThreadSanitizer targets
+// wired into CI; they also assert end-state consistency so a lost
+// invalidation (a stale cached verdict surviving a goal flip) fails even
+// without TSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/nexus.h"
+#include "nal/interner.h"
+#include "nal/parser.h"
+
+namespace nexus::core {
+namespace {
+
+nal::Formula F(std::string_view text) {
+  Result<nal::Formula> f = nal::ParseFormula(text);
+  EXPECT_TRUE(f.ok()) << text << " -> " << f.status().ToString();
+  return f.ok() ? *f : nullptr;
+}
+
+TEST(MtAuthzStressTest, ConcurrentAuthorizeVsSetGoalInvalidations) {
+  Rng rng(7);
+  tpm::Tpm tpm(rng);
+  Nexus nexus(&tpm);
+  kernel::Kernel& kernel = nexus.kernel();
+  Engine& engine = nexus.engine();
+
+  constexpr int kWorkers = 4;
+  constexpr int kObjects = 8;
+  constexpr int kItersPerWorker = 1500;
+  constexpr int kGoalFlips = 400;
+
+  kernel::ProcessId owner = *nexus.CreateProcess("owner", ToBytes("o"));
+  // The provable goal (credential seeded below) and the unprovable one the
+  // mutator flips to; a premise proof for `provable` never discharges it.
+  nal::Formula provable = F("Certifier says ok(app)");
+  nal::Formula unprovable = F("Certifier says nope(app)");
+  engine.SayAs(nal::Principal("Certifier"), F("ok(app)"));
+
+  // One subject per worker: subjects hash to their own decision-cache
+  // shards, so the hit path runs genuinely in parallel.
+  std::vector<kernel::ProcessId> subjects;
+  std::vector<std::vector<kernel::AuthzRequest>> requests(kWorkers);
+  for (int t = 0; t < kWorkers; ++t) {
+    subjects.push_back(*nexus.CreateProcess("w" + std::to_string(t), ToBytes("w")));
+  }
+  for (int o = 0; o < kObjects; ++o) {
+    std::string object = "obj" + std::to_string(o);
+    ASSERT_TRUE(engine.RegisterObject(object, owner, kernel::kKernelProcessId).ok());
+    ASSERT_TRUE(engine.SetGoal(owner, "use", object, provable).ok());
+    for (int t = 0; t < kWorkers; ++t) {
+      ASSERT_TRUE(
+          engine.SetProof(subjects[t], "use", object, nal::proof::Premise(provable)).ok());
+      requests[t].push_back(kernel::AuthzRequest::Of(subjects[t], "use", object));
+    }
+  }
+
+  std::atomic<uint64_t> allows{0};
+  std::atomic<uint64_t> denies{0};
+  std::atomic<uint64_t> unexpected{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kWorkers + 1);
+  for (int t = 0; t < kWorkers; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerWorker; ++i) {
+        const kernel::AuthzRequest& request = requests[t][i % kObjects];
+        Status status = kernel.Authorize(request);
+        if (status.ok()) {
+          ++allows;
+        } else if (status.code() == ErrorCode::kPermissionDenied) {
+          ++denies;  // Caught a goal-flip window: expected.
+        } else {
+          ++unexpected;
+        }
+      }
+    });
+  }
+  // The mutator races setgoal invalidations (and the odd setproof, which
+  // bumps state versions) against the workers' lookups.
+  threads.emplace_back([&] {
+    for (int i = 0; i < kGoalFlips; ++i) {
+      std::string object = "obj" + std::to_string(i % kObjects);
+      const nal::Formula& goal = (i % 2 == 0) ? unprovable : provable;
+      EXPECT_TRUE(engine.SetGoal(owner, "use", object, goal).ok());
+      if (i % 16 == 0) {
+        EXPECT_TRUE(engine
+                        .SetProof(subjects[i % kWorkers], "use", object,
+                                  nal::proof::Premise(provable))
+                        .ok());
+      }
+    }
+    // Leave every goal provable for the post-quiescence check.
+    for (int o = 0; o < kObjects; ++o) {
+      EXPECT_TRUE(engine.SetGoal(owner, "use", "obj" + std::to_string(o), provable).ok());
+    }
+  });
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  EXPECT_EQ(unexpected.load(), 0u);
+  EXPECT_GT(allows.load(), 0u);
+  // Post-quiescence: every goal is provable again, so every request must
+  // authorize. A stale deny cached past its invalidation fails here.
+  for (int t = 0; t < kWorkers; ++t) {
+    for (const kernel::AuthzRequest& request : requests[t]) {
+      Status status = kernel.Authorize(request);
+      EXPECT_TRUE(status.ok()) << status.ToString();
+    }
+  }
+  // Batch frontend under the same churned state.
+  for (int t = 0; t < kWorkers; ++t) {
+    for (const Status& status : kernel.AuthorizeBatch(requests[t])) {
+      EXPECT_TRUE(status.ok()) << status.ToString();
+    }
+  }
+}
+
+TEST(MtAuthzStressTest, ConcurrentInterningConvergesToOneIdPerFormula) {
+  nal::Interner interner;
+  constexpr int kWorkers = 4;
+  constexpr int kFormulas = 64;
+  // Each worker parses its own copies (distinct trees, distinct
+  // addresses) of the same formula set and interns them repeatedly.
+  std::vector<std::vector<nal::FormulaId>> ids(kWorkers,
+                                               std::vector<nal::FormulaId>(kFormulas));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWorkers; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kFormulas; ++i) {
+        nal::Formula f = F("P" + std::to_string(i % 7) + " says fact" + std::to_string(i) +
+                           "(x" + std::to_string(t % 2) + ")");
+        ids[t][i] = interner.Intern(f);
+        // Re-interning the canonical node must be stable.
+        EXPECT_EQ(interner.Intern(interner.Resolve(ids[t][i])), ids[t][i]);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int i = 0; i < kFormulas; ++i) {
+    for (int t = 1; t < kWorkers; ++t) {
+      // Workers 0 and 1 built different argument symbols (x0 vs x1); ids
+      // must agree exactly between workers of the same parity and differ
+      // across parities.
+      if (t % 2 == 0) {
+        EXPECT_EQ(ids[t][i], ids[0][i]) << i;
+      } else {
+        EXPECT_EQ(ids[t][i], ids[1][i]) << i;
+        EXPECT_NE(ids[t][i], ids[0][i]) << i;
+      }
+    }
+  }
+}
+
+TEST(MtAuthzStressTest, ConcurrentNameTableInternAndResolve) {
+  kernel::NameTable table;
+  constexpr int kWorkers = 4;
+  constexpr int kNames = 200;
+  std::vector<std::vector<uint32_t>> ids(kWorkers, std::vector<uint32_t>(kNames));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWorkers; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kNames; ++i) {
+        std::string name = "file:/shared/" + std::to_string(i);
+        ids[t][i] = table.Intern(name);
+        // Reads race other workers' inserts; the returned view must be the
+        // interned name, stable without any lock held.
+        EXPECT_EQ(table.Name(ids[t][i]), name);
+        EXPECT_EQ(table.Find(name), ids[t][i]);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int t = 1; t < kWorkers; ++t) {
+    EXPECT_EQ(ids[t], ids[0]);  // One id per name, process-wide.
+  }
+  EXPECT_EQ(table.size(), static_cast<size_t>(kNames) + 1);  // + reserved "".
+}
+
+TEST(MtAuthzStressTest, DecisionCacheShardsSurviveConcurrentChurn) {
+  kernel::DecisionCache cache;
+  constexpr int kWorkers = 4;
+  constexpr int kIters = 4000;
+  kernel::OpId op = kernel::InternOp("use");
+  std::vector<kernel::ObjectId> objects;
+  for (int o = 0; o < 8; ++o) {
+    objects.push_back(kernel::InternObject("churn" + std::to_string(o)));
+  }
+  std::atomic<uint64_t> wrong_verdicts{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWorkers; ++t) {
+    threads.emplace_back([&, t] {
+      kernel::ProcessId subject = 1000 + t;
+      for (int i = 0; i < kIters; ++i) {
+        kernel::AuthzRequest request{subject, op, objects[i % objects.size()]};
+        // Each worker only ever inserts ALLOW for its own subject, so any
+        // deny read back would be corruption across shards/subjects.
+        uint64_t generation = cache.Generation(request);
+        cache.InsertIfUnchanged(request, true, generation);
+        std::optional<bool> cached = cache.Lookup(request);
+        if (cached.has_value() && !*cached) {
+          ++wrong_verdicts;
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < kIters / 4; ++i) {
+      cache.InvalidateSubregion(op, objects[i % objects.size()]);
+      if (i % 64 == 0) {
+        cache.Clear();
+      }
+    }
+  });
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(wrong_verdicts.load(), 0u);
+  kernel::DecisionCache::Stats stats = cache.stats();
+  EXPECT_GT(stats.insertions, 0u);
+  EXPECT_GT(stats.subregion_invalidations, 0u);
+}
+
+}  // namespace
+}  // namespace nexus::core

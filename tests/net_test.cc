@@ -463,6 +463,88 @@ TEST(RemoteAuthorityTest, BatchedGuardIssuesOneRoundTripForIdenticalLeaves) {
   EXPECT_EQ(w.nexus_a.guard().stats().remote_queries, remote_before + 2);
 }
 
+TEST(RemoteAuthorityTest, AsyncBatchOverlapsRoundTripsToDistinctPeers) {
+  // The async pipeline's latency win, measured on the simulated clock: a
+  // batch whose proofs consult TWO different peers must pay ONE round-trip
+  // time (both VouchBatch messages in flight together), not two back to
+  // back as the old prefetch-then-wait loop did.
+  TwoInstances w;
+  Rng rng_c(303);
+  tpm::Tpm tpm_c(rng_c);
+  core::Nexus nexus_c(&tpm_c, core::NexusOptions{.seed = 3});
+  w.nexus_a.RegisterPeer("c", tpm_c.endorsement_public_key());
+  nexus_c.RegisterPeer("a", w.tpm_a.endorsement_public_key());
+  NetNode node_c(&nexus_c, &w.transport, "c");
+
+  AuthorityService service_b(w.node_b.get());
+  AuthorityService service_c(&node_c);
+  core::LambdaAuthority session_b(
+      [](const nal::Formula& f) {
+        return f->kind() == nal::FormulaKind::kSays && f->speaker().base() == "SessionB";
+      },
+      [](const nal::Formula&) { return true; });
+  core::LambdaAuthority session_c(
+      [](const nal::Formula& f) {
+        return f->kind() == nal::FormulaKind::kSays && f->speaker().base() == "SessionC";
+      },
+      [](const nal::Formula&) { return true; });
+  service_b.AddAuthority(&session_b);
+  service_c.AddAuthority(&session_c);
+
+  RemoteAuthority remote_b(
+      w.node_a.get(), "b",
+      [](const nal::Formula& f) {
+        return f->kind() == nal::FormulaKind::kSays && f->speaker().base() == "SessionB";
+      },
+      /*default_timeout_us=*/1000000);
+  RemoteAuthority remote_c(
+      w.node_a.get(), "c",
+      [](const nal::Formula& f) {
+        return f->kind() == nal::FormulaKind::kSays && f->speaker().base() == "SessionC";
+      },
+      /*default_timeout_us=*/1000000);
+  w.nexus_a.guard().AddRemoteAuthority(&remote_b);
+  w.nexus_a.guard().AddRemoteAuthority(&remote_c);
+  w.nexus_a.guard().set_remote_query_timeout_us(1000000);
+
+  constexpr uint64_t kLatencyUs = 100;
+  w.transport.SetLink("a", "b", LinkConfig{.latency_us = kLatencyUs, .drop_rate = 0.0});
+  w.transport.SetLink("a", "c", LinkConfig{.latency_us = kLatencyUs, .drop_rate = 0.0});
+  // Pre-establish both channels so the measurement isolates the data round
+  // trips from handshake pumping.
+  ASSERT_TRUE(w.node_a->Connect("b").ok());
+  ASSERT_TRUE(w.node_a->Connect("c").ok());
+
+  kernel::ProcessId owner = *w.nexus_a.CreateProcess("owner", ToBytes("o"));
+  kernel::ProcessId subject = *w.nexus_a.CreateProcess("subject", ToBytes("s"));
+  nal::Formula statement_b = F("SessionB says active(alice)");
+  nal::Formula statement_c = F("SessionC says active(bob)");
+  std::vector<kernel::AuthzRequest> requests;
+  for (const auto& [object, statement] :
+       {std::pair<std::string, nal::Formula>{"door_b", statement_b},
+        std::pair<std::string, nal::Formula>{"door_c", statement_c}}) {
+    w.nexus_a.engine().RegisterObject(object, owner, kernel::kKernelProcessId);
+    ASSERT_TRUE(w.nexus_a.engine().SetGoal(owner, "open", object, statement).ok());
+    ASSERT_TRUE(w.nexus_a.engine()
+                    .SetProof(subject, "open", object, nal::proof::Authority(statement))
+                    .ok());
+    requests.push_back(kernel::AuthzRequest::Of(subject, "open", object));
+  }
+
+  uint64_t start_us = w.transport.now_us();
+  std::vector<Status> decisions = w.nexus_a.kernel().AuthorizeBatch(requests);
+  uint64_t elapsed_us = w.transport.now_us() - start_us;
+  for (const Status& status : decisions) {
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  EXPECT_EQ(remote_b.stats().batch_round_trips, 1u);
+  EXPECT_EQ(remote_c.stats().batch_round_trips, 1u);
+  // Serial consultation costs 2 round trips = 4 * latency; overlapped
+  // round trips finish together after one round trip = 2 * latency.
+  EXPECT_EQ(elapsed_us, 2 * kLatencyUs)
+      << "round trips to distinct peers did not overlap";
+}
+
 TEST(RemoteAuthorityTest, GuardConsultsRemoteAuthorityThroughProofLeaf) {
   RemoteAuthorityWorld w;
   RemoteAuthority remote(w.node_a.get(), "b", nullptr, /*default_timeout_us=*/100000);
