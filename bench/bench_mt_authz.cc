@@ -10,12 +10,20 @@
 //     Threads(1) to Threads(N); on fewer cores the threads timeshare and
 //     the numbers flatten (the acceptance sweep runs on >=8 cores).
 //
+//   BM_mt_miss_authorize (threads sweep, 0% HIT): the decision cache is
+//     DISABLED in this world, so every operation is a full miss through
+//     the engine — goal lookup, state-plane snapshot, stripe lock, guard
+//     evaluation. Each worker drives its own subject, i.e. its own engine
+//     stripe: this is the path the read-write split parallelized (under
+//     the PR-3 monitor it serialized on one recursive mutex regardless of
+//     thread count). Expect miss throughput to scale with cores like the
+//     cached sweep does, just at a higher per-op cost.
+//
 //   BM_mt_authorize_batch (threads × remote%): cache-miss batches flow
-//     through the engine, which serializes as a monitor; remote-leaning
-//     batches additionally pay attested VouchBatch round trips (issued as
-//     overlapping futures by the async guard pipeline). This shows the
-//     frontier the engine lock imposes on MISSES, in contrast to the
-//     lock-free-scaling HITS above.
+//     through the engine's striped core; remote-leaning batches
+//     additionally pay attested VouchBatch round trips (issued as
+//     overlapping futures by the async guard pipeline, overlapping across
+//     subjects thanks to the stripes).
 //
 // Subjects, objects, goals, and proofs are all built once (magic-static
 // World) on whichever thread arrives first; benchmark threads then only
@@ -151,6 +159,41 @@ World& W() {
   return *world;
 }
 
+// A second, smaller world with the decision cache OFF: every Authorize is
+// a full engine miss. Local-only (premise proofs) — the remote-miss
+// regime is covered by the batch sweep above.
+struct MissWorld {
+  MissWorld() : rng(303), tpm(rng), nexus(&tpm, nexus::core::NexusOptions{.seed = 3}) {
+    nexus.kernel().set_decision_cache_enabled(false);
+    owner = *nexus.CreateProcess("owner", nexus::ToBytes("o"));
+    nexus.engine().SayAs(nexus::nal::Principal("Certifier"), F("ok(subject)"));
+    nexus::nal::Formula goal = F("Certifier says ok(subject)");
+    for (int t = 0; t < kMaxThreads; ++t) {
+      nexus::kernel::ProcessId subject =
+          *nexus.CreateProcess("misser" + std::to_string(t), nexus::ToBytes("m"));
+      requests.emplace_back();
+      for (size_t o = 0; o < kObjectsPerSubject; ++o) {
+        std::string object = "m" + std::to_string(t) + ":" + std::to_string(o);
+        nexus.engine().RegisterObject(object, owner, nexus::kernel::kKernelProcessId);
+        nexus.engine().SetGoal(owner, "use", object, goal);
+        nexus.engine().SetProof(subject, "use", object, nexus::nal::proof::Premise(goal));
+        requests[t].push_back(nexus::kernel::AuthzRequest::Of(subject, "use", object));
+      }
+    }
+  }
+
+  nexus::Rng rng;
+  nexus::tpm::Tpm tpm;
+  nexus::core::Nexus nexus;
+  nexus::kernel::ProcessId owner = 0;
+  std::vector<std::vector<nexus::kernel::AuthzRequest>> requests;
+};
+
+MissWorld& MW() {
+  static MissWorld* world = new MissWorld();
+  return *world;
+}
+
 // Pure decision-cache hits, one shard per worker: the scaling headline.
 void BM_mt_cached_authorize(benchmark::State& state) {
   World& w = W();
@@ -163,7 +206,20 @@ void BM_mt_cached_authorize(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * requests.size());
 }
 
-// Batched misses through the serialized engine + async guard pipeline.
+// Miss-heavy sweep (0% hit): the decision cache is disabled, so every
+// operation runs the whole engine miss path under the subject's stripe.
+void BM_mt_miss_authorize(benchmark::State& state) {
+  MissWorld& w = MW();
+  const auto& requests = w.requests[state.thread_index() % kMaxThreads];
+  for (auto _ : state) {
+    for (const auto& request : requests) {
+      benchmark::DoNotOptimize(w.nexus.kernel().Authorize(request));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * requests.size());
+}
+
+// Batched misses through the striped engine + async guard pipeline.
 void BM_mt_authorize_batch(benchmark::State& state) {
   World& w = W();
   int remote_pct = static_cast<int>(state.range(0));
@@ -176,6 +232,7 @@ void BM_mt_authorize_batch(benchmark::State& state) {
 }
 
 BENCHMARK(BM_mt_cached_authorize)->ThreadRange(1, kMaxThreads)->UseRealTime();
+BENCHMARK(BM_mt_miss_authorize)->ThreadRange(1, kMaxThreads)->UseRealTime();
 BENCHMARK(BM_mt_authorize_batch)
     ->ArgsProduct({{0, 25, 100}})
     ->ArgNames({"remote%"})

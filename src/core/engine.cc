@@ -1,5 +1,7 @@
 #include "core/engine.h"
 
+#include <algorithm>
+
 #include "nal/parser.h"
 
 namespace nexus::core {
@@ -34,6 +36,13 @@ AuthzDecision Engine::DefaultPolicy(const AuthzRequest& request) {
 AuthzDecision Engine::UpcallDesignatedGuard(const AuthzRequest& request,
                                             const GoalEntry& goal, const nal::Proof& proof,
                                             const std::vector<nal::Formula>& credentials) {
+  // Guard processes are user-level servers written to the one-Handle-at-a-
+  // time contract; concurrent misses hitting designated goals must not run
+  // their handlers in parallel. Recursive: a designated guard may re-enter
+  // authorization that lands on another designated goal on this thread.
+  // (No other engine lock is held here, so re-entrant Say/SetProof from
+  // the guard process still work.)
+  std::lock_guard<std::recursive_mutex> serialize(designated_mu_);
   kernel::IpcMessage ipc_request;
   ipc_request.operation = "check";
   ipc_request.args = {std::to_string(request.subject), std::string(request.operation()),
@@ -50,95 +59,144 @@ AuthzDecision Engine::UpcallDesignatedGuard(const AuthzRequest& request,
 }
 
 AuthzDecision Engine::Authorize(const AuthzRequest& request) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::optional<GoalEntry> goal = goals_.Get(request.op, request.obj);
   if (!goal.has_value()) {
     return DefaultPolicy(request);
   }
 
+  // Snapshot the miss inputs under the reader side of the state plane:
+  // the pre-submitted proof, the credential set, and the version stamp.
+  // All are shared_ptr copies of immutable trees, safe to evaluate after
+  // the lock is gone.
   TupleKey key = KeyOf(request);
-  auto proof_it = proofs_.find(key);
-  nal::Proof proof = proof_it == proofs_.end() ? nullptr : proof_it->second;
-  std::vector<nal::Formula> credentials = CollectCredentials(request.subject, request.obj);
+  nal::Proof proof;
+  std::vector<nal::Formula> credentials;
+  uint64_t state_version;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    auto proof_it = proofs_.find(key);
+    proof = proof_it == proofs_.end() ? nullptr : proof_it->second;
+    AppendSubjectCredentialsLocked(request.subject, &credentials);
+    AppendObjectCredentialsLocked(request.obj, &credentials);
+    state_version = StateVersionLocked(request.subject, request.obj, key);
+  }
 
   if (goal->guard_port != 0) {
+    // Arbitrary guard-process code: no engine lock may be held.
     return UpcallDesignatedGuard(request, *goal, proof, credentials);
   }
 
-  return default_guard_->Check(request, goal->goal, proof, credentials,
-                               StateVersion(request.subject, request.obj, key),
+  // Guard evaluation — including any remote-authority round trips — runs
+  // under only the subject's stripe, so independent subjects' misses
+  // overlap end to end.
+  std::lock_guard<std::recursive_mutex> stripe(stripes_[StripeOf(request.subject)]);
+  return default_guard_->Check(request, goal->goal, proof, credentials, state_version,
                                goal->goal_id);
 }
 
 std::vector<AuthzDecision> Engine::AuthorizeBatch(std::span<const AuthzRequest> requests) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::vector<AuthzDecision> decisions(requests.size());
 
-  // Credential amortization: the subject-store + system-store prefix is
-  // identical for every request by one subject; collect it once and only
-  // append per-object auxiliary labels.
-  std::map<kernel::ProcessId, std::vector<nal::Formula>> base_credentials;
+  // The batch is processed in SEGMENTS bounded by designated-guard items:
+  // snapshot a segment under the reader lock, evaluate it under the
+  // segment subjects' stripes, then run the designated upcall (which may
+  // mutate label state) with no lock held, so everything after it
+  // re-snapshots and observes the mutation exactly as the serial path
+  // would.
+  size_t i = 0;
+  while (i < requests.size()) {
+    std::vector<Guard::BatchItem> guard_items;
+    std::vector<size_t> guard_slots;
+    bool have_designated = false;
+    size_t designated_slot = 0;
+    GoalEntry designated_goal;
+    nal::Proof designated_proof;
+    std::vector<nal::Formula> designated_credentials;
 
-  std::vector<Guard::BatchItem> guard_items;
-  std::vector<size_t> guard_slots;
+    {
+      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      // Credential amortization: the subject-store + system-store prefix
+      // is identical for every request by one subject; collect it once per
+      // segment and only append per-object auxiliary labels.
+      std::map<kernel::ProcessId, std::vector<nal::Formula>> base_credentials;
+      for (; i < requests.size(); ++i) {
+        const AuthzRequest& request = requests[i];
+        std::optional<GoalEntry> goal = goals_.Get(request.op, request.obj);
+        if (!goal.has_value()) {
+          decisions[i] = DefaultPolicy(request);
+          continue;
+        }
 
-  auto flush = [&] {
-    if (guard_items.empty()) {
-      return;
+        TupleKey key = KeyOf(request);
+        auto proof_it = proofs_.find(key);
+        nal::Proof proof = proof_it == proofs_.end() ? nullptr : proof_it->second;
+
+        auto base = base_credentials.find(request.subject);
+        if (base == base_credentials.end()) {
+          std::vector<nal::Formula> creds;
+          AppendSubjectCredentialsLocked(request.subject, &creds);
+          base = base_credentials.emplace(request.subject, std::move(creds)).first;
+        }
+        std::vector<nal::Formula> credentials = base->second;
+        AppendObjectCredentialsLocked(request.obj, &credentials);
+
+        if (goal->guard_port != 0) {
+          // End of segment: evaluate everything snapshotted so far first,
+          // then upcall. The credential memo dies with the segment.
+          have_designated = true;
+          designated_slot = i;
+          designated_goal = *goal;
+          designated_proof = std::move(proof);
+          designated_credentials = std::move(credentials);
+          ++i;
+          break;
+        }
+
+        guard_items.push_back(
+            Guard::BatchItem{request, goal->goal, goal->goal_id, std::move(proof),
+                             std::move(credentials),
+                             StateVersionLocked(request.subject, request.obj, key)});
+        guard_slots.push_back(i);
+      }
     }
-    std::vector<AuthzDecision> guard_decisions = default_guard_->CheckBatch(guard_items);
-    for (size_t j = 0; j < guard_slots.size(); ++j) {
-      decisions[guard_slots[j]] = std::move(guard_decisions[j]);
-    }
-    guard_items.clear();
-    guard_slots.clear();
-  };
 
-  for (size_t i = 0; i < requests.size(); ++i) {
-    const AuthzRequest& request = requests[i];
-    std::optional<GoalEntry> goal = goals_.Get(request.op, request.obj);
-    if (!goal.has_value()) {
-      decisions[i] = DefaultPolicy(request);
-      continue;
-    }
-
-    TupleKey key = KeyOf(request);
-    auto proof_it = proofs_.find(key);
-    nal::Proof proof = proof_it == proofs_.end() ? nullptr : proof_it->second;
-
-    auto base = base_credentials.find(request.subject);
-    if (base == base_credentials.end()) {
-      std::vector<nal::Formula> creds;
-      AppendSubjectCredentials(request.subject, &creds);
-      base = base_credentials.emplace(request.subject, std::move(creds)).first;
-    }
-    std::vector<nal::Formula> credentials = base->second;
-    AppendObjectCredentials(request.obj, &credentials);
-
-    if (goal->guard_port != 0) {
-      // Designated guards live behind IPC ports of their own and are
-      // consulted serially. The upcall runs arbitrary guard-process code
-      // that may mutate label stores, so evaluate everything batched so
-      // far FIRST and drop the credential memo after — later requests
-      // must observe the mutation exactly as the serial path would.
-      flush();
-      decisions[i] = UpcallDesignatedGuard(request, *goal, proof, credentials);
-      base_credentials.clear();
-      continue;
+    if (!guard_items.empty()) {
+      // Acquire every involved subject's stripe in ascending index order —
+      // a canonical order, so concurrent batches never deadlock — and
+      // evaluate the segment. Remote round trips inside CheckBatch overlap
+      // across peers; other subjects' single misses overlap with this
+      // batch unless their stripe is involved.
+      std::vector<size_t> stripe_indices;
+      stripe_indices.reserve(guard_items.size());
+      for (const Guard::BatchItem& item : guard_items) {
+        stripe_indices.push_back(StripeOf(item.request.subject));
+      }
+      std::sort(stripe_indices.begin(), stripe_indices.end());
+      stripe_indices.erase(std::unique(stripe_indices.begin(), stripe_indices.end()),
+                           stripe_indices.end());
+      for (size_t s : stripe_indices) {
+        stripes_[s].lock();
+      }
+      std::vector<AuthzDecision> guard_decisions = default_guard_->CheckBatch(guard_items);
+      for (auto it = stripe_indices.rbegin(); it != stripe_indices.rend(); ++it) {
+        stripes_[*it].unlock();
+      }
+      for (size_t j = 0; j < guard_slots.size(); ++j) {
+        decisions[guard_slots[j]] = std::move(guard_decisions[j]);
+      }
     }
 
-    guard_items.push_back(Guard::BatchItem{request, goal->goal, goal->goal_id, proof,
-                                           std::move(credentials),
-                                           StateVersion(request.subject, request.obj, key)});
-    guard_slots.push_back(i);
+    if (have_designated) {
+      decisions[designated_slot] = UpcallDesignatedGuard(
+          requests[designated_slot], designated_goal, designated_proof,
+          designated_credentials);
+    }
   }
-
-  flush();
   return decisions;
 }
 
-uint64_t Engine::StateVersion(kernel::ProcessId subject, kernel::ObjectId object,
-                              const TupleKey& proof_key) const {
+uint64_t Engine::StateVersionLocked(kernel::ProcessId subject, kernel::ObjectId object,
+                                    const TupleKey& proof_key) const {
   uint64_t version = 1 + system_store_.version();
   auto store = stores_.find(subject);
   if (store != stores_.end()) {
@@ -165,7 +223,6 @@ Result<LabelHandle> Engine::Say(kernel::ProcessId speaker, const std::string& st
 
 Result<LabelHandle> Engine::SayFormula(kernel::ProcessId speaker,
                                        const nal::Formula& statement) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!kernel_->IsAlive(speaker)) {
     return NotFound("speaker process not alive");
   }
@@ -174,25 +231,27 @@ Result<LabelHandle> Engine::SayFormula(kernel::ProcessId speaker,
   }
   // The speaker is, by construction, the calling process's principal: the
   // secure syscall channel substitutes for a signature (§2.3).
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   return stores_[speaker].Insert(kernel_->ProcessPrincipal(speaker), statement);
 }
 
 LabelHandle Engine::SayAs(const nal::Principal& speaker, const nal::Formula& statement) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   return system_store_.Insert(speaker, statement);
 }
 
 void Engine::AddObjectLabel(kernel::ObjectId object, const nal::Formula& label) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   object_labels_[object].push_back(label);
 }
 
 Status Engine::SetGoal(kernel::ProcessId caller, kernel::OpId op, kernel::ObjectId obj,
                        nal::Formula goal, kernel::PortId guard_port) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   // setgoal is itself an authorized operation on the object (§2.5). It is
   // governed by the goal for ("setgoal", object) if present, else the
-  // bootstrap policy.
+  // bootstrap policy. The check runs BEFORE any engine lock is taken: it
+  // re-enters authorization through the kernel (and may run a designated
+  // guard), which under the old monitor needed a recursive mutex.
   static const kernel::OpId setgoal_op = kernel::InternOp("setgoal");
   Status authorized = kernel_->Authorize(AuthzRequest{caller, setgoal_op, obj});
   if (!authorized.ok()) {
@@ -200,7 +259,9 @@ Status Engine::SetGoal(kernel::ProcessId caller, kernel::OpId op, kernel::Object
   }
   NEXUS_RETURN_IF_ERROR(goals_.SetGoal(op, obj, std::move(goal), guard_port));
   // A goal update may invalidate many cached decisions: clear the (op,
-  // object) subregion (§2.8).
+  // object) subregion (§2.8). Mutation first, then the generation bump —
+  // a miss that snapshotted in between is dropped by the kernel's
+  // generation-checked insert.
   kernel_->OnGoalUpdate(op, obj);
   return OkStatus();
 }
@@ -215,7 +276,6 @@ Status Engine::SetGoal(kernel::ProcessId caller, const std::string& operation,
 }
 
 Status Engine::ClearGoal(kernel::ProcessId caller, kernel::OpId op, kernel::ObjectId obj) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   static const kernel::OpId setgoal_op = kernel::InternOp("setgoal");
   Status authorized = kernel_->Authorize(AuthzRequest{caller, setgoal_op, obj});
   if (!authorized.ok()) {
@@ -239,14 +299,17 @@ Status Engine::ClearGoal(kernel::ProcessId caller, const std::string& operation,
 }
 
 Status Engine::SetProof(const AuthzRequest& tuple, nal::Proof proof) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (proof == nullptr) {
     return InvalidArgument("null proof");
   }
   TupleKey key = KeyOf(tuple);
-  proofs_[key] = std::move(proof);
-  ++proof_versions_[key];
-  // A proof update invalidates the single affected cache entry (§2.8).
+  {
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    proofs_[key] = std::move(proof);
+    ++proof_versions_[key];
+  }
+  // A proof update invalidates the single affected cache entry (§2.8);
+  // mutation first, then the generation bump (see SetGoal).
   kernel_->OnProofUpdate(tuple);
   return OkStatus();
 }
@@ -259,12 +322,14 @@ Status Engine::SetProof(kernel::ProcessId subject, const std::string& operation,
 }
 
 Status Engine::ClearProof(const AuthzRequest& tuple) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   TupleKey key = KeyOf(tuple);
-  if (proofs_.erase(key) == 0) {
-    return NotFound("no proof for this tuple");
+  {
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    if (proofs_.erase(key) == 0) {
+      return NotFound("no proof for this tuple");
+    }
+    ++proof_versions_[key];
   }
-  ++proof_versions_[key];
   kernel_->OnProofUpdate(tuple);
   return OkStatus();
 }
@@ -281,19 +346,16 @@ Status Engine::ClearProof(kernel::ProcessId subject, const std::string& operatio
 
 Status Engine::RegisterObject(kernel::ObjectId object, kernel::ProcessId owner,
                               kernel::ProcessId manager) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   return objects_.Register(object, owner, manager);
 }
 
 Status Engine::RegisterObject(const std::string& object, kernel::ProcessId owner,
                               kernel::ProcessId manager) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   return objects_.Register(object, owner, manager);
 }
 
 Status Engine::TransferOwnership(kernel::ProcessId caller, const std::string& object,
                                  kernel::ProcessId new_owner) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::optional<kernel::ProcessId> owner = objects_.Owner(object);
   std::optional<kernel::ProcessId> manager = objects_.Manager(object);
   bool caller_may = caller == kernel::kKernelProcessId ||
@@ -312,8 +374,8 @@ Status Engine::TransferOwnership(kernel::ProcessId caller, const std::string& ob
   return OkStatus();
 }
 
-void Engine::AppendSubjectCredentials(kernel::ProcessId subject,
-                                      std::vector<nal::Formula>* out) const {
+void Engine::AppendSubjectCredentialsLocked(kernel::ProcessId subject,
+                                            std::vector<nal::Formula>* out) const {
   auto subject_store = stores_.find(subject);
   if (subject_store != stores_.end()) {
     for (const nal::Formula& f : subject_store->second.All()) {
@@ -325,8 +387,8 @@ void Engine::AppendSubjectCredentials(kernel::ProcessId subject,
   }
 }
 
-void Engine::AppendObjectCredentials(kernel::ObjectId object,
-                                     std::vector<nal::Formula>* out) const {
+void Engine::AppendObjectCredentialsLocked(kernel::ObjectId object,
+                                           std::vector<nal::Formula>* out) const {
   auto object_extras = object_labels_.find(object);
   if (object_extras != object_labels_.end()) {
     for (const nal::Formula& f : object_extras->second) {
@@ -337,10 +399,10 @@ void Engine::AppendObjectCredentials(kernel::ObjectId object,
 
 std::vector<nal::Formula> Engine::CollectCredentials(kernel::ProcessId subject,
                                                      kernel::ObjectId object) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
   std::vector<nal::Formula> credentials;
-  AppendSubjectCredentials(subject, &credentials);
-  AppendObjectCredentials(object, &credentials);
+  AppendSubjectCredentialsLocked(subject, &credentials);
+  AppendObjectCredentialsLocked(object, &credentials);
   return credentials;
 }
 

@@ -18,9 +18,11 @@
 #ifndef NEXUS_CORE_ENGINE_H_
 #define NEXUS_CORE_ENGINE_H_
 
+#include <array>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -33,15 +35,54 @@
 
 namespace nexus::core {
 
-// Threading: the engine is a MONITOR — every public entry point serializes
-// on one internal (recursive) mutex, so the kernel's concurrent
-// authorization frontend may upcall Authorize/AuthorizeBatch from worker
-// threads while other threads mutate goals/proofs/labels. The mutex is
-// recursive because control-plane calls re-enter authorization on the same
-// thread (SetGoal authorizes "setgoal" through the kernel, which upcalls
-// Authorize). Reference-returning accessors (StoreFor, SystemStore,
-// goals, objects, default_guard) hand out state that is only safe to use
-// single-threaded; confine them to the kernel thread.
+// Threading: the engine is a READ-WRITE SPLIT, PER-SUBJECT STRIPED core —
+// the PR-3 monitor (one recursive mutex across every entry point, which
+// serialized all cache misses) is gone. Two locking planes replace it:
+//
+//  - A read-mostly STATE plane under `state_mu_` (std::shared_mutex):
+//    label stores, object labels, and the proof registry. A miss takes the
+//    reader side just long enough to snapshot the proof and credential set
+//    (cheap shared_ptr copies), then releases it; control-plane mutations
+//    (Say/SayAs, SetProof/ClearProof, AddObjectLabel) take the writer side
+//    and then bump the kernel DecisionCache generations, so a verdict
+//    computed from a pre-write snapshot is dropped by the kernel's
+//    generation-checked insert instead of cached stale. The goalstore and
+//    object registry carry their own internal reader-writer locks (guard
+//    port handlers probe them from worker threads mid-miss).
+//
+//  - Per-subject STRIPE locks (`stripes_`, selected by Mix64(subject)):
+//    held only around default-guard evaluation, never while the state lock
+//    is held. Misses by different subjects overlap end to end — including
+//    their remote-authority round trips — while two concurrent misses by
+//    the SAME subject serialize, preserving per-subject decision ordering.
+//    The stripes are recursive (an embedded authority or the setgoal
+//    permission check may re-enter authorization for the same subject on
+//    the same thread). AuthorizeBatch acquires the stripes of every
+//    subject in the segment in ascending index order, so concurrent
+//    batches cannot deadlock against each other.
+//
+// Designated-guard upcalls hold NO state or stripe lock — the guard
+// process executes arbitrary code (it may Say, SetProof, or re-authorize),
+// and the kernel's IPC/process/port surfaces are themselves
+// concurrency-safe — but they DO serialize on one engine-wide recursive
+// mutex: guard processes are single-dispatcher servers, and two misses
+// must never run one guard's Handle() concurrently.
+// Authority handlers reached from inside a guard evaluation, by contrast,
+// run WITH the subject's stripe held — they must not synchronously
+// authorize on behalf of arbitrary OTHER subjects (a cross-stripe wait
+// could cycle with a concurrent batch).
+//
+// Consistency contract: a miss that overlaps a control-plane write may
+// observe the write partially (the goal, proof, and credential snapshots
+// are each internally consistent, but not jointly atomic). Any such racing
+// verdict carries a pre-write state version / cache generation, so it is
+// never cached past the write, and post-quiescence decisions are exact —
+// the serializability argument of the related network-systems work: only
+// genuine read-write conflicts serialize, independent proof checks do not.
+//
+// Reference-returning accessors (StoreFor, SystemStore, goals, objects,
+// default_guard) hand out state whose MUTATION is only safe quiescent;
+// confine mutations through them to the kernel thread.
 class Engine : public kernel::AuthorizationEngine {
  public:
   Engine(kernel::Kernel* kernel, Guard* default_guard);
@@ -63,7 +104,10 @@ class Engine : public kernel::AuthorizationEngine {
   // System-issued labels (kernel bindings, service attestations). These
   // live in the system labelstore visible to every guard evaluation.
   LabelHandle SayAs(const nal::Principal& speaker, const nal::Formula& statement);
-  LabelStore& StoreFor(kernel::ProcessId pid) { return stores_[pid]; }
+  LabelStore& StoreFor(kernel::ProcessId pid) {
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    return stores_[pid];
+  }
   LabelStore& SystemStore() { return system_store_; }
   // Auxiliary labels the resource owner attaches to one object (§2.5).
   void AddObjectLabel(kernel::ObjectId object, const nal::Formula& label);
@@ -115,12 +159,20 @@ class Engine : public kernel::AuthorizationEngine {
     // from lookups with novel names).
     std::optional<kernel::ObjectId> id = kernel::FindObject(object);
     if (!id.has_value()) {
-      std::lock_guard<std::recursive_mutex> lock(mu_);
+      std::shared_lock<std::shared_mutex> lock(state_mu_);
       std::vector<nal::Formula> credentials;
-      AppendSubjectCredentials(subject, &credentials);
+      AppendSubjectCredentialsLocked(subject, &credentials);
       return credentials;
     }
     return CollectCredentials(subject, *id);
+  }
+
+  // Stripe selection: same mixer as the kernel decision cache, so a
+  // subject that scales there scales here. Public so tests can pick
+  // subjects that provably land on distinct stripes.
+  static constexpr size_t kNumStripes = 16;
+  static size_t StripeOf(kernel::ProcessId subject) {
+    return static_cast<size_t>(kernel::Mix64(subject) % kNumStripes);
   }
 
  private:
@@ -135,18 +187,21 @@ class Engine : public kernel::AuthorizationEngine {
     return TupleKey{r.subject, r.op, r.obj};
   }
 
-  // The bootstrap policy when no goal formula exists (§2.6).
+  // The bootstrap policy when no goal formula exists (§2.6). Touches only
+  // the internally-locked object registry.
   kernel::AuthzDecision DefaultPolicy(const kernel::AuthzRequest& request);
 
   // The two halves of CollectCredentials, split so AuthorizeBatch can
   // amortize the subject half across a batch while staying credential-
-  // for-credential identical to the serial path.
-  void AppendSubjectCredentials(kernel::ProcessId subject,
-                                std::vector<nal::Formula>* out) const;
-  void AppendObjectCredentials(kernel::ObjectId object,
-                               std::vector<nal::Formula>* out) const;
+  // for-credential identical to the serial path. Caller holds state_mu_
+  // (either side).
+  void AppendSubjectCredentialsLocked(kernel::ProcessId subject,
+                                      std::vector<nal::Formula>* out) const;
+  void AppendObjectCredentialsLocked(kernel::ObjectId object,
+                                     std::vector<nal::Formula>* out) const;
 
-  // Designated guard: serialize the request and upcall over IPC.
+  // Designated guard: serialize the request and upcall over IPC. Runs with
+  // no engine lock held.
   kernel::AuthzDecision UpcallDesignatedGuard(const kernel::AuthzRequest& request,
                                               const GoalEntry& goal, const nal::Proof& proof,
                                               const std::vector<nal::Formula>& credentials);
@@ -154,17 +209,26 @@ class Engine : public kernel::AuthorizationEngine {
   // Monotonic stamp covering every input a cached guard verdict depends on
   // for (subject, object): label stores, object labels, and the proof
   // registration itself. Strictly increases on any relevant mutation.
-  uint64_t StateVersion(kernel::ProcessId subject, kernel::ObjectId object,
-                        const TupleKey& proof_key) const;
+  // Caller holds state_mu_ (either side).
+  uint64_t StateVersionLocked(kernel::ProcessId subject, kernel::ObjectId object,
+                              const TupleKey& proof_key) const;
 
-  // The monitor lock (see class comment). Guards every member below plus
-  // the default guard's internal caches.
-  mutable std::recursive_mutex mu_;
+  // The read-mostly state plane (see class comment): guards stores_,
+  // system_store_, object_labels_, proofs_, proof_versions_. Never held
+  // across guard evaluation or any upcall.
+  mutable std::shared_mutex state_mu_;
+  // Serializes designated-guard upcalls engine-wide: guard processes are
+  // single-dispatcher servers, so their Handle() must never run on two
+  // threads at once even though the upcall holds no other engine lock.
+  mutable std::recursive_mutex designated_mu_;
+  // Per-subject evaluation stripes (see class comment). Leaf-ward of
+  // state_mu_: a stripe is only ever acquired with no state lock held.
+  mutable std::array<std::recursive_mutex, kNumStripes> stripes_;
 
   kernel::Kernel* kernel_;
   Guard* default_guard_;
-  GoalStore goals_;
-  ObjectRegistry objects_;
+  GoalStore goals_;        // Internally locked.
+  ObjectRegistry objects_; // Internally locked.
   std::map<kernel::ProcessId, LabelStore> stores_;
   LabelStore system_store_;
   std::map<kernel::ObjectId, std::vector<nal::Formula>> object_labels_;

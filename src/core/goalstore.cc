@@ -17,6 +17,7 @@ Status GoalStore::SetGoal(kernel::OpId op, kernel::ObjectId obj, nal::Formula go
   }
   nal::Interner& interner = nal::Interner::Global();
   nal::FormulaId goal_id = interner.Intern(goal);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   goals_[Key(op, obj)] = GoalEntry{interner.Resolve(goal_id), goal_id, guard_port};
   return OkStatus();
 }
@@ -30,6 +31,7 @@ Status GoalStore::SetGoal(const std::string& operation, const std::string& objec
 }
 
 Status GoalStore::ClearGoal(kernel::OpId op, kernel::ObjectId obj) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (goals_.erase(Key(op, obj)) == 0) {
     return NotFound("no goal for " + std::string(kernel::OpName(op)) + " on " +
                     std::string(kernel::ObjectName(obj)));
@@ -42,6 +44,7 @@ Status GoalStore::ClearGoal(const std::string& operation, const std::string& obj
 }
 
 std::optional<GoalEntry> GoalStore::Get(kernel::OpId op, kernel::ObjectId obj) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = goals_.find(Key(op, obj));
   if (it == goals_.end()) {
     return std::nullopt;
@@ -51,6 +54,7 @@ std::optional<GoalEntry> GoalStore::Get(kernel::OpId op, kernel::ObjectId obj) c
 
 Status ObjectRegistry::Register(kernel::ObjectId object, kernel::ProcessId owner,
                                 kernel::ProcessId manager) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   entries_[object] = Entry{owner, manager};
   return OkStatus();
 }
@@ -63,6 +67,7 @@ Status ObjectRegistry::Register(const std::string& object, kernel::ProcessId own
 
 Status ObjectRegistry::TransferOwnership(kernel::ObjectId object,
                                          kernel::ProcessId new_owner) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = entries_.find(object);
   if (it == entries_.end()) {
     return NotFound("unknown object: " + std::string(kernel::ObjectName(object)));
@@ -72,6 +77,7 @@ Status ObjectRegistry::TransferOwnership(kernel::ObjectId object,
 }
 
 std::optional<kernel::ProcessId> ObjectRegistry::Owner(kernel::ObjectId object) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = entries_.find(object);
   if (it == entries_.end()) {
     return std::nullopt;
@@ -80,6 +86,7 @@ std::optional<kernel::ProcessId> ObjectRegistry::Owner(kernel::ObjectId object) 
 }
 
 std::optional<kernel::ProcessId> ObjectRegistry::Manager(kernel::ObjectId object) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = entries_.find(object);
   if (it == entries_.end()) {
     return std::nullopt;

@@ -10,11 +10,20 @@
 // canonical and the entry carries its FormulaId for O(1) identity in guard
 // cache keys. String-taking overloads intern-and-forward (and reject names
 // containing '\x1f', the legacy key separator).
+//
+// Both stores are internally thread-safe under reader-writer locks: Get /
+// Owner / Manager / Known take the reader side (the engine's read-mostly
+// plane and designated-guard port handlers probe them from worker threads
+// mid-miss), SetGoal / ClearGoal / Register / TransferOwnership the writer
+// side. Returned GoalEntry values are copies; the goal formula inside is a
+// canonical immortal interned node, safe to use with no lock held.
 #ifndef NEXUS_CORE_GOALSTORE_H_
 #define NEXUS_CORE_GOALSTORE_H_
 
 #include <map>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 
 #include "kernel/types.h"
@@ -57,13 +66,17 @@ class GoalStore {
     }
     return Get(*op, *obj);
   }
-  size_t size() const { return goals_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return goals_.size();
+  }
 
  private:
   static uint64_t Key(kernel::OpId op, kernel::ObjectId obj) {
     return (static_cast<uint64_t>(op) << 32) | obj;
   }
 
+  mutable std::shared_mutex mu_;
   std::map<uint64_t, GoalEntry> goals_;
 };
 
@@ -94,7 +107,10 @@ class ObjectRegistry {
     std::optional<kernel::ObjectId> id = kernel::FindObject(object);
     return id.has_value() ? Manager(*id) : std::nullopt;
   }
-  bool Known(kernel::ObjectId object) const { return entries_.contains(object); }
+  bool Known(kernel::ObjectId object) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return entries_.contains(object);
+  }
   bool Known(const std::string& object) const {
     std::optional<kernel::ObjectId> id = kernel::FindObject(object);
     return id.has_value() && Known(*id);
@@ -105,6 +121,7 @@ class ObjectRegistry {
     kernel::ProcessId owner;
     kernel::ProcessId manager;
   };
+  mutable std::shared_mutex mu_;
   std::map<kernel::ObjectId, Entry> entries_;
 };
 

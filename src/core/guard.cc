@@ -164,58 +164,59 @@ std::vector<Guard::InFlightBatch> Guard::IssuePrefetches(std::span<const BatchIt
   return inflight;
 }
 
-void Guard::InsertCacheEntry(kernel::ProcessId quota_root, const CacheKey& key,
-                             const nal::Proof& proof, bool verdict) {
+void Guard::InsertCacheEntryLocked(CacheShard& shard, kernel::ProcessId quota_root,
+                                   const CacheKey& key, const nal::Proof& proof,
+                                   bool verdict) {
   // A zero quota or zero capacity disables caching outright. This must be
   // checked FIRST: with per_root_quota == 0 the quota condition below is
   // vacuously true forever and the old code dereferenced
-  // std::prev(lru_.end()) on an empty list — UB — or spun without
+  // std::prev(lru.end()) on an empty list — UB — or spun without
   // progress.
   if (config_.per_root_quota == 0 || config_.proof_cache_capacity == 0) {
     return;
   }
 
-  auto evict = [this](std::list<CacheEntry>::iterator it) {
-    if (--root_usage_[it->quota_root] == 0) {
-      root_usage_.erase(it->quota_root);  // Don't accrete dead roots.
+  auto evict = [this, &shard](std::list<CacheEntry>::iterator it) {
+    if (--shard.root_usage[it->quota_root] == 0) {
+      shard.root_usage.erase(it->quota_root);  // Don't accrete dead roots.
     }
-    cache_index_.erase(it->key);
-    lru_.erase(it);
+    shard.index.erase(it->key);
+    shard.lru.erase(it);
     ++stats_.evictions;
   };
-  // The oldest entry charged to `root`, or lru_.end(). (Never called on an
+  // The oldest entry charged to `root`, or lru.end(). (Never called on an
   // empty list, but stays correct if it is.)
-  auto oldest_of_root = [this](kernel::ProcessId root) {
-    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+  auto oldest_of_root = [&shard](kernel::ProcessId root) {
+    for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
       if (it->quota_root == root) {
         return std::prev(it.base());
       }
     }
-    return lru_.end();
+    return shard.lru.end();
   };
 
   // Quota enforcement: evict this root's own oldest entries first (§2.9).
-  // Each pass either evicts one of the root's entries or proves none
-  // exists and stops — accounting drift (root_usage_ positive with no
-  // matching LRU entry) must degrade to an over-admission, never hang the
-  // guard.
-  while (!lru_.empty() && root_usage_[quota_root] >= config_.per_root_quota) {
+  // A root's entries all live in this shard, so the count is exact. Each
+  // pass either evicts one of the root's entries or proves none exists and
+  // stops — accounting drift (root_usage positive with no matching LRU
+  // entry) must degrade to an over-admission, never hang the guard.
+  while (!shard.lru.empty() && shard.root_usage[quota_root] >= config_.per_root_quota) {
     auto it = oldest_of_root(quota_root);
-    if (it == lru_.end()) {
+    if (it == shard.lru.end()) {
       break;  // No entry carries this root: bounded exit, not a spin.
     }
     evict(it);
   }
-  // Capacity: preferentially evict entries charged to the same principal,
-  // falling back to global LRU.
-  if (!lru_.empty() && lru_.size() >= config_.proof_cache_capacity) {
+  // Capacity (per shard): preferentially evict entries charged to the same
+  // principal, falling back to shard LRU.
+  if (!shard.lru.empty() && shard.lru.size() >= config_.proof_cache_capacity) {
     auto it = oldest_of_root(quota_root);
-    evict(it != lru_.end() ? it : std::prev(lru_.end()));
+    evict(it != shard.lru.end() ? it : std::prev(shard.lru.end()));
   }
 
-  lru_.push_front(CacheEntry{key, proof, verdict, quota_root});
-  cache_index_[key] = lru_.begin();
-  root_usage_[quota_root] += 1;
+  shard.lru.push_front(CacheEntry{key, proof, verdict, quota_root});
+  shard.index[key] = shard.lru.begin();
+  shard.root_usage[quota_root] += 1;
 }
 
 AuthzDecision Guard::Check(const AuthzRequest& request, const nal::Formula& goal,
@@ -262,15 +263,17 @@ AuthzDecision Guard::CheckImpl(const AuthzRequest& request, const nal::Formula& 
     // ProofHash, not the proof's address: address reuse after free must
     // not replay a dead proof's verdict for a different proof (ABA).
     cache_key = CacheKey{goal_id, nal::ProofHash(proof), state_version};
-    auto it = cache_index_.find(cache_key);
+    CacheShard& shard = ShardFor(quota_root);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(cache_key);
     // ProofHash is not cryptographic: confirm the hit actually carries a
     // structurally equal proof before replaying its verdict. The pointer
     // fast path covers re-submitted proof objects; an engineered
     // collision fails ProofEquals and pays a full check instead.
-    if (it != cache_index_.end() &&
+    if (it != shard.index.end() &&
         (it->second->proof == proof || nal::ProofEquals(it->second->proof, proof))) {
       ++stats_.cache_hits;
-      lru_.splice(lru_.begin(), lru_, it->second);  // LRU refresh.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // LRU refresh.
       bool allowed = it->second->verdict;
       return allowed ? AuthzDecision::Allow()
                      : AuthzDecision::Deny(PermissionDenied("denied (cached proof verdict)"),
@@ -294,7 +297,16 @@ AuthzDecision Guard::CheckImpl(const AuthzRequest& request, const nal::Formula& 
   // the subject may acquire the label later without touching its proof.
   bool verdict_cacheable = result.cacheable && !result.missing_credential;
   if (may_cache && !result.missing_credential) {
-    InsertCacheEntry(quota_root, cache_key, proof, result.status.ok());
+    CacheShard& shard = ShardFor(quota_root);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Two concurrent misses on the same key both reach here; the loser
+    // must not insert a duplicate (it would orphan the winner's LRU node
+    // and double-charge the root — its eventual eviction would then
+    // unindex the live entry). Both computed the same verdict, so keeping
+    // the winner's is exact.
+    if (!shard.index.contains(cache_key)) {
+      InsertCacheEntryLocked(shard, quota_root, cache_key, proof, result.status.ok());
+    }
   }
   AuthzDecision decision = AuthzDecision::FromStatus(result.status, verdict_cacheable);
   decision.consulted_authorities = consulted;
@@ -338,12 +350,26 @@ std::vector<AuthzDecision> Guard::CheckBatch(std::span<const BatchItem> items) {
 }
 
 void Guard::FlushCache() {
-  // All three structures drop together: a stale root_usage_ survivor would
-  // wrongly trigger quota eviction on the next fill (§2.9 quotas count live
-  // entries, not history).
-  lru_.clear();
-  cache_index_.clear();
-  root_usage_.clear();
+  // Within each shard all three structures drop together: a stale
+  // root_usage survivor would wrongly trigger quota eviction on the next
+  // fill (§2.9 quotas count live entries, not history).
+  for (CacheShard& shard : cache_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.root_usage.clear();
+  }
+}
+
+Guard::Stats Guard::stats() const {
+  Stats snapshot;
+  snapshot.checks = stats_.checks.load();
+  snapshot.cache_hits = stats_.cache_hits.load();
+  snapshot.authority_queries = stats_.authority_queries.load();
+  snapshot.remote_queries = stats_.remote_queries.load();
+  snapshot.evictions = stats_.evictions.load();
+  snapshot.batch_collapsed_queries = stats_.batch_collapsed_queries.load();
+  return snapshot;
 }
 
 GuardPortHandler::GuardPortHandler(Guard* guard, const GoalStore* goals)

@@ -22,11 +22,25 @@
 // overlaps local work instead of serializing ahead of it. Items that
 // depend on an in-flight answer are checked after the futures are
 // harvested, so every verdict equals the serial path's.
+//
+// Threading: the guard is safe for concurrent Check/CheckBatch callers.
+// The proof-check cache is SHARDED by Mix64(quota root) — every entry a
+// process tree can charge lives in exactly one shard, so §2.9 quota
+// accounting stays exact while different subjects' evaluations take
+// different shard mutexes and the engine's per-subject stripes never
+// re-serialize on one guard lock. `proof_cache_capacity` is enforced per
+// shard (total soft state ≤ capacity × kNumCacheShards; single-root
+// workloads see exactly the configured capacity, as before). Stats
+// counters are atomics; stats() returns a snapshot. The authority
+// registries are append-only configuration: register authorities before
+// concurrent checking starts. AuthorityMemo instances are batch-local.
 #ifndef NEXUS_CORE_GUARD_H_
 #define NEXUS_CORE_GUARD_H_
 
+#include <atomic>
 #include <list>
 #include <map>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -43,7 +57,9 @@ namespace nexus::core {
 class Guard {
  public:
   struct Config {
-    // 0 disables the proof-check cache entirely (every check re-verifies).
+    // Per cache shard; 0 disables the proof-check cache entirely (every
+    // check re-verifies). A quota root's entries all live in one shard, so
+    // a single process tree can cache at most this many verdicts.
     size_t proof_cache_capacity = 1024;
     // Maximum cache entries chargeable to one process tree (§2.9 quotas).
     // 0 means no process tree may cache anything — also a full disable.
@@ -128,7 +144,7 @@ class Guard {
   // CheckBatch no item mutates label state.
   std::vector<kernel::AuthzDecision> CheckBatch(std::span<const BatchItem> items);
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;  // Snapshot by value: counters move concurrently.
   void FlushCache();
 
   // Deployments tune the remote-query deadline to their link (callers that
@@ -205,15 +221,6 @@ class Guard {
                                   const std::vector<nal::Formula>& credentials,
                                   uint64_t state_version, const AuthorityMemo* memo);
 
-  void InsertCacheEntry(kernel::ProcessId quota_root, const CacheKey& key,
-                        const nal::Proof& proof, bool verdict);
-
-  kernel::Kernel* kernel_;
-  Config config_;
-  std::vector<Authority*> embedded_authorities_;
-  std::vector<kernel::PortId> authority_ports_;
-  std::vector<Authority*> remote_authorities_;
-
   struct CacheEntry {
     CacheKey key;
     // The proof the verdict was checked under. ProofHash is not
@@ -225,11 +232,41 @@ class Guard {
     bool verdict;
     kernel::ProcessId quota_root;
   };
-  // LRU list + index. Sized in entries; all state is soft (§2.9).
-  std::list<CacheEntry> lru_;
-  std::map<CacheKey, std::list<CacheEntry>::iterator> cache_index_;
-  std::map<kernel::ProcessId, size_t> root_usage_;
-  Stats stats_;
+  // One proof-check cache shard: LRU list + index + per-root usage, under
+  // its own mutex. All state is soft (§2.9).
+  struct CacheShard {
+    std::mutex mu;
+    std::list<CacheEntry> lru;
+    std::map<CacheKey, std::list<CacheEntry>::iterator> index;
+    std::map<kernel::ProcessId, size_t> root_usage;
+  };
+  static constexpr size_t kNumCacheShards = 16;
+
+  CacheShard& ShardFor(kernel::ProcessId quota_root) {
+    return cache_shards_[kernel::Mix64(quota_root) % kNumCacheShards];
+  }
+  // Caller holds shard.mu.
+  void InsertCacheEntryLocked(CacheShard& shard, kernel::ProcessId quota_root,
+                              const CacheKey& key, const nal::Proof& proof, bool verdict);
+
+  kernel::Kernel* kernel_;
+  Config config_;
+  std::vector<Authority*> embedded_authorities_;
+  std::vector<kernel::PortId> authority_ports_;
+  std::vector<Authority*> remote_authorities_;
+
+  CacheShard cache_shards_[kNumCacheShards];
+
+  // Tallied with relaxed atomics (counters only; never synchronizes data).
+  struct AtomicStats {
+    std::atomic<uint64_t> checks{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> authority_queries{0};
+    std::atomic<uint64_t> remote_queries{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> batch_collapsed_queries{0};
+  };
+  AtomicStats stats_;
 };
 
 // A guard exposed as an IPC service (designated guards, Figure 1: the

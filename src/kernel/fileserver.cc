@@ -2,6 +2,17 @@
 
 namespace nexus::kernel {
 
+namespace {
+
+// Hoisted operation ids: interned once per process lifetime, not per call.
+const OpId kCreateOp = InternOp("create");
+const OpId kOpenOp = InternOp("open");
+const OpId kReadOp = InternOp("read");
+const OpId kWriteOp = InternOp("write");
+const OpId kUnlinkOp = InternOp("unlink");
+
+}  // namespace
+
 Status FileServer::CreateFile(const std::string& path, ByteView content) {
   if (files_.contains(path)) {
     return AlreadyExists("file exists: " + path);
@@ -18,6 +29,21 @@ Result<Bytes> FileServer::ReadFile(const std::string& path) const {
   return it->second;
 }
 
+Result<ObjectId> FileServer::FileObject(ProcessId caller, const std::string& path) {
+  auto it = file_objects_.find(path);
+  if (it != file_objects_.end()) {
+    return it->second;  // Memoized: no string concatenation, no interning.
+  }
+  // First sight of this path: build "file:<path>" once and intern it
+  // through the charged surface — probing endless novel paths exhausts the
+  // prober's name quota, not the table.
+  Result<ObjectId> object = kernel_->InternObjectCharged(caller, "file:" + path);
+  if (object.ok()) {
+    file_objects_.emplace(path, *object);
+  }
+  return object;
+}
+
 IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message) {
   const std::string& op = message.operation;
 
@@ -26,7 +52,11 @@ IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message
       return Error(InvalidArgument("create needs a path"));
     }
     const std::string& path = message.args[0];
-    Status authorized = kernel_->Authorize(context.caller, "create", "file:" + path);
+    Result<ObjectId> object = FileObject(context.caller, path);
+    if (!object.ok()) {
+      return Error(object.status());
+    }
+    Status authorized = kernel_->Authorize(AuthzRequest{context.caller, kCreateOp, *object});
     if (!authorized.ok()) {
       return Error(authorized);
     }
@@ -39,7 +69,11 @@ IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message
       return Error(InvalidArgument("open needs a path"));
     }
     const std::string& path = message.args[0];
-    Status authorized = kernel_->Authorize(context.caller, "open", "file:" + path);
+    Result<ObjectId> object = FileObject(context.caller, path);
+    if (!object.ok()) {
+      return Error(object.status());
+    }
+    Status authorized = kernel_->Authorize(AuthzRequest{context.caller, kOpenOp, *object});
     if (!authorized.ok()) {
       return Error(authorized);
     }
@@ -47,7 +81,7 @@ IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message
       return Error(NotFound("no such file: " + path));
     }
     int64_t fd = next_fd_++;
-    open_files_[fd] = OpenFile{path, context.caller};
+    open_files_[fd] = OpenFile{path, context.caller, *object};
     return IpcReply{OkStatus(), path, {}, fd};
   }
 
@@ -55,7 +89,13 @@ IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message
     if (message.args.empty()) {
       return Error(InvalidArgument("close needs an fd"));
     }
-    int64_t fd = std::stoll(message.args[0]);
+    // args arrive over the untrusted IPC surface: parse defensively
+    // (std::stoll would throw out of the simulation on "garbage").
+    std::optional<uint64_t> fd_arg = ParseDecimalU64(message.args[0]);
+    if (!fd_arg.has_value()) {
+      return Error(InvalidArgument("close: fd must be a decimal file descriptor"));
+    }
+    int64_t fd = static_cast<int64_t>(*fd_arg);
     auto it = open_files_.find(fd);
     if (it == open_files_.end() || it->second.owner != context.caller) {
       return Error(NotFound("bad file descriptor"));
@@ -68,21 +108,35 @@ IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message
     if (message.args.empty()) {
       return Error(InvalidArgument(op + " needs an fd"));
     }
-    int64_t fd = std::stoll(message.args[0]);
+    std::optional<uint64_t> fd_arg = ParseDecimalU64(message.args[0]);
+    if (!fd_arg.has_value()) {
+      return Error(InvalidArgument(op + ": fd must be a decimal file descriptor"));
+    }
+    int64_t fd = static_cast<int64_t>(*fd_arg);
     auto it = open_files_.find(fd);
     if (it == open_files_.end() || it->second.owner != context.caller) {
       return Error(NotFound("bad file descriptor"));
     }
-    const std::string& path = it->second.path;
-    Status authorized = kernel_->Authorize(context.caller, op, "file:" + path);
+    // The fd carries its interned object id: the per-call authorization is
+    // three integers, no "file:<path>" string ever built on this path.
+    bool is_read = op == "read";
+    Status authorized = kernel_->Authorize(
+        AuthzRequest{context.caller, is_read ? kReadOp : kWriteOp, it->second.object});
     if (!authorized.ok()) {
       return Error(authorized);
     }
+    const std::string& path = it->second.path;
     Bytes& content = files_[path];
-    if (op == "read") {
-      size_t offset = message.args.size() > 1 ? std::stoull(message.args[1]) : 0;
-      size_t length =
-          message.args.size() > 2 ? std::stoull(message.args[2]) : content.size();
+    if (is_read) {
+      std::optional<uint64_t> offset_arg =
+          message.args.size() > 1 ? ParseDecimalU64(message.args[1]) : 0;
+      std::optional<uint64_t> length_arg =
+          message.args.size() > 2 ? ParseDecimalU64(message.args[2]) : content.size();
+      if (!offset_arg.has_value() || !length_arg.has_value()) {
+        return Error(InvalidArgument("read: offset/length must be decimal"));
+      }
+      size_t offset = *offset_arg;
+      size_t length = *length_arg;
       if (offset > content.size()) {
         return Error(OutOfRange("read past end of file"));
       }
@@ -92,7 +146,12 @@ IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message
       return IpcReply{OkStatus(), {}, std::move(out), static_cast<int64_t>(length)};
     }
     // write
-    size_t offset = message.args.size() > 1 ? std::stoull(message.args[1]) : content.size();
+    std::optional<uint64_t> offset_arg =
+        message.args.size() > 1 ? ParseDecimalU64(message.args[1]) : content.size();
+    if (!offset_arg.has_value()) {
+      return Error(InvalidArgument("write: offset must be decimal"));
+    }
+    size_t offset = *offset_arg;
     if (offset > content.size()) {
       return Error(OutOfRange("write past end of file"));
     }
@@ -109,7 +168,11 @@ IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message
       return Error(InvalidArgument("unlink needs a path"));
     }
     const std::string& path = message.args[0];
-    Status authorized = kernel_->Authorize(context.caller, "unlink", "file:" + path);
+    Result<ObjectId> object = FileObject(context.caller, path);
+    if (!object.ok()) {
+      return Error(object.status());
+    }
+    Status authorized = kernel_->Authorize(AuthzRequest{context.caller, kUnlinkOp, *object});
     if (!authorized.ok()) {
       return Error(authorized);
     }

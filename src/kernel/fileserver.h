@@ -5,11 +5,20 @@
 // open/close/read/write are 2-3x a monolithic kernel's). Per-file, per-
 // operation goal formulas are enforced by routing each access through the
 // kernel's Authorize path with object "file:<path>".
+//
+// Hot-path interning: operation ids are hoisted once, and each file's
+// "file:<path>" object id is interned once (charged to the opener's name
+// quota) and memoized — an open file descriptor carries its ObjectId, so
+// the per-read/per-write authorization is a pure integer-tuple
+// AuthzRequest with no string built or hashed (ROADMAP "Interned fast
+// paths"). The server itself follows the single-dispatcher contract of
+// user-level services: one Handle at a time.
 #ifndef NEXUS_KERNEL_FILESERVER_H_
 #define NEXUS_KERNEL_FILESERVER_H_
 
 #include <map>
 #include <string>
+#include <unordered_map>
 
 #include "kernel/ipc.h"
 #include "kernel/kernel.h"
@@ -34,13 +43,21 @@ class FileServer : public PortHandler {
   struct OpenFile {
     std::string path;
     ProcessId owner;
+    // The interned "file:<path>" identity, resolved at open: reads and
+    // writes authorize with it directly.
+    ObjectId object = 0;
   };
 
   IpcReply Error(Status status) { return IpcReply{std::move(status), {}, {}, 0}; }
 
+  // The memoized "file:<path>" object id, interning (charged to `caller`)
+  // on first sight of the path.
+  Result<ObjectId> FileObject(ProcessId caller, const std::string& path);
+
   Kernel* kernel_;
   std::map<std::string, Bytes> files_;
   std::map<int64_t, OpenFile> open_files_;
+  std::unordered_map<std::string, ObjectId> file_objects_;
   int64_t next_fd_ = 3;
 };
 

@@ -1,5 +1,6 @@
 #include "kernel/kernel.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace nexus::kernel {
@@ -21,24 +22,38 @@ uint64_t Kernel::NowMicros() const {
 
 Result<ProcessId> Kernel::CreateProcess(const std::string& name, ByteView binary,
                                         ProcessId parent) {
-  if (parent != kKernelProcessId && !IsAlive(parent)) {
-    return NotFound("parent process not alive");
-  }
   Process p;
-  p.pid = next_pid_++;
   p.parent = parent;
   p.name = name;
   p.binary_hash = crypto::Sha256::Hash(binary);
   // The quota root is the topmost non-kernel ancestor: incessantly spawned
-  // children are all charged to the tree's root (§2.9).
+  // children are all charged to the tree's root (§2.9). Read it from the
+  // parent's shard; a parent killed between this read and the insert below
+  // yields a child of a dead parent, exactly as a kill landing just after
+  // the spawn would.
   if (parent == kKernelProcessId) {
-    p.quota_root = p.pid;
+    p.quota_root = 0;  // Fixed up to the child's own pid below.
   } else {
-    p.quota_root = processes_.at(parent).quota_root;
+    const ProcessShard& shard = process_shards_[ShardOfId(parent)];
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.procs.find(parent);
+    if (it == shard.procs.end() || !it->second.alive.load()) {
+      return NotFound("parent process not alive");
+    }
+    p.quota_root = it->second.quota_root;
   }
-  ProcessId pid = p.pid;
+  ProcessId pid = next_pid_.fetch_add(1);
+  p.pid = pid;
+  if (parent == kKernelProcessId) {
+    p.quota_root = pid;
+  }
   PublishProcessNodes(p);
-  processes_.emplace(pid, std::move(p));
+  {
+    ProcessShard& shard = process_shards_[ShardOfId(pid)];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    shard.procs.emplace(pid, std::move(p));
+  }
+  lifecycle_generation_.fetch_add(1);
   return pid;
 }
 
@@ -52,44 +67,72 @@ void Kernel::PublishProcessNodes(const Process& process) {
 }
 
 Status Kernel::KillProcess(ProcessId pid) {
-  auto it = processes_.find(pid);
-  if (it == processes_.end() || !it->second.alive) {
-    return NotFound("no such process");
+  {
+    ProcessShard& shard = process_shards_[ShardOfId(pid)];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.procs.find(pid);
+    if (it == shard.procs.end() || !it->second.alive.load()) {
+      return NotFound("no such process");
+    }
+    it->second.alive.store(false);
   }
-  it->second.alive = false;
   procfs_.RemoveOwned(pid);
-  channels_.erase(pid);
-  for (auto port_it = ports_.begin(); port_it != ports_.end();) {
-    if (port_it->second.owner == pid) {
-      PortId dead = port_it->first;
-      port_it = ports_.erase(port_it);
+  // Tear down the process's ports shard by shard, then unlink the dead
+  // ports from every remaining channel set.
+  std::vector<PortId> dead_ports;
+  for (PortShard& shard : port_shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    for (auto port_it = shard.ports.begin(); port_it != shard.ports.end();) {
+      if (port_it->second.owner == pid) {
+        dead_ports.push_back(port_it->first);
+        port_it = shard.ports.erase(port_it);
+      } else {
+        ++port_it;
+      }
+    }
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(channels_mu_);
+    channels_.erase(pid);
+    for (PortId dead : dead_ports) {
       for (auto& [owner, connected] : channels_) {
         connected.erase(dead);
       }
-    } else {
-      ++port_it;
     }
   }
-  scheduler_->RemoveClient(pid);  // Best effort; may not be scheduled.
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    scheduler_->RemoveClient(pid);  // Best effort; may not be scheduled.
+  }
+  lifecycle_generation_.fetch_add(1);
   return OkStatus();
 }
 
 Result<const Process*> Kernel::GetProcess(ProcessId pid) const {
-  auto it = processes_.find(pid);
-  if (it == processes_.end()) {
+  const ProcessShard& shard = process_shards_[ShardOfId(pid)];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.procs.find(pid);
+  if (it == shard.procs.end()) {
     return NotFound("no such process");
   }
+  // Stable: records are marked dead, never erased, and std::map nodes do
+  // not move. Liveness is an atomic; other mutable fields are only touched
+  // under the shard writer lock.
   return &it->second;
 }
 
 bool Kernel::IsAlive(ProcessId pid) const {
-  auto it = processes_.find(pid);
-  return it != processes_.end() && it->second.alive;
+  const ProcessShard& shard = process_shards_[ShardOfId(pid)];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.procs.find(pid);
+  return it != shard.procs.end() && it->second.alive.load();
 }
 
 Result<ProcessId> Kernel::GetParent(ProcessId pid) const {
-  auto it = processes_.find(pid);
-  if (it == processes_.end()) {
+  const ProcessShard& shard = process_shards_[ShardOfId(pid)];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.procs.find(pid);
+  if (it == shard.procs.end()) {
     return NotFound("no such process");
   }
   return it->second.parent;
@@ -97,17 +140,23 @@ Result<ProcessId> Kernel::GetParent(ProcessId pid) const {
 
 std::vector<ProcessId> Kernel::Processes() const {
   std::vector<ProcessId> out;
-  for (const auto& [pid, p] : processes_) {
-    if (p.alive) {
-      out.push_back(pid);
+  for (const ProcessShard& shard : process_shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    for (const auto& [pid, p] : shard.procs) {
+      if (p.alive.load()) {
+        out.push_back(pid);
+      }
     }
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 Status Kernel::RestrictSyscalls(ProcessId pid, std::set<Syscall> allowed) {
-  auto it = processes_.find(pid);
-  if (it == processes_.end() || !it->second.alive) {
+  ProcessShard& shard = process_shards_[ShardOfId(pid)];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.procs.find(pid);
+  if (it == shard.procs.end() || !it->second.alive.load()) {
     return NotFound("no such process");
   }
   // Restriction is monotone: a process can only narrow its own surface.
@@ -130,57 +179,114 @@ std::string Kernel::ProcPath(ProcessId pid) { return "/proc/ipd/" + std::to_stri
 
 // ----------------------------------------------------------------- Ports
 
+std::optional<Kernel::Port> Kernel::SnapshotPort(PortId port) const {
+  const PortShard& shard = port_shards_[ShardOfId(port)];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.ports.find(port);
+  if (it == shard.ports.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
 Result<PortId> Kernel::CreatePort(ProcessId owner) {
   if (owner != kKernelProcessId && !IsAlive(owner)) {
     return NotFound("no such process");
   }
-  PortId id = next_port_++;
-  ports_[id] = Port{id, owner, nullptr};
-  procfs_.PublishValue(owner, "/proc/port/" + std::to_string(id) + "/owner",
-                       std::to_string(owner));
+  PortId id = next_port_.fetch_add(1);
+  uint64_t generation = lifecycle_generation_.fetch_add(1) + 1;
+  const std::string proc_node = "/proc/port/" + std::to_string(id) + "/owner";
+  {
+    PortShard& shard = port_shards_[ShardOfId(id)];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    shard.ports[id] = Port{id, owner, nullptr, generation};
+  }
+  procfs_.PublishValue(owner, proc_node, std::to_string(owner));
+  // Revalidate AFTER publishing: a KillProcess that raced the liveness
+  // check above may have swept the port shards before our insert landed,
+  // which would leak a live port owned by a dead process forever. Insert-
+  // then-recheck closes the window — either the kill's sweep sees our
+  // port, or we see the kill and reap our own debris.
+  if (owner != kKernelProcessId && !IsAlive(owner)) {
+    {
+      PortShard& shard = port_shards_[ShardOfId(id)];
+      std::unique_lock<std::shared_mutex> lock(shard.mu);
+      shard.ports.erase(id);  // May already be gone (the kill swept it).
+    }
+    procfs_.Remove(proc_node);  // Ditto.
+    return NotFound("no such process");
+  }
   return id;
 }
 
 Status Kernel::DestroyPort(PortId port) {
-  if (ports_.erase(port) == 0) {
-    return NotFound("no such port");
+  {
+    PortShard& shard = port_shards_[ShardOfId(port)];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    if (shard.ports.erase(port) == 0) {
+      return NotFound("no such port");
+    }
   }
-  for (auto& [owner, connected] : channels_) {
-    connected.erase(port);
+  {
+    std::unique_lock<std::shared_mutex> lock(channels_mu_);
+    for (auto& [owner, connected] : channels_) {
+      connected.erase(port);
+    }
   }
   procfs_.Remove("/proc/port/" + std::to_string(port) + "/owner");
+  lifecycle_generation_.fetch_add(1);
   return OkStatus();
 }
 
 Status Kernel::BindHandler(PortId port, PortHandler* handler) {
-  auto it = ports_.find(port);
-  if (it == ports_.end()) {
+  PortShard& shard = port_shards_[ShardOfId(port)];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.ports.find(port);
+  if (it == shard.ports.end()) {
     return NotFound("no such port");
   }
   it->second.handler = handler;
+  lifecycle_generation_.fetch_add(1);
   return OkStatus();
 }
 
 Result<ProcessId> Kernel::PortOwner(PortId port) const {
-  auto it = ports_.find(port);
-  if (it == ports_.end()) {
+  std::optional<Port> snapshot = SnapshotPort(port);
+  if (!snapshot.has_value()) {
     return NotFound("no such port");
   }
-  return it->second.owner;
+  return snapshot->owner;
 }
 
 Status Kernel::ConnectPort(ProcessId pid, PortId port) {
   if (!IsAlive(pid) && pid != kKernelProcessId) {
     return NotFound("no such process");
   }
-  if (!ports_.contains(port)) {
+  if (!SnapshotPort(port).has_value()) {
     return NotFound("no such port");
   }
-  channels_[pid].insert(port);
+  {
+    std::unique_lock<std::shared_mutex> lock(channels_mu_);
+    channels_[pid].insert(port);
+  }
+  // Revalidate: a DestroyPort/KillProcess racing the existence check above
+  // may have swept channels_ before our edge landed, leaving a permanent
+  // ghost edge to a nonexistent port (and a phantom path for the IPC
+  // analyzer). Either the destroy's sweep sees our edge, or we see the
+  // destroy and retract it.
+  if (!SnapshotPort(port).has_value()) {
+    std::unique_lock<std::shared_mutex> lock(channels_mu_);
+    auto it = channels_.find(pid);
+    if (it != channels_.end()) {
+      it->second.erase(port);
+    }
+    return NotFound("no such port");
+  }
   return OkStatus();
 }
 
 Status Kernel::DisconnectPort(ProcessId pid, PortId port) {
+  std::unique_lock<std::shared_mutex> lock(channels_mu_);
   auto it = channels_.find(pid);
   if (it == channels_.end() || it->second.erase(port) == 0) {
     return NotFound("no such channel");
@@ -189,28 +295,44 @@ Status Kernel::DisconnectPort(ProcessId pid, PortId port) {
 }
 
 bool Kernel::HasChannel(ProcessId pid, PortId port) const {
+  std::shared_lock<std::shared_mutex> lock(channels_mu_);
   auto it = channels_.find(pid);
   return it != channels_.end() && it->second.contains(port);
 }
 
+Result<uint64_t> Kernel::PortGeneration(PortId port) const {
+  std::optional<Port> snapshot = SnapshotPort(port);
+  if (!snapshot.has_value()) {
+    return NotFound("no such port");
+  }
+  return snapshot->generation;
+}
+
+std::map<ProcessId, std::set<PortId>> Kernel::ChannelsSnapshot() const {
+  std::shared_lock<std::shared_mutex> lock(channels_mu_);
+  return channels_;
+}
+
 std::vector<PortId> Kernel::Ports() const {
   std::vector<PortId> out;
-  out.reserve(ports_.size());
-  for (const auto& [id, p] : ports_) {
-    out.push_back(id);
+  for (const PortShard& shard : port_shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    for (const auto& [id, p] : shard.ports) {
+      out.push_back(id);
+    }
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 // ------------------------------------------------------------------- IPC
 
 IpcReply Kernel::Call(ProcessId caller, PortId port, const IpcMessage& message) {
-  auto port_it = ports_.find(port);
-  if (port_it == ports_.end()) {
+  if (!SnapshotPort(port).has_value()) {
     return IpcReply{NotFound("no such port"), {}, {}, 0};
   }
 
-  if (!interposition_enabled_) {
+  if (!interposition_enabled_.load()) {
     return Dispatch(caller, port, message);
   }
 
@@ -224,11 +346,15 @@ IpcReply Kernel::Call(ProcessId caller, PortId port, const IpcMessage& message) 
   IpcMessage working = std::move(*unmarshaled);
 
   IpcContext context{caller, port};
-  // Newest interceptor first; composition is simply nesting (§3.2).
+  // Newest interceptor first; composition is simply nesting (§3.2). The
+  // chain is snapshotted under the reader lock and run without it.
   std::vector<Interceptor*> active;
-  for (auto it = interpositions_.rbegin(); it != interpositions_.rend(); ++it) {
-    if (it->port == port) {
-      active.push_back(it->interceptor);
+  {
+    std::shared_lock<std::shared_mutex> lock(interpose_mu_);
+    for (auto it = interpositions_.rbegin(); it != interpositions_.rend(); ++it) {
+      if (it->port == port) {
+        active.push_back(it->interceptor);
+      }
     }
   }
   for (Interceptor* interceptor : active) {
@@ -247,38 +373,49 @@ IpcReply Kernel::Call(ProcessId caller, PortId port, const IpcMessage& message) 
 }
 
 IpcReply Kernel::Dispatch(ProcessId caller, PortId port, const IpcMessage& message) {
-  auto it = ports_.find(port);
-  if (it == ports_.end()) {
+  std::optional<Port> snapshot = SnapshotPort(port);
+  if (!snapshot.has_value()) {
     return IpcReply{NotFound("no such port"), {}, {}, 0};
   }
-  if (it->second.handler == nullptr) {
+  if (snapshot->handler == nullptr) {
     return IpcReply{Unavailable("no handler bound to port"), {}, {}, 0};
   }
+  // The handler runs with no kernel lock held. A concurrent DestroyPort
+  // lets this in-flight call complete against the handler captured here
+  // (the snapshot carries the port generation for callers that care).
   IpcContext context{caller, port};
-  return it->second.handler->Handle(context, message);
+  return snapshot->handler->Handle(context, message);
 }
 
 // ---------------------------------------------------------- Interposition
 
 Result<uint64_t> Kernel::Interpose(ProcessId monitor, PortId port, Interceptor* interceptor) {
-  if (!ports_.contains(port)) {
+  if (!SnapshotPort(port).has_value()) {
     return NotFound("no such port");
   }
   if (interceptor == nullptr) {
     return InvalidArgument("null interceptor");
   }
   // Interposition is itself a guarded operation: consent is expressed by a
-  // goal formula on the port (§3.2).
-  Status authorized = Authorize(monitor, "interpose", "port:" + std::to_string(port));
+  // goal formula on the port (§3.2). The op id is hoisted; the object name
+  // is caller-influenced, so it interns through the charged surface.
+  static const OpId interpose_op = InternOp("interpose");
+  Result<ObjectId> object = InternObjectCharged(monitor, "port:" + std::to_string(port));
+  if (!object.ok()) {
+    return object.status();
+  }
+  Status authorized = Authorize(AuthzRequest{monitor, interpose_op, *object});
   if (!authorized.ok()) {
     return authorized;
   }
-  uint64_t token = next_interpose_token_++;
+  uint64_t token = next_interpose_token_.fetch_add(1);
+  std::unique_lock<std::shared_mutex> lock(interpose_mu_);
   interpositions_.push_back(Interposition{token, port, monitor, interceptor});
   return token;
 }
 
 Status Kernel::RemoveInterposition(uint64_t token) {
+  std::unique_lock<std::shared_mutex> lock(interpose_mu_);
   for (auto it = interpositions_.begin(); it != interpositions_.end(); ++it) {
     if (it->token == token) {
       interpositions_.erase(it);
@@ -289,9 +426,12 @@ Status Kernel::RemoveInterposition(uint64_t token) {
 }
 
 Result<PortId> Kernel::SyscallPort(ProcessId pid) {
-  auto it = syscall_ports_.find(pid);
-  if (it != syscall_ports_.end()) {
-    return it->second;
+  {
+    std::lock_guard<std::mutex> lock(syscall_ports_mu_);
+    auto it = syscall_ports_.find(pid);
+    if (it != syscall_ports_.end()) {
+      return it->second;
+    }
   }
   if (!IsAlive(pid)) {
     return NotFound("no such process");
@@ -300,24 +440,36 @@ Result<PortId> Kernel::SyscallPort(ProcessId pid) {
   if (!port.ok()) {
     return port;
   }
-  syscall_ports_[pid] = *port;
+  std::lock_guard<std::mutex> lock(syscall_ports_mu_);
+  auto [it, inserted] = syscall_ports_.emplace(pid, *port);
+  if (!inserted) {
+    // Raced another creator; theirs won. Ours stays as an unused kernel
+    // port rather than risking destroying a port mid-concurrent-call.
+    return it->second;
+  }
   return *port;
 }
 
 // -------------------------------------------------------------- Syscalls
 
 IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& message) {
-  auto proc_it = processes_.find(caller);
-  if (proc_it == processes_.end() || !proc_it->second.alive) {
-    return IpcReply{NotFound("no such process"), {}, {}, 0};
-  }
-  const Process& proc = proc_it->second;
-  if (proc.allowed_syscalls.has_value() && !proc.allowed_syscalls->contains(call)) {
-    return IpcReply{PermissionDenied("system call relinquished"), {}, {}, 0};
+  ProcessId parent = kKernelProcessId;
+  {
+    const ProcessShard& shard = process_shards_[ShardOfId(caller)];
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto proc_it = shard.procs.find(caller);
+    if (proc_it == shard.procs.end() || !proc_it->second.alive.load()) {
+      return IpcReply{NotFound("no such process"), {}, {}, 0};
+    }
+    const Process& proc = proc_it->second;
+    if (proc.allowed_syscalls.has_value() && !proc.allowed_syscalls->contains(call)) {
+      return IpcReply{PermissionDenied("system call relinquished"), {}, {}, 0};
+    }
+    parent = proc.parent;
   }
 
   IpcMessage working = message;
-  if (interposition_enabled_) {
+  if (interposition_enabled_.load()) {
     // Per-syscall parameter marshaling plus the process's syscall-channel
     // interceptor chain.
     Bytes wire = MarshalMessage(message);
@@ -326,13 +478,28 @@ IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& messag
       return IpcReply{unmarshaled.status(), {}, {}, 0};
     }
     working = std::move(*unmarshaled);
-    auto sys_port = syscall_ports_.find(caller);
-    if (sys_port != syscall_ports_.end()) {
-      IpcContext context{caller, sys_port->second};
+    PortId sys_port = 0;
+    {
+      std::lock_guard<std::mutex> lock(syscall_ports_mu_);
+      auto it = syscall_ports_.find(caller);
+      if (it != syscall_ports_.end()) {
+        sys_port = it->second;
+      }
+    }
+    if (sys_port != 0) {
+      IpcContext context{caller, sys_port};
       working.operation = std::string(SyscallName(call));
-      for (auto it = interpositions_.rbegin(); it != interpositions_.rend(); ++it) {
-        if (it->port == sys_port->second &&
-            it->interceptor->OnCall(context, working) == InterposeVerdict::kDeny) {
+      std::vector<Interceptor*> active;
+      {
+        std::shared_lock<std::shared_mutex> lock(interpose_mu_);
+        for (auto it = interpositions_.rbegin(); it != interpositions_.rend(); ++it) {
+          if (it->port == sys_port) {
+            active.push_back(it->interceptor);
+          }
+        }
+      }
+      for (Interceptor* interceptor : active) {
+        if (interceptor->OnCall(context, working) == InterposeVerdict::kDeny) {
           return IpcReply{PermissionDenied("blocked by reference monitor"), {}, {}, 0};
         }
       }
@@ -343,11 +510,13 @@ IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& messag
     case Syscall::kNull:
       return IpcReply{OkStatus(), {}, {}, 0};
     case Syscall::kGetPpid:
-      return IpcReply{OkStatus(), {}, {}, static_cast<int64_t>(proc.parent)};
+      return IpcReply{OkStatus(), {}, {}, static_cast<int64_t>(parent)};
     case Syscall::kGetTimeOfDay:
       return IpcReply{OkStatus(), {}, {}, static_cast<int64_t>(NowMicros())};
     case Syscall::kYield: {
+      std::unique_lock<std::mutex> lock(sched_mu_);
       Result<ProcessId> next = scheduler_->Tick();
+      lock.unlock();
       return IpcReply{OkStatus(), {}, {},
                       next.ok() ? static_cast<int64_t>(*next) : static_cast<int64_t>(caller)};
     }
@@ -355,20 +524,30 @@ IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& messag
     case Syscall::kClose:
     case Syscall::kRead:
     case Syscall::kWrite: {
-      if (fs_port_ == 0) {
+      PortId fs_port = fs_port_.load();
+      if (fs_port == 0) {
         return IpcReply{Unavailable("no filesystem server"), {}, {}, 0};
       }
       IpcMessage forwarded = working;
       forwarded.operation = std::string(SyscallName(call));
       // Client-server microkernel architecture: the file operation is one
       // more IPC hop to the user-level server (Table 1's 2-3x).
-      return Call(caller, fs_port_, forwarded);
+      return Call(caller, fs_port, forwarded);
     }
     case Syscall::kProcRead: {
       if (working.args.empty()) {
         return IpcReply{InvalidArgument("proc_read needs a path"), {}, {}, 0};
       }
-      Status authorized = Authorize(caller, "read", "proc:" + working.args[0]);
+      // Interned fast path: the op id is hoisted once; the object name is
+      // caller-supplied and so interns through the charged surface (a
+      // process probing endless novel proc paths exhausts its own name
+      // quota, not the table).
+      static const OpId read_op = InternOp("read");
+      Result<ObjectId> object = InternObjectCharged(caller, "proc:" + working.args[0]);
+      if (!object.ok()) {
+        return IpcReply{object.status(), {}, {}, 0};
+      }
+      Status authorized = Authorize(AuthzRequest{caller, read_op, *object});
       if (!authorized.ok()) {
         return IpcReply{authorized, {}, {}, 0};
       }
@@ -417,7 +596,8 @@ Status Kernel::Authorize(const AuthzRequest& request) {
   if (engine_ == nullptr) {
     return OkStatus();  // Authorization disabled (Fig. 4 case "system call").
   }
-  if (decision_cache_enabled_) {
+  bool cache_enabled = decision_cache_enabled_.load();
+  if (cache_enabled) {
     std::optional<bool> cached = decision_cache_.Lookup(request);
     if (cached.has_value()) {
       return *cached ? OkStatus()
@@ -429,13 +609,23 @@ Status Kernel::Authorize(const AuthzRequest& request) {
   // Snapshot the subregion generation first; InsertIfUnchanged drops the
   // verdict if an invalidation raced it, so a stale decision is recomputed
   // on the next miss instead of cached past its goal change.
-  uint64_t generation =
-      decision_cache_enabled_ ? decision_cache_.Generation(request) : 0;
+  uint64_t generation = cache_enabled ? decision_cache_.Generation(request) : 0;
   AuthzDecision decision = engine_->Authorize(request);
-  if (decision_cache_enabled_ && decision.cacheable) {
+  if (cache_enabled && decision.cacheable) {
     decision_cache_.InsertIfUnchanged(request, decision.allowed(), generation);
   }
   return decision.ToStatus();
+}
+
+Status Kernel::Authorize(ProcessId subject, std::string_view operation,
+                         std::string_view object) {
+  // The untrusted string surface: the object name is charged to the
+  // subject's quota root before it can grow the intern table.
+  Result<ObjectId> obj = InternObjectCharged(subject, object);
+  if (!obj.ok()) {
+    return obj.status();
+  }
+  return Authorize(AuthzRequest{subject, InternOp(operation), *obj});
 }
 
 std::vector<Status> Kernel::AuthorizeBatch(std::span<const AuthzRequest> requests) {
@@ -443,11 +633,12 @@ std::vector<Status> Kernel::AuthorizeBatch(std::span<const AuthzRequest> request
   if (engine_ == nullptr) {
     return results;  // Value-initialized Status is OK.
   }
+  bool cache_enabled = decision_cache_enabled_.load();
   std::vector<AuthzRequest> misses;
   std::vector<size_t> miss_slots;
   std::vector<uint64_t> miss_generations;
   for (size_t i = 0; i < requests.size(); ++i) {
-    if (decision_cache_enabled_) {
+    if (cache_enabled) {
       std::optional<bool> cached = decision_cache_.Lookup(requests[i]);
       if (cached.has_value()) {
         results[i] =
@@ -459,21 +650,59 @@ std::vector<Status> Kernel::AuthorizeBatch(std::span<const AuthzRequest> request
     miss_slots.push_back(i);
     // Snapshot before the engine upcall: see Authorize for the stale-insert
     // race this closes.
-    miss_generations.push_back(
-        decision_cache_enabled_ ? decision_cache_.Generation(requests[i]) : 0);
+    miss_generations.push_back(cache_enabled ? decision_cache_.Generation(requests[i]) : 0);
   }
   if (misses.empty()) {
     return results;
   }
   std::vector<AuthzDecision> decisions = engine_->AuthorizeBatch(misses);
   for (size_t j = 0; j < misses.size(); ++j) {
-    if (decision_cache_enabled_ && decisions[j].cacheable) {
+    if (cache_enabled && decisions[j].cacheable) {
       decision_cache_.InsertIfUnchanged(misses[j], decisions[j].allowed(),
                                         miss_generations[j]);
     }
     results[miss_slots[j]] = decisions[j].ToStatus();
   }
   return results;
+}
+
+Result<ObjectId> Kernel::InternObjectCharged(ProcessId subject, std::string_view object) {
+  size_t cap = object_name_quota_.load();
+  if (cap == 0) {
+    return InternObject(object);  // Quotas disabled.
+  }
+  // Already-interned names cost nothing: the common case (every repeat
+  // authorization of a known object) takes one striped Find probe and
+  // never touches the quota lock.
+  std::optional<ObjectId> existing = FindObject(object);
+  if (existing.has_value()) {
+    return *existing;
+  }
+  ProcessId root = subject;
+  {
+    const ProcessShard& shard = process_shards_[ShardOfId(subject)];
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.procs.find(subject);
+    if (it != shard.procs.end()) {
+      root = it->second.quota_root;
+    }
+  }
+  // Charging serializes on one mutex, but only for genuinely novel names —
+  // a workload that stays inside its working set never lands here.
+  std::lock_guard<std::mutex> lock(name_quota_mu_);
+  size_t& charged = object_names_charged_[root];
+  if (charged >= cap) {
+    return ResourceExhausted(
+        "object name quota exhausted for quota root " + std::to_string(root) + " (" +
+        std::to_string(cap) + " novel names); denied before interning \"" +
+        std::string(object) + "\"");
+  }
+  bool created = false;
+  ObjectId id = ObjectTable().Intern(object, &created);
+  if (created) {
+    ++charged;
+  }
+  return id;
 }
 
 void Kernel::OnProofUpdate(const AuthzRequest& request) {
@@ -485,6 +714,7 @@ void Kernel::OnGoalUpdate(OpId op, ObjectId obj) {
 }
 
 void Kernel::ReplaceScheduler(std::unique_ptr<Scheduler> scheduler) {
+  std::lock_guard<std::mutex> lock(sched_mu_);
   scheduler_ = std::move(scheduler);
 }
 

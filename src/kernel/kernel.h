@@ -11,13 +11,17 @@
 #ifndef NEXUS_KERNEL_KERNEL_H_
 #define NEXUS_KERNEL_KERNEL_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
+#include <shared_mutex>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "crypto/sha256.h"
@@ -73,14 +77,53 @@ struct Process {
   ProcessId parent = kKernelProcessId;
   std::string name;
   crypto::Sha256Digest binary_hash{};
-  bool alive = true;
+  // Liveness flips concurrently with lock-free readers holding a Process*
+  // (process records are never erased, so the pointer itself stays valid).
+  std::atomic<bool> alive{true};
   // If set, only these system calls may be invoked (a process can
   // relinquish syscalls, as Fauxbook's web server does after init, §4.1).
+  // Mutated only under the owning table shard's writer lock.
   std::optional<std::set<Syscall>> allowed_syscalls;
   // Quota root: the ancestor charged for guard-cache quotas (§2.9).
+  // Immutable after creation.
   ProcessId quota_root = kKernelProcessId;
+
+  Process() = default;
+  Process(Process&& other) noexcept
+      : pid(other.pid),
+        parent(other.parent),
+        name(std::move(other.name)),
+        binary_hash(other.binary_hash),
+        alive(other.alive.load()),
+        allowed_syscalls(std::move(other.allowed_syscalls)),
+        quota_root(other.quota_root) {}
 };
 
+// Threading (see README "Threading model" for the full contract): the
+// kernel is CONCURRENT on every surface an authorization miss can touch.
+//
+//  - Authorize/AuthorizeBatch are the worker-thread frontend (sharded
+//    decision cache + generation-checked inserts, as in PR 3), and the
+//    engine behind them is now read-write split and per-subject striped,
+//    so independent misses overlap end to end.
+//  - The process and port tables are SHARDED under reader-writer locks:
+//    lookups (GetProcess, IsAlive, PortOwner, dispatch snapshots) take one
+//    shard's reader side; spawn/kill/port-create/destroy take the writer
+//    side of the affected shard. Lifecycle mutations therefore run WHILE
+//    workers miss — the PR-3 "lifecycle must quiesce the frontend" rule is
+//    gone. `lifecycle_generation()` stamps every mutation; a lookup
+//    bracketed by equal generations observed a stable table.
+//  - Call/Invoke/Interpose snapshot the port/interposition state under
+//    reader locks and run handlers with no kernel lock held. A port
+//    destroyed mid-call completes its in-flight dispatches against the
+//    handler captured at entry (the owner frees handler memory only after
+//    in-flight calls drain — unchanged from the single-threaded contract).
+//  - procfs and the channel graph carry their own internal locks.
+//
+// Still single-threaded by contract: wiring (set_engine, set_fs_port,
+// ReplaceScheduler, Resize on the decision cache) happens at boot, and the
+// Scheduler object itself is externally serialized (the kernel wraps its
+// own calls in a mutex; direct scheduler() users stay on one thread).
 class Kernel {
  public:
   Kernel();
@@ -95,6 +138,13 @@ class Kernel {
   Result<ProcessId> GetParent(ProcessId pid) const;
   std::vector<ProcessId> Processes() const;
   Status RestrictSyscalls(ProcessId pid, std::set<Syscall> allowed);
+
+  // Bumped on every process/port lifecycle mutation (create, kill, port
+  // create/destroy/bind). Concurrent readers can stamp a lookup with the
+  // surrounding generations to detect whether lifecycle churn overlapped
+  // it — the generation-stamped-lookup analogue of the decision cache's
+  // epoch counters.
+  uint64_t lifecycle_generation() const { return lifecycle_generation_.load(); }
 
   // The NAL principal for a process: Nexus.ipd.<pid> (the paper writes
   // /proc/ipd/<pid>; both name the same subprincipal of the kernel).
@@ -113,11 +163,17 @@ class Kernel {
   Status ConnectPort(ProcessId pid, PortId port);
   Status DisconnectPort(ProcessId pid, PortId port);
   bool HasChannel(ProcessId pid, PortId port) const;
-  const std::map<ProcessId, std::set<PortId>>& Channels() const { return channels_; }
+  // Snapshot of the whole channel graph (IPCAnalyzer's view).
+  std::map<ProcessId, std::set<PortId>> ChannelsSnapshot() const;
   std::vector<PortId> Ports() const;
+  // The lifecycle_generation() value stamped when `port` was created: a
+  // port id observed with a different stamp than before was destroyed and
+  // is a different port, even mid-churn.
+  Result<uint64_t> PortGeneration(PortId port) const;
 
   // Synchronous IPC call: marshaling, interposition, authorization, handler
-  // dispatch, reply interposition.
+  // dispatch, reply interposition. Safe from worker threads (a miss may
+  // upcall a designated guard or an authority port mid-evaluation).
   IpcReply Call(ProcessId caller, PortId port, const IpcMessage& message);
 
   // -------------------------------------------------------- Interposition
@@ -128,15 +184,15 @@ class Kernel {
   Status RemoveInterposition(uint64_t token);
   // Global switch: when disabled, Call() skips marshaling and interceptors
   // entirely ("Nexus bare" in Table 1).
-  void set_interposition_enabled(bool enabled) { interposition_enabled_ = enabled; }
-  bool interposition_enabled() const { return interposition_enabled_; }
+  void set_interposition_enabled(bool enabled) { interposition_enabled_.store(enabled); }
+  bool interposition_enabled() const { return interposition_enabled_.load(); }
 
   // ------------------------------------------------------------- Syscalls
   // The Table-1 system call surface. File operations forward over IPC to
   // the handler bound on `fs_port` (a user-level server).
   IpcReply Invoke(ProcessId caller, Syscall call, const IpcMessage& message);
-  void set_fs_port(PortId port) { fs_port_ = port; }
-  PortId fs_port() const { return fs_port_; }
+  void set_fs_port(PortId port) { fs_port_.store(port); }
+  PortId fs_port() const { return fs_port_.load(); }
   // The per-process pseudo-port carrying syscall interposition for a
   // process (every syscall of `pid` flows through it, §3.2).
   Result<PortId> SyscallPort(ProcessId pid);
@@ -144,34 +200,44 @@ class Kernel {
   // --------------------------------------------------------- Authorization
   void set_engine(AuthorizationEngine* engine) { engine_ = engine; }
   AuthorizationEngine* engine() const { return engine_; }
-  void set_decision_cache_enabled(bool enabled) { decision_cache_enabled_ = enabled; }
-  bool decision_cache_enabled() const { return decision_cache_enabled_; }
+  void set_decision_cache_enabled(bool enabled) { decision_cache_enabled_.store(enabled); }
+  bool decision_cache_enabled() const { return decision_cache_enabled_.load(); }
   DecisionCache& decision_cache() { return decision_cache_; }
 
   // The guarded-operation fast path: decision cache, then guard upcall.
   // The interned form is the hot path; the string form interns and
   // forwards. It MUST intern (not Find): unknown names still reach the
   // pluggable engine, whose policy for them is its own (a deny-all engine
-  // denies names nobody ever registered). The cost — novel names grow the
-  // append-only tables — is recorded in ROADMAP "Name-table quotas".
+  // denies names nobody ever registered). Growth through this untrusted
+  // surface is BOUNDED: object names interned here are charged to the
+  // subject's quota root, and a root past `object_name_quota()` is denied
+  // outright (§2.9 applied to the name tables) — a workload probing with
+  // endless novel object names can no longer grow the table for the
+  // process lifetime.
   //
   // Authorize and AuthorizeBatch are the kernel's CONCURRENT frontend:
-  // safe to call from worker threads. Cache hits contend only on the
-  // subject's shard; misses upcall the engine (which serializes itself)
-  // and insert with a generation check so a verdict that raced a
-  // setgoal/setproof invalidation is dropped, not cached stale. Everything
-  // else on Kernel (process/port lifecycle, Call, Invoke, Interpose,
-  // procfs) must stay on the kernel thread AND be quiescent while workers
-  // can miss — a miss reads the process table and may upcall through
-  // Call/the net fabric. See README "Threading model".
+  // cache hits contend only on the subject's shard; misses upcall the
+  // engine (read-write split, per-subject striped) and insert with a
+  // generation check so a verdict that raced a setgoal/setproof
+  // invalidation is dropped, not cached stale. Process/port lifecycle and
+  // Call/Invoke are concurrent-safe too — see the class comment.
   Status Authorize(const AuthzRequest& request);
-  Status Authorize(ProcessId subject, std::string_view operation, std::string_view object) {
-    return Authorize(AuthzRequest::Of(subject, operation, object));
-  }
+  Status Authorize(ProcessId subject, std::string_view operation, std::string_view object);
   // Batched fast path: cache hits answered inline, misses forwarded to the
   // engine's AuthorizeBatch in one upcall (which deduplicates authority
   // consultations), cacheable verdicts inserted on the way out.
   std::vector<Status> AuthorizeBatch(std::span<const AuthzRequest> requests);
+
+  // Interns an object name on behalf of `subject`, charging the subject's
+  // quota root for genuinely novel names. Over-quota roots get
+  // ResourceExhausted-flavored PermissionDenied instead of table growth.
+  // Trusted resource servers (the file server, the procfs syscall) route
+  // their caller-supplied names through this too.
+  Result<ObjectId> InternObjectCharged(ProcessId subject, std::string_view object);
+  // Per-quota-root cap on novel object names interned via untrusted
+  // surfaces. 0 = unlimited. Boot-time configuration.
+  void set_object_name_quota(size_t cap) { object_name_quota_.store(cap); }
+  size_t object_name_quota() const { return object_name_quota_.load(); }
 
   // Invalidation entry points, called by the core layer when proofs or
   // goals change (§2.8).
@@ -199,6 +265,9 @@ class Kernel {
     PortId id = 0;
     ProcessId owner = kKernelProcessId;
     PortHandler* handler = nullptr;
+    // lifecycle_generation() value when the port was created; dispatch
+    // snapshots carry it so a call can tell it raced a destroy/recreate.
+    uint64_t generation = 0;
   };
   struct Interposition {
     uint64_t token = 0;
@@ -207,27 +276,64 @@ class Kernel {
     Interceptor* interceptor = nullptr;
   };
 
+  // Table sharding: same Mix64 as the decision cache, so a subject whose
+  // cache lookups scale also scales its process-record reads.
+  static constexpr size_t kTableShards = 8;
+  struct ProcessShard {
+    mutable std::shared_mutex mu;
+    // std::map: node stability lets GetProcess hand out long-lived
+    // pointers (records are marked dead, never erased).
+    std::map<ProcessId, Process> procs;
+  };
+  struct PortShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<PortId, Port> ports;
+  };
+  static size_t ShardOfId(uint64_t id) { return Mix64(id) % kTableShards; }
+
+  // Snapshot of one port under its shard's reader lock; nullopt if absent.
+  std::optional<Port> SnapshotPort(PortId port) const;
+
   IpcReply Dispatch(ProcessId caller, PortId port, const IpcMessage& message);
   void PublishProcessNodes(const Process& process);
 
   std::string kernel_principal_name_ = "Nexus";
-  std::map<ProcessId, Process> processes_;
-  std::map<PortId, Port> ports_;
+  ProcessShard process_shards_[kTableShards];
+  PortShard port_shards_[kTableShards];
+
+  // The channel graph, under its own reader-writer lock.
+  mutable std::shared_mutex channels_mu_;
   std::map<ProcessId, std::set<PortId>> channels_;
+
+  // Interposition list: read on every interposed Call/Invoke, written only
+  // by Interpose/RemoveInterposition.
+  mutable std::shared_mutex interpose_mu_;
   std::vector<Interposition> interpositions_;
+
+  std::mutex syscall_ports_mu_;
   std::map<ProcessId, PortId> syscall_ports_;
-  ProcessId next_pid_ = 1;
-  PortId next_port_ = 1;
-  uint64_t next_interpose_token_ = 1;
-  bool interposition_enabled_ = true;
+
+  // Serializes the kernel's own scheduler calls (kill, yield).
+  std::mutex sched_mu_;
+
+  std::atomic<ProcessId> next_pid_{1};
+  std::atomic<PortId> next_port_{1};
+  std::atomic<uint64_t> next_interpose_token_{1};
+  std::atomic<uint64_t> lifecycle_generation_{1};
+  std::atomic<bool> interposition_enabled_{true};
 
   AuthorizationEngine* engine_ = nullptr;
-  bool decision_cache_enabled_ = true;
+  std::atomic<bool> decision_cache_enabled_{true};
   DecisionCache decision_cache_;
+
+  // §2.9 name quotas for the untrusted intern surface.
+  std::atomic<size_t> object_name_quota_{65536};
+  std::mutex name_quota_mu_;
+  std::unordered_map<ProcessId, size_t> object_names_charged_;
 
   IntrospectionFs procfs_;
   std::unique_ptr<Scheduler> scheduler_;
-  PortId fs_port_ = 0;
+  std::atomic<PortId> fs_port_{0};
   std::function<uint64_t()> time_source_;
 };
 

@@ -6,8 +6,27 @@
 namespace nexus::kernel {
 
 void IntrospectionFs::Publish(ProcessId owner, const std::string& path, Provider provider) {
-  nodes_[path] = Node{owner, std::move(provider)};
-  Notify(path);
+  // Snapshot the matching watchers under the writer lock, then notify with
+  // no lock held (a watcher may read or publish re-entrantly).
+  std::vector<Watcher> to_notify;
+  Provider published;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    Node& node = nodes_[path];
+    node = Node{owner, std::move(provider)};
+    published = node.provider;
+    for (const auto& [token, entry] : watchers_) {
+      if (path.compare(0, entry.prefix.size(), entry.prefix) == 0) {
+        to_notify.push_back(entry.watcher);
+      }
+    }
+  }
+  if (!to_notify.empty()) {
+    std::string value = published();
+    for (const Watcher& watcher : to_notify) {
+      watcher(path, value);
+    }
+  }
 }
 
 void IntrospectionFs::PublishValue(ProcessId owner, const std::string& path, std::string value) {
@@ -15,6 +34,7 @@ void IntrospectionFs::PublishValue(ProcessId owner, const std::string& path, std
 }
 
 Status IntrospectionFs::Remove(const std::string& path) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (nodes_.erase(path) == 0) {
     return NotFound("no introspection node at " + path);
   }
@@ -22,6 +42,7 @@ Status IntrospectionFs::Remove(const std::string& path) {
 }
 
 void IntrospectionFs::RemoveOwned(ProcessId owner) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (auto it = nodes_.begin(); it != nodes_.end();) {
     if (it->second.owner == owner) {
       it = nodes_.erase(it);
@@ -32,14 +53,22 @@ void IntrospectionFs::RemoveOwned(ProcessId owner) {
 }
 
 Result<std::string> IntrospectionFs::Read(const std::string& path) const {
-  auto it = nodes_.find(path);
-  if (it == nodes_.end()) {
-    return NotFound("no introspection node at " + path);
+  Provider provider;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = nodes_.find(path);
+    if (it == nodes_.end()) {
+      return NotFound("no introspection node at " + path);
+    }
+    provider = it->second.provider;
   }
-  return it->second.provider();
+  // Invoked without the lock: providers may read other nodes (and a node
+  // concurrently removed still answers this in-flight read).
+  return provider();
 }
 
 Result<ProcessId> IntrospectionFs::Owner(const std::string& path) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = nodes_.find(path);
   if (it == nodes_.end()) {
     return NotFound("no introspection node at " + path);
@@ -53,6 +82,7 @@ std::vector<std::string> IntrospectionFs::List(const std::string& directory) con
     prefix += '/';
   }
   std::set<std::string> children;
+  std::shared_lock<std::shared_mutex> lock(mu_);
   for (const auto& [path, node] : nodes_) {
     if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix) != 0) {
       continue;
@@ -65,23 +95,15 @@ std::vector<std::string> IntrospectionFs::List(const std::string& directory) con
 }
 
 uint64_t IntrospectionFs::Watch(const std::string& prefix, Watcher watcher) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   uint64_t token = next_watch_token_++;
   watchers_[token] = WatchEntry{prefix, std::move(watcher)};
   return token;
 }
 
-void IntrospectionFs::Unwatch(uint64_t token) { watchers_.erase(token); }
-
-void IntrospectionFs::Notify(const std::string& path) {
-  auto node = nodes_.find(path);
-  if (node == nodes_.end()) {
-    return;
-  }
-  for (const auto& [token, entry] : watchers_) {
-    if (path.compare(0, entry.prefix.size(), entry.prefix) == 0) {
-      entry.watcher(path, node->second.provider());
-    }
-  }
+void IntrospectionFs::Unwatch(uint64_t token) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  watchers_.erase(token);
 }
 
 }  // namespace nexus::kernel

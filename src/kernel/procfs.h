@@ -7,11 +7,20 @@
 // a provider callback so reads always observe current state. Watchers
 // provide the change-notification mechanism the paper's term language
 // relies on.
+//
+// Internally thread-safe under a reader-writer lock: reads and lists take
+// the reader side, publish/remove the writer side, so process lifecycle
+// (which publishes and retires /proc nodes) runs concurrently with worker
+// threads reading introspection state mid-miss. Provider and watcher
+// callbacks are invoked WITHOUT the lock held (they may re-enter the
+// namespace); a provider must therefore be safe to call after its node was
+// removed — the usual case, since providers capture by value.
 #ifndef NEXUS_KERNEL_PROCFS_H_
 #define NEXUS_KERNEL_PROCFS_H_
 
 #include <functional>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -53,7 +62,10 @@ class IntrospectionFs {
   uint64_t Watch(const std::string& prefix, Watcher watcher);
   void Unwatch(uint64_t token);
 
-  size_t NodeCount() const { return nodes_.size(); }
+  size_t NodeCount() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return nodes_.size();
+  }
 
  private:
   struct Node {
@@ -65,8 +77,7 @@ class IntrospectionFs {
     Watcher watcher;
   };
 
-  void Notify(const std::string& path);
-
+  mutable std::shared_mutex mu_;
   std::map<std::string, Node> nodes_;
   std::map<uint64_t, WatchEntry> watchers_;
   uint64_t next_watch_token_ = 1;

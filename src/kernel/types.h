@@ -58,7 +58,13 @@ class NameTable {
   NameTable() = default;
 
   // Id 0 = "" always; non-empty names intern into their hash stripe.
-  uint32_t Intern(std::string_view name) {
+  // `created`, when non-null, reports whether this call grew the table —
+  // the hook quota accounting needs to charge only genuinely novel names
+  // (ROADMAP "Name-table quotas"; see Kernel::InternObjectCharged).
+  uint32_t Intern(std::string_view name, bool* created = nullptr) {
+    if (created != nullptr) {
+      *created = false;
+    }
     if (name.empty()) {
       return 0;
     }
@@ -78,6 +84,9 @@ class NameTable {
     stripe.names.emplace_back(name);
     uint32_t id = EncodeId(StripeOf(name), static_cast<uint32_t>(stripe.names.size() - 1));
     stripe.index.emplace(stripe.names.back(), id);
+    if (created != nullptr) {
+      *created = true;
+    }
     return id;
   }
 

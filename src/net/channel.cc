@@ -173,6 +173,9 @@ Status AttestedChannel::Connect() {
   if (!initiator_) {
     return FailedPrecondition("only the initiating side calls Connect");
   }
+  // One connector at a time; a racer that finds the channel established on
+  // entry (the first call finished the handshake) returns immediately.
+  std::lock_guard<std::mutex> lock(connect_mu_);
   if (established()) {
     return OkStatus();
   }
@@ -353,7 +356,12 @@ Status AttestedChannel::SendData(const std::string& service, uint64_t request_id
   if (!established()) {
     return FailedPrecondition("channel to " + peer_ + " is not established");
   }
-  uint64_t seq = send_seq_++;
+  uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(data_mu_);
+    seq = send_seq_++;
+    ++stats_.data_sent;
+  }
   uint8_t direction = initiator_ ? kRoleInitiator : kRoleResponder;
   // Per-message CTR stream: direction in the top bit keeps the two
   // directions' keystreams disjoint under the shared key.
@@ -378,7 +386,6 @@ Status AttestedChannel::SendData(const std::string& service, uint64_t request_id
   wire.push_back(is_response ? 1 : 0);
   AppendLengthPrefixed(wire, ciphertext);
   AppendLengthPrefixed(wire, tag);
-  ++stats_.data_sent;
   return transport_->Send(Message{self_, peer_, channel_id_, "data", std::move(wire)});
 }
 
@@ -411,35 +418,40 @@ void AttestedChannel::HandleData(const Message& message) {
   mac_input.push_back(*is_response);
   AppendLengthPrefixed(mac_input, *ciphertext);
   Bytes expected = crypto::HmacSha256Bytes(mac_key_, mac_input);
-  if (!ConstantTimeEquals(expected, *tag)) {
-    ++stats_.bad_tags_rejected;
-    return;  // Tampered or corrupted frame: drop.
-  }
-  // Replay check AFTER authentication: any unseen sequence number inside
-  // the sliding window is accepted regardless of arrival order, but each is
-  // consumed exactly once. Anything below the window is rejected outright,
-  // which keeps the seen-set bounded on long-lived channels.
-  if (*seq + kReplayWindow <= max_seen_seq_) {
-    ++stats_.replays_rejected;
-    return;
-  }
-  if (!seen_seqs_.insert(*seq).second) {
-    ++stats_.replays_rejected;
-    return;
-  }
-  if (*seq > max_seen_seq_) {
-    max_seen_seq_ = *seq;
-    while (!seen_seqs_.empty() && *seen_seqs_.begin() + kReplayWindow <= max_seen_seq_) {
-      seen_seqs_.erase(seen_seqs_.begin());
+  {
+    std::lock_guard<std::mutex> lock(data_mu_);
+    if (!ConstantTimeEquals(expected, *tag)) {
+      ++stats_.bad_tags_rejected;
+      return;  // Tampered or corrupted frame: drop.
     }
+    // Replay check AFTER authentication: any unseen sequence number inside
+    // the sliding window is accepted regardless of arrival order, but each
+    // is consumed exactly once. Anything below the window is rejected
+    // outright, which keeps the seen-set bounded on long-lived channels.
+    if (*seq + kReplayWindow <= max_seen_seq_) {
+      ++stats_.replays_rejected;
+      return;
+    }
+    if (!seen_seqs_.insert(*seq).second) {
+      ++stats_.replays_rejected;
+      return;
+    }
+    if (*seq > max_seen_seq_) {
+      max_seen_seq_ = *seq;
+      while (!seen_seqs_.empty() && *seen_seqs_.begin() + kReplayWindow <= max_seen_seq_) {
+        seen_seqs_.erase(seen_seqs_.begin());
+      }
+    }
+    ++stats_.data_received;
   }
-  ++stats_.data_received;
 
   uint64_t nonce = (static_cast<uint64_t>(*direction) << 63) | *seq;
   Bytes plaintext = crypto::AesCtr(enc_key_, nonce).Crypt(0, *ciphertext);
   std::string service_name = ToString(*service);
 
   if (*is_response != 0) {
+    uint64_t received_at = transport_->now_us();
+    std::lock_guard<std::mutex> lock(data_mu_);
     // Bound unclaimed responses (a caller that timed out never collects
     // its entry): drop the stalest once past a small cap.
     if (responses_.size() >= 256) {
@@ -451,7 +463,7 @@ void AttestedChannel::HandleData(const Message& message) {
       }
       responses_.erase(stalest);
     }
-    responses_[*request_id] = PendingResponse{std::move(plaintext), transport_->now_us()};
+    responses_[*request_id] = PendingResponse{std::move(plaintext), received_at};
     return;
   }
   if (services_ == nullptr) {
@@ -479,26 +491,56 @@ Status AttestedChannel::SendSecure(const std::string& service, ByteView payload)
 
 Result<uint64_t> AttestedChannel::CallStart(const std::string& service, ByteView payload,
                                             uint64_t timeout_us) {
-  uint64_t request_id = next_request_id_++;
-  NEXUS_RETURN_IF_ERROR(SendData(service, request_id, /*is_response=*/false, payload));
-  call_deadlines_[request_id] = transport_->now_us() + timeout_us;
+  // The deadline is recorded BEFORE the request goes out: once SendData
+  // runs, any concurrent pumper may deliver the reply.
+  uint64_t now = transport_->now_us();
+  uint64_t request_id;
+  {
+    std::lock_guard<std::mutex> lock(data_mu_);
+    request_id = next_request_id_++;
+    call_deadlines_[request_id] = now + timeout_us;
+  }
+  Status sent = SendData(service, request_id, /*is_response=*/false, payload);
+  if (!sent.ok()) {
+    std::lock_guard<std::mutex> lock(data_mu_);
+    call_deadlines_.erase(request_id);
+    return sent;
+  }
   return request_id;
 }
 
 Result<Bytes> AttestedChannel::CallFinish(uint64_t request_id) {
-  auto deadline_it = call_deadlines_.find(request_id);
-  if (deadline_it == call_deadlines_.end()) {
-    return InvalidArgument("no outstanding call with this request id");
+  uint64_t deadline;
+  {
+    std::lock_guard<std::mutex> lock(data_mu_);
+    auto deadline_it = call_deadlines_.find(request_id);
+    if (deadline_it == call_deadlines_.end()) {
+      return InvalidArgument("no outstanding call with this request id");
+    }
+    deadline = deadline_it->second;
+    call_deadlines_.erase(deadline_it);
   }
-  uint64_t deadline = deadline_it->second;
-  call_deadlines_.erase(deadline_it);
-  transport_->DeliverAll();
-  auto it = responses_.find(request_id);
-  if (it == responses_.end()) {
-    return Unavailable("no response from " + peer_ + " (message loss)");
+  // Claim the response if a concurrent caller's pump already delivered it;
+  // pump the fabric to quiescence otherwise (the pump serializes, so after
+  // DeliverAll returns either our reply was delivered — by us or by the
+  // pumper we waited behind — or it was lost/dropped).
+  auto take_response = [&](PendingResponse* out) {
+    std::lock_guard<std::mutex> lock(data_mu_);
+    auto it = responses_.find(request_id);
+    if (it == responses_.end()) {
+      return false;
+    }
+    *out = std::move(it->second);
+    responses_.erase(it);
+    return true;
+  };
+  PendingResponse response;
+  if (!take_response(&response)) {
+    transport_->DeliverAll();
+    if (!take_response(&response)) {
+      return Unavailable("no response from " + peer_ + " (message loss)");
+    }
   }
-  PendingResponse response = std::move(it->second);
-  responses_.erase(it);
   if (response.received_at > deadline) {
     return Unavailable("response from " + peer_ + " missed the deadline");
   }

@@ -26,10 +26,22 @@
 // accepted in any order but never twice within the replay window
 // (order-insensitive, replay-safe — the properties the related work on
 // network-system correctness demands of credential transfer).
+// Threading: an ESTABLISHED channel is safe for concurrent callers —
+// Call/CallStart/CallFinish/SendSecure may run from several worker threads
+// at once (independent authorization misses overlap their round trips on
+// one shared channel). Sequence numbers, the replay window, pending
+// responses, and stats live under one data-plane mutex; session keys and
+// the peer identity are immutable once the handshake completes. The
+// HANDSHAKE itself is not concurrent: establish the channel (Connect, or a
+// warm-up query) before handing it to worker threads — Connect serializes
+// against itself, but handshaking consumes the instance Rng, which is not
+// a concurrent-safe surface.
 #ifndef NEXUS_NET_CHANNEL_H_
 #define NEXUS_NET_CHANNEL_H_
 
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -72,8 +84,8 @@ class AttestedChannel {
   // Routed in by the owning NetNode for this channel id.
   void OnTransportMessage(const Message& message);
 
-  ChannelState state() const { return state_; }
-  bool established() const { return state_ == ChannelState::kEstablished; }
+  ChannelState state() const { return state_.load(); }
+  bool established() const { return state_.load() == ChannelState::kEstablished; }
   const std::string& failure() const { return failure_; }
 
   // Attested peer identity; valid once established.
@@ -105,7 +117,10 @@ class AttestedChannel {
   bool is_initiator() const { return initiator_; }
   const NodeId& self_node() const { return self_; }
   const NodeId& peer_node() const { return peer_; }
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {  // Snapshot by value: counters move concurrently.
+    std::lock_guard<std::mutex> lock(data_mu_);
+    return stats_;
+  }
 
  private:
   struct Hello {
@@ -144,8 +159,13 @@ class AttestedChannel {
   uint64_t channel_id_;
   bool initiator_;
 
-  ChannelState state_ = ChannelState::kIdle;
+  // Established-ness is read lock-free on the hot path; the store in the
+  // handshake handlers publishes the session keys derived just before it.
+  std::atomic<ChannelState> state_{ChannelState::kIdle};
   std::string failure_;
+  // Serializes concurrent Connect() calls (handshake state is not under
+  // data_mu_; handlers are already serialized by the transport pump lock).
+  std::mutex connect_mu_;
 
   Bytes local_hello_bytes_;
   Bytes peer_hello_bytes_;
@@ -165,6 +185,11 @@ class AttestedChannel {
 
   crypto::AesKey enc_key_{};
   Bytes mac_key_;
+
+  // Data-plane mutex: sequence allocation, the replay window, pending
+  // responses/deadlines, and stats. Never held across a transport pump or
+  // a service handler (both may re-enter SendData).
+  mutable std::mutex data_mu_;
 
   // Replay filter: exact-once within a sliding window. Anything older than
   // the window is rejected outright, which bounds memory on long-lived

@@ -10,38 +10,56 @@ NetNode::NetNode(core::Nexus* nexus, Transport* transport, NodeId id)
 NetNode::~NetNode() { transport_->Detach(id_); }
 
 void NetNode::RegisterService(const std::string& name, Service* service) {
+  std::lock_guard<std::mutex> lock(mu_);
   services_[name] = service;
 }
 
-Result<AttestedChannel*> NetNode::Connect(const NodeId& peer) {
-  AttestedChannel* channel = ChannelTo(peer);
+AttestedChannel* NetNode::UsableChannelLocked(const NodeId& peer) {
+  auto it = channel_by_peer_.find(peer);
+  if (it == channel_by_peer_.end()) {
+    return nullptr;
+  }
+  AttestedChannel* channel = channels_[it->second].get();
   // A failed channel, or an unestablished responder channel (e.g. spawned
   // by a junk hello from an impostor claiming this peer's node id), must
   // not block us from initiating a fresh handshake of our own.
   if (channel != nullptr && !channel->established() &&
       (channel->state() == ChannelState::kFailed || !channel->is_initiator())) {
-    channel = nullptr;
+    return nullptr;
   }
-  if (channel == nullptr) {
-    uint64_t id = transport_->AllocateChannelId();
-    auto created = std::make_unique<AttestedChannel>(nexus_, transport_, this, id_, peer, id,
-                                                     /*initiator=*/true);
-    channel = created.get();
-    channels_[id] = std::move(created);
-    channel_by_peer_[peer] = id;
+  return channel;
+}
+
+Result<AttestedChannel*> NetNode::Connect(const NodeId& peer) {
+  AttestedChannel* channel = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    channel = UsableChannelLocked(peer);
+    if (channel == nullptr) {
+      uint64_t id = transport_->AllocateChannelId();
+      auto created = std::make_unique<AttestedChannel>(nexus_, transport_, this, id_, peer,
+                                                       id, /*initiator=*/true);
+      channel = created.get();
+      channels_[id] = std::move(created);
+      channel_by_peer_[peer] = id;
+    }
   }
   if (channel->established()) {
-    return channel;
+    return channel;  // The worker-thread fast path: no handshake, no pump.
   }
+  // The handshake pumps the fabric; mu_ must not be held (deliveries land
+  // back in OnMessage below).
   Status connected = channel->Connect();
   if (!connected.ok()) {
     return connected;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   channel_by_peer_[peer] = channel->channel_id();
   return channel;
 }
 
 AttestedChannel* NetNode::ChannelTo(const NodeId& peer) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = channel_by_peer_.find(peer);
   if (it == channel_by_peer_.end()) {
     return nullptr;
@@ -50,18 +68,25 @@ AttestedChannel* NetNode::ChannelTo(const NodeId& peer) {
 }
 
 void NetNode::OnMessage(const Message& message) {
-  auto it = channels_.find(message.channel);
-  if (it == channels_.end()) {
-    if (message.kind != "hello") {
-      return;  // Data or handshake tail for a channel we never opened.
+  AttestedChannel* channel = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = channels_.find(message.channel);
+    if (it == channels_.end()) {
+      if (message.kind != "hello") {
+        return;  // Data or handshake tail for a channel we never opened.
+      }
+      auto created = std::make_unique<AttestedChannel>(nexus_, transport_, this, id_,
+                                                       message.from, message.channel,
+                                                       /*initiator=*/false);
+      it = channels_.emplace(message.channel, std::move(created)).first;
     }
-    auto created = std::make_unique<AttestedChannel>(nexus_, transport_, this, id_,
-                                                     message.from, message.channel,
-                                                     /*initiator=*/false);
-    it = channels_.emplace(message.channel, std::move(created)).first;
+    channel = it->second.get();
   }
-  AttestedChannel* channel = it->second.get();
+  // The channel handler may dispatch a service request or send replies;
+  // deliveries are serialized by the transport pump lock, not by mu_.
   channel->OnTransportMessage(message);
+  std::lock_guard<std::mutex> lock(mu_);
   // The peer routing entry is only (re)bound to channels that earned it:
   // an unauthenticated hello from an impostor must not shadow a live (or
   // in-progress) channel to the real peer. Unverified responder channels
@@ -74,11 +99,18 @@ void NetNode::OnMessage(const Message& message) {
 
 Result<Bytes> NetNode::HandleRequest(AttestedChannel& channel, const std::string& service,
                                      ByteView request) {
-  auto it = services_.find(service);
-  if (it == services_.end()) {
+  Service* handler = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = services_.find(service);
+    if (it != services_.end()) {
+      handler = it->second;
+    }
+  }
+  if (handler == nullptr) {
     return NotFound("node " + id_ + " exposes no service named " + service);
   }
-  return it->second->Handle(channel, request);
+  return handler->Handle(channel, request);
 }
 
 }  // namespace nexus::net

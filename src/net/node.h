@@ -11,6 +11,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/nexus.h"
@@ -42,7 +43,11 @@ class NetNode : public Endpoint, public ChannelServices {
 
   // Returns the established channel to `peer`, running the attested
   // handshake if none exists yet. Fails if the peer rejects us or we reject
-  // the peer (untrusted EK, bad attestation).
+  // the peer (untrusted EK, bad attestation). Thread-safe lookups; for an
+  // ALREADY-established channel this is a lock-plus-atomic-read fast path,
+  // which is what worker threads hit on every remote authority query.
+  // First-time handshakes should happen before concurrent traffic starts
+  // (see the channel.h threading note).
   Result<AttestedChannel*> Connect(const NodeId& peer);
   // The channel to `peer` if one exists (established or not).
   AttestedChannel* ChannelTo(const NodeId& peer);
@@ -56,9 +61,18 @@ class NetNode : public Endpoint, public ChannelServices {
                               ByteView request) override;
 
  private:
+  // The channel for `peer` usable for initiating traffic, or nullptr.
+  // Caller holds mu_.
+  AttestedChannel* UsableChannelLocked(const NodeId& peer);
+
   core::Nexus* nexus_;
   Transport* transport_;
   NodeId id_;
+  // Guards the three maps below. Never held across a handshake or a
+  // service handler — channel objects themselves synchronize their own
+  // data plane, and OnMessage deliveries are serialized by the transport
+  // pump lock.
+  mutable std::mutex mu_;
   std::map<uint64_t, std::unique_ptr<AttestedChannel>> channels_;
   std::map<NodeId, uint64_t> channel_by_peer_;
   std::map<std::string, Service*> services_;

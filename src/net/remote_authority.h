@@ -16,6 +16,7 @@
 #ifndef NEXUS_NET_REMOTE_AUTHORITY_H_
 #define NEXUS_NET_REMOTE_AUTHORITY_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -74,6 +75,9 @@ class AuthorityService : public Service {
 
 // Client side: a core::Authority whose truth lives on a peer instance.
 // Register with Guard::AddRemoteAuthority so the guard's deadline applies.
+// Thread-safe once its channel is established: concurrent worker threads
+// may query it while their round trips overlap on the shared fabric
+// (counters are atomics; stats() returns a snapshot).
 class RemoteAuthority : public core::Authority {
  public:
   using HandlesPredicate = std::function<bool(const nal::Formula&)>;
@@ -106,14 +110,28 @@ class RemoteAuthority : public core::Authority {
       std::span<const nal::Formula> statements, uint64_t timeout_us) override;
   bool IsRemote() const override { return true; }
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    return Stats{stats_.queries.load(),
+                 stats_.vouched.load(),
+                 stats_.denied.load(),
+                 stats_.denied_unreachable.load(),
+                 stats_.batch_round_trips.load()};
+  }
 
  private:
+  struct AtomicStats {
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> vouched{0};
+    std::atomic<uint64_t> denied{0};
+    std::atomic<uint64_t> denied_unreachable{0};
+    std::atomic<uint64_t> batch_round_trips{0};
+  };
+
   NetNode* node_;
   NodeId peer_;
   HandlesPredicate handles_;
   uint64_t default_timeout_us_;
-  Stats stats_;
+  AtomicStats stats_;
 };
 
 }  // namespace nexus::net

@@ -8,10 +8,23 @@
 // deterministically (the Rng is seeded). Nothing here is trusted — every
 // security property of a channel comes from the attestation handshake one
 // layer up (channel.h), never from the fabric.
+//
+// Threading: the fabric is safe for concurrent senders and pumpers, which
+// is what lets independent authorization misses overlap their remote round
+// trips end to end. Queue/clock/stats live under one mutex; DELIVERY is
+// serialized by a second mutex held for a whole DeliverAll pass, so
+// endpoint handlers never run concurrently with each other (they may Send
+// from inside OnMessage, which only needs the state mutex). A thread whose
+// message was delivered by another thread's pump simply finds the fabric
+// quiet. The simulated clock advances under the state mutex, exactly once
+// per queued delivery — concurrent round trips issued before any pump cost
+// max(latency), not sum(latency), the property the overlap tests assert.
 #ifndef NEXUS_NET_TRANSPORT_H_
 #define NEXUS_NET_TRANSPORT_H_
 
+#include <condition_variable>
 #include <map>
+#include <mutex>
 #include <queue>
 #include <string>
 #include <vector>
@@ -38,7 +51,8 @@ struct Message {
 };
 
 // A node's receive hook. Handlers may send further messages from inside
-// OnMessage; those are queued and delivered in the same pump.
+// OnMessage; those are queued and delivered in the same pump. Handlers are
+// never invoked concurrently (the pump lock serializes delivery).
 class Endpoint {
  public:
   virtual ~Endpoint() = default;
@@ -60,25 +74,35 @@ class Transport {
   void Detach(const NodeId& node);
 
   // Configures both directions of the (a, b) link. Unconfigured links use
-  // LinkConfig{}.
+  // LinkConfig{}. Configure topology before concurrent traffic starts.
   void SetLink(const NodeId& a, const NodeId& b, const LinkConfig& config);
 
   // Queues a message for delivery at now + link latency (or drops it). An
   // unknown destination is an error; a drop is not — the sender cannot
-  // observe loss except through missing replies.
+  // observe loss except through missing replies. Thread-safe.
   Status Send(Message message);
 
   // Delivers queued messages in timestamp order, advancing the simulated
   // clock to each delivery time, until the fabric is quiet (or `max_steps`
-  // deliveries, a runaway guard). Returns the number delivered.
+  // deliveries, a runaway guard). Returns the number delivered. Thread-safe;
+  // concurrent callers serialize, and a caller that arrives second may find
+  // its traffic already delivered by the first.
   size_t DeliverAll(size_t max_steps = 100000);
 
-  // Globally unique conversation ids for channels.
-  uint64_t AllocateChannelId() { return next_channel_id_++; }
+  // Test rendezvous: the next DeliverAll call(s) block until at least
+  // `queued_messages` messages sit in the fabric, then the gate disarms.
+  // This pins down the racy window overlap tests care about — N threads
+  // each Send one request and pump; no request is delivered (and the clock
+  // does not move) until all N are in flight, so the round trips provably
+  // share the same latency window. One-shot; never used outside tests.
+  void ArmPumpGate(size_t queued_messages);
 
-  uint64_t now_us() const { return now_us_; }
-  void AdvanceTime(uint64_t us) { now_us_ += us; }
-  const Stats& stats() const { return stats_; }
+  // Globally unique conversation ids for channels. Thread-safe.
+  uint64_t AllocateChannelId();
+
+  uint64_t now_us() const;
+  void AdvanceTime(uint64_t us);
+  Stats stats() const;  // Snapshot by value.
 
  private:
   struct Pending {
@@ -91,12 +115,22 @@ class Transport {
     }
   };
 
-  const LinkConfig& LinkFor(const NodeId& a, const NodeId& b) const;
+  // Caller holds mu_.
+  const LinkConfig& LinkForLocked(const NodeId& a, const NodeId& b) const;
+
+  // Queue, clock, topology, stats, rng, gate. Never held while an endpoint
+  // handler runs.
+  mutable std::mutex mu_;
+  std::condition_variable gate_cv_;
+  // Serializes whole DeliverAll passes: exactly one thread plays "the
+  // fabric" at a time, so endpoint handlers never overlap.
+  std::mutex pump_mu_;
 
   std::map<NodeId, Endpoint*> endpoints_;
   std::map<std::pair<NodeId, NodeId>, LinkConfig> links_;
   LinkConfig default_link_;
   std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>> queue_;
+  size_t gate_queued_messages_ = 0;  // 0 = disarmed.
   uint64_t send_seq_ = 0;
   uint64_t next_channel_id_ = 1;
   uint64_t now_us_ = 0;

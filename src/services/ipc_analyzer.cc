@@ -8,13 +8,18 @@ IpcAnalyzer::IpcAnalyzer(kernel::Kernel* kernel, core::Engine* engine, kernel::P
     : kernel_(kernel), engine_(engine), self_(self) {}
 
 std::set<kernel::ProcessId> IpcAnalyzer::ReachableFrom(kernel::ProcessId from) const {
+  // One coherent snapshot of the channel graph: the analyzer's answer is
+  // exact for the instant of the snapshot even while lifecycle churn
+  // rewires channels concurrently.
+  const std::map<kernel::ProcessId, std::set<kernel::PortId>> graph =
+      kernel_->ChannelsSnapshot();
   std::set<kernel::ProcessId> visited;
   std::vector<kernel::ProcessId> frontier = {from};
   while (!frontier.empty()) {
     kernel::ProcessId current = frontier.back();
     frontier.pop_back();
-    auto channels = kernel_->Channels().find(current);
-    if (channels == kernel_->Channels().end()) {
+    auto channels = graph.find(current);
+    if (channels == graph.end()) {
       continue;
     }
     for (kernel::PortId port : channels->second) {

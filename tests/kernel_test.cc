@@ -368,6 +368,42 @@ TEST(SyscallTest, ProcReadGoesThroughAuthorization) {
   EXPECT_EQ(allowed.text, "42");
 }
 
+// §2.9 applied to the name tables: novel object names arriving through the
+// untrusted authorize-with-string surface are charged to the subject's
+// quota root; past the cap the request is denied with a reason instead of
+// growing the append-only table (ROADMAP "Name-table quotas").
+TEST(KernelAuthorizeTest, ObjectNameQuotaBoundsUntrustedInterning) {
+  Kernel k;
+  ProcessId prober = *k.CreateProcess("prober", ToBytes("p"));
+  ProcessId child = *k.CreateProcess("accomplice", ToBytes("c"), prober);
+  ProcessId bystander = *k.CreateProcess("bystander", ToBytes("b"));
+  k.set_object_name_quota(4);
+
+  // Four novel names fit the quota (no engine: every decision is allow,
+  // but the intern charge happens regardless).
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(k.Authorize(prober, "open", "probe:" + std::to_string(i)).ok());
+  }
+  // The fifth novel name is denied with a reason, and the table did not
+  // grow (Find still misses).
+  Status over = k.Authorize(prober, "open", "probe:4");
+  EXPECT_EQ(over.code(), ErrorCode::kResourceExhausted);
+  EXPECT_NE(over.message().find("quota"), std::string::npos);
+  EXPECT_FALSE(FindObject("probe:4").has_value());
+
+  // Quota counts NOVEL names: already-interned names stay authorized
+  // forever (the working set is unaffected).
+  EXPECT_TRUE(k.Authorize(prober, "open", "probe:0").ok());
+  // A child is charged to the same quota root — spawning accomplices does
+  // not refresh the budget (§2.9's principal-spawning defense).
+  EXPECT_EQ(k.Authorize(child, "open", "probe:5").code(), ErrorCode::kResourceExhausted);
+  // An unrelated quota root has its own budget.
+  EXPECT_TRUE(k.Authorize(bystander, "open", "fresh:0").ok());
+  // And trusted interning (control-plane InternObject) is not charged.
+  ObjectId direct = InternObject("trusted:name");
+  EXPECT_NE(direct, 0u);
+}
+
 // ------------------------------------------------------------ FileServer
 
 class FileServerTest : public ::testing::Test {

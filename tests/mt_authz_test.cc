@@ -17,6 +17,9 @@
 #include "core/nexus.h"
 #include "nal/interner.h"
 #include "nal/parser.h"
+#include "net/node.h"
+#include "net/remote_authority.h"
+#include "net/transport.h"
 
 namespace nexus::core {
 namespace {
@@ -232,6 +235,188 @@ TEST(MtAuthzStressTest, DecisionCacheShardsSurviveConcurrentChurn) {
   kernel::DecisionCache::Stats stats = cache.stats();
   EXPECT_GT(stats.insertions, 0u);
   EXPECT_GT(stats.subregion_invalidations, 0u);
+}
+
+// THE parallel-miss-path acceptance test: two subjects whose authorization
+// misses each require a remote-authority round trip run on two OS threads,
+// and the simulated clock proves the round trips OVERLAPPED — both misses
+// together cost one RTT, not two. Under the PR-3 engine monitor the second
+// miss could not enter the engine until the first's round trip returned,
+// so this completed in 2 RTTs by construction.
+TEST(MtAuthzStressTest, TwoSubjectRemoteMissesOverlapInOneRtt) {
+  Rng rng_a(11), rng_b(22);
+  tpm::Tpm tpm_a(rng_a), tpm_b(rng_b);
+  Nexus nexus_a(&tpm_a, NexusOptions{.seed = 1});
+  Nexus nexus_b(&tpm_b, NexusOptions{.seed = 2});
+  nexus_a.RegisterPeer("b", tpm_b.endorsement_public_key());
+  nexus_b.RegisterPeer("a", tpm_a.endorsement_public_key());
+  net::Transport transport(7);
+  constexpr uint64_t kLatencyUs = 100;
+  transport.SetLink("a", "b", net::LinkConfig{.latency_us = kLatencyUs, .drop_rate = 0.0});
+  net::NetNode node_a(&nexus_a, &transport, "a");
+  net::NetNode node_b(&nexus_b, &transport, "b");
+
+  net::AuthorityService service(&node_b);
+  LambdaAuthority session(
+      [](const nal::Formula& f) {
+        return f->kind() == nal::FormulaKind::kSays && f->speaker().base() == "Session";
+      },
+      [](const nal::Formula&) { return true; });
+  service.AddAuthority(&session);
+  net::RemoteAuthority remote(&node_a, "b", nullptr, /*default_timeout_us=*/1000000);
+  nexus_a.guard().AddRemoteAuthority(&remote);
+  nexus_a.guard().set_remote_query_timeout_us(1000000);
+
+  kernel::ProcessId owner = *nexus_a.CreateProcess("owner", ToBytes("o"));
+  // Two subjects on provably DISTINCT engine stripes (otherwise the
+  // per-subject serialization — correct behavior — would mask the overlap
+  // this test exists to observe).
+  kernel::ProcessId s1 = *nexus_a.CreateProcess("s1", ToBytes("w"));
+  kernel::ProcessId s2 = *nexus_a.CreateProcess("s2", ToBytes("w"));
+  while (Engine::StripeOf(s2) == Engine::StripeOf(s1)) {
+    s2 = *nexus_a.CreateProcess("s2", ToBytes("w"));
+  }
+
+  auto arm = [&](kernel::ProcessId subject, const std::string& object,
+                 const std::string& user) {
+    nal::Formula statement = F("Session says active(" + user + ")");
+    EXPECT_TRUE(
+        nexus_a.engine().RegisterObject(object, owner, kernel::kKernelProcessId).ok());
+    EXPECT_TRUE(nexus_a.engine().SetGoal(owner, "use", object, statement).ok());
+    EXPECT_TRUE(
+        nexus_a.engine().SetProof(subject, "use", object, nal::proof::Authority(statement))
+            .ok());
+    return kernel::AuthzRequest::Of(subject, "use", object);
+  };
+  kernel::AuthzRequest warmup = arm(s1, "warmup", "warm");
+  kernel::AuthzRequest r1 = arm(s1, "objA", "alice");
+  kernel::AuthzRequest r2 = arm(s2, "objB", "bob");
+
+  // Warm-up: establishes the attested channel (handshake + one vouch round
+  // trip) single-threaded, so the concurrent phase below is pure data-plane.
+  ASSERT_TRUE(nexus_a.kernel().Authorize(warmup).ok());
+  uint64_t t0 = transport.now_us();
+
+  // Rendezvous: no delivery (and no clock movement) until BOTH misses have
+  // their VouchBatch request on the wire.
+  transport.ArmPumpGate(2);
+  Status st1, st2;
+  std::thread w1([&] { st1 = nexus_a.kernel().Authorize(r1); });
+  std::thread w2([&] { st2 = nexus_a.kernel().Authorize(r2); });
+  w1.join();
+  w2.join();
+
+  EXPECT_TRUE(st1.ok()) << st1.ToString();
+  EXPECT_TRUE(st2.ok()) << st2.ToString();
+  // Both requests left at t0, both replies landed at t0 + 2*latency: ONE
+  // round trip of wall-clock for two misses. The serial engine paid
+  // t0 + 4*latency here.
+  EXPECT_EQ(transport.now_us(), t0 + 2 * kLatencyUs);
+  // And both misses really did consult the remote authority.
+  EXPECT_EQ(remote.stats().queries, 3u);  // warmup + r1 + r2
+}
+
+// Authorization misses racing process/port lifecycle churn: the kernel's
+// sharded process/port tables let spawn, kill, and port create/destroy run
+// while worker threads miss (the PR-3 quiescence rule is gone). Workers
+// also exercise Invoke(kProcRead) — procfs reads and the charged intern
+// surface — mid-churn. TSan-clean is the real assertion; the end-state
+// checks catch lost updates without it.
+TEST(MtAuthzStressTest, AuthorizeMissesVsProcessAndPortLifecycleChurn) {
+  Rng rng(13);
+  tpm::Tpm tpm(rng);
+  Nexus nexus(&tpm);
+  kernel::Kernel& kernel = nexus.kernel();
+  Engine& engine = nexus.engine();
+  // Every Authorize below is a full engine miss: the point is the miss
+  // path vs the tables, not cache hits.
+  kernel.set_decision_cache_enabled(false);
+
+  constexpr int kWorkers = 3;
+  constexpr int kItersPerWorker = 400;
+  constexpr int kChurnIters = 250;
+
+  kernel::ProcessId owner = *nexus.CreateProcess("owner", ToBytes("o"));
+  nal::Formula goal = F("Certifier says ok(app)");
+  engine.SayAs(nal::Principal("Certifier"), F("ok(app)"));
+
+  std::vector<kernel::ProcessId> subjects;
+  std::vector<std::vector<kernel::AuthzRequest>> requests(kWorkers);
+  for (int t = 0; t < kWorkers; ++t) {
+    subjects.push_back(*nexus.CreateProcess("w" + std::to_string(t), ToBytes("w")));
+    for (int o = 0; o < 4; ++o) {
+      std::string object = "churn-obj" + std::to_string(t) + "-" + std::to_string(o);
+      ASSERT_TRUE(engine.RegisterObject(object, owner, kernel::kKernelProcessId).ok());
+      ASSERT_TRUE(engine.SetGoal(owner, "use", object, goal).ok());
+      ASSERT_TRUE(
+          engine.SetProof(subjects[t], "use", object, nal::proof::Premise(goal)).ok());
+      requests[t].push_back(kernel::AuthzRequest::Of(subjects[t], "use", object));
+    }
+  }
+
+  uint64_t generation_before = kernel.lifecycle_generation();
+  std::atomic<uint64_t> failures{0};
+  std::atomic<uint64_t> proc_reads{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWorkers; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerWorker; ++i) {
+        Status status = kernel.Authorize(requests[t][i % requests[t].size()]);
+        if (!status.ok()) {
+          ++failures;
+        }
+        if (i % 16 == 0) {
+          // A syscall through the interposition+procfs surface, mid-churn.
+          kernel::IpcMessage msg;
+          msg.args = {"/proc/kernel/name"};
+          kernel::IpcReply reply =
+              kernel.Invoke(subjects[t], kernel::Syscall::kProcRead, msg);
+          if (reply.status.ok()) {
+            ++proc_reads;
+          }
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    uint64_t last_port_generation = 0;
+    for (int i = 0; i < kChurnIters; ++i) {
+      Result<kernel::ProcessId> pid = kernel.CreateProcess("ephemeral", ToBytes("e"));
+      ASSERT_TRUE(pid.ok());
+      Result<kernel::PortId> port = kernel.CreatePort(*pid);
+      ASSERT_TRUE(port.ok());
+      // Generation-stamped lookup: every port carries the lifecycle
+      // generation of its creation, strictly increasing across churn.
+      Result<uint64_t> stamp = kernel.PortGeneration(*port);
+      ASSERT_TRUE(stamp.ok());
+      EXPECT_GT(*stamp, last_port_generation);
+      last_port_generation = *stamp;
+      EXPECT_TRUE(kernel.ConnectPort(*pid, *port).ok());
+      EXPECT_TRUE(kernel.HasChannel(*pid, *port));
+      if (i % 2 == 0) {
+        EXPECT_TRUE(kernel.DestroyPort(*port).ok());
+      }
+      EXPECT_TRUE(kernel.KillProcess(*pid).ok());  // Reaps remaining ports.
+      EXPECT_FALSE(kernel.IsAlive(*pid));
+    }
+  });
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(proc_reads.load(), 0u);
+  // Every lifecycle mutation stamped the generation counter.
+  EXPECT_GE(kernel.lifecycle_generation(),
+            generation_before + 3 * static_cast<uint64_t>(kChurnIters));
+  // Post-quiescence: the ephemeral processes are gone, the subjects and
+  // their verdicts are intact.
+  for (int t = 0; t < kWorkers; ++t) {
+    EXPECT_TRUE(kernel.IsAlive(subjects[t]));
+    for (const kernel::AuthzRequest& request : requests[t]) {
+      EXPECT_TRUE(kernel.Authorize(request).ok());
+    }
+  }
 }
 
 }  // namespace
