@@ -41,8 +41,8 @@ class DriverProcess : public nexus::kernel::PortHandler {
       : kernel_(kernel), self_(self), server_port_(server_port) {}
 
   IpcReply Handle(const IpcContext&, const IpcMessage& message) override {
-    IpcMessage forwarded;
-    forwarded.operation = "send";
+    static const nexus::kernel::OpId send_op = nexus::kernel::InternOp("send");
+    IpcMessage forwarded = IpcMessage::Of(send_op);
     forwarded.data = message.data;
     return kernel_->Call(self_, server_port_, forwarded);
   }
@@ -61,8 +61,11 @@ class UserSpaceMonitor : public nexus::kernel::Interceptor {
 
   nexus::kernel::InterposeVerdict OnCall(const IpcContext& context,
                                          IpcMessage& message) override {
-    Bytes wire = MarshalMessage(message);
-    auto unmarshaled = nexus::kernel::UnmarshalMessage(wire);
+    auto wire = MarshalMessage(message);
+    if (!wire.ok()) {
+      return nexus::kernel::InterposeVerdict::kDeny;
+    }
+    auto unmarshaled = nexus::kernel::UnmarshalMessage(*wire);
     if (!unmarshaled.ok()) {
       return nexus::kernel::InterposeVerdict::kDeny;
     }
@@ -118,7 +121,11 @@ void ReportPps(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
 
-IpcMessage Packet(int64_t size) { return IpcMessage{"recv", {}, Bytes(static_cast<size_t>(size), 0xab)}; }
+IpcMessage Packet(int64_t size) {
+  IpcMessage packet = IpcMessage::Of("recv");
+  packet.data = Bytes(static_cast<size_t>(size), 0xab);
+  return packet;
+}
 
 void BM_kern_int(benchmark::State& state) {
   Harness& h = H();

@@ -30,8 +30,11 @@ class UserSpaceMonitor : public nexus::kernel::Interceptor {
   explicit UserSpaceMonitor(nexus::services::DeviceDriverMonitor* inner) : inner_(inner) {}
   nexus::kernel::InterposeVerdict OnCall(const nexus::kernel::IpcContext& context,
                                          nexus::kernel::IpcMessage& message) override {
-    Bytes wire = MarshalMessage(message);
-    auto unmarshaled = nexus::kernel::UnmarshalMessage(wire);
+    auto wire = MarshalMessage(message);
+    if (!wire.ok()) {
+      return nexus::kernel::InterposeVerdict::kDeny;
+    }
+    auto unmarshaled = nexus::kernel::UnmarshalMessage(*wire);
     if (!unmarshaled.ok()) {
       return nexus::kernel::InterposeVerdict::kDeny;
     }

@@ -23,9 +23,9 @@ struct Harness {
   Harness() : tpm_rng(42), tpm(tpm_rng), nexus(&tpm) {
     client = *nexus.CreateProcess("bench-client", ToBytes("bench-client"));
     nexus.fs().CreateFile("/bench/file", Bytes(4096, 'x'));
-    open_fd = nexus.kernel()
-                  .Invoke(client, Syscall::kOpen, IpcMessage{"", {"/bench/file"}, {}})
-                  .value;
+    IpcMessage open_msg;
+    open_msg.AddString("/bench/file");
+    open_fd = nexus.kernel().Invoke(client, Syscall::kOpen, open_msg).value;
     nexus.kernel().scheduler().AddClient(client, 1);
   }
 
@@ -51,10 +51,9 @@ class BlockAll : public nexus::kernel::Interceptor {
 };
 
 void RunSyscall(benchmark::State& state, Syscall call, bool interposition,
-                std::vector<std::string> args = {}) {
+                IpcMessage msg = {}) {
   Harness& h = H();
   h.nexus.kernel().set_interposition_enabled(interposition);
-  IpcMessage msg{"", std::move(args), {}};
   uint64_t cycles = 0;
   uint64_t calls = 0;
   for (auto _ : state) {
@@ -118,14 +117,16 @@ void BM_open_nexus(benchmark::State& s) {
   h.nexus.kernel().set_interposition_enabled(true);
   uint64_t cycles = 0;
   uint64_t calls = 0;
+  IpcMessage open_msg;
+  open_msg.AddString("/bench/file");
   for (auto _ : s) {
     uint64_t start = nexus::ReadCycleCounter();
-    auto reply =
-        h.nexus.kernel().Invoke(h.client, Syscall::kOpen, IpcMessage{"", {"/bench/file"}, {}});
+    auto reply = h.nexus.kernel().Invoke(h.client, Syscall::kOpen, open_msg);
     cycles += nexus::ReadCycleCounter() - start;
     ++calls;
-    h.nexus.kernel().Invoke(h.client, Syscall::kClose,
-                            IpcMessage{"", {std::to_string(reply.value)}, {}});
+    IpcMessage close_msg;
+    close_msg.AddU64(static_cast<uint64_t>(reply.value));
+    h.nexus.kernel().Invoke(h.client, Syscall::kClose, close_msg);
   }
   s.counters["cycles/call"] =
       benchmark::Counter(static_cast<double>(cycles) / static_cast<double>(calls));
@@ -134,12 +135,14 @@ void BM_close_nexus(benchmark::State& s) {
   Harness& h = H();
   uint64_t cycles = 0;
   uint64_t calls = 0;
+  IpcMessage open_msg;
+  open_msg.AddString("/bench/file");
   for (auto _ : s) {
-    auto reply =
-        h.nexus.kernel().Invoke(h.client, Syscall::kOpen, IpcMessage{"", {"/bench/file"}, {}});
+    auto reply = h.nexus.kernel().Invoke(h.client, Syscall::kOpen, open_msg);
+    IpcMessage close_msg;
+    close_msg.AddU64(static_cast<uint64_t>(reply.value));
     uint64_t start = nexus::ReadCycleCounter();
-    h.nexus.kernel().Invoke(h.client, Syscall::kClose,
-                            IpcMessage{"", {std::to_string(reply.value)}, {}});
+    h.nexus.kernel().Invoke(h.client, Syscall::kClose, close_msg);
     cycles += nexus::ReadCycleCounter() - start;
     ++calls;
   }
@@ -147,11 +150,17 @@ void BM_close_nexus(benchmark::State& s) {
       benchmark::Counter(static_cast<double>(cycles) / static_cast<double>(calls));
 }
 void BM_read_nexus(benchmark::State& s) {
-  RunSyscall(s, Syscall::kRead, true, {std::to_string(H().open_fd), "0", "1024"});
+  // Typed fd/offset/length slots: the interposed read path builds and
+  // parses zero strings (ABI v2).
+  IpcMessage msg;
+  msg.AddU64(static_cast<uint64_t>(H().open_fd)).AddU64(0).AddU64(1024);
+  RunSyscall(s, Syscall::kRead, true, std::move(msg));
 }
 void BM_write_nexus(benchmark::State& s) {
   Harness& h = H();
-  IpcMessage msg{"", {std::to_string(h.open_fd), "0"}, Bytes(1024, 'y')};
+  IpcMessage msg;
+  msg.AddU64(static_cast<uint64_t>(h.open_fd)).AddU64(0);
+  msg.data = Bytes(1024, 'y');
   uint64_t cycles = 0;
   uint64_t calls = 0;
   for (auto _ : s) {

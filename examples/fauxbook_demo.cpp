@@ -62,7 +62,8 @@ int main() {
 
   // --- The DDRM-constrained NIC driver cannot read packet contents.
   kernel::IpcContext context;
-  kernel::IpcMessage read_page{"read_page", {"0x4000"}, {}};
+  kernel::IpcMessage read_page = kernel::IpcMessage::Of("read_page");
+  read_page.AddU64(0x4000);
   std::printf("driver reads page contents:      %s\n",
               fauxbook.driver_monitor().OnCall(context, read_page) ==
                       kernel::InterposeVerdict::kDeny

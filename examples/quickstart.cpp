@@ -85,18 +85,19 @@ int main() {
   nexus.engine().SetProof(reader, "read", "file:/secret/report", *proof);
 
   // --- Access before the deadline: granted.
-  auto open = nexus.kernel().Invoke(reader, kernel::Syscall::kOpen,
-                                    kernel::IpcMessage{"", {"/secret/report"}, {}});
+  kernel::IpcMessage open_msg;
+  open_msg.AddString("/secret/report");
+  auto open = nexus.kernel().Invoke(reader, kernel::Syscall::kOpen, open_msg);
   std::printf("open before deadline: %s\n", open.status.ToString().c_str());
-  auto read = nexus.kernel().Invoke(reader, kernel::Syscall::kRead,
-                                    kernel::IpcMessage{"", {std::to_string(open.value)}, {}});
+  kernel::IpcMessage read_msg;
+  read_msg.AddU64(static_cast<uint64_t>(open.value));
+  auto read = nexus.kernel().Invoke(reader, kernel::Syscall::kRead, read_msg);
   std::printf("read: \"%s\"\n", ToString(read.data).c_str());
 
   // --- The deadline passes. No revocation machinery: the authority simply
   //     stops vouching, and the (non-cacheable) decision flips.
   simulated_today = 20260401;
-  auto late = nexus.kernel().Invoke(reader, kernel::Syscall::kOpen,
-                                    kernel::IpcMessage{"", {"/secret/report"}, {}});
+  auto late = nexus.kernel().Invoke(reader, kernel::Syscall::kOpen, open_msg);
   std::printf("open after deadline: %s\n", late.status.ToString().c_str());
 
   // --- A process with a network channel never gets a safety certificate.

@@ -283,23 +283,26 @@ Result<core::LabelHandle> Fauxbook::AttestCpuShare(const std::string& tenant,
 
 Result<Bytes> Fauxbook::ServeStatic(const std::string& path) {
   kernel::Kernel& k = nexus_->kernel();
-  // driver -> webserver: the request arrives as a packet.
-  kernel::IpcMessage packet;
-  packet.operation = "recv";
-  packet.args = {path};
+  // driver -> webserver: the request arrives as a packet (typed v2
+  // message; the op id is hoisted, the path is a string slot).
+  static const kernel::OpId recv_op = kernel::InternOp("recv");
+  kernel::IpcMessage packet = kernel::IpcMessage::Of(recv_op);
+  packet.AddString(path);
   kernel::IpcReply from_driver = k.Call(webserver_, driver_port_, packet);
   (void)from_driver;  // The driver port may have no handler in benches.
 
-  // webserver -> filesystem via file syscalls.
-  kernel::IpcReply open = k.Invoke(webserver_, kernel::Syscall::kOpen,
-                                   kernel::IpcMessage{"", {path}, {}});
+  // webserver -> filesystem via file syscalls. The fd travels as an
+  // integer slot: no std::to_string / re-parse on the read/close path.
+  kernel::IpcMessage open_msg;
+  open_msg.AddString(path);
+  kernel::IpcReply open = k.Invoke(webserver_, kernel::Syscall::kOpen, open_msg);
   if (!open.status.ok()) {
     return open.status;
   }
-  kernel::IpcReply read = k.Invoke(webserver_, kernel::Syscall::kRead,
-                                   kernel::IpcMessage{"", {std::to_string(open.value)}, {}});
-  k.Invoke(webserver_, kernel::Syscall::kClose,
-           kernel::IpcMessage{"", {std::to_string(open.value)}, {}});
+  kernel::IpcMessage fd_msg;
+  fd_msg.AddU64(static_cast<uint64_t>(open.value));
+  kernel::IpcReply read = k.Invoke(webserver_, kernel::Syscall::kRead, fd_msg);
+  k.Invoke(webserver_, kernel::Syscall::kClose, fd_msg);
   if (!read.status.ok()) {
     return read.status;
   }

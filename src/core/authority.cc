@@ -26,10 +26,14 @@ std::unique_ptr<VouchFuture> Authority::VouchBatchAsync(
 kernel::IpcReply AuthorityPortHandler::Handle(const kernel::IpcContext& context,
                                               const kernel::IpcMessage& message) {
   (void)context;
-  if (message.operation != "check" || message.args.empty()) {
+  // Statements cross the authority port as serialized formula text — the
+  // one deliberate text surface of the protocol (§2.7 answers must be
+  // fresh; nothing about the statement is interned or retained).
+  static const kernel::OpId check_op = kernel::InternOp("check");
+  if (message.op != check_op || !message.ArgIsString(0)) {
     return kernel::IpcReply{InvalidArgument("authority protocol: check <formula>"), {}, {}, 0};
   }
-  Result<nal::Formula> statement = nal::ParseFormula(message.args[0]);
+  Result<nal::Formula> statement = nal::ParseFormula(*message.ArgString(0));
   if (!statement.ok()) {
     return kernel::IpcReply{statement.status(), {}, {}, 0};
   }

@@ -43,11 +43,18 @@ AuthzDecision Engine::UpcallDesignatedGuard(const AuthzRequest& request,
   // (No other engine lock is held here, so re-entrant Say/SetProof from
   // the guard process still work.)
   std::lock_guard<std::recursive_mutex> serialize(designated_mu_);
-  kernel::IpcMessage ipc_request;
-  ipc_request.operation = "check";
-  ipc_request.args = {std::to_string(request.subject), std::string(request.operation()),
-                      std::string(request.object()),
-                      proof == nullptr ? "(premise \"false\")" : nal::SerializeProof(proof)};
+  // Typed v2 upcall: subject/op/obj cross as id slots (no stringify), the
+  // proof as serialized text (it is a subject-supplied tree), credentials
+  // newline-separated in data. The proof slot inherits the ABI's 64 KiB
+  // per-slot bound, enforced identically with interposition on or off
+  // (ValidateWireBounds) — a deeper proof must be pre-registered via
+  // SetProof and referenced, not shipped inline per call.
+  static const kernel::OpId check_op = kernel::InternOp("check");
+  kernel::IpcMessage ipc_request = kernel::IpcMessage::Of(check_op);
+  ipc_request.AddProcess(request.subject)
+      .AddU64(request.op)
+      .AddObject(request.obj)
+      .AddString(proof == nullptr ? "(premise \"false\")" : nal::SerializeProof(proof));
   std::string blob;
   for (const nal::Formula& cred : credentials) {
     blob += cred->ToString();

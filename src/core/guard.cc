@@ -30,11 +30,13 @@ bool Guard::ResolveLocalAuthority(const nal::Formula& statement, bool* handled) 
     }
   }
   // External authorities: one IPC round trip each. The answer is consumed
-  // immediately and never stored (§2.7).
+  // immediately and never stored (§2.7). The statement crosses as text —
+  // formula serialization is the authority protocol's lingua franca (and
+  // proof leaves are deliberately NOT interned; see AuthorityMemo).
+  static const kernel::OpId check_op = kernel::InternOp("check");
   for (kernel::PortId port : authority_ports_) {
-    kernel::IpcMessage query;
-    query.operation = "check";
-    query.args.push_back(statement->ToString());
+    kernel::IpcMessage query = kernel::IpcMessage::Of(check_op);
+    query.AddString(statement->ToString());
     kernel::IpcReply reply = kernel_->Call(kernel::kKernelProcessId, port, query);
     if (reply.status.ok()) {
       return reply.value == 1;
@@ -377,32 +379,45 @@ GuardPortHandler::GuardPortHandler(Guard* guard, const GoalStore* goals)
 
 kernel::IpcReply GuardPortHandler::Handle(const kernel::IpcContext& context,
                                           const kernel::IpcMessage& message) {
-  // Protocol: check <subject> <operation> <object> <proof-text>, with
-  // newline-separated credential formulas in `data`.
-  if (message.operation != "check" || message.args.size() < 4) {
+  // Protocol: check(subject, op, obj, proof-text), with newline-separated
+  // credential formulas in `data`. The engine upcalls with typed slots
+  // (Process/U64/Object ids — nothing to parse); script-style callers may
+  // still send v1-shaped string slots, which resolve here: the subject
+  // through the single decimal decode point, the op/object NAMES through
+  // the caller-charged intern surfaces (this port is untrusted input).
+  static const kernel::OpId check_op = kernel::InternOp("check");
+  if (message.op != check_op || message.args.size() < 4) {
     return kernel::IpcReply{
         InvalidArgument("guard protocol: check <subject> <op> <object> <proof>"), {}, {}, 0};
   }
-  (void)context;
-  // args[0] arrives over the untrusted guard IPC port: parse defensively.
-  // std::stoull would throw std::invalid_argument on "garbage" (or
-  // std::out_of_range on a 21-digit subject) and take down the whole
-  // simulation from a hostile message.
-  std::optional<uint64_t> subject_id = ParseDecimalU64(message.args[0]);
-  if (!subject_id.has_value()) {
+  Result<kernel::ProcessId> subject_id = message.ArgProcess(0);
+  if (!subject_id.ok()) {
     return kernel::IpcReply{
-        InvalidArgument("guard protocol: subject must be a decimal process id"), {}, {}, 0};
+        InvalidArgument("guard protocol: subject must be a process id"), {}, {}, 0};
   }
   kernel::ProcessId subject = *subject_id;
-  const std::string& operation = message.args[1];
-  const std::string& object = message.args[2];
 
-  std::optional<GoalEntry> goal = goals_->Get(operation, object);
+  Result<kernel::OpId> operation = guard_->kernel()->ResolveOpArg(context.caller, message, 1);
+  if (!operation.ok()) {
+    return kernel::IpcReply{operation.status(), {}, {}, 0};
+  }
+  Result<kernel::ObjectId> object =
+      guard_->kernel()->ResolveObjectArg(context.caller, message, 2);
+  if (!object.ok()) {
+    return kernel::IpcReply{object.status(), {}, {}, 0};
+  }
+
+  std::optional<GoalEntry> goal = goals_->Get(*operation, *object);
   if (!goal.has_value()) {
     return kernel::IpcReply{NotFound("no goal for this operation/object"), {}, {}, 0};
   }
 
-  Result<nal::Proof> proof = nal::DeserializeProof(message.args[3]);
+  Result<std::string_view> proof_text = message.ArgString(3);
+  if (!proof_text.ok()) {
+    return kernel::IpcReply{
+        InvalidArgument("guard protocol: proof must be serialized text"), {}, {}, 0};
+  }
+  Result<nal::Proof> proof = nal::DeserializeProof(*proof_text);
   if (!proof.ok()) {
     return kernel::IpcReply{proof.status(), {}, {}, 0};
   }
@@ -425,7 +440,7 @@ kernel::IpcReply GuardPortHandler::Handle(const kernel::IpcContext& context,
     start = end + 1;
   }
 
-  AuthzDecision decision = guard_->Check(AuthzRequest::Of(subject, operation, object),
+  AuthzDecision decision = guard_->Check(AuthzRequest{subject, *operation, *object},
                                          goal->goal, *proof, credentials);
   return kernel::IpcReply{decision.ToStatus(), {}, {}, decision.cacheable ? 1 : 0};
 }

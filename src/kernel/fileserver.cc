@@ -7,9 +7,11 @@ namespace {
 // Hoisted operation ids: interned once per process lifetime, not per call.
 const OpId kCreateOp = InternOp("create");
 const OpId kOpenOp = InternOp("open");
+const OpId kCloseOp = InternOp("close");
 const OpId kReadOp = InternOp("read");
 const OpId kWriteOp = InternOp("write");
 const OpId kUnlinkOp = InternOp("unlink");
+const OpId kStatOp = InternOp("stat");
 
 }  // namespace
 
@@ -29,29 +31,35 @@ Result<Bytes> FileServer::ReadFile(const std::string& path) const {
   return it->second;
 }
 
-Result<ObjectId> FileServer::FileObject(ProcessId caller, const std::string& path) {
+Result<ObjectId> FileServer::FileObject(ProcessId caller, std::string_view path) {
   auto it = file_objects_.find(path);
   if (it != file_objects_.end()) {
-    return it->second;  // Memoized: no string concatenation, no interning.
+    return it->second;  // Memoized: no string built, no interning.
   }
   // First sight of this path: build "file:<path>" once and intern it
   // through the charged surface — probing endless novel paths exhausts the
   // prober's name quota, not the table.
-  Result<ObjectId> object = kernel_->InternObjectCharged(caller, "file:" + path);
+  Result<ObjectId> object = kernel_->InternObjectCharged(caller, "file:" + std::string(path));
   if (object.ok()) {
-    file_objects_.emplace(path, *object);
+    file_objects_.emplace(std::string(path), *object);
   }
   return object;
 }
 
+// Argument convention (typed ABI v2): paths travel as string slots —
+// they are names — while fds, offsets, and lengths are integer slots and
+// cross the IPC boundary with no stringify/re-parse. Legacy text callers
+// are still accepted: the integer accessors fall back to the single
+// decimal decode point in kernel/ipc.h.
 IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message) {
-  const std::string& op = message.operation;
+  const OpId op = message.op;
 
-  if (op == "create") {
-    if (message.args.empty()) {
+  if (op == kCreateOp) {
+    Result<std::string_view> path_arg = message.ArgString(0);
+    if (!path_arg.ok()) {
       return Error(InvalidArgument("create needs a path"));
     }
-    const std::string& path = message.args[0];
+    const std::string path(*path_arg);  // CreateFile owns the key.
     Result<ObjectId> object = FileObject(context.caller, path);
     if (!object.ok()) {
       return Error(object.status());
@@ -64,11 +72,12 @@ IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message
     return IpcReply{created, {}, {}, 0};
   }
 
-  if (op == "open") {
-    if (message.args.empty()) {
+  if (op == kOpenOp) {
+    Result<std::string_view> path_arg = message.ArgString(0);
+    if (!path_arg.ok()) {
       return Error(InvalidArgument("open needs a path"));
     }
-    const std::string& path = message.args[0];
+    const std::string path(*path_arg);  // The OpenFile record owns it.
     Result<ObjectId> object = FileObject(context.caller, path);
     if (!object.ok()) {
       return Error(object.status());
@@ -85,15 +94,10 @@ IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message
     return IpcReply{OkStatus(), path, {}, fd};
   }
 
-  if (op == "close") {
-    if (message.args.empty()) {
-      return Error(InvalidArgument("close needs an fd"));
-    }
-    // args arrive over the untrusted IPC surface: parse defensively
-    // (std::stoll would throw out of the simulation on "garbage").
-    std::optional<uint64_t> fd_arg = ParseDecimalU64(message.args[0]);
-    if (!fd_arg.has_value()) {
-      return Error(InvalidArgument("close: fd must be a decimal file descriptor"));
+  if (op == kCloseOp) {
+    Result<uint64_t> fd_arg = message.ArgU64(0);
+    if (!fd_arg.ok()) {
+      return Error(InvalidArgument("close: fd must be a file descriptor"));
     }
     int64_t fd = static_cast<int64_t>(*fd_arg);
     auto it = open_files_.find(fd);
@@ -104,13 +108,12 @@ IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message
     return IpcReply{OkStatus(), {}, {}, 0};
   }
 
-  if (op == "read" || op == "write") {
-    if (message.args.empty()) {
-      return Error(InvalidArgument(op + " needs an fd"));
-    }
-    std::optional<uint64_t> fd_arg = ParseDecimalU64(message.args[0]);
-    if (!fd_arg.has_value()) {
-      return Error(InvalidArgument(op + ": fd must be a decimal file descriptor"));
+  if (op == kReadOp || op == kWriteOp) {
+    const bool is_read = op == kReadOp;
+    Result<uint64_t> fd_arg = message.ArgU64(0);
+    if (!fd_arg.ok()) {
+      return Error(InvalidArgument(std::string(is_read ? "read" : "write") +
+                                   ": fd must be a file descriptor"));
     }
     int64_t fd = static_cast<int64_t>(*fd_arg);
     auto it = open_files_.find(fd);
@@ -119,7 +122,6 @@ IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message
     }
     // The fd carries its interned object id: the per-call authorization is
     // three integers, no "file:<path>" string ever built on this path.
-    bool is_read = op == "read";
     Status authorized = kernel_->Authorize(
         AuthzRequest{context.caller, is_read ? kReadOp : kWriteOp, it->second.object});
     if (!authorized.ok()) {
@@ -128,30 +130,39 @@ IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message
     const std::string& path = it->second.path;
     Bytes& content = files_[path];
     if (is_read) {
-      std::optional<uint64_t> offset_arg =
-          message.args.size() > 1 ? ParseDecimalU64(message.args[1]) : 0;
-      std::optional<uint64_t> length_arg =
-          message.args.size() > 2 ? ParseDecimalU64(message.args[2]) : content.size();
-      if (!offset_arg.has_value() || !length_arg.has_value()) {
-        return Error(InvalidArgument("read: offset/length must be decimal"));
+      uint64_t offset = 0;
+      uint64_t length = content.size();
+      if (message.args.size() > 1) {
+        Result<uint64_t> offset_arg = message.ArgU64(1);
+        if (!offset_arg.ok()) {
+          return Error(InvalidArgument("read: offset must be an integer"));
+        }
+        offset = *offset_arg;
       }
-      size_t offset = *offset_arg;
-      size_t length = *length_arg;
+      if (message.args.size() > 2) {
+        Result<uint64_t> length_arg = message.ArgU64(2);
+        if (!length_arg.ok()) {
+          return Error(InvalidArgument("read: length must be an integer"));
+        }
+        length = *length_arg;
+      }
       if (offset > content.size()) {
         return Error(OutOfRange("read past end of file"));
       }
-      length = std::min(length, content.size() - offset);
+      length = std::min<uint64_t>(length, content.size() - offset);
       Bytes out(content.begin() + static_cast<ptrdiff_t>(offset),
                 content.begin() + static_cast<ptrdiff_t>(offset + length));
       return IpcReply{OkStatus(), {}, std::move(out), static_cast<int64_t>(length)};
     }
     // write
-    std::optional<uint64_t> offset_arg =
-        message.args.size() > 1 ? ParseDecimalU64(message.args[1]) : content.size();
-    if (!offset_arg.has_value()) {
-      return Error(InvalidArgument("write: offset must be decimal"));
+    uint64_t offset = content.size();
+    if (message.args.size() > 1) {
+      Result<uint64_t> offset_arg = message.ArgU64(1);
+      if (!offset_arg.ok()) {
+        return Error(InvalidArgument("write: offset must be an integer"));
+      }
+      offset = *offset_arg;
     }
-    size_t offset = *offset_arg;
     if (offset > content.size()) {
       return Error(OutOfRange("write past end of file"));
     }
@@ -163,11 +174,12 @@ IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message
     return IpcReply{OkStatus(), {}, {}, static_cast<int64_t>(message.data.size())};
   }
 
-  if (op == "unlink") {
-    if (message.args.empty()) {
+  if (op == kUnlinkOp) {
+    Result<std::string_view> path_arg = message.ArgString(0);
+    if (!path_arg.ok()) {
       return Error(InvalidArgument("unlink needs a path"));
     }
-    const std::string& path = message.args[0];
+    std::string_view path = *path_arg;
     Result<ObjectId> object = FileObject(context.caller, path);
     if (!object.ok()) {
       return Error(object.status());
@@ -176,24 +188,28 @@ IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message
     if (!authorized.ok()) {
       return Error(authorized);
     }
-    if (files_.erase(path) == 0) {
-      return Error(NotFound("no such file: " + path));
+    auto it = files_.find(path);
+    if (it == files_.end()) {
+      return Error(NotFound("no such file: " + std::string(path)));
     }
+    files_.erase(it);
     return IpcReply{OkStatus(), {}, {}, 0};
   }
 
-  if (op == "stat") {
-    if (message.args.empty()) {
+  if (op == kStatOp) {
+    Result<std::string_view> path_arg = message.ArgString(0);
+    if (!path_arg.ok()) {
       return Error(InvalidArgument("stat needs a path"));
     }
-    auto it = files_.find(message.args[0]);
+    auto it = files_.find(*path_arg);  // Transparent: no key string built.
     if (it == files_.end()) {
-      return Error(NotFound("no such file: " + message.args[0]));
+      return Error(NotFound("no such file: " + std::string(*path_arg)));
     }
     return IpcReply{OkStatus(), {}, {}, static_cast<int64_t>(it->second.size())};
   }
 
-  return Error(InvalidArgument("unknown filesystem operation: " + op));
+  return Error(
+      InvalidArgument("unknown filesystem operation: " + std::string(message.operation())));
 }
 
 }  // namespace nexus::kernel

@@ -18,6 +18,7 @@
 
 #include <map>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "kernel/ipc.h"
@@ -36,7 +37,7 @@ class FileServer : public PortHandler {
   // Direct (non-IPC) access for tests and setup code.
   Status CreateFile(const std::string& path, ByteView content = {});
   Result<Bytes> ReadFile(const std::string& path) const;
-  bool Exists(const std::string& path) const { return files_.contains(path); }
+  bool Exists(std::string_view path) const { return files_.contains(path); }
   size_t FileCount() const { return files_.size(); }
 
  private:
@@ -52,12 +53,15 @@ class FileServer : public PortHandler {
 
   // The memoized "file:<path>" object id, interning (charged to `caller`)
   // on first sight of the path.
-  Result<ObjectId> FileObject(ProcessId caller, const std::string& path);
+  Result<ObjectId> FileObject(ProcessId caller, std::string_view path);
 
   Kernel* kernel_;
-  std::map<std::string, Bytes> files_;
+  // Transparent lookups: path probes from string_view slots allocate no
+  // key string (matching the typed ABI's zero-string goal).
+  std::map<std::string, Bytes, std::less<>> files_;
   std::map<int64_t, OpenFile> open_files_;
-  std::unordered_map<std::string, ObjectId> file_objects_;
+  std::unordered_map<std::string, ObjectId, TransparentStringHash, TransparentStringEq>
+      file_objects_;
   int64_t next_fd_ = 3;
 };
 

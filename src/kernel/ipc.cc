@@ -1,6 +1,54 @@
 #include "kernel/ipc.h"
 
+#include <atomic>
+
 namespace nexus::kernel {
+
+namespace {
+
+// Process-wide audit counter for the zero-string hot-path assertion.
+std::atomic<uint64_t> text_payloads{0};
+
+// Wire op-kind discriminators (first byte after the version).
+constexpr uint8_t kOpInterned = 0;
+constexpr uint8_t kOpLegacyText = 1;
+constexpr uint8_t kWireVersion = 2;
+
+}  // namespace
+
+uint64_t IpcTextPayloadCount() { return text_payloads.load(); }
+
+bool ArgVec::AddPayload(ArgTag tag, std::string_view payload) {
+  if (count_ >= kMaxArgs || arena_.size() + payload.size() > 0xffffffffULL) {
+    return false;
+  }
+  text_payloads.fetch_add(1, std::memory_order_relaxed);
+  uint32_t offset = static_cast<uint32_t>(arena_.size());
+  arena_.append(payload);
+  slots_[count_++] = Slot{tag, offset, static_cast<uint32_t>(payload.size()), 0};
+  return true;
+}
+
+IpcMessage IpcMessage::FromLegacy(std::string_view operation,
+                                  std::vector<std::string> legacy_args, Bytes data) {
+  IpcMessage message;
+  // A name that was ever interned resolves for free; only genuinely novel
+  // operation text stays pending for the kernel's charged resolution.
+  if (std::optional<OpId> known = FindOp(operation); known.has_value()) {
+    message.op = *known;
+  } else {
+    // Carried UNTRUNCATED: the kernel boundary rejects names past
+    // kMaxLegacyOpName (truncating here would alias distinct long names
+    // to one identity while other surfaces intern the full text).
+    text_payloads.fetch_add(1, std::memory_order_relaxed);
+    message.legacy_op_.assign(operation);
+  }
+  for (const std::string& arg : legacy_args) {
+    message.AddString(arg);
+  }
+  message.data = std::move(data);
+  return message;
+}
 
 std::string_view SyscallName(Syscall call) {
   switch (call) {
@@ -36,12 +84,190 @@ std::string_view SyscallName(Syscall call) {
   return "?";
 }
 
-Bytes MarshalMessage(const IpcMessage& message) {
+OpId SyscallOp(Syscall call) {
+  // Appending a Syscall without growing kSyscallCount would make this
+  // table silently resolve the new call to op 0 — fail the build instead.
+  static_assert(static_cast<size_t>(Syscall::kProcRead) + 1 == kSyscallCount,
+                "update kSyscallCount (and this assert's last enumerator) when "
+                "appending syscalls");
+  // One interning pass per process lifetime, first use (the table is tiny
+  // and the names are kernel-owned, so nothing is charged).
+  static const std::array<OpId, kSyscallCount> ids = [] {
+    std::array<OpId, kSyscallCount> table{};
+    for (size_t i = 0; i < table.size(); ++i) {
+      table[i] = InternOp(SyscallName(static_cast<Syscall>(i)));
+    }
+    return table;
+  }();
+  size_t index = static_cast<size_t>(call);
+  return index < ids.size() ? ids[index] : 0;
+}
+
+// ------------------------------------------------------- Typed accessors
+
+namespace {
+
+// Shared scalar read: the exact tag, kU64 (the generic integer), or — for
+// the accessors that allow it — decimal text through the single validated
+// legacy decode point (ParseDecimalU64 lives here and nowhere else).
+Result<uint64_t> ScalarArg(const ArgVec& args, size_t i, ArgTag exact, const char* what) {
+  if (i >= args.size()) {
+    return InvalidArgument("missing argument slot " + std::to_string(i));
+  }
+  ArgSlot slot = args[i];
+  if (slot.tag() == exact || slot.tag() == ArgTag::kU64) {
+    return slot.scalar();
+  }
+  if (slot.tag() == ArgTag::kString) {
+    // Decimal or rejected, never an exception (std::stoull would throw out
+    // of the simulation on "garbage" or a 100-digit number).
+    std::optional<uint64_t> parsed = ParseDecimalU64(slot.text());
+    if (!parsed.has_value()) {
+      return InvalidArgument("argument slot " + std::to_string(i) + " must be a " +
+                             std::string(what) + " (or decimal text)");
+    }
+    return *parsed;
+  }
+  return InvalidArgument("argument slot " + std::to_string(i) + " is not a " +
+                         std::string(what));
+}
+
+}  // namespace
+
+Result<uint64_t> IpcMessage::ArgU64(size_t i) const {
+  return ScalarArg(args, i, ArgTag::kU64, "u64");
+}
+
+Result<ProcessId> IpcMessage::ArgProcess(size_t i) const {
+  return ScalarArg(args, i, ArgTag::kProcess, "process id");
+}
+
+Result<PortId> IpcMessage::ArgPort(size_t i) const {
+  return ScalarArg(args, i, ArgTag::kPort, "port id");
+}
+
+Result<ObjectId> IpcMessage::ArgObject(size_t i) const {
+  if (i >= args.size()) {
+    return InvalidArgument("missing argument slot " + std::to_string(i));
+  }
+  ArgSlot slot = args[i];
+  if (slot.tag() == ArgTag::kObject) {
+    return static_cast<ObjectId>(slot.scalar());
+  }
+  if (slot.tag() == ArgTag::kU64) {
+    // The generic-integer coercion must not bypass the forged-id check the
+    // wire applies to kObject slots (IsKnownObjectId: a forged id would
+    // reach the fail-OPEN bootstrap policy as an "unregistered object").
+    if (!IsKnownObjectId(slot.scalar())) {
+      return InvalidArgument("argument slot " + std::to_string(i) +
+                             " is not a known object id");
+    }
+    return static_cast<ObjectId>(slot.scalar());
+  }
+  // No text coercion: object NAMES must enter through the charged intern
+  // surface (Kernel::InternObjectCharged), never sneak in as ids.
+  return InvalidArgument("argument slot " + std::to_string(i) + " is not an object id");
+}
+
+Result<uint64_t> IpcMessage::ArgFormula(size_t i) const {
+  if (i >= args.size()) {
+    return InvalidArgument("missing argument slot " + std::to_string(i));
+  }
+  ArgSlot slot = args[i];
+  if (slot.tag() == ArgTag::kFormula || slot.tag() == ArgTag::kU64) {
+    return slot.scalar();
+  }
+  return InvalidArgument("argument slot " + std::to_string(i) + " is not a formula id");
+}
+
+Result<std::string_view> IpcMessage::ArgString(size_t i) const {
+  if (i >= args.size()) {
+    return InvalidArgument("missing argument slot " + std::to_string(i));
+  }
+  if (args[i].tag() != ArgTag::kString) {
+    return InvalidArgument("argument slot " + std::to_string(i) + " is not a string");
+  }
+  return args[i].text();
+}
+
+Result<ByteView> IpcMessage::ArgBytes(size_t i) const {
+  if (i >= args.size()) {
+    return InvalidArgument("missing argument slot " + std::to_string(i));
+  }
+  if (args[i].tag() != ArgTag::kBytes) {
+    return InvalidArgument("argument slot " + std::to_string(i) + " is not a byte payload");
+  }
+  return args[i].blob();
+}
+
+// ----------------------------------------------------------- Wire format
+//
+//   u8  version (2)
+//   u8  op kind: 0 = u32 interned OpId follows, 1 = length-prefixed text
+//   u8  argc (<= ArgVec::kMaxArgs)
+//   per arg: u8 tag, then u64 scalar | u32 length + payload
+//   u32 data length + data
+//   (end of buffer — trailing bytes are rejected)
+
+Status ValidateWireBounds(const IpcMessage& message) {
+  if (message.args_overflowed()) {
+    return InvalidArgument("message exceeds the typed-slot capacity (" +
+                           std::to_string(ArgVec::kMaxArgs) + " slots)");
+  }
+  if (message.needs_op_resolution()) {
+    if (message.legacy_op().size() > kMaxLegacyOpName) {
+      return InvalidArgument("legacy operation name too long");
+    }
+  } else if (!IsKnownOpId(message.op)) {
+    // Forged-id rejection is part of the bounds contract, so it holds with
+    // or without interposition (the marshaled path also re-checks at
+    // unmarshal time for buffers arriving from elsewhere).
+    return InvalidArgument("unknown interned operation id");
+  }
+  if (message.data.size() > kMaxIpcData) {
+    return InvalidArgument("data payload exceeds wire bound");
+  }
+  for (size_t i = 0; i < message.args.size(); ++i) {
+    ArgSlot arg = message.args[i];
+    if (!arg.is_scalar() && arg.payload_size() > kMaxArgPayload) {
+      return InvalidArgument("argument payload exceeds wire bound");
+    }
+    if (arg.tag() == ArgTag::kObject && !IsKnownObjectId(arg.scalar())) {
+      return InvalidArgument("unknown interned object id");
+    }
+  }
+  return OkStatus();
+}
+
+Result<Bytes> MarshalMessage(const IpcMessage& message) {
+  Status bounded = ValidateWireBounds(message);
+  if (!bounded.ok()) {
+    return bounded;
+  }
+  size_t size = 3 + 4 + message.legacy_op().size() + 4 + message.data.size();
+  for (size_t i = 0; i < message.args.size(); ++i) {
+    ArgSlot arg = message.args[i];
+    size += 1 + (arg.is_scalar() ? 8 : 4 + arg.payload_size());
+  }
   Bytes out;
-  AppendLengthPrefixed(out, ToBytes(message.operation));
-  AppendU32(out, static_cast<uint32_t>(message.args.size()));
-  for (const std::string& arg : message.args) {
-    AppendLengthPrefixed(out, ToBytes(arg));
+  out.reserve(size);
+  out.push_back(kWireVersion);
+  if (message.needs_op_resolution()) {
+    out.push_back(kOpLegacyText);
+    AppendLengthPrefixed(out, ToBytes(message.legacy_op()));
+  } else {
+    out.push_back(kOpInterned);
+    AppendU32(out, message.op);
+  }
+  out.push_back(static_cast<uint8_t>(message.args.size()));
+  for (size_t i = 0; i < message.args.size(); ++i) {
+    ArgSlot arg = message.args[i];
+    out.push_back(static_cast<uint8_t>(arg.tag()));
+    if (arg.is_scalar()) {
+      AppendU64(out, arg.scalar());
+    } else {
+      AppendLengthPrefixed(out, arg.blob());
+    }
   }
   AppendLengthPrefixed(out, message.data);
   return out;
@@ -49,28 +275,106 @@ Bytes MarshalMessage(const IpcMessage& message) {
 
 Result<IpcMessage> UnmarshalMessage(ByteView buffer) {
   ByteReader reader(buffer);
-  IpcMessage message;
-  Result<Bytes> op = reader.ReadLengthPrefixed();
-  if (!op.ok()) {
-    return op.status();
+  Result<uint8_t> version = reader.ReadU8();
+  if (!version.ok()) {
+    return version.status();
   }
-  message.operation = ToString(*op);
-  Result<uint32_t> argc = reader.ReadU32();
+  if (*version != kWireVersion) {
+    return InvalidArgument("unsupported IPC wire version");
+  }
+  IpcMessage message;
+  Result<uint8_t> op_kind = reader.ReadU8();
+  if (!op_kind.ok()) {
+    return op_kind.status();
+  }
+  if (*op_kind == kOpInterned) {
+    Result<uint32_t> op = reader.ReadU32();
+    if (!op.ok()) {
+      return op.status();
+    }
+    // Strictness: a forged id that names nothing is rejected here, not
+    // carried into dispatch as an unresolvable operation.
+    if (!IsKnownOpId(*op)) {
+      return InvalidArgument("unknown interned operation id");
+    }
+    message.op = *op;
+  } else if (*op_kind == kOpLegacyText) {
+    Result<Bytes> text = reader.ReadLengthPrefixed();
+    if (!text.ok()) {
+      return text.status();
+    }
+    if (text->size() > kMaxLegacyOpName) {
+      return InvalidArgument("legacy operation name too long");
+    }
+    // Re-enters through the shim so interned-vs-pending state is rebuilt
+    // exactly as the producer's FromLegacy left it.
+    IpcMessage shim = IpcMessage::FromLegacy(ToString(*text));
+    message.op = shim.op;
+    message.legacy_op_ = std::move(shim.legacy_op_);
+  } else {
+    return InvalidArgument("bad operation kind");
+  }
+  Result<uint8_t> argc = reader.ReadU8();
   if (!argc.ok()) {
     return argc.status();
   }
-  for (uint32_t i = 0; i < *argc; ++i) {
-    Result<Bytes> arg = reader.ReadLengthPrefixed();
-    if (!arg.ok()) {
-      return arg.status();
+  if (*argc > ArgVec::kMaxArgs) {
+    return InvalidArgument("argument slot count exceeds capacity");
+  }
+  for (uint8_t i = 0; i < *argc; ++i) {
+    Result<uint8_t> tag = reader.ReadU8();
+    if (!tag.ok()) {
+      return tag.status();
     }
-    message.args.push_back(ToString(*arg));
+    switch (static_cast<ArgTag>(*tag)) {
+      case ArgTag::kU64:
+      case ArgTag::kProcess:
+      case ArgTag::kPort:
+      case ArgTag::kObject:
+      case ArgTag::kFormula: {
+        Result<uint64_t> scalar = reader.ReadU64();
+        if (!scalar.ok()) {
+          return scalar.status();
+        }
+        if (static_cast<ArgTag>(*tag) == ArgTag::kObject && !IsKnownObjectId(*scalar)) {
+          // A value that fits no table entry is a forgery, not an argument
+          // (the bootstrap policy treats unknown objects as unguarded, so
+          // letting one through would fail OPEN).
+          return InvalidArgument("unknown interned object id");
+        }
+        message.args.AddScalar(static_cast<ArgTag>(*tag), *scalar);
+        break;
+      }
+      case ArgTag::kBytes:
+      case ArgTag::kString: {
+        Result<Bytes> payload = reader.ReadLengthPrefixed();
+        if (!payload.ok()) {
+          return payload.status();
+        }
+        if (payload->size() > kMaxArgPayload) {
+          return InvalidArgument("argument payload exceeds wire bound");
+        }
+        message.args.AddPayload(
+            static_cast<ArgTag>(*tag),
+            std::string_view(reinterpret_cast<const char*>(payload->data()),
+                             payload->size()));
+        break;
+      }
+      default:
+        return InvalidArgument("bad argument tag");
+    }
   }
   Result<Bytes> data = reader.ReadLengthPrefixed();
   if (!data.ok()) {
     return data.status();
   }
+  if (data->size() > kMaxIpcData) {
+    return InvalidArgument("data payload exceeds wire bound");
+  }
   message.data = std::move(*data);
+  if (!reader.AtEnd()) {
+    return InvalidArgument("trailing bytes after message");
+  }
   return message;
 }
 

@@ -1,14 +1,33 @@
-// IPC messages, ports, and handler interfaces.
+// IPC messages, ports, and handler interfaces — typed ABI v2.
 //
 // All interaction between Nexus processes flows through synchronous IPC
 // calls on kernel-managed ports (§2.4). The kernel authoritatively binds a
 // port to its owning process, which lets the authorization layer attribute
 // statements arriving on a port to that process without cryptography.
+//
+// Parameter marshaling is the dominant fixed cost of interpositioning
+// (§5.1), so the message itself is identity-based: the operation is an
+// interned OpId and arguments travel in a fixed small vector of TYPED
+// slots (ArgValue: u64 | ProcessId | PortId | ObjectId | FormulaId |
+// bytes | string). An interposed call whose arguments are integers or
+// interned ids builds, hashes, and parses ZERO heap strings end to end —
+// the "stringify fd, re-parse fd" tax of the v1 string ABI is gone, and
+// with it the scattered defensive ParseDecimalU64 call sites: the ONLY
+// place untrusted decimal text becomes an integer is the string-slot
+// coercion inside the Arg accessors here.
+//
+// Untrusted text boundaries (script-style callers, the ipc_call syscall)
+// enter through IpcMessage::FromLegacy, which carries the operation NAME
+// until the kernel resolves it against the caller's op-name quota
+// (Kernel::InternOpCharged) — growth of the op intern table through the
+// legacy surface is charged, never ambient.
 #ifndef NEXUS_KERNEL_IPC_H_
 #define NEXUS_KERNEL_IPC_H_
 
-#include <functional>
+#include <array>
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "kernel/types.h"
@@ -17,10 +36,234 @@
 
 namespace nexus::kernel {
 
+// Wire tag of one argument slot. Values are part of the marshaled format;
+// never renumber.
+enum class ArgTag : uint8_t {
+  kU64 = 1,      // plain unsigned integer (fds, offsets, lengths, counts)
+  kProcess = 2,  // ProcessId
+  kPort = 3,     // PortId
+  kObject = 4,   // interned ObjectId (kernel/types.h ObjectTable)
+  kFormula = 5,  // interned nal::FormulaId (resolved by the consumer)
+  kBytes = 6,    // opaque byte payload
+  kString = 7,   // text payload (paths, names, serialized proofs)
+};
+
+class ArgVec;
+
+// A read-only view of one typed argument slot (valid while the owning
+// ArgVec lives and is not mutated).
+class ArgSlot {
+ public:
+  ArgTag tag() const;
+  bool is_scalar() const { return tag() != ArgTag::kBytes && tag() != ArgTag::kString; }
+  uint64_t scalar() const;
+  // Valid for kString (text) / kBytes (blob) slots only.
+  std::string_view text() const;
+  ByteView blob() const;
+  size_t payload_size() const { return text().size(); }
+
+ private:
+  friend class ArgVec;
+  ArgSlot(const ArgVec* vec, size_t index) : vec_(vec), index_(index) {}
+  const ArgVec* vec_;
+  size_t index_;
+};
+
+// The fixed small vector of argument slots: POD slot headers inline, all
+// text/bytes payloads packed into ONE shared arena string. A scalar-only
+// message therefore owns no heap memory at all, and copying/moving a
+// message touches one string, not one per slot. Adds past capacity are
+// refused (IpcMessage records the overflow and the kernel rejects such a
+// message with InvalidArgument instead of silently dropping arguments at
+// a security boundary).
+class ArgVec {
+ public:
+  static constexpr size_t kMaxArgs = 8;
+
+  ArgVec() = default;
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  ArgSlot operator[](size_t i) const { return ArgSlot(this, i); }
+
+  bool AddScalar(ArgTag tag, uint64_t value) {
+    if (count_ >= kMaxArgs) {
+      return false;
+    }
+    slots_[count_++] = Slot{tag, 0, 0, value};
+    return true;
+  }
+  bool AddPayload(ArgTag tag, std::string_view payload);
+
+  // The slots from index `from` on (the ipc_call syscall strips its port
+  // and operation prefix before forwarding the inner message).
+  ArgVec Tail(size_t from) const {
+    ArgVec out;
+    for (size_t i = from; i < count_; ++i) {
+      const Slot& s = slots_[i];
+      if (s.tag == ArgTag::kBytes || s.tag == ArgTag::kString) {
+        out.AddPayload(s.tag, PayloadOf(s));
+      } else {
+        out.AddScalar(s.tag, s.scalar);
+      }
+    }
+    return out;
+  }
+
+  friend bool operator==(const ArgVec& a, const ArgVec& b) {
+    if (a.count_ != b.count_) {
+      return false;
+    }
+    for (size_t i = 0; i < a.count_; ++i) {
+      const Slot& x = a.slots_[i];
+      const Slot& y = b.slots_[i];
+      if (x.tag != y.tag || x.scalar != y.scalar || a.PayloadOf(x) != b.PayloadOf(y)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  friend class ArgSlot;
+  struct Slot {
+    ArgTag tag;
+    uint32_t offset;  // into arena_, payload tags only
+    uint32_t length;
+    uint64_t scalar;
+  };
+
+  std::string_view PayloadOf(const Slot& s) const {
+    return std::string_view(arena_).substr(s.offset, s.length);
+  }
+
+  Slot slots_[kMaxArgs] = {};
+  uint8_t count_ = 0;
+  std::string arena_;
+};
+
+inline ArgTag ArgSlot::tag() const { return vec_->slots_[index_].tag; }
+inline uint64_t ArgSlot::scalar() const { return vec_->slots_[index_].scalar; }
+inline std::string_view ArgSlot::text() const {
+  return vec_->PayloadOf(vec_->slots_[index_]);
+}
+inline ByteView ArgSlot::blob() const {
+  std::string_view payload = text();
+  return ByteView(reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
+}
+
+// Wire-format bounds, enforced strictly by UnmarshalMessage (and by
+// MarshalMessage, so a hostile payload cannot even be emitted). A buffer
+// that is truncated, carries trailing bytes, declares more slots than
+// ArgVec::kMaxArgs, uses an unknown tag, or exceeds these payload caps is
+// rejected with InvalidArgument — never partially decoded.
+inline constexpr size_t kMaxArgPayload = 64 * 1024;        // per string/bytes slot
+inline constexpr size_t kMaxIpcData = 16 * 1024 * 1024;    // trailing data block
+inline constexpr size_t kMaxLegacyOpName = 256;            // FromLegacy op text
+
 struct IpcMessage {
-  std::string operation;
-  std::vector<std::string> args;
+  // The interned operation (kernel/types.h OpTable). 0 is the empty name:
+  // syscall messages that carry no operation of their own are well-formed.
+  OpId op = 0;
+  ArgVec args;
   Bytes data;
+
+  IpcMessage() = default;
+  explicit IpcMessage(OpId operation) : op(operation) {}
+
+  // Trusted-producer constructors: interning here is NOT charged to any
+  // quota (servers, monitors, and tests name their own vocabulary).
+  static IpcMessage Of(OpId operation) { return IpcMessage(operation); }
+  static IpcMessage Of(std::string_view operation) { return IpcMessage(InternOp(operation)); }
+
+  // The legacy string shim — the ONLY place v1-style (operation string +
+  // string args) messages are built. Args become kString slots. A never-
+  // interned operation name is carried as text until the kernel resolves
+  // it through the caller-charged op quota (Kernel::InternOpCharged);
+  // already-interned names resolve immediately and cost nothing.
+  static IpcMessage FromLegacy(std::string_view operation,
+                               std::vector<std::string> legacy_args = {}, Bytes data = {});
+
+  std::string_view operation() const {
+    return needs_op_resolution() ? std::string_view(legacy_op_) : OpName(op);
+  }
+
+  // ---- Builders (chainable). Capacity overflow is recorded, not dropped.
+  IpcMessage& AddU64(uint64_t v) { return AddScalar(ArgTag::kU64, v); }
+  IpcMessage& AddProcess(ProcessId v) { return AddScalar(ArgTag::kProcess, v); }
+  IpcMessage& AddPort(PortId v) { return AddScalar(ArgTag::kPort, v); }
+  IpcMessage& AddObject(ObjectId v) { return AddScalar(ArgTag::kObject, v); }
+  IpcMessage& AddFormula(uint64_t v) { return AddScalar(ArgTag::kFormula, v); }
+  IpcMessage& AddString(std::string_view v) { return AddPayload(ArgTag::kString, v); }
+  IpcMessage& AddBytes(ByteView v) {
+    return AddPayload(ArgTag::kBytes,
+                      std::string_view(reinterpret_cast<const char*>(v.data()), v.size()));
+  }
+  IpcMessage& AddScalar(ArgTag tag, uint64_t v) {
+    if (!args.AddScalar(tag, v)) {
+      args_overflowed_ = true;
+    }
+    return *this;
+  }
+  IpcMessage& AddPayload(ArgTag tag, std::string_view v) {
+    if (!args.AddPayload(tag, v)) {
+      args_overflowed_ = true;
+    }
+    return *this;
+  }
+
+  // ---- Typed accessors. Status-returning, never throwing. Scalar
+  // accessors accept EXACTLY the matching tag plus kU64 (the generic
+  // integer) — a slot tagged kObject does not read back as a port;
+  // additionally, ArgU64/ArgProcess/ArgPort accept a kString slot holding
+  // decimal text — THE single validated decode point for untrusted legacy
+  // text (ParseDecimalU64 lives behind it and nowhere else). ArgObject
+  // re-validates a kU64-sourced id against the object table (unknown
+  // objects fail OPEN in the bootstrap policy, so a forged id must not
+  // ride in through the generic-integer coercion) and never coerces text:
+  // names must enter through the charged intern surfaces.
+  Result<uint64_t> ArgU64(size_t i) const;
+  Result<ProcessId> ArgProcess(size_t i) const;
+  Result<PortId> ArgPort(size_t i) const;
+  Result<ObjectId> ArgObject(size_t i) const;
+  Result<uint64_t> ArgFormula(size_t i) const;
+  Result<std::string_view> ArgString(size_t i) const;
+  Result<ByteView> ArgBytes(size_t i) const;
+
+  bool ArgIsString(size_t i) const {
+    return i < args.size() && args[i].tag() == ArgTag::kString;
+  }
+  // True when any slot carries a text/bytes payload — the arg-type audit
+  // hook for the zero-string hot-path assertion.
+  bool HasTextArgs() const {
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (!args[i].is_scalar()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // ---- Legacy-resolution state (kernel boundary machinery).
+  bool needs_op_resolution() const { return !legacy_op_.empty(); }
+  const std::string& legacy_op() const { return legacy_op_; }
+  // Installs the charged-interned id and drops the pending text.
+  void ResolveOp(OpId resolved) {
+    op = resolved;
+    legacy_op_.clear();
+  }
+  bool args_overflowed() const { return args_overflowed_; }
+
+  friend bool operator==(const IpcMessage& a, const IpcMessage& b) {
+    return a.op == b.op && a.legacy_op_ == b.legacy_op_ && a.args == b.args &&
+           a.data == b.data && a.args_overflowed_ == b.args_overflowed_;
+  }
+
+ private:
+  friend Result<IpcMessage> UnmarshalMessage(ByteView buffer);
+
+  std::string legacy_op_;
+  bool args_overflowed_ = false;
 };
 
 struct IpcReply {
@@ -45,11 +288,30 @@ class PortHandler {
   virtual IpcReply Handle(const IpcContext& context, const IpcMessage& message) = 0;
 };
 
-// Marshals a message into a flat buffer. The kernel performs this for every
-// interposed call (parameter marshaling is the dominant fixed cost of
-// interpositioning, §5.1).
-Bytes MarshalMessage(const IpcMessage& message);
+// Marshals a message into the flat v2 buffer the kernel produces for every
+// interposed call (§5.1): interned op (or a length-prefixed legacy op
+// name), one tag byte + payload per slot, length-prefixed data. Fails on
+// slot overflow or payloads past the wire bounds. UnmarshalMessage is
+// strict: truncated, oversized, trailing-byte, bad-tag, overlong-count,
+// and unknown-op-id buffers are all rejected whole.
+Result<Bytes> MarshalMessage(const IpcMessage& message);
 Result<IpcMessage> UnmarshalMessage(ByteView buffer);
+
+// The wire bounds as a pure check (slot overflow, per-payload and data
+// caps, legacy-op length) — applied by the kernel's NON-marshaling paths
+// too, so whether a message is accepted never depends on interposition
+// being enabled. O(slot count); no buffer is built.
+Status ValidateWireBounds(const IpcMessage& message);
+
+// The hoisted interned id of a syscall's operation name (interned once,
+// not per call — the syscall channel's marshal path is string-free).
+OpId SyscallOp(Syscall call);
+
+// Test-support counter: total text/bytes slot payloads (and legacy op
+// names) materialized on the heap by the IPC layer, process-wide. The
+// zero-string audit snapshots it around an interposed call with scalar
+// args and asserts it did not move.
+uint64_t IpcTextPayloadCount();
 
 }  // namespace nexus::kernel
 

@@ -327,19 +327,69 @@ std::vector<PortId> Kernel::Ports() const {
 
 // ------------------------------------------------------------------- IPC
 
+Status Kernel::ResolveLegacy(ProcessId caller, IpcMessage& message) {
+  if (!message.needs_op_resolution()) {
+    return OkStatus();
+  }
+  // A FromLegacy message with a never-before-seen operation name: the
+  // caller's quota root pays for the intern (satellite of the §2.9 name
+  // quotas — op names are caller-influenced on this surface).
+  Result<OpId> op = InternOpCharged(caller, message.legacy_op());
+  if (!op.ok()) {
+    return op.status();
+  }
+  message.ResolveOp(*op);
+  return OkStatus();
+}
+
 IpcReply Kernel::Call(ProcessId caller, PortId port, const IpcMessage& message) {
   if (!SnapshotPort(port).has_value()) {
     return IpcReply{NotFound("no such port"), {}, {}, 0};
   }
 
+  // Wire bounds and forged-id checks hold on BOTH paths below — whether a
+  // message is accepted never depends on a monitor being present — and run
+  // BEFORE any charged legacy resolution, so a message that would be
+  // rejected anyway cannot grow the op table or burn quota.
+  Status bounded = ValidateWireBounds(message);
+  if (!bounded.ok()) {
+    return IpcReply{bounded, {}, {}, 0};
+  }
+
   if (!interposition_enabled_.load()) {
-    return Dispatch(caller, port, message);
+    // Copy only when a legacy message needs resolution; typed messages
+    // dispatch by reference, untouched.
+    if (!message.needs_op_resolution()) {
+      return Dispatch(caller, port, message);
+    }
+    IpcMessage resolved = message;
+    Status legacy = ResolveLegacy(caller, resolved);
+    if (!legacy.ok()) {
+      return IpcReply{legacy, {}, {}, 0};
+    }
+    return Dispatch(caller, port, resolved);
   }
 
   // Marshal/unmarshal: every interposable call crosses a defined message
-  // boundary so monitors see (and can rewrite) a flat buffer.
-  Bytes wire = MarshalMessage(message);
-  Result<IpcMessage> unmarshaled = UnmarshalMessage(wire);
+  // boundary so monitors see (and can rewrite) a flat buffer. Legacy op
+  // names resolve (charged) before marshaling, so the wire carries the
+  // interned id and the hot path stays string-free — and typed messages
+  // marshal straight from the caller's buffer, no pre-copy.
+  const IpcMessage* source = &message;
+  IpcMessage resolved;
+  if (message.needs_op_resolution()) {
+    resolved = message;
+    Status legacy = ResolveLegacy(caller, resolved);
+    if (!legacy.ok()) {
+      return IpcReply{legacy, {}, {}, 0};
+    }
+    source = &resolved;
+  }
+  Result<Bytes> wire = MarshalMessage(*source);
+  if (!wire.ok()) {
+    return IpcReply{wire.status(), {}, {}, 0};
+  }
+  Result<IpcMessage> unmarshaled = UnmarshalMessage(*wire);
   if (!unmarshaled.ok()) {
     return IpcReply{unmarshaled.status(), {}, {}, 0};
   }
@@ -469,11 +519,25 @@ IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& messag
   }
 
   IpcMessage working = message;
+  // The syscall's own name overrides whatever the caller wrote in the op
+  // field — including a pending legacy name, which is simply dropped (the
+  // inner operation of ipc_call is an ARGUMENT, handled below).
+  working.ResolveOp(SyscallOp(call));
+  // Wire bounds (incl. slot overflow and forged ids) hold with or without
+  // interposition — see Call. Single enforcement point.
+  Status bounded = ValidateWireBounds(working);
+  if (!bounded.ok()) {
+    return IpcReply{bounded, {}, {}, 0};
+  }
   if (interposition_enabled_.load()) {
     // Per-syscall parameter marshaling plus the process's syscall-channel
-    // interceptor chain.
-    Bytes wire = MarshalMessage(message);
-    Result<IpcMessage> unmarshaled = UnmarshalMessage(wire);
+    // interceptor chain. Integer/id arguments cross this boundary as typed
+    // slots: no strings are built, hashed, or re-parsed here (§5.1).
+    Result<Bytes> wire = MarshalMessage(working);
+    if (!wire.ok()) {
+      return IpcReply{wire.status(), {}, {}, 0};
+    }
+    Result<IpcMessage> unmarshaled = UnmarshalMessage(*wire);
     if (!unmarshaled.ok()) {
       return IpcReply{unmarshaled.status(), {}, {}, 0};
     }
@@ -488,7 +552,6 @@ IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& messag
     }
     if (sys_port != 0) {
       IpcContext context{caller, sys_port};
-      working.operation = std::string(SyscallName(call));
       std::vector<Interceptor*> active;
       {
         std::shared_lock<std::shared_mutex> lock(interpose_mu_);
@@ -528,22 +591,25 @@ IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& messag
       if (fs_port == 0) {
         return IpcReply{Unavailable("no filesystem server"), {}, {}, 0};
       }
-      IpcMessage forwarded = working;
-      forwarded.operation = std::string(SyscallName(call));
       // Client-server microkernel architecture: the file operation is one
-      // more IPC hop to the user-level server (Table 1's 2-3x).
-      return Call(caller, fs_port, forwarded);
+      // more IPC hop to the user-level server (Table 1's 2-3x). The op is
+      // already the hoisted syscall id; no string is built for the hop.
+      return Call(caller, fs_port, working);
     }
     case Syscall::kProcRead: {
-      if (working.args.empty()) {
+      // Paths are inherently text; everything derived from one is memoized.
+      Result<std::string_view> path = working.ArgString(0);
+      if (!path.ok()) {
         return IpcReply{InvalidArgument("proc_read needs a path"), {}, {}, 0};
       }
-      // Interned fast path: the op id is hoisted once; the object name is
-      // caller-supplied and so interns through the charged surface (a
-      // process probing endless novel proc paths exhausts its own name
-      // quota, not the table).
+      // Interned fast path: the op id is hoisted once, and the
+      // "proc:<path>" object id is built exactly once per novel path —
+      // repeat reads find it in the memo with no concatenation. The memo
+      // miss interns through the charged surface (a process probing
+      // endless novel proc paths exhausts its own name quota, not the
+      // table).
       static const OpId read_op = InternOp("read");
-      Result<ObjectId> object = InternObjectCharged(caller, "proc:" + working.args[0]);
+      Result<ObjectId> object = ProcObjectFor(caller, *path);
       if (!object.ok()) {
         return IpcReply{object.status(), {}, {}, 0};
       }
@@ -551,7 +617,7 @@ IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& messag
       if (!authorized.ok()) {
         return IpcReply{authorized, {}, {}, 0};
       }
-      Result<std::string> value = procfs_.Read(working.args[0]);
+      Result<std::string> value = procfs_.Read(*path);
       if (!value.ok()) {
         return IpcReply{value.status(), {}, {}, 0};
       }
@@ -561,20 +627,37 @@ IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& messag
       if (working.args.empty()) {
         return IpcReply{InvalidArgument("ipc_call needs a port"), {}, {}, 0};
       }
-      // args[0] is caller-controlled: parse defensively (stoull would throw
-      // out of the kernel on "garbage" or a 100-digit number).
-      std::optional<uint64_t> parsed_port = ParseDecimalU64(working.args[0]);
-      if (!parsed_port.has_value()) {
-        return IpcReply{InvalidArgument("ipc_call: port must be a decimal id"), {}, {}, 0};
+      // args[0] is caller-controlled: a kPort/kU64 slot, or legacy decimal
+      // text (decoded at the single validated point in the accessor —
+      // garbage or a 100-digit number is InvalidArgument, never a throw).
+      Result<PortId> port = working.ArgPort(0);
+      if (!port.ok()) {
+        return IpcReply{InvalidArgument("ipc_call: port must be a port id"), {}, {}, 0};
       }
-      PortId port = static_cast<PortId>(*parsed_port);
-      IpcMessage inner = working;
-      inner.args.erase(inner.args.begin());
-      if (!inner.args.empty()) {
-        inner.operation = inner.args.front();
-        inner.args.erase(inner.args.begin());
+      IpcMessage inner;
+      if (working.args.size() > 1) {
+        // args[1] names the inner operation: typed callers pass the
+        // interned id (validated at unmarshal); script-style callers pass
+        // text, which resolves through the caller-charged op quota inside
+        // the nested Call.
+        ArgSlot op_slot = working.args[1];
+        if (op_slot.tag() == ArgTag::kString) {
+          inner = IpcMessage::FromLegacy(op_slot.text());
+        } else if (op_slot.tag() == ArgTag::kU64) {
+          if (!IsKnownOpId(op_slot.scalar())) {
+            return IpcReply{InvalidArgument("ipc_call: unknown op id"), {}, {}, 0};
+          }
+          inner.op = static_cast<OpId>(op_slot.scalar());
+        } else {
+          return IpcReply{InvalidArgument("ipc_call: operation must be an op id or text"),
+                          {},
+                          {},
+                          0};
+        }
+        inner.args = working.args.Tail(2);
       }
-      return Call(caller, port, inner);
+      inner.data = std::move(working.data);
+      return Call(caller, *port, inner);
     }
     case Syscall::kSay:
     case Syscall::kSetGoal:
@@ -619,13 +702,18 @@ Status Kernel::Authorize(const AuthzRequest& request) {
 
 Status Kernel::Authorize(ProcessId subject, std::string_view operation,
                          std::string_view object) {
-  // The untrusted string surface: the object name is charged to the
-  // subject's quota root before it can grow the intern table.
+  // The untrusted string surface: BOTH names are caller-influenced here,
+  // so each is charged to the subject's quota root before it can grow its
+  // intern table.
+  Result<OpId> op = InternOpCharged(subject, operation);
+  if (!op.ok()) {
+    return op.status();
+  }
   Result<ObjectId> obj = InternObjectCharged(subject, object);
   if (!obj.ok()) {
     return obj.status();
   }
-  return Authorize(AuthzRequest{subject, InternOp(operation), *obj});
+  return Authorize(AuthzRequest{subject, *op, *obj});
 }
 
 std::vector<Status> Kernel::AuthorizeBatch(std::span<const AuthzRequest> requests) {
@@ -666,7 +754,47 @@ std::vector<Status> Kernel::AuthorizeBatch(std::span<const AuthzRequest> request
   return results;
 }
 
+namespace {
+
+// Shared §2.9 charge path for both name tables: a genuinely novel name is
+// charged to `root`; a root at its cap is denied with a reason BEFORE the
+// table can grow. Caller holds the quota mutex.
+Result<uint32_t> InternChargedLocked(NameTable& table, std::string_view name,
+                                     std::string_view what, ProcessId root, size_t cap,
+                                     std::unordered_map<ProcessId, size_t>& charges) {
+  size_t& charged = charges[root];
+  if (charged >= cap) {
+    return ResourceExhausted(std::string(what) + " name quota exhausted for quota root " +
+                             std::to_string(root) + " (" + std::to_string(cap) +
+                             " novel names); denied before interning \"" +
+                             std::string(name) + "\"");
+  }
+  bool created = false;
+  uint32_t id = table.Intern(name, &created);
+  if (created) {
+    ++charged;
+  }
+  return id;
+}
+
+}  // namespace
+
+ProcessId Kernel::QuotaRootOf(ProcessId subject) const {
+  const ProcessShard& shard = process_shards_[ShardOfId(subject)];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.procs.find(subject);
+  return it != shard.procs.end() ? it->second.quota_root : subject;
+}
+
 Result<ObjectId> Kernel::InternObjectCharged(ProcessId subject, std::string_view object) {
+  // Length-bounded like the op side: the quota caps the COUNT of novel
+  // names, so without a size bound each charge could pin arbitrary memory
+  // in the immortal append-only table. The bound is the wire's per-slot
+  // payload cap plus headroom for server-added prefixes ("file:", "proc:",
+  // "port:<id>") — a maximum-length path the wire accepts must intern.
+  if (object.size() > kMaxObjectNameLen) {
+    return InvalidArgument("object name too long");
+  }
   size_t cap = object_name_quota_.load();
   if (cap == 0) {
     return InternObject(object);  // Quotas disabled.
@@ -678,31 +806,77 @@ Result<ObjectId> Kernel::InternObjectCharged(ProcessId subject, std::string_view
   if (existing.has_value()) {
     return *existing;
   }
-  ProcessId root = subject;
-  {
-    const ProcessShard& shard = process_shards_[ShardOfId(subject)];
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
-    auto it = shard.procs.find(subject);
-    if (it != shard.procs.end()) {
-      root = it->second.quota_root;
-    }
-  }
+  ProcessId root = QuotaRootOf(subject);
   // Charging serializes on one mutex, but only for genuinely novel names —
   // a workload that stays inside its working set never lands here.
   std::lock_guard<std::mutex> lock(name_quota_mu_);
-  size_t& charged = object_names_charged_[root];
-  if (charged >= cap) {
-    return ResourceExhausted(
-        "object name quota exhausted for quota root " + std::to_string(root) + " (" +
-        std::to_string(cap) + " novel names); denied before interning \"" +
-        std::string(object) + "\"");
+  return InternChargedLocked(ObjectTable(), object, "object", root, cap,
+                             object_names_charged_);
+}
+
+Result<OpId> Kernel::InternOpCharged(ProcessId subject, std::string_view operation) {
+  // Length-bounded on every untrusted surface (FromLegacy resolution, the
+  // Authorize string shim, the guard port's text form): operation names
+  // are a tiny vocabulary, and an unbounded one would let each quota
+  // charge pin arbitrary memory in the append-only table.
+  if (operation.size() > kMaxLegacyOpName) {
+    return InvalidArgument("operation name too long");
   }
-  bool created = false;
-  ObjectId id = ObjectTable().Intern(object, &created);
-  if (created) {
-    ++charged;
+  size_t cap = op_name_quota_.load();
+  if (cap == 0) {
+    return InternOp(operation);  // Quotas disabled.
   }
-  return id;
+  std::optional<OpId> existing = FindOp(operation);
+  if (existing.has_value()) {
+    return *existing;  // The entire legitimate op vocabulary lands here.
+  }
+  ProcessId root = QuotaRootOf(subject);
+  std::lock_guard<std::mutex> lock(name_quota_mu_);
+  return InternChargedLocked(OpTable(), operation, "operation", root, cap,
+                             op_names_charged_);
+}
+
+Result<OpId> Kernel::ResolveOpArg(ProcessId caller, const IpcMessage& message, size_t i) {
+  if (message.ArgIsString(i)) {
+    return InternOpCharged(caller, *message.ArgString(i));
+  }
+  Result<uint64_t> op = message.ArgU64(i);
+  if (!op.ok()) {
+    return op.status();
+  }
+  // Same forged-id rule as every other untrusted carrier: a 64-bit value
+  // that names no interned operation must not silently truncate onto one.
+  if (!IsKnownOpId(*op)) {
+    return InvalidArgument("argument slot " + std::to_string(i) + " is not a known op id");
+  }
+  return static_cast<OpId>(*op);
+}
+
+Result<ObjectId> Kernel::ResolveObjectArg(ProcessId caller, const IpcMessage& message,
+                                          size_t i) {
+  if (message.ArgIsString(i)) {
+    return InternObjectCharged(caller, *message.ArgString(i));
+  }
+  return message.ArgObject(i);
+}
+
+Result<ObjectId> Kernel::ProcObjectFor(ProcessId caller, std::string_view path) {
+  {
+    std::shared_lock<std::shared_mutex> lock(proc_memo_mu_);
+    auto it = proc_object_memo_.find(path);
+    if (it != proc_object_memo_.end()) {
+      return it->second;  // Memoized: no concatenation, no intern probe.
+    }
+  }
+  // First sight of this path: build "proc:<path>" once and intern it
+  // through the charged surface. Quota denials are NOT memoized — a root
+  // whose budget frees up (quota raised at runtime) must be able to retry.
+  Result<ObjectId> object = InternObjectCharged(caller, "proc:" + std::string(path));
+  if (object.ok()) {
+    std::unique_lock<std::shared_mutex> lock(proc_memo_mu_);
+    proc_object_memo_.emplace(std::string(path), *object);
+  }
+  return object;
 }
 
 void Kernel::OnProofUpdate(const AuthzRequest& request) {

@@ -35,6 +35,11 @@
 
 namespace nexus::kernel {
 
+// Longest object name the charged intern surface accepts: the wire's
+// per-slot payload cap plus headroom for the prefixes resource servers
+// prepend to caller paths ("file:", "proc:", "port:<id>").
+inline constexpr size_t kMaxObjectNameLen = kMaxArgPayload + 64;
+
 // Verdict from an IPC interceptor (§3.2): the reference monitor may inspect
 // and modify the message, then allow or block the call.
 enum class InterposeVerdict : uint8_t { kAllow, kDeny };
@@ -209,11 +214,12 @@ class Kernel {
   // forwards. It MUST intern (not Find): unknown names still reach the
   // pluggable engine, whose policy for them is its own (a deny-all engine
   // denies names nobody ever registered). Growth through this untrusted
-  // surface is BOUNDED: object names interned here are charged to the
-  // subject's quota root, and a root past `object_name_quota()` is denied
+  // surface is BOUNDED: BOTH names interned here are charged to the
+  // subject's quota root — objects against `object_name_quota()`, ops
+  // against `op_name_quota()` — and a root past its cap is denied
   // outright (§2.9 applied to the name tables) — a workload probing with
-  // endless novel object names can no longer grow the table for the
-  // process lifetime.
+  // endless novel names can no longer grow either table for the process
+  // lifetime.
   //
   // Authorize and AuthorizeBatch are the kernel's CONCURRENT frontend:
   // cache hits contend only on the subject's shard; misses upcall the
@@ -239,6 +245,23 @@ class Kernel {
   void set_object_name_quota(size_t cap) { object_name_quota_.store(cap); }
   size_t object_name_quota() const { return object_name_quota_.load(); }
 
+  // The op-table mirror of InternObjectCharged: operation names are also
+  // caller-influenced (the Authorize string shim, IpcMessage::FromLegacy
+  // messages arriving over Call/Invoke/ipc_call), so novel ones are
+  // charged to the subject's quota root and denied with a reason past
+  // `op_name_quota()`. Names past kMaxLegacyOpName are rejected. The
+  // legitimate op vocabulary is tiny and interned by servers at startup,
+  // so a charge here almost always means probing.
+  Result<OpId> InternOpCharged(ProcessId subject, std::string_view operation);
+  void set_op_name_quota(size_t cap) { op_name_quota_.store(cap); }
+  size_t op_name_quota() const { return op_name_quota_.load(); }
+
+  // The one untrusted-text policy for v1-compatible port handlers, in one
+  // place: slot `i` as an op/object — typed ids pass through, legacy text
+  // NAMES intern through the charged surfaces above (billed to `caller`).
+  Result<OpId> ResolveOpArg(ProcessId caller, const IpcMessage& message, size_t i);
+  Result<ObjectId> ResolveObjectArg(ProcessId caller, const IpcMessage& message, size_t i);
+
   // Invalidation entry points, called by the core layer when proofs or
   // goals change (§2.8).
   void OnProofUpdate(const AuthzRequest& request);
@@ -253,6 +276,13 @@ class Kernel {
   // ----------------------------------------------------------- Services
   IntrospectionFs& procfs() { return procfs_; }
   const IntrospectionFs& procfs() const { return procfs_; }
+  // Introspection for the proc-read object memo ("proc:<path>" ids are
+  // built once per novel path, then served from here with no string
+  // concatenation — the procfs mirror of the file server's fd memo).
+  size_t ProcObjectMemoSize() const {
+    std::shared_lock<std::shared_mutex> lock(proc_memo_mu_);
+    return proc_object_memo_.size();
+  }
   Scheduler& scheduler() { return *scheduler_; }
   void ReplaceScheduler(std::unique_ptr<Scheduler> scheduler);
 
@@ -297,6 +327,17 @@ class Kernel {
   IpcReply Dispatch(ProcessId caller, PortId port, const IpcMessage& message);
   void PublishProcessNodes(const Process& process);
 
+  // The kernel boundary for legacy messages: resolves a pending FromLegacy
+  // operation name through the caller-charged op quota and rejects slot
+  // overflow. `message` is mutated in place (callers pass their working
+  // copy). No-op for typed messages — the hot path never pays.
+  Status ResolveLegacy(ProcessId caller, IpcMessage& message);
+  // The memoized "proc:<path>" object id (interning charged to `caller`
+  // on first sight of the path).
+  Result<ObjectId> ProcObjectFor(ProcessId caller, std::string_view path);
+  // The §2.9 ancestor charged for `subject`'s name-table growth.
+  ProcessId QuotaRootOf(ProcessId subject) const;
+
   std::string kernel_principal_name_ = "Nexus";
   ProcessShard process_shards_[kTableShards];
   PortShard port_shards_[kTableShards];
@@ -326,10 +367,20 @@ class Kernel {
   std::atomic<bool> decision_cache_enabled_{true};
   DecisionCache decision_cache_;
 
-  // §2.9 name quotas for the untrusted intern surface.
+  // §2.9 name quotas for the untrusted intern surfaces. The op vocabulary
+  // is orders of magnitude smaller than the object space, so its default
+  // cap is too.
   std::atomic<size_t> object_name_quota_{65536};
+  std::atomic<size_t> op_name_quota_{4096};
   std::mutex name_quota_mu_;
   std::unordered_map<ProcessId, size_t> object_names_charged_;
+  std::unordered_map<ProcessId, size_t> op_names_charged_;
+
+  // proc-read path -> interned "proc:<path>" ObjectId (satellite of the
+  // interned-fast-path arc: the last remaining per-call string build).
+  mutable std::shared_mutex proc_memo_mu_;
+  std::unordered_map<std::string, ObjectId, TransparentStringHash, TransparentStringEq>
+      proc_object_memo_;
 
   IntrospectionFs procfs_;
   std::unique_ptr<Scheduler> scheduler_;

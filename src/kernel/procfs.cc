@@ -52,13 +52,13 @@ void IntrospectionFs::RemoveOwned(ProcessId owner) {
   }
 }
 
-Result<std::string> IntrospectionFs::Read(const std::string& path) const {
+Result<std::string> IntrospectionFs::Read(std::string_view path) const {
   Provider provider;
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = nodes_.find(path);
     if (it == nodes_.end()) {
-      return NotFound("no introspection node at " + path);
+      return NotFound("no introspection node at " + std::string(path));
     }
     provider = it->second.provider;
   }
@@ -67,11 +67,11 @@ Result<std::string> IntrospectionFs::Read(const std::string& path) const {
   return provider();
 }
 
-Result<ProcessId> IntrospectionFs::Owner(const std::string& path) const {
+Result<ProcessId> IntrospectionFs::Owner(std::string_view path) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = nodes_.find(path);
   if (it == nodes_.end()) {
-    return NotFound("no introspection node at " + path);
+    return NotFound("no introspection node at " + std::string(path));
   }
   return it->second.owner;
 }

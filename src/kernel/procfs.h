@@ -47,11 +47,12 @@ class IntrospectionFs {
   // Removes every node owned by a process (process exit).
   void RemoveOwned(ProcessId owner);
 
-  // Reads a node's current value.
-  Result<std::string> Read(const std::string& path) const;
+  // Reads a node's current value. Takes a view so the typed-slot proc_read
+  // syscall can look a path up without materializing a key string.
+  Result<std::string> Read(std::string_view path) const;
 
   // Returns the owner of a node (for attribution).
-  Result<ProcessId> Owner(const std::string& path) const;
+  Result<ProcessId> Owner(std::string_view path) const;
 
   // Lists direct children of a directory path ("/proc/ipd" lists process
   // nodes). A node x/y/z makes x and x/y directories.
@@ -78,7 +79,8 @@ class IntrospectionFs {
   };
 
   mutable std::shared_mutex mu_;
-  std::map<std::string, Node> nodes_;
+  // Transparent comparator: lookups by string_view allocate nothing.
+  std::map<std::string, Node, std::less<>> nodes_;
   std::map<uint64_t, WatchEntry> watchers_;
   uint64_t next_watch_token_ = 1;
 };

@@ -8,6 +8,7 @@
 #ifndef NEXUS_KERNEL_TYPES_H_
 #define NEXUS_KERNEL_TYPES_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <mutex>
@@ -43,6 +44,18 @@ inline uint64_t Mix64(uint64_t x) {
   x ^= x >> 31;
   return x;
 }
+
+// Transparent string hash/equality: heterogeneous string_view lookups on
+// std::unordered_map<std::string, ...> allocate no key string. Shared by
+// the intern tables and every path-memo map (fileserver, proc memo).
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const { return std::hash<std::string_view>{}(s); }
+};
+struct TransparentStringEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const { return a == b; }
+};
 
 // An append-only string intern table: name -> id, id -> name.
 //
@@ -84,10 +97,26 @@ class NameTable {
     stripe.names.emplace_back(name);
     uint32_t id = EncodeId(StripeOf(name), static_cast<uint32_t>(stripe.names.size() - 1));
     stripe.index.emplace(stripe.names.back(), id);
+    // Publish existence AFTER the entry is fully constructed: Contains()
+    // readers pair with this release and never observe a half-built slot.
+    stripe.count.store(static_cast<uint32_t>(stripe.names.size()), std::memory_order_release);
     if (created != nullptr) {
       *created = true;
     }
     return id;
+  }
+
+  // LOCK-FREE existence check: was `id` ever handed out by this table?
+  // (id 0, the reserved empty name, always exists.) This is the hot-path
+  // forged-id validation — one atomic load, no stripe lock, because it
+  // needs only existence, not the name.
+  bool Contains(uint32_t id) const {
+    if (id == 0) {
+      return true;
+    }
+    const Stripe& stripe = stripes_[id & kStripeMask];
+    uint32_t local = (id >> kStripeBits) - 1;
+    return local < stripe.count.load(std::memory_order_acquire);
   }
 
   // Lookup without insertion: the id if `name` was ever interned, nullopt
@@ -131,19 +160,14 @@ class NameTable {
   }
 
  private:
-  struct Hash {
-    using is_transparent = void;
-    size_t operator()(std::string_view s) const { return std::hash<std::string_view>{}(s); }
-  };
-  struct Eq {
-    using is_transparent = void;
-    bool operator()(std::string_view a, std::string_view b) const { return a == b; }
-  };
   struct Stripe {
     mutable std::shared_mutex mu;
     // deque keeps the strings' addresses stable for the string_view keys.
     std::deque<std::string> names;
-    std::unordered_map<std::string_view, uint32_t, Hash, Eq> index;
+    std::unordered_map<std::string_view, uint32_t, TransparentStringHash, TransparentStringEq>
+        index;
+    // Published entry count for the lock-free Contains() probe.
+    std::atomic<uint32_t> count{0};
   };
 
   static constexpr uint32_t kStripeBits = 3;
@@ -175,6 +199,18 @@ inline std::optional<ObjectId> FindObject(std::string_view object) {
 }
 inline std::string_view OpName(OpId id) { return OpTable().Name(id); }
 inline std::string_view ObjectName(ObjectId id) { return ObjectTable().Name(id); }
+
+// Is this 64-bit value a real intern handle (or the reserved empty id 0)?
+// THE validation for ids arriving from untrusted carriers (wire slots,
+// ipc_call arguments, generic-integer coercions): a forged object id would
+// reach the fail-OPEN "unregistered object" bootstrap policy, so every
+// entry point must apply the same rule.
+inline bool IsKnownOpId(uint64_t id) {
+  return id <= 0xffffffffULL && OpTable().Contains(static_cast<OpId>(id));
+}
+inline bool IsKnownObjectId(uint64_t id) {
+  return id <= 0xffffffffULL && ObjectTable().Contains(static_cast<ObjectId>(id));
+}
 
 // One authorization question: may `subject` perform `op` on `obj`? The
 // interned form is the canonical currency of the authorization stack; the
@@ -247,6 +283,11 @@ enum class Syscall : uint8_t {
   kIpcCall,
   kProcRead,
 };
+
+// Number of Syscall enumerators; SyscallOp sizes its hoisted-id table from
+// this. The static_assert in ipc.cc names the last enumerator — appending
+// a syscall without updating both is a compile error, not a silent op-0.
+inline constexpr size_t kSyscallCount = 14;
 
 std::string_view SyscallName(Syscall call);
 

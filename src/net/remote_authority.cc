@@ -1,5 +1,6 @@
 #include "net/remote_authority.h"
 
+#include "kernel/ipc.h"
 #include "nal/parser.h"
 #include "util/bytes.h"
 
@@ -28,8 +29,15 @@ bool AuthorityService::Evaluate(const nal::Formula& statement) {
 
 Result<Bytes> AuthorityService::Handle(AttestedChannel& channel, ByteView request) {
   (void)channel;
-  Result<nal::Formula> statement = nal::ParseFormula(ToString(request));
   Bytes reply(1, 0);  // Default: deny.
+  // The statement is untrusted remote text; it shares the IPC ABI's
+  // per-payload wire bound, so a hostile peer cannot feed the NAL parser
+  // an arbitrarily large formula.
+  if (request.size() > kernel::kMaxArgPayload) {
+    ++queries_served_;
+    return reply;
+  }
+  Result<nal::Formula> statement = nal::ParseFormula(ToString(request));
   if (!statement.ok()) {
     ++queries_served_;
     return reply;
@@ -59,6 +67,12 @@ Result<Bytes> AuthorityService::HandleBatch(ByteView request) {
     Result<Bytes> text = reader.ReadLengthPrefixed();
     if (!text.ok()) {
       break;  // Remaining statements stay denied.
+    }
+    // Same per-statement bound as the single-query surface: an oversized
+    // statement is a deny, and the rest of the batch still answers.
+    if (text->size() > kernel::kMaxArgPayload) {
+      ++queries_served_;
+      continue;
     }
     Result<nal::Formula> statement = nal::ParseFormula(ToString(*text));
     if (!statement.ok()) {

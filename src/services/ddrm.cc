@@ -7,10 +7,16 @@ namespace nexus::services {
 
 namespace {
 
-nal::Formula AllowsFormula(const std::string& operation) {
+// Hoisted: the content-access and IPC-target policy hooks compare interned
+// ids, not operation strings, on every intercepted call.
+const kernel::OpId kReadPageOp = kernel::InternOp("read_page");
+const kernel::OpId kWritePageOp = kernel::InternOp("write_page");
+const kernel::OpId kIpcSendOp = kernel::InternOp("ipc_send");
+
+nal::Formula AllowsFormula(std::string_view operation) {
   return nal::FormulaNode::Says(
       nal::Principal("Policy"),
-      nal::FormulaNode::Pred("allows", {nal::Term::Symbol(operation)}));
+      nal::FormulaNode::Pred("allows", {nal::Term::Symbol(std::string(operation))}));
 }
 
 }  // namespace
@@ -26,22 +32,22 @@ bool DeviceDriverMonitor::Evaluate(const kernel::IpcMessage& message) {
   // The policy question "may this driver invoke <op>?" is discharged as a
   // proof check against the policy labels — the guard machinery a Nexus
   // reference monitor really runs. The memo above caches its outcome.
-  nal::Formula goal = AllowsFormula(message.operation);
+  nal::Formula goal = AllowsFormula(message.operation());
   nal::CheckResult checked =
       nal::CheckProof(nal::proof::Premise(goal), goal, policy_credentials_);
   if (!checked.status.ok()) {
     return false;
   }
   if (!policy_.allow_page_content_access &&
-      (message.operation == "read_page" || message.operation == "write_page")) {
+      (message.op == kReadPageOp || message.op == kWritePageOp)) {
     return false;
   }
-  if (message.operation == "ipc_send" && !policy_.allowed_ipc_targets.empty()) {
-    if (message.args.empty()) {
-      return false;
-    }
-    kernel::PortId target = static_cast<kernel::PortId>(std::stoull(message.args[0]));
-    if (!policy_.allowed_ipc_targets.contains(target)) {
+  if (message.op == kIpcSendOp && !policy_.allowed_ipc_targets.empty()) {
+    // The target port is an integer slot (or legacy decimal text, decoded
+    // at the accessor's single validated point — malformed text is a deny,
+    // never a std::stoull throw out of the monitor).
+    Result<kernel::PortId> target = message.ArgPort(0);
+    if (!target.ok() || !policy_.allowed_ipc_targets.contains(*target)) {
       return false;
     }
   }
@@ -52,11 +58,22 @@ kernel::InterposeVerdict DeviceDriverMonitor::OnCall(const kernel::IpcContext& c
                                                      kernel::IpcMessage& message) {
   (void)context;
   bool allowed;
-  if (cache_decisions_) {
-    std::string key = message.operation;
-    if (message.operation == "ipc_send" && !message.args.empty()) {
-      key += "\x1f" + message.args[0];
+  // Only memoize calls the integer key can represent faithfully: a
+  // resolved op, and — for ipc_send — a parseable target. Everything else
+  // (unresolved legacy ops reaching OnCall directly, garbage targets)
+  // evaluates fresh, so no verdict is ever replayed for a different call
+  // shape than the one that produced it.
+  bool memoizable = cache_decisions_ && !message.needs_op_resolution();
+  MemoKey key{message.op, MemoShape::kPlain, 0};
+  if (memoizable && message.op == kIpcSendOp && !message.args.empty()) {
+    Result<kernel::PortId> target = message.ArgPort(0);
+    if (target.ok()) {
+      key = MemoKey{message.op, MemoShape::kTarget, *target};
+    } else {
+      memoizable = false;
     }
+  }
+  if (memoizable) {
     auto it = decision_memo_.find(key);
     if (it != decision_memo_.end()) {
       allowed = it->second;

@@ -10,8 +10,10 @@
 #ifndef NEXUS_SERVICES_DDRM_H_
 #define NEXUS_SERVICES_DDRM_H_
 
+#include <map>
 #include <set>
 #include <string>
+#include <tuple>
 
 #include "core/engine.h"
 #include "kernel/kernel.h"
@@ -54,9 +56,15 @@ class DeviceDriverMonitor : public kernel::Interceptor {
 
   DdrmPolicy policy_;
   bool cache_decisions_;
-  // Verdict memo keyed by operation (+first arg for ipc_send); models the
+  // Verdict memo keyed by (interned op id, arg shape, target): models the
   // reference-monitor decision cache measured in Fig. 7 (min vs max).
-  std::map<std::string, bool> decision_memo_;
+  // Integer keys — the cached path builds no strings (typed ABI v2). The
+  // shape discriminator keeps a no-arg ipc_send distinct from "port 0",
+  // and calls the memo cannot key faithfully (unresolved legacy ops,
+  // unparseable targets) are simply not memoized.
+  enum class MemoShape : uint8_t { kPlain, kTarget };
+  using MemoKey = std::tuple<kernel::OpId, MemoShape, uint64_t>;
+  std::map<MemoKey, bool> decision_memo_;
   // The uncached path evaluates the policy as the paper's monitors do: a
   // NAL proof check of `Policy says allows(<op>)` against the policy's
   // labels. Pre-built at construction.

@@ -134,7 +134,8 @@ TEST_F(FauxbookTest, ResourceAttestationFromSchedulerState) {
 }
 
 TEST_F(FauxbookTest, DriverMonitorBlocksContentAccess) {
-  kernel::IpcMessage read_page{"read_page", {"0"}, {}};
+  kernel::IpcMessage read_page = kernel::IpcMessage::Of("read_page");
+  read_page.AddU64(0);
   kernel::IpcReply reply =
       nexus_.kernel().Call(fauxbook_.driver_pid(),
                            /*port=*/*nexus_.kernel().SyscallPort(fauxbook_.driver_pid()),
@@ -143,7 +144,8 @@ TEST_F(FauxbookTest, DriverMonitorBlocksContentAccess) {
   kernel::IpcContext context;
   EXPECT_EQ(fauxbook_.driver_monitor().OnCall(context, read_page),
             kernel::InterposeVerdict::kDeny);
-  kernel::IpcMessage dma{"dma_setup", {"0"}, {}};
+  kernel::IpcMessage dma = kernel::IpcMessage::Of("dma_setup");
+  dma.AddU64(0);
   EXPECT_EQ(fauxbook_.driver_monitor().OnCall(context, dma),
             kernel::InterposeVerdict::kAllow);
 }

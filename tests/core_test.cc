@@ -468,23 +468,25 @@ TEST(GuardPortHandlerTest, GarbageSubjectReturnsInvalidArgument) {
   ASSERT_TRUE(goals.SetGoal("op", "obj", F("A says ok()")).ok());
   GuardPortHandler handler(&guard, &goals);
 
+  // v1-shaped text arguments, as a script-style caller would send them
+  // (the kernel resolves the "check" op before dispatch; the ARGS stay
+  // text and must be decoded defensively by the handler).
+  auto check_msg = [](std::string subject) {
+    kernel::IpcMessage msg = kernel::IpcMessage::Of("check");
+    msg.AddString(subject).AddString("op").AddString("obj").AddString(
+        "(premise \"A says ok()\")");
+    return msg;
+  };
   kernel::IpcContext context{1, 1};
-  kernel::IpcMessage garbage;
-  garbage.operation = "check";
-  garbage.args = {"garbage", "op", "obj", "(premise \"A says ok()\")"};
-  kernel::IpcReply reply = handler.Handle(context, garbage);
+  kernel::IpcReply reply = handler.Handle(context, check_msg("garbage"));
   EXPECT_EQ(reply.status.code(), ErrorCode::kInvalidArgument);
 
   // std::out_of_range surface: a subject bigger than uint64.
-  kernel::IpcMessage huge = garbage;
-  huge.args[0] = "123456789012345678901234567890";
-  reply = handler.Handle(context, huge);
+  reply = handler.Handle(context, check_msg("123456789012345678901234567890"));
   EXPECT_EQ(reply.status.code(), ErrorCode::kInvalidArgument);
 
   // A well-formed subject still goes through the full guard path.
-  kernel::IpcMessage valid = garbage;
-  valid.args[0] = "7";
-  reply = handler.Handle(context, valid);
+  reply = handler.Handle(context, check_msg("7"));
   EXPECT_NE(reply.status.code(), ErrorCode::kInvalidArgument);
 }
 

@@ -368,7 +368,7 @@ TEST(MtAuthzStressTest, AuthorizeMissesVsProcessAndPortLifecycleChurn) {
         if (i % 16 == 0) {
           // A syscall through the interposition+procfs surface, mid-churn.
           kernel::IpcMessage msg;
-          msg.args = {"/proc/kernel/name"};
+          msg.AddString("/proc/kernel/name");
           kernel::IpcReply reply =
               kernel.Invoke(subjects[t], kernel::Syscall::kProcRead, msg);
           if (reply.status.ok()) {

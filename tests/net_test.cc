@@ -420,6 +420,35 @@ TEST(RemoteAuthorityTest, MalformedBatchCountIsRejectedWithoutAllocation) {
   EXPECT_EQ(w.service.queries_served(), 0u);
 }
 
+TEST(RemoteAuthorityTest, OversizedStatementsAreDeniedNotParsed) {
+  // The authority wire handlers share the IPC ABI's per-payload bound: a
+  // hostile peer cannot feed the NAL parser an arbitrarily large formula.
+  // Oversized statements are denied; well-formed neighbors still answer.
+  RemoteAuthorityWorld w;
+  Result<AttestedChannel*> channel = w.node_a->Connect("b");
+  ASSERT_TRUE(channel.ok());
+
+  // Single-query surface.
+  Bytes huge(kernel::kMaxArgPayload + 1, 'x');
+  Result<Bytes> reply = (*channel)->Call(std::string(AuthorityService::kServiceName), huge,
+                                         /*timeout_us=*/100000);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->size(), 1u);
+  EXPECT_EQ((*reply)[0], 0);  // Denied, not parsed.
+
+  // Batch surface: [oversized, valid] answers [deny, vouch].
+  Bytes batch;
+  AppendU32(batch, 2);
+  AppendLengthPrefixed(batch, huge);
+  AppendLengthPrefixed(batch, ToBytes(std::string("Session says sessionActive(alice)")));
+  reply = (*channel)->Call(std::string(AuthorityService::kBatchServiceName), batch,
+                           /*timeout_us=*/100000);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->size(), 2u);
+  EXPECT_EQ((*reply)[0], 0);
+  EXPECT_EQ((*reply)[1], 1);
+}
+
 TEST(RemoteAuthorityTest, BatchedGuardIssuesOneRoundTripForIdenticalLeaves) {
   // The acceptance bar for the batched API: K requests whose proofs all
   // lean on the SAME remote-authority statement cost ONE attested round

@@ -187,8 +187,8 @@ TEST(DdrmTest, EnforcesOperationWhitelist) {
   policy.allowed_operations = {"dma_setup", "send"};
   DeviceDriverMonitor monitor(policy);
   kernel::IpcContext context;
-  kernel::IpcMessage ok_msg{"send", {}, {}};
-  kernel::IpcMessage bad_msg{"format_disk", {}, {}};
+  kernel::IpcMessage ok_msg = kernel::IpcMessage::Of("send");
+  kernel::IpcMessage bad_msg = kernel::IpcMessage::Of("format_disk");
   EXPECT_EQ(monitor.OnCall(context, ok_msg), kernel::InterposeVerdict::kAllow);
   EXPECT_EQ(monitor.OnCall(context, bad_msg), kernel::InterposeVerdict::kDeny);
   EXPECT_EQ(monitor.stats().allowed, 1u);
@@ -201,9 +201,11 @@ TEST(DdrmTest, BlocksPageContentAccess) {
   policy.allow_page_content_access = false;
   DeviceDriverMonitor monitor(policy);
   kernel::IpcContext context;
-  kernel::IpcMessage read_page{"read_page", {"0x1000"}, {}};
+  kernel::IpcMessage read_page = kernel::IpcMessage::Of("read_page");
+  read_page.AddU64(0x1000);
   EXPECT_EQ(monitor.OnCall(context, read_page), kernel::InterposeVerdict::kDeny);
-  kernel::IpcMessage dma{"dma_setup", {"0x1000"}, {}};
+  kernel::IpcMessage dma = kernel::IpcMessage::Of("dma_setup");
+  dma.AddU64(0x1000);
   EXPECT_EQ(monitor.OnCall(context, dma), kernel::InterposeVerdict::kAllow);
 }
 
@@ -213,10 +215,39 @@ TEST(DdrmTest, RestrictsIpcTargets) {
   policy.allowed_ipc_targets = {7};
   DeviceDriverMonitor monitor(policy);
   kernel::IpcContext context;
-  kernel::IpcMessage to_webserver{"ipc_send", {"7"}, {}};
-  kernel::IpcMessage to_other{"ipc_send", {"9"}, {}};
+  // One typed port slot, one legacy decimal string: both decode.
+  kernel::IpcMessage to_webserver = kernel::IpcMessage::Of("ipc_send");
+  to_webserver.AddPort(7);
+  kernel::IpcMessage to_other = kernel::IpcMessage::Of("ipc_send");
+  to_other.AddString("9");
   EXPECT_EQ(monitor.OnCall(context, to_webserver), kernel::InterposeVerdict::kAllow);
   EXPECT_EQ(monitor.OnCall(context, to_other), kernel::InterposeVerdict::kDeny);
+}
+
+TEST(DdrmTest, MemoDoesNotCollapseDistinctCallShapes) {
+  // Regression: the integer memo key must keep "ipc_send to port 0"
+  // distinct from "ipc_send with no target" — a cached allow for the
+  // former must never be replayed for the latter (which Evaluate denies
+  // when a target whitelist is configured).
+  DdrmPolicy policy;
+  policy.allowed_operations = {"ipc_send"};
+  policy.allowed_ipc_targets = {0};
+  DeviceDriverMonitor monitor(policy, /*cache_decisions=*/true);
+  kernel::IpcContext context;
+  kernel::IpcMessage to_zero = kernel::IpcMessage::Of("ipc_send");
+  to_zero.AddPort(0);
+  EXPECT_EQ(monitor.OnCall(context, to_zero), kernel::InterposeVerdict::kAllow);
+  kernel::IpcMessage no_target = kernel::IpcMessage::Of("ipc_send");
+  EXPECT_EQ(monitor.OnCall(context, no_target), kernel::InterposeVerdict::kDeny);
+  // Cached repeats keep their own verdicts.
+  EXPECT_EQ(monitor.OnCall(context, to_zero), kernel::InterposeVerdict::kAllow);
+  EXPECT_EQ(monitor.OnCall(context, no_target), kernel::InterposeVerdict::kDeny);
+  // Unresolved legacy ops reaching OnCall directly are never memoized, so
+  // two distinct never-interned operations cannot share a verdict.
+  kernel::IpcMessage legacy_a = kernel::IpcMessage::FromLegacy("ddrm-legacy-novel-a");
+  kernel::IpcMessage legacy_b = kernel::IpcMessage::FromLegacy("ddrm-legacy-novel-b");
+  EXPECT_EQ(monitor.OnCall(context, legacy_a), kernel::InterposeVerdict::kDeny);
+  EXPECT_EQ(monitor.OnCall(context, legacy_b), kernel::InterposeVerdict::kDeny);
 }
 
 TEST(DdrmTest, DecisionMemoDoesNotChangeVerdicts) {
@@ -226,8 +257,8 @@ TEST(DdrmTest, DecisionMemoDoesNotChangeVerdicts) {
   DeviceDriverMonitor uncached(policy, /*cache_decisions=*/false);
   kernel::IpcContext context;
   for (int i = 0; i < 100; ++i) {
-    kernel::IpcMessage send{"send", {}, {}};
-    kernel::IpcMessage drop{"drop", {}, {}};
+    kernel::IpcMessage send = kernel::IpcMessage::Of("send");
+    kernel::IpcMessage drop = kernel::IpcMessage::Of("drop");
     EXPECT_EQ(cached.OnCall(context, send), uncached.OnCall(context, send));
     EXPECT_EQ(cached.OnCall(context, drop), uncached.OnCall(context, drop));
   }
