@@ -17,6 +17,8 @@
 // batching amortizes. Counters report remote round trips per iteration.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include <memory>
 #include <set>
 #include <string>
@@ -166,4 +168,4 @@ SWEEP(BM_authz_batched);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+NEXUS_BENCHMARK_MAIN();

@@ -16,6 +16,8 @@
 // included at the end (§2.8's invalidation/collision trade-off).
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "core/nexus.h"
 #include "nal/parser.h"
 #include "tpm/tpm.h"
@@ -266,4 +268,4 @@ BENCHMARK(BM_ablation_subregion)->Arg(8)->Arg(64)->Arg(512);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+NEXUS_BENCHMARK_MAIN();

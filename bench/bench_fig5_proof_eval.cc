@@ -11,6 +11,8 @@
 //       batch).
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "core/nexus.h"
 #include "nal/checker.h"
 #include "nal/parser.h"
@@ -155,4 +157,4 @@ BENCHMARK(BM_cached_authorization_hit);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+NEXUS_BENCHMARK_MAIN();

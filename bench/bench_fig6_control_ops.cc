@@ -7,6 +7,8 @@
 // The paper's claim: avoiding cryptography buys three orders of magnitude.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "core/nexus.h"
 #include "nal/parser.h"
 #include "tpm/tpm.h"
@@ -126,4 +128,4 @@ BENCHMARK(BM_cred_externalize_key)->Iterations(100);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+NEXUS_BENCHMARK_MAIN();

@@ -12,7 +12,10 @@
 //              on / off
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "core/nexus.h"
+#include "kernel/trace.h"
 #include "services/ddrm.h"
 #include "tpm/tpm.h"
 
@@ -176,6 +179,14 @@ void RunWithMonitor(benchmark::State& state, nexus::kernel::Interceptor* interce
 
 void BM_kref_min(benchmark::State& state) { RunWithMonitor(state, H().monitor_cached.get()); }
 void BM_kref_max(benchmark::State& state) { RunWithMonitor(state, H().monitor_uncached.get()); }
+// kref-min with the flight recorder live: same path, every Call emitting
+// trace events into the per-thread ring. The delta against BM_kref_min is
+// the whole observability tax (budget: <=5%).
+void BM_kref_min_traced(benchmark::State& state) {
+  nexus::kernel::FlightRecorder::Global().set_enabled(true);
+  RunWithMonitor(state, H().monitor_cached.get());
+  nexus::kernel::FlightRecorder::Global().set_enabled(false);
+}
 void BM_uref_min(benchmark::State& state) {
   RunWithMonitor(state, H().user_monitor_cached.get());
 }
@@ -188,10 +199,11 @@ BENCHMARK(BM_user_int)->Arg(100)->Arg(1500);
 BENCHMARK(BM_kern_drv)->Arg(100)->Arg(1500);
 BENCHMARK(BM_user_drv)->Arg(100)->Arg(1500);
 BENCHMARK(BM_kref_min)->Arg(100)->Arg(1500);
+BENCHMARK(BM_kref_min_traced)->Arg(100)->Arg(1500);
 BENCHMARK(BM_kref_max)->Arg(100)->Arg(1500);
 BENCHMARK(BM_uref_min)->Arg(100)->Arg(1500);
 BENCHMARK(BM_uref_max)->Arg(100)->Arg(1500);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+NEXUS_BENCHMARK_MAIN();

@@ -9,6 +9,8 @@
 //   attested storage : none / hash (integrity SSR) / decrypt (encrypted SSR)
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "apps/fauxbook.h"
 #include "core/nexus.h"
 #include "nal/parser.h"
@@ -349,4 +351,4 @@ BENCHMARK(BM_www_store_decrypt)->Apply(Sizes)->MinTime(0.05);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+NEXUS_BENCHMARK_MAIN();

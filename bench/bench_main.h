@@ -1,0 +1,33 @@
+// Shared benchmark entry point: BENCHMARK_MAIN() plus a metrics dump.
+//
+// Every bench binary exits through NEXUS_BENCHMARK_MAIN(), which runs the
+// standard google-benchmark loop and then writes the process-wide metrics
+// registry as JSON to $NEXUS_METRICS_OUT (no-op when unset). CI points the
+// variable at a per-bench file and fails the run if the hot-path counters
+// never moved — a benchmark that silently stopped exercising the
+// authorization path reports beautiful numbers for the wrong code.
+#ifndef NEXUS_BENCH_BENCH_MAIN_H_
+#define NEXUS_BENCH_BENCH_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include "util/metrics.h"
+
+#define NEXUS_BENCHMARK_MAIN()                                            \
+  int main(int argc, char** argv) {                                       \
+    char arg0_default[] = "benchmark";                                    \
+    char* args_default = arg0_default;                                    \
+    if (!argv) {                                                          \
+      argc = 1;                                                           \
+      argv = &args_default;                                               \
+    }                                                                     \
+    ::benchmark::Initialize(&argc, argv);                                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;   \
+    ::benchmark::RunSpecifiedBenchmarks();                                \
+    ::benchmark::Shutdown();                                              \
+    ::nexus::metrics::DumpRegistryToEnvPath();                            \
+    return 0;                                                             \
+  }                                                                       \
+  int main(int, char**)
+
+#endif  // NEXUS_BENCH_BENCH_MAIN_H_

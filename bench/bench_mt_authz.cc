@@ -30,6 +30,8 @@
 // touch thread-safe surfaces (Kernel::Authorize/AuthorizeBatch).
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include <memory>
 #include <string>
 #include <vector>
@@ -241,4 +243,4 @@ BENCHMARK(BM_mt_authorize_batch)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+NEXUS_BENCHMARK_MAIN();

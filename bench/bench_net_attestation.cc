@@ -13,6 +13,8 @@
 // untransferable authority answers stay practical over the network.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "nal/parser.h"
 #include "net/cert_exchange.h"
 #include "net/node.h"
@@ -125,3 +127,5 @@ void BM_RemoteAuthorityQuery(benchmark::State& state) {
 BENCHMARK(BM_RemoteAuthorityQuery)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
+
+NEXUS_BENCHMARK_MAIN();

@@ -7,6 +7,8 @@
 // earlier than a completed call).
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "core/nexus.h"
 #include "kernel/kernel.h"
 #include "tpm/tpm.h"
@@ -192,4 +194,4 @@ BENCHMARK(BM_write_nexus);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+NEXUS_BENCHMARK_MAIN();

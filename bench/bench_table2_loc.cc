@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "util/metrics.h"
+
 #ifndef NEXUS_SOURCE_DIR
 #define NEXUS_SOURCE_DIR "."
 #endif
@@ -99,5 +101,6 @@ int main() {
   std::cout << "    TCB total (non-optional components)             " << tcb << "\n";
   std::cout << "    repository total                                " << grand << "\n";
   std::cout << "† optional: outside the trusted computing base.\n";
+  nexus::metrics::DumpRegistryToEnvPath();
   return 0;
 }

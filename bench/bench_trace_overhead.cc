@@ -1,0 +1,187 @@
+// Paired flight-recorder overhead measurement on the fig7 kref-min path.
+//
+// The observability budget says: tracing ON may cost at most 5% on the
+// interposed echo path. A 2% effect cannot be resolved by sequential
+// benchmark repetitions on a noisy (virtualized, single-CPU) host, whose
+// clock drifts 8-15% between speed regimes over hundreds of milliseconds.
+// So this harness alternates MANY short traced/untraced windows (a few ms
+// each — short enough that adjacent windows share a regime) and reports
+// the median of per-pair deltas, which cancels drift pair by pair, plus
+// best-of-run minima for each side. The median-delta percentage is the
+// number the README quotes and CI gates on (NEXUS_TRACE_OVERHEAD_MAX_PCT).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/nexus.h"
+#include "kernel/trace.h"
+#include "services/ddrm.h"
+#include "tpm/tpm.h"
+#include "util/metrics.h"
+
+namespace {
+
+using nexus::Bytes;
+using nexus::ToBytes;
+using nexus::kernel::IpcContext;
+using nexus::kernel::IpcMessage;
+using nexus::kernel::IpcReply;
+
+// Same topology as bench_fig7 kref-min: client -> interposed driver port
+// -> driver forwards over a nested Call -> echo server.
+class EchoServer : public nexus::kernel::PortHandler {
+ public:
+  IpcReply Handle(const IpcContext&, const IpcMessage& message) override {
+    return IpcReply{nexus::OkStatus(), {}, message.data, 0};
+  }
+};
+
+class DriverProcess : public nexus::kernel::PortHandler {
+ public:
+  DriverProcess(nexus::kernel::Kernel* kernel, nexus::kernel::ProcessId self,
+                nexus::kernel::PortId server_port)
+      : kernel_(kernel), self_(self), server_port_(server_port) {}
+
+  IpcReply Handle(const IpcContext&, const IpcMessage& message) override {
+    static const nexus::kernel::OpId send_op = nexus::kernel::InternOp("send");
+    IpcMessage forwarded = IpcMessage::Of(send_op);
+    forwarded.data = message.data;
+    return kernel_->Call(self_, server_port_, forwarded);
+  }
+
+ private:
+  nexus::kernel::Kernel* kernel_;
+  nexus::kernel::ProcessId self_;
+  nexus::kernel::PortId server_port_;
+};
+
+double TimeCalls(nexus::kernel::Kernel& k, nexus::kernel::ProcessId client,
+                 nexus::kernel::PortId driver_port, const IpcMessage& packet, int iters) {
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    IpcReply reply = k.Call(client, driver_port, packet);
+    if (!reply.status.ok()) {
+      std::fprintf(stderr, "kref-min call failed: %s\n", std::string(reply.status.message()).c_str());
+      std::exit(1);
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / iters;
+}
+
+struct PairedResult {
+  double off_min_ns = 0;       // Fastest untraced window.
+  double on_min_ns = 0;        // Fastest traced window.
+  double median_delta_ns = 0;  // Median of (traced - untraced) per pair.
+  double median_pct = 0;       // Median of per-pair (traced-untraced)/untraced.
+};
+
+PairedResult MeasurePayload(nexus::kernel::Kernel& k, nexus::kernel::ProcessId client,
+                            nexus::kernel::PortId driver_port, int payload, int pairs,
+                            int window_iters) {
+  auto& recorder = nexus::kernel::FlightRecorder::Global();
+  IpcMessage packet = IpcMessage::Of("recv");
+  packet.data = Bytes(static_cast<size_t>(payload), 0xab);
+
+  // Warm both modes (interceptor memo, rings, branch predictors).
+  TimeCalls(k, client, driver_port, packet, window_iters);
+  recorder.set_enabled(true);
+  TimeCalls(k, client, driver_port, packet, window_iters);
+  recorder.set_enabled(false);
+
+  PairedResult result{1e18, 1e18, 0, 0};
+  std::vector<double> deltas;
+  std::vector<double> pcts;
+  deltas.reserve(static_cast<size_t>(pairs));
+  pcts.reserve(static_cast<size_t>(pairs));
+  for (int pair = 0; pair < pairs; ++pair) {
+    // Alternate off/on ordering each pair so neither side systematically
+    // inherits the other's cache wake-up.
+    double off;
+    double on;
+    if ((pair & 1) == 0) {
+      recorder.set_enabled(false);
+      off = TimeCalls(k, client, driver_port, packet, window_iters);
+      recorder.set_enabled(true);
+      on = TimeCalls(k, client, driver_port, packet, window_iters);
+    } else {
+      recorder.set_enabled(true);
+      on = TimeCalls(k, client, driver_port, packet, window_iters);
+      recorder.set_enabled(false);
+      off = TimeCalls(k, client, driver_port, packet, window_iters);
+    }
+    recorder.set_enabled(false);
+    result.off_min_ns = std::min(result.off_min_ns, off);
+    result.on_min_ns = std::min(result.on_min_ns, on);
+    deltas.push_back(on - off);
+    pcts.push_back(100.0 * (on - off) / off);
+  }
+  std::sort(deltas.begin(), deltas.end());
+  std::sort(pcts.begin(), pcts.end());
+  result.median_delta_ns = deltas[deltas.size() / 2];
+  result.median_pct = pcts[pcts.size() / 2];
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Positional overrides only when they parse as positive numbers, so the
+  // CI smoke runner's --benchmark_* flags fall through to the defaults.
+  int pairs = 200;
+  int window_iters = 5000;
+  if (argc > 1 && std::atoi(argv[1]) > 0) {
+    pairs = std::atoi(argv[1]);
+  }
+  if (argc > 2 && std::atoi(argv[2]) > 0) {
+    window_iters = std::atoi(argv[2]);
+  }
+
+  nexus::Rng rng(42);
+  nexus::tpm::Tpm tpm(rng);
+  nexus::core::Nexus nexus_os(&tpm);
+  auto& k = nexus_os.kernel();
+  auto client = *nexus_os.CreateProcess("udp-client", ToBytes("client"));
+  auto server_pid = *nexus_os.CreateProcess("echo-server", ToBytes("echo"));
+  auto driver_pid = *nexus_os.CreateProcess("netdriver", ToBytes("e1000"));
+  auto server_port = *nexus_os.CreatePort(server_pid);
+  auto driver_port = *nexus_os.CreatePort(driver_pid);
+  EchoServer server;
+  k.BindHandler(server_port, &server);
+  DriverProcess driver(&k, driver_pid, server_port);
+  k.BindHandler(driver_port, &driver);
+
+  nexus::services::DdrmPolicy policy;
+  policy.allowed_operations = {"send", "recv"};
+  nexus::services::DeviceDriverMonitor monitor(policy, true);
+  uint64_t token = *k.Interpose(driver_pid, driver_port, &monitor);
+
+  double worst_pct = 0;
+  for (int payload : {100, 1500}) {
+    PairedResult r = MeasurePayload(k, client, driver_port, payload, pairs, window_iters);
+    worst_pct = std::max(worst_pct, r.median_pct);
+    std::printf(
+        "TRACE_OVERHEAD payload=%d untraced_min_ns=%.1f traced_min_ns=%.1f "
+        "median_delta_ns=%.1f delta_pct=%.2f\n",
+        payload, r.off_min_ns, r.on_min_ns, r.median_delta_ns, r.median_pct);
+  }
+
+  k.RemoveInterposition(token);
+  nexus::metrics::DumpRegistryToEnvPath();
+
+  const char* gate = std::getenv("NEXUS_TRACE_OVERHEAD_MAX_PCT");
+  if (gate != nullptr) {
+    double max_pct = std::atof(gate);
+    if (worst_pct > max_pct) {
+      std::fprintf(stderr, "FAIL: trace overhead %.2f%% exceeds gate %.2f%%\n", worst_pct,
+                   max_pct);
+      return 1;
+    }
+    std::printf("PASS: trace overhead %.2f%% within gate %.2f%%\n", worst_pct, max_pct);
+  }
+  return 0;
+}

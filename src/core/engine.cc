@@ -9,10 +9,38 @@ namespace nexus::core {
 using kernel::AuthzDecision;
 using kernel::AuthzRequest;
 
+namespace {
+
+// Stage event for a traced request reaching the engine (a decision-cache
+// miss) or leaving it for a designated guard. No-op when untraced.
+void EmitEngineEvent(const AuthzRequest& request, kernel::TraceStage stage, uint64_t aux,
+                     uint16_t flags) {
+  kernel::FlightRecorder& recorder = kernel::FlightRecorder::Global();
+  if (!recorder.enabled()) {
+    return;
+  }
+  uint64_t id = request.trace != 0 ? request.trace : kernel::CurrentTraceId();
+  if (id == 0) {
+    return;
+  }
+  kernel::TraceEvent e;
+  e.trace_id = id;
+  e.subject = request.subject;
+  e.op = request.op;
+  e.obj = request.obj;
+  e.aux = aux;
+  e.flags = flags;
+  e.stage = stage;
+  recorder.Emit(e);
+}
+
+}  // namespace
+
 Engine::Engine(kernel::Kernel* kernel, Guard* default_guard)
     : kernel_(kernel), default_guard_(default_guard) {}
 
 AuthzDecision Engine::DefaultPolicy(const AuthzRequest& request) {
+  default_policy_->Increment();
   // Unregistered objects (ambient resources like the bare syscall object)
   // are unguarded until someone registers or sets a goal on them.
   if (!objects_.Known(request.obj)) {
@@ -43,6 +71,9 @@ AuthzDecision Engine::UpcallDesignatedGuard(const AuthzRequest& request,
   // (No other engine lock is held here, so re-entrant Say/SetProof from
   // the guard process still work.)
   std::lock_guard<std::recursive_mutex> serialize(designated_mu_);
+  designated_upcalls_->Increment();
+  EmitEngineEvent(request, kernel::TraceStage::kGuardUpcall, goal.guard_port,
+                  kernel::kTraceFlagUpcall);
   // Typed v2 upcall: subject/op/obj cross as id slots (no stringify), the
   // proof as serialized text (it is a subject-supplied tree), credentials
   // newline-separated in data. The proof slot inherits the ABI's 64 KiB
@@ -66,6 +97,8 @@ AuthzDecision Engine::UpcallDesignatedGuard(const AuthzRequest& request,
 }
 
 AuthzDecision Engine::Authorize(const AuthzRequest& request) {
+  misses_->Increment();
+  EmitEngineEvent(request, kernel::TraceStage::kEngineMiss, 0, 0);
   std::optional<GoalEntry> goal = goals_.Get(request.op, request.obj);
   if (!goal.has_value()) {
     return DefaultPolicy(request);
@@ -102,6 +135,7 @@ AuthzDecision Engine::Authorize(const AuthzRequest& request) {
 }
 
 std::vector<AuthzDecision> Engine::AuthorizeBatch(std::span<const AuthzRequest> requests) {
+  misses_->Increment(requests.size());
   std::vector<AuthzDecision> decisions(requests.size());
 
   // The batch is processed in SEGMENTS bounded by designated-guard items:

@@ -227,6 +227,12 @@ class Engine : public kernel::AuthorizationEngine {
 
   kernel::Kernel* kernel_;
   Guard* default_guard_;
+  // Metrics plane ("engine.*"): every entry here is a decision-cache miss
+  // reaching the core layer.
+  metrics::MetricGroup metrics_{&metrics::Registry::Global(), "engine"};
+  metrics::Counter* misses_ = metrics_.NewCounter("misses");
+  metrics::Counter* default_policy_ = metrics_.NewCounter("default_policy");
+  metrics::Counter* designated_upcalls_ = metrics_.NewCounter("designated_upcalls");
   GoalStore goals_;        // Internally locked.
   ObjectRegistry objects_; // Internally locked.
   std::map<kernel::ProcessId, LabelStore> stores_;

@@ -8,6 +8,35 @@ namespace nexus::core {
 using kernel::AuthzDecision;
 using kernel::AuthzRequest;
 
+namespace {
+
+// One kGuardCheck provenance event per guard verdict. The trace id is the
+// request's stamp (threaded by Kernel::Authorize) or, for direct Check
+// callers inside a traced call, the thread-local scope id.
+void EmitGuardCheck(const AuthzRequest& request, uint16_t flags, bool allowed,
+                    uint32_t consulted) {
+  kernel::FlightRecorder& recorder = kernel::FlightRecorder::Global();
+  if (!recorder.enabled()) {
+    return;
+  }
+  uint64_t id = request.trace != 0 ? request.trace : kernel::CurrentTraceId();
+  if (id == 0) {
+    return;
+  }
+  kernel::TraceEvent e;
+  e.trace_id = id;
+  e.subject = request.subject;
+  e.op = request.op;
+  e.obj = request.obj;
+  e.aux = consulted;
+  e.flags = static_cast<uint16_t>(flags | (allowed ? 0 : kernel::kTraceFlagDenied));
+  e.verdict = allowed ? kernel::kTraceVerdictAllow : kernel::kTraceVerdictDeny;
+  e.stage = kernel::TraceStage::kGuardCheck;
+  recorder.Emit(e);
+}
+
+}  // namespace
+
 Guard::Guard(kernel::Kernel* kernel) : Guard(kernel, Config{}) {}
 
 Guard::Guard(kernel::Kernel* kernel, const Config& config) : kernel_(kernel), config_(config) {}
@@ -59,7 +88,7 @@ Authority* Guard::RemoteAuthorityFor(const nal::Formula& statement) {
 }
 
 bool Guard::QueryAuthorities(const nal::Formula& statement) {
-  ++stats_.authority_queries;
+  stats_.authority_queries->Increment();
   bool handled = false;
   bool answer = ResolveLocalAuthority(statement, &handled);
   if (handled) {
@@ -69,7 +98,7 @@ bool Guard::QueryAuthorities(const nal::Formula& statement) {
   // the configured deadline. No answer in time means DENY (§2.7 answers are
   // fresh-or-nothing; a stale late answer is worthless).
   if (Authority* remote = RemoteAuthorityFor(statement)) {
-    ++stats_.remote_queries;
+    stats_.remote_queries->Increment();
     return remote->VouchesWithin(statement, config_.remote_query_timeout_us);
   }
   return false;  // No authority evaluates this statement.
@@ -127,15 +156,15 @@ std::vector<Guard::InFlightBatch> Guard::IssuePrefetches(std::span<const BatchIt
       const nal::Formula& leaf = leaves[j];
       if (pending->Contains(leaf)) {
         // Already riding an issued (or soon-issued) round trip.
-        ++stats_.batch_collapsed_queries;
+        stats_.batch_collapsed_queries->Increment();
         (*blocked)[i] = true;
         continue;
       }
       if (memo->Contains(leaf)) {
-        ++stats_.batch_collapsed_queries;  // Answered locally already.
+        stats_.batch_collapsed_queries->Increment();  // Answered locally already.
         continue;
       }
-      ++stats_.authority_queries;
+      stats_.authority_queries->Increment();
       bool handled = false;
       bool answer = ResolveLocalAuthority(leaf, &handled);
       if (handled) {
@@ -157,7 +186,7 @@ std::vector<Guard::InFlightBatch> Guard::IssuePrefetches(std::span<const BatchIt
   std::vector<InFlightBatch> inflight;
   inflight.reserve(remote_groups.size());
   for (auto& [remote, statements] : remote_groups) {
-    ++stats_.remote_queries;  // One attested round trip for the whole group.
+    stats_.remote_queries->Increment();  // One attested round trip for the whole group.
     InFlightBatch batch;
     batch.future = remote->VouchBatchAsync(statements, config_.remote_query_timeout_us);
     batch.statements = std::move(statements);
@@ -184,7 +213,7 @@ void Guard::InsertCacheEntryLocked(CacheShard& shard, kernel::ProcessId quota_ro
     }
     shard.index.erase(it->key);
     shard.lru.erase(it);
-    ++stats_.evictions;
+    stats_.evictions->Increment();
   };
   // The oldest entry charged to `root`, or lru.end(). (Never called on an
   // empty list, but stays correct if it is.)
@@ -232,7 +261,7 @@ AuthzDecision Guard::CheckImpl(const AuthzRequest& request, const nal::Formula& 
                                nal::FormulaId goal_id, const nal::Proof& proof,
                                const std::vector<nal::Formula>& credentials,
                                uint64_t state_version, const AuthorityMemo* memo) {
-  ++stats_.checks;
+  stats_.checks->Increment();
 
   if (goal == nullptr) {
     return AuthzDecision::Deny(Internal("guard invoked without a goal"), false);
@@ -241,6 +270,7 @@ AuthzDecision Guard::CheckImpl(const AuthzRequest& request, const nal::Formula& 
     return AuthzDecision::Allow();
   }
   if (proof == nullptr) {
+    EmitGuardCheck(request, 0, /*allowed=*/false, 0);
     return AuthzDecision::Deny(
         PermissionDenied("no proof supplied for goal " + goal->ToString()), true);
   }
@@ -274,9 +304,10 @@ AuthzDecision Guard::CheckImpl(const AuthzRequest& request, const nal::Formula& 
     // collision fails ProofEquals and pays a full check instead.
     if (it != shard.index.end() &&
         (it->second->proof == proof || nal::ProofEquals(it->second->proof, proof))) {
-      ++stats_.cache_hits;
+      stats_.cache_hits->Increment();
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // LRU refresh.
       bool allowed = it->second->verdict;
+      EmitGuardCheck(request, kernel::kTraceFlagProofCacheHit, allowed, 0);
       return allowed ? AuthzDecision::Allow()
                      : AuthzDecision::Deny(PermissionDenied("denied (cached proof verdict)"),
                                            true);
@@ -312,6 +343,9 @@ AuthzDecision Guard::CheckImpl(const AuthzRequest& request, const nal::Formula& 
   }
   AuthzDecision decision = AuthzDecision::FromStatus(result.status, verdict_cacheable);
   decision.consulted_authorities = consulted;
+  EmitGuardCheck(request,
+                 decision.cacheable ? uint16_t{0} : kernel::kTraceFlagUncacheable,
+                 decision.allowed(), consulted);
   return decision;
 }
 
@@ -365,12 +399,12 @@ void Guard::FlushCache() {
 
 Guard::Stats Guard::stats() const {
   Stats snapshot;
-  snapshot.checks = stats_.checks.load();
-  snapshot.cache_hits = stats_.cache_hits.load();
-  snapshot.authority_queries = stats_.authority_queries.load();
-  snapshot.remote_queries = stats_.remote_queries.load();
-  snapshot.evictions = stats_.evictions.load();
-  snapshot.batch_collapsed_queries = stats_.batch_collapsed_queries.load();
+  snapshot.checks = stats_.checks->Value();
+  snapshot.cache_hits = stats_.cache_hits->Value();
+  snapshot.authority_queries = stats_.authority_queries->Value();
+  snapshot.remote_queries = stats_.remote_queries->Value();
+  snapshot.evictions = stats_.evictions->Value();
+  snapshot.batch_collapsed_queries = stats_.batch_collapsed_queries->Value();
   return snapshot;
 }
 

@@ -51,6 +51,7 @@
 #include "kernel/kernel.h"
 #include "nal/checker.h"
 #include "nal/interner.h"
+#include "util/metrics.h"
 
 namespace nexus::core {
 
@@ -68,6 +69,9 @@ class Guard {
     uint64_t remote_query_timeout_us = 10000;
   };
 
+  // Snapshot view of the registry-backed counters ("guard.*" in the
+  // metrics plane). Per-instance: a fresh Guard starts at zero; the
+  // registry separately aggregates across instances and retirements.
   struct Stats {
     uint64_t checks = 0;
     uint64_t cache_hits = 0;
@@ -261,16 +265,22 @@ class Guard {
 
   CacheShard cache_shards_[kNumCacheShards];
 
-  // Tallied with relaxed atomics (counters only; never synchronizes data).
-  struct AtomicStats {
-    std::atomic<uint64_t> checks{0};
-    std::atomic<uint64_t> cache_hits{0};
-    std::atomic<uint64_t> authority_queries{0};
-    std::atomic<uint64_t> remote_queries{0};
-    std::atomic<uint64_t> evictions{0};
-    std::atomic<uint64_t> batch_collapsed_queries{0};
-  };
-  AtomicStats stats_;
+  // Registry instruments ("guard.*"): relaxed-atomic tallies, never
+  // synchronizing data. Same increment sites as the old AtomicStats.
+  metrics::MetricGroup metrics_{&metrics::Registry::Global(), "guard"};
+  struct {
+    metrics::Counter* checks;
+    metrics::Counter* cache_hits;
+    metrics::Counter* authority_queries;
+    metrics::Counter* remote_queries;
+    metrics::Counter* evictions;
+    metrics::Counter* batch_collapsed_queries;
+  } stats_{metrics_.NewCounter("checks"),
+           metrics_.NewCounter("cache_hits"),
+           metrics_.NewCounter("authority_queries"),
+           metrics_.NewCounter("remote_queries"),
+           metrics_.NewCounter("evictions"),
+           metrics_.NewCounter("batch_collapsed_queries")};
 };
 
 // A guard exposed as an IPC service (designated guards, Figure 1: the

@@ -29,6 +29,14 @@ void DecisionCache::Resize(const Config& config) {
     auto shard = std::make_unique<Shard>();
     shard->entries.assign(config_.num_subregions * config_.entries_per_subregion, Entry{});
     shard->generations.assign(config_.num_subregions, 1);
+    // Fresh instruments per reconfiguration: instance stats() restart at
+    // zero (the old Resize semantics), while the superseded counters stay
+    // in the group so the registry's process-lifetime totals keep them.
+    shard->hits = metrics_.NewCounter("hits");
+    shard->misses = metrics_.NewCounter("misses");
+    shard->insertions = metrics_.NewCounter("insertions");
+    shard->invalidated_entries = metrics_.NewCounter("invalidated_entries");
+    shard->subregion_invalidations = metrics_.NewCounter("subregion_invalidations");
     shards_.push_back(std::move(shard));
   }
 }
@@ -84,10 +92,10 @@ std::optional<bool> DecisionCache::Lookup(const AuthzRequest& request) {
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry* e = FindLocked(shard, request);
   if (e == nullptr) {
-    ++shard.stats.misses;
+    shard.misses->Increment();
     return std::nullopt;
   }
-  ++shard.stats.hits;
+  shard.hits->Increment();
   return e->allow;
 }
 
@@ -118,7 +126,7 @@ void DecisionCache::InsertLocked(Shard& shard, const AuthzRequest& request, bool
   victim->subject = request.subject;
   victim->op = request.op;
   victim->obj = request.obj;
-  ++shard.stats.insertions;
+  shard.insertions->Increment();
 }
 
 void DecisionCache::Insert(const AuthzRequest& request, bool allow) {
@@ -151,7 +159,7 @@ void DecisionCache::InvalidateEntry(const AuthzRequest& request) {
   Shard& shard = *shards_[ShardOf(request.subject)];
   std::lock_guard<std::mutex> lock(shard.mu);
   if (FindLocked(shard, request) != nullptr) {
-    ++shard.stats.invalidated_entries;
+    shard.invalidated_entries->Increment();
   }
   // The generation bump retires the subregion's entries wholesale, and it
   // bumps whether or not an entry existed: an in-flight verdict for this
@@ -168,19 +176,20 @@ void DecisionCache::InvalidateSubregion(OpId op, ObjectId obj) {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     ++shard->generations[sub];
-    ++shard->stats.subregion_invalidations;
+    shard->subregion_invalidations->Increment();
   }
 }
 
 DecisionCache::Stats DecisionCache::stats() const {
+  // Counter reads are atomic; no shard lock needed for a coherent snapshot
+  // (each field is a sum of values the counters actually passed through).
   Stats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    total.hits += shard->stats.hits;
-    total.misses += shard->stats.misses;
-    total.insertions += shard->stats.insertions;
-    total.invalidated_entries += shard->stats.invalidated_entries;
-    total.subregion_invalidations += shard->stats.subregion_invalidations;
+    total.hits += shard->hits->Value();
+    total.misses += shard->misses->Value();
+    total.insertions += shard->insertions->Value();
+    total.invalidated_entries += shard->invalidated_entries->Value();
+    total.subregion_invalidations += shard->subregion_invalidations->Value();
   }
   return total;
 }
@@ -189,8 +198,14 @@ DecisionCache::Stats DecisionCache::shard_stats(size_t shard) const {
   if (shard >= shards_.size()) {
     return Stats{};
   }
-  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
-  return shards_[shard]->stats;
+  const Shard& s = *shards_[shard];
+  Stats out;
+  out.hits = s.hits->Value();
+  out.misses = s.misses->Value();
+  out.insertions = s.insertions->Value();
+  out.invalidated_entries = s.invalidated_entries->Value();
+  out.subregion_invalidations = s.subregion_invalidations->Value();
+  return out;
 }
 
 }  // namespace nexus::kernel

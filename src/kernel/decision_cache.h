@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "kernel/types.h"
+#include "util/metrics.h"
 
 namespace nexus::kernel {
 
@@ -50,6 +51,10 @@ class DecisionCache {
     size_t num_shards = 8;
   };
 
+  // Snapshot view of the registry-backed per-shard counters ("cache.*" in
+  // the metrics plane). Per-instance semantics are unchanged: a fresh cache
+  // (or a Resize) starts from zero; the registry separately accumulates
+  // process-lifetime totals.
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
@@ -132,11 +137,18 @@ class DecisionCache {
   };
 
   // A shard owns its mutex; unique_ptr keeps the vector reconfigurable.
+  // Tallies are registry instruments (metrics plane, "cache.*"): relaxed
+  // atomics, one set per shard so shards never contend on a shared
+  // counter; stats() sums them, the registry snapshot aggregates them.
   struct Shard {
     mutable std::mutex mu;
     std::vector<Entry> entries;       // num_subregions * entries_per_subregion
     std::vector<uint64_t> generations;  // per subregion
-    Stats stats;
+    metrics::Counter* hits = nullptr;
+    metrics::Counter* misses = nullptr;
+    metrics::Counter* insertions = nullptr;
+    metrics::Counter* invalidated_entries = nullptr;
+    metrics::Counter* subregion_invalidations = nullptr;
   };
 
   size_t SubregionIndex(OpId op, ObjectId obj) const;
@@ -145,6 +157,9 @@ class DecisionCache {
   void InsertLocked(Shard& shard, const AuthzRequest& request, bool allow);
 
   Config config_;
+  // Declared before shards_: shard counters live in the group and must
+  // outlive them (destruction runs in reverse order).
+  metrics::MetricGroup metrics_{&metrics::Registry::Global(), "cache"};
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -7,6 +7,29 @@ namespace nexus::kernel {
 
 Kernel::Kernel() : scheduler_(std::make_unique<StrideScheduler>()) {
   procfs_.PublishValue(kKernelProcessId, "/proc/kernel/name", "nexus");
+  // The metrics plane exported through the introspection namespace (§3.1):
+  // one node per component prefix, plus the flight recorder. Reading
+  // telemetry is itself a guarded proc-read — the kProcRead syscall
+  // authorizes "read" on "proc:/stats/<component>" like any other path.
+  static constexpr const char* kStatComponents[] = {
+      "kernel", "cache", "guard", "engine", "remote_authority", "transport", "ddrm",
+  };
+  for (const char* component : kStatComponents) {
+    procfs_.Publish(kKernelProcessId, std::string("/stats/") + component,
+                    [component] { return metrics::Registry::Global().RenderText(component); });
+  }
+  procfs_.Publish(kKernelProcessId, "/stats/trace", [] {
+    const FlightRecorder& recorder = FlightRecorder::Global();
+    std::string out = "enabled ";
+    out += recorder.enabled() ? '1' : '0';
+    out += "\nevents_emitted " + std::to_string(recorder.events_emitted());
+    out += "\nrings " + std::to_string(recorder.ring_count());
+    out += '\n';
+    return out;
+  });
+  procfs_.Publish(kKernelProcessId, "/trace/recent", [] {
+    return FormatTraceEvents(FlightRecorder::Global().Recent(64));
+  });
 }
 
 uint64_t Kernel::NowMicros() const {
@@ -342,7 +365,54 @@ Status Kernel::ResolveLegacy(ProcessId caller, IpcMessage& message) {
   return OkStatus();
 }
 
+namespace {
+
+// One kCall provenance event per completed (or monitor-blocked) Call.
+// No-op on untraced calls; no cycle read on traced ones (Call is the fig7
+// hot path — latency histograms are fed from Invoke and the miss path).
+void EmitCallEvent(const TraceScope& trace, ProcessId caller, OpId op, PortId port,
+                   uint16_t flags, uint8_t verdict) {
+  if (!trace.active()) {
+    return;
+  }
+  TraceEvent e;
+  e.trace_id = trace.id();
+  e.subject = caller;
+  e.op = op;
+  e.aux = port;
+  e.flags = flags;
+  e.verdict = verdict;
+  e.stage = TraceStage::kCall;
+  FlightRecorder::Global().Emit(e);
+}
+
+// Records elapsed cycles into a histogram across every return path of the
+// enclosing function. Pass nullptr to measure nothing (untraced calls pay
+// no rdtsc).
+class ScopedCycleHistogram {
+ public:
+  explicit ScopedCycleHistogram(metrics::Histogram* histogram)
+      : histogram_(histogram), start_(histogram != nullptr ? ReadCycleCounter() : 0) {}
+  ~ScopedCycleHistogram() {
+    if (histogram_ != nullptr) {
+      histogram_->Record(ReadCycleCounter() - start_);
+    }
+  }
+  ScopedCycleHistogram(const ScopedCycleHistogram&) = delete;
+  ScopedCycleHistogram& operator=(const ScopedCycleHistogram&) = delete;
+
+ private:
+  metrics::Histogram* histogram_;
+  uint64_t start_;
+};
+
+}  // namespace
+
 IpcReply Kernel::Call(ProcessId caller, PortId port, const IpcMessage& message) {
+  calls_->Increment();
+  // A nested Call (interposed hop, ipc_call, file-syscall forward) adopts
+  // the surrounding trace id, so one logical operation is one trace.
+  TraceScope trace;
   if (!SnapshotPort(port).has_value()) {
     return IpcReply{NotFound("no such port"), {}, {}, 0};
   }
@@ -360,14 +430,20 @@ IpcReply Kernel::Call(ProcessId caller, PortId port, const IpcMessage& message) 
     // Copy only when a legacy message needs resolution; typed messages
     // dispatch by reference, untouched.
     if (!message.needs_op_resolution()) {
-      return Dispatch(caller, port, message);
+      IpcReply reply = Dispatch(caller, port, message);
+      EmitCallEvent(trace, caller, message.op, port, 0,
+                    reply.status.ok() ? kTraceVerdictAllow : kTraceVerdictDeny);
+      return reply;
     }
     IpcMessage resolved = message;
     Status legacy = ResolveLegacy(caller, resolved);
     if (!legacy.ok()) {
       return IpcReply{legacy, {}, {}, 0};
     }
-    return Dispatch(caller, port, resolved);
+    IpcReply reply = Dispatch(caller, port, resolved);
+    EmitCallEvent(trace, caller, resolved.op, port, 0,
+                  reply.status.ok() ? kTraceVerdictAllow : kTraceVerdictDeny);
+    return reply;
   }
 
   // Marshal/unmarshal: every interposable call crosses a defined message
@@ -407,9 +483,12 @@ IpcReply Kernel::Call(ProcessId caller, PortId port, const IpcMessage& message) 
       }
     }
   }
+  const uint16_t interposed_flag = active.empty() ? 0 : kTraceFlagInterposed;
   for (Interceptor* interceptor : active) {
     if (interceptor->OnCall(context, working) == InterposeVerdict::kDeny) {
       // A blocked call returns earlier than a completed call (Table 1).
+      EmitCallEvent(trace, caller, working.op, port,
+                    interposed_flag | kTraceFlagDenied, kTraceVerdictDeny);
       return IpcReply{PermissionDenied("blocked by reference monitor"), {}, {}, 0};
     }
   }
@@ -419,6 +498,8 @@ IpcReply Kernel::Call(ProcessId caller, PortId port, const IpcMessage& message) 
   for (auto it = active.rbegin(); it != active.rend(); ++it) {
     (*it)->OnReturn(context, reply);
   }
+  EmitCallEvent(trace, caller, working.op, port, interposed_flag,
+                reply.status.ok() ? kTraceVerdictAllow : kTraceVerdictDeny);
   return reply;
 }
 
@@ -503,6 +584,12 @@ Result<PortId> Kernel::SyscallPort(ProcessId pid) {
 // -------------------------------------------------------------- Syscalls
 
 IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& message) {
+  syscalls_->Increment();
+  // Root of the provenance chain for a traced syscall: every nested stage
+  // (interposition hop, authorization, fileserver Call) adopts this id.
+  TraceScope trace;
+  // Full dispatch latency, traced invocations only (covers every return).
+  ScopedCycleHistogram timer(trace.active() ? call_cycles_ : nullptr);
   ProcessId parent = kKernelProcessId;
   {
     const ProcessShard& shard = process_shards_[ShardOfId(caller)];
@@ -528,6 +615,15 @@ IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& messag
   Status bounded = ValidateWireBounds(working);
   if (!bounded.ok()) {
     return IpcReply{bounded, {}, {}, 0};
+  }
+  if (trace.active()) {
+    TraceEvent e;
+    e.trace_id = trace.id();
+    e.subject = caller;
+    e.op = working.op;
+    e.aux = static_cast<uint64_t>(call);
+    e.stage = TraceStage::kSyscall;
+    FlightRecorder::Global().Emit(e);
   }
   if (interposition_enabled_.load()) {
     // Per-syscall parameter marshaling plus the process's syscall-channel
@@ -679,10 +775,41 @@ Status Kernel::Authorize(const AuthzRequest& request) {
   if (engine_ == nullptr) {
     return OkStatus();  // Authorization disabled (Fig. 4 case "system call").
   }
+  authorize_requests_->Increment();
+  // Adopts the syscall/Call trace id when one is active (the usual case:
+  // Authorize runs inside an Invoke); at the root it opens its own trace.
+  TraceScope trace;
   bool cache_enabled = decision_cache_enabled_.load();
   if (cache_enabled) {
     std::optional<bool> cached = decision_cache_.Lookup(request);
+    if (trace.active()) {
+      TraceEvent probe;
+      probe.trace_id = trace.id();
+      probe.subject = request.subject;
+      probe.op = request.op;
+      probe.obj = request.obj;
+      // The extra Generation() shard lock is paid only on traced calls.
+      probe.generation = decision_cache_.Generation(request);
+      probe.flags = cached.has_value() ? kTraceFlagCacheHit : kTraceFlagCacheMiss;
+      probe.stage = TraceStage::kCacheProbe;
+      FlightRecorder::Global().Emit(probe);
+    }
     if (cached.has_value()) {
+      if (!*cached) {
+        authorize_denies_->Increment();
+      }
+      if (trace.active()) {
+        TraceEvent verdict;
+        verdict.trace_id = trace.id();
+        verdict.subject = request.subject;
+        verdict.op = request.op;
+        verdict.obj = request.obj;
+        verdict.flags =
+            kTraceFlagCacheHit | (*cached ? uint16_t{0} : kTraceFlagDenied);
+        verdict.verdict = *cached ? kTraceVerdictAllow : kTraceVerdictDeny;
+        verdict.stage = TraceStage::kVerdict;
+        FlightRecorder::Global().Emit(verdict);
+      }
       return *cached ? OkStatus()
                      : PermissionDenied("denied (cached guard decision)");
     }
@@ -693,9 +820,41 @@ Status Kernel::Authorize(const AuthzRequest& request) {
   // verdict if an invalidation raced it, so a stale decision is recomputed
   // on the next miss instead of cached past its goal change.
   uint64_t generation = cache_enabled ? decision_cache_.Generation(request) : 0;
-  AuthzDecision decision = engine_->Authorize(request);
+  // The miss is about to cross the engine (proof check, possibly remote
+  // round trips) — microseconds of work, so a cycle read here is free
+  // relative to what it measures.
+  uint64_t miss_start = trace.active() ? ReadCycleCounter() : 0;
+  // Stamp the trace id into the request the engine sees: the guard,
+  // designated-guard upcall, and remote authorities tag their events with
+  // it. Zero when untraced — downstream stages then skip emission.
+  AuthzRequest stamped = request;
+  if (stamped.trace == 0) {
+    stamped.trace = trace.id();
+  }
+  AuthzDecision decision = engine_->Authorize(stamped);
   if (cache_enabled && decision.cacheable) {
     decision_cache_.InsertIfUnchanged(request, decision.allowed(), generation);
+  }
+  if (!decision.allowed()) {
+    authorize_denies_->Increment();
+  }
+  if (trace.active()) {
+    uint32_t elapsed = static_cast<uint32_t>(ReadCycleCounter() - miss_start);
+    authorize_cycles_->Record(elapsed);
+    TraceEvent verdict;
+    verdict.trace_id = trace.id();
+    verdict.subject = request.subject;
+    verdict.op = request.op;
+    verdict.obj = request.obj;
+    verdict.latency = elapsed;
+    verdict.flags = static_cast<uint16_t>(
+        (cache_enabled ? kTraceFlagCacheMiss : 0) |
+        (decision.cacheable ? 0 : kTraceFlagUncacheable) |
+        (decision.allowed() ? 0 : kTraceFlagDenied));
+    verdict.aux = decision.consulted_authorities;
+    verdict.verdict = decision.allowed() ? kTraceVerdictAllow : kTraceVerdictDeny;
+    verdict.stage = TraceStage::kVerdict;
+    FlightRecorder::Global().Emit(verdict);
   }
   return decision.ToStatus();
 }
@@ -721,6 +880,10 @@ std::vector<Status> Kernel::AuthorizeBatch(std::span<const AuthzRequest> request
   if (engine_ == nullptr) {
     return results;  // Value-initialized Status is OK.
   }
+  authorize_requests_->Increment(requests.size());
+  // One trace id covers the whole batch: the point of batching is that the
+  // items share an evaluation, so their provenance shares a chain.
+  TraceScope trace;
   bool cache_enabled = decision_cache_enabled_.load();
   std::vector<AuthzRequest> misses;
   std::vector<size_t> miss_slots;
@@ -729,12 +892,16 @@ std::vector<Status> Kernel::AuthorizeBatch(std::span<const AuthzRequest> request
     if (cache_enabled) {
       std::optional<bool> cached = decision_cache_.Lookup(requests[i]);
       if (cached.has_value()) {
+        if (!*cached) {
+          authorize_denies_->Increment();
+        }
         results[i] =
             *cached ? OkStatus() : PermissionDenied("denied (cached guard decision)");
         continue;
       }
     }
     misses.push_back(requests[i]);
+    misses.back().trace = trace.id();  // 0 when untraced; see Authorize.
     miss_slots.push_back(i);
     // Snapshot before the engine upcall: see Authorize for the stale-insert
     // race this closes.
@@ -748,6 +915,9 @@ std::vector<Status> Kernel::AuthorizeBatch(std::span<const AuthzRequest> request
     if (cache_enabled && decisions[j].cacheable) {
       decision_cache_.InsertIfUnchanged(misses[j], decisions[j].allowed(),
                                         miss_generations[j]);
+    }
+    if (!decisions[j].allowed()) {
+      authorize_denies_->Increment();
     }
     results[miss_slots[j]] = decisions[j].ToStatus();
   }

@@ -29,8 +29,10 @@
 #include "kernel/ipc.h"
 #include "kernel/procfs.h"
 #include "kernel/sched.h"
+#include "kernel/trace.h"
 #include "kernel/types.h"
 #include "nal/term.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace nexus::kernel {
@@ -386,6 +388,17 @@ class Kernel {
   std::unique_ptr<Scheduler> scheduler_;
   std::atomic<PortId> fs_port_{0};
   std::function<uint64_t()> time_source_;
+
+  // Metrics plane ("kernel.*"): hot-path counters are always-on relaxed
+  // increments; the latency histograms record only on traced calls (the
+  // flight recorder's toggle gates the expensive part of observability).
+  metrics::MetricGroup metrics_{&metrics::Registry::Global(), "kernel"};
+  metrics::Counter* calls_ = metrics_.NewCounter("calls");
+  metrics::Counter* syscalls_ = metrics_.NewCounter("syscalls");
+  metrics::Counter* authorize_requests_ = metrics_.NewCounter("authorize_requests");
+  metrics::Counter* authorize_denies_ = metrics_.NewCounter("authorize_denies");
+  metrics::Histogram* authorize_cycles_ = metrics_.NewHistogram("authorize_cycles");
+  metrics::Histogram* call_cycles_ = metrics_.NewHistogram("call_cycles");
 };
 
 }  // namespace nexus::kernel

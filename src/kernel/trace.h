@@ -1,0 +1,187 @@
+// The flight recorder: per-call decision provenance (ROADMAP "trace
+// checking" substrate).
+//
+// Fixed-size per-thread ring buffers of POD TraceEvents, emitted at every
+// stage an authorization decision passes through — Kernel::Call/Invoke,
+// the decision-cache probe, the engine miss, the guard check, designated-
+// guard upcalls, and remote-authority vouches — and correlated by a
+// per-call trace id threaded through the call (a thread-local scope plus
+// the AuthzRequest.trace field). One interposed fileserver read therefore
+// yields its full provenance chain: Call -> cache probe -> engine miss ->
+// guard check -> verdict.
+//
+// Cost model: the recorder is OFF by default. Disabled, every emission
+// site pays one relaxed atomic load (and TraceScope two thread-local
+// moves). Enabled, an emit is ~10 atomic stores into the calling thread's
+// own ring — no locks, no allocation, no cross-thread contention, and NO
+// cycle-counter read: event timestamps are per-ring sequence numbers
+// (exact order within a thread — and a trace's synchronous stages run on
+// one thread — approximate across rings). rdtsc, which costs more than a
+// whole emit on virtualized hosts, is paid only on paths that already
+// cross the engine (miss evaluation, syscall dispatch), where its cost
+// disappears into microseconds of real work. That is what keeps the
+// traced fig7 kref-min overhead inside the <=5% budget.
+//
+// Concurrency: each ring has exactly one writer (its thread); readers
+// (Recent(), the proc:/trace/recent node) validate each slot with a
+// per-slot sequence word, seqlock-style, over all-atomic slot words — so
+// a reader racing the writer drops the in-flight slot instead of tearing
+// it, and TSan sees only atomics. Rings are owned by the recorder and
+// recycled through a free list when threads exit; they are never freed,
+// so a reader can never touch a dead ring.
+#ifndef NEXUS_KERNEL_TRACE_H_
+#define NEXUS_KERNEL_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "kernel/types.h"
+#include "util/cycles.h"
+
+namespace nexus::kernel {
+
+// Where in the decision pipeline an event was emitted.
+enum class TraceStage : uint8_t {
+  kCall = 1,        // Kernel::Call completed (aux = port).
+  kSyscall,         // Kernel::Invoke dispatched (aux = syscall number).
+  kCacheProbe,      // Decision-cache lookup (generation = subregion gen).
+  kEngineMiss,      // Engine::Authorize evaluating a miss.
+  kGuardCheck,      // Guard::CheckImpl verdict (aux = consulted authorities).
+  kGuardUpcall,     // Designated-guard IPC upcall (aux = guard port).
+  kRemoteVouch,     // Remote-authority round trip (aux = statement count).
+  kVerdict,         // Kernel::Authorize final answer (latency = miss-path
+                    // evaluation cycles; 0 on a cache hit).
+};
+
+inline constexpr uint16_t kTraceFlagCacheHit = 1u << 0;
+inline constexpr uint16_t kTraceFlagCacheMiss = 1u << 1;
+inline constexpr uint16_t kTraceFlagRemote = 1u << 2;
+inline constexpr uint16_t kTraceFlagInterposed = 1u << 3;
+inline constexpr uint16_t kTraceFlagUpcall = 1u << 4;
+inline constexpr uint16_t kTraceFlagDenied = 1u << 5;
+inline constexpr uint16_t kTraceFlagProofCacheHit = 1u << 6;
+inline constexpr uint16_t kTraceFlagUncacheable = 1u << 7;
+
+// Verdict byte: 0 = not a verdict-carrying stage.
+inline constexpr uint8_t kTraceVerdictNone = 0;
+inline constexpr uint8_t kTraceVerdictAllow = 1;
+inline constexpr uint8_t kTraceVerdictDeny = 2;
+
+struct TraceEvent {
+  uint64_t trace_id = 0;   // Correlates all stages of one call; 0 = untraced.
+  uint64_t timestamp = 0;  // Per-ring sequence number assigned at emit
+                           // (ordering key, not wall time; see file comment).
+  ProcessId subject = 0;
+  OpId op = 0;
+  ObjectId obj = 0;
+  uint64_t generation = 0;  // Cache subregion generation (kCacheProbe).
+  uint64_t aux = 0;         // Stage-specific (see TraceStage).
+  uint32_t latency = 0;     // Stage latency in cycles, 0 if not measured.
+  uint16_t flags = 0;
+  uint8_t verdict = kTraceVerdictNone;
+  TraceStage stage = TraceStage::kCall;
+};
+
+std::string_view TraceStageName(TraceStage stage);
+// Human/procfs rendering, one "trace=<id> stage=<name> ..." line per event.
+std::string FormatTraceEvents(const std::vector<TraceEvent>& events);
+
+class FlightRecorder {
+ public:
+  // Slots per ring; power of two. One slot is one 64-byte cache line, so
+  // a ring is 16 KiB — deliberately smaller than L1d: the writer cycles
+  // through it continuously, and a larger ring measurably taxes the
+  // traced hot path by evicting the payload working set (the fig7 1500B
+  // overhead nearly doubled with 64 KiB rings).
+  static constexpr size_t kRingCapacity = 256;
+
+  static FlightRecorder& Global();
+
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Unique, not globally ordered: each thread takes a block of ids with
+  // one fetch_add and hands them out locally — a locked RMW per traced
+  // root call would cost as much as the emit itself on this host.
+  uint64_t NewTraceId();
+
+  // Records `event` into the calling thread's ring (no-op when disabled).
+  void Emit(const TraceEvent& event);
+
+  // The most recent events across every ring (merged, timestamp order,
+  // last `max` kept). A slot being overwritten mid-read is dropped.
+  std::vector<TraceEvent> Recent(size_t max = kRingCapacity) const;
+  // All retained events of one trace, in timestamp order.
+  std::vector<TraceEvent> ForTrace(uint64_t trace_id) const;
+
+  // Logically drops all retained events (readers skip them; writers are
+  // not disturbed).
+  void Clear();
+
+  // Total events ever emitted (including overwritten ones).
+  uint64_t events_emitted() const;
+  size_t ring_count() const;
+
+ private:
+  struct Slot {
+    // Seqlock per slot: odd = write in progress, even 2*(n+1) = generation
+    // of the n-th write. All-atomic payload words keep readers race-free;
+    // a torn read is rejected by the sequence check, never observed.
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> word[7] = {};
+  };
+  struct Ring {
+    std::atomic<uint64_t> head{0};           // Next slot index (monotonic).
+    std::atomic<uint64_t> cleared_below{0};  // Readers skip indices below.
+    std::vector<Slot> slots{kRingCapacity};
+  };
+
+  FlightRecorder() = default;
+
+  Ring* RingForThisThread();
+  Ring* AcquireRing();
+  void ReleaseRing(Ring* ring);
+  // Seqlock-validated read of ring indices [from, head); appends to out.
+  void ReadRing(const Ring& ring, std::vector<TraceEvent>* out) const;
+
+  struct ThreadRingSlot;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_trace_id_{1};
+  mutable std::mutex rings_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;  // All rings ever created.
+  std::vector<Ring*> free_rings_;             // Returned by exited threads.
+};
+
+// The calling thread's active trace id (0 outside any traced call).
+uint64_t CurrentTraceId();
+
+// RAII trace correlation for a kernel entry point: when the recorder is
+// enabled, adopts the surrounding trace id (nested Calls share the root's
+// id) or allocates a fresh one at the root. Disabled, it costs one relaxed
+// load and two thread-local moves; enabled, it adds only the id handling —
+// deliberately no cycle read (see the cost model above). Sites that want a
+// stage latency read the counter themselves on their slow path.
+class TraceScope {
+ public:
+  TraceScope();
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  bool active() const { return id_ != 0; }
+  uint64_t id() const { return id_; }
+
+ private:
+  uint64_t saved_ = 0;
+  uint64_t id_ = 0;
+};
+
+}  // namespace nexus::kernel
+
+#endif  // NEXUS_KERNEL_TRACE_H_

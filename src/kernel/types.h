@@ -219,6 +219,11 @@ struct AuthzRequest {
   ProcessId subject = kKernelProcessId;
   OpId op = 0;
   ObjectId obj = 0;
+  // Flight-recorder correlation id (kernel/trace.h): 0 = untraced. NOT
+  // part of the request's identity — equality and every cache key ignore
+  // it; it only lets downstream stages (engine, guard, remote authority)
+  // stamp their TraceEvents with the originating call's id.
+  uint64_t trace = 0;
 
   static AuthzRequest Of(ProcessId subject, std::string_view operation,
                          std::string_view object) {
@@ -228,7 +233,9 @@ struct AuthzRequest {
   std::string_view operation() const { return OpName(op); }
   std::string_view object() const { return ObjectName(obj); }
 
-  friend bool operator==(const AuthzRequest&, const AuthzRequest&) = default;
+  friend bool operator==(const AuthzRequest& a, const AuthzRequest& b) {
+    return a.subject == b.subject && a.op == b.op && a.obj == b.obj;
+  }
 };
 
 enum class AuthzVerdict : uint8_t { kAllow, kDeny };

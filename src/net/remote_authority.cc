@@ -1,10 +1,36 @@
 #include "net/remote_authority.h"
 
 #include "kernel/ipc.h"
+#include "kernel/trace.h"
 #include "nal/parser.h"
 #include "util/bytes.h"
 
 namespace nexus::net {
+
+namespace {
+
+// One kRemoteVouch provenance event per attested round trip (aux =
+// statement count). The trace id is the calling thread's scope: remote
+// consultations run synchronously inside the traced authorization.
+void EmitRemoteVouch(uint64_t statements, bool ok) {
+  kernel::FlightRecorder& recorder = kernel::FlightRecorder::Global();
+  if (!recorder.enabled()) {
+    return;
+  }
+  uint64_t id = kernel::CurrentTraceId();
+  if (id == 0) {
+    return;
+  }
+  kernel::TraceEvent e;
+  e.trace_id = id;
+  e.aux = statements;
+  e.flags = static_cast<uint16_t>(kernel::kTraceFlagRemote |
+                                  (ok ? 0 : kernel::kTraceFlagDenied));
+  e.stage = kernel::TraceStage::kRemoteVouch;
+  recorder.Emit(e);
+}
+
+}  // namespace
 
 Result<Bytes> AuthorityBatchEndpoint::Handle(AttestedChannel& channel, ByteView request) {
   (void)channel;
@@ -100,20 +126,23 @@ bool RemoteAuthority::Vouches(const nal::Formula& statement) {
 }
 
 bool RemoteAuthority::VouchesWithin(const nal::Formula& statement, uint64_t timeout_us) {
-  ++stats_.queries;
+  stats_.queries->Increment();
   Result<AttestedChannel*> channel = node_->Connect(peer_);
   if (!channel.ok()) {
-    ++stats_.denied_unreachable;
+    stats_.denied_unreachable->Increment();
+    EmitRemoteVouch(1, false);
     return false;  // Unreachable or untrusted peer: fail closed.
   }
   Result<Bytes> answer = (*channel)->Call(std::string(AuthorityService::kServiceName),
                                           ToBytes(statement->ToString()), timeout_us);
   if (!answer.ok()) {
-    ++stats_.denied_unreachable;
+    stats_.denied_unreachable->Increment();
+    EmitRemoteVouch(1, false);
     return false;  // Lost or late: the deadline IS the answer (deny).
   }
   bool vouched = !answer->empty() && (*answer)[0] == 1;
-  ++(vouched ? stats_.vouched : stats_.denied);
+  (vouched ? stats_.vouched : stats_.denied)->Increment();
+  EmitRemoteVouch(1, true);
   return vouched;
 }
 
@@ -143,14 +172,15 @@ std::unique_ptr<core::VouchFuture> RemoteAuthority::VouchBatchAsync(
   if (count == 0) {
     return fail_closed();
   }
-  stats_.queries += count;
-  ++stats_.batch_round_trips;
+  stats_.queries->Increment(count);
+  stats_.batch_round_trips->Increment();
   // Connect() may pump the fabric for the handshake (once per peer); the
   // request itself goes out below WITHOUT pumping, so round trips to
   // several peers can be in flight simultaneously.
   Result<AttestedChannel*> channel = node_->Connect(peer_);
   if (!channel.ok()) {
-    stats_.denied_unreachable += count;
+    stats_.denied_unreachable->Increment(count);
+    EmitRemoteVouch(count, false);
     return fail_closed();  // Unreachable or untrusted peer: fail closed.
   }
   Bytes payload;
@@ -161,7 +191,8 @@ std::unique_ptr<core::VouchFuture> RemoteAuthority::VouchBatchAsync(
   Result<uint64_t> request = (*channel)->CallStart(
       std::string(AuthorityService::kBatchServiceName), payload, timeout_us);
   if (!request.ok()) {
-    stats_.denied_unreachable += count;
+    stats_.denied_unreachable->Increment(count);
+    EmitRemoteVouch(count, false);
     return fail_closed();
   }
   AttestedChannel* ch = *channel;
@@ -170,13 +201,15 @@ std::unique_ptr<core::VouchFuture> RemoteAuthority::VouchBatchAsync(
     std::vector<bool> answers(count, false);
     Result<Bytes> reply = ch->CallFinish(request_id);
     if (!reply.ok()) {
-      stats_.denied_unreachable += count;
+      stats_.denied_unreachable->Increment(count);
+      EmitRemoteVouch(count, false);
       return answers;  // One deadline governs the whole round trip.
     }
     for (size_t i = 0; i < count; ++i) {
       answers[i] = i < reply->size() && (*reply)[i] == 1;
-      ++(answers[i] ? stats_.vouched : stats_.denied);
+      (answers[i] ? stats_.vouched : stats_.denied)->Increment();
     }
+    EmitRemoteVouch(count, true);
     return answers;
   });
 }

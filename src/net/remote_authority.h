@@ -24,6 +24,7 @@
 
 #include "core/authority.h"
 #include "net/node.h"
+#include "util/metrics.h"
 
 namespace nexus::net {
 
@@ -111,27 +112,31 @@ class RemoteAuthority : public core::Authority {
   bool IsRemote() const override { return true; }
 
   Stats stats() const {
-    return Stats{stats_.queries.load(),
-                 stats_.vouched.load(),
-                 stats_.denied.load(),
-                 stats_.denied_unreachable.load(),
-                 stats_.batch_round_trips.load()};
+    return Stats{stats_.queries->Value(),
+                 stats_.vouched->Value(),
+                 stats_.denied->Value(),
+                 stats_.denied_unreachable->Value(),
+                 stats_.batch_round_trips->Value()};
   }
 
  private:
-  struct AtomicStats {
-    std::atomic<uint64_t> queries{0};
-    std::atomic<uint64_t> vouched{0};
-    std::atomic<uint64_t> denied{0};
-    std::atomic<uint64_t> denied_unreachable{0};
-    std::atomic<uint64_t> batch_round_trips{0};
-  };
-
   NetNode* node_;
   NodeId peer_;
   HandlesPredicate handles_;
   uint64_t default_timeout_us_;
-  AtomicStats stats_;
+  // Registry instruments ("remote_authority.*"): relaxed-atomic tallies;
+  // stats() snapshots them per instance, the registry aggregates across
+  // instances.
+  metrics::MetricGroup metrics_{&metrics::Registry::Global(), "remote_authority"};
+  struct {
+    metrics::Counter* queries;
+    metrics::Counter* vouched;
+    metrics::Counter* denied;
+    metrics::Counter* denied_unreachable;
+    metrics::Counter* batch_round_trips;
+  } stats_{metrics_.NewCounter("queries"), metrics_.NewCounter("vouched"),
+           metrics_.NewCounter("denied"), metrics_.NewCounter("denied_unreachable"),
+           metrics_.NewCounter("batch_round_trips")};
 };
 
 }  // namespace nexus::net

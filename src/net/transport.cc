@@ -58,8 +58,8 @@ void Transport::AdvanceTime(uint64_t us) {
 }
 
 Transport::Stats Transport::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  return Stats{stats_.sent->Value(), stats_.delivered->Value(), stats_.dropped->Value(),
+               stats_.bytes_carried->Value()};
 }
 
 void Transport::ArmPumpGate(size_t queued_messages) {
@@ -73,10 +73,10 @@ Status Transport::Send(Message message) {
     return NotFound("no endpoint attached at " + message.to);
   }
   const LinkConfig& link = LinkForLocked(message.from, message.to);
-  ++stats_.sent;
-  stats_.bytes_carried += message.payload.size();
+  stats_.sent->Increment();
+  stats_.bytes_carried->Increment(message.payload.size());
   if (rng_.NextBool(link.drop_rate)) {
-    ++stats_.dropped;
+    stats_.dropped->Increment();
     return OkStatus();  // Loss is invisible to the sender.
   }
   Pending pending;
@@ -120,7 +120,7 @@ size_t Transport::DeliverAll(size_t max_steps) {
       if (it == endpoints_.end()) {
         continue;  // Endpoint detached while the message was in flight.
       }
-      ++stats_.delivered;
+      stats_.delivered->Increment();
       ++delivered;
       endpoint = it->second;
       message = std::move(next.message);

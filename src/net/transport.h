@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "util/bytes.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -102,7 +103,8 @@ class Transport {
 
   uint64_t now_us() const;
   void AdvanceTime(uint64_t us);
-  Stats stats() const;  // Snapshot by value.
+  // Snapshot by value (counter reads are atomic; no lock needed).
+  Stats stats() const;
 
  private:
   struct Pending {
@@ -135,7 +137,17 @@ class Transport {
   uint64_t next_channel_id_ = 1;
   uint64_t now_us_ = 0;
   Rng rng_;
-  Stats stats_;
+
+  // Registry instruments ("transport.*"). Incremented inside the existing
+  // mu_ regions; reads are lock-free relaxed loads.
+  metrics::MetricGroup metrics_{&metrics::Registry::Global(), "transport"};
+  struct {
+    metrics::Counter* sent;
+    metrics::Counter* delivered;
+    metrics::Counter* dropped;
+    metrics::Counter* bytes_carried;
+  } stats_{metrics_.NewCounter("sent"), metrics_.NewCounter("delivered"),
+           metrics_.NewCounter("dropped"), metrics_.NewCounter("bytes_carried")};
 };
 
 }  // namespace nexus::net

@@ -85,10 +85,10 @@ kernel::InterposeVerdict DeviceDriverMonitor::OnCall(const kernel::IpcContext& c
     allowed = Evaluate(message);
   }
   if (allowed) {
-    ++stats_.allowed;
+    stats_.allowed->Increment();
     return kernel::InterposeVerdict::kAllow;
   }
-  ++stats_.denied;
+  stats_.denied->Increment();
   return kernel::InterposeVerdict::kDeny;
 }
 

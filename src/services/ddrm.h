@@ -17,6 +17,7 @@
 
 #include "core/engine.h"
 #include "kernel/kernel.h"
+#include "util/metrics.h"
 
 namespace nexus::services {
 
@@ -48,7 +49,8 @@ class DeviceDriverMonitor : public kernel::Interceptor {
   Status AttestDriver(core::Engine* engine, kernel::ProcessId self,
                       kernel::ProcessId driver) const;
 
-  const Stats& stats() const { return stats_; }
+  // Snapshot by value ("ddrm.*" in the metrics plane).
+  Stats stats() const { return Stats{stats_.allowed->Value(), stats_.denied->Value()}; }
   const DdrmPolicy& policy() const { return policy_; }
 
  private:
@@ -69,7 +71,11 @@ class DeviceDriverMonitor : public kernel::Interceptor {
   // NAL proof check of `Policy says allows(<op>)` against the policy's
   // labels. Pre-built at construction.
   std::vector<nal::Formula> policy_credentials_;
-  Stats stats_;
+  metrics::MetricGroup metrics_{&metrics::Registry::Global(), "ddrm"};
+  struct {
+    metrics::Counter* allowed;
+    metrics::Counter* denied;
+  } stats_{metrics_.NewCounter("allowed"), metrics_.NewCounter("denied")};
 };
 
 }  // namespace nexus::services

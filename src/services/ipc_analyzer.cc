@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "kernel/trace.h"
+
 namespace nexus::services {
 
 IpcAnalyzer::IpcAnalyzer(kernel::Kernel* kernel, core::Engine* engine, kernel::ProcessId self)
@@ -37,6 +39,38 @@ std::set<kernel::ProcessId> IpcAnalyzer::ReachableFrom(kernel::ProcessId from) c
 
 bool IpcAnalyzer::HasPath(kernel::ProcessId from, kernel::ProcessId to) const {
   return ReachableFrom(from).contains(to);
+}
+
+std::map<std::pair<kernel::ProcessId, kernel::ProcessId>, uint64_t> IpcAnalyzer::ObservedEdges()
+    const {
+  std::map<std::pair<kernel::ProcessId, kernel::ProcessId>, uint64_t> edges;
+  // Port ownership is resolved at read time, once per distinct port.
+  std::map<kernel::PortId, Result<kernel::ProcessId>> owners;
+  for (const kernel::TraceEvent& event : kernel::FlightRecorder::Global().Recent()) {
+    if (event.stage != kernel::TraceStage::kCall) {
+      continue;
+    }
+    auto port = static_cast<kernel::PortId>(event.aux);
+    auto [it, inserted] = owners.try_emplace(port, kernel::ProcessId{0});
+    if (inserted) {
+      it->second = kernel_->PortOwner(port);
+    }
+    if (!it->second.ok()) {
+      continue;
+    }
+    ++edges[{event.subject, *it->second}];
+  }
+  return edges;
+}
+
+uint64_t IpcAnalyzer::ObservedTraffic(kernel::ProcessId from, kernel::ProcessId to) const {
+  uint64_t total = 0;
+  for (const auto& [edge, count] : ObservedEdges()) {
+    if (edge.first == from && edge.second == to) {
+      total += count;
+    }
+  }
+  return total;
 }
 
 std::set<kernel::ProcessId> IpcAnalyzer::ProcessesNamed(const std::string& name) const {

@@ -10,8 +10,11 @@
 #ifndef NEXUS_SERVICES_IPC_ANALYZER_H_
 #define NEXUS_SERVICES_IPC_ANALYZER_H_
 
+#include <cstdint>
+#include <map>
 #include <set>
 #include <string>
+#include <utility>
 
 #include "core/engine.h"
 #include "kernel/kernel.h"
@@ -42,6 +45,17 @@ class IpcAnalyzer {
   // Positive form: <analyzer> says hasPath(...). Fails if no path exists.
   Result<core::LabelHandle> AttestPath(kernel::ProcessId subject,
                                        const std::string& target_name);
+
+  // ---------------------------------------------- observed traffic (trace)
+  // The static channel graph above says who COULD talk; the flight
+  // recorder says who DID. These walk the recorder's retained kCall events
+  // (subject = caller, aux = destination port) and resolve each port to
+  // its owner, yielding caller->callee edges weighted by call count. Only
+  // meaningful while FlightRecorder::Global() is enabled; ports whose
+  // owner died resolve to no edge.
+  std::map<std::pair<kernel::ProcessId, kernel::ProcessId>, uint64_t> ObservedEdges() const;
+  // Calls observed from `from` to any port owned by `to`.
+  uint64_t ObservedTraffic(kernel::ProcessId from, kernel::ProcessId to) const;
 
  private:
   std::set<kernel::ProcessId> ProcessesNamed(const std::string& name) const;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "util/bytes.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -189,6 +190,101 @@ TEST(RngTest, RandomBytesLength) {
   EXPECT_EQ(rng.RandomBytes(0).size(), 0u);
   EXPECT_EQ(rng.RandomBytes(1).size(), 1u);
   EXPECT_EQ(rng.RandomBytes(33).size(), 33u);
+}
+
+// ------------------------------------------------------------ metrics
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  metrics::Registry registry;
+  metrics::MetricGroup group(&registry, "test");
+  metrics::Counter* c = group.NewCounter("hits");
+  metrics::Gauge* g = group.NewGauge("depth");
+  EXPECT_EQ(c->Value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42u);
+  g->Set(7);
+  g->Add(-2);
+  EXPECT_EQ(g->Value(), 5);
+
+  metrics::Snapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.at("test.hits").value, 42);
+  EXPECT_EQ(snap.at("test.depth").value, 5);
+}
+
+TEST(MetricsTest, HistogramBucketsByBitWidth) {
+  metrics::Histogram h;
+  h.Record(0);    // bucket 0
+  h.Record(1);    // bucket 1
+  h.Record(5);    // bucket 3: [4, 8)
+  h.Record(5);
+  h.Record(900);  // bucket 10: [512, 1024)
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_EQ(h.Sum(), 911u);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(3), 2u);
+  EXPECT_EQ(h.BucketCount(10), 1u);
+}
+
+TEST(MetricsTest, SnapshotAggregatesAcrossInstancesAndRetirement) {
+  metrics::Registry registry;
+  metrics::MetricGroup a(&registry, "guard");
+  a.NewCounter("checks")->Increment(10);
+  {
+    // A second instance with the same prefix: the registry view sums them,
+    // while each instance's own pointer still reads its private tally.
+    metrics::MetricGroup b(&registry, "guard");
+    metrics::Counter* b_checks = b.NewCounter("checks");
+    b_checks->Increment(5);
+    EXPECT_EQ(b_checks->Value(), 5u);
+    EXPECT_EQ(registry.TakeSnapshot().at("guard.checks").value, 15);
+  }
+  // `b` died; its total is retired, not lost.
+  EXPECT_EQ(registry.TakeSnapshot().at("guard.checks").value, 15);
+}
+
+TEST(MetricsTest, SnapshotPrefixFilters) {
+  metrics::Registry registry;
+  metrics::MetricGroup cache(&registry, "cache");
+  metrics::MetricGroup engine(&registry, "engine");
+  cache.NewCounter("hits")->Increment();
+  engine.NewCounter("misses")->Increment();
+  metrics::Snapshot snap = registry.TakeSnapshot("cache");
+  EXPECT_TRUE(snap.contains("cache.hits"));
+  EXPECT_FALSE(snap.contains("engine.misses"));
+}
+
+TEST(MetricsTest, RenderTextAndJson) {
+  metrics::Registry registry;
+  metrics::MetricGroup group(&registry, "kernel");
+  group.NewCounter("calls")->Increment(3);
+  metrics::Histogram* lat = group.NewHistogram("cycles");
+  for (int i = 0; i < 100; ++i) {
+    lat->Record(1000);
+  }
+  std::string text = registry.RenderText("kernel");
+  EXPECT_NE(text.find("kernel.calls 3"), std::string::npos);
+  EXPECT_NE(text.find("kernel.cycles count=100"), std::string::npos);
+  // 1000 has bit width 10, so every quantile reports the 2^10-1 bound.
+  EXPECT_NE(text.find("p99=1023"), std::string::npos);
+  std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"kernel.calls\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"kernel.cycles\": {\"count\": 100"), std::string::npos);
+}
+
+TEST(MetricsTest, ApproxQuantileWalksBuckets) {
+  metrics::Registry registry;
+  metrics::MetricGroup group(&registry, "q");
+  metrics::Histogram* h = group.NewHistogram("h");
+  for (int i = 0; i < 90; ++i) {
+    h->Record(3);  // bucket 2, bound 3.
+  }
+  for (int i = 0; i < 10; ++i) {
+    h->Record(1 << 20);  // bucket 21.
+  }
+  metrics::InstrumentValue v = registry.TakeSnapshot().at("q.h");
+  EXPECT_EQ(v.ApproxQuantile(0.5), 3u);
+  EXPECT_GT(v.ApproxQuantile(0.99), 1u << 19);
 }
 
 }  // namespace
