@@ -1,0 +1,106 @@
+// Workload-harness benchmark: sweep every application scenario under the
+// million-subject load driver and emit BENCH_workload.json.
+//
+// Unlike the google-benchmark binaries, the driver measures itself (wall
+// clock, per-op latency histograms) and doubles as an audit: every run
+// drains the FlightRecorder and MutationLog into the TraceAuditor, and a
+// serializability or structural violation fails the bench with a nonzero
+// exit — CI's workload-soak job leans on that. The JSON artifact carries
+// per-scenario throughput and p50/p99/p999 latency so load-path
+// regressions stay visible PR-over-PR, same as the figure benches.
+//
+// Env overrides (the CI smoke runner passes --benchmark_* flags, which
+// are ignored; positional args are not used):
+//   NEXUS_WORKLOAD_OUT       output path (default BENCH_workload.json)
+//   NEXUS_WORKLOAD_CALLS     logical calls per scenario (default 50000)
+//   NEXUS_WORKLOAD_THREADS   worker threads (default 4)
+//   NEXUS_WORKLOAD_SUBJECTS  simulated subject population (default 1M)
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/scenario_adapters.h"
+#include "harness/workload.h"
+#include "util/metrics.h"
+
+namespace {
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(value, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+}  // namespace
+
+int main() {
+  const char* out_env = std::getenv("NEXUS_WORKLOAD_OUT");
+  const std::string out_path =
+      (out_env != nullptr && *out_env != '\0') ? out_env : "BENCH_workload.json";
+
+  nexus::harness::WorkloadConfig base;
+  base.logical_calls = EnvOr("NEXUS_WORKLOAD_CALLS", 50'000);
+  base.threads = static_cast<size_t>(EnvOr("NEXUS_WORKLOAD_THREADS", 4));
+  base.subjects = EnvOr("NEXUS_WORKLOAD_SUBJECTS", 1'000'000);
+
+  std::vector<std::string> reports;
+  bool clean = true;
+  for (std::string_view name : nexus::apps::ScenarioNames()) {
+    nexus::harness::WorkloadConfig config = base;
+    config.scenario = std::string(name);
+    nexus::harness::WorkloadDriver driver(config);
+    nexus::Result<nexus::harness::WorkloadReport> report = driver.Run();
+    if (!report.ok()) {
+      std::fprintf(stderr, "FAIL scenario %s: %s\n", config.scenario.c_str(),
+                   report.status().message().c_str());
+      return 1;
+    }
+    std::printf(
+        "WORKLOAD scenario=%s threads=%zu calls=%llu throughput=%.0f ops/s "
+        "p50=%lluns p99=%lluns p999=%lluns audit{%s}\n",
+        report->scenario.c_str(), report->threads,
+        static_cast<unsigned long long>(report->calls_completed), report->throughput_ops,
+        static_cast<unsigned long long>(report->p50_ns),
+        static_cast<unsigned long long>(report->p99_ns),
+        static_cast<unsigned long long>(report->p999_ns),
+        report->audit.Summary().c_str());
+    if (!report->audit.clean()) {
+      for (const auto& v : report->audit.samples) {
+        std::fprintf(stderr, "  [%s] %s\n", v.kind.c_str(), v.detail.c_str());
+      }
+      clean = false;
+    }
+    reports.push_back(report->ToJson());
+  }
+
+  std::ofstream file(out_path, std::ios::trunc);
+  if (!file) {
+    std::fprintf(stderr, "FAIL: cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  file << "[\n";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    file << reports[i] << (i + 1 < reports.size() ? ",\n" : "\n");
+  }
+  file << "]\n";
+  file.flush();
+  if (!file) {
+    std::fprintf(stderr, "FAIL: short write to %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu scenarios)\n", out_path.c_str(), reports.size());
+
+  nexus::metrics::DumpRegistryToEnvPath();
+  if (!clean) {
+    std::fprintf(stderr, "FAIL: audit violations during workload sweep\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,254 @@
+#include "apps/scenario_adapters.h"
+
+#include <mutex>
+
+#include "nal/parser.h"
+#include "nal/proof.h"
+
+namespace nexus::apps {
+
+ScenarioSpec FauxbookScenario() {
+  ScenarioSpec spec;
+  spec.name = "fauxbook";
+  spec.read_op = "read_post";
+  spec.write_op = "post";
+  spec.object_prefix = "fb:post:";
+  spec.certifier = "FauxbookCA";
+  spec.credential = "member(fauxbook)";
+  spec.allow_goal = "FauxbookCA says member(fauxbook)";
+  spec.deny_goal = "FauxbookCA says banned(fauxbook)";
+  spec.interposed = false;
+  return spec;
+}
+
+ScenarioSpec DdrmScenario() {
+  ScenarioSpec spec;
+  spec.name = "ddrm";
+  spec.read_op = "recv";
+  spec.write_op = "send";
+  spec.object_prefix = "nic:buf:";
+  spec.certifier = "DriverMonitor";
+  spec.credential = "mediated(driver)";
+  spec.allow_goal = "DriverMonitor says mediated(driver)";
+  spec.deny_goal = "DriverMonitor says quarantined(driver)";
+  spec.interposed = true;  // The whole point: calls traverse a real DDRM.
+  return spec;
+}
+
+ScenarioSpec MoviePlayerScenario() {
+  ScenarioSpec spec;
+  spec.name = "movie_player";
+  spec.read_op = "play";
+  spec.write_op = "transcode";
+  spec.object_prefix = "movie:";
+  spec.certifier = "Studio";
+  spec.credential = "licensed(player)";
+  spec.allow_goal = "Studio says licensed(player)";
+  spec.deny_goal = "Studio says revoked(player)";
+  spec.interposed = true;  // DRM-style mediation on the playback port.
+  return spec;
+}
+
+ScenarioSpec TrudocsScenario() {
+  ScenarioSpec spec;
+  spec.name = "trudocs";
+  spec.read_op = "excerpt";
+  spec.write_op = "redact";
+  spec.object_prefix = "doc:";
+  spec.certifier = "Registrar";
+  spec.credential = "cleared(analyst)";
+  spec.allow_goal = "Registrar says cleared(analyst)";
+  spec.deny_goal = "Registrar says embargoed(analyst)";
+  spec.interposed = false;
+  return spec;
+}
+
+Result<ScenarioSpec> ScenarioByName(std::string_view name) {
+  if (name == "fauxbook") {
+    return FauxbookScenario();
+  }
+  if (name == "ddrm") {
+    return DdrmScenario();
+  }
+  if (name == "movie_player") {
+    return MoviePlayerScenario();
+  }
+  if (name == "trudocs") {
+    return TrudocsScenario();
+  }
+  return InvalidArgument("unknown scenario: " + std::string(name));
+}
+
+std::vector<std::string> ScenarioNames() {
+  return {"fauxbook", "ddrm", "movie_player", "trudocs"};
+}
+
+// The guarded service: every read/write IPC re-enters kernel
+// authorization for (caller, op, object) exactly like the fileserver
+// does, so one Call yields the full provenance chain the auditor checks —
+// cache probe, engine miss, guard check, verdict, and the kCall event
+// with the interposed flag when a monitor is installed.
+class WorkloadScenario::GuardedObjectServer : public kernel::PortHandler {
+ public:
+  explicit GuardedObjectServer(kernel::Kernel* kernel) : kernel_(kernel) {}
+
+  kernel::IpcReply Handle(const kernel::IpcContext& context,
+                          const kernel::IpcMessage& message) override {
+    kernel::IpcReply reply;
+    Result<kernel::ObjectId> obj = message.ArgObject(0);
+    if (!obj.ok()) {
+      reply.status = obj.status();
+      return reply;
+    }
+    reply.status =
+        kernel_->Authorize(kernel::AuthzRequest{context.caller, message.op, *obj});
+    reply.value = reply.status.ok() ? 1 : 0;
+    return reply;
+  }
+
+ private:
+  kernel::Kernel* kernel_;
+};
+
+struct WorkloadScenario::AuditedObjectState {
+  std::mutex mu;
+  bool allow = true;  // Setup installs the allow goal first.
+};
+
+WorkloadScenario::WorkloadScenario(core::Nexus* nexus, ScenarioSpec spec)
+    : nexus_(nexus), spec_(std::move(spec)) {}
+
+WorkloadScenario::~WorkloadScenario() = default;
+
+Result<std::unique_ptr<WorkloadScenario>> WorkloadScenario::Create(
+    core::Nexus* nexus, const ScenarioSpec& spec, const Params& params) {
+  std::unique_ptr<WorkloadScenario> scenario(new WorkloadScenario(nexus, spec));
+  NEXUS_RETURN_IF_ERROR(scenario->Setup(params));
+  return scenario;
+}
+
+Status WorkloadScenario::Setup(const Params& params) {
+  kernel::Kernel& kernel = nexus_->kernel();
+  core::Engine& engine = nexus_->engine();
+
+  Result<nal::Formula> allow = nal::ParseFormula(spec_.allow_goal);
+  NEXUS_RETURN_IF_ERROR(allow.status());
+  Result<nal::Formula> deny = nal::ParseFormula(spec_.deny_goal);
+  NEXUS_RETURN_IF_ERROR(deny.status());
+  Result<nal::Formula> credential = nal::ParseFormula(spec_.credential);
+  NEXUS_RETURN_IF_ERROR(credential.status());
+  allow_goal_ = *allow;
+  deny_goal_ = *deny;
+  allow_goal_id_ = nal::Interner::Global().Intern(allow_goal_);
+  deny_goal_id_ = nal::Interner::Global().Intern(deny_goal_);
+  read_op_ = kernel::InternOp(spec_.read_op);
+  write_op_ = kernel::InternOp(spec_.write_op);
+
+  Result<kernel::ProcessId> server =
+      nexus_->CreateProcess("svc_" + spec_.name, ToBytes("svc"));
+  NEXUS_RETURN_IF_ERROR(server.status());
+  server_ = *server;
+  Result<kernel::PortId> port = kernel.CreatePort(server_);
+  NEXUS_RETURN_IF_ERROR(port.status());
+  service_port_ = *port;
+  handler_ = std::make_unique<GuardedObjectServer>(&kernel);
+  NEXUS_RETURN_IF_ERROR(kernel.BindHandler(service_port_, handler_.get()));
+
+  // The certifying authority's label is what discharges holder proofs.
+  engine.SayAs(nal::Principal(spec_.certifier), *credential);
+
+  objects_.reserve(params.objects);
+  audited_ = params.audited < params.objects ? params.audited : params.objects;
+  for (size_t i = 0; i < params.objects; ++i) {
+    kernel::ObjectId obj = kernel::InternObject(spec_.object_prefix + std::to_string(i));
+    objects_.push_back(obj);
+    if (i < audited_) {
+      // Audited objects are registered (owner = the service) and guarded;
+      // the rest stay unregistered — ambient allow traffic that keeps the
+      // cache and trace plane busy without audit expectations.
+      NEXUS_RETURN_IF_ERROR(engine.RegisterObject(obj, server_, server_));
+      NEXUS_RETURN_IF_ERROR(engine.SetGoal(server_, read_op_, obj, allow_goal_));
+      audited_state_.push_back(std::make_unique<AuditedObjectState>());
+    }
+  }
+
+  proof_holders_.reserve(params.proof_holders);
+  for (size_t i = 0; i < params.proof_holders; ++i) {
+    Result<kernel::ProcessId> holder =
+        nexus_->CreateProcess("subj_" + spec_.name + "_" + std::to_string(i), ToBytes("s"));
+    NEXUS_RETURN_IF_ERROR(holder.status());
+    proof_holders_.push_back(*holder);
+    for (size_t o = 0; o < audited_; ++o) {
+      NEXUS_RETURN_IF_ERROR(engine.SetProof(
+          kernel::AuthzRequest{*holder, read_op_, objects_[o]},
+          nal::proof::Premise(allow_goal_)));
+    }
+  }
+
+  if (spec_.interposed) {
+    services::DdrmPolicy policy;
+    policy.allowed_operations = {spec_.read_op, spec_.write_op};
+    // cache_decisions=false: the monitor's verdict memo is a plain map,
+    // unsafe under the driver's concurrent Call traffic. Policy
+    // evaluation itself is read-only.
+    monitor_ =
+        std::make_unique<services::DeviceDriverMonitor>(policy, /*cache_decisions=*/false);
+    NEXUS_RETURN_IF_ERROR(kernel.Interpose(server_, service_port_, monitor_.get()).status());
+  }
+  return OkStatus();
+}
+
+Status WorkloadScenario::Authorize(kernel::ProcessId subject, size_t object_index) {
+  return nexus_->kernel().Authorize(
+      kernel::AuthzRequest{subject, read_op_, objects_[object_index % objects_.size()]});
+}
+
+Status WorkloadScenario::Read(kernel::ProcessId subject, size_t object_index) {
+  kernel::IpcMessage message = kernel::IpcMessage::Of(read_op_);
+  message.AddObject(objects_[object_index % objects_.size()]);
+  return nexus_->kernel().Call(subject, service_port_, message).status;
+}
+
+Status WorkloadScenario::Write(kernel::ProcessId subject, size_t object_index) {
+  kernel::IpcMessage message = kernel::IpcMessage::Of(write_op_);
+  message.AddObject(objects_[object_index % objects_.size()]);
+  return nexus_->kernel().Call(subject, service_port_, message).status;
+}
+
+Status WorkloadScenario::FlipGoal(size_t audited_index) {
+  if (audited_ == 0) {
+    return FailedPrecondition("scenario has no audited objects");
+  }
+  AuditedObjectState& state = *audited_state_[audited_index % audited_];
+  // Serialized per object: the mutation log records install order only
+  // when installs on one (op, obj) don't race each other.
+  std::lock_guard<std::mutex> lock(state.mu);
+  bool to_allow = !state.allow;
+  Status status = nexus_->engine().SetGoal(server_, read_op_,
+                                           objects_[audited_index % audited_],
+                                           to_allow ? allow_goal_ : deny_goal_);
+  if (status.ok()) {
+    state.allow = to_allow;
+  }
+  return status;
+}
+
+Status WorkloadScenario::Churn(const std::string& name) {
+  Result<kernel::ProcessId> pid = nexus_->kernel().CreateProcess(name, ToBytes("c"));
+  NEXUS_RETURN_IF_ERROR(pid.status());
+  return nexus_->kernel().KillProcess(*pid);
+}
+
+kernel::ProcessId WorkloadScenario::SubjectAt(uint64_t rank) const {
+  if (rank < proof_holders_.size()) {
+    return proof_holders_[rank];
+  }
+  // Virtual subject: a ProcessId far above anything the pid allocator
+  // will reach. No process record exists — the authorization path treats
+  // it as an unprivileged subject with no proofs (cacheable deny on
+  // guarded objects), which is exactly a cold simulated user.
+  constexpr kernel::ProcessId kVirtualBase = kernel::ProcessId{1} << 40;
+  return kVirtualBase + rank;
+}
+
+}  // namespace nexus::apps

@@ -1,0 +1,121 @@
+// Scenario adapters: the existing application scenarios (fauxbook, DDRM,
+// movie_player, TruDocs) reshaped into a uniform surface the workload
+// driver can pound — N registered objects behind a guarded service port,
+// an audited prefix with flip-able goals, a pool of proof-holding subject
+// processes, and (for the monitored scenarios) a real DDRM interceptor on
+// the service port so the interposition invariant is exercised end to
+// end, not simulated.
+//
+// Subjects beyond the proof-holder pool are VIRTUAL: ProcessId values
+// with no backing process record. The kernel's authorization path handles
+// them by design (quota rooting falls back to the subject id; a subject
+// without a pre-submitted proof is a cacheable deny), which is what makes
+// millions of simulated subjects affordable — the driver never pays a
+// process record per simulated user.
+#ifndef NEXUS_APPS_SCENARIO_ADAPTERS_H_
+#define NEXUS_APPS_SCENARIO_ADAPTERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/nexus.h"
+#include "services/ddrm.h"
+
+namespace nexus::apps {
+
+// The per-scenario flavor: names, formulas, and whether the service port
+// is behind a reference monitor.
+struct ScenarioSpec {
+  std::string name;
+  std::string read_op;   // The audited operation.
+  std::string write_op;  // Secondary traffic (bootstrap-denied for non-owners).
+  std::string object_prefix;
+  std::string credential;   // Said by the certifying principal at setup.
+  std::string certifier;    // The principal whose label discharges proofs.
+  std::string allow_goal;   // Provable goal (its premise proof checks out).
+  std::string deny_goal;    // Unprovable goal the mutator flips to.
+  bool interposed = false;  // DDRM monitor on the service port.
+};
+
+ScenarioSpec FauxbookScenario();
+ScenarioSpec DdrmScenario();
+ScenarioSpec MoviePlayerScenario();
+ScenarioSpec TrudocsScenario();
+// "fauxbook" | "ddrm" | "movie_player" | "trudocs".
+Result<ScenarioSpec> ScenarioByName(std::string_view name);
+std::vector<std::string> ScenarioNames();
+
+// One scenario instantiated inside a Nexus.
+class WorkloadScenario {
+ public:
+  struct Params {
+    size_t objects = 256;
+    size_t audited = 4;       // Leading objects carrying flip-able goals.
+    size_t proof_holders = 16;
+  };
+
+  static Result<std::unique_ptr<WorkloadScenario>> Create(core::Nexus* nexus,
+                                                          const ScenarioSpec& spec,
+                                                          const Params& params);
+  ~WorkloadScenario();
+
+  WorkloadScenario(const WorkloadScenario&) = delete;
+  WorkloadScenario& operator=(const WorkloadScenario&) = delete;
+
+  // Workload verbs (thread-safe; FlipGoal serializes per audited object).
+  Status Authorize(kernel::ProcessId subject, size_t object_index);
+  Status Read(kernel::ProcessId subject, size_t object_index);   // Via Call.
+  Status Write(kernel::ProcessId subject, size_t object_index);  // Via Call.
+  Status FlipGoal(size_t audited_index);  // Alternates allow/deny goal.
+  Status Churn(const std::string& name);  // Create + kill one process.
+
+  // Subject mapping: ranks [0, proof_holders) are the real proof-holding
+  // processes (the zipf head, so the allow path dominates coverage);
+  // higher ranks are virtual subjects.
+  kernel::ProcessId SubjectAt(uint64_t rank) const;
+
+  // Audit wiring.
+  const ScenarioSpec& spec() const { return spec_; }
+  kernel::OpId read_op() const { return read_op_; }
+  kernel::OpId write_op() const { return write_op_; }
+  const std::vector<kernel::ObjectId>& objects() const { return objects_; }
+  size_t audited() const { return audited_; }
+  nal::FormulaId allow_goal_id() const { return allow_goal_id_; }
+  nal::FormulaId deny_goal_id() const { return deny_goal_id_; }
+  const std::vector<kernel::ProcessId>& proof_holders() const { return proof_holders_; }
+  kernel::PortId service_port() const { return service_port_; }
+  bool interposed() const { return spec_.interposed; }
+
+ private:
+  WorkloadScenario(core::Nexus* nexus, ScenarioSpec spec);
+
+  Status Setup(const Params& params);
+
+  class GuardedObjectServer;
+
+  core::Nexus* nexus_;
+  ScenarioSpec spec_;
+  kernel::OpId read_op_ = 0;
+  kernel::OpId write_op_ = 0;
+  nal::Formula allow_goal_;
+  nal::Formula deny_goal_;
+  nal::FormulaId allow_goal_id_ = 0;
+  nal::FormulaId deny_goal_id_ = 0;
+  kernel::ProcessId server_ = 0;
+  kernel::PortId service_port_ = 0;
+  std::vector<kernel::ObjectId> objects_;
+  size_t audited_ = 0;
+  std::vector<kernel::ProcessId> proof_holders_;
+  std::unique_ptr<GuardedObjectServer> handler_;
+  std::unique_ptr<services::DeviceDriverMonitor> monitor_;
+  // FlipGoal serialization + per-object flip parity. The mutation log
+  // records install order only if installs on one (op, obj) are
+  // externally serialized — the auditor's documented requirement.
+  struct AuditedObjectState;
+  std::vector<std::unique_ptr<AuditedObjectState>> audited_state_;
+};
+
+}  // namespace nexus::apps
+
+#endif  // NEXUS_APPS_SCENARIO_ADAPTERS_H_

@@ -11,6 +11,47 @@ using kernel::AuthzRequest;
 
 namespace {
 
+// Policy-plane mutation record for the global MutationLog. Stamped with
+// the mutated subregion's per-shard decision-cache generations as reported
+// by the invalidation itself — the EXACT post-bump values, read under the
+// bump's lock, so the auditor can place each mutation precisely on the
+// generation axis (an after-the-fact SubregionGenerations read would race
+// other threads' bumps and overshoot). kSay mutations carry no
+// generations: labels are append-only and never invalidate verdicts.
+void LogMutation(kernel::MutationKind kind, kernel::ProcessId subject, kernel::OpId op,
+                 kernel::ObjectId obj, uint64_t detail,
+                 std::vector<uint64_t> generations) {
+  kernel::MutationLog& log = kernel::MutationLog::Global();
+  if (!log.enabled()) {
+    return;
+  }
+  kernel::MutationRecord record;
+  record.kind = kind;
+  record.subject = subject;
+  record.op = op;
+  record.obj = obj;
+  record.detail = detail;
+  record.generations = std::move(generations);
+  log.Append(std::move(record));
+}
+
+// Generation stamp for a single-entry (proof) invalidation: only the
+// subject's shard was bumped, and only that shard's stamp must be exact
+// (it is `post_gen`, read under the bump's lock). The other shards' slots
+// are a best-effort snapshot — the auditor only consults the shard a
+// verdict actually ran in, which for this tuple is the subject's shard.
+std::vector<uint64_t> ProofMutationGens(kernel::Kernel* kernel,
+                                        const kernel::AuthzRequest& tuple,
+                                        uint64_t post_gen) {
+  std::vector<uint64_t> gens =
+      kernel->decision_cache().SubregionGenerations(tuple.op, tuple.obj);
+  size_t shard = kernel->decision_cache().ShardOf(tuple.subject);
+  if (shard < gens.size()) {
+    gens[shard] = post_gen;
+  }
+  return gens;
+}
+
 // Stage event for a traced request reaching the engine (a decision-cache
 // miss) or leaving it for a designated guard. No-op when untraced.
 void EmitEngineEvent(const AuthzRequest& request, kernel::TraceStage stage, uint64_t aux,
@@ -272,8 +313,15 @@ Result<LabelHandle> Engine::SayFormula(kernel::ProcessId speaker,
   }
   // The speaker is, by construction, the calling process's principal: the
   // secure syscall channel substitutes for a signature (§2.3).
-  std::unique_lock<std::shared_mutex> lock(state_mu_);
-  return stores_[speaker].Insert(kernel_->ProcessPrincipal(speaker), statement);
+  Result<LabelHandle> handle = [&] {
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    return stores_[speaker].Insert(kernel_->ProcessPrincipal(speaker), statement);
+  }();
+  if (handle.ok()) {
+    LogMutation(kernel::MutationKind::kSay, speaker, 0, 0,
+                nal::Interner::Global().Intern(statement), {});
+  }
+  return handle;
 }
 
 LabelHandle Engine::SayAs(const nal::Principal& speaker, const nal::Formula& statement) {
@@ -303,7 +351,18 @@ Status Engine::SetGoal(kernel::ProcessId caller, kernel::OpId op, kernel::Object
   // object) subregion (§2.8). Mutation first, then the generation bump —
   // a miss that snapshotted in between is dropped by the kernel's
   // generation-checked insert.
-  kernel_->OnGoalUpdate(op, obj);
+  const bool log_on = kernel::MutationLog::Global().enabled();
+  std::vector<uint64_t> post_gens;
+  kernel_->OnGoalUpdate(op, obj, log_on ? &post_gens : nullptr);
+  if (log_on) {
+    // Re-probe for the installed goal's interned id (the store interns on
+    // SetGoal); only paid when the log is on. Concurrent SetGoals on ONE
+    // (op, obj) must be externally serialized for the log to reflect
+    // install order — the auditor documents the same requirement.
+    std::optional<GoalEntry> installed = goals_.Get(op, obj);
+    LogMutation(kernel::MutationKind::kSetGoal, caller, op, obj,
+                installed.has_value() ? installed->goal_id : 0, std::move(post_gens));
+  }
   return OkStatus();
 }
 
@@ -323,7 +382,13 @@ Status Engine::ClearGoal(kernel::ProcessId caller, kernel::OpId op, kernel::Obje
     return authorized;
   }
   NEXUS_RETURN_IF_ERROR(goals_.ClearGoal(op, obj));
-  kernel_->OnGoalUpdate(op, obj);
+  const bool log_on = kernel::MutationLog::Global().enabled();
+  std::vector<uint64_t> post_gens;
+  kernel_->OnGoalUpdate(op, obj, log_on ? &post_gens : nullptr);
+  if (log_on) {
+    LogMutation(kernel::MutationKind::kClearGoal, caller, op, obj, 0,
+                std::move(post_gens));
+  }
   return OkStatus();
 }
 
@@ -351,7 +416,13 @@ Status Engine::SetProof(const AuthzRequest& tuple, nal::Proof proof) {
   }
   // A proof update invalidates the single affected cache entry (§2.8);
   // mutation first, then the generation bump (see SetGoal).
-  kernel_->OnProofUpdate(tuple);
+  const bool log_on = kernel::MutationLog::Global().enabled();
+  uint64_t post_gen = 0;
+  kernel_->OnProofUpdate(tuple, log_on ? &post_gen : nullptr);
+  if (log_on) {
+    LogMutation(kernel::MutationKind::kSetProof, tuple.subject, tuple.op, tuple.obj, 0,
+                ProofMutationGens(kernel_, tuple, post_gen));
+  }
   return OkStatus();
 }
 
@@ -371,7 +442,13 @@ Status Engine::ClearProof(const AuthzRequest& tuple) {
     }
     ++proof_versions_[key];
   }
-  kernel_->OnProofUpdate(tuple);
+  const bool log_on = kernel::MutationLog::Global().enabled();
+  uint64_t post_gen = 0;
+  kernel_->OnProofUpdate(tuple, log_on ? &post_gen : nullptr);
+  if (log_on) {
+    LogMutation(kernel::MutationKind::kClearProof, tuple.subject, tuple.op, tuple.obj, 0,
+                ProofMutationGens(kernel_, tuple, post_gen));
+  }
   return OkStatus();
 }
 

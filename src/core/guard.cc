@@ -12,9 +12,13 @@ namespace {
 
 // One kGuardCheck provenance event per guard verdict. The trace id is the
 // request's stamp (threaded by Kernel::Authorize) or, for direct Check
-// callers inside a traced call, the thread-local scope id.
+// callers inside a traced call, the thread-local scope id. `goal_id` is
+// the interned identity of the goal this verdict was evaluated against
+// (0 when the caller had none interned) — stamped into the event's
+// generation word so a trace auditor can confirm the guard observed a
+// goal state that is admissible for the verdict's generation window.
 void EmitGuardCheck(const AuthzRequest& request, uint16_t flags, bool allowed,
-                    uint32_t consulted) {
+                    uint32_t consulted, nal::FormulaId goal_id) {
   kernel::FlightRecorder& recorder = kernel::FlightRecorder::Global();
   if (!recorder.enabled()) {
     return;
@@ -28,6 +32,7 @@ void EmitGuardCheck(const AuthzRequest& request, uint16_t flags, bool allowed,
   e.subject = request.subject;
   e.op = request.op;
   e.obj = request.obj;
+  e.generation = goal_id;
   e.aux = consulted;
   e.flags = static_cast<uint16_t>(flags | (allowed ? 0 : kernel::kTraceFlagDenied));
   e.verdict = allowed ? kernel::kTraceVerdictAllow : kernel::kTraceVerdictDeny;
@@ -270,7 +275,7 @@ AuthzDecision Guard::CheckImpl(const AuthzRequest& request, const nal::Formula& 
     return AuthzDecision::Allow();
   }
   if (proof == nullptr) {
-    EmitGuardCheck(request, 0, /*allowed=*/false, 0);
+    EmitGuardCheck(request, 0, /*allowed=*/false, 0, goal_id);
     return AuthzDecision::Deny(
         PermissionDenied("no proof supplied for goal " + goal->ToString()), true);
   }
@@ -307,7 +312,7 @@ AuthzDecision Guard::CheckImpl(const AuthzRequest& request, const nal::Formula& 
       stats_.cache_hits->Increment();
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // LRU refresh.
       bool allowed = it->second->verdict;
-      EmitGuardCheck(request, kernel::kTraceFlagProofCacheHit, allowed, 0);
+      EmitGuardCheck(request, kernel::kTraceFlagProofCacheHit, allowed, 0, goal_id);
       return allowed ? AuthzDecision::Allow()
                      : AuthzDecision::Deny(PermissionDenied("denied (cached proof verdict)"),
                                            true);
@@ -345,7 +350,7 @@ AuthzDecision Guard::CheckImpl(const AuthzRequest& request, const nal::Formula& 
   decision.consulted_authorities = consulted;
   EmitGuardCheck(request,
                  decision.cacheable ? uint16_t{0} : kernel::kTraceFlagUncacheable,
-                 decision.allowed(), consulted);
+                 decision.allowed(), consulted, goal_id);
   return decision;
 }
 

@@ -1,0 +1,389 @@
+#include "harness/workload.h"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "apps/scenario_adapters.h"
+#include "core/nexus.h"
+#include "harness/zipf.h"
+#include "kernel/trace.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+
+namespace nexus::harness {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+enum class Verb : uint8_t { kAuthorize, kRead, kWrite, kSetGoal, kChurn };
+
+// Weighted verb pick from one uniform draw.
+Verb PickVerb(const WorkloadConfig& config, uint64_t draw) {
+  if (draw < config.authorize_weight) {
+    return Verb::kAuthorize;
+  }
+  draw -= config.authorize_weight;
+  if (draw < config.read_weight) {
+    return Verb::kRead;
+  }
+  draw -= config.read_weight;
+  if (draw < config.write_weight) {
+    return Verb::kWrite;
+  }
+  draw -= config.write_weight;
+  if (draw < config.setgoal_weight) {
+    return Verb::kSetGoal;
+  }
+  return Verb::kChurn;
+}
+
+void AppendJsonField(std::string* out, std::string_view key, uint64_t value,
+                     bool comma = true) {
+  *out += "\"";
+  *out += key;
+  *out += "\": " + std::to_string(value);
+  if (comma) {
+    *out += ",\n  ";
+  }
+}
+
+// Clears + enables the global trace plane for a run, restores "off" on
+// every exit path (including early errors), and makes the one-driver-at-a-
+// time contract explicit.
+class ScopedObservability {
+ public:
+  explicit ScopedObservability(bool enable) : enabled_(enable) {
+    if (!enabled_) {
+      return;
+    }
+    kernel::FlightRecorder::Global().Clear();
+    kernel::MutationLog::Global().Clear();
+    kernel::FlightRecorder::Global().set_enabled(true);
+    kernel::MutationLog::Global().set_enabled(true);
+  }
+  ~ScopedObservability() {
+    if (!enabled_) {
+      return;
+    }
+    kernel::FlightRecorder::Global().set_enabled(false);
+    kernel::MutationLog::Global().set_enabled(false);
+  }
+
+ private:
+  bool enabled_;
+};
+
+// Forges a probe + verdict pair on the calling thread's ring. Emitting
+// through the real FlightRecorder (not a side channel) is deliberate: the
+// injected fault exercises the same drain path real corruption would.
+void EmitForgedVerdict(kernel::ProcessId subject, kernel::OpId op, kernel::ObjectId obj,
+                       uint64_t probe_gen, uint64_t verdict_gen, uint8_t verdict) {
+  kernel::TraceScope trace;
+  if (!trace.active()) {
+    return;
+  }
+  kernel::TraceEvent probe;
+  probe.trace_id = trace.id();
+  probe.subject = subject;
+  probe.op = op;
+  probe.obj = obj;
+  probe.generation = probe_gen;
+  probe.stage = kernel::TraceStage::kCacheProbe;
+  probe.flags = kernel::kTraceFlagCacheMiss;
+  kernel::FlightRecorder::Global().Emit(probe);
+
+  kernel::TraceEvent v = probe;
+  v.generation = verdict_gen;
+  v.stage = kernel::TraceStage::kVerdict;
+  v.verdict = verdict;
+  v.flags = 0;
+  kernel::FlightRecorder::Global().Emit(v);
+}
+
+}  // namespace
+
+std::string WorkloadReport::ToJson() const {
+  std::string out = "{\n  ";
+  out += "\"scenario\": \"" + scenario + "\",\n  ";
+  AppendJsonField(&out, "threads", threads);
+  AppendJsonField(&out, "calls_completed", calls_completed);
+  AppendJsonField(&out, "subjects", subjects);
+  out += "\"wall_seconds\": " + std::to_string(wall_seconds) + ",\n  ";
+  out += "\"throughput_ops\": " + std::to_string(throughput_ops) + ",\n  ";
+  out += "\"latency_ns\": {";
+  AppendJsonField(&out, "p50", p50_ns, false);
+  out += ", ";
+  AppendJsonField(&out, "p99", p99_ns, false);
+  out += ", ";
+  AppendJsonField(&out, "p999", p999_ns, false);
+  out += "},\n  \"authorize_latency_ns\": {";
+  AppendJsonField(&out, "p50", authorize_p50_ns, false);
+  out += ", ";
+  AppendJsonField(&out, "p99", authorize_p99_ns, false);
+  out += ", ";
+  AppendJsonField(&out, "p999", authorize_p999_ns, false);
+  out += "},\n  ";
+  AppendJsonField(&out, "allows", allows);
+  AppendJsonField(&out, "denies", denies);
+  AppendJsonField(&out, "op_errors", op_errors);
+  out += "\"ops\": {";
+  AppendJsonField(&out, "authorize", authorize_ops, false);
+  out += ", ";
+  AppendJsonField(&out, "read", read_ops, false);
+  out += ", ";
+  AppendJsonField(&out, "write", write_ops, false);
+  out += ", ";
+  AppendJsonField(&out, "setgoal", setgoal_ops, false);
+  out += ", ";
+  AppendJsonField(&out, "churn", churn_ops, false);
+  out += "},\n  \"audit\": {";
+  AppendJsonField(&out, "enabled", audited ? 1 : 0, false);
+  out += ", ";
+  AppendJsonField(&out, "events_ingested", audit.events_ingested, false);
+  out += ", ";
+  AppendJsonField(&out, "events_dropped", audit.events_dropped, false);
+  out += ", ";
+  AppendJsonField(&out, "mutations_ingested", audit.mutations_ingested, false);
+  out += ", ";
+  AppendJsonField(&out, "chains_finalized", audit.chains_finalized, false);
+  out += ", ";
+  AppendJsonField(&out, "complete_chains", audit.complete_chains, false);
+  out += ", ";
+  AppendJsonField(&out, "verdicts_checked", audit.verdicts_checked, false);
+  out += ", ";
+  AppendJsonField(&out, "serializability_violations", audit.serializability_violations,
+                  false);
+  out += ", ";
+  AppendJsonField(&out, "stale_generation_violations", audit.stale_generation_violations,
+                  false);
+  out += ", ";
+  AppendJsonField(&out, "guard_bypass_violations", audit.guard_bypass_violations, false);
+  out += ", ";
+  AppendJsonField(&out, "interposition_violations", audit.interposition_violations, false);
+  out += ", ";
+  AppendJsonField(&out, "clean", audit.clean() ? 1 : 0, false);
+  out += "}\n}\n";
+  return out;
+}
+
+Status WorkloadReport::WriteJson(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return Internal("cannot open " + path + " for writing");
+  }
+  file << ToJson();
+  file.flush();
+  if (!file) {
+    return Internal("short write to " + path);
+  }
+  return OkStatus();
+}
+
+Result<WorkloadReport> WorkloadDriver::Run() {
+  const uint64_t total_weight = config_.authorize_weight + config_.read_weight +
+                                config_.write_weight + config_.setgoal_weight +
+                                config_.churn_weight;
+  if (total_weight == 0) {
+    return InvalidArgument("workload op mix has zero total weight");
+  }
+  if (config_.threads == 0) {
+    return InvalidArgument("workload needs at least one thread");
+  }
+  Result<apps::ScenarioSpec> spec = apps::ScenarioByName(config_.scenario);
+  NEXUS_RETURN_IF_ERROR(spec.status());
+
+  // Observability on BEFORE setup: the setup-time SetGoal/SetProof
+  // mutations are what give the auditor its initial timeline (audited
+  // pairs are registered with initial_goal_id = 0 / "no goal yet").
+  ScopedObservability observability(config_.audit);
+
+  Rng boot_rng(config_.seed);
+  tpm::Tpm tpm(boot_rng);
+  core::Nexus nexus(&tpm);
+
+  apps::WorkloadScenario::Params params;
+  params.objects = config_.objects;
+  params.audited = config_.audited_objects;
+  params.proof_holders = config_.proof_holders;
+  Result<std::unique_ptr<apps::WorkloadScenario>> scenario =
+      apps::WorkloadScenario::Create(&nexus, *spec, params);
+  NEXUS_RETURN_IF_ERROR(scenario.status());
+  apps::WorkloadScenario& sc = **scenario;
+
+  TraceAuditor::Config auditor_config;
+  auditor_config.cache_shards = nexus.kernel().decision_cache().config().num_shards;
+  auditor_config.cache_subregions = nexus.kernel().decision_cache().config().num_subregions;
+  TraceAuditor auditor(auditor_config);
+  if (config_.audit) {
+    for (size_t i = 0; i < sc.audited(); ++i) {
+      auditor.AuditPair(sc.read_op(), sc.objects()[i], sc.allow_goal_id(),
+                        /*initial_goal_id=*/nal::kInvalidFormulaId, sc.proof_holders());
+    }
+    if (sc.interposed()) {
+      auditor.RequireInterposed(sc.service_port());
+    }
+  }
+
+  metrics::Registry registry;  // Run-local: quantiles unpolluted by other runs.
+  metrics::MetricGroup group(&registry, "workload");
+  metrics::Histogram* latency = group.NewHistogram("latency_ns");
+  metrics::Histogram* authorize_latency = group.NewHistogram("authorize_latency_ns");
+
+  // Zipf tables are O(n) to build; construct once, share (Sample is const).
+  const ZipfSampler subject_zipf(config_.subjects, config_.subject_theta);
+  const ZipfSampler object_zipf(config_.objects, config_.object_theta);
+
+  std::atomic<uint64_t> issued{0};
+  std::atomic<uint64_t> allows{0}, denies{0}, op_errors{0};
+  std::atomic<uint64_t> verb_counts[5] = {};
+  std::atomic<bool> harvest_stop{false};
+
+  std::thread harvester;
+  if (config_.audit) {
+    harvester = std::thread([&] {
+      while (!harvest_stop.load(std::memory_order_acquire)) {
+        auditor.Harvest();
+        std::this_thread::sleep_for(std::chrono::microseconds(config_.harvest_interval_us));
+      }
+    });
+  }
+
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(config_.threads);
+  for (size_t t = 0; t < config_.threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(config_.seed * 0x9E3779B97F4A7C15ull + t + 1);
+      const std::chrono::nanoseconds period(
+          config_.open_loop && config_.open_loop_rate > 0
+              ? 1'000'000'000ull / config_.open_loop_rate
+              : 0);
+      Clock::time_point next_issue = Clock::now();
+      uint64_t local_allows = 0, local_denies = 0, local_errors = 0;
+      uint64_t local_verbs[5] = {};
+      while (true) {
+        const uint64_t i = issued.fetch_add(1, std::memory_order_relaxed);
+        if (i >= config_.logical_calls) {
+          break;
+        }
+        if (config_.open_loop && period.count() > 0) {
+          std::this_thread::sleep_until(next_issue);
+          next_issue += period;
+        }
+        const Verb verb = PickVerb(config_, rng.NextBelow(total_weight));
+        const kernel::ProcessId subject = sc.SubjectAt(subject_zipf.Sample(rng));
+        const size_t object = static_cast<size_t>(object_zipf.Sample(rng));
+        const Clock::time_point op_start = Clock::now();
+        Status status = OkStatus();
+        switch (verb) {
+          case Verb::kAuthorize:
+            status = sc.Authorize(subject, object);
+            (status.ok() ? local_allows : local_denies)++;
+            break;
+          case Verb::kRead:
+            status = sc.Read(subject, object);
+            (status.ok() ? local_allows : local_denies)++;
+            break;
+          case Verb::kWrite:
+            status = sc.Write(subject, object);
+            (status.ok() ? local_allows : local_denies)++;
+            break;
+          case Verb::kSetGoal:
+            if (!sc.FlipGoal(rng.NextBelow(sc.audited() == 0 ? 1 : sc.audited())).ok()) {
+              ++local_errors;
+            }
+            break;
+          case Verb::kChurn:
+            if (!sc.Churn("churn_" + std::to_string(t) + "_" + std::to_string(i)).ok()) {
+              ++local_errors;
+            }
+            break;
+        }
+        const uint64_t ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - op_start)
+                .count());
+        latency->Record(ns);
+        if (verb == Verb::kAuthorize) {
+          authorize_latency->Record(ns);
+        }
+        ++local_verbs[static_cast<size_t>(verb)];
+      }
+      allows.fetch_add(local_allows, std::memory_order_relaxed);
+      denies.fetch_add(local_denies, std::memory_order_relaxed);
+      op_errors.fetch_add(local_errors, std::memory_order_relaxed);
+      for (size_t v = 0; v < 5; ++v) {
+        verb_counts[v].fetch_add(local_verbs[v], std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  const double wall =
+      std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() - start)
+          .count();
+
+  if (config_.audit) {
+    harvest_stop.store(true, std::memory_order_release);
+    harvester.join();
+    // Fault injection happens after the workers drain so the forged events
+    // land against a quiescent, fully-logged mutation timeline.
+    if (config_.inject_stale_verdict && sc.audited() > 0) {
+      const kernel::AuthzRequest request{sc.proof_holders()[0], sc.read_op(),
+                                         sc.objects()[0]};
+      const uint64_t current = nexus.kernel().decision_cache().Generation(request);
+      EmitForgedVerdict(request.subject, request.op, request.obj,
+                        /*probe_gen=*/current, /*verdict_gen=*/1,
+                        kernel::kTraceVerdictAllow);
+    }
+    if (config_.inject_wrong_verdict && sc.audited() > 0) {
+      // A subject that was never granted a proof observed "allow": no
+      // serial replay of the logged mutations can produce that.
+      const kernel::ProcessId intruder = sc.SubjectAt(config_.subjects + 7);
+      const kernel::AuthzRequest request{intruder, sc.read_op(), sc.objects()[0]};
+      const uint64_t current = nexus.kernel().decision_cache().Generation(request);
+      EmitForgedVerdict(intruder, request.op, request.obj, current, current,
+                        kernel::kTraceVerdictAllow);
+    }
+  }
+
+  WorkloadReport report;
+  report.scenario = config_.scenario;
+  report.threads = config_.threads;
+  report.calls_completed = config_.logical_calls;
+  report.subjects = config_.subjects;
+  report.wall_seconds = wall;
+  report.throughput_ops = wall > 0 ? static_cast<double>(config_.logical_calls) / wall : 0;
+  report.allows = allows.load();
+  report.denies = denies.load();
+  report.op_errors = op_errors.load();
+  report.authorize_ops = verb_counts[0].load();
+  report.read_ops = verb_counts[1].load();
+  report.write_ops = verb_counts[2].load();
+  report.setgoal_ops = verb_counts[3].load();
+  report.churn_ops = verb_counts[4].load();
+
+  metrics::Snapshot snapshot = registry.TakeSnapshot("workload");
+  if (auto it = snapshot.find("workload.latency_ns"); it != snapshot.end()) {
+    report.p50_ns = it->second.ApproxQuantile(0.5);
+    report.p99_ns = it->second.ApproxQuantile(0.99);
+    report.p999_ns = it->second.ApproxQuantile(0.999);
+  }
+  if (auto it = snapshot.find("workload.authorize_latency_ns"); it != snapshot.end()) {
+    report.authorize_p50_ns = it->second.ApproxQuantile(0.5);
+    report.authorize_p99_ns = it->second.ApproxQuantile(0.99);
+    report.authorize_p999_ns = it->second.ApproxQuantile(0.999);
+  }
+
+  if (config_.audit) {
+    auditor.Harvest();  // Workers + injector are quiescent; final sweep.
+    report.audit = auditor.Finish();
+    report.audited = true;
+  }
+  return report;
+}
+
+}  // namespace nexus::harness

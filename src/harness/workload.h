@@ -1,0 +1,105 @@
+// WorkloadDriver: the load half of the harness. Boots a Nexus, instantiates
+// one application scenario (fauxbook / ddrm / movie_player / trudocs) via
+// the scenario adapters, and drives it from N worker threads with a
+// seeded, zipf-skewed mix of authorize / IPC-read / IPC-write / goal-flip /
+// process-churn operations over up to millions of simulated subjects.
+// While the workers run, a harvest thread drains the FlightRecorder and
+// MutationLog into a TraceAuditor, so every run doubles as a
+// serializability + structural-invariant check of the concurrent kernel.
+//
+// Determinism: all randomness flows from config.seed through per-thread
+// util::Rng streams. Thread interleaving still varies run to run — that is
+// the point; the auditor is what makes any interleaving checkable.
+//
+// The driver owns process-global observability state for its run duration
+// (FlightRecorder / MutationLog enable flags and contents): one driver at
+// a time per process.
+#ifndef NEXUS_HARNESS_WORKLOAD_H_
+#define NEXUS_HARNESS_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "harness/auditor.h"
+#include "util/status.h"
+
+namespace nexus::harness {
+
+struct WorkloadConfig {
+  std::string scenario = "fauxbook";
+  size_t threads = 4;
+  uint64_t logical_calls = 100'000;  // Total across all workers.
+  uint64_t subjects = 1'000'000;     // Simulated population (mostly virtual).
+  size_t objects = 256;
+  size_t audited_objects = 4;  // Goal-flipped + value-checked objects.
+  size_t proof_holders = 16;   // Real processes holding valid proofs.
+  double subject_theta = 0.99; // Zipf skew; 0 = uniform.
+  double object_theta = 0.99;
+  // Relative op-mix weights (any zero drops the verb from the mix).
+  uint32_t authorize_weight = 55;  // Direct kernel authorization.
+  uint32_t read_weight = 20;       // IPC Call through the guarded port.
+  uint32_t write_weight = 10;
+  uint32_t setgoal_weight = 10;    // Goal flips on audited objects.
+  uint32_t churn_weight = 5;       // Process spawn + kill.
+  // Closed loop (default): each worker issues as fast as replies return.
+  // Open loop: each worker paces to `open_loop_rate` ops/sec.
+  bool open_loop = false;
+  uint64_t open_loop_rate = 50'000;
+  uint64_t seed = 42;
+  bool audit = true;
+  uint64_t harvest_interval_us = 1000;
+  // Fault injection: forge trace events AFTER the workers finish and
+  // before the final harvest. A correct auditor must flag them; the
+  // negative-path tests and CI soak assert it does.
+  bool inject_stale_verdict = false;  // Generation below the ring high-water.
+  bool inject_wrong_verdict = false;  // Allow for a proofless subject.
+};
+
+struct WorkloadReport {
+  std::string scenario;
+  size_t threads = 0;
+  uint64_t calls_completed = 0;
+  uint64_t subjects = 0;
+  double wall_seconds = 0.0;
+  double throughput_ops = 0.0;  // calls_completed / wall_seconds.
+  // Overall per-op latency (driver-measured, wall clock).
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t p999_ns = 0;
+  // Authorization-verb-only latency (the paper-relevant axis).
+  uint64_t authorize_p50_ns = 0;
+  uint64_t authorize_p99_ns = 0;
+  uint64_t authorize_p999_ns = 0;
+  // Outcome counters.
+  uint64_t allows = 0;
+  uint64_t denies = 0;
+  uint64_t op_errors = 0;  // Unexpected failures (setgoal/churn plumbing).
+  uint64_t authorize_ops = 0;
+  uint64_t read_ops = 0;
+  uint64_t write_ops = 0;
+  uint64_t setgoal_ops = 0;
+  uint64_t churn_ops = 0;
+  bool audited = false;
+  TraceAuditor::Report audit;  // Zero-valued when !audited.
+
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+};
+
+class WorkloadDriver {
+ public:
+  explicit WorkloadDriver(WorkloadConfig config) : config_(std::move(config)) {}
+
+  // Boots, runs, audits, reports. Restores global trace/mutation-log
+  // enablement to off on every path.
+  Result<WorkloadReport> Run();
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  WorkloadConfig config_;
+};
+
+}  // namespace nexus::harness
+
+#endif  // NEXUS_HARNESS_WORKLOAD_H_

@@ -1,0 +1,73 @@
+// Zipf-distributed rank sampling for the workload driver.
+//
+// YCSB-style bounded zipfian generator: the zeta normalization constant is
+// precomputed once at construction (O(n) — ~milliseconds for a million
+// ranks), after which each sample is a handful of floating-point ops on
+// the caller's deterministic Rng. Rank 0 is the hottest; the driver maps
+// hot ranks onto its proof-holder processes so the allow path gets the
+// most audit coverage.
+#ifndef NEXUS_HARNESS_ZIPF_H_
+#define NEXUS_HARNESS_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace nexus::harness {
+
+class ZipfSampler {
+ public:
+  // `n` ranks, skew `theta` in [0, 1). theta = 0 degenerates to uniform;
+  // 0.99 is the YCSB default ("hotspot" skew).
+  ZipfSampler(uint64_t n, double theta) : n_(n == 0 ? 1 : n), theta_(theta) {
+    if (theta_ <= 0.0) {
+      uniform_ = true;
+      return;
+    }
+    double zetan = 0.0;
+    for (uint64_t i = 1; i <= n_; ++i) {
+      zetan += 1.0 / std::pow(static_cast<double>(i), theta_);
+    }
+    double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta_);
+    zetan_ = zetan;
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan);
+    threshold1_ = 1.0 / zetan_;
+    threshold2_ = (1.0 + std::pow(0.5, theta_)) / zetan_;
+  }
+
+  uint64_t n() const { return n_; }
+
+  // A 0-based rank in [0, n), rank 0 most popular.
+  uint64_t Sample(Rng& rng) const {
+    if (uniform_) {
+      return rng.NextBelow(n_);
+    }
+    double u = rng.NextDouble();
+    if (u < threshold1_) {
+      return 0;
+    }
+    if (u < threshold2_) {
+      return 1;
+    }
+    uint64_t rank = static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  bool uniform_ = false;
+  double zetan_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+  double threshold1_ = 0.0;
+  double threshold2_ = 0.0;
+};
+
+}  // namespace nexus::harness
+
+#endif  // NEXUS_HARNESS_ZIPF_H_

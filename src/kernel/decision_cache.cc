@@ -58,12 +58,27 @@ size_t DecisionCache::ShardOf(ProcessId subject) const {
   return static_cast<size_t>(Mix64(subject) % config_.num_shards);
 }
 
-size_t DecisionCache::SubregionIndex(OpId op, ObjectId obj) const {
+size_t DecisionCache::SubregionIndexOf(OpId op, ObjectId obj, size_t num_subregions) {
   // Subject deliberately excluded: all entries for one (operation, object)
   // land in the same subregion index of every shard, so setgoal
   // invalidation is one generation bump per shard.
   uint64_t packed = (static_cast<uint64_t>(op) << 32) | obj;
-  return static_cast<size_t>(Mix64(packed) % config_.num_subregions);
+  return static_cast<size_t>(Mix64(packed) % num_subregions);
+}
+
+size_t DecisionCache::SubregionIndex(OpId op, ObjectId obj) const {
+  return SubregionIndexOf(op, obj, config_.num_subregions);
+}
+
+std::vector<uint64_t> DecisionCache::SubregionGenerations(OpId op, ObjectId obj) const {
+  size_t sub = SubregionIndex(op, obj);
+  std::vector<uint64_t> gens;
+  gens.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    gens.push_back(shard->generations[sub]);
+  }
+  return gens;
 }
 
 DecisionCache::Entry* DecisionCache::FindLocked(Shard& shard, const AuthzRequest& request) {
@@ -152,7 +167,7 @@ bool DecisionCache::InsertIfUnchanged(const AuthzRequest& request, bool allow,
   return true;
 }
 
-void DecisionCache::InvalidateEntry(const AuthzRequest& request) {
+void DecisionCache::InvalidateEntry(const AuthzRequest& request, uint64_t* post_gen) {
   // A tombstone-free open-addressed table cannot clear one slot without
   // breaking probe chains, so invalidate the whole subregion holding the
   // key's probe chain. Only the subject's shard can hold the entry.
@@ -164,19 +179,30 @@ void DecisionCache::InvalidateEntry(const AuthzRequest& request) {
   // The generation bump retires the subregion's entries wholesale, and it
   // bumps whether or not an entry existed: an in-flight verdict for this
   // tuple predates the proof update and must not be cached.
-  ++shard.generations[SubregionIndex(request.op, request.obj)];
+  uint64_t bumped = ++shard.generations[SubregionIndex(request.op, request.obj)];
+  if (post_gen != nullptr) {
+    *post_gen = bumped;
+  }
 }
 
-void DecisionCache::InvalidateSubregion(OpId op, ObjectId obj) {
+void DecisionCache::InvalidateSubregion(OpId op, ObjectId obj,
+                                        std::vector<uint64_t>* post_gens) {
   // Broadcast: entries for one (operation, object) are spread across shards
   // by subject, but land in the same subregion index everywhere. One
   // generation bump per shard retires the whole subregion — cheaper than
   // the memset it replaces.
   size_t sub = SubregionIndex(op, obj);
-  for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    ++shard->generations[sub];
-    shard->subregion_invalidations->Increment();
+  if (post_gens != nullptr) {
+    post_gens->assign(shards_.size(), 0);
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    uint64_t bumped = ++shard.generations[sub];
+    shard.subregion_invalidations->Increment();
+    if (post_gens != nullptr) {
+      (*post_gens)[i] = bumped;
+    }
   }
 }
 

@@ -86,6 +86,19 @@ class DecisionCache {
   // InsertIfUnchanged to drop the verdict if an invalidation raced it.
   uint64_t Generation(const AuthzRequest& request) const;
 
+  // The generation of (op, obj)'s subregion in EVERY shard, in shard
+  // order. This is the mutation log's stamp: read after an invalidation
+  // bump it tells a trace auditor exactly which cached-verdict window the
+  // mutation retired, per shard. Each shard is locked in turn (not a
+  // global snapshot; generations only grow, which is all the auditor
+  // needs).
+  std::vector<uint64_t> SubregionGenerations(OpId op, ObjectId obj) const;
+
+  // The subregion index function, exposed so an external auditor can
+  // compute which subregion a (op, obj) pair lands in. Subject is
+  // deliberately excluded (see SubregionIndex in the .cc).
+  static size_t SubregionIndexOf(OpId op, ObjectId obj, size_t num_subregions);
+
   // Inserts `allow` only if the subregion generation still equals
   // `generation` (no invalidation landed since the snapshot). Returns
   // whether the insert happened. Thread-safe.
@@ -93,7 +106,11 @@ class DecisionCache {
 
   // Proof update: clears the single matching entry (it lives only in the
   // subject's shard) and bumps that subregion's generation. Thread-safe.
-  void InvalidateEntry(const AuthzRequest& request);
+  // When `post_gen` is non-null it receives the EXACT post-bump generation
+  // of the bumped (shard, subregion) — read under the same lock as the
+  // bump, so it cannot overshoot (the mutation-log auditor depends on
+  // exact stamps to order mutations on the generation axis).
+  void InvalidateEntry(const AuthzRequest& request, uint64_t* post_gen = nullptr);
   void InvalidateEntry(ProcessId subject, std::string_view operation,
                        std::string_view object) {
     InvalidateEntry(AuthzRequest::Of(subject, operation, object));
@@ -101,7 +118,10 @@ class DecisionCache {
 
   // setgoal: clears the subregion holding all entries for (operation,
   // object) in EVERY shard (subjects hash across shards). Thread-safe.
-  void InvalidateSubregion(OpId op, ObjectId obj);
+  // `post_gens`, when non-null, receives the exact post-bump generation of
+  // every shard (same exactness contract as InvalidateEntry).
+  void InvalidateSubregion(OpId op, ObjectId obj,
+                           std::vector<uint64_t>* post_gens = nullptr);
   void InvalidateSubregion(std::string_view operation, std::string_view object) {
     InvalidateSubregion(InternOp(operation), InternObject(object));
   }

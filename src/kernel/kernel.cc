@@ -782,14 +782,15 @@ Status Kernel::Authorize(const AuthzRequest& request) {
   bool cache_enabled = decision_cache_enabled_.load();
   if (cache_enabled) {
     std::optional<bool> cached = decision_cache_.Lookup(request);
+    // The extra Generation() shard lock is paid only on traced calls.
+    uint64_t probe_gen = trace.active() ? decision_cache_.Generation(request) : 0;
     if (trace.active()) {
       TraceEvent probe;
       probe.trace_id = trace.id();
       probe.subject = request.subject;
       probe.op = request.op;
       probe.obj = request.obj;
-      // The extra Generation() shard lock is paid only on traced calls.
-      probe.generation = decision_cache_.Generation(request);
+      probe.generation = probe_gen;
       probe.flags = cached.has_value() ? kTraceFlagCacheHit : kTraceFlagCacheMiss;
       probe.stage = TraceStage::kCacheProbe;
       FlightRecorder::Global().Emit(probe);
@@ -804,6 +805,9 @@ Status Kernel::Authorize(const AuthzRequest& request) {
         verdict.subject = request.subject;
         verdict.op = request.op;
         verdict.obj = request.obj;
+        // A hit is valid exactly under the generation the probe observed
+        // (Lookup only returns entries stamped with the current gen).
+        verdict.generation = probe_gen;
         verdict.flags =
             kTraceFlagCacheHit | (*cached ? uint16_t{0} : kTraceFlagDenied);
         verdict.verdict = *cached ? kTraceVerdictAllow : kTraceVerdictDeny;
@@ -847,6 +851,10 @@ Status Kernel::Authorize(const AuthzRequest& request) {
     verdict.op = request.op;
     verdict.obj = request.obj;
     verdict.latency = elapsed;
+    // Re-read after the engine returned: together with the probe's stamp
+    // this brackets the verdict's validity window [probe gen, this gen] —
+    // the auditor's serializability join key. Traced misses only.
+    verdict.generation = cache_enabled ? decision_cache_.Generation(request) : 0;
     verdict.flags = static_cast<uint16_t>(
         (cache_enabled ? kTraceFlagCacheMiss : 0) |
         (decision.cacheable ? 0 : kTraceFlagUncacheable) |
@@ -1049,12 +1057,12 @@ Result<ObjectId> Kernel::ProcObjectFor(ProcessId caller, std::string_view path) 
   return object;
 }
 
-void Kernel::OnProofUpdate(const AuthzRequest& request) {
-  decision_cache_.InvalidateEntry(request);
+void Kernel::OnProofUpdate(const AuthzRequest& request, uint64_t* post_gen) {
+  decision_cache_.InvalidateEntry(request, post_gen);
 }
 
-void Kernel::OnGoalUpdate(OpId op, ObjectId obj) {
-  decision_cache_.InvalidateSubregion(op, obj);
+void Kernel::OnGoalUpdate(OpId op, ObjectId obj, std::vector<uint64_t>* post_gens) {
+  decision_cache_.InvalidateSubregion(op, obj, post_gens);
 }
 
 void Kernel::ReplaceScheduler(std::unique_ptr<Scheduler> scheduler) {

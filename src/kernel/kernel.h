@@ -265,12 +265,14 @@ class Kernel {
   Result<ObjectId> ResolveObjectArg(ProcessId caller, const IpcMessage& message, size_t i);
 
   // Invalidation entry points, called by the core layer when proofs or
-  // goals change (§2.8).
-  void OnProofUpdate(const AuthzRequest& request);
+  // goals change (§2.8). The optional out-params surface the exact
+  // post-bump decision-cache generations (see DecisionCache::Invalidate*);
+  // the engine stamps mutation-log records with them.
+  void OnProofUpdate(const AuthzRequest& request, uint64_t* post_gen = nullptr);
   void OnProofUpdate(ProcessId subject, std::string_view operation, std::string_view object) {
     OnProofUpdate(AuthzRequest::Of(subject, operation, object));
   }
-  void OnGoalUpdate(OpId op, ObjectId obj);
+  void OnGoalUpdate(OpId op, ObjectId obj, std::vector<uint64_t>* post_gens = nullptr);
   void OnGoalUpdate(std::string_view operation, std::string_view object) {
     OnGoalUpdate(InternOp(operation), InternObject(object));
   }

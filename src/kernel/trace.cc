@@ -184,7 +184,12 @@ void FlightRecorder::ReadRing(const Ring& ring, std::vector<TraceEvent>* out) co
   if (from < floor) {
     from = floor;
   }
-  for (uint64_t i = from; i < head; ++i) {
+  ReadRingRange(ring, from, head, out);
+}
+
+void FlightRecorder::ReadRingRange(const Ring& ring, uint64_t from, uint64_t to,
+                                   std::vector<TraceEvent>* out) const {
+  for (uint64_t i = from; i < to; ++i) {
     const Slot& slot = ring.slots[i & (kRingCapacity - 1)];
     uint64_t expected = 2 * i + 2;
     if (slot.seq.load(std::memory_order_acquire) != expected) {
@@ -200,6 +205,54 @@ void FlightRecorder::ReadRing(const Ring& ring, std::vector<TraceEvent>* out) co
     }
     out->push_back(Unpack(w));
   }
+}
+
+FlightRecorder::DrainStats FlightRecorder::Drain(DrainCursor* cursor,
+                                                 std::vector<DrainedSegment>* out) const {
+  // Sentinel for "this cursor has never visited this ring": whatever the
+  // ring retains is returned, and older (already overwritten) history is
+  // not counted as dropped — a cursor cannot lose what predates it.
+  constexpr uint64_t kFresh = ~uint64_t{0};
+  DrainStats stats;
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  if (cursor->next_.size() < rings_.size()) {
+    cursor->next_.resize(rings_.size(), kFresh);
+  }
+  for (size_t r = 0; r < rings_.size(); ++r) {
+    const Ring& ring = *rings_[r];
+    uint64_t head = ring.head.load(std::memory_order_acquire);
+    uint64_t floor = head > kRingCapacity ? head - kRingCapacity : 0;
+    uint64_t cleared = ring.cleared_below.load(std::memory_order_relaxed);
+    uint64_t start = cursor->next_[r];
+    if (start == kFresh) {
+      start = floor;
+    } else if (start < floor) {
+      // The writer lapped the cursor: events in [start, floor) are gone.
+      stats.dropped += floor - start;
+      start = floor;
+    }
+    if (start < cleared) {
+      start = cleared;  // Clear() is deliberate: skipped, not "dropped".
+    }
+    if (start >= head) {
+      cursor->next_[r] = head;
+      continue;
+    }
+    DrainedSegment segment;
+    segment.ring = r;
+    segment.begin_seq = start + 1;  // Emit stamps timestamp = index + 1.
+    ReadRingRange(ring, start, head, &segment.events);
+    // Slots invalidated mid-read (writer advanced while we scanned) were
+    // skipped by the seqlock check; they are drops the next cursor
+    // position already accounts past.
+    stats.dropped += (head - start) - segment.events.size();
+    stats.drained += segment.events.size();
+    cursor->next_[r] = head;
+    if (!segment.events.empty()) {
+      out->push_back(std::move(segment));
+    }
+  }
+  return stats;
 }
 
 std::vector<TraceEvent> FlightRecorder::Recent(size_t max) const {
@@ -255,6 +308,84 @@ uint64_t FlightRecorder::NewTraceId() {
     tls_end = tls_next + kBlock;
   }
   return tls_next++;
+}
+
+std::string_view MutationKindName(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kSetGoal:
+      return "setgoal";
+    case MutationKind::kClearGoal:
+      return "cleargoal";
+    case MutationKind::kSetProof:
+      return "setproof";
+    case MutationKind::kClearProof:
+      return "clearproof";
+    case MutationKind::kSay:
+      return "say";
+  }
+  return "unknown";
+}
+
+MutationLog& MutationLog::Global() {
+  // Leaked for the same teardown-order reason as the recorder.
+  static MutationLog* global = new MutationLog();
+  return *global;
+}
+
+uint64_t MutationLog::Append(MutationRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.seq = next_seq_++;
+  uint64_t seq = record.seq;
+  records_.push_back(std::move(record));
+  while (records_.size() > capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+  return seq;
+}
+
+size_t MutationLog::DrainFrom(uint64_t* cursor, std::vector<MutationRecord>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Records are in seq order; find the first one past the cursor.
+  size_t appended = 0;
+  for (const MutationRecord& r : records_) {
+    if (r.seq > *cursor) {
+      out->push_back(r);
+      *cursor = r.seq;
+      ++appended;
+    }
+  }
+  return appended;
+}
+
+void MutationLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  // seq keeps counting: cursors held by consumers stay valid.
+}
+
+void MutationLog::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity > 0 ? capacity : 1;
+  while (records_.size() > capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+}
+
+uint64_t MutationLog::appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+uint64_t MutationLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+size_t MutationLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
 }
 
 uint64_t CurrentTraceId() { return tls_current_trace_id; }

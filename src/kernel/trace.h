@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -50,11 +51,15 @@ enum class TraceStage : uint8_t {
   kSyscall,         // Kernel::Invoke dispatched (aux = syscall number).
   kCacheProbe,      // Decision-cache lookup (generation = subregion gen).
   kEngineMiss,      // Engine::Authorize evaluating a miss.
-  kGuardCheck,      // Guard::CheckImpl verdict (aux = consulted authorities).
+  kGuardCheck,      // Guard::CheckImpl verdict (aux = consulted authorities,
+                    // generation = goal FormulaId the guard evaluated).
   kGuardUpcall,     // Designated-guard IPC upcall (aux = guard port).
   kRemoteVouch,     // Remote-authority round trip (aux = statement count).
   kVerdict,         // Kernel::Authorize final answer (latency = miss-path
-                    // evaluation cycles; 0 on a cache hit).
+                    // evaluation cycles, 0 on a cache hit; generation = the
+                    // subregion generation the verdict is valid under — the
+                    // probe generation on a hit, re-read after the engine
+                    // returned on a miss).
 };
 
 inline constexpr uint16_t kTraceFlagCacheHit = 1u << 0;
@@ -118,6 +123,44 @@ class FlightRecorder {
   // All retained events of one trace, in timestamp order.
   std::vector<TraceEvent> ForTrace(uint64_t trace_id) const;
 
+  // --- Cursor-based harvest (the auditor-facing drain API) -------------
+  //
+  // Recent() is a snapshot: a soak emitting millions of events through
+  // 256-slot rings loses everything between two snapshots to wraparound.
+  // Drain() instead remembers, per ring, the next sequence number to read
+  // and returns only new events — called often enough it observes every
+  // event; called too rarely it reports exactly how many were overwritten
+  // (`dropped`) so the consumer knows its coverage.
+  //
+  // Events are returned per ring (one DrainedSegment per ring with news),
+  // NOT merged: per-ring order is the only exact order the recorder has
+  // (timestamps are ring-local sequence numbers), and the auditor's
+  // chain-completeness and monotonicity checks depend on it. begin_seq is
+  // the timestamp the segment's first event would carry if no slot was
+  // skipped mid-write, so a consumer can detect front truncation.
+  struct DrainedSegment {
+    size_t ring = 0;          // Stable ring index (rings are never freed).
+    uint64_t begin_seq = 0;   // Expected timestamp of events.front().
+    std::vector<TraceEvent> events;
+  };
+  struct DrainStats {
+    uint64_t drained = 0;  // Events appended to `out` by this call.
+    uint64_t dropped = 0;  // Events overwritten before they could be read.
+  };
+  // Opaque per-consumer position; value-initialized cursor = "start now"
+  // (the first Drain returns what the rings currently retain, with
+  // nothing counted as dropped — history before the cursor existed is not
+  // a drop). Each consumer owns its cursor; Drain itself is thread-safe.
+  class DrainCursor {
+   public:
+    DrainCursor() = default;
+
+   private:
+    friend class FlightRecorder;
+    std::vector<uint64_t> next_;  // Per ring: next sequence index to read.
+  };
+  DrainStats Drain(DrainCursor* cursor, std::vector<DrainedSegment>* out) const;
+
   // Logically drops all retained events (readers skip them; writers are
   // not disturbed).
   void Clear();
@@ -147,6 +190,9 @@ class FlightRecorder {
   void ReleaseRing(Ring* ring);
   // Seqlock-validated read of ring indices [from, head); appends to out.
   void ReadRing(const Ring& ring, std::vector<TraceEvent>* out) const;
+  // Seqlock-validated read of ring indices [from, to); appends to out.
+  void ReadRingRange(const Ring& ring, uint64_t from, uint64_t to,
+                     std::vector<TraceEvent>* out) const;
 
   struct ThreadRingSlot;
 
@@ -155,6 +201,80 @@ class FlightRecorder {
   mutable std::mutex rings_mu_;
   std::vector<std::unique_ptr<Ring>> rings_;  // All rings ever created.
   std::vector<Ring*> free_rings_;             // Returned by exited threads.
+};
+
+// --- Mutation log -----------------------------------------------------
+//
+// The flight recorder captures the READ side of the decision plane; the
+// mutation log captures the WRITE side: every SetGoal/ClearGoal/SetProof/
+// ClearProof/Say the engine applies, stamped with the EXACT post-bump
+// decision-cache subregion generations of its invalidation (captured
+// under the bumping shard's lock, so stamps cannot overshoot concurrent
+// bumps — see DecisionCache::InvalidateSubregion).
+// A trace auditor joins the two by generation: a verdict event carrying
+// generation g was computed against the state between the last mutation
+// whose stamp is <= g and the next one — which is exactly what a
+// single-threaded replay of the mutation sequence would have produced,
+// so serializability is checkable after the fact.
+//
+// Mutations are control-plane rate (a setgoal per policy flip, not per
+// call), so a mutex over a bounded deque is the right shape — no seqlock
+// heroics. Off by default, like the recorder.
+
+enum class MutationKind : uint8_t {
+  kSetGoal = 1,
+  kClearGoal,
+  kSetProof,
+  kClearProof,
+  kSay,
+};
+
+std::string_view MutationKindName(MutationKind kind);
+
+struct MutationRecord {
+  uint64_t seq = 0;      // Log order, assigned by Append (1-based).
+  MutationKind kind = MutationKind::kSetGoal;
+  ProcessId subject = 0;  // Proof mutations; 0 otherwise.
+  OpId op = 0;            // Subregion key (goal/proof mutations); 0 for Say.
+  ObjectId obj = 0;
+  uint64_t detail = 0;   // Goal FormulaId (kSetGoal), said FormulaId (kSay).
+  // Exact post-bump decision-cache generation of the mutated subregion,
+  // per shard (for single-entry proof invalidations, exact on the
+  // subject's shard; best-effort elsewhere). Empty for kSay (labels are
+  // append-only and do not invalidate cached verdicts).
+  std::vector<uint64_t> generations;
+};
+
+class MutationLog {
+ public:
+  static MutationLog& Global();
+
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Appends (assigns record.seq). Over capacity the oldest records are
+  // dropped and counted. Thread-safe.
+  uint64_t Append(MutationRecord record);
+
+  // Appends every record with seq > *cursor to `out` and advances the
+  // cursor. A value-initialized cursor (0) drains from the oldest retained
+  // record. Thread-safe; each consumer owns its cursor.
+  size_t DrainFrom(uint64_t* cursor, std::vector<MutationRecord>* out) const;
+
+  void Clear();
+  void set_capacity(size_t capacity);
+
+  uint64_t appended() const;
+  uint64_t dropped() const;
+  size_t size() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::deque<MutationRecord> records_;
+  size_t capacity_ = 1 << 16;
+  uint64_t next_seq_ = 1;
+  uint64_t dropped_ = 0;
 };
 
 // The calling thread's active trace id (0 outside any traced call).
