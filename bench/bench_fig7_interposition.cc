@@ -31,7 +31,9 @@ using nexus::kernel::IpcReply;
 class EchoServer : public nexus::kernel::PortHandler {
  public:
   IpcReply Handle(const IpcContext&, const IpcMessage& message) override {
-    return IpcReply{nexus::OkStatus(), {}, message.data, 0};
+    IpcReply reply = IpcReply::Ok();
+    reply.data = message.data;
+    return reply;
   }
 };
 
@@ -75,6 +77,25 @@ class UserSpaceMonitor : public nexus::kernel::Interceptor {
     IpcMessage copy = std::move(*unmarshaled);
     auto verdict = inner_->OnCall(context, copy);
     return verdict;
+  }
+
+  // The reply direction pays the same hop: the handler's reply marshals
+  // into the monitor process and back (kernel-level monitors rewrite the
+  // typed reply in place instead — that difference IS the uref-vs-kref
+  // gap on the return path).
+  nexus::kernel::InterposeVerdict OnReply(const IpcContext& context,
+                                          const IpcMessage& request,
+                                          IpcReply& reply) override {
+    auto wire = MarshalReply(reply);
+    if (!wire.ok()) {
+      return nexus::kernel::InterposeVerdict::kDeny;
+    }
+    auto unmarshaled = nexus::kernel::UnmarshalReply(*wire);
+    if (!unmarshaled.ok()) {
+      return nexus::kernel::InterposeVerdict::kDeny;
+    }
+    reply = std::move(*unmarshaled);
+    return inner_->OnReply(context, request, reply);
   }
 
  private:

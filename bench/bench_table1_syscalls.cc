@@ -27,7 +27,7 @@ struct Harness {
     nexus.fs().CreateFile("/bench/file", Bytes(4096, 'x'));
     IpcMessage open_msg;
     open_msg.AddString("/bench/file");
-    open_fd = nexus.kernel().Invoke(client, Syscall::kOpen, open_msg).value;
+    open_fd = nexus.kernel().Invoke(client, Syscall::kOpen, open_msg).value();
     nexus.kernel().scheduler().AddClient(client, 1);
   }
 
@@ -127,7 +127,7 @@ void BM_open_nexus(benchmark::State& s) {
     cycles += nexus::ReadCycleCounter() - start;
     ++calls;
     IpcMessage close_msg;
-    close_msg.AddU64(static_cast<uint64_t>(reply.value));
+    close_msg.AddU64(static_cast<uint64_t>(reply.value()));
     h.nexus.kernel().Invoke(h.client, Syscall::kClose, close_msg);
   }
   s.counters["cycles/call"] =
@@ -142,7 +142,7 @@ void BM_close_nexus(benchmark::State& s) {
   for (auto _ : s) {
     auto reply = h.nexus.kernel().Invoke(h.client, Syscall::kOpen, open_msg);
     IpcMessage close_msg;
-    close_msg.AddU64(static_cast<uint64_t>(reply.value));
+    close_msg.AddU64(static_cast<uint64_t>(reply.value()));
     uint64_t start = nexus::ReadCycleCounter();
     h.nexus.kernel().Invoke(h.client, Syscall::kClose, close_msg);
     cycles += nexus::ReadCycleCounter() - start;

@@ -36,7 +36,9 @@ using nexus::kernel::IpcReply;
 class EchoServer : public nexus::kernel::PortHandler {
  public:
   IpcReply Handle(const IpcContext&, const IpcMessage& message) override {
-    return IpcReply{nexus::OkStatus(), {}, message.data, 0};
+    IpcReply reply = IpcReply::Ok();
+    reply.data = message.data;
+    return reply;
   }
 };
 

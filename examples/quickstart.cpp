@@ -90,7 +90,7 @@ int main() {
   auto open = nexus.kernel().Invoke(reader, kernel::Syscall::kOpen, open_msg);
   std::printf("open before deadline: %s\n", open.status.ToString().c_str());
   kernel::IpcMessage read_msg;
-  read_msg.AddU64(static_cast<uint64_t>(open.value));
+  read_msg.AddU64(static_cast<uint64_t>(open.value()));
   auto read = nexus.kernel().Invoke(reader, kernel::Syscall::kRead, read_msg);
   std::printf("read: \"%s\"\n", ToString(read.data).c_str());
 

@@ -300,7 +300,7 @@ Result<Bytes> Fauxbook::ServeStatic(const std::string& path) {
     return open.status;
   }
   kernel::IpcMessage fd_msg;
-  fd_msg.AddU64(static_cast<uint64_t>(open.value));
+  fd_msg.AddU64(static_cast<uint64_t>(open.value()));
   kernel::IpcReply read = k.Invoke(webserver_, kernel::Syscall::kRead, fd_msg);
   k.Invoke(webserver_, kernel::Syscall::kClose, fd_msg);
   if (!read.status.ok()) {

@@ -94,15 +94,13 @@ class WorkloadScenario::GuardedObjectServer : public kernel::PortHandler {
 
   kernel::IpcReply Handle(const kernel::IpcContext& context,
                           const kernel::IpcMessage& message) override {
-    kernel::IpcReply reply;
     Result<kernel::ObjectId> obj = message.ArgObject(0);
     if (!obj.ok()) {
-      reply.status = obj.status();
-      return reply;
+      return kernel::IpcReply(obj.status());
     }
-    reply.status =
-        kernel_->Authorize(kernel::AuthzRequest{context.caller, message.op, *obj});
-    reply.value = reply.status.ok() ? 1 : 0;
+    kernel::IpcReply reply(
+        kernel_->Authorize(kernel::AuthzRequest{context.caller, message.op, *obj}));
+    reply.AddU64(reply.status.ok() ? 1 : 0);
     return reply;
   }
 

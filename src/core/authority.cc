@@ -31,17 +31,17 @@ kernel::IpcReply AuthorityPortHandler::Handle(const kernel::IpcContext& context,
   // fresh; nothing about the statement is interned or retained).
   static const kernel::OpId check_op = kernel::InternOp("check");
   if (message.op != check_op || !message.ArgIsString(0)) {
-    return kernel::IpcReply{InvalidArgument("authority protocol: check <formula>"), {}, {}, 0};
+    return kernel::IpcReply(InvalidArgument("authority protocol: check <formula>"));
   }
   Result<nal::Formula> statement = nal::ParseFormula(*message.ArgString(0));
   if (!statement.ok()) {
-    return kernel::IpcReply{statement.status(), {}, {}, 0};
+    return kernel::IpcReply(statement.status());
   }
   if (!authority_->Handles(*statement)) {
-    return kernel::IpcReply{NotFound("authority does not evaluate this statement"), {}, {}, 0};
+    return kernel::IpcReply(NotFound("authority does not evaluate this statement"));
   }
   bool vouches = authority_->Vouches(*statement);
-  return kernel::IpcReply{OkStatus(), {}, {}, vouches ? 1 : 0};
+  return kernel::IpcReply::Ok().AddU64(vouches ? 1 : 0);
 }
 
 }  // namespace nexus::core

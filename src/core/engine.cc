@@ -134,7 +134,7 @@ AuthzDecision Engine::UpcallDesignatedGuard(const AuthzRequest& request,
   }
   ipc_request.data = ToBytes(blob);
   kernel::IpcReply reply = kernel_->Call(request.subject, goal.guard_port, ipc_request);
-  return AuthzDecision::FromStatus(reply.status, reply.value == 1);
+  return AuthzDecision::FromStatus(reply.status, reply.value() == 1);
 }
 
 AuthzDecision Engine::Authorize(const AuthzRequest& request) {

@@ -73,7 +73,7 @@ bool Guard::ResolveLocalAuthority(const nal::Formula& statement, bool* handled) 
     query.AddString(statement->ToString());
     kernel::IpcReply reply = kernel_->Call(kernel::kKernelProcessId, port, query);
     if (reply.status.ok()) {
-      return reply.value == 1;
+      return reply.value() == 1;
     }
     if (reply.status.code() != ErrorCode::kNotFound) {
       return false;  // Authority reachable but erroring: fail closed.
@@ -426,39 +426,39 @@ kernel::IpcReply GuardPortHandler::Handle(const kernel::IpcContext& context,
   // the caller-charged intern surfaces (this port is untrusted input).
   static const kernel::OpId check_op = kernel::InternOp("check");
   if (message.op != check_op || message.args.size() < 4) {
-    return kernel::IpcReply{
-        InvalidArgument("guard protocol: check <subject> <op> <object> <proof>"), {}, {}, 0};
+    return kernel::IpcReply(
+        InvalidArgument("guard protocol: check <subject> <op> <object> <proof>"));
   }
   Result<kernel::ProcessId> subject_id = message.ArgProcess(0);
   if (!subject_id.ok()) {
-    return kernel::IpcReply{
-        InvalidArgument("guard protocol: subject must be a process id"), {}, {}, 0};
+    return kernel::IpcReply(
+        InvalidArgument("guard protocol: subject must be a process id"));
   }
   kernel::ProcessId subject = *subject_id;
 
   Result<kernel::OpId> operation = guard_->kernel()->ResolveOpArg(context.caller, message, 1);
   if (!operation.ok()) {
-    return kernel::IpcReply{operation.status(), {}, {}, 0};
+    return kernel::IpcReply(operation.status());
   }
   Result<kernel::ObjectId> object =
       guard_->kernel()->ResolveObjectArg(context.caller, message, 2);
   if (!object.ok()) {
-    return kernel::IpcReply{object.status(), {}, {}, 0};
+    return kernel::IpcReply(object.status());
   }
 
   std::optional<GoalEntry> goal = goals_->Get(*operation, *object);
   if (!goal.has_value()) {
-    return kernel::IpcReply{NotFound("no goal for this operation/object"), {}, {}, 0};
+    return kernel::IpcReply(NotFound("no goal for this operation/object"));
   }
 
   Result<std::string_view> proof_text = message.ArgString(3);
   if (!proof_text.ok()) {
-    return kernel::IpcReply{
-        InvalidArgument("guard protocol: proof must be serialized text"), {}, {}, 0};
+    return kernel::IpcReply(
+        InvalidArgument("guard protocol: proof must be serialized text"));
   }
   Result<nal::Proof> proof = nal::DeserializeProof(*proof_text);
   if (!proof.ok()) {
-    return kernel::IpcReply{proof.status(), {}, {}, 0};
+    return kernel::IpcReply(proof.status());
   }
 
   std::vector<nal::Formula> credentials;
@@ -472,7 +472,7 @@ kernel::IpcReply GuardPortHandler::Handle(const kernel::IpcContext& context,
     if (end > start) {
       Result<nal::Formula> cred = nal::ParseFormula(blob.substr(start, end - start));
       if (!cred.ok()) {
-        return kernel::IpcReply{cred.status(), {}, {}, 0};
+        return kernel::IpcReply(cred.status());
       }
       credentials.push_back(*cred);
     }
@@ -481,7 +481,11 @@ kernel::IpcReply GuardPortHandler::Handle(const kernel::IpcContext& context,
 
   AuthzDecision decision = guard_->Check(AuthzRequest{subject, *operation, *object},
                                          goal->goal, *proof, credentials);
-  return kernel::IpcReply{decision.ToStatus(), {}, {}, decision.cacheable ? 1 : 0};
+  // Typed verdict reply: the cacheability bit rides in a u64 slot — the
+  // designated-guard upcall consumer reads it structurally (value()).
+  kernel::IpcReply reply(decision.ToStatus());
+  reply.AddU64(decision.cacheable ? 1 : 0);
+  return reply;
 }
 
 }  // namespace nexus::core

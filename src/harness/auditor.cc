@@ -76,12 +76,22 @@ void TraceAuditor::AddViolation(uint64_t* counter, std::string_view kind,
 }
 
 void TraceAuditor::IngestSegment(size_t ring, uint64_t begin_seq,
-                                 std::span<const TraceEvent> events) {
+                                 std::span<const TraceEvent> events,
+                                 bool lossless_start) {
   RingState& state = ring_states_[ring];
   if (state.expected_next != 0 && begin_seq != state.expected_next) {
     // Events were overwritten between harvests: the buffered run may be
     // missing its tail, and the first run of this segment its head.
     FinalizeRun(ring, &state, /*complete_tail=*/false);
+    state.truncated = true;
+  }
+  if (state.expected_next == 0 && !lossless_start) {
+    // First contact with a ring whose writer already wrapped: the oldest
+    // retained run may be headless, and with no previous cursor position
+    // the begin_seq check above cannot see it. Without this, a fast
+    // worker that outruns the first harvest yields a chain whose
+    // kReplyInterpose (or guard stage) was overwritten while its kCall
+    // survived — flagged as a bypass that never happened.
     state.truncated = true;
   }
   for (const TraceEvent& e : events) {
@@ -202,14 +212,34 @@ void TraceAuditor::CheckChain(size_t ring, const std::vector<TraceEvent>& chain,
   }
   // Interceptor traversal: a call through a port registered as interposed
   // must carry the interposed flag (set only when the kernel actually ran
-  // the interceptor stack).
+  // the interceptor stack), and — unless the CALL direction already denied
+  // it, in which case no reply ever existed — the chain must contain the
+  // matching kReplyInterpose stage: the kernel emits it only after the
+  // reply-direction chain ran, so a completed interposed call without one
+  // returned a reply the monitors never saw.
   for (const TraceEvent& e : chain) {
-    if (e.stage == TraceStage::kCall && interposed_ports_.contains(e.aux) &&
-        (e.flags & kernel::kTraceFlagInterposed) == 0) {
+    if (e.stage != TraceStage::kCall || !interposed_ports_.contains(e.aux)) {
+      continue;
+    }
+    if ((e.flags & kernel::kTraceFlagInterposed) == 0) {
       AddViolation(&report_.interposition_violations, "interposition",
                    "ring " + std::to_string(ring) + " trace " + std::to_string(e.trace_id) +
                        " call to interposed port " + std::to_string(e.aux) +
                        " did not traverse its interceptor");
+      continue;
+    }
+    if ((e.flags & kernel::kTraceFlagDenied) != 0) {
+      continue;  // Blocked on the call direction: no reply to interpose.
+    }
+    bool reply_interposed =
+        std::any_of(chain.begin(), chain.end(), [&](const TraceEvent& r) {
+          return r.stage == TraceStage::kReplyInterpose && r.aux == e.aux;
+        });
+    if (!reply_interposed) {
+      AddViolation(&report_.interposition_violations, "interposition",
+                   "ring " + std::to_string(ring) + " trace " + std::to_string(e.trace_id) +
+                       " reply from interposed port " + std::to_string(e.aux) +
+                       " bypassed the reply-direction interceptor chain");
     }
   }
 }
@@ -386,7 +416,8 @@ void TraceAuditor::Harvest() {
   kernel::MutationLog::Global().DrainFrom(&mutation_cursor_, &mutations);
   IngestMutations(mutations);
   for (const auto& segment : segments) {
-    IngestSegment(segment.ring, segment.begin_seq, segment.events);
+    IngestSegment(segment.ring, segment.begin_seq, segment.events,
+                  segment.lossless_start);
   }
 }
 

@@ -130,9 +130,14 @@ class TraceAuditor {
   void RequireInterposed(kernel::PortId port);
 
   // Feed one drained ring segment (events in ring order; `begin_seq` from
-  // FlightRecorder::DrainedSegment detects front truncation).
+  // FlightRecorder::DrainedSegment detects front truncation between
+  // visits, `lossless_start` whether anything was lost BEFORE this
+  // segment — a cursor's first visit to a wrapped ring has no previous
+  // position for begin_seq to be contiguous with, so the flag is the only
+  // signal that the oldest retained chain may be missing its head).
   void IngestSegment(size_t ring, uint64_t begin_seq,
-                     std::span<const kernel::TraceEvent> events);
+                     std::span<const kernel::TraceEvent> events,
+                     bool lossless_start = true);
   // Feed mutation records (in seq order, as MutationLog::DrainFrom yields).
   void IngestMutations(std::span<const kernel::MutationRecord> records);
   void NoteDropped(uint64_t dropped);

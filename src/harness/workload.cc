@@ -103,6 +103,40 @@ void EmitForgedVerdict(kernel::ProcessId subject, kernel::OpId op, kernel::Objec
   kernel::FlightRecorder::Global().Emit(v);
 }
 
+// Forges a completed interposed call WITHOUT its kReplyInterpose stage —
+// the signature of a reply that bypassed the monitor chain. The follow-up
+// event under a fresh trace id terminates the forged chain so the auditor
+// proves it complete (structural checks skip truncated chains).
+void EmitForgedRewrittenReply(kernel::ProcessId subject, kernel::OpId op,
+                              kernel::PortId port) {
+  {
+    kernel::TraceScope trace;
+    if (!trace.active()) {
+      return;
+    }
+    kernel::TraceEvent call;
+    call.trace_id = trace.id();
+    call.subject = subject;
+    call.op = op;
+    call.aux = port;
+    call.flags = kernel::kTraceFlagInterposed;
+    call.verdict = kernel::kTraceVerdictAllow;
+    call.stage = kernel::TraceStage::kCall;
+    kernel::FlightRecorder::Global().Emit(call);
+  }
+  {
+    kernel::TraceScope terminator;
+    if (!terminator.active()) {
+      return;
+    }
+    kernel::TraceEvent next;
+    next.trace_id = terminator.id();
+    next.subject = subject;
+    next.stage = kernel::TraceStage::kSyscall;
+    kernel::FlightRecorder::Global().Emit(next);
+  }
+}
+
 }  // namespace
 
 std::string WorkloadReport::ToJson() const {
@@ -347,6 +381,12 @@ Result<WorkloadReport> WorkloadDriver::Run() {
       const uint64_t current = nexus.kernel().decision_cache().Generation(request);
       EmitForgedVerdict(intruder, request.op, request.obj, current, current,
                         kernel::kTraceVerdictAllow);
+    }
+    if (config_.inject_rewritten_reply && sc.interposed()) {
+      // A completed call on the interposed port whose chain lacks the
+      // kReplyInterpose stage: the reply-path invariant must flag it.
+      EmitForgedRewrittenReply(sc.proof_holders().empty() ? 1 : sc.proof_holders()[0],
+                               sc.read_op(), sc.service_port());
     }
   }
 

@@ -53,6 +53,9 @@ struct WorkloadConfig {
   // negative-path tests and CI soak assert it does.
   bool inject_stale_verdict = false;  // Generation below the ring high-water.
   bool inject_wrong_verdict = false;  // Allow for a proofless subject.
+  // Completed interposed call missing its kReplyInterpose stage (reply
+  // bypassed the monitor chain). Needs an interposed scenario (ddrm).
+  bool inject_rewritten_reply = false;
 };
 
 struct WorkloadReport {

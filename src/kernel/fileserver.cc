@@ -69,7 +69,7 @@ IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message
       return Error(authorized);
     }
     Status created = CreateFile(path, message.data);
-    return IpcReply{created, {}, {}, 0};
+    return IpcReply(created);
   }
 
   if (op == kOpenOp) {
@@ -91,7 +91,9 @@ IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message
     }
     int64_t fd = next_fd_++;
     open_files_[fd] = OpenFile{path, context.caller, *object};
-    return IpcReply{OkStatus(), path, {}, fd};
+    // v2: the fd is the reply — the v1 path-text echo is gone (no consumer
+    // ever read it back, and it made every open move a heap string).
+    return IpcReply::Ok().AddU64(static_cast<uint64_t>(fd));
   }
 
   if (op == kCloseOp) {
@@ -105,7 +107,7 @@ IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message
       return Error(NotFound("bad file descriptor"));
     }
     open_files_.erase(it);
-    return IpcReply{OkStatus(), {}, {}, 0};
+    return IpcReply::Ok();
   }
 
   if (op == kReadOp || op == kWriteOp) {
@@ -152,7 +154,11 @@ IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message
       length = std::min<uint64_t>(length, content.size() - offset);
       Bytes out(content.begin() + static_cast<ptrdiff_t>(offset),
                 content.begin() + static_cast<ptrdiff_t>(offset + length));
-      return IpcReply{OkStatus(), {}, std::move(out), static_cast<int64_t>(length)};
+      // Typed read reply: one u64 length slot + the data block. Zero text
+      // payloads end to end — the reply-rewriting monitor operates on this.
+      IpcReply reply = IpcReply::Ok().AddU64(length);
+      reply.data = std::move(out);
+      return reply;
     }
     // write
     uint64_t offset = content.size();
@@ -171,7 +177,7 @@ IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message
     }
     std::copy(message.data.begin(), message.data.end(),
               content.begin() + static_cast<ptrdiff_t>(offset));
-    return IpcReply{OkStatus(), {}, {}, static_cast<int64_t>(message.data.size())};
+    return IpcReply::Ok().AddU64(message.data.size());
   }
 
   if (op == kUnlinkOp) {
@@ -193,7 +199,7 @@ IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message
       return Error(NotFound("no such file: " + std::string(path)));
     }
     files_.erase(it);
-    return IpcReply{OkStatus(), {}, {}, 0};
+    return IpcReply::Ok();
   }
 
   if (op == kStatOp) {
@@ -205,7 +211,7 @@ IpcReply FileServer::Handle(const IpcContext& context, const IpcMessage& message
     if (it == files_.end()) {
       return Error(NotFound("no such file: " + std::string(*path_arg)));
     }
-    return IpcReply{OkStatus(), {}, {}, static_cast<int64_t>(it->second.size())};
+    return IpcReply::Ok().AddU64(it->second.size());
   }
 
   return Error(

@@ -49,7 +49,7 @@ class FileServer : public PortHandler {
     ObjectId object = 0;
   };
 
-  IpcReply Error(Status status) { return IpcReply{std::move(status), {}, {}, 0}; }
+  IpcReply Error(Status status) { return IpcReply(std::move(status)); }
 
   // The memoized "file:<path>" object id, interning (charged to `caller`)
   // on first sight of the path.

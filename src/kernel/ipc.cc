@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "nal/interner.h"
+
 namespace nexus::kernel {
 
 namespace {
@@ -273,6 +275,66 @@ Result<Bytes> MarshalMessage(const IpcMessage& message) {
   return out;
 }
 
+namespace {
+
+// Shared slot-body decoder (message and reply bodies carry the identical
+// argc + tagged-slot layout). Strict: bad tag, overlong count, oversized
+// payload, and forged object ids reject the whole buffer.
+Status ReadArgSlots(ByteReader& reader, ArgVec* args) {
+  Result<uint8_t> argc = reader.ReadU8();
+  if (!argc.ok()) {
+    return argc.status();
+  }
+  if (*argc > ArgVec::kMaxArgs) {
+    return InvalidArgument("argument slot count exceeds capacity");
+  }
+  for (uint8_t i = 0; i < *argc; ++i) {
+    Result<uint8_t> tag = reader.ReadU8();
+    if (!tag.ok()) {
+      return tag.status();
+    }
+    switch (static_cast<ArgTag>(*tag)) {
+      case ArgTag::kU64:
+      case ArgTag::kProcess:
+      case ArgTag::kPort:
+      case ArgTag::kObject:
+      case ArgTag::kFormula: {
+        Result<uint64_t> scalar = reader.ReadU64();
+        if (!scalar.ok()) {
+          return scalar.status();
+        }
+        if (static_cast<ArgTag>(*tag) == ArgTag::kObject && !IsKnownObjectId(*scalar)) {
+          // A value that fits no table entry is a forgery, not an argument
+          // (the bootstrap policy treats unknown objects as unguarded, so
+          // letting one through would fail OPEN).
+          return InvalidArgument("unknown interned object id");
+        }
+        args->AddScalar(static_cast<ArgTag>(*tag), *scalar);
+        break;
+      }
+      case ArgTag::kBytes:
+      case ArgTag::kString: {
+        Result<Bytes> payload = reader.ReadLengthPrefixed();
+        if (!payload.ok()) {
+          return payload.status();
+        }
+        if (payload->size() > kMaxArgPayload) {
+          return InvalidArgument("argument payload exceeds wire bound");
+        }
+        args->AddPayload(static_cast<ArgTag>(*tag),
+                         std::string_view(reinterpret_cast<const char*>(payload->data()),
+                                          payload->size()));
+        break;
+      }
+      default:
+        return InvalidArgument("bad argument tag");
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
 Result<IpcMessage> UnmarshalMessage(ByteView buffer) {
   ByteReader reader(buffer);
   Result<uint8_t> version = reader.ReadU8();
@@ -314,55 +376,9 @@ Result<IpcMessage> UnmarshalMessage(ByteView buffer) {
   } else {
     return InvalidArgument("bad operation kind");
   }
-  Result<uint8_t> argc = reader.ReadU8();
-  if (!argc.ok()) {
-    return argc.status();
-  }
-  if (*argc > ArgVec::kMaxArgs) {
-    return InvalidArgument("argument slot count exceeds capacity");
-  }
-  for (uint8_t i = 0; i < *argc; ++i) {
-    Result<uint8_t> tag = reader.ReadU8();
-    if (!tag.ok()) {
-      return tag.status();
-    }
-    switch (static_cast<ArgTag>(*tag)) {
-      case ArgTag::kU64:
-      case ArgTag::kProcess:
-      case ArgTag::kPort:
-      case ArgTag::kObject:
-      case ArgTag::kFormula: {
-        Result<uint64_t> scalar = reader.ReadU64();
-        if (!scalar.ok()) {
-          return scalar.status();
-        }
-        if (static_cast<ArgTag>(*tag) == ArgTag::kObject && !IsKnownObjectId(*scalar)) {
-          // A value that fits no table entry is a forgery, not an argument
-          // (the bootstrap policy treats unknown objects as unguarded, so
-          // letting one through would fail OPEN).
-          return InvalidArgument("unknown interned object id");
-        }
-        message.args.AddScalar(static_cast<ArgTag>(*tag), *scalar);
-        break;
-      }
-      case ArgTag::kBytes:
-      case ArgTag::kString: {
-        Result<Bytes> payload = reader.ReadLengthPrefixed();
-        if (!payload.ok()) {
-          return payload.status();
-        }
-        if (payload->size() > kMaxArgPayload) {
-          return InvalidArgument("argument payload exceeds wire bound");
-        }
-        message.args.AddPayload(
-            static_cast<ArgTag>(*tag),
-            std::string_view(reinterpret_cast<const char*>(payload->data()),
-                             payload->size()));
-        break;
-      }
-      default:
-        return InvalidArgument("bad argument tag");
-    }
+  Status slots = ReadArgSlots(reader, &message.args);
+  if (!slots.ok()) {
+    return slots;
   }
   Result<Bytes> data = reader.ReadLengthPrefixed();
   if (!data.ok()) {
@@ -376,6 +392,206 @@ Result<IpcMessage> UnmarshalMessage(ByteView buffer) {
     return InvalidArgument("trailing bytes after message");
   }
   return message;
+}
+
+// ------------------------------------------------------------ Reply side
+//
+//   u8  version (2)
+//   u8  status code (ErrorCode)
+//   u32 status message length + text (<= kMaxReplyStatusMessage)
+//   u8  argc (<= ArgVec::kMaxArgs)
+//   per arg: u8 tag, then u64 scalar | u32 length + payload
+//   u32 data length + data
+//   (end of buffer — trailing bytes are rejected)
+
+IpcReply IpcReply::FromLegacy(Status status, std::string_view text, Bytes data,
+                              int64_t value) {
+  IpcReply reply(std::move(status));
+  // Slot order matters for the v1-compat readers: value() scans for the
+  // first kU64, text() for the first kString. Zero/empty legacy fields add
+  // no slot at all (a scalar-only legacy reply stays arena-free and does
+  // not bump the text-payload audit counter spuriously).
+  if (value != 0) {
+    reply.AddU64(static_cast<uint64_t>(value));
+  }
+  if (!text.empty()) {
+    reply.AddString(text);
+  }
+  reply.data = std::move(data);
+  return reply;
+}
+
+Result<uint64_t> IpcReply::ArgU64(size_t i) const {
+  return ScalarArg(args, i, ArgTag::kU64, "u64");
+}
+
+Result<ProcessId> IpcReply::ArgProcess(size_t i) const {
+  return ScalarArg(args, i, ArgTag::kProcess, "process id");
+}
+
+Result<PortId> IpcReply::ArgPort(size_t i) const {
+  return ScalarArg(args, i, ArgTag::kPort, "port id");
+}
+
+Result<ObjectId> IpcReply::ArgObject(size_t i) const {
+  if (i >= args.size()) {
+    return InvalidArgument("missing argument slot " + std::to_string(i));
+  }
+  ArgSlot slot = args[i];
+  if (slot.tag() == ArgTag::kObject) {
+    return static_cast<ObjectId>(slot.scalar());
+  }
+  if (slot.tag() == ArgTag::kU64) {
+    // Same forged-id discipline as the request side: the generic-integer
+    // coercion must not smuggle an unknown id past the kObject check.
+    if (!IsKnownObjectId(slot.scalar())) {
+      return InvalidArgument("argument slot " + std::to_string(i) +
+                             " is not a known object id");
+    }
+    return static_cast<ObjectId>(slot.scalar());
+  }
+  return InvalidArgument("argument slot " + std::to_string(i) + " is not an object id");
+}
+
+Result<uint64_t> IpcReply::ArgFormula(size_t i) const {
+  if (i >= args.size()) {
+    return InvalidArgument("missing argument slot " + std::to_string(i));
+  }
+  ArgSlot slot = args[i];
+  if (slot.tag() == ArgTag::kFormula || slot.tag() == ArgTag::kU64) {
+    return slot.scalar();
+  }
+  return InvalidArgument("argument slot " + std::to_string(i) + " is not a formula id");
+}
+
+Result<std::string_view> IpcReply::ArgString(size_t i) const {
+  if (i >= args.size()) {
+    return InvalidArgument("missing argument slot " + std::to_string(i));
+  }
+  if (args[i].tag() != ArgTag::kString) {
+    return InvalidArgument("argument slot " + std::to_string(i) + " is not a string");
+  }
+  return args[i].text();
+}
+
+Result<ByteView> IpcReply::ArgBytes(size_t i) const {
+  if (i >= args.size()) {
+    return InvalidArgument("missing argument slot " + std::to_string(i));
+  }
+  if (args[i].tag() != ArgTag::kBytes) {
+    return InvalidArgument("argument slot " + std::to_string(i) + " is not a byte payload");
+  }
+  return args[i].blob();
+}
+
+Status ValidateReplyWireBounds(const IpcReply& reply) {
+  if (reply.args_overflowed()) {
+    return InvalidArgument("reply exceeds the typed-slot capacity (" +
+                           std::to_string(ArgVec::kMaxArgs) + " slots)");
+  }
+  if (reply.status.message().size() > kMaxReplyStatusMessage) {
+    return InvalidArgument("reply status message exceeds wire bound");
+  }
+  if (reply.data.size() > kMaxIpcData) {
+    return InvalidArgument("data payload exceeds wire bound");
+  }
+  for (size_t i = 0; i < reply.args.size(); ++i) {
+    ArgSlot arg = reply.args[i];
+    if (!arg.is_scalar() && arg.payload_size() > kMaxArgPayload) {
+      return InvalidArgument("argument payload exceeds wire bound");
+    }
+    if (arg.tag() == ArgTag::kObject && !IsKnownObjectId(arg.scalar())) {
+      return InvalidArgument("unknown interned object id");
+    }
+    // A reply is a RESULT: a formula id the receiving side cannot resolve
+    // names nothing and can only mislead whatever consumes it — forged,
+    // reject whole. (Requests leave this to the consumer, which resolves
+    // the goal itself; replies have no later resolution step.)
+    if (arg.tag() == ArgTag::kFormula &&
+        nal::Interner::Global().Resolve(arg.scalar()) == nullptr) {
+      return InvalidArgument("unknown interned formula id");
+    }
+  }
+  return OkStatus();
+}
+
+Result<Bytes> MarshalReply(const IpcReply& reply) {
+  Status bounded = ValidateReplyWireBounds(reply);
+  if (!bounded.ok()) {
+    return bounded;
+  }
+  size_t size = 2 + 4 + reply.status.message().size() + 1 + 4 + reply.data.size();
+  for (size_t i = 0; i < reply.args.size(); ++i) {
+    ArgSlot arg = reply.args[i];
+    size += 1 + (arg.is_scalar() ? 8 : 4 + arg.payload_size());
+  }
+  Bytes out;
+  out.reserve(size);
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<uint8_t>(reply.status.code()));
+  AppendLengthPrefixed(out, ToBytes(reply.status.message()));
+  out.push_back(static_cast<uint8_t>(reply.args.size()));
+  for (size_t i = 0; i < reply.args.size(); ++i) {
+    ArgSlot arg = reply.args[i];
+    out.push_back(static_cast<uint8_t>(arg.tag()));
+    if (arg.is_scalar()) {
+      AppendU64(out, arg.scalar());
+    } else {
+      AppendLengthPrefixed(out, arg.blob());
+    }
+  }
+  AppendLengthPrefixed(out, reply.data);
+  return out;
+}
+
+Result<IpcReply> UnmarshalReply(ByteView buffer) {
+  ByteReader reader(buffer);
+  Result<uint8_t> version = reader.ReadU8();
+  if (!version.ok()) {
+    return version.status();
+  }
+  if (*version != kWireVersion) {
+    return InvalidArgument("unsupported IPC wire version");
+  }
+  Result<uint8_t> code = reader.ReadU8();
+  if (!code.ok()) {
+    return code.status();
+  }
+  if (*code > static_cast<uint8_t>(ErrorCode::kInternal)) {
+    return InvalidArgument("bad reply status code");
+  }
+  Result<Bytes> status_message = reader.ReadLengthPrefixed();
+  if (!status_message.ok()) {
+    return status_message.status();
+  }
+  if (status_message->size() > kMaxReplyStatusMessage) {
+    return InvalidArgument("reply status message exceeds wire bound");
+  }
+  IpcReply reply(Status(static_cast<ErrorCode>(*code), ToString(*status_message)));
+  Status slots = ReadArgSlots(reader, &reply.args);
+  if (!slots.ok()) {
+    return slots;
+  }
+  Result<Bytes> data = reader.ReadLengthPrefixed();
+  if (!data.ok()) {
+    return data.status();
+  }
+  if (data->size() > kMaxIpcData) {
+    return InvalidArgument("data payload exceeds wire bound");
+  }
+  reply.data = std::move(*data);
+  if (!reader.AtEnd()) {
+    return InvalidArgument("trailing bytes after reply");
+  }
+  // The shared slot decoder covers object-id forgery; formula ids are a
+  // reply-only check (see ValidateReplyWireBounds).
+  for (size_t i = 0; i < reply.args.size(); ++i) {
+    if (reply.args[i].tag() == ArgTag::kFormula &&
+        nal::Interner::Global().Resolve(reply.args[i].scalar()) == nullptr) {
+      return InvalidArgument("unknown interned formula id");
+    }
+  }
+  return reply;
 }
 
 }  // namespace nexus::kernel

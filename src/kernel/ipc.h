@@ -95,6 +95,20 @@ class ArgVec {
   }
   bool AddPayload(ArgTag tag, std::string_view payload);
 
+  // In-place structural rewrite of one SCALAR slot — the reply-
+  // interposition primitive (clamp a length, redact an ObjectId,
+  // substitute a FormulaId) with zero reallocation. The tag is preserved;
+  // payload slots refuse (monitors replace reply data wholesale rather
+  // than splicing the shared arena).
+  bool SetScalar(size_t i, uint64_t value) {
+    if (i >= count_ || slots_[i].tag == ArgTag::kBytes ||
+        slots_[i].tag == ArgTag::kString) {
+      return false;
+    }
+    slots_[i].scalar = value;
+    return true;
+  }
+
   // The slots from index `from` on (the ipc_call syscall strips its port
   // and operation prefix before forwarding the inner message).
   ArgVec Tail(size_t from) const {
@@ -266,11 +280,109 @@ struct IpcMessage {
   bool args_overflowed_ = false;
 };
 
+// Reply wire bound: the status context message is short human text, not a
+// data channel — anything longer is rejected whole.
+inline constexpr size_t kMaxReplyStatusMessage = 1024;
+
+// The typed reply — v2 twin of IpcMessage. Results travel in the same
+// fixed vector of typed slots over the same single payload arena, so a
+// reply whose results are integers or interned ids owns no heap memory
+// and a reply-rewriting monitor pattern-matches slots structurally
+// instead of reparsing text. The v1 {text, value} fields survive only as
+// ACCESSORS over the slot vector (first kString / first kU64 slot), and
+// as the FromLegacy quarantine for straggler producers.
 struct IpcReply {
   Status status;
-  std::string text;
+  ArgVec args;
   Bytes data;
-  int64_t value = 0;
+
+  IpcReply() = default;
+  explicit IpcReply(Status s) : status(std::move(s)) {}
+
+  static IpcReply Ok() { return IpcReply(OkStatus()); }
+
+  // The legacy shim — the ONLY place v1-style {status, text, data, value}
+  // replies are built. A nonzero value becomes a kU64 slot, nonempty text
+  // a kString slot (bumping IpcTextPayloadCount — the quarantine is
+  // visible to the zero-string audit).
+  static IpcReply FromLegacy(Status status, std::string_view text, Bytes data,
+                             int64_t value);
+
+  // ---- Builders (chainable). Capacity overflow is recorded, not dropped.
+  IpcReply& AddU64(uint64_t v) { return AddScalar(ArgTag::kU64, v); }
+  IpcReply& AddProcess(ProcessId v) { return AddScalar(ArgTag::kProcess, v); }
+  IpcReply& AddPort(PortId v) { return AddScalar(ArgTag::kPort, v); }
+  IpcReply& AddObject(ObjectId v) { return AddScalar(ArgTag::kObject, v); }
+  IpcReply& AddFormula(uint64_t v) { return AddScalar(ArgTag::kFormula, v); }
+  IpcReply& AddString(std::string_view v) { return AddPayload(ArgTag::kString, v); }
+  IpcReply& AddBytes(ByteView v) {
+    return AddPayload(ArgTag::kBytes,
+                      std::string_view(reinterpret_cast<const char*>(v.data()), v.size()));
+  }
+  IpcReply& AddScalar(ArgTag tag, uint64_t v) {
+    if (!args.AddScalar(tag, v)) {
+      args_overflowed_ = true;
+    }
+    return *this;
+  }
+  IpcReply& AddPayload(ArgTag tag, std::string_view v) {
+    if (!args.AddPayload(tag, v)) {
+      args_overflowed_ = true;
+    }
+    return *this;
+  }
+
+  // ---- Typed accessors, same coercion discipline as IpcMessage.
+  Result<uint64_t> ArgU64(size_t i) const;
+  Result<ProcessId> ArgProcess(size_t i) const;
+  Result<PortId> ArgPort(size_t i) const;
+  Result<ObjectId> ArgObject(size_t i) const;
+  Result<uint64_t> ArgFormula(size_t i) const;
+  Result<std::string_view> ArgString(size_t i) const;
+  Result<ByteView> ArgBytes(size_t i) const;
+
+  // ---- v1-compat readers over the slot vector.
+  // First kU64 slot's scalar, or 0 (the v1 `value` field).
+  int64_t value() const {
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (args[i].tag() == ArgTag::kU64) {
+        return static_cast<int64_t>(args[i].scalar());
+      }
+    }
+    return 0;
+  }
+  // First kString slot's payload, or empty (the v1 `text` field).
+  std::string_view text() const {
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (args[i].tag() == ArgTag::kString) {
+        return args[i].text();
+      }
+    }
+    return std::string_view();
+  }
+
+  // True when any slot carries a text/bytes payload — the reply half of
+  // the zero-string hot-path assertion.
+  bool HasTextPayloads() const {
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (!args[i].is_scalar()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool args_overflowed() const { return args_overflowed_; }
+
+  friend bool operator==(const IpcReply& a, const IpcReply& b) {
+    return a.status == b.status && a.args == b.args && a.data == b.data &&
+           a.args_overflowed_ == b.args_overflowed_;
+  }
+
+ private:
+  friend Result<IpcReply> UnmarshalReply(ByteView buffer);
+
+  bool args_overflowed_ = false;
 };
 
 // Context passed to port handlers and interceptors.
@@ -302,6 +414,21 @@ Result<IpcMessage> UnmarshalMessage(ByteView buffer);
 // too, so whether a message is accepted never depends on interposition
 // being enabled. O(slot count); no buffer is built.
 Status ValidateWireBounds(const IpcMessage& message);
+
+// Reply codec — same strict discipline as the message side: version byte,
+// status code + bounded context message, ≤8 typed slots, length-prefixed
+// data, reject-whole on truncation / trailing bytes / bad tag / slot
+// overflow / forged interned id (kObject against the object table,
+// kFormula against the NAL interner — a reply is a RESULT, so an id the
+// receiving instance cannot resolve is a forgery, not a request to
+// resolve later).
+Result<Bytes> MarshalReply(const IpcReply& reply);
+Result<IpcReply> UnmarshalReply(ByteView buffer);
+
+// Reply bounds as a pure check — applied by the kernel to EVERY reply a
+// port handler returns (bare and interposed paths alike), so whether a
+// server's reply is accepted never depends on a monitor being present.
+Status ValidateReplyWireBounds(const IpcReply& reply);
 
 // The hoisted interned id of a syscall's operation name (interned once,
 // not per call — the syscall channel's marshal path is string-free).

@@ -386,6 +386,25 @@ void EmitCallEvent(const TraceScope& trace, ProcessId caller, OpId op, PortId po
   FlightRecorder::Global().Emit(e);
 }
 
+// One kReplyInterpose event per reply-direction interceptor traversal.
+// Its PRESENCE is the audited invariant: a completed interposed call whose
+// chain lacks this stage returned a reply the monitors never saw.
+void EmitReplyInterposeEvent(const TraceScope& trace, ProcessId caller, OpId op,
+                             PortId port, uint16_t flags, uint8_t verdict) {
+  if (!trace.active()) {
+    return;
+  }
+  TraceEvent e;
+  e.trace_id = trace.id();
+  e.subject = caller;
+  e.op = op;
+  e.aux = port;
+  e.flags = flags;
+  e.verdict = verdict;
+  e.stage = TraceStage::kReplyInterpose;
+  FlightRecorder::Global().Emit(e);
+}
+
 // Records elapsed cycles into a histogram across every return path of the
 // enclosing function. Pass nullptr to measure nothing (untraced calls pay
 // no rdtsc).
@@ -414,7 +433,7 @@ IpcReply Kernel::Call(ProcessId caller, PortId port, const IpcMessage& message) 
   // the surrounding trace id, so one logical operation is one trace.
   TraceScope trace;
   if (!SnapshotPort(port).has_value()) {
-    return IpcReply{NotFound("no such port"), {}, {}, 0};
+    return IpcReply(NotFound("no such port"));
   }
 
   // Wire bounds and forged-id checks hold on BOTH paths below — whether a
@@ -423,59 +442,26 @@ IpcReply Kernel::Call(ProcessId caller, PortId port, const IpcMessage& message) 
   // rejected anyway cannot grow the op table or burn quota.
   Status bounded = ValidateWireBounds(message);
   if (!bounded.ok()) {
-    return IpcReply{bounded, {}, {}, 0};
+    return IpcReply(bounded);
   }
 
-  if (!interposition_enabled_.load()) {
-    // Copy only when a legacy message needs resolution; typed messages
-    // dispatch by reference, untouched.
-    if (!message.needs_op_resolution()) {
-      IpcReply reply = Dispatch(caller, port, message);
-      EmitCallEvent(trace, caller, message.op, port, 0,
-                    reply.status.ok() ? kTraceVerdictAllow : kTraceVerdictDeny);
-      return reply;
-    }
-    IpcMessage resolved = message;
-    Status legacy = ResolveLegacy(caller, resolved);
-    if (!legacy.ok()) {
-      return IpcReply{legacy, {}, {}, 0};
-    }
-    IpcReply reply = Dispatch(caller, port, resolved);
-    EmitCallEvent(trace, caller, resolved.op, port, 0,
-                  reply.status.ok() ? kTraceVerdictAllow : kTraceVerdictDeny);
-    return reply;
-  }
-
-  // Marshal/unmarshal: every interposable call crosses a defined message
-  // boundary so monitors see (and can rewrite) a flat buffer. Legacy op
-  // names resolve (charged) before marshaling, so the wire carries the
-  // interned id and the hot path stays string-free — and typed messages
-  // marshal straight from the caller's buffer, no pre-copy.
+  // Legacy op names resolve (charged) once, up front, so every path below
+  // dispatches an interned id and the hot path stays string-free.
   const IpcMessage* source = &message;
   IpcMessage resolved;
   if (message.needs_op_resolution()) {
     resolved = message;
     Status legacy = ResolveLegacy(caller, resolved);
     if (!legacy.ok()) {
-      return IpcReply{legacy, {}, {}, 0};
+      return IpcReply(legacy);
     }
     source = &resolved;
   }
-  Result<Bytes> wire = MarshalMessage(*source);
-  if (!wire.ok()) {
-    return IpcReply{wire.status(), {}, {}, 0};
-  }
-  Result<IpcMessage> unmarshaled = UnmarshalMessage(*wire);
-  if (!unmarshaled.ok()) {
-    return IpcReply{unmarshaled.status(), {}, {}, 0};
-  }
-  IpcMessage working = std::move(*unmarshaled);
 
-  IpcContext context{caller, port};
   // Newest interceptor first; composition is simply nesting (§3.2). The
   // chain is snapshotted under the reader lock and run without it.
   std::vector<Interceptor*> active;
-  {
+  if (interposition_enabled_.load()) {
     std::shared_lock<std::shared_mutex> lock(interpose_mu_);
     for (auto it = interpositions_.rbegin(); it != interpositions_.rend(); ++it) {
       if (it->port == port) {
@@ -483,22 +469,55 @@ IpcReply Kernel::Call(ProcessId caller, PortId port, const IpcMessage& message) 
       }
     }
   }
-  const uint16_t interposed_flag = active.empty() ? 0 : kTraceFlagInterposed;
+
+  if (active.empty()) {
+    // No monitor on this port: dispatch by reference, untouched. The reply
+    // bounds check matches the interposed path below, so whether a
+    // server's reply is accepted never depends on a monitor being present.
+    IpcReply reply = Dispatch(caller, port, *source);
+    if (Status reply_bounds = ValidateReplyWireBounds(reply); !reply_bounds.ok()) {
+      reply = IpcReply(std::move(reply_bounds));
+    }
+    EmitCallEvent(trace, caller, source->op, port, 0,
+                  reply.status.ok() ? kTraceVerdictAllow : kTraceVerdictDeny);
+    return reply;
+  }
+
+  // Structural interposition (§5.1): monitors receive the VALIDATED typed
+  // message itself — one copy, zero marshal/unmarshal round trips, zero
+  // strings — and pattern-match / rewrite slots in place. The wire codec
+  // still exists for buffers that genuinely cross an address space (the
+  // net layer, user-space monitor simulations); in-kernel chains get the
+  // same bounds guarantees from Validate{Reply,}WireBounds alone.
+  IpcMessage working = *source;
+  IpcContext context{caller, port};
   for (Interceptor* interceptor : active) {
     if (interceptor->OnCall(context, working) == InterposeVerdict::kDeny) {
       // A blocked call returns earlier than a completed call (Table 1).
       EmitCallEvent(trace, caller, working.op, port,
-                    interposed_flag | kTraceFlagDenied, kTraceVerdictDeny);
-      return IpcReply{PermissionDenied("blocked by reference monitor"), {}, {}, 0};
+                    kTraceFlagInterposed | kTraceFlagDenied, kTraceVerdictDeny);
+      return IpcReply(PermissionDenied("blocked by reference monitor"));
     }
   }
 
   IpcReply reply = Dispatch(caller, port, working);
-
-  for (auto it = active.rbegin(); it != active.rend(); ++it) {
-    (*it)->OnReturn(context, reply);
+  if (Status reply_bounds = ValidateReplyWireBounds(reply); !reply_bounds.ok()) {
+    reply = IpcReply(std::move(reply_bounds));
   }
-  EmitCallEvent(trace, caller, working.op, port, interposed_flag,
+
+  // Reply direction, reverse order (innermost monitor sees the handler's
+  // reply first — unwinding the nesting the call direction established).
+  uint16_t reply_flags = kTraceFlagInterposed;
+  for (auto it = active.rbegin(); it != active.rend(); ++it) {
+    if ((*it)->OnReply(context, working, reply) == InterposeVerdict::kDeny) {
+      reply = IpcReply(PermissionDenied("reply blocked by reference monitor"));
+      reply_flags |= kTraceFlagDenied;
+      break;
+    }
+  }
+  EmitReplyInterposeEvent(trace, caller, working.op, port, reply_flags,
+                          reply.status.ok() ? kTraceVerdictAllow : kTraceVerdictDeny);
+  EmitCallEvent(trace, caller, working.op, port, kTraceFlagInterposed,
                 reply.status.ok() ? kTraceVerdictAllow : kTraceVerdictDeny);
   return reply;
 }
@@ -506,10 +525,10 @@ IpcReply Kernel::Call(ProcessId caller, PortId port, const IpcMessage& message) 
 IpcReply Kernel::Dispatch(ProcessId caller, PortId port, const IpcMessage& message) {
   std::optional<Port> snapshot = SnapshotPort(port);
   if (!snapshot.has_value()) {
-    return IpcReply{NotFound("no such port"), {}, {}, 0};
+    return IpcReply(NotFound("no such port"));
   }
   if (snapshot->handler == nullptr) {
-    return IpcReply{Unavailable("no handler bound to port"), {}, {}, 0};
+    return IpcReply(Unavailable("no handler bound to port"));
   }
   // The handler runs with no kernel lock held. A concurrent DestroyPort
   // lets this in-flight call complete against the handler captured here
@@ -596,11 +615,11 @@ IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& messag
     std::shared_lock<std::shared_mutex> lock(shard.mu);
     auto proc_it = shard.procs.find(caller);
     if (proc_it == shard.procs.end() || !proc_it->second.alive.load()) {
-      return IpcReply{NotFound("no such process"), {}, {}, 0};
+      return IpcReply(NotFound("no such process"));
     }
     const Process& proc = proc_it->second;
     if (proc.allowed_syscalls.has_value() && !proc.allowed_syscalls->contains(call)) {
-      return IpcReply{PermissionDenied("system call relinquished"), {}, {}, 0};
+      return IpcReply(PermissionDenied("system call relinquished"));
     }
     parent = proc.parent;
   }
@@ -614,7 +633,7 @@ IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& messag
   // interposition — see Call. Single enforcement point.
   Status bounded = ValidateWireBounds(working);
   if (!bounded.ok()) {
-    return IpcReply{bounded, {}, {}, 0};
+    return IpcReply(bounded);
   }
   if (trace.active()) {
     TraceEvent e;
@@ -625,59 +644,69 @@ IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& messag
     e.stage = TraceStage::kSyscall;
     FlightRecorder::Global().Emit(e);
   }
+  // The syscall channel's interceptor chain, structural in both directions
+  // (see Call): monitors get the validated typed message — no marshal
+  // round trip, no strings built, hashed, or re-parsed here (§5.1).
+  IpcContext sys_context{caller, 0};
+  std::vector<Interceptor*> active;
   if (interposition_enabled_.load()) {
-    // Per-syscall parameter marshaling plus the process's syscall-channel
-    // interceptor chain. Integer/id arguments cross this boundary as typed
-    // slots: no strings are built, hashed, or re-parsed here (§5.1).
-    Result<Bytes> wire = MarshalMessage(working);
-    if (!wire.ok()) {
-      return IpcReply{wire.status(), {}, {}, 0};
-    }
-    Result<IpcMessage> unmarshaled = UnmarshalMessage(*wire);
-    if (!unmarshaled.ok()) {
-      return IpcReply{unmarshaled.status(), {}, {}, 0};
-    }
-    working = std::move(*unmarshaled);
-    PortId sys_port = 0;
     {
       std::lock_guard<std::mutex> lock(syscall_ports_mu_);
       auto it = syscall_ports_.find(caller);
       if (it != syscall_ports_.end()) {
-        sys_port = it->second;
+        sys_context.port = it->second;
       }
     }
-    if (sys_port != 0) {
-      IpcContext context{caller, sys_port};
-      std::vector<Interceptor*> active;
+    if (sys_context.port != 0) {
       {
         std::shared_lock<std::shared_mutex> lock(interpose_mu_);
         for (auto it = interpositions_.rbegin(); it != interpositions_.rend(); ++it) {
-          if (it->port == sys_port) {
+          if (it->port == sys_context.port) {
             active.push_back(it->interceptor);
           }
         }
       }
       for (Interceptor* interceptor : active) {
-        if (interceptor->OnCall(context, working) == InterposeVerdict::kDeny) {
-          return IpcReply{PermissionDenied("blocked by reference monitor"), {}, {}, 0};
+        if (interceptor->OnCall(sys_context, working) == InterposeVerdict::kDeny) {
+          return IpcReply(PermissionDenied("blocked by reference monitor"));
         }
       }
     }
   }
 
+  IpcReply reply = InvokeDispatch(caller, call, parent, working);
+
+  if (!active.empty()) {
+    uint16_t reply_flags = kTraceFlagInterposed;
+    for (auto it = active.rbegin(); it != active.rend(); ++it) {
+      if ((*it)->OnReply(sys_context, working, reply) == InterposeVerdict::kDeny) {
+        reply = IpcReply(PermissionDenied("reply blocked by reference monitor"));
+        reply_flags |= kTraceFlagDenied;
+        break;
+      }
+    }
+    EmitReplyInterposeEvent(trace, caller, working.op, sys_context.port, reply_flags,
+                            reply.status.ok() ? kTraceVerdictAllow : kTraceVerdictDeny);
+  }
+  return reply;
+}
+
+// The post-interposition syscall switch, split out so Invoke can run the
+// reply-direction interceptor chain over whatever any branch returns.
+IpcReply Kernel::InvokeDispatch(ProcessId caller, Syscall call, ProcessId parent,
+                                IpcMessage& working) {
   switch (call) {
     case Syscall::kNull:
-      return IpcReply{OkStatus(), {}, {}, 0};
+      return IpcReply::Ok();
     case Syscall::kGetPpid:
-      return IpcReply{OkStatus(), {}, {}, static_cast<int64_t>(parent)};
+      return IpcReply::Ok().AddU64(parent);
     case Syscall::kGetTimeOfDay:
-      return IpcReply{OkStatus(), {}, {}, static_cast<int64_t>(NowMicros())};
+      return IpcReply::Ok().AddU64(NowMicros());
     case Syscall::kYield: {
       std::unique_lock<std::mutex> lock(sched_mu_);
       Result<ProcessId> next = scheduler_->Tick();
       lock.unlock();
-      return IpcReply{OkStatus(), {}, {},
-                      next.ok() ? static_cast<int64_t>(*next) : static_cast<int64_t>(caller)};
+      return IpcReply::Ok().AddU64(next.ok() ? *next : caller);
     }
     case Syscall::kOpen:
     case Syscall::kClose:
@@ -685,7 +714,7 @@ IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& messag
     case Syscall::kWrite: {
       PortId fs_port = fs_port_.load();
       if (fs_port == 0) {
-        return IpcReply{Unavailable("no filesystem server"), {}, {}, 0};
+        return IpcReply(Unavailable("no filesystem server"));
       }
       // Client-server microkernel architecture: the file operation is one
       // more IPC hop to the user-level server (Table 1's 2-3x). The op is
@@ -696,7 +725,7 @@ IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& messag
       // Paths are inherently text; everything derived from one is memoized.
       Result<std::string_view> path = working.ArgString(0);
       if (!path.ok()) {
-        return IpcReply{InvalidArgument("proc_read needs a path"), {}, {}, 0};
+        return IpcReply(InvalidArgument("proc_read needs a path"));
       }
       // Interned fast path: the op id is hoisted once, and the
       // "proc:<path>" object id is built exactly once per novel path —
@@ -707,28 +736,28 @@ IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& messag
       static const OpId read_op = InternOp("read");
       Result<ObjectId> object = ProcObjectFor(caller, *path);
       if (!object.ok()) {
-        return IpcReply{object.status(), {}, {}, 0};
+        return IpcReply(object.status());
       }
       Status authorized = Authorize(AuthzRequest{caller, read_op, *object});
       if (!authorized.ok()) {
-        return IpcReply{authorized, {}, {}, 0};
+        return IpcReply(authorized);
       }
       Result<std::string> value = procfs_.Read(*path);
       if (!value.ok()) {
-        return IpcReply{value.status(), {}, {}, 0};
+        return IpcReply(value.status());
       }
-      return IpcReply{OkStatus(), *value, {}, 0};
+      return IpcReply::Ok().AddString(*value);
     }
     case Syscall::kIpcCall: {
       if (working.args.empty()) {
-        return IpcReply{InvalidArgument("ipc_call needs a port"), {}, {}, 0};
+        return IpcReply(InvalidArgument("ipc_call needs a port"));
       }
       // args[0] is caller-controlled: a kPort/kU64 slot, or legacy decimal
       // text (decoded at the single validated point in the accessor —
       // garbage or a 100-digit number is InvalidArgument, never a throw).
       Result<PortId> port = working.ArgPort(0);
       if (!port.ok()) {
-        return IpcReply{InvalidArgument("ipc_call: port must be a port id"), {}, {}, 0};
+        return IpcReply(InvalidArgument("ipc_call: port must be a port id"));
       }
       IpcMessage inner;
       if (working.args.size() > 1) {
@@ -741,14 +770,11 @@ IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& messag
           inner = IpcMessage::FromLegacy(op_slot.text());
         } else if (op_slot.tag() == ArgTag::kU64) {
           if (!IsKnownOpId(op_slot.scalar())) {
-            return IpcReply{InvalidArgument("ipc_call: unknown op id"), {}, {}, 0};
+            return IpcReply(InvalidArgument("ipc_call: unknown op id"));
           }
           inner.op = static_cast<OpId>(op_slot.scalar());
         } else {
-          return IpcReply{InvalidArgument("ipc_call: operation must be an op id or text"),
-                          {},
-                          {},
-                          0};
+          return IpcReply(InvalidArgument("ipc_call: operation must be an op id or text"));
         }
         inner.args = working.args.Tail(2);
       }
@@ -761,12 +787,9 @@ IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& messag
     case Syscall::kInterpose:
       // Control operations are handled by the core layer (which owns label
       // and goal stores); reaching the raw kernel is a wiring error.
-      return IpcReply{Unavailable("control syscall not wired to an authorization engine"),
-                      {},
-                      {},
-                      0};
+      return IpcReply(Unavailable("control syscall not wired to an authorization engine"));
   }
-  return IpcReply{Internal("unhandled syscall"), {}, {}, 0};
+  return IpcReply(Internal("unhandled syscall"));
 }
 
 // ---------------------------------------------------------- Authorization

@@ -51,11 +51,19 @@ class Interceptor {
   virtual ~Interceptor() = default;
   // Called before the target handler. May modify `message`.
   virtual InterposeVerdict OnCall(const IpcContext& context, IpcMessage& message) = 0;
-  // Called after the handler returns (only if the call was allowed). May
-  // modify the reply.
-  virtual void OnReturn(const IpcContext& context, IpcReply& reply) {
+  // Called after the handler returns (only if the call was allowed), with
+  // the request the handler actually saw — interposition is structural on
+  // BOTH directions: a monitor pattern-matches the typed reply slots and
+  // rewrites them in place (ArgVec::SetScalar to clamp a u64 or redact an
+  // id, reassign reply.data for payloads) with zero reparsing and zero
+  // heap strings. kDeny suppresses the reply: the caller sees
+  // PermissionDenied instead of the handler's result.
+  virtual InterposeVerdict OnReply(const IpcContext& context, const IpcMessage& request,
+                                   IpcReply& reply) {
     (void)context;
+    (void)request;
     (void)reply;
+    return InterposeVerdict::kAllow;
   }
 };
 
@@ -329,6 +337,10 @@ class Kernel {
   std::optional<Port> SnapshotPort(PortId port) const;
 
   IpcReply Dispatch(ProcessId caller, PortId port, const IpcMessage& message);
+  // The post-interposition syscall switch — split from Invoke so the
+  // reply-direction interceptor chain runs over every branch's result.
+  IpcReply InvokeDispatch(ProcessId caller, Syscall call, ProcessId parent,
+                          IpcMessage& working);
   void PublishProcessNodes(const Process& process);
 
   // The kernel boundary for legacy messages: resolves a pending FromLegacy

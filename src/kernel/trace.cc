@@ -55,6 +55,8 @@ std::string_view TraceStageName(TraceStage stage) {
       return "remote_vouch";
     case TraceStage::kVerdict:
       return "verdict";
+    case TraceStage::kReplyInterpose:
+      return "reply_interpose";
   }
   return "unknown";
 }
@@ -224,15 +226,21 @@ FlightRecorder::DrainStats FlightRecorder::Drain(DrainCursor* cursor,
     uint64_t floor = head > kRingCapacity ? head - kRingCapacity : 0;
     uint64_t cleared = ring.cleared_below.load(std::memory_order_relaxed);
     uint64_t start = cursor->next_[r];
+    bool lossless = true;
     if (start == kFresh) {
       start = floor;
+      // A fresh cursor on a wrapped ring starts mid-history: the head of
+      // the oldest retained trace may already be overwritten.
+      lossless = floor == 0;
     } else if (start < floor) {
       // The writer lapped the cursor: events in [start, floor) are gone.
       stats.dropped += floor - start;
       start = floor;
+      lossless = false;
     }
     if (start < cleared) {
       start = cleared;  // Clear() is deliberate: skipped, not "dropped".
+      lossless = true;
     }
     if (start >= head) {
       cursor->next_[r] = head;
@@ -241,6 +249,7 @@ FlightRecorder::DrainStats FlightRecorder::Drain(DrainCursor* cursor,
     DrainedSegment segment;
     segment.ring = r;
     segment.begin_seq = start + 1;  // Emit stamps timestamp = index + 1.
+    segment.lossless_start = lossless;
     ReadRingRange(ring, start, head, &segment.events);
     // Slots invalidated mid-read (writer advanced while we scanned) were
     // skipped by the seqlock check; they are drops the next cursor

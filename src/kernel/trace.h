@@ -60,6 +60,10 @@ enum class TraceStage : uint8_t {
                     // subregion generation the verdict is valid under — the
                     // probe generation on a hit, re-read after the engine
                     // returned on a miss).
+  kReplyInterpose,  // Reply-direction interceptor traversal completed
+                    // (aux = port). Emitted AFTER the monitors ran, so the
+                    // auditor can require it on every completed interposed
+                    // call: a reply the chain never saw has no such event.
 };
 
 inline constexpr uint16_t kTraceFlagCacheHit = 1u << 0;
@@ -141,6 +145,14 @@ class FlightRecorder {
   struct DrainedSegment {
     size_t ring = 0;          // Stable ring index (rings are never freed).
     uint64_t begin_seq = 0;   // Expected timestamp of events.front().
+    // True when NOTHING was lost before begin_seq: the cursor is
+    // contiguous with its previous visit, or the ring genuinely starts
+    // here (seq 1 / deliberate Clear). False when the writer wrapped past
+    // unread history — a cursor's FIRST visit to a busy ring may already
+    // be missing the head of its oldest retained trace, which a consumer
+    // cannot detect from begin_seq alone (there was no previous visit to
+    // be contiguous with).
+    bool lossless_start = false;
     std::vector<TraceEvent> events;
   };
   struct DrainStats {

@@ -74,8 +74,11 @@ Result<Bytes> AuthorityService::Handle(AttestedChannel& channel, ByteView reques
 
 Result<Bytes> AuthorityService::HandleBatch(ByteView request) {
   // Wire format: u32 count, then `count` length-prefixed statement texts.
-  // Reply: `count` verdict bytes. A malformed request denies everything it
-  // claimed to carry (bounded by the declared count).
+  // Reply: a marshaled typed IpcReply — slot 0 the verdict count (u64),
+  // slot 1 the verdict bytes — so the client consumes the batch through
+  // the strict reply codec instead of trusting raw bytes. A malformed
+  // request returns an empty buffer, which the client's UnmarshalReply
+  // rejects: deny-all, fail closed.
   ++batches_served_;
   ByteReader reader(request);
   Result<uint32_t> count = reader.ReadU32();
@@ -88,7 +91,7 @@ Result<Bytes> AuthorityService::HandleBatch(ByteView request) {
   if (*count > reader.remaining() / sizeof(uint32_t)) {
     return Bytes{};
   }
-  Bytes reply(*count, 0);
+  Bytes verdicts(*count, 0);
   for (uint32_t i = 0; i < *count; ++i) {
     Result<Bytes> text = reader.ReadLengthPrefixed();
     if (!text.ok()) {
@@ -105,9 +108,13 @@ Result<Bytes> AuthorityService::HandleBatch(ByteView request) {
       ++queries_served_;
       continue;
     }
-    reply[i] = Evaluate(*statement) ? 1 : 0;
+    verdicts[i] = Evaluate(*statement) ? 1 : 0;
   }
-  return reply;
+  // One kBytes slot carries ALL verdicts: batches routinely exceed the 8
+  // typed slots, and verdict-per-slot would also waste 9 bytes a verdict.
+  kernel::IpcReply typed = kernel::IpcReply::Ok();
+  typed.AddU64(*count).AddBytes(verdicts);
+  return kernel::MarshalReply(typed);
 }
 
 RemoteAuthority::RemoteAuthority(NetNode* node, NodeId peer, HandlesPredicate handles,
@@ -205,8 +212,26 @@ std::unique_ptr<core::VouchFuture> RemoteAuthority::VouchBatchAsync(
       EmitRemoteVouch(count, false);
       return answers;  // One deadline governs the whole round trip.
     }
+    // The batch verdict vector arrives as a typed reply (count slot +
+    // verdict bytes) through the strict codec. Anything that does not
+    // unmarshal whole — truncated, trailing bytes, forged ids, a count
+    // that contradicts ours — denies the entire batch: fail closed.
+    Result<kernel::IpcReply> typed = kernel::UnmarshalReply(*reply);
+    if (!typed.ok() || !typed->status.ok()) {
+      stats_.denied->Increment(count);
+      EmitRemoteVouch(count, false);
+      return answers;
+    }
+    Result<uint64_t> declared = typed->ArgU64(0);
+    Result<ByteView> verdicts = typed->ArgBytes(1);
+    if (!declared.ok() || !verdicts.ok() || *declared != count ||
+        verdicts->size() != count) {
+      stats_.denied->Increment(count);
+      EmitRemoteVouch(count, false);
+      return answers;
+    }
     for (size_t i = 0; i < count; ++i) {
-      answers[i] = i < reply->size() && (*reply)[i] == 1;
+      answers[i] = (*verdicts)[i] == 1;
       (answers[i] ? stats_.vouched : stats_.denied)->Increment();
     }
     EmitRemoteVouch(count, true);

@@ -1,0 +1,57 @@
+#include "services/read_redactor.h"
+
+#include <algorithm>
+
+namespace nexus::services {
+
+ReadRedactionMonitor::ReadRedactionMonitor(RedactionPolicy policy)
+    : policy_(policy), read_op_(kernel::InternOp("read")) {}
+
+kernel::InterposeVerdict ReadRedactionMonitor::OnCall(const kernel::IpcContext& context,
+                                                      kernel::IpcMessage& message) {
+  (void)context;
+  (void)message;
+  return kernel::InterposeVerdict::kAllow;
+}
+
+kernel::InterposeVerdict ReadRedactionMonitor::OnReply(const kernel::IpcContext& context,
+                                                       const kernel::IpcMessage& request,
+                                                       kernel::IpcReply& reply) {
+  (void)context;
+  // Only successful reads are rewritten; everything else (opens, writes,
+  // errors) passes untouched. The match is two integer compares against
+  // the request the handler actually saw — no text inspection anywhere.
+  if (request.op != read_op_ || !reply.status.ok()) {
+    return kernel::InterposeVerdict::kAllow;
+  }
+  bool rewrote = false;
+
+  // Clamp: shrink the data block and rewrite the length slot IN PLACE so
+  // the two stay consistent (the fileserver's read reply is slot 0 =
+  // length, data = content).
+  if (reply.data.size() > policy_.max_read_length) {
+    reply.data.resize(static_cast<size_t>(policy_.max_read_length));
+    rewrote = true;
+  }
+  if (!reply.args.empty() && reply.args[0].tag() == kernel::ArgTag::kU64 &&
+      reply.args[0].scalar() > policy_.max_read_length) {
+    reply.args.SetScalar(0, policy_.max_read_length);
+    rewrote = true;
+  }
+
+  // Redact: mask the configured byte range of whatever survived the clamp.
+  uint64_t begin = std::min<uint64_t>(policy_.redact_begin, reply.data.size());
+  uint64_t end = std::min<uint64_t>(policy_.redact_end, reply.data.size());
+  if (begin < end) {
+    std::fill(reply.data.begin() + static_cast<ptrdiff_t>(begin),
+              reply.data.begin() + static_cast<ptrdiff_t>(end), policy_.fill);
+    rewrote = true;
+  }
+
+  if (rewrote) {
+    rewrites_->Increment();
+  }
+  return kernel::InterposeVerdict::kAllow;
+}
+
+}  // namespace nexus::services

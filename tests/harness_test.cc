@@ -368,16 +368,63 @@ TEST(TraceAuditorTest, InterpositionBypassFlagged) {
   for (bool traversed : {true, false}) {
     TraceAuditor auditor = MakeAuditor(SmallConfig());
     auditor.RequireInterposed(kPort);
+    // A correct interposed chain carries BOTH direction stages: the flagged
+    // kCall and the kReplyInterpose for the same port.
     const TraceEvent events[] = {
-        Ev(100, 1, TraceStage::kCall, kHolder, 0, kernel::kTraceVerdictAllow,
+        Ev(100, 1, TraceStage::kReplyInterpose, kHolder, 0,
+           kernel::kTraceVerdictNone, kernel::kTraceFlagInterposed, kPort),
+        Ev(100, 2, TraceStage::kCall, kHolder, 0, kernel::kTraceVerdictAllow,
            traversed ? kernel::kTraceFlagInterposed : uint16_t{0}, kPort),
-        Ev(101, 2, TraceStage::kSyscall, kHolder, 0),
+        Ev(101, 3, TraceStage::kSyscall, kHolder, 0),
     };
     auditor.IngestSegment(0, 1, events);
     TraceAuditor::Report report = auditor.Finish();
     EXPECT_EQ(report.interposition_violations, traversed ? 0u : 1u)
         << "traversed=" << traversed << " " << report.Summary();
   }
+}
+
+TEST(TraceAuditorTest, ReplyBypassFlagged) {
+  // The reply-direction half of the interposition invariant: a completed,
+  // non-denied call through an interposed port whose chain has NO
+  // kReplyInterpose stage means the reply skipped the monitor chain.
+  const kernel::PortId kPort = 77;
+  for (bool reply_traversed : {true, false}) {
+    TraceAuditor auditor = MakeAuditor(SmallConfig());
+    auditor.RequireInterposed(kPort);
+    std::vector<TraceEvent> events;
+    if (reply_traversed) {
+      events.push_back(Ev(100, 1, TraceStage::kReplyInterpose, kHolder, 0,
+                          kernel::kTraceVerdictNone,
+                          kernel::kTraceFlagInterposed, kPort));
+    }
+    events.push_back(Ev(100, 2, TraceStage::kCall, kHolder, 0,
+                        kernel::kTraceVerdictAllow,
+                        kernel::kTraceFlagInterposed, kPort));
+    events.push_back(Ev(101, 3, TraceStage::kSyscall, kHolder, 0));
+    auditor.IngestSegment(0, 1, events);
+    TraceAuditor::Report report = auditor.Finish();
+    EXPECT_EQ(report.interposition_violations, reply_traversed ? 0u : 1u)
+        << "reply_traversed=" << reply_traversed << " " << report.Summary();
+  }
+}
+
+TEST(TraceAuditorTest, DeniedCallNeedsNoReplyStage) {
+  // A call the monitor blocked never produced a reply, so the missing
+  // kReplyInterpose stage is NOT a violation there.
+  const kernel::PortId kPort = 77;
+  TraceAuditor auditor = MakeAuditor(SmallConfig());
+  auditor.RequireInterposed(kPort);
+  const TraceEvent events[] = {
+      Ev(100, 1, TraceStage::kCall, kHolder, 0, kernel::kTraceVerdictDeny,
+         static_cast<uint16_t>(kernel::kTraceFlagInterposed |
+                               kernel::kTraceFlagDenied),
+         kPort),
+      Ev(101, 2, TraceStage::kSyscall, kHolder, 0),
+  };
+  auditor.IngestSegment(0, 1, events);
+  TraceAuditor::Report report = auditor.Finish();
+  EXPECT_EQ(report.interposition_violations, 0u) << report.Summary();
 }
 
 TEST(TraceAuditorTest, GenerationFromTheFutureFlagged) {
@@ -456,6 +503,30 @@ TEST(WorkloadDriverTest, InjectedWrongVerdictDetected) {
   Result<WorkloadReport> report = driver.Run();
   ASSERT_TRUE(report.ok()) << report.status().message();
   EXPECT_GE(report->audit.serializability_violations, 1u) << report->audit.Summary();
+}
+
+TEST(WorkloadDriverTest, InjectedRewrittenReplyDetected) {
+  // A forged chain claiming an interposed call completed WITHOUT its
+  // kReplyInterpose stage models a reply that bypassed the monitor chain;
+  // the auditor must flag it. Needs the interposed scenario (ddrm).
+  WorkloadConfig config = SmallDriverConfig("ddrm");
+  config.inject_rewritten_reply = true;
+  WorkloadDriver driver(config);
+  Result<WorkloadReport> report = driver.Run();
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_GE(report->audit.interposition_violations, 1u) << report->audit.Summary();
+}
+
+TEST(WorkloadDriverTest, CleanInterposedRunIsNotFlagged) {
+  // The other direction of the reply invariant: a clean ddrm run — every
+  // reply really does traverse the chain — must produce ZERO interposition
+  // violations, or the invariant would drown real bypasses in noise.
+  WorkloadConfig config = SmallDriverConfig("ddrm");
+  WorkloadDriver driver(config);
+  Result<WorkloadReport> report = driver.Run();
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report->audit.interposition_violations, 0u) << SampleDump(report->audit);
+  EXPECT_EQ(report->audit.total_violations(), 0u) << SampleDump(report->audit);
 }
 
 TEST(WorkloadDriverTest, ReportJsonRoundTrips) {

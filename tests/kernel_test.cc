@@ -3,6 +3,8 @@
 #include <set>
 
 #include "kernel/decision_cache.h"
+#include "nal/interner.h"
+#include "nal/parser.h"
 #include "kernel/fileserver.h"
 #include "kernel/hash_attestation.h"
 #include "kernel/kernel.h"
@@ -18,8 +20,10 @@ class EchoHandler : public PortHandler {
     ++calls;
     last_caller = context.caller;
     last_operation = std::string(message.operation());
-    return IpcReply{OkStatus(), std::string(message.operation()), message.data,
-                    static_cast<int64_t>(message.args.size())};
+    // Legacy-shaped echo (text = op name, value = argc) through the v2
+    // quarantine: the compat accessors read the slots back.
+    return IpcReply::FromLegacy(OkStatus(), message.operation(), message.data,
+                                static_cast<int64_t>(message.args.size()));
   }
   int calls = 0;
   ProcessId last_caller = 0;
@@ -132,8 +136,8 @@ TEST(KernelIpcTest, CallDispatchesToHandler) {
   msg.AddString("a").AddString("b");
   IpcReply reply = k.Call(client, port, msg);
   EXPECT_TRUE(reply.status.ok());
-  EXPECT_EQ(reply.text, "ping");
-  EXPECT_EQ(reply.value, 2);
+  EXPECT_EQ(reply.text(), "ping");
+  EXPECT_EQ(reply.value(), 2);
   EXPECT_EQ(handler.last_caller, client);
 }
 
@@ -441,11 +445,19 @@ TEST(IpcAbiV2Test, InterposedScalarCallBuildsNoTextPayloads) {
     }
     bool saw_text = false;
   };
+  // A fully typed echo: the legacy EchoHandler's text-slot op echo would
+  // itself count as a text payload, which is exactly what this test bans.
+  class ScalarEcho : public PortHandler {
+   public:
+    IpcReply Handle(const IpcContext&, const IpcMessage& message) override {
+      return IpcReply::Ok().AddU64(message.args.size());
+    }
+  };
   Kernel k;
   ProcessId server = *k.CreateProcess("s", ToBytes("s"));
   ProcessId client = *k.CreateProcess("c", ToBytes("c"));
   PortId port = *k.CreatePort(server);
-  EchoHandler handler;
+  ScalarEcho handler;
   k.BindHandler(port, &handler);
   ScalarAudit audit;
   ASSERT_TRUE(k.Interpose(server, port, &audit).ok());
@@ -459,11 +471,206 @@ TEST(IpcAbiV2Test, InterposedScalarCallBuildsNoTextPayloads) {
   for (int i = 0; i < 100; ++i) {
     IpcReply reply = k.Call(client, port, msg);
     ASSERT_TRUE(reply.status.ok());
-    ASSERT_EQ(reply.value, 5);  // All five slots arrived.
+    ASSERT_EQ(reply.value(), 5);  // All five slots arrived.
   }
   EXPECT_EQ(IpcTextPayloadCount(), before)
       << "an integer/id-arg interposed call materialized text payloads";
   EXPECT_FALSE(audit.saw_text);
+}
+
+// ----------------------------------------------------- Reply ABI v2 wire
+// The reply direction mirrors the request matrix: version byte, bounded
+// status message, ≤8 typed slots over the same tag vocabulary, strict
+// end-of-buffer — and anything malformed is rejected WHOLE.
+
+nal::FormulaId InternTestFormula(std::string_view text) {
+  Result<nal::Formula> f = nal::ParseFormula(text);
+  EXPECT_TRUE(f.ok()) << text;
+  return nal::Interner::Global().Intern(*f);
+}
+
+TEST(ReplyAbiV2Test, WireRoundTripAllSlotTypes) {
+  nal::FormulaId fid = InternTestFormula("K says ok(reply)");
+  ObjectId obj = InternObject("file:/reply-roundtrip");
+  IpcReply reply = IpcReply::Ok();
+  reply.AddU64(41).AddProcess(7).AddPort(3).AddObject(obj).AddFormula(fid);
+  reply.AddString("diagnostic").AddBytes(Bytes{1, 2, 3});
+  reply.data = {9, 8, 7};
+
+  Result<Bytes> wire = MarshalReply(reply);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  Result<IpcReply> back = UnmarshalReply(*wire);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, reply);
+  EXPECT_EQ(*back->ArgU64(0), 41u);
+  EXPECT_EQ(*back->ArgProcess(1), 7u);
+  EXPECT_EQ(*back->ArgPort(2), 3u);
+  EXPECT_EQ(*back->ArgObject(3), obj);
+  EXPECT_EQ(*back->ArgFormula(4), fid);
+  EXPECT_EQ(*back->ArgString(5), "diagnostic");
+  EXPECT_EQ(back->data, (Bytes{9, 8, 7}));
+}
+
+TEST(ReplyAbiV2Test, ErrorStatusRoundTrips) {
+  IpcReply denied(Status(ErrorCode::kPermissionDenied, "proof expired"));
+  Result<Bytes> wire = MarshalReply(denied);
+  ASSERT_TRUE(wire.ok());
+  Result<IpcReply> back = UnmarshalReply(*wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->status.code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(back->status.message(), "proof expired");
+}
+
+TEST(ReplyAbiV2Test, EveryTruncatedPrefixIsRejected) {
+  IpcReply reply = IpcReply::Ok();
+  reply.AddU64(4).AddString("s").AddBytes(Bytes{1, 2});
+  reply.data = {9, 9, 9};
+  Bytes wire = *MarshalReply(reply);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(UnmarshalReply(ByteView(wire.data(), len)).ok()) << len;
+  }
+}
+
+TEST(ReplyAbiV2Test, TrailingBytesRejected) {
+  Bytes wire = *MarshalReply(IpcReply::Ok());
+  wire.push_back(0x00);
+  EXPECT_FALSE(UnmarshalReply(wire).ok());
+}
+
+TEST(ReplyAbiV2Test, MalformedBuffersRejected) {
+  // Hand-built reply wire images around a minimal valid skeleton:
+  //   u8 version | u8 status code | u32-len message | u8 argc | slots |
+  //   u32-len data
+  auto skeleton = [](uint8_t argc) {
+    Bytes wire;
+    wire.push_back(2);  // version
+    wire.push_back(0);  // kOk
+    AppendU32(wire, 0);  // empty status message
+    wire.push_back(argc);
+    return wire;
+  };
+  {  // Unsupported version.
+    Bytes wire = skeleton(0);
+    AppendU32(wire, 0);
+    wire[0] = 1;
+    EXPECT_FALSE(UnmarshalReply(wire).ok());
+  }
+  {  // Status code past the enum: not a verdict any kernel produced.
+    Bytes wire = skeleton(0);
+    AppendU32(wire, 0);
+    wire[1] = 0x7f;
+    EXPECT_FALSE(UnmarshalReply(wire).ok());
+  }
+  {  // Oversized status message.
+    Bytes wire;
+    wire.push_back(2);
+    wire.push_back(0);
+    AppendLengthPrefixed(wire, Bytes(kMaxReplyStatusMessage + 1, 'm'));
+    wire.push_back(0);
+    AppendU32(wire, 0);
+    EXPECT_FALSE(UnmarshalReply(wire).ok());
+  }
+  {  // Slot-count overflow.
+    Bytes wire = skeleton(static_cast<uint8_t>(ArgVec::kMaxArgs + 1));
+    AppendU32(wire, 0);
+    EXPECT_FALSE(UnmarshalReply(wire).ok());
+  }
+  {  // Bad slot tag.
+    Bytes wire = skeleton(1);
+    wire.push_back(0x63);  // not a tag
+    AppendU64(wire, 5);
+    AppendU32(wire, 0);
+    EXPECT_FALSE(UnmarshalReply(wire).ok());
+  }
+  {  // Forged object id.
+    Bytes wire = skeleton(1);
+    wire.push_back(static_cast<uint8_t>(ArgTag::kObject));
+    AppendU64(wire, 0x7e7e7e7e);
+    AppendU32(wire, 0);
+    EXPECT_FALSE(UnmarshalReply(wire).ok());
+  }
+  {  // Forged formula id: a result naming a formula nobody interned can
+     // only mislead its consumer — rejected whole, while the same wire
+     // image with a REAL id is accepted.
+    nal::FormulaId real = InternTestFormula("K says forged(check)");
+    for (uint64_t id : {uint64_t{0x6c6c6c6c}, uint64_t{real}}) {
+      Bytes wire = skeleton(1);
+      wire.push_back(static_cast<uint8_t>(ArgTag::kFormula));
+      AppendU64(wire, id);
+      AppendU32(wire, 0);
+      EXPECT_EQ(UnmarshalReply(wire).ok(), id == real) << id;
+    }
+  }
+  {  // Oversized string slot.
+    Bytes wire = skeleton(1);
+    wire.push_back(static_cast<uint8_t>(ArgTag::kString));
+    AppendLengthPrefixed(wire, Bytes(kMaxArgPayload + 1, 'x'));
+    AppendU32(wire, 0);
+    EXPECT_FALSE(UnmarshalReply(wire).ok());
+  }
+  {  // Oversized data block.
+    Bytes wire = skeleton(0);
+    AppendLengthPrefixed(wire, Bytes(kMaxIpcData + 1, 'x'));
+    EXPECT_FALSE(UnmarshalReply(wire).ok());
+  }
+}
+
+TEST(ReplyAbiV2Test, MarshalRejectsOutOfBoundsReplies) {
+  {  // Slot overflow is sticky: the 9th builder call poisons the reply.
+    IpcReply reply = IpcReply::Ok();
+    for (int i = 0; i < 9; ++i) {
+      reply.AddU64(i);
+    }
+    EXPECT_TRUE(reply.args_overflowed());
+    EXPECT_FALSE(MarshalReply(reply).ok());
+  }
+  {  // Status message past the wire bound never marshals.
+    IpcReply reply(InvalidArgument(std::string(kMaxReplyStatusMessage + 1, 'e')));
+    EXPECT_FALSE(MarshalReply(reply).ok());
+  }
+}
+
+TEST(ReplyAbiV2Test, MonitorPresenceDoesNotChangeVerdicts) {
+  // Equivalence: for legacy-shaped AND typed messages, good and doomed,
+  // the caller-visible verdict is identical with the interceptor chain
+  // empty and with a pass-through monitor installed — the structural
+  // interposition path enforces exactly the wire bounds the bare path
+  // does, nothing more.
+  class PassThrough : public Interceptor {
+   public:
+    InterposeVerdict OnCall(const IpcContext&, IpcMessage&) override {
+      return InterposeVerdict::kAllow;
+    }
+  };
+  IpcMessage typed = IpcMessage::Of("equiv-op");
+  typed.AddU64(5).AddObject(InternObject("file:/equiv"));
+  IpcMessage legacy = IpcMessage::FromLegacy("equiv-legacy-op", {"arg"});
+  IpcMessage oversized = IpcMessage::Of("equiv-op");
+  oversized.data = Bytes(kMaxIpcData + 1, 'x');
+  IpcMessage overlong = IpcMessage::FromLegacy(std::string(kMaxLegacyOpName + 1, 'q'));
+  const IpcMessage* probes[] = {&typed, &legacy, &oversized, &overlong};
+
+  std::vector<ErrorCode> verdicts[2];
+  for (int monitored = 0; monitored < 2; ++monitored) {
+    Kernel k;
+    ProcessId server = *k.CreateProcess("s", ToBytes("s"));
+    ProcessId client = *k.CreateProcess("c", ToBytes("c"));
+    PortId port = *k.CreatePort(server);
+    EchoHandler handler;
+    k.BindHandler(port, &handler);
+    PassThrough monitor;
+    if (monitored) {
+      ASSERT_TRUE(k.Interpose(server, port, &monitor).ok());
+    }
+    for (const IpcMessage* probe : probes) {
+      verdicts[monitored].push_back(k.Call(client, port, *probe).status.code());
+    }
+  }
+  EXPECT_EQ(verdicts[0], verdicts[1]);
+  EXPECT_EQ(verdicts[0][0], ErrorCode::kOk);
+  EXPECT_EQ(verdicts[0][1], ErrorCode::kOk);
+  EXPECT_EQ(verdicts[0][2], ErrorCode::kInvalidArgument);
+  EXPECT_EQ(verdicts[0][3], ErrorCode::kInvalidArgument);
 }
 
 // §2.9 applied to the OP table (ROADMAP "Name-table quotas", op side):
@@ -516,16 +723,16 @@ TEST(SyscallTest, IpcCallForwardsTypedSlots) {
   outer.AddPort(port).AddString("ping").AddU64(5);
   IpcReply reply = k.Invoke(client, Syscall::kIpcCall, outer);
   ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
-  EXPECT_EQ(reply.text, "ping");
-  EXPECT_EQ(reply.value, 1);  // One forwarded slot.
+  EXPECT_EQ(reply.text(), "ping");
+  EXPECT_EQ(reply.value(), 1);  // One forwarded slot.
 
   // Inner operation as a typed op id: no text anywhere.
   IpcMessage outer2;
   outer2.AddPort(port).AddU64(InternOp("ping")).AddU64(5).AddU64(6);
   reply = k.Invoke(client, Syscall::kIpcCall, outer2);
   ASSERT_TRUE(reply.status.ok());
-  EXPECT_EQ(reply.text, "ping");
-  EXPECT_EQ(reply.value, 2);
+  EXPECT_EQ(reply.text(), "ping");
+  EXPECT_EQ(reply.value(), 2);
 
   // A forged op id is rejected before dispatch.
   IpcMessage outer3;
@@ -545,14 +752,14 @@ TEST(SyscallTest, ProcReadMemoizesProcObjects) {
   msg.AddString("/proc/memo-test-unique");
   IpcReply first = k.Invoke(pid, Syscall::kProcRead, msg);
   ASSERT_TRUE(first.status.ok()) << first.status.ToString();
-  EXPECT_EQ(first.text, "v");
+  EXPECT_EQ(first.text(), "v");
   EXPECT_EQ(k.ProcObjectMemoSize(), memo_before + 1);
 
   // The repeat read hits the memo: no growth, no re-charge (the quota of 1
   // is already spent, so a second charge would deny).
   IpcReply again = k.Invoke(pid, Syscall::kProcRead, msg);
   EXPECT_TRUE(again.status.ok());
-  EXPECT_EQ(again.text, "v");
+  EXPECT_EQ(again.text(), "v");
   EXPECT_EQ(k.ProcObjectMemoSize(), memo_before + 1);
 
   // A novel path still pays: the quota root is exhausted.
@@ -573,15 +780,19 @@ class CountingInterceptor : public Interceptor {
     }
     return deny ? InterposeVerdict::kDeny : InterposeVerdict::kAllow;
   }
-  void OnReturn(const IpcContext&, IpcReply& reply) override {
+  InterposeVerdict OnReply(const IpcContext&, const IpcMessage&,
+                           IpcReply& reply) override {
     ++returns;
     if (!annotate.empty()) {
-      reply.text += annotate;
+      reply = IpcReply::FromLegacy(reply.status, std::string(reply.text()) + annotate,
+                                   std::move(reply.data), reply.value());
     }
+    return deny_reply ? InterposeVerdict::kDeny : InterposeVerdict::kAllow;
   }
   int calls = 0;
   int returns = 0;
   bool deny = false;
+  bool deny_reply = false;
   std::string rewrite_to;
   std::string annotate;
 };
@@ -603,7 +814,7 @@ TEST(InterposeTest, InterceptorSeesAndModifiesCall) {
   EXPECT_EQ(interceptor.calls, 1);
   EXPECT_EQ(interceptor.returns, 1);
   EXPECT_EQ(handler.last_operation, "rewritten");
-  EXPECT_EQ(reply.text, "rewritten+seen");
+  EXPECT_EQ(reply.text(), "rewritten+seen");
 }
 
 TEST(InterposeTest, DenyBlocksCall) {
@@ -619,7 +830,7 @@ TEST(InterposeTest, DenyBlocksCall) {
   IpcReply reply = k.Call(server, port, IpcMessage::Of("x"));
   EXPECT_EQ(reply.status.code(), ErrorCode::kPermissionDenied);
   EXPECT_EQ(handler.calls, 0);
-  EXPECT_EQ(interceptor.returns, 0);  // Blocked calls skip OnReturn.
+  EXPECT_EQ(interceptor.returns, 0);  // Blocked calls skip OnReply.
 }
 
 TEST(InterposeTest, InterpositionComposes) {
@@ -693,10 +904,10 @@ TEST(SyscallTest, BasicCalls) {
   ProcessId parent = *k.CreateProcess("parent", ToBytes("p"));
   ProcessId child = *k.CreateProcess("child", ToBytes("c"), parent);
   EXPECT_TRUE(k.Invoke(child, Syscall::kNull, {}).status.ok());
-  EXPECT_EQ(k.Invoke(child, Syscall::kGetPpid, {}).value, static_cast<int64_t>(parent));
+  EXPECT_EQ(k.Invoke(child, Syscall::kGetPpid, {}).value(), static_cast<int64_t>(parent));
   IpcReply time1 = k.Invoke(child, Syscall::kGetTimeOfDay, {});
   EXPECT_TRUE(time1.status.ok());
-  EXPECT_GT(time1.value, 0);
+  EXPECT_GT(time1.value(), 0);
 }
 
 TEST(SyscallTest, YieldDrivesScheduler) {
@@ -745,7 +956,7 @@ TEST(SyscallTest, ProcReadGoesThroughAuthorization) {
   EXPECT_EQ(denied.status.code(), ErrorCode::kPermissionDenied);
   k.set_engine(nullptr);
   IpcReply allowed = k.Invoke(pid, Syscall::kProcRead, IpcMessage::FromLegacy("", {"/proc/secret"}));
-  EXPECT_EQ(allowed.text, "42");
+  EXPECT_EQ(allowed.text(), "42");
 }
 
 // §2.9 applied to the name tables: novel object names arriving through the
@@ -813,7 +1024,7 @@ TEST_F(FileServerTest, OpenReadWriteClose) {
   fs_.CreateFile("/etc/motd", ToBytes("hello nexus"));
   IpcReply open = Syscall4(Syscall::kOpen, {"/etc/motd"});
   ASSERT_TRUE(open.status.ok());
-  int64_t fd = open.value;
+  int64_t fd = open.value();
 
   IpcReply read = Syscall4(Syscall::kRead, {std::to_string(fd)});
   EXPECT_EQ(ToString(read.data), "hello nexus");
@@ -829,7 +1040,7 @@ TEST_F(FileServerTest, OpenReadWriteClose) {
 
 TEST_F(FileServerTest, PartialReads) {
   fs_.CreateFile("/data", ToBytes("0123456789"));
-  int64_t fd = Syscall4(Syscall::kOpen, {"/data"}).value;
+  int64_t fd = Syscall4(Syscall::kOpen, {"/data"}).value();
   IpcReply read = Syscall4(Syscall::kRead, {std::to_string(fd), "3", "4"});
   EXPECT_EQ(ToString(read.data), "3456");
   EXPECT_FALSE(Syscall4(Syscall::kRead, {std::to_string(fd), "11"}).status.ok());
@@ -837,7 +1048,7 @@ TEST_F(FileServerTest, PartialReads) {
 
 TEST_F(FileServerTest, WriteExtendsFile) {
   fs_.CreateFile("/log", ToBytes("ab"));
-  int64_t fd = Syscall4(Syscall::kOpen, {"/log"}).value;
+  int64_t fd = Syscall4(Syscall::kOpen, {"/log"}).value();
   Syscall4(Syscall::kWrite, {std::to_string(fd), "2"}, ToBytes("cdef"));
   EXPECT_EQ(ToString(*fs_.ReadFile("/log")), "abcdef");
 }
@@ -848,7 +1059,7 @@ TEST_F(FileServerTest, OpenMissingFileFails) {
 
 TEST_F(FileServerTest, ForeignFdRejected) {
   fs_.CreateFile("/private", ToBytes("secret"));
-  int64_t fd = Syscall4(Syscall::kOpen, {"/private"}).value;
+  int64_t fd = Syscall4(Syscall::kOpen, {"/private"}).value();
   ProcessId intruder = *kernel_.CreateProcess("intruder", ToBytes("i"));
   IpcMessage read_msg;
   read_msg.AddU64(static_cast<uint64_t>(fd));
@@ -862,16 +1073,16 @@ TEST_F(FileServerTest, LegacyAndTypedCallsYieldIdenticalReplies) {
   fs_.CreateFile("/equiv", ToBytes("0123456789"));
   IpcMessage open_msg;
   open_msg.AddString("/equiv");
-  int64_t fd = kernel_.Invoke(client_, Syscall::kOpen, open_msg).value;
+  int64_t fd = kernel_.Invoke(client_, Syscall::kOpen, open_msg).value();
 
   IpcReply legacy = Syscall4(Syscall::kRead, {std::to_string(fd), "2", "3"});
   IpcMessage typed;
   typed.AddU64(static_cast<uint64_t>(fd)).AddU64(2).AddU64(3);
   IpcReply v2 = kernel_.Invoke(client_, Syscall::kRead, typed);
   EXPECT_EQ(legacy.status.code(), v2.status.code());
-  EXPECT_EQ(legacy.text, v2.text);
+  EXPECT_EQ(legacy.text(), v2.text());
   EXPECT_EQ(legacy.data, v2.data);
-  EXPECT_EQ(legacy.value, v2.value);
+  EXPECT_EQ(legacy.value(), v2.value());
   EXPECT_EQ(ToString(v2.data), "234");
 
   IpcReply legacy_write =
@@ -881,7 +1092,7 @@ TEST_F(FileServerTest, LegacyAndTypedCallsYieldIdenticalReplies) {
   typed_write.data = ToBytes("AB");
   IpcReply v2_write = kernel_.Invoke(client_, Syscall::kWrite, typed_write);
   EXPECT_EQ(legacy_write.status.code(), v2_write.status.code());
-  EXPECT_EQ(legacy_write.value, v2_write.value);
+  EXPECT_EQ(legacy_write.value(), v2_write.value());
 
   // Garbage where an integer belongs fails identically through both forms
   // (the string form decodes at the single legacy decode point).
@@ -898,7 +1109,7 @@ TEST_F(FileServerTest, TypedReadPathBuildsNoTextPayloads) {
   fs_.CreateFile("/hot", ToBytes("0123456789"));
   IpcMessage open_msg;
   open_msg.AddString("/hot");
-  int64_t fd = kernel_.Invoke(client_, Syscall::kOpen, open_msg).value;
+  int64_t fd = kernel_.Invoke(client_, Syscall::kOpen, open_msg).value();
   IpcMessage read_msg;
   read_msg.AddU64(static_cast<uint64_t>(fd)).AddU64(0).AddU64(4);
   ASSERT_TRUE(kernel_.Invoke(client_, Syscall::kRead, read_msg).status.ok());  // Warm.

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/federation.h"
+#include "kernel/ipc.h"
 #include "nal/parser.h"
 #include "net/cert_exchange.h"
 #include "net/channel.h"
@@ -436,7 +437,10 @@ TEST(RemoteAuthorityTest, OversizedStatementsAreDeniedNotParsed) {
   ASSERT_EQ(reply->size(), 1u);
   EXPECT_EQ((*reply)[0], 0);  // Denied, not parsed.
 
-  // Batch surface: [oversized, valid] answers [deny, vouch].
+  // Batch surface: [oversized, valid] answers [deny, vouch]. The batch
+  // reply is a marshaled typed IpcReply (count slot + verdict bytes), so
+  // it must survive the strict reply codec round trip — the oversized
+  // entry denies WITHOUT poisoning its batch neighbor.
   Bytes batch;
   AppendU32(batch, 2);
   AppendLengthPrefixed(batch, huge);
@@ -444,9 +448,21 @@ TEST(RemoteAuthorityTest, OversizedStatementsAreDeniedNotParsed) {
   reply = (*channel)->Call(std::string(AuthorityService::kBatchServiceName), batch,
                            /*timeout_us=*/100000);
   ASSERT_TRUE(reply.ok());
-  ASSERT_EQ(reply->size(), 2u);
-  EXPECT_EQ((*reply)[0], 0);
-  EXPECT_EQ((*reply)[1], 1);
+  Result<kernel::IpcReply> typed = kernel::UnmarshalReply(*reply);
+  ASSERT_TRUE(typed.ok()) << typed.status().ToString();
+  EXPECT_TRUE(typed->status.ok());
+  Result<uint64_t> declared = typed->ArgU64(0);
+  Result<ByteView> verdicts = typed->ArgBytes(1);
+  ASSERT_TRUE(declared.ok() && verdicts.ok());
+  EXPECT_EQ(*declared, 2u);
+  ASSERT_EQ(verdicts->size(), 2u);
+  EXPECT_EQ((*verdicts)[0], 0);
+  EXPECT_EQ((*verdicts)[1], 1);
+  // Round-trip parity: re-marshaling the unmarshaled reply reproduces the
+  // wire bytes the service sent.
+  Result<Bytes> remarshal = kernel::MarshalReply(*typed);
+  ASSERT_TRUE(remarshal.ok());
+  EXPECT_EQ(*remarshal, *reply);
 }
 
 TEST(RemoteAuthorityTest, BatchedGuardIssuesOneRoundTripForIdenticalLeaves) {

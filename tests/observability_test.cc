@@ -74,7 +74,7 @@ TEST_F(ObservabilityTest, InterposedReadYieldsCorrelatedProvenanceChain) {
   // operation under test.
   kernel::IpcReply open = Syscall(client_, kernel::Syscall::kOpen, {"/data"});
   ASSERT_TRUE(open.status.ok()) << open.status.ToString();
-  int64_t fd = open.value;
+  int64_t fd = open.value();
 
   // Guard the read behind a certifier attestation, with the client holding
   // a valid pre-submitted proof.
@@ -139,8 +139,8 @@ TEST_F(ObservabilityTest, InterposedReadYieldsCorrelatedProvenanceChain) {
   kernel::IpcReply trace_read =
       Syscall(client_, kernel::Syscall::kProcRead, {"/trace/recent"});
   ASSERT_TRUE(trace_read.status.ok()) << trace_read.status.ToString();
-  EXPECT_NE(trace_read.text.find("trace=" + std::to_string(id)), std::string::npos);
-  EXPECT_NE(trace_read.text.find("stage=guard_check"), std::string::npos);
+  EXPECT_NE(trace_read.text().find("trace=" + std::to_string(id)), std::string::npos);
+  EXPECT_NE(trace_read.text().find("stage=guard_check"), std::string::npos);
 
   ASSERT_TRUE(k.RemoveInterposition(*token).ok());
 }
@@ -178,10 +178,10 @@ TEST_F(ObservabilityTest, ProcStatsExportIsGuarded) {
   // Unguarded: anyone can read the export (bootstrap fail-open).
   kernel::IpcReply stats = Syscall(client_, kernel::Syscall::kProcRead, {"/stats/kernel"});
   ASSERT_TRUE(stats.status.ok()) << stats.status.ToString();
-  EXPECT_NE(stats.text.find("kernel.authorize_requests"), std::string::npos);
+  EXPECT_NE(stats.text().find("kernel.authorize_requests"), std::string::npos);
   kernel::IpcReply cache_stats = Syscall(client_, kernel::Syscall::kProcRead, {"/stats/cache"});
   ASSERT_TRUE(cache_stats.status.ok());
-  EXPECT_NE(cache_stats.text.find("cache.misses"), std::string::npos);
+  EXPECT_NE(cache_stats.text().find("cache.misses"), std::string::npos);
 
   // Register the stats node and guard it behind an unprovable goal: the
   // client's next read is denied by the same authorization path as any
@@ -203,12 +203,12 @@ TEST_F(ObservabilityTest, ProcStatsExportIsGuarded) {
 TEST_F(ObservabilityTest, TraceStatsNodeReportsRecorderState) {
   kernel::IpcReply off = Syscall(client_, kernel::Syscall::kProcRead, {"/stats/trace"});
   ASSERT_TRUE(off.status.ok());
-  EXPECT_NE(off.text.find("enabled 0"), std::string::npos);
+  EXPECT_NE(off.text().find("enabled 0"), std::string::npos);
 
   ScopedRecorder recorder;
   kernel::IpcReply on = Syscall(client_, kernel::Syscall::kProcRead, {"/stats/trace"});
   ASSERT_TRUE(on.status.ok());
-  EXPECT_NE(on.text.find("enabled 1"), std::string::npos);
+  EXPECT_NE(on.text().find("enabled 1"), std::string::npos);
 }
 
 // The analyzer's dynamic view: kCall events resolve to caller->callee
@@ -230,7 +230,7 @@ TEST_F(ObservabilityTest, AnalyzerSeesObservedTraffic) {
   EXPECT_EQ(analyzer.ObservedTraffic(client_, fs_pid), 0u);
   for (int i = 0; i < 3; ++i) {
     ASSERT_TRUE(
-        Syscall(client_, kernel::Syscall::kRead, {std::to_string(open.value)}).status.ok());
+        Syscall(client_, kernel::Syscall::kRead, {std::to_string(open.value())}).status.ok());
   }
   EXPECT_EQ(analyzer.ObservedTraffic(client_, fs_pid), 3u);
   auto edges = analyzer.ObservedEdges();

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "core/nexus.h"
+#include "kernel/fileserver.h"
+#include "services/read_redactor.h"
 #include "nal/parser.h"
 #include "services/cobuf.h"
 #include "services/ddrm.h"
@@ -363,6 +365,87 @@ TEST_F(CobufTest, DestroyAndMissingIds) {
   EXPECT_FALSE(cobufs_.Length(id).ok());
   EXPECT_FALSE(cobufs_.Extract(id, alice_).ok());
   EXPECT_FALSE(cobufs_.Append(id, id).ok());
+}
+
+// --------------------------------------------------- ReadRedactionMonitor
+
+class RedactionTest : public ::testing::Test {
+ protected:
+  RedactionTest() : fs_(&kernel_) {
+    client_ = *kernel_.CreateProcess("client", ToBytes("c"));
+    fsd_ = *kernel_.CreateProcess("fs", ToBytes("fs"));
+    port_ = *kernel_.CreatePort(fsd_);
+    kernel_.BindHandler(port_, &fs_);
+    kernel_.set_fs_port(port_);
+  }
+
+  int64_t Open(const std::string& path) {
+    kernel::IpcMessage msg;
+    msg.AddString(path);
+    kernel::IpcReply reply = kernel_.Invoke(client_, kernel::Syscall::kOpen, msg);
+    EXPECT_TRUE(reply.status.ok()) << reply.status.ToString();
+    return reply.value();
+  }
+
+  kernel::IpcReply Read(int64_t fd) {
+    kernel::IpcMessage msg;
+    msg.AddU64(static_cast<uint64_t>(fd));
+    return kernel_.Invoke(client_, kernel::Syscall::kRead, msg);
+  }
+
+  kernel::Kernel kernel_;
+  kernel::FileServer fs_;
+  kernel::ProcessId client_ = 0, fsd_ = 0;
+  kernel::PortId port_ = 0;
+};
+
+TEST_F(RedactionTest, RewritesTypedReadRepliesWithZeroTextPayloads) {
+  RedactionPolicy policy;
+  policy.max_read_length = 8;
+  policy.redact_begin = 2;
+  policy.redact_end = 5;
+  ReadRedactionMonitor monitor(policy);
+  ASSERT_TRUE(kernel_.Interpose(fsd_, port_, &monitor).ok());
+
+  fs_.CreateFile("/sealed", ToBytes("0123456789ABCDEF"));
+  int64_t fd = Open("/sealed");
+  uint64_t rewrites_before = monitor.rewrites();
+
+  // Everything after open is ids and integers; pin the counter here.
+  uint64_t text_before = kernel::IpcTextPayloadCount();
+  kernel::IpcReply read = Read(fd);
+  ASSERT_TRUE(read.status.ok()) << read.status.ToString();
+
+  // Clamped to 8 bytes, range [2,5) masked — and the length slot was
+  // rewritten IN PLACE to agree with the clamped data.
+  EXPECT_EQ(ToString(read.data), "01###567");
+  EXPECT_EQ(*read.ArgU64(0), 8u);
+  EXPECT_EQ(monitor.rewrites(), rewrites_before + 1);
+
+  // The acceptance assertion (§5.1): an interposed, REWRITTEN typed read
+  // moved zero text payloads end to end — match, clamp, and redact are
+  // all slot and byte operations.
+  EXPECT_EQ(kernel::IpcTextPayloadCount(), text_before);
+}
+
+TEST_F(RedactionTest, ShortAndNonReadRepliesPassUntouched) {
+  ReadRedactionMonitor monitor(RedactionPolicy{.max_read_length = 100});
+  ASSERT_TRUE(kernel_.Interpose(fsd_, port_, &monitor).ok());
+
+  fs_.CreateFile("/plain", ToBytes("short"));
+  int64_t fd = Open("/plain");
+  kernel::IpcReply read = Read(fd);
+  ASSERT_TRUE(read.status.ok());
+  EXPECT_EQ(ToString(read.data), "short");
+  EXPECT_EQ(*read.ArgU64(0), 5u);
+
+  // A write through the same interposed port is not a read reply.
+  kernel::IpcMessage write_msg;
+  write_msg.AddU64(static_cast<uint64_t>(fd)).AddU64(0);
+  write_msg.data = ToBytes("SH");
+  EXPECT_TRUE(kernel_.Invoke(client_, kernel::Syscall::kWrite, write_msg).status.ok());
+  EXPECT_EQ(ToString(*fs_.ReadFile("/plain")), "SHort");
+  EXPECT_EQ(monitor.rewrites(), 0u);
 }
 
 }  // namespace
