@@ -1,0 +1,317 @@
+// CallMany batching benchmark: measure the cost of the kernel boundary
+// crossing by sweeping batch size x interposition x payload size x thread
+// count against a guarded (per-message-authorizing) echo server, and emit
+// BENCH_callmany.json.
+//
+// batch=1 is the serial baseline (one Kernel::Call per message — one
+// crossing, one port snapshot, one interceptor-chain snapshot, one trace
+// scope, one global-counter bump each). batch>1 routes the same messages
+// through ONE Kernel::CallMany crossing, which pays each of those shared-
+// state touches once per batch; the interceptor chain still runs per
+// message, so verdicts are identical either way (kernel_test pins that).
+// The replies alias a preallocated server arena via Payload::Slice, so
+// payload size stresses the zero-copy path, not memcpy throughput.
+//
+// The multi-thread rows are the headline: per-call submission pays the
+// port-shard lock, interceptor snapshot, metrics counter, and trace-id
+// atomics on SHARED cachelines once per message, so under concurrency the
+// serial path is bounded by synchronization while the batched path
+// amortizes it 256x. That is the claim the CI gate checks.
+//
+// Like bench_workload, this binary measures itself (the sweep is a grid,
+// not a google-benchmark registry) and ignores --benchmark_* flags. Env:
+//   NEXUS_CALLMANY_OUT      output path (default BENCH_callmany.json)
+//   NEXUS_CALLMANY_MSGS     messages per thread per config (default 400000)
+//   NEXUS_CALLMANY_THREADS  contended-row thread count (default 4)
+//   NEXUS_CALLMANY_REPEATS  runs per config, best kept (default 3)
+//   NEXUS_CALLMANY_GATE_PAIRS  paired gate reps, median kept (default 5)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kernel/ipc.h"
+#include "kernel/kernel.h"
+#include "kernel/payload.h"
+
+namespace {
+
+using nexus::Bytes;
+using nexus::kernel::IpcContext;
+using nexus::kernel::IpcMessage;
+using nexus::kernel::IpcReply;
+using nexus::kernel::Payload;
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(value, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+// Cacheable-allow engine: after the first miss per tuple every decision
+// is a decision-cache hit, so the serial path's authorization cost is the
+// cache probe itself — the steady state of a guarded production server.
+class CacheableAllowEngine : public nexus::kernel::AuthorizationEngine {
+ public:
+  nexus::kernel::AuthzDecision Authorize(const nexus::kernel::AuthzRequest&) override {
+    return nexus::kernel::AuthzDecision::Allow(/*cacheable=*/true);
+  }
+};
+
+// The guarded echo server: authorizes every message (the way the
+// fileserver and the workload object server do), then replies with a
+// slice of a fixed backing arena — one refcount bump, no payload copy.
+// Serial submission pays one Kernel::Authorize per message; batched
+// submission routes the whole batch through ONE Kernel::AuthorizeBatch,
+// where a run of identical tuples collapses to a single probe.
+class GuardedSliceServer : public nexus::kernel::PortHandler {
+ public:
+  GuardedSliceServer(nexus::kernel::Kernel* kernel, nexus::kernel::OpId op,
+                     nexus::kernel::ObjectId object, size_t payload)
+      : kernel_(kernel),
+        op_(op),
+        object_(object),
+        arena_(std::make_shared<Bytes>(payload > 0 ? payload : 1, 0x5a)),
+        payload_(payload) {}
+
+  IpcReply Handle(const IpcContext& context, const IpcMessage&) override {
+    nexus::Status verdict =
+        kernel_->Authorize(nexus::kernel::AuthzRequest{context.caller, op_, object_});
+    if (!verdict.ok()) {
+      return IpcReply(std::move(verdict));
+    }
+    IpcReply reply;
+    reply.data = Payload::Slice(arena_, 0, payload_);
+    return reply;
+  }
+
+  void HandleMany(const IpcContext& context,
+                  std::span<const IpcMessage> messages,
+                  std::span<IpcReply> replies) override {
+    std::vector<nexus::kernel::AuthzRequest> requests(
+        messages.size(), nexus::kernel::AuthzRequest{context.caller, op_, object_});
+    std::vector<nexus::Status> verdicts = kernel_->AuthorizeBatch(requests);
+    for (size_t i = 0; i < messages.size(); ++i) {
+      if (!verdicts[i].ok()) {
+        replies[i] = IpcReply(std::move(verdicts[i]));
+        continue;
+      }
+      replies[i].data = Payload::Slice(arena_, 0, payload_);
+    }
+  }
+
+ private:
+  nexus::kernel::Kernel* kernel_;
+  nexus::kernel::OpId op_;
+  nexus::kernel::ObjectId object_;
+  std::shared_ptr<Bytes> arena_;
+  size_t payload_;
+};
+
+class PassThroughMonitor : public nexus::kernel::Interceptor {
+ public:
+  nexus::kernel::InterposeVerdict OnCall(const IpcContext&, IpcMessage&) override {
+    return nexus::kernel::InterposeVerdict::kAllow;
+  }
+  nexus::kernel::InterposeVerdict OnReply(const IpcContext&, const IpcMessage&,
+                                          IpcReply&) override {
+    return nexus::kernel::InterposeVerdict::kAllow;
+  }
+};
+
+struct RunResult {
+  size_t threads = 0;
+  size_t batch = 0;
+  bool interposed = false;
+  size_t payload = 0;
+  double msgs_per_sec = 0.0;
+  double ns_per_msg = 0.0;
+};
+
+RunResult RunConfig(size_t threads, size_t batch, bool interposed, size_t payload,
+                    uint64_t msgs_per_thread) {
+  nexus::kernel::Kernel kernel;
+  CacheableAllowEngine engine;
+  kernel.set_engine(&engine);
+  nexus::kernel::ProcessId server = *kernel.CreateProcess("bench-server", Bytes{'s'});
+  nexus::kernel::PortId port = *kernel.CreatePort(server);
+  GuardedSliceServer handler(&kernel, nexus::kernel::InternOp("bench-echo"),
+                             *kernel.InternObjectCharged(server, "bench-object"), payload);
+  kernel.BindHandler(port, &handler);
+  PassThroughMonitor monitor;
+  if (interposed) {
+    if (!kernel.Interpose(server, port, &monitor).ok()) {
+      std::abort();
+    }
+  }
+  std::vector<nexus::kernel::ProcessId> clients;
+  for (size_t t = 0; t < threads; ++t) {
+    clients.push_back(*kernel.CreateProcess("bench-client", Bytes{'c'}));
+  }
+
+  const uint64_t rounds = msgs_per_thread / batch;
+  std::atomic<size_t> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<uint64_t> failures{0};
+
+  auto worker = [&](size_t t) {
+    std::vector<IpcMessage> messages(batch);
+    for (IpcMessage& message : messages) {
+      message = IpcMessage::Of("bench-echo");
+      message.AddU64(7);
+    }
+    std::vector<IpcReply> replies(batch);
+    // Warm-up: interning, first-touch locks, page faults on the arena.
+    for (int i = 0; i < 100; ++i) {
+      if (batch == 1) {
+        replies[0] = kernel.Call(clients[t], port, messages[0]);
+      } else {
+        kernel.CallMany(clients[t], port, messages, replies);
+      }
+      if (!replies[0].status.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+    }
+    ready.fetch_add(1);
+    while (!go.load(std::memory_order_acquire)) {
+    }
+    if (batch == 1) {
+      for (uint64_t i = 0; i < rounds; ++i) {
+        replies[0] = kernel.Call(clients[t], port, messages[0]);
+      }
+    } else {
+      for (uint64_t i = 0; i < rounds; ++i) {
+        kernel.CallMany(clients[t], port, messages, replies);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  for (size_t t = 0; t < threads; ++t) {
+    pool.emplace_back(worker, t);
+  }
+  while (ready.load() + failures.load() < threads) {
+  }
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "FAIL threads=%zu batch=%zu: call failed in warm-up\n", threads,
+                 batch);
+    std::abort();
+  }
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (std::thread& th : pool) {
+    th.join();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed).count();
+  const double msgs = static_cast<double>(rounds * batch * threads);
+
+  RunResult result;
+  result.threads = threads;
+  result.batch = batch;
+  result.interposed = interposed;
+  result.payload = payload;
+  result.msgs_per_sec = msgs / seconds;
+  result.ns_per_msg = seconds * 1e9 / msgs;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const char* out_env = std::getenv("NEXUS_CALLMANY_OUT");
+  const std::string out_path =
+      (out_env != nullptr && *out_env != '\0') ? out_env : "BENCH_callmany.json";
+  const uint64_t msgs_per_thread = EnvOr("NEXUS_CALLMANY_MSGS", 400'000);
+  const size_t contended_threads =
+      static_cast<size_t>(EnvOr("NEXUS_CALLMANY_THREADS", 4));
+  const uint64_t repeats = EnvOr("NEXUS_CALLMANY_REPEATS", 3);
+
+  const size_t thread_counts[] = {1, contended_threads};
+  const size_t batches[] = {1, 8, 64, 256};
+  const size_t payloads[] = {0, 4096, 64 * 1024};
+
+  std::vector<RunResult> results;
+  for (size_t threads : thread_counts) {
+    for (size_t payload : payloads) {
+      for (int interposed = 0; interposed < 2; ++interposed) {
+        for (size_t batch : batches) {
+          // Best-of-N: a self-measuring loop on a shared machine sees
+          // scheduling noise; the fastest run is the least-perturbed one.
+          RunResult r;
+          for (uint64_t rep = 0; rep < repeats; ++rep) {
+            RunResult attempt =
+                RunConfig(threads, batch, interposed != 0, payload, msgs_per_thread);
+            if (attempt.msgs_per_sec > r.msgs_per_sec) {
+              r = attempt;
+            }
+          }
+          std::printf(
+              "CALLMANY threads=%zu batch=%-3zu interposed=%d payload=%-6zu  "
+              "%12.0f msgs/s  %8.1f ns/msg\n",
+              r.threads, r.batch, r.interposed ? 1 : 0, r.payload, r.msgs_per_sec,
+              r.ns_per_msg);
+          results.push_back(r);
+        }
+      }
+    }
+  }
+
+  // The headline ratio CI gates on: contended interposed batch-256
+  // throughput vs the contended interposed per-call baseline, smallest
+  // payload (pure dispatch). Measured as PAIRED runs — each repetition
+  // times batch-1 and batch-256 back to back, and the gate takes the
+  // median of the per-pair ratios. Comparing rows from distant points of
+  // the sweep confounds the ratio with machine drift; pairing cancels it.
+  const uint64_t gate_pairs = EnvOr("NEXUS_CALLMANY_GATE_PAIRS", 5);
+  std::vector<double> ratios;
+  for (uint64_t rep = 0; rep < gate_pairs; ++rep) {
+    RunResult serial = RunConfig(contended_threads, 1, true, 0, msgs_per_thread);
+    RunResult batched = RunConfig(contended_threads, 256, true, 0, msgs_per_thread);
+    ratios.push_back(batched.msgs_per_sec / serial.msgs_per_sec);
+    std::printf("CALLMANY gate pair %llu: %.2fx\n",
+                static_cast<unsigned long long>(rep + 1), ratios.back());
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double speedup = ratios.empty() ? 0.0 : ratios[ratios.size() / 2];
+  std::printf("CALLMANY speedup_256_vs_1_interposed=%.2fx (threads=%zu, median of %llu pairs)\n",
+              speedup, contended_threads, static_cast<unsigned long long>(gate_pairs));
+
+  std::string json = "{\n  \"bench\": \"callmany\",\n  \"msgs_per_thread_per_config\": " +
+                     std::to_string(msgs_per_thread) + ",\n  \"contended_threads\": " +
+                     std::to_string(contended_threads) +
+                     ",\n  \"speedup_256_vs_1_interposed\": " + std::to_string(speedup) +
+                     ",\n  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"threads\": %zu, \"batch\": %zu, \"interposed\": %s, "
+                  "\"payload\": %zu, \"msgs_per_sec\": %.0f, \"ns_per_msg\": %.1f}%s\n",
+                  r.threads, r.batch, r.interposed ? "true" : "false", r.payload,
+                  r.msgs_per_sec, r.ns_per_msg, i + 1 < results.size() ? "," : "");
+    json += line;
+  }
+  json += "  ]\n}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -25,9 +25,13 @@ struct Harness {
   Harness() : tpm_rng(42), tpm(tpm_rng), nexus(&tpm) {
     client = *nexus.CreateProcess("bench-client", ToBytes("bench-client"));
     nexus.fs().CreateFile("/bench/file", Bytes(4096, 'x'));
+    nexus.fs().CreateFile("/bench/big", Bytes(64 * 1024, 'x'));
     IpcMessage open_msg;
     open_msg.AddString("/bench/file");
     open_fd = nexus.kernel().Invoke(client, Syscall::kOpen, open_msg).value();
+    IpcMessage open_big;
+    open_big.AddString("/bench/big");
+    big_fd = nexus.kernel().Invoke(client, Syscall::kOpen, open_big).value();
     nexus.kernel().scheduler().AddClient(client, 1);
   }
 
@@ -36,6 +40,7 @@ struct Harness {
   nexus::core::Nexus nexus;
   nexus::kernel::ProcessId client = 0;
   int64_t open_fd = 0;
+  int64_t big_fd = 0;
 };
 
 Harness& H() {
@@ -88,7 +93,7 @@ void BM_null_nexus(benchmark::State& s) { RunSyscall(s, Syscall::kNull, true); }
 void BM_null_blocked(benchmark::State& s) {
   Harness& h = H();
   BlockAll blocker;
-  auto port = *h.nexus.kernel().SyscallPort(h.client);
+  auto port = nexus::kernel::SyscallIpcPort(Syscall::kNull);
   uint64_t token = *h.nexus.kernel().Interpose(nexus::kernel::kKernelProcessId, port, &blocker);
   RunSyscall(s, Syscall::kNull, true);
   h.nexus.kernel().RemoveInterposition(token);
@@ -158,6 +163,13 @@ void BM_read_nexus(benchmark::State& s) {
   msg.AddU64(static_cast<uint64_t>(H().open_fd)).AddU64(0).AddU64(1024);
   RunSyscall(s, Syscall::kRead, true, std::move(msg));
 }
+void BM_read64k_nexus(benchmark::State& s) {
+  // The zero-copy showcase: a 64KiB read reply is a slice of the
+  // fileserver's backing store — no payload memcpy end to end.
+  IpcMessage msg;
+  msg.AddU64(static_cast<uint64_t>(H().big_fd)).AddU64(0).AddU64(64 * 1024);
+  RunSyscall(s, Syscall::kRead, true, std::move(msg));
+}
 void BM_write_nexus(benchmark::State& s) {
   Harness& h = H();
   IpcMessage msg;
@@ -190,6 +202,7 @@ BENCHMARK(BM_yield_linux);
 BENCHMARK(BM_open_nexus);
 BENCHMARK(BM_close_nexus);
 BENCHMARK(BM_read_nexus);
+BENCHMARK(BM_read64k_nexus);
 BENCHMARK(BM_write_nexus);
 
 }  // namespace

@@ -306,7 +306,7 @@ Result<Bytes> Fauxbook::ServeStatic(const std::string& path) {
   if (!read.status.ok()) {
     return read.status;
   }
-  return read.data;
+  return read.data.ToOwned();
 }
 
 Result<Bytes> Fauxbook::ServeDynamic(const std::string& viewer) {

@@ -1,6 +1,9 @@
 #include "apps/scenario_adapters.h"
 
+#include <algorithm>
 #include <mutex>
+#include <span>
+#include <vector>
 
 #include "nal/parser.h"
 #include "nal/proof.h"
@@ -102,6 +105,36 @@ class WorkloadScenario::GuardedObjectServer : public kernel::PortHandler {
         kernel_->Authorize(kernel::AuthzRequest{context.caller, message.op, *obj}));
     reply.AddU64(reply.status.ok() ? 1 : 0);
     return reply;
+  }
+
+  // Batched entry (CallMany): the whole batch's authorization tuples go
+  // through ONE Kernel::AuthorizeBatch upcall.
+  void HandleMany(const kernel::IpcContext& context,
+                  std::span<const kernel::IpcMessage> messages,
+                  std::span<kernel::IpcReply> replies) override {
+    const size_t n = std::min(messages.size(), replies.size());
+    std::vector<kernel::AuthzRequest> requests;
+    std::vector<size_t> slot;
+    requests.reserve(n);
+    slot.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      Result<kernel::ObjectId> obj = messages[i].ArgObject(0);
+      if (!obj.ok()) {
+        replies[i] = kernel::IpcReply(obj.status());
+        continue;
+      }
+      slot.push_back(i);
+      requests.push_back(kernel::AuthzRequest{context.caller, messages[i].op, *obj});
+    }
+    if (requests.empty()) {
+      return;
+    }
+    std::vector<Status> verdicts = kernel_->AuthorizeBatch(requests);
+    for (size_t j = 0; j < slot.size(); ++j) {
+      kernel::IpcReply reply(verdicts[j]);
+      reply.AddU64(reply.status.ok() ? 1 : 0);
+      replies[slot[j]] = std::move(reply);
+    }
   }
 
  private:
@@ -211,6 +244,29 @@ Status WorkloadScenario::Write(kernel::ProcessId subject, size_t object_index) {
   kernel::IpcMessage message = kernel::IpcMessage::Of(write_op_);
   message.AddObject(objects_[object_index % objects_.size()]);
   return nexus_->kernel().Call(subject, service_port_, message).status;
+}
+
+Status WorkloadScenario::ReadBatch(kernel::ProcessId subject, size_t object_index,
+                                   size_t count, size_t* oks) {
+  if (count == 0) {
+    return InvalidArgument("empty batch");
+  }
+  std::vector<kernel::IpcMessage> messages(count);
+  std::vector<kernel::IpcReply> replies(count);
+  for (size_t j = 0; j < count; ++j) {
+    messages[j] = kernel::IpcMessage::Of(read_op_);
+    messages[j].AddObject(objects_[(object_index + j) % objects_.size()]);
+  }
+  size_t ok = nexus_->kernel().CallMany(subject, service_port_, messages, replies);
+  if (oks != nullptr) {
+    *oks = ok;
+  }
+  for (const kernel::IpcReply& reply : replies) {
+    if (!reply.status.ok()) {
+      return reply.status;
+    }
+  }
+  return OkStatus();
 }
 
 Status WorkloadScenario::FlipGoal(size_t audited_index) {

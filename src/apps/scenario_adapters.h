@@ -67,6 +67,11 @@ class WorkloadScenario {
   Status Authorize(kernel::ProcessId subject, size_t object_index);
   Status Read(kernel::ProcessId subject, size_t object_index);   // Via Call.
   Status Write(kernel::ProcessId subject, size_t object_index);  // Via Call.
+  // `count` reads through ONE CallMany submission (objects consecutive
+  // from object_index). *oks (optional) receives the OK-reply count;
+  // returns the first non-OK reply status, Ok when all succeeded.
+  Status ReadBatch(kernel::ProcessId subject, size_t object_index, size_t count,
+                   size_t* oks = nullptr);
   Status FlipGoal(size_t audited_index);  // Alternates allow/deny goal.
   Status Churn(const std::string& name);  // Create + kill one process.
 

@@ -76,9 +76,13 @@ Nexus::Nexus(tpm::Tpm* tpm, const NexusOptions& options)
   kernel_.set_engine(&engine_);
   fs_ = std::make_unique<kernel::FileServer>(&kernel_);
   Result<kernel::ProcessId> fs_pid = CreateProcess("filesystem", ToBytes("nexus-fs-v1"));
-  Result<kernel::PortId> fs_port = CreatePort(*fs_pid);
-  fs_port_ = *fs_port;
-  kernel_.BindHandler(fs_port_, fs_.get());
+  // The fileserver claims its RESERVED boot port (kernel/syscall_ports.h):
+  // the port id is part of the ABI, not a boot-order accident.
+  fs_port_ = kernel::kFsBootPort;
+  kernel_.ClaimBootPort(fs_port_, *fs_pid, fs_.get());
+  engine_.SayAs(kernel_.KernelPrincipal(),
+                nal::FormulaNode::SpeaksFor(nal::Principal("IPC").Sub(std::to_string(fs_port_)),
+                                            kernel_.ProcessPrincipal(*fs_pid)));
   kernel_.set_fs_port(fs_port_);
 }
 
@@ -88,15 +92,10 @@ Result<kernel::ProcessId> Nexus::CreateProcess(const std::string& name, ByteView
   if (!pid.ok()) {
     return pid;
   }
-  Result<kernel::PortId> sys_port = kernel_.SyscallPort(*pid);
-  if (!sys_port.ok()) {
-    return sys_port.status();
-  }
+  // Syscall channels are the RESERVED per-syscall ports now — shared by
+  // every process and existing from cycle zero — so there is no per-process
+  // syscall port to create or to bind a speaksfor statement to.
   nal::Principal nexus = kernel_.KernelPrincipal();
-  nal::Principal process = kernel_.ProcessPrincipal(*pid);
-  nal::Principal port_principal = nal::Principal("IPC").Sub(std::to_string(*sys_port));
-  // Nexus says IPC.x speaksfor Nexus.ipd.<pid>.
-  engine_.SayAs(nexus, nal::FormulaNode::SpeaksFor(port_principal, process));
   // Nexus says launchHash(/proc/ipd/<pid>, "<hex>").
   const crypto::Sha256Digest hash = crypto::Sha256::Hash(binary);
   engine_.SayAs(nexus,

@@ -318,8 +318,17 @@ Result<WorkloadReport> WorkloadDriver::Run() {
             (status.ok() ? local_allows : local_denies)++;
             break;
           case Verb::kRead:
-            status = sc.Read(subject, object);
-            (status.ok() ? local_allows : local_denies)++;
+            if (config_.callmany_batch > 1) {
+              // One boundary crossing for the whole batch; replies are
+              // counted individually so allow/deny totals stay per-op.
+              size_t oks = 0;
+              status = sc.ReadBatch(subject, object, config_.callmany_batch, &oks);
+              local_allows += oks;
+              local_denies += config_.callmany_batch - oks;
+            } else {
+              status = sc.Read(subject, object);
+              (status.ok() ? local_allows : local_denies)++;
+            }
             break;
           case Verb::kWrite:
             status = sc.Write(subject, object);

@@ -41,6 +41,12 @@ struct WorkloadConfig {
   uint32_t write_weight = 10;
   uint32_t setgoal_weight = 10;    // Goal flips on audited objects.
   uint32_t churn_weight = 5;       // Process spawn + kill.
+  // Batched submission: when > 1, each read verb submits this many
+  // messages through ONE Kernel::CallMany crossing instead of one Call
+  // per message. Keep batches modest (≤ 8) in audited runs: a batch
+  // shares one trace ring sequence, and ring wrap truncates the chains
+  // the structural checks need.
+  size_t callmany_batch = 1;
   // Closed loop (default): each worker issues as fast as replies return.
   // Open loop: each worker paces to `open_loop_rate` ops/sec.
   bool open_loop = false;

@@ -11,12 +11,26 @@
 // quota) and memoized — an open file descriptor carries its ObjectId, so
 // the per-read/per-write authorization is a pure integer-tuple
 // AuthzRequest with no string built or hashed (ROADMAP "Interned fast
-// paths"). The server itself follows the single-dispatcher contract of
-// user-level services: one Handle at a time.
+// paths").
+//
+// Zero-copy data plane: file contents live in ref-counted buffers, so a
+// read reply is a SLICE of the backing store (kernel/payload.h) rather
+// than a copy, and a write to a file with outstanding read slices clones
+// the buffer first — readers keep the content they sliced (snapshot
+// isolation), writers never scribble under them.
+//
+// The server follows the single-dispatcher contract of user-level
+// services: one Handle (or HandleMany batch) at a time. HandleMany
+// front-loads the batch's authorization tuples into ONE
+// Kernel::AuthorizeBatch upcall, then executes the verbs serially against
+// the pre-fetched verdicts.
 #ifndef NEXUS_KERNEL_FILESERVER_H_
 #define NEXUS_KERNEL_FILESERVER_H_
 
 #include <map>
+#include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -34,6 +48,11 @@ class FileServer : public PortHandler {
   // -> data, write(fd, off)+data, unlink(path), stat(path)->size.
   IpcReply Handle(const IpcContext& context, const IpcMessage& message) override;
 
+  // Batched entry: one AuthorizeBatch for the whole batch, then the same
+  // per-message semantics as N serial Handle calls.
+  void HandleMany(const IpcContext& context, std::span<const IpcMessage> messages,
+                  std::span<IpcReply> replies) override;
+
   // Direct (non-IPC) access for tests and setup code.
   Status CreateFile(const std::string& path, ByteView content = {});
   Result<Bytes> ReadFile(const std::string& path) const;
@@ -49,16 +68,47 @@ class FileServer : public PortHandler {
     ObjectId object = 0;
   };
 
+  // A batch-prefetched verdict: HandleWith consults it instead of
+  // upcalling Authorize when the request it builds matches the tuple the
+  // prefetch pass predicted.
+  struct Prejudged {
+    AuthzRequest request;
+    Status verdict;
+  };
+
   IpcReply Error(Status status) { return IpcReply(std::move(status)); }
 
+  // The single verb dispatcher behind both entry points. `pre` is null on
+  // the serial path; on the batched path it carries this message's
+  // prefetched verdict.
+  IpcReply HandleWith(const IpcContext& context, const IpcMessage& message,
+                      const Prejudged* pre);
+
+  // Best-effort prediction of the authorization tuple HandleWith will
+  // build for this message — nullopt when the verb doesn't authorize or
+  // the message won't survive argument validation.
+  std::optional<AuthzRequest> AuthzFor(const IpcContext& context, const IpcMessage& message);
+
+  // Consult the prefetched verdict when it matches, else fall back to the
+  // kernel (a batch message whose state changed under an earlier message
+  // in the same batch re-authorizes serially).
+  Status Authorized(const Prejudged* pre, const AuthzRequest& request);
+
   // The memoized "file:<path>" object id, interning (charged to `caller`)
-  // on first sight of the path.
+  // on first sight of the path. Builds exactly ONE heap string per novel
+  // path; the memoized hit builds none.
   Result<ObjectId> FileObject(ProcessId caller, std::string_view path);
+
+  // The ref-counted backing buffer for `path`, created empty on first
+  // touch (matches the historical files_[path] semantics: a read or write
+  // through an fd whose path was unlinked resurrects an empty file).
+  std::shared_ptr<Bytes>& ContentFor(const std::string& path);
 
   Kernel* kernel_;
   // Transparent lookups: path probes from string_view slots allocate no
-  // key string (matching the typed ABI's zero-string goal).
-  std::map<std::string, Bytes, std::less<>> files_;
+  // key string (matching the typed ABI's zero-string goal). Values are
+  // ref-counted so read replies can slice them without copying.
+  std::map<std::string, std::shared_ptr<Bytes>, std::less<>> files_;
   std::map<int64_t, OpenFile> open_files_;
   std::unordered_map<std::string, ObjectId, TransparentStringHash, TransparentStringEq>
       file_objects_;

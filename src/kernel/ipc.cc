@@ -20,19 +20,54 @@ constexpr uint8_t kWireVersion = 2;
 
 uint64_t IpcTextPayloadCount() { return text_payloads.load(); }
 
+void ArgVec::DetachArena() {
+  // Copy-on-write: appending through an arena some other ArgVec still
+  // reads (a monitor's working copy, an aliasing reply) clones it first,
+  // so existing slots — including the aliased ones — never move.
+  if (arena_ != nullptr && arena_.use_count() > 1) {
+    arena_ = std::make_shared<std::string>(*arena_);
+  }
+}
+
 bool ArgVec::AddPayload(ArgTag tag, std::string_view payload) {
-  if (count_ >= kMaxArgs || arena_.size() + payload.size() > 0xffffffffULL) {
+  size_t arena_size = arena_ == nullptr ? 0 : arena_->size();
+  if (count_ >= kMaxArgs || arena_size + payload.size() > 0xffffffffULL) {
     return false;
   }
   text_payloads.fetch_add(1, std::memory_order_relaxed);
-  uint32_t offset = static_cast<uint32_t>(arena_.size());
-  arena_.append(payload);
+  DetachArena();
+  if (arena_ == nullptr) {
+    arena_ = std::make_shared<std::string>();
+  }
+  uint32_t offset = static_cast<uint32_t>(arena_->size());
+  arena_->append(payload);
   slots_[count_++] = Slot{tag, offset, static_cast<uint32_t>(payload.size()), 0};
   return true;
 }
 
+bool ArgVec::AddAliasedPayload(ArgTag tag, const ArgVec& source, size_t i) {
+  if (count_ >= kMaxArgs || i >= source.count_) {
+    return false;
+  }
+  const Slot& s = source.slots_[i];
+  if (s.tag != ArgTag::kBytes && s.tag != ArgTag::kString) {
+    return false;
+  }
+  if (arena_ == nullptr || arena_ == source.arena_) {
+    // Adopt the source arena: the slot is a (offset, length) view into
+    // bytes that already exist — nothing moves, nothing is counted (the
+    // text-payload audit tracks MATERIALIZED payloads only).
+    arena_ = source.arena_;
+    slots_[count_++] = Slot{tag, s.offset, s.length, 0};
+    return true;
+  }
+  // Mixed provenance (this vector already owns different payload bytes):
+  // fall back to the counted copy.
+  return AddPayload(tag, source.PayloadOf(s));
+}
+
 IpcMessage IpcMessage::FromLegacy(std::string_view operation,
-                                  std::vector<std::string> legacy_args, Bytes data) {
+                                  std::vector<std::string> legacy_args, Payload data) {
   IpcMessage message;
   // A name that was ever interned resolves for free; only genuinely novel
   // operation text stays pending for the kernel's charged resolution.
@@ -404,7 +439,7 @@ Result<IpcMessage> UnmarshalMessage(ByteView buffer) {
 //   u32 data length + data
 //   (end of buffer — trailing bytes are rejected)
 
-IpcReply IpcReply::FromLegacy(Status status, std::string_view text, Bytes data,
+IpcReply IpcReply::FromLegacy(Status status, std::string_view text, Payload data,
                               int64_t value) {
   IpcReply reply(std::move(status));
   // Slot order matters for the v1-compat readers: value() scans for the

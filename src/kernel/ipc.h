@@ -26,10 +26,13 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "kernel/payload.h"
 #include "kernel/types.h"
 #include "util/bytes.h"
 #include "util/status.h"
@@ -70,17 +73,59 @@ class ArgSlot {
 };
 
 // The fixed small vector of argument slots: POD slot headers inline, all
-// text/bytes payloads packed into ONE shared arena string. A scalar-only
-// message therefore owns no heap memory at all, and copying/moving a
-// message touches one string, not one per slot. Adds past capacity are
-// refused (IpcMessage records the overflow and the kernel rejects such a
-// message with InvalidArgument instead of silently dropping arguments at
-// a security boundary).
+// text/bytes payloads packed into ONE shared, REF-COUNTED arena string. A
+// scalar-only message owns no heap memory at all; copying a message with
+// payloads bumps one refcount instead of duplicating the arena, and a
+// reply can alias its request's arena outright (AddAliasedPayload) — the
+// echo/redaction paths build zero new payload bytes. The arena is
+// copy-on-write: appending through a SHARED arena clones it first, and
+// payload slots are immutable once added (SetScalar refuses them), so an
+// aliasing reply can never corrupt the request it borrowed from. Adds
+// past capacity are refused (IpcMessage records the overflow and the
+// kernel rejects such a message with InvalidArgument instead of silently
+// dropping arguments at a security boundary).
 class ArgVec {
  public:
   static constexpr size_t kMaxArgs = 8;
 
   ArgVec() = default;
+
+  // Copies and moves transfer only the LIVE slots. The inline array is 192
+  // bytes; messages on the hot path carry one or two slots, and the
+  // monitor working copy + batched-submission staging sit directly on the
+  // per-call critical path — copying dead capacity there is measurable.
+  // Slots at index >= count_ are never read (class invariant: every
+  // accessor bounds on count_), so they stay untouched garbage.
+  ArgVec(const ArgVec& other) : count_(other.count_), arena_(other.arena_) {
+    for (size_t i = 0; i < count_; ++i) {
+      slots_[i] = other.slots_[i];
+    }
+  }
+  ArgVec& operator=(const ArgVec& other) {
+    count_ = other.count_;
+    arena_ = other.arena_;
+    for (size_t i = 0; i < count_; ++i) {
+      slots_[i] = other.slots_[i];
+    }
+    return *this;
+  }
+  ArgVec(ArgVec&& other) noexcept : count_(other.count_), arena_(std::move(other.arena_)) {
+    for (size_t i = 0; i < count_; ++i) {
+      slots_[i] = other.slots_[i];
+    }
+    other.count_ = 0;
+  }
+  ArgVec& operator=(ArgVec&& other) noexcept {
+    if (this != &other) {
+      count_ = other.count_;
+      arena_ = std::move(other.arena_);
+      for (size_t i = 0; i < count_; ++i) {
+        slots_[i] = other.slots_[i];
+      }
+      other.count_ = 0;
+    }
+    return *this;
+  }
 
   size_t size() const { return count_; }
   bool empty() const { return count_ == 0; }
@@ -94,6 +139,13 @@ class ArgVec {
     return true;
   }
   bool AddPayload(ArgTag tag, std::string_view payload);
+
+  // Zero-copy slot alias: adds slot `i` of `source` (a payload slot) by
+  // adopting its arena — no bytes move, no text-payload audit bump. Falls
+  // back to a counted AddPayload copy when this vector already owns a
+  // DIFFERENT arena (mixed provenance). The error-reply and echo paths
+  // use this to carry request text back without rebuilding it.
+  bool AddAliasedPayload(ArgTag tag, const ArgVec& source, size_t i);
 
   // In-place structural rewrite of one SCALAR slot — the reply-
   // interposition primitive (clamp a length, redact an ObjectId,
@@ -110,13 +162,15 @@ class ArgVec {
   }
 
   // The slots from index `from` on (the ipc_call syscall strips its port
-  // and operation prefix before forwarding the inner message).
+  // and operation prefix before forwarding the inner message). Payload
+  // slots ALIAS this vector's arena — the forwarded inner message shares
+  // the outer one's bytes instead of re-materializing them.
   ArgVec Tail(size_t from) const {
     ArgVec out;
     for (size_t i = from; i < count_; ++i) {
       const Slot& s = slots_[i];
       if (s.tag == ArgTag::kBytes || s.tag == ArgTag::kString) {
-        out.AddPayload(s.tag, PayloadOf(s));
+        out.AddAliasedPayload(s.tag, *this, i);
       } else {
         out.AddScalar(s.tag, s.scalar);
       }
@@ -148,12 +202,23 @@ class ArgVec {
   };
 
   std::string_view PayloadOf(const Slot& s) const {
-    return std::string_view(arena_).substr(s.offset, s.length);
+    if (arena_ == nullptr) {
+      return std::string_view();
+    }
+    return std::string_view(*arena_).substr(s.offset, s.length);
   }
 
-  Slot slots_[kMaxArgs] = {};
+  // Clones the arena iff it is shared (copy-on-write before an append).
+  void DetachArena();
+
+  // Deliberately NOT value-initialized: only [0, count_) is ever live
+  // (see the copy/move rationale above), and zeroing 192 bytes per
+  // IpcMessage/IpcReply construction is pure hot-path waste.
+  Slot slots_[kMaxArgs];
   uint8_t count_ = 0;
-  std::string arena_;
+  // Ref-counted: copied ArgVecs (interposition working copies, aliasing
+  // replies) share it. Null until the first payload slot.
+  std::shared_ptr<std::string> arena_;
 };
 
 inline ArgTag ArgSlot::tag() const { return vec_->slots_[index_].tag; }
@@ -180,7 +245,10 @@ struct IpcMessage {
   // syscall messages that carry no operation of their own are well-formed.
   OpId op = 0;
   ArgVec args;
-  Bytes data;
+  // Ref-counted (kernel/payload.h): copying the message — the monitor
+  // working copy, a batched submission — bumps a refcount; bytes move
+  // only through the Payload class's counted copy-on-write surface.
+  Payload data;
 
   IpcMessage() = default;
   explicit IpcMessage(OpId operation) : op(operation) {}
@@ -196,7 +264,7 @@ struct IpcMessage {
   // it through the caller-charged op quota (Kernel::InternOpCharged);
   // already-interned names resolve immediately and cost nothing.
   static IpcMessage FromLegacy(std::string_view operation,
-                               std::vector<std::string> legacy_args = {}, Bytes data = {});
+                               std::vector<std::string> legacy_args = {}, Payload data = {});
 
   std::string_view operation() const {
     return needs_op_resolution() ? std::string_view(legacy_op_) : OpName(op);
@@ -294,7 +362,10 @@ inline constexpr size_t kMaxReplyStatusMessage = 1024;
 struct IpcReply {
   Status status;
   ArgVec args;
-  Bytes data;
+  // Ref-counted (kernel/payload.h): a read reply is a SLICE of the
+  // fileserver's backing store, not a copy of it, and an echoing monitor
+  // aliases the request's data outright.
+  Payload data;
 
   IpcReply() = default;
   explicit IpcReply(Status s) : status(std::move(s)) {}
@@ -305,7 +376,7 @@ struct IpcReply {
   // replies are built. A nonzero value becomes a kU64 slot, nonempty text
   // a kString slot (bumping IpcTextPayloadCount — the quarantine is
   // visible to the zero-string audit).
-  static IpcReply FromLegacy(Status status, std::string_view text, Bytes data,
+  static IpcReply FromLegacy(Status status, std::string_view text, Payload data,
                              int64_t value);
 
   // ---- Builders (chainable). Capacity overflow is recorded, not dropped.
@@ -398,6 +469,18 @@ class PortHandler {
  public:
   virtual ~PortHandler() = default;
   virtual IpcReply Handle(const IpcContext& context, const IpcMessage& message) = 0;
+
+  // Batched submission (Kernel::CallMany): N messages for this port in one
+  // crossing. The default is the serial loop; servers that can amortize
+  // work across the batch (the fileserver and the workload object server
+  // collect every message's AuthzRequest into ONE Kernel::AuthorizeBatch)
+  // override it. `messages` and `replies` are the same length.
+  virtual void HandleMany(const IpcContext& context, std::span<const IpcMessage> messages,
+                          std::span<IpcReply> replies) {
+    for (size_t i = 0; i < messages.size(); ++i) {
+      replies[i] = Handle(context, messages[i]);
+    }
+  }
 };
 
 // Marshals a message into the flat v2 buffer the kernel produces for every
@@ -429,6 +512,27 @@ Result<IpcReply> UnmarshalReply(ByteView buffer);
 // port handler returns (bare and interposed paths alike), so whether a
 // server's reply is accepted never depends on a monitor being present.
 Status ValidateReplyWireBounds(const IpcReply& reply);
+
+// Inline fast-accepts for the dominant shapes on the dispatch hot path.
+// The conditions are a strict subset of what the full validators accept
+// (typed op, zero slots, bounded data/status), so semantics are identical;
+// everything else falls through to the out-of-line check. An empty ArgVec
+// cannot carry the overflow flag (overflow is only set by adding past a
+// full vector), so args.empty() subsumes the overflow test.
+inline Status CheckWireBounds(const IpcMessage& message) {
+  if (!message.needs_op_resolution() && message.args.empty() &&
+      message.data.size() <= kMaxIpcData && IsKnownOpId(message.op)) {
+    return OkStatus();
+  }
+  return ValidateWireBounds(message);
+}
+inline Status CheckReplyWireBounds(const IpcReply& reply) {
+  if (reply.args.empty() && reply.data.size() <= kMaxIpcData &&
+      reply.status.message().size() <= kMaxReplyStatusMessage) {
+    return OkStatus();
+  }
+  return ValidateReplyWireBounds(reply);
+}
 
 // The hoisted interned id of a syscall's operation name (interned once,
 // not per call — the syscall channel's marshal path is string-free).

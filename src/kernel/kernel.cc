@@ -1,11 +1,26 @@
 #include "kernel/kernel.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 
 namespace nexus::kernel {
 
 Kernel::Kernel() : scheduler_(std::make_unique<StrideScheduler>()) {
+  // The reserved-port table (kernel/syscall_ports.h) exists from cycle
+  // zero: boot-service ports waiting for their ClaimBootPort, and one
+  // kernel-owned port per syscall so interposing on a syscall is
+  // interposing on a compile-time-constant port id. No registration step,
+  // no per-process lazy creation — the layout IS the ABI.
+  for (PortId id = kGuardBootPort; id < kFirstDynamicPort; ++id) {
+    PortShard& shard = port_shards_[ShardOfId(id)];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    shard.ports[id] = Port{id, kKernelProcessId, nullptr, 0};
+  }
+  for (PortId id = kGuardBootPort; id < kFirstDynamicPort; ++id) {
+    procfs_.PublishValue(kKernelProcessId, "/proc/port/" + std::to_string(id) + "/owner",
+                         "0");
+  }
   procfs_.PublishValue(kKernelProcessId, "/proc/kernel/name", "nexus");
   // The metrics plane exported through the introspection namespace (§3.1):
   // one node per component prefix, plus the flight recorder. Reading
@@ -107,6 +122,14 @@ Status Kernel::KillProcess(ProcessId pid) {
     std::unique_lock<std::shared_mutex> lock(shard.mu);
     for (auto port_it = shard.ports.begin(); port_it != shard.ports.end();) {
       if (port_it->second.owner == pid) {
+        if (port_it->first < kFirstDynamicPort) {
+          // Reserved ids outlive their claimant: revert to an unclaimed
+          // kernel-owned slot so the next boot service can reclaim it.
+          port_it->second.owner = kKernelProcessId;
+          port_it->second.handler = nullptr;
+          ++port_it;
+          continue;
+        }
         dead_ports.push_back(port_it->first);
         port_it = shard.ports.erase(port_it);
       } else {
@@ -242,7 +265,36 @@ Result<PortId> Kernel::CreatePort(ProcessId owner) {
   return id;
 }
 
+Status Kernel::ClaimBootPort(PortId port, ProcessId owner, PortHandler* handler) {
+  if (port == 0 || port >= kFirstDynamicPort) {
+    return InvalidArgument("not a reserved boot port");
+  }
+  if (owner != kKernelProcessId && !IsAlive(owner)) {
+    return NotFound("no such process");
+  }
+  {
+    PortShard& shard = port_shards_[ShardOfId(port)];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.ports.find(port);
+    if (it == shard.ports.end()) {
+      return NotFound("no such port");
+    }
+    if (it->second.owner != kKernelProcessId || it->second.handler != nullptr) {
+      return AlreadyExists("boot port already claimed");
+    }
+    it->second.owner = owner;
+    it->second.handler = handler;
+    it->second.generation = lifecycle_generation_.fetch_add(1) + 1;
+  }
+  procfs_.PublishValue(owner, "/proc/port/" + std::to_string(port) + "/owner",
+                       std::to_string(owner));
+  return OkStatus();
+}
+
 Status Kernel::DestroyPort(PortId port) {
+  if (port < kFirstDynamicPort) {
+    return PermissionDenied("reserved port cannot be destroyed");
+  }
   {
     PortShard& shard = port_shards_[ShardOfId(port)];
     std::unique_lock<std::shared_mutex> lock(shard.mu);
@@ -428,6 +480,13 @@ class ScopedCycleHistogram {
 }  // namespace
 
 IpcReply Kernel::Call(ProcessId caller, PortId port, const IpcMessage& message) {
+  // Reserved-port semantics: a call addressed to a syscall port IS that
+  // syscall (SYSCALL_IPCPORT in the real kernel) — pure arithmetic, no
+  // table probe, and ipc_call reaching a syscall port dispatches like the
+  // syscall it names.
+  if (IsSyscallPort(port)) {
+    return Invoke(caller, SyscallOfPort(port), message);
+  }
   calls_->Increment();
   // A nested Call (interposed hop, ipc_call, file-syscall forward) adopts
   // the surrounding trace id, so one logical operation is one trace.
@@ -440,7 +499,7 @@ IpcReply Kernel::Call(ProcessId caller, PortId port, const IpcMessage& message) 
   // message is accepted never depends on a monitor being present — and run
   // BEFORE any charged legacy resolution, so a message that would be
   // rejected anyway cannot grow the op table or burn quota.
-  Status bounded = ValidateWireBounds(message);
+  Status bounded = CheckWireBounds(message);
   if (!bounded.ok()) {
     return IpcReply(bounded);
   }
@@ -459,23 +518,17 @@ IpcReply Kernel::Call(ProcessId caller, PortId port, const IpcMessage& message) 
   }
 
   // Newest interceptor first; composition is simply nesting (§3.2). The
-  // chain is snapshotted under the reader lock and run without it.
+  // chain is snapshotted under the reader lock and run without it — or,
+  // when no monitor exists anywhere, skipped on one relaxed load.
   std::vector<Interceptor*> active;
-  if (interposition_enabled_.load()) {
-    std::shared_lock<std::shared_mutex> lock(interpose_mu_);
-    for (auto it = interpositions_.rbegin(); it != interpositions_.rend(); ++it) {
-      if (it->port == port) {
-        active.push_back(it->interceptor);
-      }
-    }
-  }
+  SnapshotInterceptors(port, &active);
 
   if (active.empty()) {
     // No monitor on this port: dispatch by reference, untouched. The reply
     // bounds check matches the interposed path below, so whether a
     // server's reply is accepted never depends on a monitor being present.
     IpcReply reply = Dispatch(caller, port, *source);
-    if (Status reply_bounds = ValidateReplyWireBounds(reply); !reply_bounds.ok()) {
+    if (Status reply_bounds = CheckReplyWireBounds(reply); !reply_bounds.ok()) {
       reply = IpcReply(std::move(reply_bounds));
     }
     EmitCallEvent(trace, caller, source->op, port, 0,
@@ -501,7 +554,7 @@ IpcReply Kernel::Call(ProcessId caller, PortId port, const IpcMessage& message) 
   }
 
   IpcReply reply = Dispatch(caller, port, working);
-  if (Status reply_bounds = ValidateReplyWireBounds(reply); !reply_bounds.ok()) {
+  if (Status reply_bounds = CheckReplyWireBounds(reply); !reply_bounds.ok()) {
     reply = IpcReply(std::move(reply_bounds));
   }
 
@@ -537,6 +590,202 @@ IpcReply Kernel::Dispatch(ProcessId caller, PortId port, const IpcMessage& messa
   return snapshot->handler->Handle(context, message);
 }
 
+void Kernel::SnapshotInterceptors(PortId port, std::vector<Interceptor*>* active) const {
+  if (!interposition_enabled_.load(std::memory_order_relaxed) ||
+      interpose_count_.load(std::memory_order_acquire) == 0) {
+    return;
+  }
+  std::shared_lock<std::shared_mutex> lock(interpose_mu_);
+  for (auto it = interpositions_.rbegin(); it != interpositions_.rend(); ++it) {
+    if (it->port == port) {
+      active->push_back(it->interceptor);
+    }
+  }
+}
+
+size_t Kernel::CallMany(ProcessId caller, PortId port, std::span<const IpcMessage> messages,
+                        std::span<IpcReply> replies) {
+  const size_t n = std::min(messages.size(), replies.size());
+  if (n == 0) {
+    return 0;
+  }
+  // ONE trace scope for the batch: every per-message event below shares
+  // this id, so the auditor sees one chain whose kCall events each have a
+  // matching reply-interpose stage — the invariant is per-message even
+  // though the crossing is per-batch.
+  TraceScope trace;
+  size_t ok = 0;
+  if (IsSyscallPort(port)) {
+    // Syscalls keep their per-message dispatch (liveness check, syscall
+    // trace event, per-call interposition) under the shared trace scope.
+    for (size_t i = 0; i < n; ++i) {
+      replies[i] = Invoke(caller, SyscallOfPort(port), messages[i]);
+      ok += replies[i].status.ok() ? 1 : 0;
+    }
+    return ok;
+  }
+  calls_->Increment(n);
+  std::optional<Port> snapshot = SnapshotPort(port);
+  if (!snapshot.has_value()) {
+    for (size_t i = 0; i < n; ++i) {
+      replies[i] = IpcReply(NotFound("no such port"));
+    }
+    return 0;
+  }
+  std::vector<Interceptor*> active;
+  SnapshotInterceptors(port, &active);
+  IpcContext context{caller, port};
+
+  // Fast path: no monitors, every message typed and in bounds — the
+  // original span goes straight to the server's HandleMany, zero copies
+  // of any kind.
+  bool fast = active.empty();
+  for (size_t i = 0; fast && i < n; ++i) {
+    fast = !messages[i].needs_op_resolution() && CheckWireBounds(messages[i]).ok();
+  }
+  if (fast) {
+    if (snapshot->handler == nullptr) {
+      for (size_t i = 0; i < n; ++i) {
+        replies[i] = IpcReply(Unavailable("no handler bound to port"));
+      }
+      return 0;
+    }
+    snapshot->handler->HandleMany(context, messages.first(n), replies.first(n));
+    for (size_t i = 0; i < n; ++i) {
+      if (Status bounds = CheckReplyWireBounds(replies[i]); !bounds.ok()) {
+        replies[i] = IpcReply(std::move(bounds));
+      }
+      EmitCallEvent(trace, caller, messages[i].op, port, kTraceFlagBatched,
+                    replies[i].status.ok() ? kTraceVerdictAllow : kTraceVerdictDeny);
+      ok += replies[i].status.ok() ? 1 : 0;
+    }
+    return ok;
+  }
+
+  // General path. Per-message admission — wire bounds, charged legacy
+  // resolution, the forward interceptor chain — producing the surviving
+  // sub-batch; working copies cost refcount bumps, not byte copies. The
+  // staging vectors are thread-local scratch: a 256-message batch of
+  // IpcMessages is big enough that a fresh allocation per batch shows up
+  // as page churn at high rates, while reused capacity is free. The
+  // scratch is moved out for the duration of the call (and moved back
+  // after), so a handler that reenters CallMany on this thread simply
+  // finds empty scratch and allocates its own.
+  static thread_local std::vector<IpcMessage> accepted_scratch;
+  static thread_local std::vector<size_t> slot_scratch;
+  std::vector<IpcMessage> accepted = std::move(accepted_scratch);
+  std::vector<size_t> slot_of = std::move(slot_scratch);
+  accepted.clear();
+  slot_of.clear();
+  accepted.reserve(n);
+  // slot_of stays EMPTY while the batch is dense (accepted[j] came from
+  // messages[j] — the overwhelmingly common case); the first rejection
+  // backfills the identity prefix and it tracks indices from then on.
+  bool dense = true;
+  auto note_rejection = [&] {
+    if (dense) {
+      dense = false;
+      slot_of.reserve(n);
+      for (size_t k = 0; k < accepted.size(); ++k) {
+        slot_of.push_back(k);
+      }
+    }
+  };
+  for (size_t i = 0; i < n; ++i) {
+    Status bounded = CheckWireBounds(messages[i]);
+    if (!bounded.ok()) {
+      note_rejection();
+      replies[i] = IpcReply(std::move(bounded));
+      continue;
+    }
+    // The working copy is built in place in the sub-batch (one copy, not
+    // copy-then-move) and discarded from it again if a monitor denies.
+    accepted.push_back(messages[i]);
+    IpcMessage& working = accepted.back();
+    if (working.needs_op_resolution()) {
+      if (Status legacy = ResolveLegacy(caller, working); !legacy.ok()) {
+        accepted.pop_back();
+        note_rejection();
+        replies[i] = IpcReply(std::move(legacy));
+        continue;
+      }
+    }
+    bool denied = false;
+    for (Interceptor* interceptor : active) {
+      if (interceptor->OnCall(context, working) == InterposeVerdict::kDeny) {
+        EmitCallEvent(trace, caller, working.op, port,
+                      kTraceFlagInterposed | kTraceFlagDenied | kTraceFlagBatched,
+                      kTraceVerdictDeny);
+        replies[i] = IpcReply(PermissionDenied("blocked by reference monitor"));
+        denied = true;
+        break;
+      }
+    }
+    if (denied) {
+      accepted.pop_back();
+      note_rejection();
+      continue;
+    }
+    if (!dense) {
+      slot_of.push_back(i);
+    }
+  }
+
+  // ONE dispatch for the surviving sub-batch. In the dense case (every
+  // message admitted — the overwhelmingly common one) the handler writes
+  // straight into the caller's reply span; only a partially-denied batch
+  // pays for a staging vector and a scatter.
+  std::vector<IpcReply> staged(dense ? 0 : accepted.size());
+  std::span<IpcReply> batch_replies =
+      dense ? replies.first(n) : std::span<IpcReply>(staged);
+  if (!accepted.empty()) {
+    if (snapshot->handler == nullptr) {
+      for (IpcReply& reply : batch_replies) {
+        reply = IpcReply(Unavailable("no handler bound to port"));
+      }
+    } else {
+      snapshot->handler->HandleMany(context, std::span<const IpcMessage>(accepted),
+                                    batch_replies);
+    }
+  }
+
+  // Reply direction per message: bounds, reverse interceptor chain, and
+  // the same trace stages a single interposed Call emits.
+  for (size_t j = 0; j < accepted.size(); ++j) {
+    IpcReply& reply = batch_replies[j];
+    if (Status bounds = CheckReplyWireBounds(reply); !bounds.ok()) {
+      reply = IpcReply(std::move(bounds));
+    }
+    uint16_t call_flags = kTraceFlagBatched;
+    if (!active.empty()) {
+      call_flags |= kTraceFlagInterposed;
+      uint16_t reply_flags = kTraceFlagInterposed | kTraceFlagBatched;
+      for (auto it = active.rbegin(); it != active.rend(); ++it) {
+        if ((*it)->OnReply(context, accepted[j], reply) == InterposeVerdict::kDeny) {
+          reply = IpcReply(PermissionDenied("reply blocked by reference monitor"));
+          reply_flags |= kTraceFlagDenied;
+          break;
+        }
+      }
+      EmitReplyInterposeEvent(trace, caller, accepted[j].op, port, reply_flags,
+                              reply.status.ok() ? kTraceVerdictAllow : kTraceVerdictDeny);
+    }
+    EmitCallEvent(trace, caller, accepted[j].op, port, call_flags,
+                  reply.status.ok() ? kTraceVerdictAllow : kTraceVerdictDeny);
+    if (!dense) {
+      replies[slot_of[j]] = std::move(reply);
+    }
+  }
+  accepted.clear();
+  slot_of.clear();
+  accepted_scratch = std::move(accepted);
+  slot_scratch = std::move(slot_of);
+  for (size_t i = 0; i < n; ++i) {
+    ok += replies[i].status.ok() ? 1 : 0;
+  }
+  return ok;
+}
+
 // ---------------------------------------------------------- Interposition
 
 Result<uint64_t> Kernel::Interpose(ProcessId monitor, PortId port, Interceptor* interceptor) {
@@ -561,6 +810,9 @@ Result<uint64_t> Kernel::Interpose(ProcessId monitor, PortId port, Interceptor* 
   uint64_t token = next_interpose_token_.fetch_add(1);
   std::unique_lock<std::shared_mutex> lock(interpose_mu_);
   interpositions_.push_back(Interposition{token, port, monitor, interceptor});
+  // Release publish: the uninterposed fast path reads this count with
+  // acquire and skips the interpose_mu_ shared lock entirely when zero.
+  interpose_count_.store(interpositions_.size(), std::memory_order_release);
   return token;
 }
 
@@ -569,35 +821,11 @@ Status Kernel::RemoveInterposition(uint64_t token) {
   for (auto it = interpositions_.begin(); it != interpositions_.end(); ++it) {
     if (it->token == token) {
       interpositions_.erase(it);
+      interpose_count_.store(interpositions_.size(), std::memory_order_release);
       return OkStatus();
     }
   }
   return NotFound("no such interposition");
-}
-
-Result<PortId> Kernel::SyscallPort(ProcessId pid) {
-  {
-    std::lock_guard<std::mutex> lock(syscall_ports_mu_);
-    auto it = syscall_ports_.find(pid);
-    if (it != syscall_ports_.end()) {
-      return it->second;
-    }
-  }
-  if (!IsAlive(pid)) {
-    return NotFound("no such process");
-  }
-  Result<PortId> port = CreatePort(kKernelProcessId);
-  if (!port.ok()) {
-    return port;
-  }
-  std::lock_guard<std::mutex> lock(syscall_ports_mu_);
-  auto [it, inserted] = syscall_ports_.emplace(pid, *port);
-  if (!inserted) {
-    // Raced another creator; theirs won. Ours stays as an unused kernel
-    // port rather than risking destroying a port mid-concurrent-call.
-    return it->second;
-  }
-  return *port;
 }
 
 // -------------------------------------------------------------- Syscalls
@@ -631,7 +859,7 @@ IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& messag
   working.ResolveOp(SyscallOp(call));
   // Wire bounds (incl. slot overflow and forged ids) hold with or without
   // interposition — see Call. Single enforcement point.
-  Status bounded = ValidateWireBounds(working);
+  Status bounded = CheckWireBounds(working);
   if (!bounded.ok()) {
     return IpcReply(bounded);
   }
@@ -646,31 +874,16 @@ IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& messag
   }
   // The syscall channel's interceptor chain, structural in both directions
   // (see Call): monitors get the validated typed message — no marshal
-  // round trip, no strings built, hashed, or re-parsed here (§5.1).
-  IpcContext sys_context{caller, 0};
+  // round trip, no strings built, hashed, or re-parsed here (§5.1). The
+  // channel is the syscall's RESERVED port (one per Syscall, shared by all
+  // processes) — its id is a compile-time constant, so attaching costs no
+  // lookup and the uninterposed path takes no lock at all.
+  IpcContext sys_context{caller, SyscallIpcPort(call)};
   std::vector<Interceptor*> active;
-  if (interposition_enabled_.load()) {
-    {
-      std::lock_guard<std::mutex> lock(syscall_ports_mu_);
-      auto it = syscall_ports_.find(caller);
-      if (it != syscall_ports_.end()) {
-        sys_context.port = it->second;
-      }
-    }
-    if (sys_context.port != 0) {
-      {
-        std::shared_lock<std::shared_mutex> lock(interpose_mu_);
-        for (auto it = interpositions_.rbegin(); it != interpositions_.rend(); ++it) {
-          if (it->port == sys_context.port) {
-            active.push_back(it->interceptor);
-          }
-        }
-      }
-      for (Interceptor* interceptor : active) {
-        if (interceptor->OnCall(sys_context, working) == InterposeVerdict::kDeny) {
-          return IpcReply(PermissionDenied("blocked by reference monitor"));
-        }
-      }
+  SnapshotInterceptors(sys_context.port, &active);
+  for (Interceptor* interceptor : active) {
+    if (interceptor->OnCall(sys_context, working) == InterposeVerdict::kDeny) {
+      return IpcReply(PermissionDenied("blocked by reference monitor"));
     }
   }
 
@@ -691,105 +904,134 @@ IpcReply Kernel::Invoke(ProcessId caller, Syscall call, const IpcMessage& messag
   return reply;
 }
 
-// The post-interposition syscall switch, split out so Invoke can run the
-// reply-direction interceptor chain over whatever any branch returns.
+// The post-interposition syscall dispatch, split out so Invoke can run the
+// reply-direction interceptor chain over whatever any handler returns.
+// Dispatch is a direct index into a compile-time handler table — the table
+// mirrors the reserved-port layout, so "which port" and "which handler" are
+// the same arithmetic and there is no map, no lock, and no branch chain.
 IpcReply Kernel::InvokeDispatch(ProcessId caller, Syscall call, ProcessId parent,
                                 IpcMessage& working) {
-  switch (call) {
-    case Syscall::kNull:
-      return IpcReply::Ok();
-    case Syscall::kGetPpid:
-      return IpcReply::Ok().AddU64(parent);
-    case Syscall::kGetTimeOfDay:
-      return IpcReply::Ok().AddU64(NowMicros());
-    case Syscall::kYield: {
-      std::unique_lock<std::mutex> lock(sched_mu_);
-      Result<ProcessId> next = scheduler_->Tick();
-      lock.unlock();
-      return IpcReply::Ok().AddU64(next.ok() ? *next : caller);
-    }
-    case Syscall::kOpen:
-    case Syscall::kClose:
-    case Syscall::kRead:
-    case Syscall::kWrite: {
-      PortId fs_port = fs_port_.load();
-      if (fs_port == 0) {
-        return IpcReply(Unavailable("no filesystem server"));
-      }
-      // Client-server microkernel architecture: the file operation is one
-      // more IPC hop to the user-level server (Table 1's 2-3x). The op is
-      // already the hoisted syscall id; no string is built for the hop.
-      return Call(caller, fs_port, working);
-    }
-    case Syscall::kProcRead: {
-      // Paths are inherently text; everything derived from one is memoized.
-      Result<std::string_view> path = working.ArgString(0);
-      if (!path.ok()) {
-        return IpcReply(InvalidArgument("proc_read needs a path"));
-      }
-      // Interned fast path: the op id is hoisted once, and the
-      // "proc:<path>" object id is built exactly once per novel path —
-      // repeat reads find it in the memo with no concatenation. The memo
-      // miss interns through the charged surface (a process probing
-      // endless novel proc paths exhausts its own name quota, not the
-      // table).
-      static const OpId read_op = InternOp("read");
-      Result<ObjectId> object = ProcObjectFor(caller, *path);
-      if (!object.ok()) {
-        return IpcReply(object.status());
-      }
-      Status authorized = Authorize(AuthzRequest{caller, read_op, *object});
-      if (!authorized.ok()) {
-        return IpcReply(authorized);
-      }
-      Result<std::string> value = procfs_.Read(*path);
-      if (!value.ok()) {
-        return IpcReply(value.status());
-      }
-      return IpcReply::Ok().AddString(*value);
-    }
-    case Syscall::kIpcCall: {
-      if (working.args.empty()) {
-        return IpcReply(InvalidArgument("ipc_call needs a port"));
-      }
-      // args[0] is caller-controlled: a kPort/kU64 slot, or legacy decimal
-      // text (decoded at the single validated point in the accessor —
-      // garbage or a 100-digit number is InvalidArgument, never a throw).
-      Result<PortId> port = working.ArgPort(0);
-      if (!port.ok()) {
-        return IpcReply(InvalidArgument("ipc_call: port must be a port id"));
-      }
-      IpcMessage inner;
-      if (working.args.size() > 1) {
-        // args[1] names the inner operation: typed callers pass the
-        // interned id (validated at unmarshal); script-style callers pass
-        // text, which resolves through the caller-charged op quota inside
-        // the nested Call.
-        ArgSlot op_slot = working.args[1];
-        if (op_slot.tag() == ArgTag::kString) {
-          inner = IpcMessage::FromLegacy(op_slot.text());
-        } else if (op_slot.tag() == ArgTag::kU64) {
-          if (!IsKnownOpId(op_slot.scalar())) {
-            return IpcReply(InvalidArgument("ipc_call: unknown op id"));
-          }
-          inner.op = static_cast<OpId>(op_slot.scalar());
-        } else {
-          return IpcReply(InvalidArgument("ipc_call: operation must be an op id or text"));
-        }
-        inner.args = working.args.Tail(2);
-      }
-      inner.data = std::move(working.data);
-      return Call(caller, *port, inner);
-    }
-    case Syscall::kSay:
-    case Syscall::kSetGoal:
-    case Syscall::kSetProof:
-    case Syscall::kInterpose:
-      // Control operations are handled by the core layer (which owns label
-      // and goal stores); reaching the raw kernel is a wiring error.
-      return IpcReply(Unavailable("control syscall not wired to an authorization engine"));
+  static constexpr std::array<SyscallHandler, kSyscallCount> kSyscallTable = {
+      &Kernel::SysNull,          // kNull
+      &Kernel::SysGetPpid,       // kGetPpid
+      &Kernel::SysGetTimeOfDay,  // kGetTimeOfDay
+      &Kernel::SysYield,         // kYield
+      &Kernel::SysFileForward,   // kOpen
+      &Kernel::SysFileForward,   // kClose
+      &Kernel::SysFileForward,   // kRead
+      &Kernel::SysFileForward,   // kWrite
+      &Kernel::SysControl,       // kSay
+      &Kernel::SysControl,       // kSetGoal
+      &Kernel::SysControl,       // kSetProof
+      &Kernel::SysControl,       // kInterpose
+      &Kernel::SysIpcCall,       // kIpcCall
+      &Kernel::SysProcRead,      // kProcRead
+  };
+  static_assert(kSyscallTable.size() == kSyscallCount,
+                "every syscall needs a handler table entry");
+  const auto index = static_cast<size_t>(call);
+  if (index >= kSyscallTable.size()) {
+    return IpcReply(Internal("unhandled syscall"));
   }
-  return IpcReply(Internal("unhandled syscall"));
+  return (this->*kSyscallTable[index])(caller, parent, working);
+}
+
+IpcReply Kernel::SysNull(ProcessId, ProcessId, IpcMessage&) { return IpcReply::Ok(); }
+
+IpcReply Kernel::SysGetPpid(ProcessId, ProcessId parent, IpcMessage&) {
+  return IpcReply::Ok().AddU64(parent);
+}
+
+IpcReply Kernel::SysGetTimeOfDay(ProcessId, ProcessId, IpcMessage&) {
+  return IpcReply::Ok().AddU64(NowMicros());
+}
+
+IpcReply Kernel::SysYield(ProcessId caller, ProcessId, IpcMessage&) {
+  std::unique_lock<std::mutex> lock(sched_mu_);
+  Result<ProcessId> next = scheduler_->Tick();
+  lock.unlock();
+  return IpcReply::Ok().AddU64(next.ok() ? *next : caller);
+}
+
+IpcReply Kernel::SysFileForward(ProcessId caller, ProcessId, IpcMessage& working) {
+  PortId fs_port = fs_port_.load();
+  if (fs_port == 0) {
+    return IpcReply(Unavailable("no filesystem server"));
+  }
+  // Client-server microkernel architecture: the file operation is one
+  // more IPC hop to the user-level server (Table 1's 2-3x). The op is
+  // already the hoisted syscall id; no string is built for the hop.
+  return Call(caller, fs_port, working);
+}
+
+IpcReply Kernel::SysControl(ProcessId, ProcessId, IpcMessage&) {
+  // Control operations are handled by the core layer (which owns label
+  // and goal stores); reaching the raw kernel is a wiring error.
+  return IpcReply(Unavailable("control syscall not wired to an authorization engine"));
+}
+
+IpcReply Kernel::SysProcRead(ProcessId caller, ProcessId, IpcMessage& working) {
+  // Paths are inherently text; everything derived from one is memoized.
+  Result<std::string_view> path = working.ArgString(0);
+  if (!path.ok()) {
+    return IpcReply(InvalidArgument("proc_read needs a path"));
+  }
+  // Interned fast path: the op id is hoisted once, and the
+  // "proc:<path>" object id is built exactly once per novel path —
+  // repeat reads find it in the memo with no concatenation. The memo
+  // miss interns through the charged surface (a process probing
+  // endless novel proc paths exhausts its own name quota, not the
+  // table).
+  static const OpId read_op = InternOp("read");
+  Result<ObjectId> object = ProcObjectFor(caller, *path);
+  if (!object.ok()) {
+    return IpcReply(object.status());
+  }
+  Status authorized = Authorize(AuthzRequest{caller, read_op, *object});
+  if (!authorized.ok()) {
+    return IpcReply(authorized);
+  }
+  Result<std::string> value = procfs_.Read(*path);
+  if (!value.ok()) {
+    return IpcReply(value.status());
+  }
+  return IpcReply::Ok().AddString(*value);
+}
+
+IpcReply Kernel::SysIpcCall(ProcessId caller, ProcessId, IpcMessage& working) {
+  if (working.args.empty()) {
+    return IpcReply(InvalidArgument("ipc_call needs a port"));
+  }
+  // args[0] is caller-controlled: a kPort/kU64 slot, or legacy decimal
+  // text (decoded at the single validated point in the accessor —
+  // garbage or a 100-digit number is InvalidArgument, never a throw).
+  Result<PortId> port = working.ArgPort(0);
+  if (!port.ok()) {
+    return IpcReply(InvalidArgument("ipc_call: port must be a port id"));
+  }
+  IpcMessage inner;
+  if (working.args.size() > 1) {
+    // args[1] names the inner operation: typed callers pass the
+    // interned id (validated at unmarshal); script-style callers pass
+    // text, which resolves through the caller-charged op quota inside
+    // the nested Call.
+    ArgSlot op_slot = working.args[1];
+    if (op_slot.tag() == ArgTag::kString) {
+      inner = IpcMessage::FromLegacy(op_slot.text());
+    } else if (op_slot.tag() == ArgTag::kU64) {
+      if (!IsKnownOpId(op_slot.scalar())) {
+        return IpcReply(InvalidArgument("ipc_call: unknown op id"));
+      }
+      inner.op = static_cast<OpId>(op_slot.scalar());
+    } else {
+      return IpcReply(InvalidArgument("ipc_call: operation must be an op id or text"));
+    }
+    // Tail() aliases the outer arena for payload slots — the inner
+    // message forwards the caller's bytes by reference, not by copy.
+    inner.args = working.args.Tail(2);
+  }
+  inner.data = std::move(working.data);
+  return Call(caller, *port, inner);
 }
 
 // ---------------------------------------------------------- Authorization
@@ -919,7 +1161,25 @@ std::vector<Status> Kernel::AuthorizeBatch(std::span<const AuthzRequest> request
   std::vector<AuthzRequest> misses;
   std::vector<size_t> miss_slots;
   std::vector<uint64_t> miss_generations;
+  // Runs of identical (subject, op, obj) tuples — a batched server asking
+  // the same question per message, the dominant shape — share ONE probe
+  // and one verdict: the batch serializes at a single authorization point
+  // by design (see the trace-id comment above), so asking again inside it
+  // could not observe a different answer. `run_head` is the first index
+  // of the current run; later members copy its result at the end.
+  std::vector<std::pair<size_t, size_t>> dups;  // (slot, run head slot)
+  dups.reserve(requests.size());
+  size_t run_head = 0;
   for (size_t i = 0; i < requests.size(); ++i) {
+    if (i > 0) {
+      const AuthzRequest& prev = requests[i - 1];
+      if (requests[i].subject == prev.subject && requests[i].op == prev.op &&
+          requests[i].obj == prev.obj) {
+        dups.emplace_back(i, run_head);
+        continue;
+      }
+      run_head = i;
+    }
     if (cache_enabled) {
       std::optional<bool> cached = decision_cache_.Lookup(requests[i]);
       if (cached.has_value()) {
@@ -938,19 +1198,28 @@ std::vector<Status> Kernel::AuthorizeBatch(std::span<const AuthzRequest> request
     // race this closes.
     miss_generations.push_back(cache_enabled ? decision_cache_.Generation(requests[i]) : 0);
   }
-  if (misses.empty()) {
-    return results;
+  if (!misses.empty()) {
+    std::vector<AuthzDecision> decisions = engine_->AuthorizeBatch(misses);
+    for (size_t j = 0; j < misses.size(); ++j) {
+      if (cache_enabled && decisions[j].cacheable) {
+        decision_cache_.InsertIfUnchanged(misses[j], decisions[j].allowed(),
+                                          miss_generations[j]);
+      }
+      if (!decisions[j].allowed()) {
+        authorize_denies_->Increment();
+      }
+      results[miss_slots[j]] = decisions[j].ToStatus();
+    }
   }
-  std::vector<AuthzDecision> decisions = engine_->AuthorizeBatch(misses);
-  for (size_t j = 0; j < misses.size(); ++j) {
-    if (cache_enabled && decisions[j].cacheable) {
-      decision_cache_.InsertIfUnchanged(misses[j], decisions[j].allowed(),
-                                        miss_generations[j]);
-    }
-    if (!decisions[j].allowed()) {
+  // Run members copy their head's result (heads resolve before any dup
+  // that references them — dups only point backward). Deny accounting
+  // stays per-request, matching the serial path. An allowed head needs no
+  // copy at all: the results vector value-initializes to OK.
+  for (const auto& [slot, head] : dups) {
+    if (!results[head].ok()) {
       authorize_denies_->Increment();
+      results[slot] = results[head];
     }
-    results[miss_slots[j]] = decisions[j].ToStatus();
   }
   return results;
 }

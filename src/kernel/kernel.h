@@ -29,6 +29,7 @@
 #include "kernel/ipc.h"
 #include "kernel/procfs.h"
 #include "kernel/sched.h"
+#include "kernel/syscall_ports.h"
 #include "kernel/trace.h"
 #include "kernel/types.h"
 #include "nal/term.h"
@@ -169,7 +170,15 @@ class Kernel {
   static std::string ProcPath(ProcessId pid);
 
   // --------------------------------------------------------------- Ports
+  // Dynamic ports only — ids start at kFirstDynamicPort; everything below
+  // is the reserved table in kernel/syscall_ports.h, pre-registered by the
+  // constructor.
   Result<PortId> CreatePort(ProcessId owner);
+  // Takes ownership of a reserved boot port (kGuardBootPort /
+  // kAuthorityBootPort / kFsBootPort) and binds its handler — the boot
+  // sequence's fixed-address service registration. Rejects non-boot ids
+  // and double claims.
+  Status ClaimBootPort(PortId port, ProcessId owner, PortHandler* handler);
   Status DestroyPort(PortId port);
   Status BindHandler(PortId port, PortHandler* handler);
   Result<ProcessId> PortOwner(PortId port) const;
@@ -188,8 +197,21 @@ class Kernel {
 
   // Synchronous IPC call: marshaling, interposition, authorization, handler
   // dispatch, reply interposition. Safe from worker threads (a miss may
-  // upcall a designated guard or an authority port mid-evaluation).
+  // upcall a designated guard or an authority port mid-evaluation). A call
+  // addressed to a reserved syscall port IS that syscall (the real
+  // kernel's SYSCALL_IPCPORT semantics) and routes through Invoke.
   IpcReply Call(ProcessId caller, PortId port, const IpcMessage& message);
+
+  // Batched submission: N messages for ONE port in a single boundary
+  // crossing — one trace scope, one port snapshot, one interceptor-chain
+  // snapshot, one HandleMany dispatch (servers amortize authorization
+  // across the batch via AuthorizeBatch). The interceptor chain still
+  // runs PER MESSAGE, forward on call and backward on reply, so every
+  // interposition invariant the auditor checks holds for batched chains
+  // exactly as for singles. `messages` and `replies` must be the same
+  // length; returns the number of OK replies.
+  size_t CallMany(ProcessId caller, PortId port, std::span<const IpcMessage> messages,
+                  std::span<IpcReply> replies);
 
   // -------------------------------------------------------- Interposition
   // Installs an interceptor on a port. Subject to authorization (operation
@@ -208,9 +230,10 @@ class Kernel {
   IpcReply Invoke(ProcessId caller, Syscall call, const IpcMessage& message);
   void set_fs_port(PortId port) { fs_port_.store(port); }
   PortId fs_port() const { return fs_port_.load(); }
-  // The per-process pseudo-port carrying syscall interposition for a
-  // process (every syscall of `pid` flows through it, §3.2).
-  Result<PortId> SyscallPort(ProcessId pid);
+  // Syscall interposition (§3.2) attaches to the RESERVED port of the
+  // syscall — SyscallIpcPort(call) in kernel/syscall_ports.h, a
+  // compile-time constant. The per-process map+mutex this replaced is
+  // gone: Invoke computes its interposition port with pure arithmetic.
 
   // --------------------------------------------------------- Authorization
   void set_engine(AuthorizationEngine* engine) { engine_ = engine; }
@@ -336,11 +359,31 @@ class Kernel {
   // Snapshot of one port under its shard's reader lock; nullopt if absent.
   std::optional<Port> SnapshotPort(PortId port) const;
 
+  // Newest-first interceptor chain for `port`, snapshotted under the
+  // reader lock — or not at all: the interpose_count_ fast path makes the
+  // no-monitors case one relaxed load, no lock, no allocation.
+  void SnapshotInterceptors(PortId port, std::vector<Interceptor*>* active) const;
+
   IpcReply Dispatch(ProcessId caller, PortId port, const IpcMessage& message);
-  // The post-interposition syscall switch — split from Invoke so the
+  // The post-interposition syscall dispatch — split from Invoke so the
   // reply-direction interceptor chain runs over every branch's result.
+  // Direct-indexed: kSyscallTable[call] is a member-function pointer, the
+  // in-kernel analogue of the reserved-port array dispatch.
   IpcReply InvokeDispatch(ProcessId caller, Syscall call, ProcessId parent,
                           IpcMessage& working);
+
+  // One handler per syscall, direct-indexed by the enumerator. The table
+  // is static_assert-sized against kSyscallCount in kernel.cc.
+  using SyscallHandler = IpcReply (Kernel::*)(ProcessId caller, ProcessId parent,
+                                              IpcMessage& working);
+  IpcReply SysNull(ProcessId caller, ProcessId parent, IpcMessage& working);
+  IpcReply SysGetPpid(ProcessId caller, ProcessId parent, IpcMessage& working);
+  IpcReply SysGetTimeOfDay(ProcessId caller, ProcessId parent, IpcMessage& working);
+  IpcReply SysYield(ProcessId caller, ProcessId parent, IpcMessage& working);
+  IpcReply SysFileForward(ProcessId caller, ProcessId parent, IpcMessage& working);
+  IpcReply SysControl(ProcessId caller, ProcessId parent, IpcMessage& working);
+  IpcReply SysIpcCall(ProcessId caller, ProcessId parent, IpcMessage& working);
+  IpcReply SysProcRead(ProcessId caller, ProcessId parent, IpcMessage& working);
   void PublishProcessNodes(const Process& process);
 
   // The kernel boundary for legacy messages: resolves a pending FromLegacy
@@ -363,18 +406,18 @@ class Kernel {
   std::map<ProcessId, std::set<PortId>> channels_;
 
   // Interposition list: read on every interposed Call/Invoke, written only
-  // by Interpose/RemoveInterposition.
+  // by Interpose/RemoveInterposition. `interpose_count_` shadows its size
+  // so the bare hot path skips the reader lock entirely when no monitor
+  // is installed anywhere.
   mutable std::shared_mutex interpose_mu_;
   std::vector<Interposition> interpositions_;
-
-  std::mutex syscall_ports_mu_;
-  std::map<ProcessId, PortId> syscall_ports_;
+  std::atomic<size_t> interpose_count_{0};
 
   // Serializes the kernel's own scheduler calls (kill, yield).
   std::mutex sched_mu_;
 
   std::atomic<ProcessId> next_pid_{1};
-  std::atomic<PortId> next_port_{1};
+  std::atomic<PortId> next_port_{kFirstDynamicPort};
   std::atomic<uint64_t> next_interpose_token_{1};
   std::atomic<uint64_t> lifecycle_generation_{1};
   std::atomic<bool> interposition_enabled_{true};

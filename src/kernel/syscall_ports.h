@@ -1,0 +1,60 @@
+// The reserved IPC port layout.
+//
+// Nexus itself gives every system call a compile-time IPC port id
+// (SYSCALL_IPCPORT(X) in the real kernel): syscalls ARE IPC to reserved
+// ports, so dispatch is an array index and interposing on a syscall is
+// interposing on a port id known before boot. This header is the whole
+// layout: a handful of fixed low ports for boot services, one consecutive
+// port per Syscall enumerator, and the first id the dynamic allocator may
+// hand out. Everything is constexpr — no map, no mutex, no registration
+// step — and the static_asserts tie the layout to kSyscallCount so
+// appending a syscall without growing the table is a compile error.
+#ifndef NEXUS_KERNEL_SYSCALL_PORTS_H_
+#define NEXUS_KERNEL_SYSCALL_PORTS_H_
+
+#include <cstddef>
+
+#include "kernel/types.h"
+
+namespace nexus::kernel {
+
+// Boot services on fixed low ports, claimed at boot via
+// Kernel::ClaimBootPort (the fileserver binds kFsBootPort; the guard and
+// authority ids are reserved for the core layer's upcall services).
+inline constexpr PortId kGuardBootPort = 1;
+inline constexpr PortId kAuthorityBootPort = 2;
+inline constexpr PortId kFsBootPort = 3;
+inline constexpr PortId kLastBootPort = kFsBootPort;
+
+// One reserved port per syscall, consecutive from kFirstSyscallPort in
+// enumerator order. A Call() addressed to one of these IS the syscall.
+inline constexpr PortId kFirstSyscallPort = kLastBootPort + 1;
+
+constexpr PortId SyscallIpcPort(Syscall call) {
+  return kFirstSyscallPort + static_cast<PortId>(call);
+}
+
+// First id CreatePort may allocate; everything below is reserved.
+inline constexpr PortId kFirstDynamicPort =
+    kFirstSyscallPort + static_cast<PortId>(kSyscallCount);
+
+constexpr bool IsSyscallPort(PortId port) {
+  return port >= kFirstSyscallPort && port < kFirstDynamicPort;
+}
+
+constexpr Syscall SyscallOfPort(PortId port) {
+  return static_cast<Syscall>(port - kFirstSyscallPort);
+}
+
+static_assert(static_cast<size_t>(Syscall::kProcRead) + 1 == kSyscallCount,
+              "update kSyscallCount (and this assert's last enumerator) when "
+              "appending syscalls");
+static_assert(SyscallIpcPort(Syscall::kProcRead) + 1 == kFirstDynamicPort,
+              "the reserved-port table must cover exactly kSyscallCount "
+              "consecutive ids");
+static_assert(kGuardBootPort >= 1 && kLastBootPort < kFirstSyscallPort,
+              "boot ports must sit below the syscall port range");
+
+}  // namespace nexus::kernel
+
+#endif  // NEXUS_KERNEL_SYSCALL_PORTS_H_

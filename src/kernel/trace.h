@@ -74,6 +74,9 @@ inline constexpr uint16_t kTraceFlagUpcall = 1u << 4;
 inline constexpr uint16_t kTraceFlagDenied = 1u << 5;
 inline constexpr uint16_t kTraceFlagProofCacheHit = 1u << 6;
 inline constexpr uint16_t kTraceFlagUncacheable = 1u << 7;
+// The call entered the kernel through a CallMany batch (one boundary
+// crossing shared by every message carrying this flag's trace id).
+inline constexpr uint16_t kTraceFlagBatched = 1u << 8;
 
 // Verdict byte: 0 = not a verdict-carrying stage.
 inline constexpr uint8_t kTraceVerdictNone = 0;

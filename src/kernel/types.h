@@ -205,8 +205,21 @@ inline std::string_view ObjectName(ObjectId id) { return ObjectTable().Name(id);
 // ipc_call arguments, generic-integer coercions): a forged object id would
 // reach the fail-OPEN "unregistered object" bootstrap policy, so every
 // entry point must apply the same rule.
+// Known-ness is MONOTONE — intern ids are never revoked — so a positive
+// answer may be cached forever. The one-entry thread-local memo short-
+// circuits the static-init guard + stripe load for the overwhelmingly
+// common case of consecutive messages carrying the same op (every batched
+// submission, every per-call hot loop).
 inline bool IsKnownOpId(uint64_t id) {
-  return id <= 0xffffffffULL && OpTable().Contains(static_cast<OpId>(id));
+  static thread_local uint64_t last_known = ~0ULL;
+  if (id == last_known) {
+    return true;
+  }
+  if (id <= 0xffffffffULL && OpTable().Contains(static_cast<OpId>(id))) {
+    last_known = id;
+    return true;
+  }
+  return false;
 }
 inline bool IsKnownObjectId(uint64_t id) {
   return id <= 0xffffffffULL && ObjectTable().Contains(static_cast<ObjectId>(id));

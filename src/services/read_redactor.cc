@@ -40,11 +40,15 @@ kernel::InterposeVerdict ReadRedactionMonitor::OnReply(const kernel::IpcContext&
   }
 
   // Redact: mask the configured byte range of whatever survived the clamp.
+  // MutableData is the explicit mutation point of the ref-counted payload:
+  // a reply that aliases the fileserver's backing store (or the request's
+  // arena) detaches onto a private copy HERE, so the redaction never
+  // scribbles on bytes someone else still reads.
   uint64_t begin = std::min<uint64_t>(policy_.redact_begin, reply.data.size());
   uint64_t end = std::min<uint64_t>(policy_.redact_end, reply.data.size());
   if (begin < end) {
-    std::fill(reply.data.begin() + static_cast<ptrdiff_t>(begin),
-              reply.data.begin() + static_cast<ptrdiff_t>(end), policy_.fill);
+    uint8_t* bytes = reply.data.MutableData();
+    std::fill(bytes + begin, bytes + end, policy_.fill);
     rewrote = true;
   }
 

@@ -136,11 +136,13 @@ TEST_F(FauxbookTest, ResourceAttestationFromSchedulerState) {
 TEST_F(FauxbookTest, DriverMonitorBlocksContentAccess) {
   kernel::IpcMessage read_page = kernel::IpcMessage::Of("read_page");
   read_page.AddU64(0);
+  // Syscall channels are the reserved per-syscall ports now; routing a
+  // message at one dispatches the syscall itself (kNull here).
   kernel::IpcReply reply =
       nexus_.kernel().Call(fauxbook_.driver_pid(),
-                           /*port=*/*nexus_.kernel().SyscallPort(fauxbook_.driver_pid()),
+                           /*port=*/kernel::SyscallIpcPort(kernel::Syscall::kNull),
                            read_page);
-  (void)reply;  // The syscall port has no handler; the DDRM check is below.
+  (void)reply;  // The DDRM check is below.
   kernel::IpcContext context;
   EXPECT_EQ(fauxbook_.driver_monitor().OnCall(context, read_page),
             kernel::InterposeVerdict::kDeny);

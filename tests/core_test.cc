@@ -82,12 +82,17 @@ TEST_F(NexusTest, ExternalPrincipalNamesBootInstance) {
 }
 
 TEST_F(NexusTest, ProcessCreationDepositsKernelLabels) {
+  // Syscall channels are shared reserved ports now, so process creation
+  // deposits only the launchHash label; the per-port speaksfor appears
+  // when the process gets a port of its own.
   kernel::ProcessId pid = *nexus_.CreateProcess("app", ToBytes("app-binary"));
+  kernel::PortId port = *nexus_.CreatePort(pid);
   bool found_speaksfor = false;
   bool found_hash = false;
   for (const nal::Formula& label : nexus_.engine().SystemStore().All()) {
     std::string text = label->ToString();
-    if (text.find("speaksfor Nexus.ipd." + std::to_string(pid)) != std::string::npos) {
+    if (text.find("IPC." + std::to_string(port) + " speaksfor Nexus.ipd." +
+                  std::to_string(pid)) != std::string::npos) {
       found_speaksfor = true;
     }
     if (text.find("launchHash(/proc/ipd/" + std::to_string(pid)) != std::string::npos) {

@@ -529,6 +529,23 @@ TEST(WorkloadDriverTest, CleanInterposedRunIsNotFlagged) {
   EXPECT_EQ(report->audit.total_violations(), 0u) << SampleDump(report->audit);
 }
 
+TEST(WorkloadDriverTest, BatchedReadsRunCleanInterposed) {
+  // CallMany submission under audit: every batched read shares one
+  // boundary crossing, yet each message must still emit a full per-message
+  // interposition chain the auditor accepts. Batch stays small (4) so a
+  // batch's events can't wrap a per-thread trace ring into truncation.
+  WorkloadConfig config = SmallDriverConfig("ddrm");
+  config.callmany_batch = 4;
+  config.read_weight = 60;  // Make batched reads the dominant verb.
+  config.authorize_weight = 25;
+  WorkloadDriver driver(config);
+  Result<WorkloadReport> report = driver.Run();
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_GT(report->read_ops, 0u);
+  EXPECT_TRUE(report->audit.clean()) << SampleDump(report->audit);
+  EXPECT_EQ(report->audit.interposition_violations, 0u) << SampleDump(report->audit);
+}
+
 TEST(WorkloadDriverTest, ReportJsonRoundTrips) {
   WorkloadConfig config = SmallDriverConfig("fauxbook");
   config.logical_calls = 500;
@@ -564,6 +581,12 @@ TEST(WorkloadSoakTest, ChurnSoakIsViolationFree) {
   config.audited_objects = 8;
   config.proof_holders = 32;
   config.seed = EnvOr("NEXUS_SOAK_SEED", 2026);
+  // NEXUS_SOAK_BATCH > 1 drives reads through Kernel::CallMany instead of
+  // per-call submission (CI runs one such pass). Audited soaks keep the
+  // batch small: the flight-recorder ring holds 256 events per thread, so
+  // a large batch between drains would overrun it and the auditor would
+  // see sampled (incomplete) chains instead of violations.
+  config.callmany_batch = static_cast<size_t>(EnvOr("NEXUS_SOAK_BATCH", 1));
   WorkloadDriver driver(config);
   Result<WorkloadReport> report = driver.Run();
   ASSERT_TRUE(report.ok()) << report.status().message();

@@ -673,6 +673,77 @@ TEST(ReplyAbiV2Test, MonitorPresenceDoesNotChangeVerdicts) {
   EXPECT_EQ(verdicts[0][3], ErrorCode::kInvalidArgument);
 }
 
+// ---------------------------------------------------------------- Payload
+
+TEST(PayloadTest, SliceAliasesWithoutCopying) {
+  auto arena = std::make_shared<Bytes>(ToBytes("0123456789"));
+  uint64_t before = IpcPayloadCopyCount();
+  Payload slice = Payload::Slice(arena, 2, 3);
+  EXPECT_EQ(IpcPayloadCopyCount(), before);
+  EXPECT_EQ(ToString(slice.view()), "234");
+  EXPECT_TRUE(slice.aliased());
+  // Copying a Payload bumps a refcount, never bytes.
+  Payload copy = slice;
+  EXPECT_EQ(IpcPayloadCopyCount(), before);
+  EXPECT_EQ(ToString(copy.view()), "234");
+}
+
+TEST(PayloadTest, RewritingAliasedReplyDoesNotCorruptRequest) {
+  // The interposition hazard the zero-copy plane must survive: a reply
+  // that borrows the request's bytes gets rewritten by a monitor. The
+  // mutation surface detaches first; the request keeps its bytes.
+  IpcMessage request;
+  request.data = ToBytes("sensitive-request-bytes");
+  IpcReply reply = IpcReply::Ok();
+  reply.data = request.data;  // Borrow: refcount bump, zero copy.
+  ASSERT_TRUE(reply.data.aliased());
+
+  uint8_t* bytes = reply.data.MutableData();  // COW detach happens here.
+  std::fill(bytes, bytes + reply.data.size(), uint8_t{'X'});
+  EXPECT_EQ(ToString(request.data.view()), "sensitive-request-bytes");
+  EXPECT_EQ(ToString(reply.data.view()), std::string(23, 'X'));
+  EXPECT_FALSE(request.data.aliased());
+
+  // Shrinking a borrowed reply narrows the slice without detaching.
+  IpcReply clamp = IpcReply::Ok();
+  clamp.data = request.data;
+  uint64_t before = IpcPayloadCopyCount();
+  clamp.data.resize(9);
+  EXPECT_EQ(IpcPayloadCopyCount(), before);
+  EXPECT_EQ(ToString(clamp.data.view()), "sensitive");
+  EXPECT_EQ(ToString(request.data.view()), "sensitive-request-bytes");
+}
+
+TEST(PayloadTest, LifetimeMatrix) {
+  {  // Reply outlives the request it borrowed from.
+    Payload reply_data;
+    {
+      IpcMessage request;
+      request.data = ToBytes("outlived-by-reply");
+      reply_data = request.data;
+    }  // Request gone; the arena lives until the last reference drops.
+    EXPECT_EQ(ToString(reply_data.view()), "outlived-by-reply");
+  }
+  {  // Request outlives a reply that borrowed (and mutated) its bytes.
+    IpcMessage request;
+    request.data = ToBytes("outlives-the-reply");
+    {
+      IpcReply reply = IpcReply::Ok();
+      reply.data = request.data;
+      reply.data.MutableData()[0] = 'X';
+    }
+    EXPECT_EQ(ToString(request.data.view()), "outlives-the-reply");
+  }
+  {  // A slice outlives the producer's store entry (unlink under a read).
+    Payload slice;
+    {
+      auto arena = std::make_shared<Bytes>(ToBytes("backing-store"));
+      slice = Payload::Slice(arena, 0, 7);
+    }  // Store entry dropped.
+    EXPECT_EQ(ToString(slice.view()), "backing");
+  }
+}
+
 // §2.9 applied to the OP table (ROADMAP "Name-table quotas", op side):
 // operation names arriving through the legacy surfaces are charged to the
 // caller's quota root; past the cap the call is denied with a reason and
@@ -889,12 +960,199 @@ TEST(InterposeTest, InterposeSubjectToAuthorization) {
 TEST(InterposeTest, SyscallInterpositionObservesAllSyscalls) {
   Kernel k;
   ProcessId pid = *k.CreateProcess("p", ToBytes("b"));
-  PortId sys_port = *k.SyscallPort(pid);
+  // Syscall channels are compile-time reserved ports, one per syscall:
+  // a monitor attaches to each syscall it wants to observe.
   CountingInterceptor interceptor;
-  k.Interpose(kKernelProcessId, sys_port, &interceptor);
+  ASSERT_TRUE(k.Interpose(kKernelProcessId, SyscallIpcPort(Syscall::kNull), &interceptor).ok());
+  ASSERT_TRUE(
+      k.Interpose(kKernelProcessId, SyscallIpcPort(Syscall::kGetPpid), &interceptor).ok());
   k.Invoke(pid, Syscall::kNull, {});
   k.Invoke(pid, Syscall::kGetPpid, {});
   EXPECT_EQ(interceptor.calls, 2);
+}
+
+// -------------------------------------------------------------- CallMany
+
+TEST(CallManyTest, BatchDispatchesEveryMessage) {
+  Kernel k;
+  ProcessId server = *k.CreateProcess("s", ToBytes("s"));
+  ProcessId client = *k.CreateProcess("c", ToBytes("c"));
+  PortId port = *k.CreatePort(server);
+  EchoHandler handler;
+  k.BindHandler(port, &handler);
+  std::vector<IpcMessage> messages(4);
+  for (size_t i = 0; i < messages.size(); ++i) {
+    messages[i] = IpcMessage::Of("batched-op");
+    messages[i].AddU64(i);
+  }
+  std::vector<IpcReply> replies(4);
+  EXPECT_EQ(k.CallMany(client, port, messages, replies), 4u);
+  for (const IpcReply& reply : replies) {
+    EXPECT_TRUE(reply.status.ok());
+    EXPECT_EQ(reply.text(), "batched-op");
+  }
+  EXPECT_EQ(handler.calls, 4);
+}
+
+TEST(CallManyTest, MissingAndUnboundPortsFailPerMessage) {
+  Kernel k;
+  ProcessId client = *k.CreateProcess("c", ToBytes("c"));
+  std::vector<IpcMessage> messages(2, IpcMessage::Of("x"));
+  std::vector<IpcReply> replies(2);
+  EXPECT_EQ(k.CallMany(client, 99999, messages, replies), 0u);
+  EXPECT_EQ(replies[0].status.code(), ErrorCode::kNotFound);
+  ProcessId server = *k.CreateProcess("s", ToBytes("s"));
+  PortId unbound = *k.CreatePort(server);
+  EXPECT_EQ(k.CallMany(client, unbound, messages, replies), 0u);
+  EXPECT_EQ(replies[1].status.code(), ErrorCode::kUnavailable);
+}
+
+TEST(CallManyTest, SyscallPortBatchInvokes) {
+  // A batch aimed at a reserved syscall port dispatches the syscall per
+  // message — same verdicts as N Invokes.
+  Kernel k;
+  ProcessId parent = *k.CreateProcess("p", ToBytes("p"));
+  ProcessId child = *k.CreateProcess("c", ToBytes("c"), parent);
+  std::vector<IpcMessage> messages(3);
+  std::vector<IpcReply> replies(3);
+  EXPECT_EQ(k.CallMany(child, SyscallIpcPort(Syscall::kGetPpid), messages, replies), 3u);
+  for (const IpcReply& reply : replies) {
+    EXPECT_EQ(reply.value(), static_cast<int64_t>(parent));
+  }
+}
+
+TEST(CallManyTest, InterceptorChainRunsPerMessage) {
+  Kernel k;
+  ProcessId server = *k.CreateProcess("s", ToBytes("s"));
+  ProcessId client = *k.CreateProcess("c", ToBytes("c"));
+  PortId port = *k.CreatePort(server);
+  EchoHandler handler;
+  k.BindHandler(port, &handler);
+  CountingInterceptor interceptor;
+  ASSERT_TRUE(k.Interpose(server, port, &interceptor).ok());
+  std::vector<IpcMessage> messages(5, IpcMessage::Of("watched"));
+  std::vector<IpcReply> replies(5);
+  EXPECT_EQ(k.CallMany(client, port, messages, replies), 5u);
+  // Forward on every call, backward on every reply — per message, even
+  // though the batch crossed the boundary once.
+  EXPECT_EQ(interceptor.calls, 5);
+  EXPECT_EQ(interceptor.returns, 5);
+  EXPECT_EQ(handler.calls, 5);
+}
+
+TEST(CallManyTest, DenyBlocksIndividualMessages) {
+  // A monitor that denies a specific op blocks exactly those batch slots;
+  // the rest dispatch normally.
+  class DenyMarked : public Interceptor {
+   public:
+    explicit DenyMarked(OpId marked) : marked_(marked) {}
+    InterposeVerdict OnCall(const IpcContext&, IpcMessage& message) override {
+      return message.op == marked_ ? InterposeVerdict::kDeny : InterposeVerdict::kAllow;
+    }
+
+   private:
+    OpId marked_;
+  };
+  Kernel k;
+  ProcessId server = *k.CreateProcess("s", ToBytes("s"));
+  ProcessId client = *k.CreateProcess("c", ToBytes("c"));
+  PortId port = *k.CreatePort(server);
+  EchoHandler handler;
+  k.BindHandler(port, &handler);
+  DenyMarked monitor(InternOp("blocked-op"));
+  ASSERT_TRUE(k.Interpose(server, port, &monitor).ok());
+  std::vector<IpcMessage> messages = {IpcMessage::Of("fine-op"), IpcMessage::Of("blocked-op"),
+                                      IpcMessage::Of("fine-op")};
+  std::vector<IpcReply> replies(3);
+  EXPECT_EQ(k.CallMany(client, port, messages, replies), 2u);
+  EXPECT_TRUE(replies[0].status.ok());
+  EXPECT_EQ(replies[1].status.code(), ErrorCode::kPermissionDenied);
+  EXPECT_NE(replies[1].status.message().find("blocked by reference monitor"),
+            std::string::npos);
+  EXPECT_TRUE(replies[2].status.ok());
+  EXPECT_EQ(handler.calls, 2);
+}
+
+TEST(CallManyTest, ReplyDenyBlocksReply) {
+  Kernel k;
+  ProcessId server = *k.CreateProcess("s", ToBytes("s"));
+  ProcessId client = *k.CreateProcess("c", ToBytes("c"));
+  PortId port = *k.CreatePort(server);
+  EchoHandler handler;
+  k.BindHandler(port, &handler);
+  CountingInterceptor interceptor;
+  interceptor.deny_reply = true;
+  ASSERT_TRUE(k.Interpose(server, port, &interceptor).ok());
+  std::vector<IpcMessage> messages(2, IpcMessage::Of("x"));
+  std::vector<IpcReply> replies(2);
+  EXPECT_EQ(k.CallMany(client, port, messages, replies), 0u);
+  for (const IpcReply& reply : replies) {
+    EXPECT_EQ(reply.status.code(), ErrorCode::kPermissionDenied);
+    EXPECT_NE(reply.status.message().find("reply blocked by reference monitor"),
+              std::string::npos);
+  }
+  EXPECT_EQ(handler.calls, 2);  // The handler ran; the replies were confiscated.
+}
+
+TEST(CallManyTest, VerdictsMatchSerialCalls) {
+  // Equivalence: for good, oversized, and legacy-overlong messages, a
+  // batch produces exactly the per-message verdicts N serial Calls do —
+  // with and without a monitor (fast path vs general path).
+  IpcMessage good = IpcMessage::Of("equiv-op");
+  good.AddU64(5);
+  IpcMessage oversized = IpcMessage::Of("equiv-op");
+  oversized.data = Bytes(kMaxIpcData + 1, 'x');
+  IpcMessage overlong = IpcMessage::FromLegacy(std::string(kMaxLegacyOpName + 1, 'q'));
+  std::vector<IpcMessage> messages = {good, oversized, overlong};
+
+  for (int monitored = 0; monitored < 2; ++monitored) {
+    Kernel k;
+    ProcessId server = *k.CreateProcess("s", ToBytes("s"));
+    ProcessId client = *k.CreateProcess("c", ToBytes("c"));
+    PortId port = *k.CreatePort(server);
+    EchoHandler handler;
+    k.BindHandler(port, &handler);
+    CountingInterceptor monitor;
+    if (monitored) {
+      ASSERT_TRUE(k.Interpose(server, port, &monitor).ok());
+    }
+    std::vector<IpcReply> serial;
+    for (const IpcMessage& message : messages) {
+      serial.push_back(k.Call(client, port, message));
+    }
+    std::vector<IpcReply> batched(messages.size());
+    k.CallMany(client, port, messages, batched);
+    for (size_t i = 0; i < messages.size(); ++i) {
+      EXPECT_EQ(serial[i].status.code(), batched[i].status.code()) << monitored << ":" << i;
+    }
+    EXPECT_EQ(batched[0].status.code(), ErrorCode::kOk);
+    EXPECT_EQ(batched[1].status.code(), ErrorCode::kInvalidArgument);
+    EXPECT_EQ(batched[2].status.code(), ErrorCode::kInvalidArgument);
+  }
+}
+
+TEST(CallManyTest, ReservedPortsSurviveLifecycle) {
+  Kernel k;
+  // Reserved ids cannot be destroyed or re-minted.
+  EXPECT_EQ(k.DestroyPort(kFsBootPort).code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(k.DestroyPort(SyscallIpcPort(Syscall::kNull)).code(),
+            ErrorCode::kPermissionDenied);
+  // Dynamic ports mint above the reserved range.
+  ProcessId owner = *k.CreateProcess("o", ToBytes("o"));
+  EXPECT_GE(*k.CreatePort(owner), kFirstDynamicPort);
+  // A boot port claim binds owner + handler; killing the owner reverts the
+  // port to an unclaimed kernel slot instead of erasing it.
+  EchoHandler handler;
+  ASSERT_TRUE(k.ClaimBootPort(kFsBootPort, owner, &handler).ok());
+  EXPECT_EQ(*k.PortOwner(kFsBootPort), owner);
+  EXPECT_EQ(k.ClaimBootPort(kFsBootPort, owner, &handler).code(), ErrorCode::kAlreadyExists);
+  ASSERT_TRUE(k.KillProcess(owner).ok());
+  EXPECT_EQ(*k.PortOwner(kFsBootPort), kKernelProcessId);
+  ProcessId successor = *k.CreateProcess("o2", ToBytes("o"));
+  EXPECT_TRUE(k.ClaimBootPort(kFsBootPort, successor, &handler).ok());
+  // Non-reserved ids are refused by ClaimBootPort.
+  EXPECT_EQ(k.ClaimBootPort(kFirstDynamicPort, successor, &handler).code(),
+            ErrorCode::kInvalidArgument);
 }
 
 // -------------------------------------------------------------- Syscalls
@@ -1122,6 +1380,82 @@ TEST_F(FileServerTest, TypedReadPathBuildsNoTextPayloads) {
   }
   EXPECT_EQ(IpcTextPayloadCount(), before);
   kernel_.set_engine(nullptr);
+}
+
+TEST_F(FileServerTest, TypedReadPerformsZeroPayloadCopies) {
+  // The end-to-end zero-copy audit: a 64 KiB typed read must hand back a
+  // slice of the fileserver's backing arena — no payload memcpy anywhere
+  // between the store and the caller's reply.
+  constexpr size_t kBig = 64 * 1024;
+  fs_.CreateFile("/bench/big", Bytes(kBig, 0x5a));
+  IpcMessage open_msg;
+  open_msg.AddString("/bench/big");
+  int64_t fd = kernel_.Invoke(client_, Syscall::kOpen, open_msg).value();
+
+  IpcMessage read_msg;
+  read_msg.AddU64(static_cast<uint64_t>(fd)).AddU64(0).AddU64(kBig);
+  kernel_.Invoke(client_, Syscall::kRead, read_msg);  // Warm caches/interning.
+
+  uint64_t copies_before = IpcPayloadCopyCount();
+  IpcReply read;
+  for (int i = 0; i < 100; ++i) {
+    read = kernel_.Invoke(client_, Syscall::kRead, read_msg);
+  }
+  ASSERT_TRUE(read.status.ok());
+  EXPECT_EQ(IpcPayloadCopyCount(), copies_before);
+  EXPECT_EQ(read.data.size(), kBig);
+  EXPECT_TRUE(read.data.aliased());  // Borrowing the store, not owning a copy.
+  EXPECT_EQ(read.data.data()[0], 0x5a);
+  EXPECT_EQ(read.data.data()[kBig - 1], 0x5a);
+}
+
+TEST_F(FileServerTest, WriteDetachesOutstandingReadSlices) {
+  // Copy-on-write isolation: a read slice handed out before a write keeps
+  // observing the pre-write bytes; the write lands in a fresh arena.
+  fs_.CreateFile("/cow", ToBytes("original-content"));
+  int64_t fd = Syscall4(Syscall::kOpen, {"/cow"}).value();
+  IpcReply before = Syscall4(Syscall::kRead, {std::to_string(fd)});
+  ASSERT_EQ(ToString(before.data), "original-content");
+
+  ASSERT_TRUE(
+      Syscall4(Syscall::kWrite, {std::to_string(fd), "0"}, ToBytes("REWRITTEN"))
+          .status.ok());
+  EXPECT_EQ(ToString(before.data), "original-content");  // Slice unaffected.
+  IpcReply after = Syscall4(Syscall::kRead, {std::to_string(fd)});
+  EXPECT_EQ(ToString(after.data), "REWRITTENcontent");
+}
+
+TEST_F(FileServerTest, UnlinkLeavesOutstandingSlicesAlive) {
+  fs_.CreateFile("/doomed", ToBytes("still-here-after-unlink"));
+  int64_t fd = Syscall4(Syscall::kOpen, {"/doomed"}).value();
+  IpcReply read = Syscall4(Syscall::kRead, {std::to_string(fd)});
+  ASSERT_TRUE(read.status.ok());
+  IpcMessage unlink = IpcMessage::Of("unlink");
+  unlink.AddString("/doomed");
+  ASSERT_TRUE(kernel_.Call(client_, port_, unlink).status.ok());
+  // The map entry is gone but the arena lives as long as the slice does.
+  EXPECT_FALSE(fs_.ReadFile("/doomed").ok());
+  EXPECT_EQ(ToString(read.data), "still-here-after-unlink");
+}
+
+TEST_F(FileServerTest, BatchedReadsViaCallMany) {
+  // CallMany straight at the fileserver port exercises HandleMany's
+  // prefetch-batch authorization path; replies stay zero-copy slices.
+  fs_.CreateFile("/batch", ToBytes("abcdefgh"));
+  int64_t fd = Syscall4(Syscall::kOpen, {"/batch"}).value();
+  std::vector<IpcMessage> messages(4);
+  for (size_t i = 0; i < messages.size(); ++i) {
+    messages[i] = IpcMessage::Of("read");
+    messages[i].AddU64(static_cast<uint64_t>(fd)).AddU64(i * 2).AddU64(2);
+  }
+  std::vector<IpcReply> replies(4);
+  uint64_t copies_before = IpcPayloadCopyCount();
+  EXPECT_EQ(kernel_.CallMany(client_, port_, messages, replies), 4u);
+  EXPECT_EQ(IpcPayloadCopyCount(), copies_before);
+  EXPECT_EQ(ToString(replies[0].data), "ab");
+  EXPECT_EQ(ToString(replies[1].data), "cd");
+  EXPECT_EQ(ToString(replies[2].data), "ef");
+  EXPECT_EQ(ToString(replies[3].data), "gh");
 }
 
 TEST_F(FileServerTest, AccessControlEnforcedPerFile) {
