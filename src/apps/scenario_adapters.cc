@@ -5,8 +5,12 @@
 #include <span>
 #include <vector>
 
+#include "apps/federation.h"
 #include "nal/parser.h"
 #include "nal/proof.h"
+#include "net/transport.h"
+#include "tpm/tpm.h"
+#include "util/rng.h"
 
 namespace nexus::apps {
 
@@ -66,6 +70,25 @@ ScenarioSpec TrudocsScenario() {
   return spec;
 }
 
+ScenarioSpec FederationScenario() {
+  ScenarioSpec spec;
+  spec.name = "federation";
+  spec.read_op = "fed_read";
+  spec.write_op = "fed_post";
+  spec.object_prefix = "fed:obj:";
+  spec.certifier = "HomeCA";
+  spec.credential = "present(user)";
+  spec.allow_goal = "HomeCA says present(user)";
+  spec.deny_goal = "HomeCA says absent(user)";
+  spec.interposed = false;
+  // Every engine miss must cross the fabric: the goal carries a session-
+  // liveness conjunct only a K-of-N quorum of home instances can vouch.
+  spec.authority_leaf = "Session says sessionActive(fleet)";
+  spec.federation_homes = 3;
+  spec.federation_quorum = 2;
+  return spec;
+}
+
 Result<ScenarioSpec> ScenarioByName(std::string_view name) {
   if (name == "fauxbook") {
     return FauxbookScenario();
@@ -79,11 +102,14 @@ Result<ScenarioSpec> ScenarioByName(std::string_view name) {
   if (name == "trudocs") {
     return TrudocsScenario();
   }
+  if (name == "federation") {
+    return FederationScenario();
+  }
   return InvalidArgument("unknown scenario: " + std::string(name));
 }
 
 std::vector<std::string> ScenarioNames() {
-  return {"fauxbook", "ddrm", "movie_player", "trudocs"};
+  return {"fauxbook", "ddrm", "movie_player", "trudocs", "federation"};
 }
 
 // The guarded service: every read/write IPC re-enters kernel
@@ -146,6 +172,20 @@ struct WorkloadScenario::AuditedObjectState {
   bool allow = true;  // Setup installs the allow goal first.
 };
 
+// The federated scenario's world outside the audited nexus: home Nexus
+// instances on a simulated fabric, meshed with the provider. Declaration
+// order is destruction order in reverse: the federation (which installed
+// the provider's quorum and kernel sink wiring) must die before the homes
+// and the transport it references.
+struct WorkloadScenario::FederationBacking {
+  explicit FederationBacking(uint64_t seed) : transport(seed) {}
+
+  net::Transport transport;
+  std::vector<std::unique_ptr<tpm::Tpm>> tpms;
+  std::vector<std::unique_ptr<core::Nexus>> homes;
+  std::unique_ptr<PresenceFederation> federation;
+};
+
 WorkloadScenario::WorkloadScenario(core::Nexus* nexus, ScenarioSpec spec)
     : nexus_(nexus), spec_(std::move(spec)) {}
 
@@ -170,6 +210,18 @@ Status WorkloadScenario::Setup(const Params& params) {
   NEXUS_RETURN_IF_ERROR(credential.status());
   allow_goal_ = *allow;
   deny_goal_ = *deny;
+  if (!spec_.authority_leaf.empty()) {
+    Result<nal::Formula> leaf = nal::ParseFormula(spec_.authority_leaf);
+    NEXUS_RETURN_IF_ERROR(leaf.status());
+    authority_leaf_ = *leaf;
+    // The installed allow goal is the conjunction; holder proofs discharge
+    // the left conjunct from the certifier's label and the right through
+    // the guard's authority consultation (the quorum, when federated).
+    allow_goal_ = nal::FormulaNode::And(*allow, authority_leaf_);
+  }
+  if (spec_.federation_homes > 0) {
+    NEXUS_RETURN_IF_ERROR(SetupFederation());
+  }
   allow_goal_id_ = nal::Interner::Global().Intern(allow_goal_);
   deny_goal_id_ = nal::Interner::Global().Intern(deny_goal_);
   read_op_ = kernel::InternOp(spec_.read_op);
@@ -210,9 +262,12 @@ Status WorkloadScenario::Setup(const Params& params) {
     NEXUS_RETURN_IF_ERROR(holder.status());
     proof_holders_.push_back(*holder);
     for (size_t o = 0; o < audited_; ++o) {
+      nal::Proof proof = authority_leaf_ == nullptr
+                             ? nal::proof::Premise(allow_goal_)
+                             : nal::proof::AndIntro(nal::proof::Premise(*allow),
+                                                    nal::proof::Authority(authority_leaf_));
       NEXUS_RETURN_IF_ERROR(engine.SetProof(
-          kernel::AuthzRequest{*holder, read_op_, objects_[o]},
-          nal::proof::Premise(allow_goal_)));
+          kernel::AuthzRequest{*holder, read_op_, objects_[o]}, std::move(proof)));
     }
   }
 
@@ -227,6 +282,36 @@ Status WorkloadScenario::Setup(const Params& params) {
     NEXUS_RETURN_IF_ERROR(kernel.Interpose(server_, service_port_, monitor_.get()).status());
   }
   return OkStatus();
+}
+
+Status WorkloadScenario::SetupFederation() {
+  // The session name must match the authority_leaf's argument.
+  static constexpr const char* kSession = "fleet";
+  federation_ = std::make_unique<FederationBacking>(/*seed=*/0x5EED);
+  for (size_t i = 0; i < spec_.federation_homes; ++i) {
+    Rng rng(0xFED0 + i);  // Entropy is consumed at construction only.
+    federation_->tpms.push_back(std::make_unique<tpm::Tpm>(rng));
+    federation_->homes.push_back(
+        std::make_unique<core::Nexus>(federation_->tpms.back().get()));
+  }
+  std::vector<core::Nexus*> homes;
+  homes.reserve(federation_->homes.size());
+  for (auto& home : federation_->homes) {
+    homes.push_back(home.get());
+  }
+  PresenceFederation::Config config;
+  config.quorum = spec_.federation_quorum;
+  federation_->federation =
+      std::make_unique<PresenceFederation>(nexus_, homes, &federation_->transport, config);
+  PresenceFederation& fed = *federation_->federation;
+  NEXUS_RETURN_IF_ERROR(fed.init_status());
+  NEXUS_RETURN_IF_ERROR(fed.Connect());
+  // Prove the presence path end to end once — keypresses at home 0, the
+  // certificate through the mesh, a quorum-vouched signup at the provider
+  // — then leave the session live for the workload's authority leaf.
+  fed.Type(kSession, static_cast<int>(config.min_keypresses) + 1);
+  NEXUS_RETURN_IF_ERROR(fed.ShipPresence(kSession));
+  return fed.SignUp(kSession);
 }
 
 Status WorkloadScenario::Authorize(kernel::ProcessId subject, size_t object_index) {

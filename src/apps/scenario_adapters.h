@@ -36,13 +36,25 @@ struct ScenarioSpec {
   std::string allow_goal;   // Provable goal (its premise proof checks out).
   std::string deny_goal;    // Unprovable goal the mutator flips to.
   bool interposed = false;  // DDRM monitor on the service port.
+  // Authority-vouched conjunct: when non-empty, the installed allow goal
+  // becomes And(allow_goal, authority_leaf) and holder proofs discharge
+  // the leaf via the guard's (remote) authority consultation — every
+  // engine miss crosses the fabric.
+  std::string authority_leaf;
+  // Mesh federation backing: when > 0, Setup stands up this many home
+  // Nexus instances on a simulated transport, meshes them with the
+  // workload's nexus (PresenceFederation), and the authority_leaf routes
+  // through a K-of-N QuorumAuthority over the homes.
+  size_t federation_homes = 0;
+  size_t federation_quorum = 0;  // K; 0 = majority of homes.
 };
 
 ScenarioSpec FauxbookScenario();
 ScenarioSpec DdrmScenario();
 ScenarioSpec MoviePlayerScenario();
 ScenarioSpec TrudocsScenario();
-// "fauxbook" | "ddrm" | "movie_player" | "trudocs".
+ScenarioSpec FederationScenario();
+// "fauxbook" | "ddrm" | "movie_player" | "trudocs" | "federation".
 Result<ScenarioSpec> ScenarioByName(std::string_view name);
 std::vector<std::string> ScenarioNames();
 
@@ -96,15 +108,18 @@ class WorkloadScenario {
   WorkloadScenario(core::Nexus* nexus, ScenarioSpec spec);
 
   Status Setup(const Params& params);
+  Status SetupFederation();
 
   class GuardedObjectServer;
+  struct FederationBacking;
 
   core::Nexus* nexus_;
   ScenarioSpec spec_;
   kernel::OpId read_op_ = 0;
   kernel::OpId write_op_ = 0;
-  nal::Formula allow_goal_;
+  nal::Formula allow_goal_;   // Conjoined with authority_leaf_ when set.
   nal::Formula deny_goal_;
+  nal::Formula authority_leaf_;  // nullptr when the spec has no leaf.
   nal::FormulaId allow_goal_id_ = 0;
   nal::FormulaId deny_goal_id_ = 0;
   kernel::ProcessId server_ = 0;
@@ -114,6 +129,8 @@ class WorkloadScenario {
   std::vector<kernel::ProcessId> proof_holders_;
   std::unique_ptr<GuardedObjectServer> handler_;
   std::unique_ptr<services::DeviceDriverMonitor> monitor_;
+  // Home instances + transport + mesh + quorum (federated scenarios).
+  std::unique_ptr<FederationBacking> federation_;
   // FlipGoal serialization + per-object flip parity. The mutation log
   // records install order only if installs on one (op, obj) are
   // externally serialized — the auditor's documented requirement.

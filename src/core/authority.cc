@@ -16,11 +16,27 @@ class ReadyVouchFuture : public VouchFuture {
   std::vector<bool> answers_;
 };
 
+// The trivial detailed future, mirroring ReadyVouchFuture.
+class ReadyDetailedVouchFuture : public DetailedVouchFuture {
+ public:
+  explicit ReadyDetailedVouchFuture(VouchOutcome outcome) : outcome_(std::move(outcome)) {}
+  VouchOutcome Wait() override { return std::move(outcome_); }
+
+ private:
+  VouchOutcome outcome_;
+};
+
 }  // namespace
 
 std::unique_ptr<VouchFuture> Authority::VouchBatchAsync(
     std::span<const nal::Formula> statements, uint64_t timeout_us) {
   return std::make_unique<ReadyVouchFuture>(VouchBatch(statements, timeout_us));
+}
+
+std::unique_ptr<DetailedVouchFuture> Authority::VouchBatchAsyncDetailed(
+    std::span<const nal::Formula> statements, uint64_t timeout_us) {
+  return std::make_unique<ReadyDetailedVouchFuture>(
+      VouchOutcome{VouchBatch(statements, timeout_us), /*responsive=*/true});
 }
 
 kernel::IpcReply AuthorityPortHandler::Handle(const kernel::IpcContext& context,

@@ -31,6 +31,24 @@ class VouchFuture {
   virtual std::vector<bool> Wait() = 0;
 };
 
+// A batch answer that distinguishes "the authority said no" from "no answer
+// arrived at all". Both still read as deny to a guard — fail closed — but a
+// quorum layer aggregating several authorities needs the difference: an
+// unresponsive member is skipped/backed off, a responsive deny is a vote.
+struct VouchOutcome {
+  std::vector<bool> answers;  // One per issued statement, issue order.
+  bool responsive = true;     // False: timeout / loss / unreachable peer —
+                              // `answers` is all-false filler, not votes.
+};
+
+// The detailed analogue of VouchFuture; same single-Wait contract, same
+// §2.7 freshness rules on the answers.
+class DetailedVouchFuture {
+ public:
+  virtual ~DetailedVouchFuture() = default;
+  virtual VouchOutcome Wait() = 0;
+};
+
 class Authority {
  public:
   virtual ~Authority() = default;
@@ -75,6 +93,14 @@ class Authority {
   // flight NOW and collect it at Wait(). The deadline clock starts at
   // issue time, exactly as the blocking path's does.
   virtual std::unique_ptr<VouchFuture> VouchBatchAsync(
+      std::span<const nal::Formula> statements, uint64_t timeout_us);
+
+  // VouchBatchAsync with responsiveness attached (see VouchOutcome). The
+  // default wraps VouchBatch and is always responsive — correct for local
+  // authorities, which cannot lose answers. RemoteAuthority overrides it;
+  // QuorumAuthority (src/net/mesh) consumes it to tell deny-votes from
+  // dead peers.
+  virtual std::unique_ptr<DetailedVouchFuture> VouchBatchAsyncDetailed(
       std::span<const nal::Formula> statements, uint64_t timeout_us);
 };
 

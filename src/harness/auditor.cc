@@ -34,7 +34,8 @@ std::string TraceAuditor::Report::Summary() const {
     out += " (serializability=" + std::to_string(serializability_violations);
     out += " stale_generation=" + std::to_string(stale_generation_violations);
     out += " guard_bypass=" + std::to_string(guard_bypass_violations);
-    out += " interposition=" + std::to_string(interposition_violations) + ")";
+    out += " interposition=" + std::to_string(interposition_violations);
+    out += " stale_remote=" + std::to_string(remote_invalidation_violations) + ")";
   }
   return out;
 }
@@ -129,6 +130,33 @@ void TraceAuditor::FinalizeRun(size_t ring, RingState* state, bool complete_tail
 }
 
 void TraceAuditor::CheckRingMonotonicity(size_t ring, const TraceEvent& event) {
+  if (event.stage == TraceStage::kRemoteInvalidate) {
+    // A peer's invalidation was applied here: raise this ring's high-water
+    // marks for EVERY shard of the pair's subregion, tagged remote. The
+    // event's generation word only holds the max over shards; the exact
+    // per-shard stamps live in the mutation record, joined by
+    // (pair, epoch) — IngestMutations runs before IngestSegment within a
+    // harvest and the propagator appends the record before emitting the
+    // event, so the join entry is always present. A missing entry (hand-
+    // fed trace) soundly raises nothing.
+    auto join = remote_inval_gens_.find(
+        std::make_pair(PairKey(event.op, event.obj), event.aux));
+    if (join == remote_inval_gens_.end()) {
+      return;
+    }
+    size_t subregion = SubregionOf(event.op, event.obj);
+    auto& marks = ring_gen_seen_[ring];
+    for (size_t shard = 0; shard < join->second.size() && shard < config_.cache_shards;
+         ++shard) {
+      uint64_t key = static_cast<uint64_t>(subregion) * config_.cache_shards + shard;
+      GenMark& mark = marks[key];
+      if (join->second[shard] > mark.gen) {
+        mark.gen = join->second[shard];
+        mark.remote = true;
+      }
+    }
+    return;
+  }
   // Only decision-plane generation stamps participate (kGuardCheck reuses
   // the generation word for the observed goal id — a different axis).
   if (event.generation == 0 ||
@@ -138,16 +166,29 @@ void TraceAuditor::CheckRingMonotonicity(size_t ring, const TraceEvent& event) {
   uint64_t key = static_cast<uint64_t>(SubregionOf(event.op, event.obj)) *
                      config_.cache_shards +
                  ShardOf(event.subject);
-  uint64_t& high_water = ring_gen_seen_[ring][key];
-  if (event.generation < high_water) {
-    AddViolation(&report_.stale_generation_violations, "stale_generation",
-                 "ring " + std::to_string(ring) + " " + DescribeTuple(event) +
-                     " stage=" + std::string(kernel::TraceStageName(event.stage)) +
-                     " gen=" + std::to_string(event.generation) +
-                     " below ring high-water " + std::to_string(high_water));
+  GenMark& mark = ring_gen_seen_[ring][key];
+  if (event.generation < mark.gen) {
+    if (mark.remote) {
+      // The mark was raised by a peer's invalidation: this verdict (or
+      // probe) served a cached answer the mesh already retired — the
+      // cross-node coherence failure the propagator exists to prevent.
+      AddViolation(&report_.remote_invalidation_violations, "stale_remote_verdict",
+                   "ring " + std::to_string(ring) + " " + DescribeTuple(event) +
+                       " stage=" + std::string(kernel::TraceStageName(event.stage)) +
+                       " gen=" + std::to_string(event.generation) +
+                       " below remote-invalidation high-water " +
+                       std::to_string(mark.gen));
+    } else {
+      AddViolation(&report_.stale_generation_violations, "stale_generation",
+                   "ring " + std::to_string(ring) + " " + DescribeTuple(event) +
+                       " stage=" + std::string(kernel::TraceStageName(event.stage)) +
+                       " gen=" + std::to_string(event.generation) +
+                       " below ring high-water " + std::to_string(mark.gen));
+    }
     return;  // Keep the high-water mark; one bad stamp flags once.
   }
-  high_water = event.generation;
+  mark.gen = event.generation;
+  mark.remote = false;  // A locally-served stamp at/above the mark clears it.
 }
 
 void TraceAuditor::CheckChain(size_t ring, const std::vector<TraceEvent>& chain,
@@ -388,6 +429,18 @@ void TraceAuditor::IngestMutations(std::span<const kernel::MutationRecord> recor
     }
     for (size_t i = 0; i < r.generations.size(); ++i) {
       timeline.max_gens[i] = std::max(timeline.max_gens[i], r.generations[i]);
+    }
+    if (r.kind == kernel::MutationKind::kRemoteInvalidate) {
+      // Not a goal change here — the goal changed on the ORIGIN node.
+      // Retain the exact per-shard stamps so the matching flight-recorder
+      // event (joined by pair + epoch in r.detail) can raise per-shard
+      // ring high-waters in CheckRingMonotonicity.
+      if (remote_inval_gens_.size() >= kMaxRemoteInvalJoin) {
+        remote_inval_gens_.erase(remote_inval_gens_.begin());
+      }
+      remote_inval_gens_[std::make_pair(PairKey(r.op, r.obj), r.detail)] =
+          r.generations;
+      continue;
     }
     bool goal_change = r.kind == kernel::MutationKind::kSetGoal ||
                        r.kind == kernel::MutationKind::kClearGoal;

@@ -101,11 +101,16 @@ class TraceAuditor {
     uint64_t stale_generation_violations = 0;
     uint64_t guard_bypass_violations = 0;
     uint64_t interposition_violations = 0;
+    // A verdict served below a ring high-water mark raised by a REMOTE
+    // invalidation (mesh cross-node coherence): the cached answer outlived
+    // a peer's goal/proof change that should have retired it.
+    uint64_t remote_invalidation_violations = 0;
     std::vector<Violation> samples;  // First max_violation_samples.
 
     uint64_t total_violations() const {
       return serializability_violations + stale_generation_violations +
-             guard_bypass_violations + interposition_violations;
+             guard_bypass_violations + interposition_violations +
+             remote_invalidation_violations;
     }
     bool clean() const { return total_violations() == 0; }
     std::string Summary() const;
@@ -225,8 +230,20 @@ class TraceAuditor {
   std::set<kernel::PortId> interposed_ports_;
   std::map<size_t, Timeline> timelines_;           // By subregion index.
   std::map<size_t, RingState> ring_states_;        // By ring index.
-  // Per ring: high-water generation per (subregion, shard).
-  std::map<size_t, std::unordered_map<uint64_t, uint64_t>> ring_gen_seen_;
+  // Per ring: high-water generation per (subregion, shard), tagged with
+  // whether a remote invalidation (mesh) was the last raiser — a verdict
+  // below a remote-raised mark is a cross-node coherence violation, below
+  // a locally-raised one a plain stale_generation.
+  struct GenMark {
+    uint64_t gen = 0;
+    bool remote = false;
+  };
+  std::map<size_t, std::unordered_map<uint64_t, GenMark>> ring_gen_seen_;
+  // Join table for kRemoteInvalidate EVENTS: (PairKey, epoch) -> the exact
+  // per-shard post-bump generations their mutation record carried. One
+  // trace event cannot hold per-shard vectors; the record can. Bounded.
+  static constexpr size_t kMaxRemoteInvalJoin = 8192;
+  std::map<std::pair<uint64_t, uint64_t>, std::vector<uint64_t>> remote_inval_gens_;
   std::vector<PendingVerdict> pending_;
   kernel::FlightRecorder::DrainCursor event_cursor_;
   uint64_t mutation_cursor_ = 0;

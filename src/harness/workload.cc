@@ -1,5 +1,6 @@
 #include "harness/workload.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <fstream>
@@ -137,6 +138,38 @@ void EmitForgedRewrittenReply(kernel::ProcessId subject, kernel::OpId op,
   }
 }
 
+// Replays what the mesh InvalidationPropagator does when a peer's
+// invalidation arrives: a REAL subregion bump plus the epoch-stamped
+// mutation record and kRemoteInvalidate trace event carrying the exact
+// post-bump generations. (The record goes first — the auditor's harvest
+// ingests mutations before events, and the join needs the record.)
+void ApplyForgedRemoteInvalidation(kernel::Kernel* kernel, kernel::OpId op,
+                                   kernel::ObjectId obj, uint64_t epoch) {
+  std::vector<uint64_t> post_gens;
+  kernel->decision_cache().InvalidateSubregion(op, obj, &post_gens);
+  kernel::MutationRecord record;
+  record.kind = kernel::MutationKind::kRemoteInvalidate;
+  record.op = op;
+  record.obj = obj;
+  record.detail = epoch;
+  record.generations = post_gens;
+  kernel::MutationLog::Global().Append(record);
+  kernel::TraceScope scope;
+  if (!scope.active()) {
+    return;
+  }
+  kernel::TraceEvent event;
+  event.trace_id = scope.id();
+  event.op = op;
+  event.obj = obj;
+  event.aux = epoch;
+  event.flags = kernel::kTraceFlagRemote;
+  event.stage = kernel::TraceStage::kRemoteInvalidate;
+  event.generation =
+      post_gens.empty() ? 0 : *std::max_element(post_gens.begin(), post_gens.end());
+  kernel::FlightRecorder::Global().Emit(event);
+}
+
 }  // namespace
 
 std::string WorkloadReport::ToJson() const {
@@ -197,6 +230,9 @@ std::string WorkloadReport::ToJson() const {
   AppendJsonField(&out, "guard_bypass_violations", audit.guard_bypass_violations, false);
   out += ", ";
   AppendJsonField(&out, "interposition_violations", audit.interposition_violations, false);
+  out += ", ";
+  AppendJsonField(&out, "remote_invalidation_violations",
+                  audit.remote_invalidation_violations, false);
   out += ", ";
   AppendJsonField(&out, "clean", audit.clean() ? 1 : 0, false);
   out += "}\n}\n";
@@ -396,6 +432,17 @@ Result<WorkloadReport> WorkloadDriver::Run() {
       // kReplyInterpose stage: the reply-path invariant must flag it.
       EmitForgedRewrittenReply(sc.proof_holders().empty() ? 1 : sc.proof_holders()[0],
                                sc.read_op(), sc.service_port());
+    }
+    if (config_.inject_stale_remote_verdict && sc.audited() > 0) {
+      // A peer's invalidation retires the pair's subregion here, then a
+      // verdict below the remote-raised mark is served — a cached answer
+      // that outlived its cross-node retirement. Probe gen 0 keeps the
+      // probe out of the monotonicity check; verdict gen 1 sits below any
+      // post-bump stamp (setup's SetGoal alone bumps past it).
+      ApplyForgedRemoteInvalidation(&nexus.kernel(), sc.read_op(), sc.objects()[0],
+                                    /*epoch=*/1);
+      EmitForgedVerdict(sc.proof_holders()[0], sc.read_op(), sc.objects()[0],
+                        /*probe_gen=*/0, /*verdict_gen=*/1, kernel::kTraceVerdictAllow);
     }
   }
 

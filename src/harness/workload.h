@@ -62,6 +62,12 @@ struct WorkloadConfig {
   // Completed interposed call missing its kReplyInterpose stage (reply
   // bypassed the monitor chain). Needs an interposed scenario (ddrm).
   bool inject_rewritten_reply = false;
+  // Mesh coherence: apply a simulated remote invalidation (real cache bump
+  // + kRemoteInvalidate record/event, as the mesh propagator emits), then
+  // forge a verdict BELOW the remote-raised high-water — a cached answer
+  // served past its cross-node retirement. Must be attributed to
+  // remote_invalidation_violations, not plain stale_generation.
+  bool inject_stale_remote_verdict = false;
 };
 
 struct WorkloadReport {

@@ -1351,10 +1351,16 @@ Result<ObjectId> Kernel::ProcObjectFor(ProcessId caller, std::string_view path) 
 
 void Kernel::OnProofUpdate(const AuthzRequest& request, uint64_t* post_gen) {
   decision_cache_.InvalidateEntry(request, post_gen);
+  if (invalidation_sink_) {
+    invalidation_sink_(request.op, request.obj);
+  }
 }
 
 void Kernel::OnGoalUpdate(OpId op, ObjectId obj, std::vector<uint64_t>* post_gens) {
   decision_cache_.InvalidateSubregion(op, obj, post_gens);
+  if (invalidation_sink_) {
+    invalidation_sink_(op, obj);
+  }
 }
 
 void Kernel::ReplaceScheduler(std::unique_ptr<Scheduler> scheduler) {

@@ -308,6 +308,17 @@ class Kernel {
     OnGoalUpdate(InternOp(operation), InternObject(object));
   }
 
+  // Cluster fan-out hook (src/net/mesh): invoked AFTER a local goal/proof
+  // mutation bumped this kernel's decision cache, with the (op, obj) pair
+  // whose subregion was retired — the mesh layer broadcasts an epoch-
+  // stamped invalidation to peers so THEIR cached verdicts retire too.
+  // Install during boot wiring, before concurrent traffic; the sink runs
+  // on the mutating thread with no kernel locks held and must not call
+  // back into OnGoalUpdate/OnProofUpdate (the mesh applies remote
+  // invalidations straight to the cache for exactly that reason).
+  using InvalidationSink = std::function<void(OpId op, ObjectId obj)>;
+  void set_invalidation_sink(InvalidationSink sink) { invalidation_sink_ = std::move(sink); }
+
   // ----------------------------------------------------------- Services
   IntrospectionFs& procfs() { return procfs_; }
   const IntrospectionFs& procfs() const { return procfs_; }
@@ -425,6 +436,7 @@ class Kernel {
   AuthorizationEngine* engine_ = nullptr;
   std::atomic<bool> decision_cache_enabled_{true};
   DecisionCache decision_cache_;
+  InvalidationSink invalidation_sink_;  // Boot-wired; see set_invalidation_sink.
 
   // §2.9 name quotas for the untrusted intern surfaces. The op vocabulary
   // is orders of magnitude smaller than the object space, so its default

@@ -57,6 +57,8 @@ std::string_view TraceStageName(TraceStage stage) {
       return "verdict";
     case TraceStage::kReplyInterpose:
       return "reply_interpose";
+    case TraceStage::kRemoteInvalidate:
+      return "remote_invalidate";
   }
   return "unknown";
 }
@@ -331,6 +333,8 @@ std::string_view MutationKindName(MutationKind kind) {
       return "clearproof";
     case MutationKind::kSay:
       return "say";
+    case MutationKind::kRemoteInvalidate:
+      return "remote_invalidate";
   }
   return "unknown";
 }

@@ -64,6 +64,14 @@ enum class TraceStage : uint8_t {
                     // (aux = port). Emitted AFTER the monitors ran, so the
                     // auditor can require it on every completed interposed
                     // call: a reply the chain never saw has no such event.
+  kRemoteInvalidate,  // A peer instance's goal/proof mutation retired this
+                      // instance's cached verdicts for (op, obj) (aux = the
+                      // origin's invalidation epoch, generation = max
+                      // post-bump subregion generation). Emitted AFTER the
+                      // subregion bump, so any later verdict on the emitting
+                      // thread observes at least the stamped generations —
+                      // the ordering the auditor's stale-remote-verdict rule
+                      // relies on (see harness/auditor.cc).
 };
 
 inline constexpr uint16_t kTraceFlagCacheHit = 1u << 0;
@@ -242,6 +250,13 @@ enum class MutationKind : uint8_t {
   kSetProof,
   kClearProof,
   kSay,
+  // A cross-node invalidation applied by the mesh (src/net/mesh): a peer's
+  // goal/proof mutation, replayed here as a subregion clear. `detail` is
+  // the origin's epoch; `generations` are the exact post-bump stamps, same
+  // contract as local goal mutations. Not a goal CHANGE from the auditor's
+  // perspective (the goal text lives on the origin node) — it only moves
+  // the generation frontier.
+  kRemoteInvalidate,
 };
 
 std::string_view MutationKindName(MutationKind kind);

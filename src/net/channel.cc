@@ -180,7 +180,15 @@ Status AttestedChannel::Connect() {
     return OkStatus();
   }
   state_ = ChannelState::kConnecting;
-  local_hello_bytes_ = MakeLocalHello().Serialize();
+  // Generate the hello exactly once per channel. A retry after message
+  // loss must resend the SAME bytes: the responder pins the first hello it
+  // sees on a channel id and answers duplicates with its cached hello_ack,
+  // so a regenerated (fresh-nonce) hello would be ignored forever and wedge
+  // the handshake. Freshness is per-handshake, not per-transmission — the
+  // transcript signatures pin this nonce either way.
+  if (local_hello_bytes_.empty()) {
+    local_hello_bytes_ = MakeLocalHello().Serialize();
+  }
   Status sent = transport_->Send(
       Message{self_, peer_, channel_id_, "hello", local_hello_bytes_});
   if (!sent.ok()) {
@@ -247,6 +255,10 @@ void AttestedChannel::HandleHello(const Message& message) {
     }
     enc_share_responder_ = *enc;
   }
+  SendHelloAck();
+}
+
+void AttestedChannel::SendHelloAck() {
   Bytes ack;
   AppendLengthPrefixed(ack, local_hello_bytes_);
   AppendLengthPrefixed(ack, enc_share_responder_);
@@ -391,6 +403,15 @@ Status AttestedChannel::SendData(const std::string& service, uint64_t request_id
 
 void AttestedChannel::HandleData(const Message& message) {
   if (!established()) {
+    // Data while we are still mid-handshake means the peer established and
+    // our last handshake message was lost. A responder re-acks: the
+    // established initiator answers a duplicate ack by resending its cached
+    // auth, which completes us. (The data message itself is lost — callers
+    // retry at their own layer.)
+    if (!initiator_ && state_ == ChannelState::kConnecting &&
+        !peer_hello_bytes_.empty() && !enc_share_responder_.empty()) {
+      SendHelloAck();
+    }
     return;
   }
   ByteReader reader(message.payload);

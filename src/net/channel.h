@@ -144,6 +144,7 @@ class AttestedChannel {
   void Fail(const std::string& reason);
 
   void HandleHello(const Message& message);
+  void SendHelloAck();
   void HandleHelloAck(const Message& message);
   void HandleAuth(const Message& message);
   void HandleData(const Message& message);

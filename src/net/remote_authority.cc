@@ -143,7 +143,10 @@ bool RemoteAuthority::VouchesWithin(const nal::Formula& statement, uint64_t time
   Result<Bytes> answer = (*channel)->Call(std::string(AuthorityService::kServiceName),
                                           ToBytes(statement->ToString()), timeout_us);
   if (!answer.ok()) {
-    stats_.denied_unreachable->Increment();
+    // The request was in flight on an established channel; the reply was
+    // lost or late. A timeout-deny, not an unreachable-deny — the metrics
+    // split tells a flapping peer from a dead one.
+    stats_.denied_timeout->Increment();
     EmitRemoteVouch(1, false);
     return false;  // Lost or late: the deadline IS the answer (deny).
   }
@@ -156,28 +159,43 @@ bool RemoteAuthority::VouchesWithin(const nal::Formula& statement, uint64_t time
 namespace {
 
 // A future whose Wait() runs a deferred collection step (or, for failures
-// detected at issue time, just returns the fail-closed answers).
-class FunctionVouchFuture : public core::VouchFuture {
+// detected at issue time, just returns the fail-closed outcome).
+class FunctionDetailedVouchFuture : public core::DetailedVouchFuture {
  public:
-  explicit FunctionVouchFuture(std::function<std::vector<bool>()> collect)
+  explicit FunctionDetailedVouchFuture(std::function<core::VouchOutcome()> collect)
       : collect_(std::move(collect)) {}
-  std::vector<bool> Wait() override { return collect_(); }
+  core::VouchOutcome Wait() override { return collect_(); }
 
  private:
-  std::function<std::vector<bool>()> collect_;
+  std::function<core::VouchOutcome()> collect_;
+};
+
+// Adapter stripping the responsiveness bit for the plain-future surface.
+class AnswersOnlyVouchFuture : public core::VouchFuture {
+ public:
+  explicit AnswersOnlyVouchFuture(std::unique_ptr<core::DetailedVouchFuture> detailed)
+      : detailed_(std::move(detailed)) {}
+  std::vector<bool> Wait() override { return detailed_->Wait().answers; }
+
+ private:
+  std::unique_ptr<core::DetailedVouchFuture> detailed_;
 };
 
 }  // namespace
 
-std::unique_ptr<core::VouchFuture> RemoteAuthority::VouchBatchAsync(
+std::unique_ptr<core::DetailedVouchFuture> RemoteAuthority::VouchBatchAsyncDetailed(
     std::span<const nal::Formula> statements, uint64_t timeout_us) {
   size_t count = statements.size();
-  auto fail_closed = [count] {
-    return std::make_unique<FunctionVouchFuture>(
-        [count] { return std::vector<bool>(count, false); });
+  // Answers are all-false filler; `responsive` records whether they are
+  // real votes. Everything unresponsive still denies — fail closed.
+  auto unresponsive = [count] {
+    return std::make_unique<FunctionDetailedVouchFuture>([count] {
+      return core::VouchOutcome{std::vector<bool>(count, false), /*responsive=*/false};
+    });
   };
   if (count == 0) {
-    return fail_closed();
+    return std::make_unique<FunctionDetailedVouchFuture>(
+        [] { return core::VouchOutcome{{}, /*responsive=*/true}; });
   }
   stats_.queries->Increment(count);
   stats_.batch_round_trips->Increment();
@@ -188,7 +206,7 @@ std::unique_ptr<core::VouchFuture> RemoteAuthority::VouchBatchAsync(
   if (!channel.ok()) {
     stats_.denied_unreachable->Increment(count);
     EmitRemoteVouch(count, false);
-    return fail_closed();  // Unreachable or untrusted peer: fail closed.
+    return unresponsive();  // Unreachable or untrusted peer: fail closed.
   }
   Bytes payload;
   AppendU32(payload, static_cast<uint32_t>(count));
@@ -200,27 +218,31 @@ std::unique_ptr<core::VouchFuture> RemoteAuthority::VouchBatchAsync(
   if (!request.ok()) {
     stats_.denied_unreachable->Increment(count);
     EmitRemoteVouch(count, false);
-    return fail_closed();
+    return unresponsive();
   }
   AttestedChannel* ch = *channel;
   uint64_t request_id = *request;
-  return std::make_unique<FunctionVouchFuture>([this, ch, request_id, count] {
-    std::vector<bool> answers(count, false);
+  return std::make_unique<FunctionDetailedVouchFuture>([this, ch, request_id, count] {
+    core::VouchOutcome outcome{std::vector<bool>(count, false), /*responsive=*/true};
     Result<Bytes> reply = ch->CallFinish(request_id);
     if (!reply.ok()) {
-      stats_.denied_unreachable->Increment(count);
+      // In flight but lost or late: a timeout-deny (the peer may be fine
+      // and the link lossy), distinct from never getting a channel at all.
+      stats_.denied_timeout->Increment(count);
       EmitRemoteVouch(count, false);
-      return answers;  // One deadline governs the whole round trip.
+      outcome.responsive = false;
+      return outcome;  // One deadline governs the whole round trip.
     }
     // The batch verdict vector arrives as a typed reply (count slot +
     // verdict bytes) through the strict codec. Anything that does not
     // unmarshal whole — truncated, trailing bytes, forged ids, a count
-    // that contradicts ours — denies the entire batch: fail closed.
+    // that contradicts ours — denies the entire batch: fail closed. The
+    // peer DID respond, so these are responsive denies (real no-votes).
     Result<kernel::IpcReply> typed = kernel::UnmarshalReply(*reply);
     if (!typed.ok() || !typed->status.ok()) {
       stats_.denied->Increment(count);
       EmitRemoteVouch(count, false);
-      return answers;
+      return outcome;
     }
     Result<uint64_t> declared = typed->ArgU64(0);
     Result<ByteView> verdicts = typed->ArgBytes(1);
@@ -228,15 +250,21 @@ std::unique_ptr<core::VouchFuture> RemoteAuthority::VouchBatchAsync(
         verdicts->size() != count) {
       stats_.denied->Increment(count);
       EmitRemoteVouch(count, false);
-      return answers;
+      return outcome;
     }
     for (size_t i = 0; i < count; ++i) {
-      answers[i] = (*verdicts)[i] == 1;
-      (answers[i] ? stats_.vouched : stats_.denied)->Increment();
+      outcome.answers[i] = (*verdicts)[i] == 1;
+      (outcome.answers[i] ? stats_.vouched : stats_.denied)->Increment();
     }
     EmitRemoteVouch(count, true);
-    return answers;
+    return outcome;
   });
+}
+
+std::unique_ptr<core::VouchFuture> RemoteAuthority::VouchBatchAsync(
+    std::span<const nal::Formula> statements, uint64_t timeout_us) {
+  return std::make_unique<AnswersOnlyVouchFuture>(
+      VouchBatchAsyncDetailed(statements, timeout_us));
 }
 
 std::vector<bool> RemoteAuthority::VouchBatch(std::span<const nal::Formula> statements,

@@ -86,8 +86,12 @@ class RemoteAuthority : public core::Authority {
   struct Stats {
     uint64_t queries = 0;  // Statements asked (batched or not).
     uint64_t vouched = 0;
-    uint64_t denied = 0;
-    uint64_t denied_unreachable = 0;  // timeout / loss / channel failure
+    uint64_t denied = 0;              // The peer answered: deny (incl. malformed replies).
+    uint64_t denied_unreachable = 0;  // Never got a request in flight (no
+                                      // channel: untrusted peer, handshake
+                                      // failure, send failure).
+    uint64_t denied_timeout = 0;      // Request went out; the reply was lost
+                                      // or landed past the deadline.
     uint64_t batch_round_trips = 0;   // VouchBatch wire calls issued
   };
 
@@ -109,6 +113,11 @@ class RemoteAuthority : public core::Authority {
   // semantics are identical to VouchBatch (the clock starts at issue).
   std::unique_ptr<core::VouchFuture> VouchBatchAsync(
       std::span<const nal::Formula> statements, uint64_t timeout_us) override;
+  // The primary implementation: VouchBatchAsync with responsiveness, which
+  // is what QuorumAuthority aggregates (a dead peer is skipped and backed
+  // off; a responsive deny is a real no-vote). The plain future wraps this.
+  std::unique_ptr<core::DetailedVouchFuture> VouchBatchAsyncDetailed(
+      std::span<const nal::Formula> statements, uint64_t timeout_us) override;
   bool IsRemote() const override { return true; }
 
   Stats stats() const {
@@ -116,6 +125,7 @@ class RemoteAuthority : public core::Authority {
                  stats_.vouched->Value(),
                  stats_.denied->Value(),
                  stats_.denied_unreachable->Value(),
+                 stats_.denied_timeout->Value(),
                  stats_.batch_round_trips->Value()};
   }
 
@@ -133,10 +143,11 @@ class RemoteAuthority : public core::Authority {
     metrics::Counter* vouched;
     metrics::Counter* denied;
     metrics::Counter* denied_unreachable;
+    metrics::Counter* denied_timeout;
     metrics::Counter* batch_round_trips;
   } stats_{metrics_.NewCounter("queries"), metrics_.NewCounter("vouched"),
            metrics_.NewCounter("denied"), metrics_.NewCounter("denied_unreachable"),
-           metrics_.NewCounter("batch_round_trips")};
+           metrics_.NewCounter("denied_timeout"), metrics_.NewCounter("batch_round_trips")};
 };
 
 }  // namespace nexus::net
